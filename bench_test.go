@@ -1,0 +1,201 @@
+package deviant
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (experiment index: DESIGN.md §3; measured outputs:
+// EXPERIMENTS.md), plus micro-benchmarks of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-table/figure benchmarks wrap the same experiment functions that
+// cmd/benchtab prints, so "regenerating Table N" and "benchmarking Table
+// N" are the same code path.
+
+import (
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/corpus"
+	"deviant/internal/cparse"
+	"deviant/internal/cpp"
+	"deviant/internal/engine"
+	"deviant/internal/experiments"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/sm"
+)
+
+func benchExperiment(b *testing.B, f func() (string, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (internal consistency questions).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, experiments.Table1) }
+
+// BenchmarkTable2 regenerates Table 2 (statistically derived templates).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, experiments.Table2) }
+
+// BenchmarkTable3 regenerates Table 3 (null consistency errors, 3 systems).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, experiments.Table3) }
+
+// BenchmarkTable4 regenerates the §7 user-pointer results table.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, experiments.Table4) }
+
+// BenchmarkTable5 regenerates the §8 derived-failure tables.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, experiments.Table5) }
+
+// BenchmarkTable6 regenerates the §9 derived-pairs table.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, experiments.Table6) }
+
+// BenchmarkTable7 regenerates the §4.2 cross-version consistency table.
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, experiments.Table7) }
+
+// BenchmarkFigure1 regenerates the Figure 1 lock-inference walk-through.
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, experiments.Figure1) }
+
+// BenchmarkFigure2 regenerates Figure 2 (the metal null checker).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, experiments.Figure2) }
+
+// BenchmarkFigure3 regenerates the rank-vs-threshold comparison (§5.1).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, experiments.Figure3) }
+
+// BenchmarkFigure4 regenerates the scalability figure (§3.5).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, experiments.Figure4) }
+
+// BenchmarkAblationPruning measures the crash-path-pruning ablation.
+func BenchmarkAblationPruning(b *testing.B) { benchExperiment(b, experiments.AblationPruning) }
+
+// BenchmarkAblationMacros measures the macro-truncation ablation.
+func BenchmarkAblationMacros(b *testing.B) { benchExperiment(b, experiments.AblationMacros) }
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+
+// BenchmarkFullPipeline is the headline number: the complete analysis
+// (preprocess, parse, CFGs, all nine checkers, ranking) over the
+// linux-2.4.7-like corpus.
+func BenchmarkFullPipeline(b *testing.B) {
+	c := corpus.Generate(corpus.Linux247())
+	b.ReportMetric(float64(c.Lines), "source-lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Analyze(c.Files, DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reports.Len() == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkPreprocess measures the C preprocessor alone.
+func BenchmarkPreprocess(b *testing.B) {
+	c := corpus.Generate(corpus.Linux247())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, unit := range c.Units {
+			pp := cpp.New(cpp.MapFS(c.Files), "include")
+			if _, err := pp.Process(unit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParse measures preprocessing plus parsing.
+func BenchmarkParse(b *testing.B) {
+	c := corpus.Generate(corpus.Linux247())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, unit := range c.Units {
+			pp := cpp.New(cpp.MapFS(c.Files), "include")
+			toks, err := pp.Process(unit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, errs := cparse.ParseFile(unit, toks); len(errs) != 0 {
+				b.Fatal(errs[0])
+			}
+		}
+	}
+}
+
+// benchFuncs parses one corpus unit into function decls + CFGs.
+func benchFuncs(b *testing.B) []*cfg.Graph {
+	b.Helper()
+	c := corpus.Generate(corpus.Linux241())
+	conv := latent.Default()
+	var graphs []*cfg.Graph
+	for _, unit := range c.Units {
+		pp := cpp.New(cpp.MapFS(c.Files), "include")
+		toks, err := pp.Process(unit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, errs := cparse.ParseFile(unit, toks)
+		if len(errs) != 0 {
+			b.Fatal(errs[0])
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+				graphs = append(graphs, cfg.Build(fd, cfg.Options{NoReturn: conv.IsCrashRoutine}))
+			}
+		}
+	}
+	return graphs
+}
+
+// BenchmarkEngineMemoized measures the path engine with memoization (the
+// paper's configuration).
+func BenchmarkEngineMemoized(b *testing.B) {
+	graphs := benchFuncs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := report.NewCollector()
+		for _, g := range graphs {
+			engine.Run(g, &sm.Runner{M: sm.FigureTwoChecker()}, col, engine.Options{Memoize: true})
+		}
+	}
+}
+
+// BenchmarkEngineUnmemoized measures naive path exploration — the
+// ablation behind Figure 4's no-memo column.
+func BenchmarkEngineUnmemoized(b *testing.B) {
+	graphs := benchFuncs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := report.NewCollector()
+		for _, g := range graphs {
+			engine.Run(g, &sm.Runner{M: sm.FigureTwoChecker()}, col, engine.Options{Memoize: false})
+		}
+	}
+}
+
+// BenchmarkCorpusGenerate measures synthetic tree generation.
+func BenchmarkCorpusGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := corpus.Generate(corpus.Linux247())
+		if len(c.Bugs) == 0 {
+			b.Fatal("no bugs seeded")
+		}
+	}
+}
+
+// BenchmarkZStatistic measures the ranking statistic itself.
+func BenchmarkZStatistic(b *testing.B) {
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += Z(1000, 990, DefaultP0)
+	}
+	_ = s
+}

@@ -1,0 +1,279 @@
+// Command deviant runs the belief-inference checkers over a C source
+// tree and prints ranked error reports.
+//
+// Usage:
+//
+//	deviant [flags] <dir>
+//
+// The directory is searched recursively for .c translation units;
+// #include resolves against the unit's directory plus every -I dir
+// (default: <dir>/include).
+//
+// Flags:
+//
+//	-top N        print only the N highest-ranked reports (0 = all)
+//	-checkers s   comma-separated subset: null,free,userptr,iserr,fail,
+//	              lockvar,pairing,intr,seccheck,reverse,retconv,redundant
+//	              (default: all)
+//	-rules        also print the derived rule instances
+//	-p0 f         expected example probability for the z statistic
+//	-no-memo      disable engine memoization (slower; for comparison)
+//	-no-prune     keep panic/BUG paths (more false positives)
+//	-json         one JSON object per report on stdout
+//	-trust        §5 trustworthiness-augmented ranking
+//	-diff OLDDIR  cross-version mode (§4.2): check that <dir> preserves
+//	              the invariants OLDDIR's code implied
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"deviant"
+	"deviant/internal/cpp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("deviant: ")
+
+	top := flag.Int("top", 0, "print only the N highest-ranked reports (0 = all)")
+	checkers := flag.String("checkers", "", "comma-separated checker subset (default all)")
+	rules := flag.Bool("rules", false, "print derived rule instances")
+	p0 := flag.Float64("p0", deviant.DefaultP0, "expected example probability for z")
+	noMemo := flag.Bool("no-memo", false, "disable engine memoization")
+	noPrune := flag.Bool("no-prune", false, "disable crash-path pruning")
+	jsonOut := flag.Bool("json", false, "emit reports as JSON lines")
+	trust := flag.Bool("trust", false, "rank with the §5 code-trustworthiness augmentation")
+	diffOld := flag.String("diff", "", "cross-version mode: directory of the OLD version; the positional dir is the new one")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: deviant [flags] <dir>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	if *diffOld != "" {
+		runDiff(*diffOld, dir)
+		return
+	}
+
+	units, err := findUnits(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(units) == 0 {
+		log.Fatalf("no .c files under %s", dir)
+	}
+
+	opts := deviant.DefaultOptions()
+	opts.P0 = *p0
+	opts.Memoize = !*noMemo
+	opts.DisableCrashPruning = *noPrune
+	if *checkers != "" {
+		opts.Checks = parseCheckers(*checkers)
+	}
+
+	res, err := deviant.AnalyzeFS(cpp.DirFS(dir), units, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*jsonOut {
+		fmt.Printf("%d translation units, %d functions, %d lines\n",
+			len(units), res.FuncCount, res.LineCount)
+	}
+	for _, e := range res.ParseErrors {
+		fmt.Fprintf(os.Stderr, "frontend: %v\n", e)
+	}
+
+	if *rules {
+		printRules(res)
+	}
+
+	ranked := res.Reports.Ranked()
+	if *trust {
+		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
+	}
+	if *jsonOut {
+		emitJSON(ranked, *top)
+		return
+	}
+	fmt.Printf("%d reports\n", len(ranked))
+	for i, r := range ranked {
+		if *top > 0 && i >= *top {
+			fmt.Printf("... %d more (rerun with -top 0)\n", len(ranked)-i)
+			break
+		}
+		fmt.Printf("%4d. %s\n", i+1, r.String())
+	}
+}
+
+// jsonReport is the machine-readable report shape (one JSON object per
+// line).
+type jsonReport struct {
+	Rank     int     `json:"rank"`
+	Checker  string  `json:"checker"`
+	File     string  `json:"file"`
+	Line     int     `json:"line"`
+	Col      int     `json:"col"`
+	Rule     string  `json:"rule"`
+	Message  string  `json:"message"`
+	Definite bool    `json:"definite"` // MUST-belief contradiction
+	Z        float64 `json:"z,omitempty"`
+	Checks   int     `json:"checks,omitempty"`
+	Examples int     `json:"examples,omitempty"`
+}
+
+func emitJSON(ranked []deviant.Report, top int) {
+	enc := json.NewEncoder(os.Stdout)
+	for i, r := range ranked {
+		if top > 0 && i >= top {
+			break
+		}
+		jr := jsonReport{
+			Rank: i + 1, Checker: r.Checker,
+			File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Col,
+			Rule: r.Rule, Message: r.Message,
+			Definite: !r.Statistical(),
+		}
+		if r.Statistical() {
+			jr.Z = r.Z
+			jr.Checks = r.Counter.Checks
+			jr.Examples = r.Counter.Examples
+		}
+		if err := enc.Encode(jr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func parseCheckers(s string) deviant.Checks {
+	var c deviant.Checks
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "null":
+			c.Null = true
+		case "free":
+			c.Free = true
+		case "userptr":
+			c.UserPtr = true
+		case "iserr":
+			c.IsErr = true
+		case "fail":
+			c.Fail = true
+		case "lockvar":
+			c.LockVar = true
+		case "pairing":
+			c.Pairing = true
+		case "intr":
+			c.Intr = true
+		case "seccheck":
+			c.SecCheck = true
+		case "reverse":
+			c.Reverse = true
+		case "retconv":
+			c.RetConv = true
+		case "redundant":
+			c.Redundant = true
+		case "":
+		default:
+			log.Fatalf("unknown checker %q", name)
+		}
+	}
+	return c
+}
+
+func printRules(res *deviant.Result) {
+	fmt.Println("derived rule instances:")
+	for i, p := range res.Pairs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  pair:     %s -> %s (%d/%d, z=%.2f)\n", p.A, p.B, p.Examples(), p.Checks, p.Z)
+	}
+	for i, d := range res.CanFail {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  can-fail: %s (%d/%d, z=%.2f)\n", d.Func, d.Examples(), d.Checks, d.Z)
+	}
+	for i, b := range res.LockBindings {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  lock:     %s protects %s (%d/%d, z=%.2f)\n", b.Lock, b.Var, b.Examples(), b.Checks, b.Z)
+	}
+}
+
+// findUnits lists .c files under dir, relative, sorted.
+func findUnits(dir string) ([]string, error) {
+	var units []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".c") {
+			rel, relErr := filepath.Rel(dir, path)
+			if relErr != nil {
+				return relErr
+			}
+			units = append(units, rel)
+		}
+		return nil
+	})
+	sort.Strings(units)
+	return units, err
+}
+
+// readTree loads every file under dir into memory for Diff.
+func readTree(dir string) (map[string]string, error) {
+	srcs := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, relErr := filepath.Rel(dir, path)
+		if relErr != nil {
+			return relErr
+		}
+		if strings.HasSuffix(rel, ".c") || strings.HasSuffix(rel, ".h") {
+			b, readErr := os.ReadFile(path)
+			if readErr != nil {
+				return readErr
+			}
+			srcs[rel] = string(b)
+		}
+		return nil
+	})
+	return srcs, err
+}
+
+// runDiff cross-checks newDir against oldDir (§4.2: the same routines
+// through time) and prints the invariant violations.
+func runDiff(oldDir, newDir string) {
+	oldSrcs, err := readTree(oldDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newSrcs, err := readTree(newDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drifts, _, err := deviant.Diff(oldSrcs, newSrcs, deviant.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d invariant violations (old: %s, new: %s)\n", len(drifts), oldDir, newDir)
+	for i, d := range drifts {
+		fmt.Printf("%3d. [%s] %s at %s: %s\n", i+1, d.Kind, d.Func, d.Pos, d.Msg)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseCheckers(t *testing.T) {
+	c := parseCheckers("null,lockvar, pairing")
+	if !c.Null || !c.LockVar || !c.Pairing {
+		t.Errorf("parsed: %+v", c)
+	}
+	if c.UserPtr || c.Fail || c.IsErr || c.Intr || c.SecCheck || c.Reverse {
+		t.Errorf("unrequested checkers enabled: %+v", c)
+	}
+}
+
+func TestParseCheckersAllNames(t *testing.T) {
+	c := parseCheckers("null,free,userptr,iserr,fail,lockvar,pairing,intr,seccheck,reverse")
+	if !c.Null || !c.Free || !c.UserPtr || !c.IsErr || !c.Fail || !c.LockVar ||
+		!c.Pairing || !c.Intr || !c.SecCheck || !c.Reverse {
+		t.Errorf("parsed: %+v", c)
+	}
+}
+
+func TestParseCheckersEmptyItems(t *testing.T) {
+	c := parseCheckers("null,,")
+	if !c.Null {
+		t.Errorf("parsed: %+v", c)
+	}
+}

@@ -1,0 +1,122 @@
+// Package deviant finds bugs in systems code without a priori knowledge
+// of the system's correctness rules, reproducing Engler, Chen, Hallem,
+// Chou and Chelf, "Bugs as Deviant Behavior: A General Approach to
+// Inferring Errors in Systems Code" (SOSP 2001).
+//
+// The library extracts programmer beliefs from C source code and
+// cross-checks them. MUST beliefs (a dereference implies the pointer is
+// non-null; passing a pointer to copy_from_user implies it is a dangerous
+// user pointer) are checked for contradictions — any conflict is an
+// error, with no need to know which belief is correct. MAY beliefs (a
+// call to a followed by b implies they may be paired; a variable usually
+// accessed under a lock may be protected by it) are assumed true,
+// checked, and the resulting errors ranked by the z statistic for
+// proportions so that strong beliefs' violations surface first.
+//
+// Quick start:
+//
+//	res, err := deviant.Analyze(map[string]string{
+//	    "drv.c": src,
+//	}, deviant.DefaultOptions())
+//	for _, r := range res.Reports.Ranked() {
+//	    fmt.Println(r.String())
+//	}
+//
+// The checkers are the six from the paper: internal null consistency
+// (check-then-use, use-then-check, redundant checks), user-pointer
+// security, IS_ERR result checking, "can this routine fail" derivation,
+// lock/variable binding derivation, and temporal pair derivation, plus
+// the interrupt-discipline checker. All substrates — C preprocessor,
+// parser, CFG construction, the path-sensitive memoizing engine, and the
+// statistical machinery — are implemented in this module with no external
+// dependencies.
+package deviant
+
+import (
+	"deviant/internal/checkers/version"
+	"deviant/internal/core"
+	"deviant/internal/cpp"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// Options configures an analysis run. See DefaultOptions.
+type Options = core.Options
+
+// Checks selects which of the paper's checkers run.
+type Checks = core.Checks
+
+// Result carries the ranked reports plus the derived rule instances
+// (pairs, can-fail routines, lock bindings, ...) used by the experiment
+// harness.
+type Result = core.Result
+
+// Report is one ranked error message.
+type Report = report.Report
+
+// Conventions are the latent specifications (§5.2) the checkers consult:
+// naming substrings, crash routines, user-copy routines.
+type Conventions = latent.Conventions
+
+// FileProvider supplies file contents for #include resolution.
+type FileProvider = cpp.FileProvider
+
+// MapFS is an in-memory FileProvider keyed by path.
+type MapFS = cpp.MapFS
+
+// DefaultOptions returns the paper-faithful configuration: all checkers
+// on, p0 = 0.9, crash-path pruning and engine memoization enabled.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// AllChecks enables every checker.
+func AllChecks() Checks { return core.AllChecks() }
+
+// DefaultConventions returns Linux/BSD-flavoured latent specifications.
+func DefaultConventions() *Conventions { return latent.Default() }
+
+// Analyze runs the configured checkers over in-memory sources: map keys
+// ending in ".c" are translation units; all other entries are reachable
+// via #include (searched in Options.IncludeDirs).
+func Analyze(sources map[string]string, opts Options) (*Result, error) {
+	return core.New(opts, nil).AnalyzeSources(sources)
+}
+
+// AnalyzeWithConventions is Analyze with custom latent specifications.
+func AnalyzeWithConventions(sources map[string]string, opts Options, conv *Conventions) (*Result, error) {
+	return core.New(opts, conv).AnalyzeSources(sources)
+}
+
+// AnalyzeFS runs the checkers over the named translation units from fs.
+func AnalyzeFS(fs FileProvider, units []string, opts Options) (*Result, error) {
+	return core.New(opts, nil).AnalyzeFS(fs, units)
+}
+
+// Drift is one cross-version contradiction found by Diff.
+type Drift = version.Drift
+
+// Diff cross-checks a new version of a code base against an old one
+// (§4.2: relating a routine to itself through time). The old version's
+// code implies invariants — parameters guarded against null, user-pointer
+// disciplines, callee-result checks, error-return conventions — and every
+// contradiction in the new version is returned and reported.
+func Diff(oldSources, newSources map[string]string, opts Options) ([]Drift, *Result, error) {
+	oldRes, err := core.New(opts, nil).AnalyzeSources(oldSources)
+	if err != nil {
+		return nil, nil, err
+	}
+	newRes, err := core.New(opts, nil).AnalyzeSources(newSources)
+	if err != nil {
+		return nil, nil, err
+	}
+	drifts := version.Diff(oldRes.Prog, newRes.Prog, latent.Default(), newRes.Reports)
+	return drifts, newRes, nil
+}
+
+// Z computes the paper's ranking statistic z(n, e) with probability p0
+// (§5): the number of standard errors the observed example ratio e/n sits
+// above p0.
+func Z(n, e int, p0 float64) float64 { return stats.Z(n, e, p0) }
+
+// DefaultP0 is the expected example probability the paper assumes (0.9).
+const DefaultP0 = stats.DefaultP0

@@ -1,0 +1,74 @@
+// Command quickstart is the smallest possible deviant session: feed the
+// analyzer a buggy C fragment (the two §3.1 bugs from the paper plus a
+// missing allocator check) and print the ranked error reports.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deviant"
+)
+
+const src = `
+#include "kernel.h"
+
+/* §3.1, capidrv.c: the diagnostic dereferences the pointer it just
+ * proved to be null. */
+void capi_recv(struct capi_ctr *card, int id) {
+	if (card == NULL) {
+		printk("capidrv-%d: incoming call on unbound id %d!\n",
+			card->contrnr, id);
+		return;
+	}
+	card->count = card->count + 1;
+}
+
+/* §3.1, mxser.c: the initializer dereferences tty before the null
+ * check. Either the check is impossible or the dereference crashes. */
+int mxser_write(struct tty_struct *tty, int n) {
+	struct mxser_struct *info = tty->driver_data;
+	if (!tty || !info)
+		return 0;
+	return info->len + n;
+}
+
+/* The allocator can fail; this caller forgot the check. */
+int grow_queue(int n) {
+	struct buf *b = kmalloc(n);
+	b->len = n;
+	return 0;
+}
+
+int grow_queue_checked(int n) {
+	struct buf *b = kmalloc(n);
+	if (!b)
+		return -1;
+	b->len = n;
+	return 0;
+}
+`
+
+const header = `
+#define NULL 0
+struct capi_ctr { int contrnr; int count; };
+struct tty_struct { void *driver_data; };
+struct mxser_struct { int len; };
+struct buf { int len; };
+void *kmalloc(int n);
+void printk(const char *fmt, ...);
+`
+
+func main() {
+	res, err := deviant.Analyze(map[string]string{
+		"driver.c":         src,
+		"include/kernel.h": header,
+	}, deviant.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d functions, %d lines\n\n", res.FuncCount, res.LineCount)
+	for i, r := range res.Reports.Ranked() {
+		fmt.Printf("%2d. %s\n", i+1, r.String())
+	}
+}

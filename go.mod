@@ -1,0 +1,3 @@
+module deviant
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package belief implements the paper's belief sets (§3.2): the facts a
+// slot instance (usually a pointer) is believed to satisfy at a program
+// point, together with the provenance of the belief.
+//
+// For the null checkers a belief set takes one of four values: nothing is
+// known, definitely null, definitely not null, or either. Beliefs union at
+// path joins. Provenance records *how* the most recent precise belief was
+// established (a comparison, a dereference, an assignment), which is what
+// distinguishes a use-then-check error from a redundant check.
+package belief
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fact is a bitmask of atomic beliefs about a slot instance.
+type Fact uint8
+
+// Atomic facts.
+const (
+	Null    Fact = 1 << iota // the pointer is null
+	NotNull                  // the pointer is not null
+)
+
+// Unknown is the empty belief set (nothing known). Either means the value
+// could be null or not null — distinct from Unknown: Either is the
+// *validated* belief that both are possible (e.g. just before a null
+// check), while Unknown carries no information.
+const (
+	Unknown Fact = 0
+	Either  Fact = Null | NotNull
+)
+
+// Has reports whether f contains fact x.
+func (f Fact) Has(x Fact) bool { return f&x != 0 }
+
+// Exactly reports whether f is precisely x.
+func (f Fact) Exactly(x Fact) bool { return f == x }
+
+// String renders the set.
+func (f Fact) String() string {
+	switch f {
+	case Unknown:
+		return "unknown"
+	case Null:
+		return "null"
+	case NotNull:
+		return "notnull"
+	case Either:
+		return "either"
+	}
+	return fmt.Sprintf("Fact(%d)", uint8(f))
+}
+
+// Source says how a belief was established.
+type Source uint8
+
+// Belief sources.
+const (
+	SrcNone   Source = iota
+	SrcCheck         // a null comparison
+	SrcDeref         // a dereference
+	SrcAssign        // an assignment of a known value
+	SrcMixed         // joined paths disagreed on the source
+)
+
+// String renders the source.
+func (s Source) String() string {
+	switch s {
+	case SrcNone:
+		return "none"
+	case SrcCheck:
+		return "check"
+	case SrcDeref:
+		return "deref"
+	case SrcAssign:
+		return "assign"
+	case SrcMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("Source(%d)", uint8(s))
+}
+
+// Info is the belief set for one slot instance plus provenance.
+type Info struct {
+	Facts Fact
+	Src   Source
+	Line  int // line where the current facts were established
+}
+
+// Join merges beliefs arriving on two paths: facts union; differing
+// sources become SrcMixed; the line is the latest establishment point.
+func (a Info) Join(b Info) Info {
+	out := Info{Facts: a.Facts | b.Facts}
+	switch {
+	case a.Src == b.Src:
+		out.Src = a.Src
+	case a.Src == SrcNone:
+		out.Src = b.Src
+	case b.Src == SrcNone:
+		out.Src = a.Src
+	default:
+		out.Src = SrcMixed
+	}
+	if a.Line > b.Line {
+		out.Line = a.Line
+	} else {
+		out.Line = b.Line
+	}
+	return out
+}
+
+// Env maps slot-instance keys (canonical expression strings, e.g. "p" or
+// "tty->driver_data") to their belief Info. Env is the per-path state of
+// the internal-consistency checkers.
+type Env struct {
+	m map[string]Info
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{m: make(map[string]Info)} }
+
+// Get returns the belief for key (zero Info if absent).
+func (e *Env) Get(key string) Info { return e.m[key] }
+
+// Set records a belief for key.
+func (e *Env) Set(key string, info Info) {
+	if info.Facts == Unknown && info.Src == SrcNone {
+		delete(e.m, key)
+		return
+	}
+	e.m[key] = info
+}
+
+// Forget drops all knowledge about key.
+func (e *Env) Forget(key string) { delete(e.m, key) }
+
+// ForgetDerived drops key and any belief whose slot is syntactically
+// derived from it ("p" invalidates "p->next" and "p->buf" too): used when
+// a pointer is reassigned.
+func (e *Env) ForgetDerived(key string) {
+	delete(e.m, key)
+	for k := range e.m {
+		if strings.HasPrefix(k, key+"->") || strings.HasPrefix(k, key+".") ||
+			strings.HasPrefix(k, key+"[") || strings.HasPrefix(k, "*"+key) {
+			delete(e.m, k)
+		}
+	}
+}
+
+// Len returns the number of tracked slots.
+func (e *Env) Len() int { return len(e.m) }
+
+// Clone returns a deep copy.
+func (e *Env) Clone() *Env {
+	ne := &Env{m: make(map[string]Info, len(e.m))}
+	for k, v := range e.m {
+		ne.m[k] = v
+	}
+	return ne
+}
+
+// Key returns a canonical string for memoization: two environments with
+// equal Keys are indistinguishable to a checker.
+func (e *Env) Key() string {
+	if len(e.m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(e.m))
+	for k := range e.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		i := e.m[k]
+		fmt.Fprintf(&sb, "%s=%d:%d:%d;", k, i.Facts, i.Src, i.Line)
+	}
+	return sb.String()
+}
+
+// JoinFrom unions other's beliefs into e (per-key Join; keys only in one
+// env keep/gain that env's info joined with the zero Info). It reports
+// whether e changed. JoinFrom implements the paper's path-join rule: "The
+// null checker takes the union of all beliefs on the joining paths."
+func (e *Env) JoinFrom(other *Env) bool {
+	changed := false
+	for k, ov := range other.m {
+		cur, ok := e.m[k]
+		if !ok {
+			e.m[k] = ov
+			changed = true
+			continue
+		}
+		j := cur.Join(ov)
+		if j != cur {
+			e.m[k] = j
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,152 @@
+package belief
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactBasics(t *testing.T) {
+	if !Either.Has(Null) || !Either.Has(NotNull) {
+		t.Error("either contains both")
+	}
+	if Null.Has(NotNull) {
+		t.Error("null does not contain notnull")
+	}
+	if !Null.Exactly(Null) || Null.Exactly(Either) {
+		t.Error("exactly")
+	}
+	if Unknown.String() != "unknown" || Either.String() != "either" {
+		t.Error("strings")
+	}
+}
+
+func TestInfoJoin(t *testing.T) {
+	a := Info{Facts: Null, Src: SrcCheck, Line: 3}
+	b := Info{Facts: NotNull, Src: SrcCheck, Line: 5}
+	j := a.Join(b)
+	if j.Facts != Either {
+		t.Errorf("facts: %v", j.Facts)
+	}
+	if j.Src != SrcCheck {
+		t.Errorf("src: %v", j.Src)
+	}
+	if j.Line != 5 {
+		t.Errorf("line: %d", j.Line)
+	}
+
+	c := Info{Facts: NotNull, Src: SrcDeref, Line: 2}
+	j2 := a.Join(c)
+	if j2.Src != SrcMixed {
+		t.Errorf("differing sources join to mixed: %v", j2.Src)
+	}
+
+	none := Info{}
+	j3 := a.Join(none)
+	if j3.Src != SrcCheck || j3.Facts != Null {
+		t.Errorf("join with empty: %+v", j3)
+	}
+}
+
+func TestEnvSetGetForget(t *testing.T) {
+	e := NewEnv()
+	e.Set("p", Info{Facts: Null, Src: SrcCheck, Line: 1})
+	if got := e.Get("p"); got.Facts != Null {
+		t.Errorf("get: %+v", got)
+	}
+	if e.Get("q").Facts != Unknown {
+		t.Error("absent key is unknown")
+	}
+	e.Forget("p")
+	if e.Len() != 0 {
+		t.Error("forget failed")
+	}
+	// Setting a zero Info removes the entry rather than storing noise.
+	e.Set("p", Info{})
+	if e.Len() != 0 {
+		t.Error("zero info should not be stored")
+	}
+}
+
+func TestForgetDerived(t *testing.T) {
+	e := NewEnv()
+	e.Set("p", Info{Facts: NotNull, Src: SrcDeref, Line: 1})
+	e.Set("p->next", Info{Facts: Null, Src: SrcCheck, Line: 2})
+	e.Set("p.f", Info{Facts: Null, Src: SrcCheck, Line: 2})
+	e.Set("*p", Info{Facts: Null, Src: SrcCheck, Line: 2})
+	e.Set("q->next", Info{Facts: Null, Src: SrcCheck, Line: 3})
+	e.ForgetDerived("p")
+	if e.Len() != 1 || e.Get("q->next").Facts != Null {
+		t.Errorf("derived forget wrong: %d tracked", e.Len())
+	}
+}
+
+func TestEnvCloneIndependent(t *testing.T) {
+	e := NewEnv()
+	e.Set("p", Info{Facts: Null, Src: SrcCheck, Line: 1})
+	c := e.Clone()
+	c.Set("p", Info{Facts: NotNull, Src: SrcDeref, Line: 2})
+	if e.Get("p").Facts != Null {
+		t.Error("clone aliases parent")
+	}
+}
+
+func TestEnvKeyStableAndDiscriminating(t *testing.T) {
+	a := NewEnv()
+	a.Set("p", Info{Facts: Null, Src: SrcCheck, Line: 1})
+	a.Set("q", Info{Facts: NotNull, Src: SrcDeref, Line: 2})
+
+	b := NewEnv()
+	b.Set("q", Info{Facts: NotNull, Src: SrcDeref, Line: 2})
+	b.Set("p", Info{Facts: Null, Src: SrcCheck, Line: 1})
+
+	if a.Key() != b.Key() {
+		t.Error("insertion order must not affect Key")
+	}
+	b.Set("p", Info{Facts: NotNull, Src: SrcCheck, Line: 1})
+	if a.Key() == b.Key() {
+		t.Error("different beliefs must differ in Key")
+	}
+	if NewEnv().Key() != "" {
+		t.Error("empty env key")
+	}
+}
+
+func TestJoinFrom(t *testing.T) {
+	a := NewEnv()
+	a.Set("p", Info{Facts: Null, Src: SrcCheck, Line: 1})
+	b := NewEnv()
+	b.Set("p", Info{Facts: NotNull, Src: SrcCheck, Line: 2})
+	b.Set("q", Info{Facts: NotNull, Src: SrcDeref, Line: 3})
+
+	changed := a.JoinFrom(b)
+	if !changed {
+		t.Error("join should report change")
+	}
+	if a.Get("p").Facts != Either {
+		t.Errorf("p: %v", a.Get("p").Facts)
+	}
+	if a.Get("q").Facts != NotNull {
+		t.Errorf("q: %v", a.Get("q").Facts)
+	}
+	// Joining the same env again is a fixpoint.
+	if a.JoinFrom(b) {
+		t.Error("second join must not change")
+	}
+}
+
+// Property: Join is commutative and idempotent on facts.
+func TestJoinProperties(t *testing.T) {
+	f := func(fa, fb uint8, la, lb int8) bool {
+		a := Info{Facts: Fact(fa) & Either, Src: SrcCheck, Line: int(la)}
+		b := Info{Facts: Fact(fb) & Either, Src: SrcDeref, Line: int(lb)}
+		ab := a.Join(b)
+		ba := b.Join(a)
+		if ab.Facts != ba.Facts || ab.Line != ba.Line {
+			return false
+		}
+		return a.Join(a).Facts == a.Facts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,575 @@
+// Package cast defines the abstract syntax tree for the C subset deviant
+// analyzes, along with a visitor and a source printer.
+package cast
+
+import (
+	"deviant/internal/ctoken"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() ctoken.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is the interface of C type representations.
+type Type interface {
+	// TypeString renders the type for diagnostics, e.g. "struct foo *".
+	TypeString() string
+	// IsPointer reports whether the type is a pointer type.
+	IsPointer() bool
+}
+
+// BasicType is a builtin scalar type ("int", "unsigned long", "void", ...).
+type BasicType struct {
+	Name string // normalized, e.g. "unsigned long"
+}
+
+// TypeString implements Type.
+func (t *BasicType) TypeString() string { return t.Name }
+
+// IsPointer implements Type.
+func (t *BasicType) IsPointer() bool { return false }
+
+// PointerType is a pointer to Elem.
+type PointerType struct {
+	Elem Type
+}
+
+// TypeString implements Type.
+func (t *PointerType) TypeString() string { return t.Elem.TypeString() + " *" }
+
+// IsPointer implements Type.
+func (t *PointerType) IsPointer() bool { return true }
+
+// ArrayType is an array of Elem. Len is -1 for unspecified sizes.
+type ArrayType struct {
+	Elem Type
+	Len  int64
+}
+
+// TypeString implements Type.
+func (t *ArrayType) TypeString() string { return t.Elem.TypeString() + " []" }
+
+// IsPointer implements Type. Arrays decay to pointers in the analyses we
+// run, so they answer true.
+func (t *ArrayType) IsPointer() bool { return true }
+
+// StructType refers to a struct or union by tag. Fields may be nil for
+// forward references.
+type StructType struct {
+	Union  bool
+	Tag    string
+	Fields []*FieldDecl
+}
+
+// TypeString implements Type.
+func (t *StructType) TypeString() string {
+	kw := "struct"
+	if t.Union {
+		kw = "union"
+	}
+	if t.Tag != "" {
+		return kw + " " + t.Tag
+	}
+	return kw
+}
+
+// IsPointer implements Type.
+func (t *StructType) IsPointer() bool { return false }
+
+// EnumType refers to an enum by tag.
+type EnumType struct {
+	Tag       string
+	Enumerats []string
+}
+
+// TypeString implements Type.
+func (t *EnumType) TypeString() string {
+	if t.Tag != "" {
+		return "enum " + t.Tag
+	}
+	return "enum"
+}
+
+// IsPointer implements Type.
+func (t *EnumType) IsPointer() bool { return false }
+
+// NamedType is a typedef reference.
+type NamedType struct {
+	Name       string
+	Underlying Type // may be nil if the typedef target was not seen
+}
+
+// TypeString implements Type.
+func (t *NamedType) TypeString() string { return t.Name }
+
+// IsPointer implements Type.
+func (t *NamedType) IsPointer() bool {
+	return t.Underlying != nil && t.Underlying.IsPointer()
+}
+
+// FuncType is a function type.
+type FuncType struct {
+	Ret      Type
+	Params   []*ParamDecl
+	Variadic bool
+}
+
+// TypeString implements Type.
+func (t *FuncType) TypeString() string {
+	s := t.Ret.TypeString() + " (*)("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.Type.TypeString()
+	}
+	if t.Variadic {
+		s += ", ..."
+	}
+	return s + ")"
+}
+
+// IsPointer implements Type.
+func (t *FuncType) IsPointer() bool { return false }
+
+// Unwrap strips typedef indirection, returning the first non-NamedType, or
+// the innermost NamedType if its underlying type is unknown.
+func Unwrap(t Type) Type {
+	for {
+		nt, ok := t.(*NamedType)
+		if !ok || nt.Underlying == nil {
+			return t
+		}
+		t = nt.Underlying
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// File is one parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Node // *FuncDecl, *VarDecl, *TypedefDecl, *RecordDecl, *EnumDecl
+}
+
+// Pos implements Node.
+func (f *File) Pos() ctoken.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return ctoken.Pos{File: f.Name, Line: 1, Col: 1}
+}
+
+// FuncDecl is a function definition or prototype (Body nil for prototypes).
+type FuncDecl struct {
+	Name     string
+	NamePos  ctoken.Pos
+	Ret      Type
+	Params   []*ParamDecl
+	Variadic bool
+	Body     *CompoundStmt // nil for a prototype
+	Static   bool
+	Inline   bool
+}
+
+// Pos implements Node.
+func (d *FuncDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Name    string // may be "" in prototypes
+	NamePos ctoken.Pos
+	Type    Type
+}
+
+// Pos implements Node.
+func (d *ParamDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// VarDecl declares one variable (file scope or block scope).
+type VarDecl struct {
+	Name    string
+	NamePos ctoken.Pos
+	Type    Type
+	Init    Expr // may be nil
+	Static  bool
+	Extern  bool
+}
+
+// Pos implements Node.
+func (d *VarDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// FieldDecl is a struct/union member.
+type FieldDecl struct {
+	Name    string
+	NamePos ctoken.Pos
+	Type    Type
+}
+
+// Pos implements Node.
+func (d *FieldDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// TypedefDecl introduces a typedef name.
+type TypedefDecl struct {
+	Name    string
+	NamePos ctoken.Pos
+	Type    Type
+}
+
+// Pos implements Node.
+func (d *TypedefDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// RecordDecl declares a struct or union with its fields.
+type RecordDecl struct {
+	TagPos ctoken.Pos
+	Type   *StructType
+}
+
+// Pos implements Node.
+func (d *RecordDecl) Pos() ctoken.Pos { return d.TagPos }
+
+// EnumDecl declares an enum with its enumerators.
+type EnumDecl struct {
+	TagPos ctoken.Pos
+	Type   *EnumType
+	// Values holds enumerator initializers by name (nil Expr for implicit).
+	Values []EnumValue
+}
+
+// EnumValue is one enumerator.
+type EnumValue struct {
+	Name    string
+	NamePos ctoken.Pos
+	Value   Expr // may be nil
+}
+
+// Pos implements Node.
+func (d *EnumDecl) Pos() ctoken.Pos { return d.TagPos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// CompoundStmt is a brace-enclosed block.
+type CompoundStmt struct {
+	Lbrace ctoken.Pos
+	List   []Stmt
+}
+
+// ExprStmt is an expression statement; Expr may be nil for ";".
+type ExprStmt struct {
+	SemiPos ctoken.Pos
+	X       Expr
+}
+
+// DeclStmt wraps local declarations.
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+// IfStmt is an if/else.
+type IfStmt struct {
+	IfPos ctoken.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	WhilePos ctoken.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	DoPos ctoken.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// ForStmt is a for loop; Init/Cond/Post may be nil. Init may be an
+// ExprStmt or DeclStmt.
+type ForStmt struct {
+	ForPos ctoken.Pos
+	Init   Stmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+}
+
+// SwitchStmt is a switch.
+type SwitchStmt struct {
+	SwitchPos ctoken.Pos
+	Tag       Expr
+	Body      Stmt // normally a CompoundStmt containing CaseStmt nodes
+}
+
+// CaseStmt is a case or default label with its trailing statements folded
+// by the parser into following list entries.
+type CaseStmt struct {
+	CasePos ctoken.Pos
+	Value   Expr // nil for default:
+}
+
+// ReturnStmt returns from a function; X may be nil.
+type ReturnStmt struct {
+	ReturnPos ctoken.Pos
+	X         Expr
+}
+
+// BreakStmt breaks a loop or switch.
+type BreakStmt struct{ BreakPos ctoken.Pos }
+
+// ContinueStmt continues a loop.
+type ContinueStmt struct{ ContinuePos ctoken.Pos }
+
+// GotoStmt jumps to a label.
+type GotoStmt struct {
+	GotoPos ctoken.Pos
+	Label   string
+}
+
+// LabelStmt is a label followed by a statement.
+type LabelStmt struct {
+	LabelPos ctoken.Pos
+	Name     string
+	Stmt     Stmt
+}
+
+// Pos implementations.
+func (s *CompoundStmt) Pos() ctoken.Pos { return s.Lbrace }
+func (s *ExprStmt) Pos() ctoken.Pos {
+	if s.X != nil {
+		return s.X.Pos()
+	}
+	return s.SemiPos
+}
+func (s *DeclStmt) Pos() ctoken.Pos {
+	if len(s.Decls) > 0 {
+		return s.Decls[0].Pos()
+	}
+	return ctoken.Pos{}
+}
+func (s *IfStmt) Pos() ctoken.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() ctoken.Pos    { return s.WhilePos }
+func (s *DoWhileStmt) Pos() ctoken.Pos  { return s.DoPos }
+func (s *ForStmt) Pos() ctoken.Pos      { return s.ForPos }
+func (s *SwitchStmt) Pos() ctoken.Pos   { return s.SwitchPos }
+func (s *CaseStmt) Pos() ctoken.Pos     { return s.CasePos }
+func (s *ReturnStmt) Pos() ctoken.Pos   { return s.ReturnPos }
+func (s *BreakStmt) Pos() ctoken.Pos    { return s.BreakPos }
+func (s *ContinueStmt) Pos() ctoken.Pos { return s.ContinuePos }
+func (s *GotoStmt) Pos() ctoken.Pos     { return s.GotoPos }
+func (s *LabelStmt) Pos() ctoken.Pos    { return s.LabelPos }
+
+func (*CompoundStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*DeclStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*CaseStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*GotoStmt) stmtNode()     {}
+func (*LabelStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+	// FromMacro reports whether the expression's leading token was
+	// produced by macro expansion (paper §6: beliefs must not escape
+	// macro abstraction boundaries).
+	FromMacro() bool
+}
+
+// Ident is an identifier reference.
+type Ident struct {
+	Name    string
+	NamePos ctoken.Pos
+	Macro   bool
+}
+
+// IntLit is an integer literal with its parsed value.
+type IntLit struct {
+	LitPos ctoken.Pos
+	Text   string
+	Value  int64
+	Macro  bool
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	LitPos ctoken.Pos
+	Text   string
+	Macro  bool
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	LitPos ctoken.Pos
+	Text   string
+	Value  int64
+	Macro  bool
+}
+
+// StringLit is a string literal (concatenations folded).
+type StringLit struct {
+	LitPos ctoken.Pos
+	Text   string
+	Macro  bool
+}
+
+// UnaryExpr covers prefix operators: * & - + ! ~ ++ -- sizeof.
+type UnaryExpr struct {
+	OpPos ctoken.Pos
+	Op    ctoken.Kind
+	X     Expr
+	Macro bool
+}
+
+// PostfixExpr covers postfix ++ and --.
+type PostfixExpr struct {
+	Op ctoken.Kind
+	X  Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   ctoken.Kind
+	X, Y Expr
+}
+
+// AssignExpr is an assignment, possibly compound (+=, ...).
+type AssignExpr struct {
+	Op   ctoken.Kind // Assign, AddAssign, ...
+	L, R Expr
+}
+
+// CondExpr is the ternary operator.
+type CondExpr struct {
+	Cond       Expr
+	Then, Else Expr
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	Fun    Expr
+	Lparen ctoken.Pos
+	Args   []Expr
+}
+
+// IndexExpr is subscripting.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// MemberExpr is p.f or p->f.
+type MemberExpr struct {
+	X      Expr
+	Arrow  bool // true for ->
+	Member string
+	MemPos ctoken.Pos
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	LparenPos ctoken.Pos
+	To        Type
+	X         Expr
+}
+
+// SizeofTypeExpr is sizeof(type).
+type SizeofTypeExpr struct {
+	SizeofPos ctoken.Pos
+	Of        Type
+}
+
+// CommaExpr is the comma operator.
+type CommaExpr struct {
+	X, Y Expr
+}
+
+// InitListExpr is a brace initializer { a, b, .f = c }.
+type InitListExpr struct {
+	LbracePos ctoken.Pos
+	// Items lists initializer expressions; Designators[i] holds the
+	// ".field" name for designated initializers ("" otherwise).
+	Items       []Expr
+	Designators []string
+}
+
+// Pos implementations.
+func (e *Ident) Pos() ctoken.Pos          { return e.NamePos }
+func (e *IntLit) Pos() ctoken.Pos         { return e.LitPos }
+func (e *FloatLit) Pos() ctoken.Pos       { return e.LitPos }
+func (e *CharLit) Pos() ctoken.Pos        { return e.LitPos }
+func (e *StringLit) Pos() ctoken.Pos      { return e.LitPos }
+func (e *UnaryExpr) Pos() ctoken.Pos      { return e.OpPos }
+func (e *PostfixExpr) Pos() ctoken.Pos    { return e.X.Pos() }
+func (e *BinaryExpr) Pos() ctoken.Pos     { return e.X.Pos() }
+func (e *AssignExpr) Pos() ctoken.Pos     { return e.L.Pos() }
+func (e *CondExpr) Pos() ctoken.Pos       { return e.Cond.Pos() }
+func (e *CallExpr) Pos() ctoken.Pos       { return e.Fun.Pos() }
+func (e *IndexExpr) Pos() ctoken.Pos      { return e.X.Pos() }
+func (e *MemberExpr) Pos() ctoken.Pos     { return e.X.Pos() }
+func (e *CastExpr) Pos() ctoken.Pos       { return e.LparenPos }
+func (e *SizeofTypeExpr) Pos() ctoken.Pos { return e.SizeofPos }
+func (e *CommaExpr) Pos() ctoken.Pos      { return e.X.Pos() }
+func (e *InitListExpr) Pos() ctoken.Pos   { return e.LbracePos }
+
+func (*Ident) exprNode()          {}
+func (*IntLit) exprNode()         {}
+func (*FloatLit) exprNode()       {}
+func (*CharLit) exprNode()        {}
+func (*StringLit) exprNode()      {}
+func (*UnaryExpr) exprNode()      {}
+func (*PostfixExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()     {}
+func (*AssignExpr) exprNode()     {}
+func (*CondExpr) exprNode()       {}
+func (*CallExpr) exprNode()       {}
+func (*IndexExpr) exprNode()      {}
+func (*MemberExpr) exprNode()     {}
+func (*CastExpr) exprNode()       {}
+func (*SizeofTypeExpr) exprNode() {}
+func (*CommaExpr) exprNode()      {}
+func (*InitListExpr) exprNode()   {}
+
+// FromMacro implementations.
+func (e *Ident) FromMacro() bool          { return e.Macro }
+func (e *IntLit) FromMacro() bool         { return e.Macro }
+func (e *FloatLit) FromMacro() bool       { return e.Macro }
+func (e *CharLit) FromMacro() bool        { return e.Macro }
+func (e *StringLit) FromMacro() bool      { return e.Macro }
+func (e *UnaryExpr) FromMacro() bool      { return e.Macro }
+func (e *PostfixExpr) FromMacro() bool    { return e.X.FromMacro() }
+func (e *BinaryExpr) FromMacro() bool     { return e.X.FromMacro() }
+func (e *AssignExpr) FromMacro() bool     { return e.L.FromMacro() }
+func (e *CondExpr) FromMacro() bool       { return e.Cond.FromMacro() }
+func (e *CallExpr) FromMacro() bool       { return e.Fun.FromMacro() }
+func (e *IndexExpr) FromMacro() bool      { return e.X.FromMacro() }
+func (e *MemberExpr) FromMacro() bool     { return e.X.FromMacro() }
+func (e *CastExpr) FromMacro() bool       { return e.X.FromMacro() }
+func (e *SizeofTypeExpr) FromMacro() bool { return false }
+func (e *CommaExpr) FromMacro() bool      { return e.X.FromMacro() }
+func (e *InitListExpr) FromMacro() bool   { return false }

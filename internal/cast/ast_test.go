@@ -1,0 +1,144 @@
+package cast
+
+import (
+	"testing"
+
+	"deviant/internal/ctoken"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{&BasicType{Name: "int"}, "int"},
+		{&PointerType{Elem: &BasicType{Name: "char"}}, "char *"},
+		{&ArrayType{Elem: &BasicType{Name: "int"}, Len: 4}, "int []"},
+		{&StructType{Tag: "foo"}, "struct foo"},
+		{&StructType{Union: true, Tag: "u"}, "union u"},
+		{&EnumType{Tag: "e"}, "enum e"},
+		{&NamedType{Name: "size_t"}, "size_t"},
+	}
+	for _, c := range cases {
+		if got := c.typ.TypeString(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestIsPointer(t *testing.T) {
+	if (&BasicType{Name: "int"}).IsPointer() {
+		t.Error("int is not a pointer")
+	}
+	if !(&PointerType{Elem: &BasicType{Name: "int"}}).IsPointer() {
+		t.Error("int* is a pointer")
+	}
+	if !(&ArrayType{Elem: &BasicType{Name: "int"}}).IsPointer() {
+		t.Error("arrays decay to pointers for analysis")
+	}
+	nt := &NamedType{Name: "ptr_t", Underlying: &PointerType{Elem: &BasicType{Name: "void"}}}
+	if !nt.IsPointer() {
+		t.Error("typedef of pointer is a pointer")
+	}
+	if (&NamedType{Name: "opaque_t"}).IsPointer() {
+		t.Error("unknown typedef should not claim pointer")
+	}
+}
+
+func TestUnwrap(t *testing.T) {
+	inner := &BasicType{Name: "unsigned long"}
+	l1 := &NamedType{Name: "a_t", Underlying: inner}
+	l2 := &NamedType{Name: "b_t", Underlying: l1}
+	if Unwrap(l2) != inner {
+		t.Error("Unwrap should reach the basic type")
+	}
+	dangling := &NamedType{Name: "x_t"}
+	if Unwrap(dangling) != dangling {
+		t.Error("Unwrap of unknown typedef returns it unchanged")
+	}
+}
+
+func TestExprStringShapes(t *testing.T) {
+	p := ctoken.Pos{Line: 1, Col: 1}
+	e := &MemberExpr{
+		X:      &Ident{Name: "tty", NamePos: p},
+		Arrow:  true,
+		Member: "driver_data",
+	}
+	if got := ExprString(e); got != "tty->driver_data" {
+		t.Errorf("got %q", got)
+	}
+	u := &UnaryExpr{Op: ctoken.Star, X: &Ident{Name: "p", NamePos: p}, OpPos: p}
+	if got := ExprString(u); got != "*p" {
+		t.Errorf("got %q", got)
+	}
+	c := &CallExpr{
+		Fun:  &Ident{Name: "f", NamePos: p},
+		Args: []Expr{&IntLit{Text: "1", Value: 1, LitPos: p}, &Ident{Name: "x", NamePos: p}},
+	}
+	if got := ExprString(c); got != "f(1, x)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	p := ctoken.Pos{Line: 1, Col: 1}
+	// if (c) { f(); } else { g(); }
+	tree := &IfStmt{
+		IfPos: p,
+		Cond:  &Ident{Name: "c", NamePos: p},
+		Then:  &ExprStmt{X: &CallExpr{Fun: &Ident{Name: "f", NamePos: p}}},
+		Else:  &ExprStmt{X: &CallExpr{Fun: &Ident{Name: "g", NamePos: p}}},
+	}
+	var all []string
+	Inspect(tree, func(n Node) bool {
+		if id, ok := n.(*Ident); ok {
+			all = append(all, id.Name)
+		}
+		return true
+	})
+	if len(all) != 3 {
+		t.Errorf("full walk idents: %v", all)
+	}
+	var pruned []string
+	Inspect(tree, func(n Node) bool {
+		if _, ok := n.(*ExprStmt); ok {
+			return false // skip both branches
+		}
+		if id, ok := n.(*Ident); ok {
+			pruned = append(pruned, id.Name)
+		}
+		return true
+	})
+	if len(pruned) != 1 || pruned[0] != "c" {
+		t.Errorf("pruned walk idents: %v", pruned)
+	}
+}
+
+func TestFromMacroPropagation(t *testing.T) {
+	p := ctoken.Pos{Line: 1, Col: 1}
+	macroIdent := &Ident{Name: "p", NamePos: p, Macro: true}
+	if !(&UnaryExpr{Op: ctoken.Star, X: macroIdent, Macro: true}).FromMacro() {
+		t.Error("unary macro flag")
+	}
+	bin := &BinaryExpr{Op: ctoken.Plus, X: macroIdent, Y: &IntLit{Text: "1"}}
+	if !bin.FromMacro() {
+		t.Error("binary inherits leading operand macro flag")
+	}
+	plain := &BinaryExpr{Op: ctoken.Plus, X: &Ident{Name: "q", NamePos: p}, Y: macroIdent}
+	if plain.FromMacro() {
+		t.Error("non-macro leading operand should not be macro")
+	}
+}
+
+func TestFilePos(t *testing.T) {
+	f := &File{Name: "x.c"}
+	if f.Pos().File != "x.c" {
+		t.Errorf("empty file pos: %v", f.Pos())
+	}
+	vd := &VarDecl{Name: "v", NamePos: ctoken.Pos{File: "x.c", Line: 5, Col: 1}}
+	f.Decls = append(f.Decls, vd)
+	if f.Pos().Line != 5 {
+		t.Errorf("file pos should be first decl: %v", f.Pos())
+	}
+}

@@ -1,0 +1,124 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+
+	"deviant/internal/ctoken"
+)
+
+// ExprString renders an expression as C-ish source text, used in error
+// messages ("dereferencing NULL ptr card->contrnr") and as the canonical
+// key for belief slots.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		b.WriteString(x.Text)
+	case *FloatLit:
+		b.WriteString(x.Text)
+	case *CharLit:
+		b.WriteString(x.Text)
+	case *StringLit:
+		b.WriteString(x.Text)
+	case *UnaryExpr:
+		if x.Op == ctoken.KwSizeof {
+			b.WriteString("sizeof(")
+			writeExpr(b, x.X)
+			b.WriteString(")")
+			return
+		}
+		b.WriteString(opText(x.Op))
+		writeExpr(b, x.X)
+	case *PostfixExpr:
+		writeExpr(b, x.X)
+		b.WriteString(opText(x.Op))
+	case *BinaryExpr:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		b.WriteString(" " + opText(x.Op) + " ")
+		writeExpr(b, x.Y)
+		b.WriteString(")")
+	case *AssignExpr:
+		writeExpr(b, x.L)
+		b.WriteString(" " + opText(x.Op) + " ")
+		writeExpr(b, x.R)
+	case *CondExpr:
+		writeExpr(b, x.Cond)
+		b.WriteString(" ? ")
+		writeExpr(b, x.Then)
+		b.WriteString(" : ")
+		writeExpr(b, x.Else)
+	case *CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteString(")")
+	case *IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[")
+		writeExpr(b, x.Index)
+		b.WriteString("]")
+	case *MemberExpr:
+		writeExpr(b, x.X)
+		if x.Arrow {
+			b.WriteString("->")
+		} else {
+			b.WriteString(".")
+		}
+		b.WriteString(x.Member)
+	case *CastExpr:
+		b.WriteString("(" + x.To.TypeString() + ")")
+		writeExpr(b, x.X)
+	case *SizeofTypeExpr:
+		b.WriteString("sizeof(" + x.Of.TypeString() + ")")
+	case *CommaExpr:
+		writeExpr(b, x.X)
+		b.WriteString(", ")
+		writeExpr(b, x.Y)
+	case *InitListExpr:
+		b.WriteString("{")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if x.Designators[i] != "" {
+				b.WriteString("." + x.Designators[i] + " = ")
+			}
+			writeExpr(b, it)
+		}
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+func opText(k ctoken.Kind) string { return k.String() }
+
+// StripParensAndCasts unwraps casts (and nothing else; the parser does not
+// keep explicit paren nodes) to the operand expression. Belief slots key
+// on the underlying lvalue, so "(struct foo *)p" and "p" are the same
+// slot.
+func StripParensAndCasts(e Expr) Expr {
+	for {
+		c, ok := e.(*CastExpr)
+		if !ok {
+			return e
+		}
+		e = c.X
+	}
+}

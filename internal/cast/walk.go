@@ -1,0 +1,143 @@
+package cast
+
+// Inspect traverses the tree rooted at n in depth-first order, calling f
+// for every node. If f returns false for a node, its children are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Inspect(p, f)
+		}
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *ParamDecl, *FieldDecl, *TypedefDecl, *RecordDecl:
+		// leaves for traversal purposes
+	case *EnumDecl:
+		for _, v := range x.Values {
+			if v.Value != nil {
+				Inspect(v.Value, f)
+			}
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *CompoundStmt:
+		for _, s := range x.List {
+			Inspect(s, f)
+		}
+	case *ExprStmt:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *WhileStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *DoWhileStmt:
+		Inspect(x.Body, f)
+		Inspect(x.Cond, f)
+	case *ForStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *SwitchStmt:
+		Inspect(x.Tag, f)
+		Inspect(x.Body, f)
+	case *CaseStmt:
+		if x.Value != nil {
+			Inspect(x.Value, f)
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *BreakStmt, *ContinueStmt, *GotoStmt:
+	case *LabelStmt:
+		if x.Stmt != nil {
+			Inspect(x.Stmt, f)
+		}
+	case *Ident, *IntLit, *FloatLit, *CharLit, *StringLit, *SizeofTypeExpr:
+	case *UnaryExpr:
+		Inspect(x.X, f)
+	case *PostfixExpr:
+		Inspect(x.X, f)
+	case *BinaryExpr:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *AssignExpr:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *CondExpr:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *CallExpr:
+		Inspect(x.Fun, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *IndexExpr:
+		Inspect(x.X, f)
+		Inspect(x.Index, f)
+	case *MemberExpr:
+		Inspect(x.X, f)
+	case *CastExpr:
+		Inspect(x.X, f)
+	case *CommaExpr:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *InitListExpr:
+		for _, it := range x.Items {
+			Inspect(it, f)
+		}
+	}
+}
+
+// Calls returns every CallExpr under n whose callee is a plain identifier,
+// in source order.
+func Calls(n Node) []*CallExpr {
+	var out []*CallExpr
+	Inspect(n, func(m Node) bool {
+		if c, ok := m.(*CallExpr); ok {
+			if _, isIdent := c.Fun.(*Ident); isIdent {
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// CalleeName returns the callee identifier of a call, or "" if the callee
+// is not a plain identifier.
+func CalleeName(c *CallExpr) string {
+	if id, ok := c.Fun.(*Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,221 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/ctoken"
+)
+
+// buildKitchenSink constructs a tree touching every node kind by hand, so
+// the walker and printer are exercised without depending on the parser.
+func buildKitchenSink() *File {
+	p := ctoken.Pos{File: "k.c", Line: 1, Col: 1}
+	id := func(n string) *Ident { return &Ident{Name: n, NamePos: p} }
+	lit := func(v int64) *IntLit { return &IntLit{Text: "1", Value: v, LitPos: p} }
+
+	intT := &BasicType{Name: "int"}
+	body := &CompoundStmt{Lbrace: p, List: []Stmt{
+		&DeclStmt{Decls: []*VarDecl{{Name: "v", NamePos: p, Type: intT, Init: lit(1)}}},
+		&IfStmt{IfPos: p, Cond: id("c"),
+			Then: &ExprStmt{X: &CallExpr{Fun: id("f"), Lparen: p}},
+			Else: &ExprStmt{X: &CallExpr{Fun: id("g"), Lparen: p}}},
+		&WhileStmt{WhilePos: p, Cond: id("w"), Body: &ExprStmt{X: &PostfixExpr{Op: ctoken.Inc, X: id("v")}}},
+		&DoWhileStmt{DoPos: p, Body: &ExprStmt{SemiPos: p}, Cond: id("d")},
+		&ForStmt{ForPos: p,
+			Init: &ExprStmt{X: &AssignExpr{Op: ctoken.Assign, L: id("i"), R: lit(0)}},
+			Cond: &BinaryExpr{Op: ctoken.Lt, X: id("i"), Y: lit(4)},
+			Post: &PostfixExpr{Op: ctoken.Inc, X: id("i")},
+			Body: &ExprStmt{SemiPos: p}},
+		&SwitchStmt{SwitchPos: p, Tag: id("t"), Body: &CompoundStmt{Lbrace: p, List: []Stmt{
+			&CaseStmt{CasePos: p, Value: lit(1)},
+			&BreakStmt{BreakPos: p},
+			&CaseStmt{CasePos: p},
+			&ContinueStmt{ContinuePos: p},
+		}}},
+		&GotoStmt{GotoPos: p, Label: "out"},
+		&LabelStmt{LabelPos: p, Name: "out", Stmt: &ReturnStmt{ReturnPos: p, X: &CommaExpr{
+			X: &CondExpr{Cond: id("c"), Then: lit(1), Else: lit(2)},
+			Y: &CastExpr{LparenPos: p, To: &PointerType{Elem: intT}, X: &UnaryExpr{Op: ctoken.Amp, OpPos: p, X: id("v")}},
+		}}},
+		&ExprStmt{X: &IndexExpr{X: &MemberExpr{X: id("s"), Member: "arr", MemPos: p}, Index: lit(0)}},
+		&ExprStmt{X: &MemberExpr{X: id("q"), Arrow: true, Member: "f", MemPos: p}},
+		&ExprStmt{X: &SizeofTypeExpr{SizeofPos: p, Of: intT}},
+		&ExprStmt{X: &UnaryExpr{Op: ctoken.KwSizeof, OpPos: p, X: id("v")}},
+		&ExprStmt{X: &StringLit{Text: `"s"`, LitPos: p}},
+		&ExprStmt{X: &CharLit{Text: "'c'", Value: 'c', LitPos: p}},
+		&ExprStmt{X: &FloatLit{Text: "1.5", LitPos: p}},
+	}}
+	fn := &FuncDecl{Name: "kitchen", NamePos: p, Ret: intT,
+		Params: []*ParamDecl{{Name: "c", NamePos: p, Type: intT}},
+		Body:   body}
+	rec := &RecordDecl{TagPos: p, Type: &StructType{Tag: "r", Fields: []*FieldDecl{{Name: "a", NamePos: p, Type: intT}}}}
+	enum := &EnumDecl{TagPos: p, Type: &EnumType{Tag: "e", Enumerats: []string{"A"}},
+		Values: []EnumValue{{Name: "A", NamePos: p, Value: lit(0)}}}
+	td := &TypedefDecl{Name: "mytype", NamePos: p, Type: intT}
+	gv := &VarDecl{Name: "glob", NamePos: p, Type: intT,
+		Init: &InitListExpr{LbracePos: p, Items: []Expr{lit(1)}, Designators: []string{"x"}}}
+	return &File{Name: "k.c", Decls: []Node{rec, enum, td, gv, fn}}
+}
+
+func TestInspectVisitsEveryKind(t *testing.T) {
+	f := buildKitchenSink()
+	seen := map[string]bool{}
+	Inspect(f, func(n Node) bool {
+		switch n.(type) {
+		case *File:
+			seen["file"] = true
+		case *FuncDecl:
+			seen["func"] = true
+		case *RecordDecl:
+			seen["record"] = true
+		case *EnumDecl:
+			seen["enum"] = true
+		case *TypedefDecl:
+			seen["typedef"] = true
+		case *VarDecl:
+			seen["var"] = true
+		case *ParamDecl:
+			seen["param"] = true
+		case *IfStmt:
+			seen["if"] = true
+		case *WhileStmt:
+			seen["while"] = true
+		case *DoWhileStmt:
+			seen["dowhile"] = true
+		case *ForStmt:
+			seen["for"] = true
+		case *SwitchStmt:
+			seen["switch"] = true
+		case *CaseStmt:
+			seen["case"] = true
+		case *BreakStmt:
+			seen["break"] = true
+		case *ContinueStmt:
+			seen["continue"] = true
+		case *GotoStmt:
+			seen["goto"] = true
+		case *LabelStmt:
+			seen["label"] = true
+		case *ReturnStmt:
+			seen["return"] = true
+		case *CondExpr:
+			seen["cond"] = true
+		case *CommaExpr:
+			seen["comma"] = true
+		case *CastExpr:
+			seen["cast"] = true
+		case *UnaryExpr:
+			seen["unary"] = true
+		case *PostfixExpr:
+			seen["postfix"] = true
+		case *IndexExpr:
+			seen["index"] = true
+		case *MemberExpr:
+			seen["member"] = true
+		case *SizeofTypeExpr:
+			seen["sizeoftype"] = true
+		case *InitListExpr:
+			seen["initlist"] = true
+		case *StringLit:
+			seen["string"] = true
+		case *CharLit:
+			seen["char"] = true
+		case *FloatLit:
+			seen["float"] = true
+		}
+		return true
+	})
+	for _, want := range []string{
+		"file", "func", "record", "enum", "typedef", "var", "param",
+		"if", "while", "dowhile", "for", "switch", "case", "break",
+		"continue", "goto", "label", "return", "cond", "comma", "cast",
+		"unary", "postfix", "index", "member", "sizeoftype", "initlist",
+		"string", "char", "float",
+	} {
+		if !seen[want] {
+			t.Errorf("Inspect never visited %s", want)
+		}
+	}
+}
+
+func TestExprStringAllKinds(t *testing.T) {
+	p := ctoken.Pos{Line: 1, Col: 1}
+	id := func(n string) *Ident { return &Ident{Name: n, NamePos: p} }
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&CondExpr{Cond: id("c"), Then: id("a"), Else: id("b")}, "c ? a : b"},
+		{&CommaExpr{X: id("a"), Y: id("b")}, "a, b"},
+		{&CastExpr{To: &PointerType{Elem: &BasicType{Name: "void"}}, X: id("p")}, "(void *)p"},
+		{&SizeofTypeExpr{Of: &BasicType{Name: "long"}}, "sizeof(long)"},
+		{&UnaryExpr{Op: ctoken.KwSizeof, X: id("v")}, "sizeof(v)"},
+		{&PostfixExpr{Op: ctoken.Dec, X: id("n")}, "n--"},
+		{&IndexExpr{X: id("a"), Index: &IntLit{Text: "3", Value: 3}}, "a[3]"},
+		{&InitListExpr{Items: []Expr{id("x"), id("y")}, Designators: []string{"f", ""}}, "{.f = x, y}"},
+		{&FloatLit{Text: "2.5"}, "2.5"},
+		{&CharLit{Text: "'z'"}, "'z'"},
+		{&AssignExpr{Op: ctoken.AddAssign, L: id("a"), R: id("b")}, "a += b"},
+		{&MemberExpr{X: id("s"), Member: "f"}, "s.f"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+	if got := ExprString(nil); got != "<nil>" {
+		t.Errorf("nil expr: %q", got)
+	}
+}
+
+func TestFuncTypeString(t *testing.T) {
+	ft := &FuncType{
+		Ret: &BasicType{Name: "int"},
+		Params: []*ParamDecl{
+			{Name: "a", Type: &BasicType{Name: "int"}},
+			{Name: "b", Type: &PointerType{Elem: &BasicType{Name: "char"}}},
+		},
+		Variadic: true,
+	}
+	got := ft.TypeString()
+	if !strings.Contains(got, "int (*)(int, char *, ...)") {
+		t.Errorf("func type: %q", got)
+	}
+	if ft.IsPointer() {
+		t.Error("function type is not a pointer")
+	}
+}
+
+func TestCallsOnKitchenSink(t *testing.T) {
+	f := buildKitchenSink()
+	calls := Calls(f)
+	if len(calls) != 2 {
+		t.Fatalf("calls: %d", len(calls))
+	}
+	if CalleeName(calls[0]) != "f" || CalleeName(calls[1]) != "g" {
+		t.Errorf("callees: %s, %s", CalleeName(calls[0]), CalleeName(calls[1]))
+	}
+	// Non-ident callee returns "".
+	indirect := &CallExpr{Fun: &UnaryExpr{Op: ctoken.Star, X: &Ident{Name: "fp"}}}
+	if CalleeName(indirect) != "" {
+		t.Error("indirect call should have empty callee name")
+	}
+}
+
+func TestStmtAndExprPositions(t *testing.T) {
+	f := buildKitchenSink()
+	Inspect(f, func(n Node) bool {
+		// Pos must never panic; most nodes carry the same synthetic pos.
+		_ = n.Pos()
+		return true
+	})
+	es := &ExprStmt{SemiPos: ctoken.Pos{Line: 9, Col: 9}}
+	if es.Pos().Line != 9 {
+		t.Error("empty expr stmt uses semi pos")
+	}
+	ds := &DeclStmt{}
+	if ds.Pos().IsValid() {
+		t.Error("empty decl stmt has no valid pos")
+	}
+}

@@ -1,0 +1,590 @@
+// Package cfg builds per-function control-flow graphs from cast trees.
+//
+// Conditions are decomposed: short-circuit && and || become CFG structure,
+// so a guard like "if (!tty || !info->xmit_buf)" yields one branch per
+// operand. That is what lets belief propagation attribute null/not-null
+// facts to the right path (paper §3.1).
+//
+// The builder also performs the paper's crash-path pruning (§6): calls to
+// "no return" routines such as panic and BUG terminate the path, removing
+// the dominant class of impossible-path false positives.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+)
+
+// Block is a basic block. Nodes holds the straight-line work: cast.Expr
+// values evaluated for effect, *cast.VarDecl entries for local
+// declarations, and *cast.ReturnStmt for returns.
+//
+// If Cond is non-nil the block ends in a branch on Cond and has exactly
+// two successor edges (true and false). Otherwise all successor edges are
+// unconditional.
+type Block struct {
+	ID    int
+	Nodes []cast.Node
+	Cond  cast.Expr
+	Succs []Edge
+	Preds []*Block
+}
+
+// Edge is one control-flow edge. For conditional blocks Branch gives the
+// value of Cond along the edge.
+type Edge struct {
+	To     *Block
+	Branch bool
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn     *cast.FuncDecl
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Options configures CFG construction.
+type Options struct {
+	// NoReturn reports whether a call to the named function never
+	// returns (panic, BUG, ...). Paths are pruned after such calls.
+	NoReturn func(name string) bool
+}
+
+type builder struct {
+	g      *Graph
+	opts   Options
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// loop/switch context for break/continue
+	breakTargets    []*Block
+	continueTargets []*Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// Build constructs the CFG for fn. It panics if fn has no body.
+func Build(fn *cast.FuncDecl, opts Options) *Graph {
+	if fn.Body == nil {
+		panic("cfg: Build called on prototype " + fn.Name)
+	}
+	b := &builder{
+		g:      &Graph{Fn: fn},
+		opts:   opts,
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	last := b.stmts(b.g.Entry, fn.Body.List)
+	b.link(last, b.g.Exit)
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.link(pg.from, target)
+		} else {
+			// Unknown label: treat as function exit.
+			b.link(pg.from, b.g.Exit)
+		}
+	}
+	b.prune()
+	b.number()
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// link adds an unconditional edge from from to to; from may be nil
+// (unreachable predecessor), in which case nothing happens.
+func (b *builder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, Edge{To: to})
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) linkBranch(from, to *Block, branch bool) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, Edge{To: to, Branch: branch})
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts lowers a statement list starting in cur and returns the block at
+// the fall-through end (nil if control cannot fall through).
+func (b *builder) stmts(cur *Block, list []cast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s cast.Stmt) *Block {
+	switch x := s.(type) {
+	case *cast.CompoundStmt:
+		return b.stmts(cur, x.List)
+
+	case *cast.ExprStmt:
+		if x.X == nil {
+			return cur
+		}
+		// Lower statement-level ternaries into real branches so belief
+		// propagation sees both arms under the right condition:
+		// "x = c ? a : b;" becomes "if (c) x = a; else x = b;".
+		if asg, ok := x.X.(*cast.AssignExpr); ok && asg.Op == ctoken.Assign {
+			if ce, ok := asg.R.(*cast.CondExpr); ok {
+				return b.lowerCond(cur, ce, func(arm cast.Expr) cast.Expr {
+					return &cast.AssignExpr{Op: asg.Op, L: asg.L, R: arm}
+				})
+			}
+		}
+		return b.exprUnit(cur, x.X)
+
+	case *cast.DeclStmt:
+		if cur == nil {
+			return nil
+		}
+		for _, d := range x.Decls {
+			cur.Nodes = append(cur.Nodes, d)
+		}
+		return cur
+
+	case *cast.IfStmt:
+		if cur == nil {
+			return nil
+		}
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		join := b.newBlock()
+		b.cond(cur, x.Cond, thenB, elseB)
+		tEnd := b.stmt(thenB, x.Then)
+		b.link(tEnd, join)
+		if x.Else != nil {
+			eEnd := b.stmt(elseB, x.Else)
+			b.link(eEnd, join)
+		} else {
+			b.link(elseB, join)
+		}
+		return join
+
+	case *cast.WhileStmt:
+		if cur == nil {
+			return nil
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(cur, head)
+		b.cond(head, x.Cond, body, exit)
+		b.pushLoop(exit, head)
+		bEnd := b.stmt(body, x.Body)
+		b.popLoop()
+		b.link(bEnd, head)
+		return exit
+
+	case *cast.DoWhileStmt:
+		if cur == nil {
+			return nil
+		}
+		body := b.newBlock()
+		check := b.newBlock()
+		exit := b.newBlock()
+		b.link(cur, body)
+		b.pushLoop(exit, check)
+		bEnd := b.stmt(body, x.Body)
+		b.popLoop()
+		b.link(bEnd, check)
+		b.cond(check, x.Cond, body, exit)
+		return exit
+
+	case *cast.ForStmt:
+		if cur == nil {
+			return nil
+		}
+		if x.Init != nil {
+			cur = b.stmt(cur, x.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.link(cur, head)
+		if x.Cond != nil {
+			b.cond(head, x.Cond, body, exit)
+		} else {
+			b.link(head, body)
+		}
+		b.pushLoop(exit, post)
+		bEnd := b.stmt(body, x.Body)
+		b.popLoop()
+		b.link(bEnd, post)
+		if x.Post != nil {
+			post = b.exprUnit(post, x.Post)
+		}
+		b.link(post, head)
+		return exit
+
+	case *cast.SwitchStmt:
+		return b.switchStmt(cur, x)
+
+	case *cast.CaseStmt:
+		// A case label outside a switch body scan (shouldn't happen);
+		// treat as no-op.
+		return cur
+
+	case *cast.ReturnStmt:
+		if cur == nil {
+			return nil
+		}
+		// "return c ? a : b;" lowers to branched returns.
+		if ce, ok := x.X.(*cast.CondExpr); ok {
+			thenB := b.newBlock()
+			elseB := b.newBlock()
+			b.cond(cur, ce.Cond, thenB, elseB)
+			b.stmt(thenB, &cast.ReturnStmt{ReturnPos: x.ReturnPos, X: ce.Then})
+			b.stmt(elseB, &cast.ReturnStmt{ReturnPos: x.ReturnPos, X: ce.Else})
+			return nil
+		}
+		if x.X != nil {
+			cur = b.exprUnit(cur, x.X)
+			if cur == nil {
+				return nil
+			}
+		}
+		cur.Nodes = append(cur.Nodes, x)
+		b.link(cur, b.g.Exit)
+		return nil
+
+	case *cast.BreakStmt:
+		if cur == nil {
+			return nil
+		}
+		if n := len(b.breakTargets); n > 0 {
+			b.link(cur, b.breakTargets[n-1])
+		} else {
+			b.link(cur, b.g.Exit)
+		}
+		return nil
+
+	case *cast.ContinueStmt:
+		if cur == nil {
+			return nil
+		}
+		if n := len(b.continueTargets); n > 0 {
+			b.link(cur, b.continueTargets[n-1])
+		} else {
+			b.link(cur, b.g.Exit)
+		}
+		return nil
+
+	case *cast.GotoStmt:
+		if cur == nil {
+			return nil
+		}
+		b.gotos = append(b.gotos, pendingGoto{from: cur, label: x.Label})
+		return nil
+
+	case *cast.LabelStmt:
+		lb := b.newBlock()
+		b.link(cur, lb) // fall-through into the label
+		b.labels[x.Name] = lb
+		if x.Stmt != nil {
+			return b.stmt(lb, x.Stmt)
+		}
+		return lb
+
+	default:
+		return cur
+	}
+}
+
+// lowerCond branches on ce.Cond and runs wrap(arm) as the straight-line
+// unit of each arm, rejoining afterwards.
+func (b *builder) lowerCond(cur *Block, ce *cast.CondExpr, wrap func(cast.Expr) cast.Expr) *Block {
+	if cur == nil {
+		return nil
+	}
+	thenB := b.newBlock()
+	elseB := b.newBlock()
+	join := b.newBlock()
+	b.cond(cur, ce.Cond, thenB, elseB)
+	tEnd := b.exprUnit(thenB, wrap(ce.Then))
+	b.link(tEnd, join)
+	eEnd := b.exprUnit(elseB, wrap(ce.Else))
+	b.link(eEnd, join)
+	return join
+}
+
+// pushLoop / popLoop manage break/continue targets.
+func (b *builder) pushLoop(brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+}
+
+func (b *builder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+// exprUnit appends an expression unit to cur, terminating the path if the
+// expression calls a no-return routine.
+func (b *builder) exprUnit(cur *Block, e cast.Expr) *Block {
+	if cur == nil {
+		return nil
+	}
+	cur.Nodes = append(cur.Nodes, e)
+	if b.callsNoReturn(e) {
+		// Crash-path pruning: nothing follows panic/BUG on this path.
+		return nil
+	}
+	return cur
+}
+
+func (b *builder) callsNoReturn(e cast.Expr) bool {
+	if b.opts.NoReturn == nil {
+		return false
+	}
+	found := false
+	cast.Inspect(e, func(n cast.Node) bool {
+		if c, ok := n.(*cast.CallExpr); ok {
+			if name := cast.CalleeName(c); name != "" && b.opts.NoReturn(name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// cond lowers a branch on e from cur to tblk/fblk, decomposing
+// short-circuit operators and negation into CFG structure.
+func (b *builder) cond(cur *Block, e cast.Expr, tblk, fblk *Block) {
+	if cur == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case ctoken.AndAnd:
+			mid := b.newBlock()
+			b.cond(cur, x.X, mid, fblk)
+			b.cond(mid, x.Y, tblk, fblk)
+			return
+		case ctoken.OrOr:
+			mid := b.newBlock()
+			b.cond(cur, x.X, tblk, mid)
+			b.cond(mid, x.Y, tblk, fblk)
+			return
+		}
+	case *cast.UnaryExpr:
+		if x.Op == ctoken.Not {
+			b.cond(cur, x.X, fblk, tblk)
+			return
+		}
+	}
+	cur.Cond = e
+	b.linkBranch(cur, tblk, true)
+	b.linkBranch(cur, fblk, false)
+}
+
+// switchStmt lowers a switch. Cases fall through; break exits.
+func (b *builder) switchStmt(cur *Block, x *cast.SwitchStmt) *Block {
+	if cur == nil {
+		return nil
+	}
+	cur = b.exprUnit(cur, x.Tag)
+	if cur == nil {
+		return nil
+	}
+	exit := b.newBlock()
+	body, ok := x.Body.(*cast.CompoundStmt)
+	if !ok {
+		// Degenerate switch; body executes or not.
+		inner := b.newBlock()
+		b.link(cur, inner)
+		b.link(cur, exit)
+		end := b.stmt(inner, x.Body)
+		b.link(end, exit)
+		return exit
+	}
+
+	// Split the body into case-labeled segments.
+	type segment struct {
+		hasDefault bool
+		start      *Block
+		stmts      []cast.Stmt
+	}
+	var segs []segment
+	for _, s := range body.List {
+		if cs, ok := s.(*cast.CaseStmt); ok {
+			segs = append(segs, segment{hasDefault: cs.Value == nil, start: b.newBlock()})
+			continue
+		}
+		if len(segs) == 0 {
+			// Statements before any case label are unreachable; skip.
+			continue
+		}
+		segs[len(segs)-1].stmts = append(segs[len(segs)-1].stmts, s)
+	}
+
+	hasDefault := false
+	for _, seg := range segs {
+		if seg.hasDefault {
+			hasDefault = true
+		}
+		b.link(cur, seg.start)
+	}
+	if !hasDefault {
+		b.link(cur, exit)
+	}
+
+	b.breakTargets = append(b.breakTargets, exit)
+	for i, seg := range segs {
+		end := b.stmts(seg.start, seg.stmts)
+		if i+1 < len(segs) {
+			b.link(end, segs[i+1].start) // fall through
+		} else {
+			b.link(end, exit)
+		}
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	return exit
+}
+
+// prune removes blocks unreachable from the entry and compresses empty
+// pass-through blocks out of edge lists.
+func (b *builder) prune() {
+	// Compress: an empty block with exactly one unconditional successor
+	// is bypassed.
+	redirect := func(blk *Block) *Block {
+		seen := map[*Block]bool{}
+		for blk != nil && blk.Cond == nil && len(blk.Nodes) == 0 &&
+			len(blk.Succs) == 1 && blk != b.g.Exit && !seen[blk] {
+			seen[blk] = true
+			blk = blk.Succs[0].To
+		}
+		return blk
+	}
+	for _, blk := range b.g.Blocks {
+		for i := range blk.Succs {
+			blk.Succs[i].To = redirect(blk.Succs[i].To)
+		}
+	}
+	b.g.Entry = redirect(b.g.Entry)
+
+	// Reachability.
+	reach := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if blk == nil || reach[blk] {
+			return
+		}
+		reach[blk] = true
+		for _, e := range blk.Succs {
+			walk(e.To)
+		}
+	}
+	walk(b.g.Entry)
+	reach[b.g.Exit] = true
+
+	var kept []*Block
+	for _, blk := range b.g.Blocks {
+		if reach[blk] {
+			kept = append(kept, blk)
+		}
+	}
+	b.g.Blocks = kept
+
+	// Rebuild Preds.
+	for _, blk := range b.g.Blocks {
+		blk.Preds = nil
+	}
+	for _, blk := range b.g.Blocks {
+		for _, e := range blk.Succs {
+			if reach[e.To] {
+				e.To.Preds = append(e.To.Preds, blk)
+			}
+		}
+	}
+}
+
+func (b *builder) number() {
+	// Stable numbering: BFS from entry, exit last.
+	id := 0
+	seen := map[*Block]bool{}
+	queue := []*Block{b.g.Entry}
+	var ordered []*Block
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if blk == nil || seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		ordered = append(ordered, blk)
+		for _, e := range blk.Succs {
+			queue = append(queue, e.To)
+		}
+	}
+	for _, blk := range b.g.Blocks {
+		if !seen[blk] {
+			ordered = append(ordered, blk)
+			seen[blk] = true
+		}
+	}
+	for _, blk := range ordered {
+		blk.ID = id
+		id++
+	}
+	sort.Slice(b.g.Blocks, func(i, j int) bool { return b.g.Blocks[i].ID < b.g.Blocks[j].ID })
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s (entry B%d, exit B%d)\n", g.Fn.Name, g.Entry.ID, g.Exit.ID)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "B%d:\n", blk.ID)
+		for _, n := range blk.Nodes {
+			switch x := n.(type) {
+			case cast.Expr:
+				fmt.Fprintf(&sb, "  %s\n", cast.ExprString(x))
+			case *cast.VarDecl:
+				if x.Init != nil {
+					fmt.Fprintf(&sb, "  decl %s = %s\n", x.Name, cast.ExprString(x.Init))
+				} else {
+					fmt.Fprintf(&sb, "  decl %s\n", x.Name)
+				}
+			case *cast.ReturnStmt:
+				if x.X != nil {
+					fmt.Fprintf(&sb, "  return %s\n", cast.ExprString(x.X))
+				} else {
+					fmt.Fprintf(&sb, "  return\n")
+				}
+			}
+		}
+		if blk.Cond != nil {
+			fmt.Fprintf(&sb, "  branch %s\n", cast.ExprString(blk.Cond))
+		}
+		for _, e := range blk.Succs {
+			if blk.Cond != nil {
+				fmt.Fprintf(&sb, "  -> B%d [%v]\n", e.To.ID, e.Branch)
+			} else {
+				fmt.Fprintf(&sb, "  -> B%d\n", e.To.ID)
+			}
+		}
+	}
+	return sb.String()
+}

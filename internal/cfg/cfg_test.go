@@ -1,0 +1,346 @@
+package cfg
+
+import (
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+)
+
+func buildFn(t *testing.T, src string, opts Options) *Graph {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+			return Build(fd, opts)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+// countPaths walks all acyclic paths entry->exit.
+func countPaths(g *Graph) int {
+	var walk func(b *Block, seen map[*Block]bool) int
+	walk = func(b *Block, seen map[*Block]bool) int {
+		if b == g.Exit {
+			return 1
+		}
+		if seen[b] {
+			return 0
+		}
+		seen[b] = true
+		n := 0
+		for _, e := range b.Succs {
+			n += walk(e.To, seen)
+		}
+		delete(seen, b)
+		return n
+	}
+	return walk(g.Entry, map[*Block]bool{})
+}
+
+func TestLinearFunction(t *testing.T) {
+	g := buildFn(t, "void f(void) { a(); b(); c(); }", Options{})
+	if countPaths(g) != 1 {
+		t.Errorf("paths: %d\n%s", countPaths(g), g)
+	}
+	// All three calls in one block.
+	var calls int
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(cast.Expr); ok {
+				calls++
+			}
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls: %d\n%s", calls, g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFn(t, "void f(int x) { if (x) a(); else b(); c(); }", Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+func TestIfNoElse(t *testing.T) {
+	g := buildFn(t, "void f(int x) { if (x) a(); c(); }", Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+func TestShortCircuitDecomposition(t *testing.T) {
+	// (!p || !q) should create two condition blocks, one testing p, one q.
+	g := buildFn(t, "void f(int *p, int *q) { if (!p || !q) return; a(); }", Options{})
+	var conds []string
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			conds = append(conds, cast.ExprString(blk.Cond))
+		}
+	}
+	if len(conds) != 2 || conds[0] != "p" || conds[1] != "q" {
+		t.Errorf("conds: %v\n%s", conds, g)
+	}
+}
+
+func TestAndAndDecomposition(t *testing.T) {
+	g := buildFn(t, "void f(int a, int b) { if (a && b) x(); y(); }", Options{})
+	// paths: a false -> y; a true, b false -> y; a true, b true -> x,y
+	if got := countPaths(g); got != 3 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+// hasBackEdge reports whether the graph contains a cycle reachable from
+// the entry (i.e. the loop structure survived CFG construction).
+func hasBackEdge(g *Graph) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Block]int{}
+	var dfs func(*Block) bool
+	dfs = func(b *Block) bool {
+		color[b] = gray
+		for _, e := range b.Succs {
+			switch color[e.To] {
+			case gray:
+				return true
+			case white:
+				if dfs(e.To) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	return dfs(g.Entry)
+}
+
+func TestWhileLoop(t *testing.T) {
+	g := buildFn(t, "void f(int n) { while (n) { n--; } done(); }", Options{})
+	// One acyclic path (skipping the loop) reaches the exit; iterating
+	// paths revisit the head and are cyclic.
+	if got := countPaths(g); got != 1 {
+		t.Errorf("acyclic paths: %d\n%s", got, g)
+	}
+	if !hasBackEdge(g) {
+		t.Errorf("loop lost its back edge:\n%s", g)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	g := buildFn(t, "void f(int n) { do { n--; } while (n); done(); }", Options{})
+	if got := countPaths(g); got < 1 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildFn(t, "void f(void) { int i; for (i = 0; i < 4; i++) body(); done(); }", Options{})
+	if got := countPaths(g); got != 1 {
+		t.Errorf("acyclic paths: %d\n%s", got, g)
+	}
+	if !hasBackEdge(g) {
+		t.Errorf("for loop lost its back edge:\n%s", g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := buildFn(t, `void f(int n) {
+		while (n) {
+			if (n == 1) break;
+			if (n == 2) continue;
+			n--;
+		}
+		done();
+	}`, Options{})
+	// Acyclic paths: skip the loop entirely, or enter once and break.
+	if got := countPaths(g); got != 2 {
+		t.Errorf("acyclic paths: %d\n%s", got, g)
+	}
+	if !hasBackEdge(g) {
+		t.Errorf("loop lost its back edge:\n%s", g)
+	}
+}
+
+func TestReturnTerminatesPath(t *testing.T) {
+	g := buildFn(t, "int f(int x) { if (x) return 1; return 0; }", Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+	// Exit must have 2 preds.
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit preds: %d\n%s", len(g.Exit.Preds), g)
+	}
+}
+
+func TestGotoLabel(t *testing.T) {
+	g := buildFn(t, `int f(int x) {
+		if (x) goto out;
+		work();
+	out:
+		return 0;
+	}`, Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+func TestSwitchCases(t *testing.T) {
+	g := buildFn(t, `void f(int n) {
+		switch (n) {
+		case 1:
+			a();
+			break;
+		case 2:
+			b();
+			/* fall through */
+		case 3:
+			c();
+			break;
+		default:
+			d();
+		}
+		done();
+	}`, Options{})
+	// paths: case1; case2->case3; case3; default = 4
+	if got := countPaths(g); got != 4 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+func TestSwitchNoDefaultHasSkipEdge(t *testing.T) {
+	g := buildFn(t, `void f(int n) {
+		switch (n) {
+		case 1: a(); break;
+		}
+		done();
+	}`, Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+}
+
+func TestCrashPathPruning(t *testing.T) {
+	isPanic := func(name string) bool { return name == "panic" }
+	// Paper §6: "if (!idle) panic(...); idle->processor = cpu;" — the
+	// panic path must not reach the dereference.
+	src := `void f(struct proc *idle, int cpu) {
+		if (!idle)
+			panic("no idle process for CPU %d", cpu);
+		idle->processor = cpu;
+	}`
+	g := buildFn(t, src, Options{NoReturn: isPanic})
+	// With pruning, only one path reaches exit (the !idle-false one).
+	if got := countPaths(g); got != 1 {
+		t.Errorf("paths: %d\n%s", got, g)
+	}
+
+	g2 := buildFn(t, src, Options{})
+	if got := countPaths(g2); got != 2 {
+		t.Errorf("unpruned paths: %d\n%s", got, g2)
+	}
+}
+
+func TestCondEdgesLabeled(t *testing.T) {
+	g := buildFn(t, "void f(int *p) { if (p == 0) a(); else b(); }", Options{})
+	var condBlk *Block
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			condBlk = blk
+		}
+	}
+	if condBlk == nil {
+		t.Fatalf("no cond block\n%s", g)
+	}
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("cond succs: %d", len(condBlk.Succs))
+	}
+	if condBlk.Succs[0].Branch == condBlk.Succs[1].Branch {
+		t.Error("both edges have same branch value")
+	}
+}
+
+func TestBuildPanicsOnPrototype(t *testing.T) {
+	f, _ := cparse.ParseSource("t.c", "int g(void);")
+	fd := f.Decls[0].(*cast.FuncDecl)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for prototype")
+		}
+	}()
+	Build(fd, Options{})
+}
+
+func TestNestedLoopsAndConditions(t *testing.T) {
+	g := buildFn(t, `void f(int n, int m) {
+		int i, j;
+		for (i = 0; i < n; i++) {
+			for (j = 0; j < m; j++) {
+				if (i == j)
+					hit(i);
+			}
+		}
+	}`, Options{})
+	if got := countPaths(g); got != 1 {
+		t.Errorf("acyclic paths: %d\n%s", got, g)
+	}
+	if !hasBackEdge(g) {
+		t.Errorf("nested loops lost back edges:\n%s", g)
+	}
+	// Entry reachable, IDs unique.
+	seen := map[int]bool{}
+	for _, blk := range g.Blocks {
+		if seen[blk.ID] {
+			t.Errorf("duplicate block ID %d", blk.ID)
+		}
+		seen[blk.ID] = true
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := buildFn(t, "int f(int x) { if (x) return 1; return 0; }", Options{})
+	s := g.String()
+	if s == "" {
+		t.Error("empty dump")
+	}
+}
+
+func TestTernaryAssignLowering(t *testing.T) {
+	g := buildFn(t, "void f(int c, int a, int b) { int x; x = c ? a : b; done(x); }", Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("lowered ternary paths: %d\n%s", got, g)
+	}
+	// Both arms appear as assignment units.
+	var assigns int
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*cast.AssignExpr); ok {
+				assigns++
+			}
+		}
+	}
+	if assigns != 2 {
+		t.Errorf("want 2 arm assignments, got %d\n%s", assigns, g)
+	}
+}
+
+func TestTernaryReturnLowering(t *testing.T) {
+	g := buildFn(t, "int f(int c, int a, int b) { return c ? a : b; }", Options{})
+	if got := countPaths(g); got != 2 {
+		t.Errorf("lowered return paths: %d\n%s", got, g)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit preds: %d\n%s", len(g.Exit.Preds), g)
+	}
+}

@@ -1,0 +1,300 @@
+// Package fail derives the rule template "can routine <f> fail?" from
+// code (Section 8 / Table 2). The population is uses of f's result; the
+// examples are results checked (against null or truth-tested) before use.
+// A dereference of an unchecked result is an error candidate, ranked by
+// the z statistic of f's evidence, boosted when f's name looks like an
+// allocator (latent specification).
+//
+// The inverse principle applies too: InverseRanked ranks routines that
+// are essentially never checked — checking such a routine's result is
+// itself deviant (a spurious check).
+package fail
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// maxSitesPerFunc bounds recorded unchecked-use sites per callee.
+const maxSitesPerFunc = 64
+
+// Checker accumulates evidence across a program.
+type Checker struct {
+	conv *latent.Conventions
+	p0   float64
+
+	pop      *stats.Population       // key: callee name
+	errSites map[string][]ctoken.Pos // unchecked dereference sites
+	// checkSites records one example site per callee for diagnostics.
+	checkSites map[string]ctoken.Pos
+}
+
+// New returns an empty can-fail deriver.
+func New(conv *latent.Conventions) *Checker {
+	return &Checker{
+		conv:       conv,
+		p0:         stats.DefaultP0,
+		pop:        stats.NewPopulation(),
+		errSites:   make(map[string][]ctoken.Pos),
+		checkSites: make(map[string]ctoken.Pos),
+	}
+}
+
+// Name implements engine.Checker.
+func (c *Checker) Name() string { return "fail" }
+
+type tracked struct {
+	callee  string
+	checked bool
+}
+
+// state maps variable keys to the call whose fresh result they hold.
+type state struct {
+	vars map[string]tracked
+}
+
+func (s *state) Clone() engine.State {
+	ns := &state{vars: make(map[string]tracked, len(s.vars))}
+	for k, v := range s.vars {
+		ns.vars[k] = v
+	}
+	return ns
+}
+
+func (s *state) Key() string {
+	if len(s.vars) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.vars))
+	for k := range s.vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		v := s.vars[k]
+		ck := "u"
+		if v.checked {
+			ck = "c"
+		}
+		out += k + "=" + v.callee + ck + ";"
+	}
+	return out
+}
+
+// NewState implements engine.Checker.
+func (c *Checker) NewState(*cast.FuncDecl) engine.State {
+	return &state{vars: make(map[string]tracked)}
+}
+
+func keyOf(e cast.Expr) string {
+	e = cast.StripParensAndCasts(e)
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Name
+	case *cast.MemberExpr:
+		base := keyOf(x.X)
+		if base == "" {
+			return ""
+		}
+		if x.Arrow {
+			return base + "->" + x.Member
+		}
+		return base + "." + x.Member
+	}
+	return ""
+}
+
+// callResult returns the callee name if e is (a cast of) a direct call.
+func callResult(e cast.Expr) string {
+	e = cast.StripParensAndCasts(e)
+	if call, ok := e.(*cast.CallExpr); ok {
+		return cast.CalleeName(call)
+	}
+	return ""
+}
+
+// Event implements engine.Checker.
+func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
+	s := st.(*state)
+	switch ev.Kind {
+	case engine.EvDecl:
+		if ev.Decl.Init != nil {
+			c.bind(s, ev.Decl.Name, ev.Decl.Init)
+		}
+	case engine.EvAssign:
+		if k := keyOf(ev.LHS); k != "" {
+			if ev.RHS != nil {
+				c.bind(s, k, ev.RHS)
+			} else {
+				delete(s.vars, k)
+			}
+		}
+	case engine.EvDeref:
+		k := keyOf(ev.Ptr)
+		if k == "" {
+			return
+		}
+		tr, ok := s.vars[k]
+		if !ok {
+			return
+		}
+		// One outcome per tracked result: either it was checked first
+		// (example) or this dereference is unchecked (counter-example).
+		c.pop.Check(tr.callee, !tr.checked)
+		if !tr.checked {
+			if len(c.errSites[tr.callee]) < maxSitesPerFunc {
+				c.errSites[tr.callee] = append(c.errSites[tr.callee], ev.Pos)
+			}
+		} else if _, seen := c.checkSites[tr.callee]; !seen {
+			c.checkSites[tr.callee] = ev.Pos
+		}
+		delete(s.vars, k)
+	}
+}
+
+func (c *Checker) bind(s *state, key string, rhs cast.Expr) {
+	if callee := callResult(rhs); callee != "" {
+		s.vars[key] = tracked{callee: callee}
+		return
+	}
+	delete(s.vars, key)
+}
+
+// Branch implements engine.Checker: a null comparison or truth test of a
+// tracked variable marks the result checked on both arms. (The checked
+// bit records that the programmer tested the result at all; which arm
+// survives is the null checker's business, not ours.)
+func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.Ctx) {
+	s := st.(*state)
+	key := checkedVar(cond)
+	if key == "" {
+		return
+	}
+	if tr, ok := s.vars[key]; ok && !tr.checked {
+		tr.checked = true
+		s.vars[key] = tr
+	}
+}
+
+// checkedVar extracts the variable a branch condition tests against
+// null/zero, or "" if the condition has another shape.
+func checkedVar(cond cast.Expr) string {
+	switch x := cast.StripParensAndCasts(cond).(type) {
+	case *cast.CallExpr:
+		// A predicate applied to the result (IS_ERR(d), unlikely(!p))
+		// counts as checking it.
+		if len(x.Args) == 1 {
+			return keyOf(x.Args[0])
+		}
+		return ""
+	case *cast.BinaryExpr:
+		if x.Op != ctoken.EqEq && x.Op != ctoken.NotEq &&
+			x.Op != ctoken.Lt && x.Op != ctoken.Le &&
+			x.Op != ctoken.Gt && x.Op != ctoken.Ge {
+			return ""
+		}
+		if k := keyOf(x.X); k != "" && isConstish(x.Y) {
+			return k
+		}
+		if k := keyOf(x.Y); k != "" && isConstish(x.X) {
+			return k
+		}
+		return ""
+	default:
+		return keyOf(cond)
+	}
+}
+
+func isConstish(e cast.Expr) bool {
+	switch x := cast.StripParensAndCasts(e).(type) {
+	case *cast.IntLit:
+		return true
+	case *cast.UnaryExpr:
+		return x.Op == ctoken.Minus && isConstish(x.X)
+	case *cast.Ident:
+		return x.Name == "NULL"
+	}
+	return false
+}
+
+// FuncEnd implements engine.Checker.
+func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
+
+// Derived is the evidence for one routine.
+type Derived struct {
+	Func string
+	stats.Counter
+	Z     float64
+	Boost float64
+}
+
+// Score is the ranking score (z plus allocator-name boost).
+func (d Derived) Score() float64 { return d.Z + d.Boost }
+
+// Ranked returns the derived "can fail" instances ordered by score.
+func (c *Checker) Ranked() []Derived {
+	var out []Derived
+	for _, key := range c.pop.Keys() {
+		cnt := c.pop.Get(key)
+		boost := 0.0
+		if c.conv.LooksAlloc(key) {
+			boost = 1.0
+		}
+		out = append(out, Derived{Func: key, Counter: cnt, Z: cnt.Z(c.p0), Boost: boost})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Score(), out[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// InverseRanked ranks the negated template "F never fails" (§5's inverse
+// principle): functions whose results are essentially never checked.
+func (c *Checker) InverseRanked() []Derived {
+	var out []Derived
+	for _, key := range c.pop.Keys() {
+		cnt := c.pop.Get(key)
+		out = append(out, Derived{
+			Func: key, Counter: cnt,
+			Z: stats.ZInverse(cnt.Checks, cnt.Examples(), c.p0),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Z != out[j].Z {
+			return out[i].Z > out[j].Z
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// Counter exposes one routine's evidence.
+func (c *Checker) Counter(fn string) stats.Counter { return c.pop.Get(fn) }
+
+// Finish reports unchecked uses of results from routines that are checked
+// elsewhere, ranked by the routine's z.
+func (c *Checker) Finish(col *report.Collector) {
+	for _, d := range c.Ranked() {
+		if d.Errors == 0 || d.Examples() == 0 {
+			continue
+		}
+		rule := fmt.Sprintf("result of %s must be checked before use", d.Func)
+		for _, pos := range c.errSites[d.Func] {
+			col.AddStat("fail", rule, pos, d.Score(), d.Checks, d.Examples(),
+				fmt.Sprintf("result of %s dereferenced without a check; %d/%d callers check it",
+					d.Func, d.Examples(), d.Checks))
+		}
+	}
+}

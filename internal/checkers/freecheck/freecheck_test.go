@@ -1,0 +1,155 @@
+package freecheck
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/cparse"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+func run(t *testing.T, src string) *report.Collector {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	conv := latent.Default()
+	c := New(conv)
+	col := report.NewCollector()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+			g := cfg.Build(fd, cfg.Options{NoReturn: conv.IsCrashRoutine})
+			engine.Run(g, c, col, engine.Options{Memoize: true})
+		}
+	}
+	return col
+}
+
+func TestUseAfterFreeDeref(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b);
+	b->len = 0;
+}`)
+	rs := col.ByChecker("free/use-after-free")
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", col.Ranked())
+	}
+	if !strings.Contains(rs[0].Message, "freed at line 3") {
+		t.Errorf("message: %s", rs[0].Message)
+	}
+}
+
+func TestUseAfterFreePassed(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b);
+	enqueue(b);
+}`)
+	if len(col.ByChecker("free/use-after-free")) != 1 {
+		t.Fatalf("reports: %+v", col.Ranked())
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b);
+	kfree(b);
+}`)
+	if len(col.ByChecker("free/double-free")) != 1 {
+		t.Fatalf("reports: %+v", col.Ranked())
+	}
+}
+
+func TestFreeThenReassignClean(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b);
+	b = alloc_buf();
+	b->len = 0;
+}`)
+	if col.Len() != 0 {
+		t.Errorf("reassignment clears freed state: %+v", col.Ranked())
+	}
+}
+
+func TestFreeOnOnePathOnly(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b, int keep) {
+	if (!keep)
+		kfree(b);
+	else
+		b->len = 1;
+}`)
+	if col.Len() != 0 {
+		t.Errorf("use and free on different paths is clean: %+v", col.Ranked())
+	}
+}
+
+func TestNullCheckOfFreedPointerClean(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b);
+	if (b == 0)
+		return;
+}`)
+	if col.Len() != 0 {
+		t.Errorf("checking a freed pointer is not a use: %+v", col.Ranked())
+	}
+}
+
+func TestMemberSlotFreed(t *testing.T) {
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b->data);
+	use_bytes(b->data);
+}`)
+	if len(col.ByChecker("free/use-after-free")) != 1 {
+		t.Fatalf("member-slot use-after-free missed: %+v", col.Ranked())
+	}
+}
+
+func TestFreeFamilyNames(t *testing.T) {
+	col := run(t, `
+void f(struct sk_buff *s, char *v) {
+	skb_free(s);
+	vfree(v);
+	s->len = 1;
+	*v = 0;
+}`)
+	if len(col.ByChecker("free/use-after-free")) != 2 {
+		t.Fatalf("family names missed: %+v", col.Ranked())
+	}
+}
+
+func TestReleaseNotTreatedAsFree(t *testing.T) {
+	// release/put drop references; they are not deallocations for a
+	// MUST checker.
+	col := run(t, `
+void f(struct dev *d) {
+	dev_put(d);
+	d->refs = 0;
+}`)
+	if col.Len() != 0 {
+		t.Errorf("dev_put treated as free: %+v", col.Ranked())
+	}
+}
+
+func TestFreeingParentInvalidation(t *testing.T) {
+	// Freeing b then reassigning b clears b->data tracking too.
+	col := run(t, `
+void f(struct buf *b) {
+	kfree(b->data);
+	b = fresh();
+	use_bytes(b->data);
+}`)
+	if col.Len() != 0 {
+		t.Errorf("parent reassignment should clear member slots: %+v", col.Ranked())
+	}
+}

@@ -1,0 +1,185 @@
+// Package intr derives the rule template "must <f> be called with
+// interrupts disabled?" (Table 2). The path state is the interrupt flag
+// driven by cli/sti-style calls; every other call is counted against the
+// template, and calls made with interrupts enabled are the error
+// candidates, ranked by z. The inverse ranking ("must be called with
+// interrupts enabled" — e.g. routines that can sleep) is exposed as well.
+package intr
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// maxSites bounds recorded sites per callee.
+const maxSites = 64
+
+// Checker accumulates interrupt-context evidence across a program.
+type Checker struct {
+	conv *latent.Conventions
+	p0   float64
+
+	pop          *stats.Population       // key: callee; example = called disabled
+	enabledSites map[string][]ctoken.Pos // calls made with interrupts enabled
+	disabledSite map[string][]ctoken.Pos // calls made with interrupts disabled
+}
+
+// New returns an empty interrupt-discipline checker.
+func New(conv *latent.Conventions) *Checker {
+	return &Checker{
+		conv:         conv,
+		p0:           stats.DefaultP0,
+		pop:          stats.NewPopulation(),
+		enabledSites: make(map[string][]ctoken.Pos),
+		disabledSite: make(map[string][]ctoken.Pos),
+	}
+}
+
+// Name implements engine.Checker.
+func (c *Checker) Name() string { return "intr" }
+
+type state struct {
+	disabled bool
+}
+
+func (s *state) Clone() engine.State { return &state{disabled: s.disabled} }
+
+func (s *state) Key() string {
+	if s.disabled {
+		return "d"
+	}
+	return "e"
+}
+
+// NewState implements engine.Checker. Like the lock checker, beliefs
+// propagate backward: a function whose first interrupt event is an enable
+// (sti/restore_flags) believes interrupts were disabled at its entry.
+func (c *Checker) NewState(fn *cast.FuncDecl) engine.State {
+	st := &state{}
+	done := false
+	cast.Inspect(fn.Body, func(n cast.Node) bool {
+		if done {
+			return false
+		}
+		call, ok := n.(*cast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := cast.CalleeName(call)
+		switch {
+		case c.conv.IntrDisable[name]:
+			done = true
+		case c.conv.IntrEnable[name]:
+			st.disabled = true
+			done = true
+		}
+		return true
+	})
+	return st
+}
+
+// Event implements engine.Checker.
+func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
+	if ev.Kind != engine.EvCall {
+		return
+	}
+	s := st.(*state)
+	name := cast.CalleeName(ev.Call)
+	if name == "" {
+		return
+	}
+	switch {
+	case c.conv.IntrDisable[name]:
+		s.disabled = true
+	case c.conv.IntrEnable[name]:
+		s.disabled = false
+	default:
+		c.pop.Check(name, !s.disabled)
+		if s.disabled {
+			if len(c.disabledSite[name]) < maxSites {
+				c.disabledSite[name] = append(c.disabledSite[name], ev.Pos)
+			}
+		} else {
+			if len(c.enabledSites[name]) < maxSites {
+				c.enabledSites[name] = append(c.enabledSites[name], ev.Pos)
+			}
+		}
+	}
+}
+
+// Branch implements engine.Checker.
+func (c *Checker) Branch(engine.State, cast.Expr, bool, *engine.Ctx) {}
+
+// FuncEnd implements engine.Checker.
+func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
+
+// Derived is one routine's interrupt-context evidence.
+type Derived struct {
+	Func          string
+	stats.Counter // Checks = all calls; Errors = calls with intr enabled
+	Z             float64
+}
+
+// Ranked orders routines by how strongly the code believes they need
+// interrupts disabled.
+func (c *Checker) Ranked() []Derived {
+	var out []Derived
+	for _, key := range c.pop.Keys() {
+		cnt := c.pop.Get(key)
+		out = append(out, Derived{Func: key, Counter: cnt, Z: cnt.Z(c.p0)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Z != out[j].Z {
+			return out[i].Z > out[j].Z
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// InverseRanked orders routines by how strongly the code believes they
+// must be called with interrupts enabled.
+func (c *Checker) InverseRanked() []Derived {
+	var out []Derived
+	for _, key := range c.pop.Keys() {
+		cnt := c.pop.Get(key)
+		out = append(out, Derived{
+			Func: key, Counter: cnt,
+			Z: stats.ZInverse(cnt.Checks, cnt.Examples(), c.p0),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Z != out[j].Z {
+			return out[i].Z > out[j].Z
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// Counter exposes one routine's evidence.
+func (c *Checker) Counter(fn string) stats.Counter { return c.pop.Get(fn) }
+
+// Finish reports enabled-context calls to routines usually called with
+// interrupts disabled, ranked by z. Routines with no disabled-context
+// examples are coincidences and stay silent.
+func (c *Checker) Finish(col *report.Collector) {
+	for _, d := range c.Ranked() {
+		if d.Errors == 0 || d.Examples() == 0 {
+			continue
+		}
+		rule := fmt.Sprintf("%s must be called with interrupts disabled", d.Func)
+		for _, pos := range c.enabledSites[d.Func] {
+			col.AddStat("intr", rule, pos, d.Z, d.Checks, d.Examples(),
+				fmt.Sprintf("%s called with interrupts enabled; %d/%d call sites disable them",
+					d.Func, d.Examples(), d.Checks))
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package iserr implements the IS_ERR consistency checker of Table 1 /
+// Section 8.3: "must IS_ERR be used to check routine <F>'s returned
+// result?" A routine whose result is checked with IS_ERR anywhere must
+// always be checked that way — a caller testing it against null (or not
+// at all) misses the encoded error pointer. Conversely, IS_ERR applied to
+// a routine nobody else checks that way is itself flagged (the inverse
+// direction).
+//
+// The two directions are separated by majority: the minority side's sites
+// are the errors, ranked by the z statistic of the majority's evidence.
+package iserr
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// maxSites bounds recorded sites per callee per side.
+const maxSites = 64
+
+// Checker accumulates IS_ERR usage evidence across a program.
+type Checker struct {
+	conv *latent.Conventions
+	p0   float64
+
+	// Per callee: how many results were IS_ERR-checked vs. used/checked
+	// otherwise, with representative sites for both sides.
+	isErrCount map[string]int
+	otherCount map[string]int
+	otherSites map[string][]ctoken.Pos
+	isErrSites map[string][]ctoken.Pos
+}
+
+// New returns an empty IS_ERR checker.
+func New(conv *latent.Conventions) *Checker {
+	return &Checker{
+		conv:       conv,
+		p0:         stats.DefaultP0,
+		isErrCount: make(map[string]int),
+		otherCount: make(map[string]int),
+		otherSites: make(map[string][]ctoken.Pos),
+		isErrSites: make(map[string][]ctoken.Pos),
+	}
+}
+
+// Name implements engine.Checker.
+func (c *Checker) Name() string { return "iserr" }
+
+type tracked struct {
+	callee string
+}
+
+type state struct {
+	vars map[string]tracked
+}
+
+func (s *state) Clone() engine.State {
+	ns := &state{vars: make(map[string]tracked, len(s.vars))}
+	for k, v := range s.vars {
+		ns.vars[k] = v
+	}
+	return ns
+}
+
+func (s *state) Key() string {
+	if len(s.vars) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.vars))
+	for k := range s.vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "=" + s.vars[k].callee + ";"
+	}
+	return out
+}
+
+// NewState implements engine.Checker.
+func (c *Checker) NewState(*cast.FuncDecl) engine.State {
+	return &state{vars: make(map[string]tracked)}
+}
+
+func keyOf(e cast.Expr) string {
+	e = cast.StripParensAndCasts(e)
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Name
+	case *cast.MemberExpr:
+		base := keyOf(x.X)
+		if base == "" {
+			return ""
+		}
+		if x.Arrow {
+			return base + "->" + x.Member
+		}
+		return base + "." + x.Member
+	}
+	return ""
+}
+
+// Event implements engine.Checker.
+func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
+	s := st.(*state)
+	switch ev.Kind {
+	case engine.EvDecl:
+		if ev.Decl.Init != nil {
+			c.bind(s, ev.Decl.Name, ev.Decl.Init)
+		}
+	case engine.EvAssign:
+		if k := keyOf(ev.LHS); k != "" {
+			if ev.RHS != nil {
+				c.bind(s, k, ev.RHS)
+			} else {
+				delete(s.vars, k)
+			}
+		}
+	case engine.EvDeref:
+		// A dereference before any IS_ERR check resolves the instance as
+		// "used otherwise".
+		c.resolveOther(s, keyOf(ev.Ptr), ev.Pos)
+	case engine.EvCall:
+		name := cast.CalleeName(ev.Call)
+		if name == c.conv.ErrPtrCheck || name == "PTR_ERR" {
+			return // handled at Branch / not a use
+		}
+		for _, a := range ev.Call.Args {
+			c.resolveOther(s, keyOf(a), ev.Pos)
+		}
+	case engine.EvReturn:
+		if ev.Expr != nil {
+			c.resolveOther(s, keyOf(ev.Expr), ev.Pos)
+		}
+	}
+}
+
+func (c *Checker) bind(s *state, key string, rhs cast.Expr) {
+	rhs = cast.StripParensAndCasts(rhs)
+	if call, ok := rhs.(*cast.CallExpr); ok {
+		if callee := cast.CalleeName(call); callee != "" && callee != c.conv.ErrPtrCheck {
+			s.vars[key] = tracked{callee: callee}
+			return
+		}
+	}
+	delete(s.vars, key)
+}
+
+func (c *Checker) resolveOther(s *state, key string, pos ctoken.Pos) {
+	if key == "" {
+		return
+	}
+	tr, ok := s.vars[key]
+	if !ok {
+		return
+	}
+	c.otherCount[tr.callee]++
+	if len(c.otherSites[tr.callee]) < maxSites {
+		c.otherSites[tr.callee] = append(c.otherSites[tr.callee], pos)
+	}
+	delete(s.vars, key)
+}
+
+// Branch implements engine.Checker: IS_ERR(v) resolves v's instance as
+// properly checked; a null-shaped test of v resolves it as "checked
+// otherwise" (the classic wrong-predicate bug).
+func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.Ctx) {
+	s := st.(*state)
+	cond = cast.StripParensAndCasts(cond)
+	// Branch runs once per outgoing edge with a cloned state; count the
+	// observation on the true arm only, but resolve the instance in both
+	// clones so neither arm re-counts it later.
+	if call, ok := cond.(*cast.CallExpr); ok {
+		if cast.CalleeName(call) == c.conv.ErrPtrCheck && len(call.Args) == 1 {
+			key := keyOf(call.Args[0])
+			if tr, ok := s.vars[key]; ok {
+				if val {
+					c.isErrCount[tr.callee]++
+					if len(c.isErrSites[tr.callee]) < maxSites {
+						c.isErrSites[tr.callee] = append(c.isErrSites[tr.callee], cond.Pos())
+					}
+				}
+				delete(s.vars, key)
+			}
+		}
+		return
+	}
+	// Null-shaped checks: p == NULL, !p, p != NULL, bare p.
+	if key := nullCheckedVar(cond); key != "" {
+		if val {
+			c.resolveOther(s, key, cond.Pos())
+		} else {
+			delete(s.vars, key)
+		}
+	}
+}
+
+func nullCheckedVar(cond cast.Expr) string {
+	switch x := cond.(type) {
+	case *cast.BinaryExpr:
+		if x.Op != ctoken.EqEq && x.Op != ctoken.NotEq {
+			return ""
+		}
+		if isNull(x.Y) {
+			return keyOf(x.X)
+		}
+		if isNull(x.X) {
+			return keyOf(x.Y)
+		}
+		return ""
+	default:
+		return keyOf(cond)
+	}
+}
+
+func isNull(e cast.Expr) bool {
+	switch x := cast.StripParensAndCasts(e).(type) {
+	case *cast.IntLit:
+		return x.Value == 0
+	case *cast.Ident:
+		return x.Name == "NULL"
+	}
+	return false
+}
+
+// FuncEnd implements engine.Checker.
+func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
+
+// Derived is the IS_ERR evidence for one routine.
+type Derived struct {
+	Func           string
+	IsErrChecked   int // results checked with IS_ERR
+	CheckedOtherly int // results used or checked some other way
+	Z              float64
+	// MustUseIsErr is true when the IS_ERR side is the majority.
+	MustUseIsErr bool
+}
+
+// Ranked returns per-routine evidence ordered by |z| of the majority
+// belief.
+func (c *Checker) Ranked() []Derived {
+	names := map[string]bool{}
+	for n := range c.isErrCount {
+		names[n] = true
+	}
+	for n := range c.otherCount {
+		names[n] = true
+	}
+	var out []Derived
+	for n := range names {
+		ie, ot := c.isErrCount[n], c.otherCount[n]
+		total := ie + ot
+		d := Derived{Func: n, IsErrChecked: ie, CheckedOtherly: ot, MustUseIsErr: ie >= ot}
+		if d.MustUseIsErr {
+			d.Z = stats.Z(total, ie, c.p0)
+		} else {
+			d.Z = stats.Z(total, ot, c.p0)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Z != out[j].Z {
+			return out[i].Z > out[j].Z
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// Finish reports contradictions: for each routine with evidence on both
+// sides, the minority side's sites are flagged, ranked by the majority's
+// z.
+func (c *Checker) Finish(col *report.Collector) {
+	for _, d := range c.Ranked() {
+		if d.IsErrChecked == 0 || d.CheckedOtherly == 0 {
+			continue // no contradiction
+		}
+		total := d.IsErrChecked + d.CheckedOtherly
+		if d.MustUseIsErr {
+			rule := fmt.Sprintf("result of %s must be checked with IS_ERR", d.Func)
+			for _, pos := range c.otherSites[d.Func] {
+				col.AddStat("iserr", rule, pos, d.Z, total, d.IsErrChecked,
+					fmt.Sprintf("result of %s used without IS_ERR check (%d/%d callers use IS_ERR); a null test misses encoded error pointers",
+						d.Func, d.IsErrChecked, total))
+			}
+		} else {
+			rule := fmt.Sprintf("result of %s must never be checked with IS_ERR", d.Func)
+			for _, pos := range c.isErrSites[d.Func] {
+				col.AddStat("iserr", rule, pos, d.Z, total, d.CheckedOtherly,
+					fmt.Sprintf("IS_ERR applied to result of %s, which %d/%d callers treat as a plain pointer",
+						d.Func, d.CheckedOtherly, total))
+			}
+		}
+	}
+}

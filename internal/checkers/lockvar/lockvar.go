@@ -1,0 +1,459 @@
+// Package lockvar implements the statistical "does lock <l> protect
+// variable <v>" checker of Section 3.3. It treats every (variable, lock)
+// combination as a candidate MUST belief, counts protected and
+// unprotected accesses, and ranks the unprotected ones (the errors) by
+// the z statistic of the pair's evidence.
+//
+// The checker also applies the non-spurious principle (§5): a critical
+// section that accesses exactly one shared variable promotes the MAY
+// belief "l protects v" to a MUST belief, and a lock protecting nothing
+// at an acceptable rank is itself suspicious.
+package lockvar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/csem"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// maxSitesPerPair bounds recorded error sites per (v, l) instance.
+const maxSitesPerPair = 64
+
+// Checker accumulates lock/variable evidence across a whole program.
+type Checker struct {
+	conv    *latent.Conventions
+	globals map[string]bool // shared-variable universe
+	locks   map[string]bool // lock-id universe
+	p0      float64
+
+	pop      *stats.Population       // key: v + "@" + l
+	errSites map[string][]ctoken.Pos // unprotected access sites per key
+	must     map[string]bool         // promoted MUST pairs (single-var critical sections)
+	mustSite map[string]ctoken.Pos   // where the promotion was observed
+}
+
+// New builds a checker for prog. The pre-pass derives the lock universe
+// (arguments of acquire/release-shaped calls, or the callee name for
+// argument-less locks like lock_kernel) and the shared-variable universe
+// (file-scope variables that are not locks).
+func New(prog *csem.Program, conv *latent.Conventions) *Checker {
+	c := &Checker{
+		conv:     conv,
+		globals:  make(map[string]bool),
+		locks:    make(map[string]bool),
+		p0:       stats.DefaultP0,
+		pop:      stats.NewPopulation(),
+		errSites: make(map[string][]ctoken.Pos),
+		must:     make(map[string]bool),
+		mustSite: make(map[string]ctoken.Pos),
+	}
+	for _, fd := range prog.Funcs {
+		cast.Inspect(fd.Body, func(n cast.Node) bool {
+			call, ok := n.(*cast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := cast.CalleeName(call)
+			if name == "" {
+				return true
+			}
+			if c.conv.IsLockAcquire(name) || c.conv.IsLockRelease(name) {
+				if id := LockID(call); id != "" {
+					c.locks[id] = true
+				}
+			}
+			return true
+		})
+	}
+	for name, vd := range prog.Globals {
+		if c.locks[name] {
+			continue
+		}
+		lower := strings.ToLower(name + " " + typeName(vd))
+		if strings.Contains(lower, "lock") || strings.Contains(lower, "mutex") ||
+			strings.Contains(lower, "sem") {
+			continue
+		}
+		c.globals[name] = true
+	}
+	for _, fd := range prog.Funcs {
+		c.promoteSingleVarSections(fd)
+	}
+	return c
+}
+
+func typeName(vd *cast.VarDecl) string {
+	if vd.Type == nil {
+		return ""
+	}
+	return vd.Type.TypeString()
+}
+
+// LockID extracts the lock identity from an acquire/release call: the
+// first argument (stripping & and casts), or the callee name for
+// argument-less global locks. Argless release names canonicalize onto
+// their acquire ("unlock_kernel" and "lock_kernel" are the same lock).
+func LockID(call *cast.CallExpr) string {
+	if len(call.Args) == 0 {
+		name := cast.CalleeName(call)
+		if strings.HasPrefix(name, "un") {
+			return name[2:]
+		}
+		return name
+	}
+	a := cast.StripParensAndCasts(call.Args[0])
+	if u, ok := a.(*cast.UnaryExpr); ok && u.Op == ctoken.Amp {
+		a = cast.StripParensAndCasts(u.X)
+	}
+	if k := exprKey(a); k != "" {
+		return k
+	}
+	return cast.CalleeName(call)
+}
+
+func exprKey(e cast.Expr) string {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Name
+	case *cast.MemberExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		if x.Arrow {
+			return base + "->" + x.Member
+		}
+		return base + "." + x.Member
+	}
+	return ""
+}
+
+// baseOf returns the leading identifier of a slot key ("dev->cnt" -> "dev").
+func baseOf(key string) string {
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case '-', '.', '[':
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// promoteSingleVarSections scans statement lists for
+// acquire(l); <stmts>; release(l) spans whose statements access exactly
+// one shared variable, promoting (v, l) to a MUST belief (§5).
+func (c *Checker) promoteSingleVarSections(fd *cast.FuncDecl) {
+	cast.Inspect(fd.Body, func(n cast.Node) bool {
+		cs, ok := n.(*cast.CompoundStmt)
+		if !ok {
+			return true
+		}
+		for i := 0; i < len(cs.List); i++ {
+			lock, lockID := c.lockCall(cs.List[i], true)
+			if lock == nil {
+				continue
+			}
+			vars := map[string]bool{}
+			for j := i + 1; j < len(cs.List); j++ {
+				if rel, relID := c.lockCall(cs.List[j], false); rel != nil && relID == lockID {
+					if len(vars) == 1 {
+						for v := range vars {
+							key := v + "@" + lockID
+							c.must[key] = true
+							c.mustSite[key] = lock.Lparen
+						}
+					}
+					break
+				}
+				c.collectShared(cs.List[j], vars)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall returns the call and lock id if s is an expression statement
+// calling an acquire (wantAcquire) or release routine.
+func (c *Checker) lockCall(s cast.Stmt, wantAcquire bool) (*cast.CallExpr, string) {
+	es, ok := s.(*cast.ExprStmt)
+	if !ok || es.X == nil {
+		return nil, ""
+	}
+	call, ok := es.X.(*cast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := cast.CalleeName(call)
+	if name == "" {
+		return nil, ""
+	}
+	if wantAcquire && !c.conv.IsLockAcquire(name) {
+		return nil, ""
+	}
+	if !wantAcquire && !c.conv.IsLockRelease(name) {
+		return nil, ""
+	}
+	return call, LockID(call)
+}
+
+func (c *Checker) collectShared(s cast.Stmt, vars map[string]bool) {
+	cast.Inspect(s, func(n cast.Node) bool {
+		var k string
+		switch x := n.(type) {
+		case *cast.Ident:
+			k = x.Name
+		case *cast.MemberExpr:
+			k = exprKey(x)
+		default:
+			return true
+		}
+		if k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+			vars[k] = true
+		}
+		return true
+	})
+	dropKeyPrefixes(vars)
+}
+
+// dropKeyPrefixes removes keys that are strict prefixes of other keys in
+// the set: accessing dev.count touches "dev" too, but only the most
+// specific slot is the shared datum.
+func dropKeyPrefixes(keys map[string]bool) {
+	for a := range keys {
+		for b := range keys {
+			if a == b {
+				continue
+			}
+			if strings.HasPrefix(b, a+".") || strings.HasPrefix(b, a+"->") || strings.HasPrefix(b, a+"[") {
+				delete(keys, a)
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// engine.Checker implementation
+
+// state is the per-path lock-set plus the transient per-statement access
+// buffer (excluded from Key: statements never span memoization points).
+type state struct {
+	held     map[string]bool
+	stmtVars map[string]bool
+}
+
+func (s *state) Clone() engine.State {
+	ns := &state{held: make(map[string]bool, len(s.held)), stmtVars: make(map[string]bool)}
+	for k := range s.held {
+		ns.held[k] = true
+	}
+	return ns
+}
+
+func (s *state) Key() string {
+	if len(s.held) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// Name implements engine.Checker.
+func (c *Checker) Name() string { return "lockvar" }
+
+// NewState implements engine.Checker. Beliefs about locks propagate
+// backward as well as forward (§3.3: "unlock(l) implies a belief that l
+// was locked before"): if the first lock event for l in the function is a
+// release, l is believed held at entry.
+func (c *Checker) NewState(fn *cast.FuncDecl) engine.State {
+	held := make(map[string]bool)
+	seen := make(map[string]bool)
+	cast.Inspect(fn.Body, func(n cast.Node) bool {
+		call, ok := n.(*cast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := cast.CalleeName(call)
+		if name == "" {
+			return true
+		}
+		acq, rel := c.conv.IsLockAcquire(name), c.conv.IsLockRelease(name)
+		if !acq && !rel {
+			return true
+		}
+		id := LockID(call)
+		if id == "" || seen[id] {
+			return true
+		}
+		seen[id] = true
+		if rel {
+			held[id] = true
+		}
+		return true
+	})
+	return &state{held: held, stmtVars: make(map[string]bool)}
+}
+
+// Event implements engine.Checker.
+func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
+	s := st.(*state)
+	switch ev.Kind {
+	case engine.EvCall:
+		name := cast.CalleeName(ev.Call)
+		if name == "" {
+			return
+		}
+		isAcq, isRel := c.conv.IsLockAcquire(name), c.conv.IsLockRelease(name)
+		if isAcq || isRel {
+			// The lock operand expression is not a data access; drop any
+			// uses this statement's argument evaluation buffered.
+			for k := range s.stmtVars {
+				delete(s.stmtVars, k)
+			}
+		}
+		switch {
+		case isAcq:
+			if id := LockID(ev.Call); id != "" {
+				// §3.3: "As a side-effect, this checker could catch
+				// double-lock and double-unlock errors" — lock(l) implies
+				// the belief l was NOT locked before.
+				if s.held[id] {
+					ctx.Reports.AddMust("lockvar/double-lock",
+						"do not acquire held lock "+id, ev.Pos, report.Serious, 0,
+						fmt.Sprintf("%s acquires %q, which this path already holds", name, id))
+				}
+				s.held[id] = true
+			}
+		case isRel:
+			if id := LockID(ev.Call); id != "" {
+				if !s.held[id] && c.locks[id] {
+					ctx.Reports.AddMust("lockvar/double-unlock",
+						"do not release unheld lock "+id, ev.Pos, report.Serious, 0,
+						fmt.Sprintf("%s releases %q, which this path does not hold", name, id))
+				}
+				delete(s.held, id)
+			}
+		}
+	case engine.EvUse:
+		if k := exprKey(cast.StripParensAndCasts(ev.Expr)); k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+			s.stmtVars[k] = true
+		}
+	case engine.EvAssign:
+		if k := exprKey(cast.StripParensAndCasts(ev.LHS)); k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+			s.stmtVars[k] = true
+		}
+	case engine.EvStmtEnd:
+		dropKeyPrefixes(s.stmtVars)
+		for v := range s.stmtVars {
+			for l := range c.locks {
+				key := v + "@" + l
+				errHere := !s.held[l]
+				c.pop.Check(key, errHere)
+				if errHere && len(c.errSites[key]) < maxSitesPerPair {
+					c.errSites[key] = append(c.errSites[key], ev.Pos)
+				}
+			}
+		}
+		for v := range s.stmtVars {
+			delete(s.stmtVars, v)
+		}
+	}
+}
+
+// Branch implements engine.Checker (lock state is unaffected by branches).
+func (c *Checker) Branch(engine.State, cast.Expr, bool, *engine.Ctx) {}
+
+// FuncEnd implements engine.Checker.
+func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
+
+// ---------------------------------------------------------------------------
+// results
+
+// Binding reports the evidence for one (variable, lock) candidate.
+type Binding struct {
+	Var, Lock string
+	stats.Counter
+	Z    float64
+	Must bool // promoted by the single-variable critical-section rule
+}
+
+// Bindings returns all candidate (v, l) instances ranked by z.
+func (c *Checker) Bindings() []Binding {
+	ranked := c.pop.RankedInstances(c.p0, nil)
+	out := make([]Binding, 0, len(ranked))
+	for _, r := range ranked {
+		v, l, ok := strings.Cut(r.Key, "@")
+		if !ok {
+			continue
+		}
+		out = append(out, Binding{
+			Var: v, Lock: l, Counter: r.Counter, Z: r.ZVal, Must: c.must[r.Key],
+		})
+	}
+	return out
+}
+
+// Counter returns the evidence counter for (v, l) — exposed for the
+// Figure 1 reproduction.
+func (c *Checker) Counter(v, l string) stats.Counter { return c.pop.Get(v + "@" + l) }
+
+// SpuriousLocks returns locks for which no variable reaches minZ: either
+// the analysis misunderstands the lock binding or the program has a
+// serious error set (the non-spurious principle, §5).
+func (c *Checker) SpuriousLocks(minZ float64) []string {
+	best := make(map[string]float64)
+	for l := range c.locks {
+		best[l] = -1 << 30
+	}
+	for _, b := range c.Bindings() {
+		if b.Z > best[b.Lock] {
+			best[b.Lock] = b.Z
+		}
+	}
+	var out []string
+	for l, z := range best {
+		if z < minZ {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Finish emits ranked error reports: every unprotected access of v for a
+// plausible (v, l) binding. Promoted MUST pairs report as definite errors.
+func (c *Checker) Finish(col *report.Collector) {
+	for _, b := range c.Bindings() {
+		key := b.Var + "@" + b.Lock
+		if b.Errors == 0 {
+			continue
+		}
+		// Implausible beliefs (never held while used) are not worth
+		// reporting — they are coincidences, not protection protocols.
+		if b.Examples() == 0 {
+			continue
+		}
+		rule := fmt.Sprintf("variable %s must be protected by lock %s", b.Var, b.Lock)
+		for _, pos := range c.errSites[key] {
+			msg := fmt.Sprintf("%s accessed without %s held (protected %d/%d times elsewhere)",
+				b.Var, b.Lock, b.Examples(), b.Checks)
+			if b.Must {
+				col.AddMust("lockvar", rule, pos, report.Serious, 0, msg+" [promoted: sole variable of a critical section]")
+			} else {
+				col.AddStat("lockvar", rule, pos, b.Z, b.Checks, b.Examples(), msg)
+			}
+		}
+	}
+}

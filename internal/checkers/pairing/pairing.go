@@ -1,0 +1,286 @@
+// Package pairing derives instances of the rule template "<a> must be
+// paired with <b>" directly from code (Section 9 / Table 2). For every
+// execution path it records the function-call sequence; a candidate pair
+// (a, b) is any ordered pair observed together on some path. Per the
+// paper's counting: the population is paths containing a, the examples
+// are paths where some later b pairs it. Candidates rank by the z
+// statistic, with a latent-specification boost for names matching
+// open/close conventions (lock/unlock, request/release, cli/sti, ...).
+//
+// Violations — paths with a call to a but no matching b — are reported
+// ranked by the pair's z, which is how the paper keeps noise from
+// coincidental couplings inspectable.
+package pairing
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/ctoken"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// Limits bound path enumeration per function.
+type Limits struct {
+	MaxPaths int // paths enumerated per function
+	MaxCalls int // calls recorded per path
+}
+
+// DefaultLimits are generous enough for kernel-style functions.
+func DefaultLimits() Limits { return Limits{MaxPaths: 128, MaxCalls: 64} }
+
+type callRef struct {
+	name string
+	pos  ctoken.Pos
+}
+
+// Checker accumulates call-sequence paths across a program, then derives
+// and checks pairings.
+type Checker struct {
+	conv   *latent.Conventions
+	limits Limits
+	paths  [][]callRef
+	// Ignore lists calls excluded from pairing (diagnostic printers and
+	// crash routines pair with nothing).
+	Ignore map[string]bool
+}
+
+// New returns an empty pairing deriver.
+func New(conv *latent.Conventions, limits Limits) *Checker {
+	return &Checker{
+		conv:   conv,
+		limits: limits,
+		Ignore: map[string]bool{"printk": true, "printf": true, "sprintf": true},
+	}
+}
+
+// AddFunction enumerates g's paths and records their call sequences.
+// Loops are unrolled once — each block may repeat once per path, so a
+// one-iteration trip exposes the body's calls, and paths trapped in a
+// cycle are abandoned rather than recorded as truncated (a truncated
+// record would claim the path "never reached the unlock").
+func (c *Checker) AddFunction(g *cfg.Graph) {
+	var cur []callRef
+	paths := 0
+	var walk func(b *cfg.Block, onPath map[int]int)
+	walk = func(b *cfg.Block, onPath map[int]int) {
+		if b == nil || paths >= c.limits.MaxPaths {
+			return
+		}
+		if onPath[b.ID] >= 2 {
+			return // abandoned: cycle with no way forward on this trace
+		}
+		onPath[b.ID]++
+		defer func() { onPath[b.ID]-- }()
+
+		mark := len(cur)
+		crashed := false
+		for _, n := range b.Nodes {
+			cur = c.collectCalls(n, cur)
+			if c.callsCrash(n) {
+				crashed = true
+			}
+		}
+		if b.Cond != nil {
+			cur = c.collectCalls(b.Cond, cur)
+		}
+		if crashed {
+			// §5.2: panic/BUG paths never execute past the crash; they
+			// must not count as broken pairings.
+			cur = cur[:mark]
+			return
+		}
+		if len(b.Succs) == 0 {
+			c.record(cur)
+			paths++
+		} else {
+			for _, e := range b.Succs {
+				walk(e.To, onPath)
+			}
+		}
+		cur = cur[:mark]
+	}
+	walk(g.Entry, map[int]int{})
+}
+
+func (c *Checker) collectCalls(n cast.Node, cur []callRef) []callRef {
+	cast.Inspect(n, func(m cast.Node) bool {
+		if len(cur) >= c.limits.MaxCalls {
+			return false
+		}
+		if call, ok := m.(*cast.CallExpr); ok {
+			name := cast.CalleeName(call)
+			if name != "" && !c.Ignore[name] && !c.conv.IsCrashRoutine(name) {
+				cur = append(cur, callRef{name: name, pos: call.Lparen})
+			}
+		}
+		return true
+	})
+	return cur
+}
+
+// callsCrash reports whether node n contains a call to a never-returns
+// routine.
+func (c *Checker) callsCrash(n cast.Node) bool {
+	found := false
+	cast.Inspect(n, func(m cast.Node) bool {
+		if call, ok := m.(*cast.CallExpr); ok {
+			if name := cast.CalleeName(call); name != "" && c.conv.IsCrashRoutine(name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *Checker) record(path []callRef) {
+	if len(path) == 0 {
+		return
+	}
+	cp := make([]callRef, len(path))
+	copy(cp, path)
+	c.paths = append(c.paths, cp)
+}
+
+// Pair is one derived slot-instance combination for the template
+// "<a> must be paired with <b>".
+type Pair struct {
+	A, B string
+	stats.Counter
+	Z     float64
+	Boost float64 // latent naming-convention bonus
+}
+
+// Score is the inspection ranking score (z plus the latent boost).
+func (p Pair) Score() float64 { return p.Z + p.Boost }
+
+// Derive computes all candidate pairs with their evidence, ranked by
+// score (descending).
+func (c *Checker) Derive(p0 float64) []Pair {
+	// Candidate universe: (a, b) that were actually paired on >= 1 path.
+	candidates := make(map[string]map[string]bool)
+	for _, path := range c.paths {
+		seen := map[string]int{}
+		for i, cr := range path {
+			if _, ok := seen[cr.name]; !ok {
+				seen[cr.name] = i
+			}
+		}
+		for a, ai := range seen {
+			for j := ai + 1; j < len(path); j++ {
+				b := path[j].name
+				if b == a {
+					continue
+				}
+				if candidates[a] == nil {
+					candidates[a] = make(map[string]bool)
+				}
+				candidates[a][b] = true
+			}
+		}
+	}
+
+	// Count: population = paths with a; example = b follows the first a.
+	pop := stats.NewPopulation()
+	for _, path := range c.paths {
+		first := map[string]int{}
+		for i, cr := range path {
+			if _, ok := first[cr.name]; !ok {
+				first[cr.name] = i
+			}
+		}
+		after := func(name string, idx int) bool {
+			for j := idx + 1; j < len(path); j++ {
+				if path[j].name == name {
+					return true
+				}
+			}
+			return false
+		}
+		for a, ai := range first {
+			for b := range candidates[a] {
+				pop.Check(a+":"+b, !after(b, ai))
+			}
+		}
+	}
+
+	var out []Pair
+	for _, key := range pop.Keys() {
+		cnt := pop.Get(key)
+		var a, b string
+		for i := 0; i < len(key); i++ {
+			if key[i] == ':' {
+				a, b = key[:i], key[i+1:]
+				break
+			}
+		}
+		out = append(out, Pair{
+			A: a, B: b, Counter: cnt,
+			Z:     cnt.Z(p0),
+			Boost: c.conv.PairBoost(a, b),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Score(), out[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Finish derives pairs and reports violations of every plausible pair:
+// at least minExamples paired paths, at least one violation, and a
+// ranking score (z plus latent boost) of at least minScore. The score
+// floor is what keeps coincidental couplings out of the report stream —
+// they remain visible in the Derive table, ranked at the bottom.
+func (c *Checker) Finish(col *report.Collector, p0 float64, minExamples int, minScore float64) []Pair {
+	pairs := c.Derive(p0)
+	for _, p := range pairs {
+		if p.Errors == 0 || p.Examples() < minExamples || p.Score() < minScore {
+			continue
+		}
+		// Report each unpaired occurrence of A.
+		for _, path := range c.paths {
+			for i, cr := range path {
+				if cr.name != p.A {
+					continue
+				}
+				paired := false
+				for j := i + 1; j < len(path); j++ {
+					if path[j].name == p.B {
+						paired = true
+						break
+					}
+				}
+				if !paired {
+					col.AddStat(
+						"pairing",
+						fmt.Sprintf("%s must be paired with %s", p.A, p.B),
+						cr.pos,
+						p.Score(),
+						p.Checks,
+						p.Examples(),
+						fmt.Sprintf("call to %s is not followed by %s on this path (paired %d/%d elsewhere)",
+							p.A, p.B, p.Examples(), p.Checks),
+					)
+				}
+				break // population counts the first occurrence per path
+			}
+		}
+	}
+	return pairs
+}
+
+// PathCount returns the number of recorded paths (for tests and the
+// scalability experiment).
+func (c *Checker) PathCount() int { return len(c.paths) }

@@ -1,0 +1,174 @@
+// Package redundant flags operations that contradict the belief that code
+// does useful work (§4.1: "If we further assume that code intends to do
+// useful work, we can infer that code believes that actions are not
+// redundant. ... flagging such redundancies points out where programmers
+// are confused and hence have made errors"). The null checker covers
+// redundant *checks*; this checker covers redundant *mutations and
+// computations*:
+//
+//   - self-assignment: x = x (a classic transcription bug: meant x = y);
+//   - self-operation: x - x, x / x, x & x, x | x, x ^ x with identical
+//     operands, which are constants or no-ops the programmer almost
+//     certainly did not intend to write;
+//   - identical branch arms: if (c) S else S — the condition is dead.
+//
+// These are minor-severity reports: like redundant null checks (§6.1),
+// they rarely crash anything themselves but correlate strongly with
+// genuine confusion nearby.
+package redundant
+
+import (
+	"fmt"
+
+	"deviant/internal/cast"
+	"deviant/internal/csem"
+	"deviant/internal/ctoken"
+	"deviant/internal/report"
+)
+
+// Checker scans a program for redundant operations. It is purely
+// syntactic — no path sensitivity needed.
+type Checker struct {
+	prog *csem.Program
+}
+
+// New returns a redundancy checker for prog.
+func New(prog *csem.Program) *Checker { return &Checker{prog: prog} }
+
+// Run emits all findings into col.
+func (c *Checker) Run(col *report.Collector) {
+	for _, name := range c.prog.FuncNames() {
+		fd := c.prog.Funcs[name]
+		cast.Inspect(fd.Body, func(n cast.Node) bool {
+			switch x := n.(type) {
+			case *cast.AssignExpr:
+				c.checkAssign(x, col)
+			case *cast.BinaryExpr:
+				c.checkBinop(x, col)
+			case *cast.IfStmt:
+				c.checkBranches(x, col)
+			}
+			return true
+		})
+	}
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// and side-effect free (no calls, no ++/--).
+func sameExpr(a, b cast.Expr) bool {
+	if hasSideEffects(a) || hasSideEffects(b) {
+		return false
+	}
+	return cast.ExprString(a) == cast.ExprString(b)
+}
+
+func hasSideEffects(e cast.Expr) bool {
+	found := false
+	cast.Inspect(e, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.CallExpr, *cast.AssignExpr, *cast.PostfixExpr:
+			found = true
+		case *cast.UnaryExpr:
+			if x.Op == ctoken.Inc || x.Op == ctoken.Dec {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *Checker) checkAssign(x *cast.AssignExpr, col *report.Collector) {
+	if x.Op != ctoken.Assign || x.L.FromMacro() || x.R.FromMacro() {
+		return
+	}
+	if sameExpr(x.L, x.R) {
+		lhs := cast.ExprString(x.L)
+		col.AddMust("redundant/self-assign",
+			"assignment of "+lhs+" to itself does no work",
+			x.L.Pos(), report.Minor, 0,
+			fmt.Sprintf("%s = %s assigns a value to itself; a different right-hand side was probably intended", lhs, lhs))
+	}
+}
+
+// selfBinopKinds are operators for which identical operands produce a
+// constant or the operand itself — writing them is almost always a typo.
+var selfBinopKinds = map[ctoken.Kind]string{
+	ctoken.Minus:   "always 0",
+	ctoken.Slash:   "always 1",
+	ctoken.Percent: "always 0",
+	ctoken.Caret:   "always 0",
+	ctoken.Amp:     "a no-op",
+	ctoken.Pipe:    "a no-op",
+}
+
+func (c *Checker) checkBinop(x *cast.BinaryExpr, col *report.Collector) {
+	what, interesting := selfBinopKinds[x.Op]
+	if !interesting || x.X.FromMacro() || x.Y.FromMacro() {
+		return
+	}
+	// Literal operands ("1 | 1") are usually deliberate flag spelling;
+	// only identifier-based operands signal confusion.
+	if isLiteral(x.X) {
+		return
+	}
+	if sameExpr(x.X, x.Y) {
+		op := x.Op.String()
+		e := cast.ExprString(x.X)
+		col.AddMust("redundant/self-operation",
+			"operation "+e+" "+op+" "+e+" is redundant",
+			x.X.Pos(), report.Minor, 0,
+			fmt.Sprintf("%s %s %s is %s; one operand was probably meant to be something else", e, op, e, what))
+	}
+}
+
+func isLiteral(e cast.Expr) bool {
+	switch cast.StripParensAndCasts(e).(type) {
+	case *cast.IntLit, *cast.FloatLit, *cast.CharLit, *cast.StringLit:
+		return true
+	}
+	return false
+}
+
+func (c *Checker) checkBranches(x *cast.IfStmt, col *report.Collector) {
+	if x.Else == nil {
+		return
+	}
+	if stmtString(x.Then) == stmtString(x.Else) {
+		col.AddMust("redundant/identical-branches",
+			"both branches of this condition do the same thing",
+			x.IfPos, report.Minor, 0,
+			"the then and else branches are identical, so the condition is dead; one branch was probably meant to differ")
+	}
+}
+
+// stmtString canonicalizes a statement subtree for comparison. Statements
+// containing calls still compare equal when truly identical — identical
+// call sequences in both arms are exactly the bug pattern — but position
+// information is excluded.
+func stmtString(s cast.Stmt) string {
+	out := ""
+	cast.Inspect(s, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case cast.Expr:
+			out += cast.ExprString(x) + ";"
+			return false // ExprString covers the subtree
+		case *cast.ReturnStmt:
+			out += "return "
+		case *cast.BreakStmt:
+			out += "break;"
+		case *cast.ContinueStmt:
+			out += "continue;"
+		case *cast.GotoStmt:
+			out += "goto " + x.Label + ";"
+		case *cast.IfStmt:
+			out += "if "
+		case *cast.WhileStmt:
+			out += "while "
+		case *cast.VarDecl:
+			out += "decl " + x.Name + ";"
+		}
+		return true
+	})
+	return out
+}

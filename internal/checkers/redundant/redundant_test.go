@@ -1,0 +1,126 @@
+package redundant
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+	"deviant/internal/csem"
+	"deviant/internal/report"
+)
+
+func run(t *testing.T, src string) *report.Collector {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	prog := csem.Analyze([]*cast.File{f})
+	col := report.NewCollector()
+	New(prog).Run(col)
+	return col
+}
+
+func TestSelfAssign(t *testing.T) {
+	col := run(t, `
+void f(struct s *a, struct s *b) {
+	a->x = a->x;
+	b->x = a->x;
+}`)
+	rs := col.ByChecker("redundant/self-assign")
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", col.Ranked())
+	}
+	if !strings.Contains(rs[0].Message, "a->x") {
+		t.Errorf("message: %s", rs[0].Message)
+	}
+}
+
+func TestSelfAssignWithCallsSuppressed(t *testing.T) {
+	// f() = f() style nonsense aside: calls may differ between
+	// evaluations, so identical texts with side effects stay silent.
+	col := run(t, `
+void f(int *p) {
+	p[next()] = p[next()];
+}`)
+	if col.Len() != 0 {
+		t.Errorf("side-effecting operands flagged: %+v", col.Ranked())
+	}
+}
+
+func TestSelfOperations(t *testing.T) {
+	col := run(t, `
+int f(int n, int m) {
+	int a = n - n;
+	int b = n / n;
+	int c = n & n;
+	int d = n ^ n;
+	int e = n - m;
+	return a + b + c + d + e;
+}`)
+	rs := col.ByChecker("redundant/self-operation")
+	if len(rs) != 4 {
+		t.Fatalf("want 4 self-operations: %+v", rs)
+	}
+}
+
+func TestLiteralFlagsNotFlagged(t *testing.T) {
+	col := run(t, `
+int f(void) {
+	return 1 | 1;
+}`)
+	if col.Len() != 0 {
+		t.Errorf("literal flag spelling flagged: %+v", col.Ranked())
+	}
+}
+
+func TestIdenticalBranches(t *testing.T) {
+	col := run(t, `
+int f(int c, int v) {
+	if (c)
+		v = v + 1;
+	else
+		v = v + 1;
+	return v;
+}`)
+	rs := col.ByChecker("redundant/identical-branches")
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", col.Ranked())
+	}
+}
+
+func TestDifferentBranchesClean(t *testing.T) {
+	col := run(t, `
+int f(int c, int v) {
+	if (c)
+		v = v + 1;
+	else
+		v = v - 1;
+	return v;
+}`)
+	if col.Len() != 0 {
+		t.Errorf("distinct branches flagged: %+v", col.Ranked())
+	}
+}
+
+func TestMacroOperandsSuppressed(t *testing.T) {
+	// Macro expansion frequently produces x = x after substitution;
+	// flagging it would blame the macro user.
+	col := run(t, `
+#define KEEP(field) (field) = (field)
+void f(struct s *a) {
+	KEEP(a->x);
+}`)
+	if col.Len() != 0 {
+		t.Errorf("macro-produced self-assign flagged: %+v", col.Ranked())
+	}
+}
+
+func TestReportsAreMinor(t *testing.T) {
+	col := run(t, "void f(int v) { v = v; }")
+	rs := col.Ranked()
+	if len(rs) != 1 || rs[0].Severity != report.Minor {
+		t.Fatalf("redundancy should be minor: %+v", rs)
+	}
+}

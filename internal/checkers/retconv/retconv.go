@@ -1,0 +1,151 @@
+// Package retconv cross-checks error-return conventions across interface
+// equivalence classes (§4.2: "Example contradictions in these categories
+// include: ... a returns positive integers to signal errors, b returns
+// negative integers"). All implementations of the same interface must
+// produce the same error behavior; a member whose sign convention
+// contradicts its siblings is flagged, with the majority convention as
+// evidence.
+package retconv
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/csem"
+	"deviant/internal/ctoken"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// convention classifies a function's non-zero constant returns.
+type convention int
+
+const (
+	convNone convention = iota // no constant error returns observed
+	convNeg                    // returns negative constants
+	convPos                    // returns positive constants
+	convBoth                   // mixes both (unclassifiable)
+)
+
+type funcConv struct {
+	conv   convention
+	posPos ctoken.Pos // site of the first positive constant return
+	negPos ctoken.Pos
+}
+
+// Checker cross-checks one program.
+type Checker struct {
+	prog *csem.Program
+	conv *latent.Conventions
+	p0   float64
+}
+
+// New returns a return-convention checker for prog.
+func New(prog *csem.Program, conv *latent.Conventions) *Checker {
+	return &Checker{prog: prog, conv: conv, p0: stats.DefaultP0}
+}
+
+func classify(fd *cast.FuncDecl) funcConv {
+	var fc funcConv
+	cast.Inspect(fd.Body, func(n cast.Node) bool {
+		ret, ok := n.(*cast.ReturnStmt)
+		if !ok || ret.X == nil {
+			return true
+		}
+		switch r := cast.StripParensAndCasts(ret.X).(type) {
+		case *cast.UnaryExpr:
+			if r.Op == ctoken.Minus {
+				if !fc.negPos.IsValid() {
+					fc.negPos = ret.ReturnPos
+				}
+				fc.conv |= convNeg
+			}
+		case *cast.IntLit:
+			if r.Value > 0 {
+				if !fc.posPos.IsValid() {
+					fc.posPos = ret.ReturnPos
+				}
+				fc.conv |= convPos
+			}
+		}
+		return true
+	})
+	return fc
+}
+
+// Finding is one convention contradiction.
+type Finding struct {
+	Class    string
+	Func     string
+	Pos      ctoken.Pos
+	Majority string
+	Minority string
+	Z        float64
+}
+
+// Run cross-checks every interface class and reports contradictions.
+func (c *Checker) Run(col *report.Collector) []Finding {
+	var out []Finding
+	classes := c.prog.InterfaceClasses()
+	names := make([]string, 0, len(classes))
+	for k := range classes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	for _, class := range names {
+		members := classes[class]
+		convs := make(map[string]funcConv, len(members))
+		neg, pos := 0, 0
+		for _, m := range members {
+			fd, ok := c.prog.Funcs[m]
+			if !ok {
+				continue
+			}
+			fc := classify(fd)
+			convs[m] = fc
+			switch fc.conv {
+			case convNeg:
+				neg++
+			case convPos:
+				pos++
+			}
+		}
+		total := neg + pos
+		if total < 2 || neg == 0 || pos == 0 {
+			continue // unanimous or not enough evidence
+		}
+		majority, minority := "negative", "positive"
+		majCount := neg
+		flagPos := true
+		if pos > neg {
+			majority, minority = "positive", "negative"
+			majCount = pos
+			flagPos = false
+		} else if pos == neg {
+			continue // no majority, no belief
+		}
+		z := stats.Z(total, majCount, c.p0)
+		for _, m := range members {
+			fc := convs[m]
+			if (flagPos && fc.conv == convPos) || (!flagPos && fc.conv == convNeg) {
+				site := fc.posPos
+				if !flagPos {
+					site = fc.negPos
+				}
+				out = append(out, Finding{
+					Class: class, Func: m, Pos: site,
+					Majority: majority, Minority: minority, Z: z,
+				})
+				col.AddStat("retconv",
+					fmt.Sprintf("implementations of %s must return %s error codes", class, majority),
+					site, z, total, majCount,
+					fmt.Sprintf("%s returns %s error constants; %d of %d %s implementations return %s ones",
+						m, minority, majCount, total, class, majority))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package retconv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+	"deviant/internal/csem"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+func run(t *testing.T, src string) ([]Finding, *report.Collector) {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	prog := csem.Analyze([]*cast.File{f})
+	col := report.NewCollector()
+	findings := New(prog, latent.Default()).Run(col)
+	return findings, col
+}
+
+// iface builds N same-interface open() implementations with the given
+// error-return constants.
+func iface(consts ...string) string {
+	var sb strings.Builder
+	sb.WriteString("struct ops { int (*open)(int n); };\n")
+	for i, c := range consts {
+		fmt.Fprintf(&sb, "int open%d(int n) { if (n < 0) return %s; return 0; }\n", i, c)
+	}
+	for i := range consts {
+		fmt.Fprintf(&sb, "struct ops o%d = { .open = open%d };\n", i, i)
+	}
+	return sb.String()
+}
+
+func TestMinorityPositiveFlagged(t *testing.T) {
+	findings, col := run(t, iface("-1", "-1", "-1", "-1", "1"))
+	if len(findings) != 1 {
+		t.Fatalf("findings: %+v", findings)
+	}
+	if findings[0].Func != "open4" || findings[0].Majority != "negative" {
+		t.Errorf("finding: %+v", findings[0])
+	}
+	rs := col.ByChecker("retconv")
+	if len(rs) != 1 || !strings.Contains(rs[0].Message, "open4") {
+		t.Errorf("reports: %+v", rs)
+	}
+}
+
+func TestMinorityNegativeFlagged(t *testing.T) {
+	findings, _ := run(t, iface("1", "1", "1", "-1"))
+	if len(findings) != 1 || findings[0].Func != "open3" || findings[0].Majority != "positive" {
+		t.Fatalf("findings: %+v", findings)
+	}
+}
+
+func TestUnanimousSilent(t *testing.T) {
+	findings, _ := run(t, iface("-1", "-2", "-3"))
+	if len(findings) != 0 {
+		t.Errorf("unanimous class flagged: %+v", findings)
+	}
+}
+
+func TestTieSilent(t *testing.T) {
+	findings, _ := run(t, iface("-1", "1"))
+	if len(findings) != 0 {
+		t.Errorf("no majority, no belief: %+v", findings)
+	}
+}
+
+func TestErrnoIdentifiersCount(t *testing.T) {
+	findings, _ := run(t, iface("-EINVAL", "-EIO", "-ENOMEM", "7"))
+	if len(findings) != 1 || findings[0].Func != "open3" {
+		t.Fatalf("findings: %+v", findings)
+	}
+}
+
+func TestNonInterfaceFunctionsIgnored(t *testing.T) {
+	src := `
+int lonely_pos(int n) { if (n < 0) return 1; return 0; }
+int lonely_neg(int n) { if (n < 0) return -1; return 0; }
+`
+	findings, _ := run(t, src)
+	if len(findings) != 0 {
+		t.Errorf("functions outside interfaces compared: %+v", findings)
+	}
+}

@@ -1,0 +1,184 @@
+// Package seccheck derives the rule template "does security check <Y>
+// protect <X>?" (Table 2). The examples are calls to X dominated by a
+// branch on a permission predicate Y (capable(), suser(), ...); the
+// population is all calls to X. Calls to X reachable without the check
+// are the error candidates, ranked by the (X, Y) pair's z statistic.
+package seccheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// maxSites bounds recorded unprotected call sites per (X, Y) pair.
+const maxSites = 64
+
+// DefaultPredicates are the permission predicates recognized as security
+// checks, per the Unix idiom set.
+func DefaultPredicates() map[string]bool {
+	return map[string]bool{
+		"capable": true, "suser": true, "fsuser": true,
+		"permission": true, "security_check": true, "access_ok": true,
+	}
+}
+
+// Checker accumulates security-check evidence across a program.
+type Checker struct {
+	preds map[string]bool
+	p0    float64
+
+	pop      *stats.Population       // key: x + "?" + y
+	errSites map[string][]ctoken.Pos // unprotected call sites
+	// xCalls tracks which predicates were ever seen so the universe of
+	// Y slots is bounded by reality.
+	seenPreds map[string]bool
+}
+
+// New returns a checker using the given predicate set (nil = defaults).
+func New(preds map[string]bool) *Checker {
+	if preds == nil {
+		preds = DefaultPredicates()
+	}
+	return &Checker{
+		preds:     preds,
+		p0:        stats.DefaultP0,
+		pop:       stats.NewPopulation(),
+		errSites:  make(map[string][]ctoken.Pos),
+		seenPreds: make(map[string]bool),
+	}
+}
+
+// Name implements engine.Checker.
+func (c *Checker) Name() string { return "seccheck" }
+
+// state carries the set of predicates that dominated the current point.
+type state struct {
+	checked map[string]bool
+}
+
+func (s *state) Clone() engine.State {
+	ns := &state{checked: make(map[string]bool, len(s.checked))}
+	for k := range s.checked {
+		ns.checked[k] = true
+	}
+	return ns
+}
+
+func (s *state) Key() string {
+	if len(s.checked) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.checked))
+	for k := range s.checked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// NewState implements engine.Checker.
+func (c *Checker) NewState(*cast.FuncDecl) engine.State {
+	return &state{checked: make(map[string]bool)}
+}
+
+// Event implements engine.Checker: every non-predicate call is counted
+// against each known predicate.
+func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
+	if ev.Kind != engine.EvCall {
+		return
+	}
+	s := st.(*state)
+	name := cast.CalleeName(ev.Call)
+	if name == "" || c.preds[name] {
+		return
+	}
+	for y := range c.preds {
+		key := name + "?" + y
+		errHere := !s.checked[y]
+		c.pop.Check(key, errHere)
+		if errHere && len(c.errSites[key]) < maxSites {
+			c.errSites[key] = append(c.errSites[key], ev.Pos)
+		}
+	}
+}
+
+// Branch implements engine.Checker: a branch whose condition calls a
+// predicate marks the predicate checked on both arms. (Which arm is the
+// privileged one varies with the idiom — "if (!capable(..)) return" and
+// "if (suser()) { ... }" both occur — so domination by the check is what
+// we measure, matching the template's "y checked before x".)
+func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.Ctx) {
+	s := st.(*state)
+	found := false
+	cast.Inspect(cond, func(n cast.Node) bool {
+		if call, ok := n.(*cast.CallExpr); ok {
+			if name := cast.CalleeName(call); c.preds[name] {
+				s.checked[name] = true
+				c.seenPreds[name] = true
+				found = true
+			}
+		}
+		return !found
+	})
+}
+
+// FuncEnd implements engine.Checker.
+func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
+
+// Derived is the evidence for one (X, Y) instance.
+type Derived struct {
+	Action, Check string
+	stats.Counter
+	Z float64
+}
+
+// Ranked returns (X, Y) instances for predicates actually seen, ordered
+// by z.
+func (c *Checker) Ranked() []Derived {
+	var out []Derived
+	for _, key := range c.pop.Keys() {
+		x, y, ok := strings.Cut(key, "?")
+		if !ok || !c.seenPreds[y] {
+			continue
+		}
+		cnt := c.pop.Get(key)
+		out = append(out, Derived{Action: x, Check: y, Counter: cnt, Z: cnt.Z(c.p0)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Z != out[j].Z {
+			return out[i].Z > out[j].Z
+		}
+		if out[i].Action != out[j].Action {
+			return out[i].Action < out[j].Action
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// Counter exposes the evidence for (x, y).
+func (c *Checker) Counter(x, y string) stats.Counter { return c.pop.Get(x + "?" + y) }
+
+// Finish reports unprotected calls to actions that are usually guarded,
+// ranked by z.
+func (c *Checker) Finish(col *report.Collector) {
+	for _, d := range c.Ranked() {
+		if d.Errors == 0 || d.Examples() == 0 {
+			continue
+		}
+		key := d.Action + "?" + d.Check
+		rule := fmt.Sprintf("security check %s must protect %s", d.Check, d.Action)
+		for _, pos := range c.errSites[key] {
+			col.AddStat("seccheck", rule, pos, d.Z, d.Checks, d.Examples(),
+				fmt.Sprintf("%s called without a %s check; %d/%d call sites are guarded",
+					d.Action, d.Check, d.Examples(), d.Checks))
+		}
+	}
+}

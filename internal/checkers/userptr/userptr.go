@@ -1,0 +1,269 @@
+// Package userptr implements the Section 7 security checker: "is <p> a
+// dangerous user pointer?" Passing p to a paranoid copy routine
+// (copy_from_user, copyin, ...) implies the MUST belief that p is an
+// unsafe user pointer; dereferencing p implies the MUST belief that it is
+// a safe kernel pointer. A pointer holding both beliefs is a security
+// hole — no ranking needed, contradictions are definite (Table 1).
+//
+// Beliefs propagate three ways:
+//
+//  1. within one function (both beliefs about the same parameter);
+//  2. through direct calls (passing a parameter onward to a routine that
+//     treats that position as a user pointer taints the caller's
+//     parameter), iterated to a fixpoint;
+//  3. across interface equivalence classes (§4.2): all implementations
+//     of ->ioctl receive the same arguments, so one implementation
+//     treating parameter i as a user pointer convicts a sibling that
+//     dereferences it.
+package userptr
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/csem"
+	"deviant/internal/ctoken"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+// Belief origin for diagnostics.
+type origin int
+
+const (
+	fromCopyCall origin = iota
+	fromCallee
+	fromInterface
+)
+
+type userFact struct {
+	pos ctoken.Pos
+	org origin
+	via string // callee or sibling that induced the belief
+}
+
+// funcFacts holds per-parameter evidence for one function.
+type funcFacts struct {
+	fn *cast.FuncDecl
+	// user[i] is set when parameter i is believed to be a user pointer.
+	user map[int]*userFact
+	// deref[i] records the first dereference site of parameter i.
+	deref map[int]ctoken.Pos
+}
+
+// Checker runs the whole-program analysis.
+type Checker struct {
+	prog  *csem.Program
+	conv  *latent.Conventions
+	facts map[string]*funcFacts
+}
+
+// New prepares the checker for prog.
+func New(prog *csem.Program, conv *latent.Conventions) *Checker {
+	return &Checker{prog: prog, conv: conv, facts: make(map[string]*funcFacts)}
+}
+
+// Run performs the analysis and emits contradictions into col.
+func (c *Checker) Run(col *report.Collector) {
+	for name, fd := range c.prog.Funcs {
+		c.facts[name] = c.localFacts(fd)
+	}
+	c.propagateCalls()
+	c.propagateInterfaces()
+	c.reportContradictions(col)
+}
+
+// paramIndex returns fn's parameter index for ident name, or -1.
+func paramIndex(fn *cast.FuncDecl, name string) int {
+	for i, p := range fn.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// localFacts computes the directly observable beliefs in one function.
+func (c *Checker) localFacts(fd *cast.FuncDecl) *funcFacts {
+	ff := &funcFacts{fn: fd, user: make(map[int]*userFact), deref: make(map[int]ctoken.Pos)}
+
+	recordDeref := func(base cast.Expr, pos ctoken.Pos) {
+		base = cast.StripParensAndCasts(base)
+		id, ok := base.(*cast.Ident)
+		if !ok || id.Macro {
+			return
+		}
+		if i := paramIndex(fd, id.Name); i >= 0 {
+			if _, seen := ff.deref[i]; !seen {
+				ff.deref[i] = pos
+			}
+		}
+	}
+
+	cast.Inspect(fd.Body, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.UnaryExpr:
+			if x.Op == ctoken.Star {
+				recordDeref(x.X, x.OpPos)
+			}
+		case *cast.MemberExpr:
+			if x.Arrow {
+				recordDeref(x.X, x.MemPos)
+			}
+		case *cast.IndexExpr:
+			recordDeref(x.X, x.X.Pos())
+		case *cast.CallExpr:
+			callee := cast.CalleeName(x)
+			if callee == "" {
+				return true
+			}
+			idx, ok := c.conv.UserPointerArg(callee)
+			if !ok || idx >= len(x.Args) {
+				return true
+			}
+			arg := cast.StripParensAndCasts(x.Args[idx])
+			if id, isIdent := arg.(*cast.Ident); isIdent {
+				if i := paramIndex(fd, id.Name); i >= 0 && ff.user[i] == nil {
+					ff.user[i] = &userFact{pos: x.Lparen, org: fromCopyCall, via: callee}
+				}
+			}
+		}
+		return true
+	})
+	return ff
+}
+
+// propagateCalls pushes user beliefs from callees to callers: if f passes
+// its parameter p straight to g, and g treats that position as a user
+// pointer, then f must believe p is a user pointer too. Iterates to a
+// fixpoint (belief chains through wrappers).
+func (c *Checker) propagateCalls() {
+	for changed := true; changed; {
+		changed = false
+		for name, ff := range c.facts {
+			fd := c.prog.Funcs[name]
+			cast.Inspect(fd.Body, func(n cast.Node) bool {
+				call, ok := n.(*cast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := cast.CalleeName(call)
+				gf, defined := c.facts[callee]
+				if !defined {
+					return true
+				}
+				for ai, arg := range call.Args {
+					uf := gf.user[ai]
+					if uf == nil {
+						continue
+					}
+					a := cast.StripParensAndCasts(arg)
+					id, isIdent := a.(*cast.Ident)
+					if !isIdent {
+						continue
+					}
+					if pi := paramIndex(fd, id.Name); pi >= 0 && ff.user[pi] == nil {
+						ff.user[pi] = &userFact{pos: call.Lparen, org: fromCallee, via: callee}
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// propagateInterfaces unions user beliefs across interface equivalence
+// classes: every implementation of the same interface receives the same
+// execution context and argument restrictions (§4.2).
+func (c *Checker) propagateInterfaces() {
+	for class, members := range c.prog.InterfaceClasses() {
+		// Union of user-believed parameter indexes across the class.
+		union := map[int]string{} // index -> member that established it
+		for _, m := range members {
+			if ff, ok := c.facts[m]; ok {
+				for i, uf := range ff.user {
+					if uf.org != fromInterface {
+						if _, have := union[i]; !have {
+							union[i] = m
+						}
+					}
+				}
+			}
+		}
+		for _, m := range members {
+			ff, ok := c.facts[m]
+			if !ok {
+				continue
+			}
+			for i, via := range union {
+				if ff.user[i] == nil && i < len(ff.fn.Params) {
+					ff.user[i] = &userFact{
+						pos: ff.fn.NamePos,
+						org: fromInterface,
+						via: via + " (same interface " + class + ")",
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *Checker) reportContradictions(col *report.Collector) {
+	names := make([]string, 0, len(c.facts))
+	for n := range c.facts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ff := c.facts[name]
+		for i, uf := range ff.user {
+			dpos, derefed := ff.deref[i]
+			if !derefed {
+				continue
+			}
+			param := "?"
+			if i < len(ff.fn.Params) {
+				param = ff.fn.Params[i].Name
+			}
+			span := dpos.Line - uf.pos.Line
+			if span < 0 {
+				span = -span
+			}
+			var how string
+			switch uf.org {
+			case fromCopyCall:
+				how = fmt.Sprintf("passed to %s at line %d", uf.via, uf.pos.Line)
+			case fromCallee:
+				how = fmt.Sprintf("passed to %s, which treats it as a user pointer", uf.via)
+			case fromInterface:
+				how = fmt.Sprintf("treated as a user pointer by %s", uf.via)
+				span = 0 // cross-function: keep it inspectable
+			}
+			col.AddMust(
+				"userptr",
+				fmt.Sprintf("do not dereference user pointer %s in %s", param, name),
+				dpos,
+				report.Serious,
+				span,
+				fmt.Sprintf("%s dereferences %q, but it is a dangerous user pointer: %s", name, param, how),
+			)
+		}
+	}
+}
+
+// UserParams returns, for diagnostics and the experiment tables, the
+// user-pointer parameter indexes believed for fn.
+func (c *Checker) UserParams(fn string) []int {
+	ff, ok := c.facts[fn]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i := range ff.user {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

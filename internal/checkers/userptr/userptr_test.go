@@ -1,0 +1,235 @@
+package userptr
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+	"deviant/internal/csem"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+func run(t *testing.T, src string) (*Checker, []report.Report) {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	prog := csem.Analyze([]*cast.File{f})
+	c := New(prog, latent.Default())
+	col := report.NewCollector()
+	c.Run(col)
+	return c, col.ByChecker("userptr")
+}
+
+func TestIntraFunctionContradiction(t *testing.T) {
+	// Table 1: "p passed to copyout or copyin -> dangerous user pointer;
+	// *p -> safe system pointer" — both is an error.
+	src := `
+int sys_write_cfg(struct cfg *u, int len) {
+	int first = u->magic;
+	if (copy_from_user(kbuf, u, len))
+		return -1;
+	return first;
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", rs)
+	}
+	if !strings.Contains(rs[0].Message, "user pointer") || !strings.Contains(rs[0].Message, "copy_from_user") {
+		t.Errorf("message: %s", rs[0].Message)
+	}
+}
+
+func TestConsistentUsageClean(t *testing.T) {
+	src := `
+int sys_read_cfg(struct cfg *u, int len) {
+	struct cfg k;
+	if (copy_from_user(&k, u, len))
+		return -1;
+	return k.magic;
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 0 {
+		t.Errorf("clean code flagged: %+v", rs)
+	}
+}
+
+func TestKernelOnlyClean(t *testing.T) {
+	src := `
+int helper(struct cfg *k) {
+	return k->magic;
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 0 {
+		t.Errorf("kernel-only deref flagged: %+v", rs)
+	}
+}
+
+func TestCalleePropagation(t *testing.T) {
+	// wrapper passes p to a routine that copies from user space; the
+	// wrapper's own deref of p is the bug.
+	src := `
+int do_copy(char *up, int n) {
+	return copy_from_user(kbuf, up, n);
+}
+int wrapper(char *p, int n) {
+	char c = p[0];
+	return do_copy(p, n);
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", rs)
+	}
+	if !strings.Contains(rs[0].Message, "wrapper") {
+		t.Errorf("should blame wrapper: %s", rs[0].Message)
+	}
+}
+
+func TestFixpointThroughTwoWrappers(t *testing.T) {
+	src := `
+int level0(char *up, int n) {
+	return copy_from_user(kbuf, up, n);
+}
+int level1(char *p, int n) {
+	return level0(p, n);
+}
+int level2(char *q, int n) {
+	char c = *q;
+	return level1(q, n);
+}
+`
+	c, rs := run(t, src)
+	if got := c.UserParams("level2"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("level2 user params: %v", got)
+	}
+	if len(rs) != 1 || !strings.Contains(rs[0].Message, "level2") {
+		t.Errorf("reports: %+v", rs)
+	}
+}
+
+func TestInterfacePropagation(t *testing.T) {
+	// Two ioctl implementations in the same interface; one copies from
+	// user space, the sibling dereferences directly (§7's scenario).
+	src := `
+struct file_operations {
+	int (*ioctl)(struct file *f, unsigned int cmd, char *arg);
+};
+int good_ioctl(struct file *f, unsigned int cmd, char *arg) {
+	char k[8];
+	if (copy_from_user(k, arg, 8))
+		return -1;
+	return 0;
+}
+int bad_ioctl(struct file *f, unsigned int cmd, char *arg) {
+	return arg[0];
+}
+struct file_operations a_fops = { .ioctl = good_ioctl };
+struct file_operations b_fops = { .ioctl = bad_ioctl };
+`
+	_, rs := run(t, src)
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", rs)
+	}
+	if !strings.Contains(rs[0].Message, "bad_ioctl") || !strings.Contains(rs[0].Message, "good_ioctl") {
+		t.Errorf("should blame bad_ioctl via good_ioctl: %s", rs[0].Message)
+	}
+}
+
+func TestInterfaceNoFalsePositiveWithoutDeref(t *testing.T) {
+	src := `
+struct ops { int (*h)(char *arg); };
+int h1(char *arg) { return copy_from_user(k, arg, 4); }
+int h2(char *arg) { return copy_from_user(k, arg, 4); }
+struct ops o1 = { .h = h1 };
+struct ops o2 = { .h = h2 };
+`
+	_, rs := run(t, src)
+	if len(rs) != 0 {
+		t.Errorf("consistent siblings flagged: %+v", rs)
+	}
+}
+
+func TestCopyToUserDirection(t *testing.T) {
+	// copy_to_user's arg 0 is the user pointer.
+	src := `
+int sys_get(struct stat *ubuf) {
+	ubuf->size = 1;
+	return copy_to_user(ubuf, &kstat, 16);
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", rs)
+	}
+}
+
+func TestMacroDerefIgnored(t *testing.T) {
+	src := `
+#define PEEK(p) (*(p))
+int sys_x(char *u) {
+	int v = PEEK(u);
+	return copy_from_user(k, u, 4);
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 0 {
+		t.Errorf("macro deref should not convict: %+v", rs)
+	}
+}
+
+func TestCastDerefConvicts(t *testing.T) {
+	// The ioctl idiom: *(int *)arg dereferences the user pointer through
+	// a cast.
+	src := `
+int dev_ioctl(struct file *f, unsigned int cmd, char *arg) {
+	int v = *(int *)arg;
+	if (copy_from_user(kbuf, arg, 4))
+		return -1;
+	return v;
+}
+`
+	_, rs := run(t, src)
+	if len(rs) != 1 {
+		t.Fatalf("cast deref missed: %+v", rs)
+	}
+}
+
+func TestMultiFileInterfacePropagation(t *testing.T) {
+	// The good and bad implementations live in different files.
+	good, errs := cparse.ParseSource("good.c", `
+struct file_operations { int (*ioctl)(struct file *f, char *arg); };
+int good_ioctl(struct file *f, char *arg) {
+	if (copy_from_user(k, arg, 8))
+		return -1;
+	return 0;
+}
+struct file_operations good_fops = { .ioctl = good_ioctl };
+`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	bad, errs := cparse.ParseSource("bad.c", `
+struct file_operations { int (*ioctl)(struct file *f, char *arg); };
+int bad_ioctl(struct file *f, char *arg) {
+	return arg[0];
+}
+struct file_operations bad_fops = { .ioctl = bad_ioctl };
+`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	prog := csem.Analyze([]*cast.File{good, bad})
+	col := report.NewCollector()
+	New(prog, latent.Default()).Run(col)
+	rs := col.ByChecker("userptr")
+	if len(rs) != 1 || rs[0].Pos.File != "bad.c" {
+		t.Errorf("cross-file conviction failed: %+v", rs)
+	}
+}

@@ -1,0 +1,297 @@
+// Package version cross-checks a routine against itself through time
+// (§4.2: "One simple technique is to relate the same routine to itself
+// through time across different versions. Once the implementation becomes
+// stable, we can check that any modifications do not violate invariants
+// implied by the old code.").
+//
+// The old version's code implies MUST beliefs — parameters it guards
+// against null, parameters it treats as dangerous user pointers, callees
+// whose results it checks, the sign convention of its error returns. A
+// new version that contradicts one of those beliefs is flagged: either
+// the old invariant was spurious, or the modification introduced a bug.
+package version
+
+import (
+	"fmt"
+	"sort"
+
+	"deviant/internal/cast"
+	"deviant/internal/csem"
+	"deviant/internal/ctoken"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+// Summary captures the externally comparable beliefs one function's body
+// implies.
+type Summary struct {
+	Name string
+	// ParamGuarded[i]: parameter i is compared against null somewhere.
+	ParamGuarded []bool
+	// ParamDerefUnguarded[i]: parameter i is dereferenced at a point not
+	// preceded (in source order) by any null check of it.
+	ParamDerefUnguarded []bool
+	// ParamDerefPos[i]: site of the first unguarded dereference.
+	ParamDerefPos []ctoken.Pos
+	// ParamUser[i]: parameter i is passed to a user-copy routine.
+	ParamUser []bool
+	// CheckedCallees: callees whose stored result is null/IS_ERR-checked.
+	CheckedCallees map[string]bool
+	// UncheckedCallees: callees whose stored result is dereferenced with
+	// no preceding check, with the site.
+	UncheckedCallees map[string]ctoken.Pos
+	// NegReturns / PosReturns: the function returns negative / positive
+	// non-zero integer constants somewhere (error-convention signal).
+	NegReturns bool
+	PosReturns bool
+	PosPos     ctoken.Pos
+}
+
+// Summarize computes summaries for every defined function in prog.
+func Summarize(prog *csem.Program, conv *latent.Conventions) map[string]*Summary {
+	out := make(map[string]*Summary, len(prog.Funcs))
+	for name, fd := range prog.Funcs {
+		out[name] = summarizeFunc(fd, conv)
+	}
+	return out
+}
+
+func paramIndex(fn *cast.FuncDecl, name string) int {
+	for i, p := range fn.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func identName(e cast.Expr) string {
+	if id, ok := cast.StripParensAndCasts(e).(*cast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isNullConst(e cast.Expr) bool {
+	switch x := cast.StripParensAndCasts(e).(type) {
+	case *cast.IntLit:
+		return x.Value == 0
+	case *cast.Ident:
+		return x.Name == "NULL"
+	}
+	return false
+}
+
+// nullCheckedName extracts the identifier a condition tests against null
+// ("p == NULL", "!p", "p", "IS_ERR(p)").
+func nullCheckedName(cond cast.Expr, conv *latent.Conventions) string {
+	switch x := cast.StripParensAndCasts(cond).(type) {
+	case *cast.BinaryExpr:
+		if x.Op != ctoken.EqEq && x.Op != ctoken.NotEq {
+			return ""
+		}
+		if isNullConst(x.Y) {
+			return identName(x.X)
+		}
+		if isNullConst(x.X) {
+			return identName(x.Y)
+		}
+		return ""
+	case *cast.UnaryExpr:
+		if x.Op == ctoken.Not {
+			return identName(x.X)
+		}
+		return ""
+	case *cast.CallExpr:
+		if cast.CalleeName(x) == conv.ErrPtrCheck && len(x.Args) == 1 {
+			return identName(x.Args[0])
+		}
+		return ""
+	case *cast.Ident:
+		return x.Name
+	}
+	return ""
+}
+
+// summarizeFunc walks the body in source (pre-)order, tracking which
+// names have been checked so far. This is a linearization of the path
+// structure — cheap and adequate for cross-version diffing, where both
+// sides are approximated identically.
+func summarizeFunc(fd *cast.FuncDecl, conv *latent.Conventions) *Summary {
+	n := len(fd.Params)
+	s := &Summary{
+		Name:                fd.Name,
+		ParamGuarded:        make([]bool, n),
+		ParamDerefUnguarded: make([]bool, n),
+		ParamDerefPos:       make([]ctoken.Pos, n),
+		ParamUser:           make([]bool, n),
+		CheckedCallees:      make(map[string]bool),
+		UncheckedCallees:    make(map[string]ctoken.Pos),
+	}
+	checked := map[string]bool{} // names null-checked so far
+	varCallee := map[string]string{}
+
+	markDeref := func(base cast.Expr, pos ctoken.Pos) {
+		name := identName(base)
+		if name == "" || checked[name] {
+			return
+		}
+		if i := paramIndex(fd, name); i >= 0 {
+			if !s.ParamDerefUnguarded[i] {
+				s.ParamDerefUnguarded[i] = true
+				s.ParamDerefPos[i] = pos
+			}
+		}
+		if callee, ok := varCallee[name]; ok {
+			if _, seen := s.UncheckedCallees[callee]; !seen {
+				s.UncheckedCallees[callee] = pos
+			}
+		}
+	}
+
+	cast.Inspect(fd.Body, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.IfStmt:
+			if name := nullCheckedName(x.Cond, conv); name != "" {
+				if i := paramIndex(fd, name); i >= 0 {
+					s.ParamGuarded[i] = true
+				}
+				if callee, ok := varCallee[name]; ok {
+					s.CheckedCallees[callee] = true
+				}
+				checked[name] = true
+			}
+		case *cast.UnaryExpr:
+			if x.Op == ctoken.Star {
+				markDeref(x.X, x.OpPos)
+			}
+		case *cast.MemberExpr:
+			if x.Arrow {
+				markDeref(x.X, x.MemPos)
+			}
+		case *cast.IndexExpr:
+			markDeref(x.X, x.X.Pos())
+		case *cast.VarDecl:
+			if x.Init != nil {
+				if call, ok := cast.StripParensAndCasts(x.Init).(*cast.CallExpr); ok {
+					if callee := cast.CalleeName(call); callee != "" {
+						varCallee[x.Name] = callee
+					}
+				}
+			}
+		case *cast.AssignExpr:
+			if lhs := identName(x.L); lhs != "" {
+				delete(varCallee, lhs)
+				delete(checked, lhs)
+				if call, ok := cast.StripParensAndCasts(x.R).(*cast.CallExpr); ok {
+					if callee := cast.CalleeName(call); callee != "" {
+						varCallee[lhs] = callee
+					}
+				}
+			}
+		case *cast.CallExpr:
+			callee := cast.CalleeName(x)
+			if idx, ok := conv.UserPointerArg(callee); ok && idx < len(x.Args) {
+				if name := identName(x.Args[idx]); name != "" {
+					if i := paramIndex(fd, name); i >= 0 {
+						s.ParamUser[i] = true
+					}
+				}
+			}
+		case *cast.ReturnStmt:
+			if x.X != nil {
+				switch r := cast.StripParensAndCasts(x.X).(type) {
+				case *cast.UnaryExpr:
+					if r.Op == ctoken.Minus {
+						s.NegReturns = true
+					}
+				case *cast.IntLit:
+					if r.Value > 0 {
+						s.PosReturns = true
+						if !s.PosPos.IsValid() {
+							s.PosPos = r.LitPos
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// Drift is one cross-version contradiction.
+type Drift struct {
+	Func string
+	Kind string
+	Pos  ctoken.Pos // site in the new version
+	Msg  string
+}
+
+// Compare cross-checks new-version summaries against old-version ones and
+// returns the contradictions, also adding them to col if non-nil.
+func Compare(oldS, newS map[string]*Summary, fns map[string]*cast.FuncDecl, col *report.Collector) []Drift {
+	var drifts []Drift
+	add := func(fn, kind string, pos ctoken.Pos, msg string) {
+		drifts = append(drifts, Drift{Func: fn, Kind: kind, Pos: pos, Msg: msg})
+		if col != nil {
+			col.AddMust("version/"+kind, "new version of "+fn+" must preserve old invariants",
+				pos, report.Serious, 0, msg)
+		}
+	}
+
+	names := make([]string, 0, len(newS))
+	for name := range newS {
+		if _, ok := oldS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		o, n := oldS[name], newS[name]
+		fd := fns[name]
+		params := min(len(o.ParamGuarded), len(n.ParamGuarded))
+		for i := 0; i < params; i++ {
+			pname := fmt.Sprintf("#%d", i)
+			if fd != nil && i < len(fd.Params) {
+				pname = fd.Params[i].Name
+			}
+			if o.ParamGuarded[i] && !o.ParamDerefUnguarded[i] && n.ParamDerefUnguarded[i] {
+				add(name, "dropped-null-check", n.ParamDerefPos[i],
+					fmt.Sprintf("%s dereferences %q without the null check the previous version had", name, pname))
+			}
+			if o.ParamUser[i] && !o.ParamDerefUnguarded[i] && n.ParamDerefUnguarded[i] && !n.ParamUser[i] {
+				add(name, "user-pointer-regression", n.ParamDerefPos[i],
+					fmt.Sprintf("%s now dereferences %q, which the previous version treated as a user pointer", name, pname))
+			}
+		}
+		for callee := range o.CheckedCallees {
+			if pos, ok := n.UncheckedCallees[callee]; ok && !n.CheckedCallees[callee] {
+				if _, oldUnchecked := o.UncheckedCallees[callee]; oldUnchecked {
+					continue // the old version was equally sloppy
+				}
+				add(name, "dropped-result-check", pos,
+					fmt.Sprintf("%s no longer checks the result of %s before using it", name, callee))
+			}
+		}
+		if o.NegReturns && !o.PosReturns && n.PosReturns {
+			add(name, "error-convention-flip", n.PosPos,
+				fmt.Sprintf("%s returned negative error codes; the new version returns a positive constant", name))
+		}
+	}
+	return drifts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Diff is the convenience entry point: summarize both programs and
+// compare.
+func Diff(oldProg, newProg *csem.Program, conv *latent.Conventions, col *report.Collector) []Drift {
+	return Compare(Summarize(oldProg, conv), Summarize(newProg, conv), newProg.Funcs, col)
+}

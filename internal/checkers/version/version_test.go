@@ -1,0 +1,189 @@
+package version
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+	"deviant/internal/csem"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+func prog(t *testing.T, src string) *csem.Program {
+	t.Helper()
+	f, errs := cparse.ParseSource("v.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return csem.Analyze([]*cast.File{f})
+}
+
+func diff(t *testing.T, oldSrc, newSrc string) ([]Drift, *report.Collector) {
+	t.Helper()
+	col := report.NewCollector()
+	drifts := Diff(prog(t, oldSrc), prog(t, newSrc), latent.Default(), col)
+	return drifts, col
+}
+
+func TestDroppedNullCheck(t *testing.T) {
+	oldSrc := `
+int f(struct s *p) {
+	if (!p)
+		return -1;
+	return p->x;
+}`
+	newSrc := `
+int f(struct s *p) {
+	return p->x;
+}`
+	drifts, col := diff(t, oldSrc, newSrc)
+	if len(drifts) != 1 || drifts[0].Kind != "dropped-null-check" {
+		t.Fatalf("drifts: %+v", drifts)
+	}
+	if col.Len() != 1 {
+		t.Errorf("reports: %d", col.Len())
+	}
+	if !strings.Contains(drifts[0].Msg, "p") {
+		t.Errorf("msg: %s", drifts[0].Msg)
+	}
+}
+
+func TestNoDriftWhenBothGuard(t *testing.T) {
+	src := `
+int f(struct s *p) {
+	if (!p)
+		return -1;
+	return p->x;
+}`
+	drifts, _ := diff(t, src, src)
+	if len(drifts) != 0 {
+		t.Errorf("identical versions drifted: %+v", drifts)
+	}
+}
+
+func TestNoDriftWhenOldWasAlsoUnguarded(t *testing.T) {
+	src := `
+int f(struct s *p) {
+	return p->x;
+}`
+	drifts, _ := diff(t, src, src)
+	if len(drifts) != 0 {
+		t.Errorf("old code was equally sloppy; not a regression: %+v", drifts)
+	}
+}
+
+func TestUserPointerRegression(t *testing.T) {
+	oldSrc := `
+int ioctl(struct file *f, char *arg) {
+	char k[8];
+	if (copy_from_user(k, arg, 8))
+		return -1;
+	return k[0];
+}`
+	newSrc := `
+int ioctl(struct file *f, char *arg) {
+	return arg[0];
+}`
+	drifts, _ := diff(t, oldSrc, newSrc)
+	found := false
+	for _, d := range drifts {
+		if d.Kind == "user-pointer-regression" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drifts: %+v", drifts)
+	}
+}
+
+func TestDroppedResultCheck(t *testing.T) {
+	oldSrc := `
+int f(void) {
+	struct b *p = kmalloc(8);
+	if (!p)
+		return -1;
+	return p->len;
+}`
+	newSrc := `
+int f(void) {
+	struct b *p = kmalloc(8);
+	return p->len;
+}`
+	drifts, _ := diff(t, oldSrc, newSrc)
+	found := false
+	for _, d := range drifts {
+		if d.Kind == "dropped-result-check" && strings.Contains(d.Msg, "kmalloc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drifts: %+v", drifts)
+	}
+}
+
+func TestErrorConventionFlip(t *testing.T) {
+	oldSrc := `
+int f(int x) {
+	if (x < 0)
+		return -1;
+	return 0;
+}`
+	newSrc := `
+int f(int x) {
+	if (x < 0)
+		return 1;
+	return 0;
+}`
+	drifts, _ := diff(t, oldSrc, newSrc)
+	if len(drifts) != 1 || drifts[0].Kind != "error-convention-flip" {
+		t.Fatalf("drifts: %+v", drifts)
+	}
+}
+
+func TestRenamedFunctionsIgnored(t *testing.T) {
+	oldSrc := `int f(struct s *p) { if (!p) return -1; return p->x; }`
+	newSrc := `int g(struct s *p) { return p->x; }`
+	drifts, _ := diff(t, oldSrc, newSrc)
+	if len(drifts) != 0 {
+		t.Errorf("unrelated functions compared: %+v", drifts)
+	}
+}
+
+func TestIsErrCountsAsCheck(t *testing.T) {
+	oldSrc := `
+int f(void) {
+	struct d *p = lookup(1);
+	if (!p)
+		return -1;
+	return p->n;
+}`
+	newSrc := `
+int f(void) {
+	struct d *p = lookup(1);
+	if (IS_ERR(p))
+		return -1;
+	return p->n;
+}`
+	drifts, _ := diff(t, oldSrc, newSrc)
+	if len(drifts) != 0 {
+		t.Errorf("IS_ERR still checks the result: %+v", drifts)
+	}
+}
+
+func TestGuardedDerefAfterCheckNotUnguarded(t *testing.T) {
+	p := prog(t, `
+int f(struct s *p) {
+	if (!p)
+		return -1;
+	return p->x;
+}`)
+	s := Summarize(p, latent.Default())["f"]
+	if s.ParamDerefUnguarded[0] {
+		t.Error("deref after guard should not be unguarded")
+	}
+	if !s.ParamGuarded[0] {
+		t.Error("guard not recorded")
+	}
+}

@@ -1,0 +1,280 @@
+// Package core wires the full analysis pipeline together: preprocess,
+// parse, index, build CFGs (with crash-path pruning), run the selected
+// checkers down every path, and collect ranked reports. It is the
+// internal engine behind the public deviant package.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/checkers/fail"
+	"deviant/internal/checkers/freecheck"
+	"deviant/internal/checkers/intr"
+	"deviant/internal/checkers/iserr"
+	"deviant/internal/checkers/lockvar"
+	"deviant/internal/checkers/null"
+	"deviant/internal/checkers/pairing"
+	"deviant/internal/checkers/redundant"
+	"deviant/internal/checkers/retconv"
+	"deviant/internal/checkers/reverse"
+	"deviant/internal/checkers/seccheck"
+	"deviant/internal/checkers/userptr"
+	"deviant/internal/cparse"
+	"deviant/internal/cpp"
+	"deviant/internal/csem"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/stats"
+)
+
+// Checks selects which checkers run.
+type Checks struct {
+	Null      bool
+	Free      bool
+	UserPtr   bool
+	IsErr     bool
+	Fail      bool
+	LockVar   bool
+	Pairing   bool
+	Intr      bool
+	SecCheck  bool
+	Reverse   bool
+	RetConv   bool
+	Redundant bool
+}
+
+// AllChecks enables everything.
+func AllChecks() Checks {
+	return Checks{Null: true, Free: true, UserPtr: true, IsErr: true, Fail: true,
+		LockVar: true, Pairing: true, Intr: true, SecCheck: true, Reverse: true,
+		RetConv: true, Redundant: true}
+}
+
+// Options configures a run.
+type Options struct {
+	Checks Checks
+	// IncludeDirs are searched by #include (default: "include").
+	IncludeDirs []string
+	// Defines are predefined macros (as with -D).
+	Defines map[string]string
+	// P0 is the expected example probability for z ranking.
+	P0 float64
+	// MinPairExamples is the evidence floor for reporting pair
+	// violations.
+	MinPairExamples int
+	// MinPairScore is the z+boost floor below which pair violations are
+	// derived but not reported.
+	MinPairScore float64
+	// Memoize controls engine state memoization (ablation knob).
+	Memoize bool
+	// DisableCrashPruning keeps panic/BUG paths alive (ablation knob).
+	DisableCrashPruning bool
+	// NullConfig overrides the null checker configuration.
+	NullConfig *null.Config
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		Checks:          AllChecks(),
+		IncludeDirs:     []string{"include"},
+		P0:              stats.DefaultP0,
+		MinPairExamples: 2,
+		MinPairScore:    1.0,
+		Memoize:         true,
+	}
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Reports holds all checker errors, ranked.
+	Reports *report.Collector
+	// Prog is the semantic index of the analyzed code.
+	Prog *csem.Program
+	// ParseErrors are non-fatal frontend diagnostics.
+	ParseErrors []error
+
+	// Derived rule instances, for the experiment tables.
+	Pairs        []pairing.Pair
+	CanFail      []fail.Derived
+	CanFailNever []fail.Derived
+	IsErrFuncs   []iserr.Derived
+	LockBindings []lockvar.Binding
+	IntrFuncs    []intr.Derived
+	SecChecks    []seccheck.Derived
+	Reversals    []reverse.Reversal
+
+	// EngineStats aggregates traversal effort per checker name.
+	EngineStats map[string]engine.RunStats
+
+	// Functions analyzed and total source lines (scalability metrics).
+	FuncCount int
+	LineCount int
+}
+
+// Analyzer runs the pipeline over a file provider.
+type Analyzer struct {
+	opts Options
+	conv *latent.Conventions
+}
+
+// New returns an analyzer. A nil conventions argument uses the defaults.
+func New(opts Options, conv *latent.Conventions) *Analyzer {
+	if conv == nil {
+		conv = latent.Default()
+	}
+	if opts.P0 == 0 {
+		opts.P0 = stats.DefaultP0
+	}
+	if opts.MinPairExamples == 0 {
+		opts.MinPairExamples = 2
+	}
+	if len(opts.IncludeDirs) == 0 {
+		opts.IncludeDirs = []string{"include"}
+	}
+	return &Analyzer{opts: opts, conv: conv}
+}
+
+// AnalyzeSources is a convenience over AnalyzeFS for in-memory code: every
+// ".c" key is a translation unit, everything else is includable.
+func (a *Analyzer) AnalyzeSources(srcs map[string]string) (*Result, error) {
+	fs := cpp.MapFS(srcs)
+	var units []string
+	for name := range srcs {
+		if strings.HasSuffix(name, ".c") {
+			units = append(units, name)
+		}
+	}
+	sort.Strings(units)
+	return a.AnalyzeFS(fs, units)
+}
+
+// AnalyzeFS preprocesses, parses and checks the given translation units.
+func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("core: no translation units")
+	}
+	res := &Result{
+		Reports:     report.NewCollector(),
+		EngineStats: make(map[string]engine.RunStats),
+	}
+
+	var files []*cast.File
+	for _, unit := range units {
+		pp := cpp.New(fs, a.opts.IncludeDirs...)
+		for k, v := range a.opts.Defines {
+			pp.Define(k, v)
+		}
+		src, err := fs.ReadFile(unit)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.LineCount += strings.Count(src, "\n") + 1
+		toks, err := pp.ProcessSource(unit, src)
+		if err != nil {
+			res.ParseErrors = append(res.ParseErrors, pp.Errs()...)
+		}
+		f, perrs := cparse.ParseFile(unit, toks)
+		res.ParseErrors = append(res.ParseErrors, perrs...)
+		files = append(files, f)
+	}
+	res.Prog = csem.Analyze(files)
+	res.FuncCount = len(res.Prog.Funcs)
+
+	// Build CFGs once, shared by all checkers.
+	var noReturn func(string) bool
+	if !a.opts.DisableCrashPruning {
+		noReturn = a.conv.IsCrashRoutine
+	}
+	graphs := make(map[string]*cfg.Graph, len(res.Prog.Funcs))
+	for _, name := range res.Prog.FuncNames() {
+		graphs[name] = cfg.Build(res.Prog.Funcs[name], cfg.Options{NoReturn: noReturn})
+	}
+	eopts := engine.Options{Memoize: a.opts.Memoize}
+
+	runEngine := func(ch engine.Checker) {
+		total := engine.RunStats{}
+		for _, name := range res.Prog.FuncNames() {
+			s := engine.Run(graphs[name], ch, res.Reports, eopts)
+			total.Visits += s.Visits
+			total.MemoHits += s.MemoHits
+			total.Truncated = total.Truncated || s.Truncated
+		}
+		res.EngineStats[ch.Name()] = total
+	}
+
+	if a.opts.Checks.Null {
+		cfgn := null.AllChecks()
+		if a.opts.NullConfig != nil {
+			cfgn = *a.opts.NullConfig
+		}
+		ch := null.New(cfgn)
+		runEngine(ch)
+		ch.Finish(res.Reports)
+	}
+	if a.opts.Checks.Free {
+		ch := freecheck.New(a.conv)
+		runEngine(ch)
+	}
+	if a.opts.Checks.Redundant {
+		redundant.New(res.Prog).Run(res.Reports)
+	}
+	if a.opts.Checks.RetConv {
+		retconv.New(res.Prog, a.conv).Run(res.Reports)
+	}
+	if a.opts.Checks.UserPtr {
+		ch := userptr.New(res.Prog, a.conv)
+		ch.Run(res.Reports)
+	}
+	if a.opts.Checks.IsErr {
+		ch := iserr.New(a.conv)
+		runEngine(ch)
+		ch.Finish(res.Reports)
+		res.IsErrFuncs = ch.Ranked()
+	}
+	if a.opts.Checks.Fail {
+		ch := fail.New(a.conv)
+		runEngine(ch)
+		ch.Finish(res.Reports)
+		res.CanFail = ch.Ranked()
+		res.CanFailNever = ch.InverseRanked()
+	}
+	if a.opts.Checks.LockVar {
+		ch := lockvar.New(res.Prog, a.conv)
+		runEngine(ch)
+		ch.Finish(res.Reports)
+		res.LockBindings = ch.Bindings()
+	}
+	if a.opts.Checks.Pairing {
+		ch := pairing.New(a.conv, pairing.DefaultLimits())
+		for _, name := range res.Prog.FuncNames() {
+			ch.AddFunction(graphs[name])
+		}
+		res.Pairs = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+	}
+	if a.opts.Checks.Intr {
+		ch := intr.New(a.conv)
+		runEngine(ch)
+		ch.Finish(res.Reports)
+		res.IntrFuncs = ch.Ranked()
+	}
+	if a.opts.Checks.SecCheck {
+		ch := seccheck.New(nil)
+		runEngine(ch)
+		ch.Finish(res.Reports)
+		res.SecChecks = ch.Ranked()
+	}
+	if a.opts.Checks.Reverse {
+		ch := reverse.New(a.conv, reverse.DefaultLimits())
+		for _, name := range res.Prog.FuncNames() {
+			ch.AddFunction(graphs[name])
+		}
+		res.Reversals = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+	}
+	return res, nil
+}

@@ -1,0 +1,624 @@
+// Package corpus generates synthetic kernel-flavoured C source trees with
+// seeded, line-exact ground-truth bugs. It is the substitution for the
+// Linux 2.4.1 / 2.4.7 and OpenBSD 2.8 source snapshots the paper checks
+// (DESIGN.md §2): every checker keys on specific systems idioms — null
+// guards, copy_from_user, spin locks, allocator failure paths, interface
+// structs, cli/sti — and the generator emits exactly those idioms, clean
+// in the common case and buggy at configured rates.
+//
+// Generation is deterministic in Spec.Seed, so experiments reproduce.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// BugKind names a ground-truth bug category; values match the checker
+// that should find them.
+type BugKind string
+
+// Bug kinds.
+const (
+	CheckThenUse   BugKind = "null/check-then-use"
+	UseThenCheck   BugKind = "null/use-then-check"
+	RedundantCheck BugKind = "null/redundant-check"
+	UserPtrDeref   BugKind = "userptr"
+	WrongErrCheck  BugKind = "iserr"
+	UncheckedAlloc BugKind = "fail"
+	UnlockedAccess BugKind = "lockvar"
+	MissingUnlock  BugKind = "pairing"
+	IntrEnabled    BugKind = "intr"
+	SecUnchecked   BugKind = "seccheck"
+	MissingRevert  BugKind = "reverse"
+	UseAfterFree   BugKind = "free"
+)
+
+// Bug is one seeded ground-truth defect.
+type Bug struct {
+	Kind BugKind
+	File string
+	Line int
+	Func string
+}
+
+// Rates sets the per-function probability of seeding each bug kind into
+// the function template that can express it.
+type Rates struct {
+	CheckThenUse   float64
+	UseThenCheck   float64
+	RedundantCheck float64
+	UserPtrDeref   float64
+	WrongErrCheck  float64
+	UncheckedAlloc float64
+	UnlockedAccess float64
+	MissingUnlock  float64
+	IntrEnabled    float64
+	SecUnchecked   float64
+	MissingRevert  float64
+	UseAfterFree   float64
+}
+
+// DefaultRates mirror the sparsity of real bugs: a few percent of the
+// sites that could be wrong are wrong.
+func DefaultRates() Rates {
+	return Rates{
+		CheckThenUse:   0.06,
+		UseThenCheck:   0.06,
+		RedundantCheck: 0.08,
+		UserPtrDeref:   0.08,
+		WrongErrCheck:  0.08,
+		UncheckedAlloc: 0.06,
+		UnlockedAccess: 0.08,
+		MissingUnlock:  0.10,
+		IntrEnabled:    0.08,
+		SecUnchecked:   0.08,
+		MissingRevert:  0.08,
+		UseAfterFree:   0.08,
+	}
+}
+
+// Spec describes a corpus to generate.
+type Spec struct {
+	Name           string
+	Seed           int64
+	Modules        int
+	FuncsPerModule int
+	Rates          Rates
+}
+
+// Linux241 approximates the papers' first snapshot: smaller tree.
+func Linux241() Spec {
+	return Spec{Name: "linux-2.4.1-like", Seed: 241, Modules: 40, FuncsPerModule: 17, Rates: DefaultRates()}
+}
+
+// Linux247 approximates the second snapshot: the biggest tree.
+func Linux247() Spec {
+	return Spec{Name: "linux-2.4.7-like", Seed: 247, Modules: 80, FuncsPerModule: 17, Rates: DefaultRates()}
+}
+
+// OpenBSD28 approximates the cross-check target: different size and seed
+// (different code, same idioms) to test checker generality.
+func OpenBSD28() Spec {
+	return Spec{Name: "openbsd-2.8-like", Seed: 32, Modules: 30, FuncsPerModule: 17, Rates: DefaultRates()}
+}
+
+// Corpus is a generated tree.
+type Corpus struct {
+	Spec  Spec
+	Files map[string]string // sources and headers
+	Units []string          // ".c" translation units, sorted
+	Bugs  []Bug             // seeded ground truth
+	Lines int               // total source lines
+}
+
+// Generate builds the corpus for spec.
+func Generate(spec Spec) *Corpus {
+	g := &generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		c: &Corpus{
+			Spec:  spec,
+			Files: make(map[string]string),
+		},
+	}
+	g.emitHeader()
+	for m := 0; m < spec.Modules; m++ {
+		g.emitModule(m)
+	}
+	sort.Strings(g.c.Units)
+	for _, src := range g.c.Files {
+		g.c.Lines += strings.Count(src, "\n")
+	}
+	return g.c
+}
+
+// BugsOf returns the seeded bugs of one kind.
+func (c *Corpus) BugsOf(kind BugKind) []Bug {
+	var out []Bug
+	for _, b := range c.Bugs {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CountOf returns the number of seeded bugs of one kind.
+func (c *Corpus) CountOf(kind BugKind) int { return len(c.BugsOf(kind)) }
+
+// ---------------------------------------------------------------------------
+
+type generator struct {
+	spec Spec
+	rng  *rand.Rand
+	c    *Corpus
+}
+
+// file builds one source file while tracking line numbers for ground
+// truth.
+type file struct {
+	name string
+	sb   strings.Builder
+	line int
+}
+
+func newFile(name string) *file { return &file{name: name, line: 0} }
+
+// w appends one line and returns its line number (1-based).
+func (f *file) w(format string, args ...any) int {
+	f.line++
+	fmt.Fprintf(&f.sb, format, args...)
+	f.sb.WriteByte('\n')
+	return f.line
+}
+
+func (g *generator) bug(kind BugKind, f *file, line int, fn string) {
+	g.c.Bugs = append(g.c.Bugs, Bug{Kind: kind, File: f.name, Line: line, Func: fn})
+}
+
+func (g *generator) chance(p float64) bool { return g.rng.Float64() < p }
+
+func (g *generator) emitHeader() {
+	f := newFile("include/kernel.h")
+	for _, l := range []string{
+		"#ifndef _KERNEL_H",
+		"#define _KERNEL_H",
+		"#define NULL 0",
+		"typedef unsigned long size_t;",
+		"struct spinlock { int raw; };",
+		"struct inode { int i_ino; int i_mode; void *i_private; };",
+		"struct file { int f_flags; void *private_data; struct inode *f_inode; };",
+		"struct dentry { int d_count; struct inode *d_inode; };",
+		"struct sk_buff { int len; char *data; struct sk_buff *next; };",
+		"struct tty_struct { void *driver_data; int count; struct tty_struct *link; };",
+		"struct file_operations {",
+		"\tint (*open)(struct inode *ino, struct file *filp);",
+		"\tint (*ioctl)(struct file *filp, unsigned int cmd, char *arg);",
+		"\tint (*release)(struct inode *ino, struct file *filp);",
+		"};",
+		"void *kmalloc(int size);",
+		"void kfree(void *p);",
+		"void printk(const char *fmt, ...);",
+		"void panic(const char *fmt, ...);",
+		"int copy_from_user(void *to, const void *from, int n);",
+		"int copy_to_user(void *to, const void *from, int n);",
+		"void spin_lock(struct spinlock *l);",
+		"void spin_unlock(struct spinlock *l);",
+		"void cli(void);",
+		"void sti(void);",
+		"int IS_ERR(void *p);",
+		"#define DEV_WARN_IF_NULL(p) if ((p) == NULL) printk(\"null pointer!\\n\")",
+		"void udelay(int usecs);",
+		"int register_chrdev(int major, const char *name, struct file_operations *fops);",
+		"#endif",
+	} {
+		f.w("%s", l)
+	}
+	g.c.Files[f.name] = f.sb.String()
+}
+
+var moduleFamilies = []string{"ide", "scsi", "eth", "serial", "usb", "fb", "snd", "isdn", "raid", "vfs", "nfs", "ipx"}
+
+func (g *generator) emitModule(idx int) {
+	fam := moduleFamilies[idx%len(moduleFamilies)]
+	mod := fmt.Sprintf("%s%d", fam, idx)
+	f := newFile(fmt.Sprintf("drivers/%s.c", mod))
+	f.w(`#include "kernel.h"`)
+	f.w("")
+	f.w("static struct spinlock %s_lock;", mod)
+	f.w("static int %s_count;", mod)
+	f.w("static int %s_state;", mod)
+	f.w("static struct sk_buff *%s_queue;", mod)
+	f.w("static int %s_tmp;", mod)
+	f.w("static struct %s_devstate { struct spinlock lock; int count; } %s_dev;", mod, mod)
+	f.w("")
+
+	templates := []func(*file, string, int){
+		g.fnNullGuard,
+		g.fnUseThenCheck,
+		g.fnAllocUse,
+		g.fnLockSection,
+		g.fnIoctl,
+		g.fnLookup,
+		g.fnIntrWork,
+		g.fnFiller,
+		g.fnRedundant,
+		g.fnListWalk,
+		g.fnSecCheck,
+		g.fnErrorCleanup,
+		g.fnCoincidence,
+		g.fnPanicGuard,
+		g.fnMacroGuard,
+		g.fnTeardown,
+		g.fnDevOps,
+	}
+	for i := 0; i < g.spec.FuncsPerModule; i++ {
+		tpl := templates[i%len(templates)]
+		tpl(f, mod, i)
+		f.w("")
+	}
+	// Interface registration: every module exports open/ioctl/release.
+	f.w("static struct file_operations %s_fops = {", mod)
+	f.w("\t.open = %s_open,", mod)
+	f.w("\t.ioctl = %s_ioctl,", mod)
+	f.w("\t.release = %s_release,", mod)
+	f.w("};")
+	f.w("")
+	f.w("int %s_init(void) {", mod)
+	f.w("\treturn register_chrdev(%d, \"%s\", &%s_fops);", 60+idx, mod, mod)
+	f.w("}")
+
+	g.c.Files[f.name] = f.sb.String()
+	g.c.Units = append(g.c.Units, f.name)
+}
+
+// fnNullGuard emits a function that checks a pointer parameter against
+// null. Clean: the null path returns. Bug (check-then-use): the null path
+// dereferences while printing a diagnostic, like the capidrv bug (§3.1).
+func (g *generator) fnNullGuard(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_probe%d", mod, i)
+	f.w("static int %s(struct sk_buff *skb, int id) {", name)
+	if g.chance(g.spec.Rates.CheckThenUse) {
+		f.w("\tif (skb == NULL) {")
+		ln := f.w("\t\tprintk(\"%s: bad skb len %%d id %%d\\n\", skb->len, id);", mod)
+		g.bug(CheckThenUse, f, ln, name)
+		f.w("\t\treturn -1;")
+		f.w("\t}")
+	} else {
+		f.w("\tif (skb == NULL) {")
+		f.w("\t\tprintk(\"%s: null skb, id %%d\\n\", id);", mod)
+		f.w("\t\treturn -1;")
+		f.w("\t}")
+	}
+	f.w("\treturn skb->len + id;")
+	f.w("}")
+}
+
+// fnUseThenCheck emits the mxser idiom (§3.1): dereference in an
+// initializer, followed by a null check of the same pointer (bug), or the
+// properly ordered version (clean).
+func (g *generator) fnUseThenCheck(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_write%d", mod, i)
+	f.w("static int %s(struct tty_struct *tty, int n) {", name)
+	if g.chance(g.spec.Rates.UseThenCheck) {
+		f.w("\tstruct sk_buff *info = tty->driver_data;")
+		ln := f.w("\tif (!tty || !info)")
+		g.bug(UseThenCheck, f, ln, name)
+		f.w("\t\treturn 0;")
+	} else {
+		f.w("\tstruct sk_buff *info;")
+		f.w("\tif (!tty)")
+		f.w("\t\treturn 0;")
+		f.w("\tinfo = tty->driver_data;")
+		f.w("\tif (!info)")
+		f.w("\t\treturn 0;")
+	}
+	f.w("\treturn info->len + n;")
+	f.w("}")
+}
+
+// fnAllocUse emits the kmalloc idiom: allocate, check, use. Bug: the
+// check is missing and the result is dereferenced directly.
+func (g *generator) fnAllocUse(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_grow%d", mod, i)
+	size := 32 + 16*(i%4)
+	f.w("static int %s(int extra) {", name)
+	f.w("\tstruct sk_buff *buf = kmalloc(%d + extra);", size)
+	if g.chance(g.spec.Rates.UncheckedAlloc) {
+		ln := f.w("\tbuf->len = %d;", size)
+		g.bug(UncheckedAlloc, f, ln, name)
+	} else {
+		f.w("\tif (!buf)")
+		f.w("\t\treturn -1;")
+		f.w("\tbuf->len = %d;", size)
+	}
+	f.w("\tbuf->next = NULL;")
+	f.w("\treturn 0;")
+	f.w("}")
+}
+
+// fnLockSection emits a critical section over the module's shared
+// counters. Bugs: an access outside the lock (lockvar), or a path that
+// returns without releasing (pairing).
+func (g *generator) fnLockSection(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_update%d", mod, i)
+	f.w("static int %s(int delta) {", name)
+	missingUnlock := g.chance(g.spec.Rates.MissingUnlock)
+	lockLn := f.w("\tspin_lock(&%s_lock);", mod)
+	f.w("\t%s_count = %s_count + delta;", mod, mod)
+	f.w("\t%s_state = %s_state + 1;", mod, mod)
+	if missingUnlock {
+		// The early-return path leaks the lock; the pairing checker
+		// reports at the unmatched acquire site.
+		g.bug(MissingUnlock, f, lockLn, name)
+		f.w("\tif (%s_count < 0) {", mod)
+		f.w("\t\treturn -1;")
+		f.w("\t}")
+		f.w("\tspin_unlock(&%s_lock);", mod)
+	} else {
+		f.w("\tif (%s_count < 0) {", mod)
+		f.w("\t\tspin_unlock(&%s_lock);", mod)
+		f.w("\t\treturn -1;")
+		f.w("\t}")
+		f.w("\tspin_unlock(&%s_lock);", mod)
+	}
+	if g.chance(g.spec.Rates.UnlockedAccess) {
+		ln := f.w("\t%s_count = %s_count - 1;", mod, mod)
+		g.bug(UnlockedAccess, f, ln, name)
+	}
+	f.w("\treturn delta;")
+	f.w("}")
+}
+
+// fnIoctl emits the module's ioctl handler; arg is a user pointer. Clean:
+// copy_from_user. Bug: direct dereference (§7's security hole).
+func (g *generator) fnIoctl(f *file, mod string, i int) {
+	// Only one ioctl per module joins the fops interface; extra
+	// instances get distinct names and still use the copy idiom.
+	name := fmt.Sprintf("%s_ioctl", mod)
+	if i >= 10 { // second template cycle: keep names unique
+		name = fmt.Sprintf("%s_ioctl%d", mod, i)
+	}
+	f.w("static int %s(struct file *filp, unsigned int cmd, char *arg) {", name)
+	f.w("\tchar kbuf[16];")
+	if g.chance(g.spec.Rates.UserPtrDeref) {
+		ln := f.w("\tkbuf[0] = arg[0];")
+		g.bug(UserPtrDeref, f, ln, name)
+		f.w("\tif (cmd > 4)")
+		f.w("\t\treturn -1;")
+	} else {
+		f.w("\tif (copy_from_user(kbuf, arg, 16))")
+		f.w("\t\treturn -1;")
+	}
+	f.w("\treturn kbuf[0] + cmd;")
+	f.w("}")
+}
+
+// fnLookup emits the IS_ERR idiom: the module's lookup routine returns an
+// encoded error pointer, and callers must test it with IS_ERR. Bug: a
+// caller tests against NULL instead.
+func (g *generator) fnLookup(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_open", mod)
+	if i >= 10 {
+		name = fmt.Sprintf("%s_open%d", mod, i)
+	}
+	f.w("static int %s(struct inode *ino, struct file *filp) {", name)
+	f.w("\tstruct dentry *d = vfs_lookup(ino->i_ino);")
+	if g.chance(g.spec.Rates.WrongErrCheck) {
+		ln := f.w("\tif (d == NULL)")
+		g.bug(WrongErrCheck, f, ln, name)
+		f.w("\t\treturn -1;")
+	} else {
+		f.w("\tif (IS_ERR(d))")
+		f.w("\t\treturn -1;")
+	}
+	f.w("\tfilp->private_data = d;")
+	f.w("\treturn d->d_count;")
+	f.w("}")
+}
+
+// fnIntrWork emits hardware poking that the code base does with
+// interrupts disabled. Bug: a call site leaves them enabled.
+func (g *generator) fnIntrWork(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_hw%d", mod, i)
+	f.w("static void %s(void) {", name)
+	if g.chance(g.spec.Rates.IntrEnabled) {
+		ln := f.w("\ttouch_hw_port(%d);", i)
+		g.bug(IntrEnabled, f, ln, name)
+		f.w("\tcli();")
+		f.w("\tsti();")
+	} else {
+		f.w("\tcli();")
+		f.w("\ttouch_hw_port(%d);", i)
+		f.w("\tsti();")
+	}
+	f.w("}")
+}
+
+// fnFiller emits clean computational code: realistic mass with nothing to
+// find.
+func (g *generator) fnFiller(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_calc%d", mod, i)
+	f.w("static int %s(int a, int b) {", name)
+	f.w("\tint acc = 0;")
+	f.w("\tint i;")
+	f.w("\tfor (i = 0; i < a; i++) {")
+	f.w("\t\tif (i %% %d == 0)", 2+i%3)
+	f.w("\t\t\tacc += b << 1;")
+	f.w("\t\telse")
+	f.w("\t\t\tacc -= b;")
+	f.w("\t}")
+	f.w("\tswitch (acc & 3) {")
+	f.w("\tcase 0:")
+	f.w("\t\tacc += %d;", i)
+	f.w("\t\tbreak;")
+	f.w("\tcase 1:")
+	f.w("\t\tacc -= %d;", i)
+	f.w("\t\tbreak;")
+	f.w("\tdefault:")
+	f.w("\t\tacc = acc * 2;")
+	f.w("\t}")
+	f.w("\treturn acc;")
+	f.w("}")
+}
+
+// fnRedundant emits the release handler; bug variant re-checks a pointer
+// already known.
+func (g *generator) fnRedundant(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_release", mod)
+	if i >= 10 {
+		name = fmt.Sprintf("%s_release%d", mod, i)
+	}
+	f.w("static int %s(struct inode *ino, struct file *filp) {", name)
+	f.w("\tif (filp == NULL)")
+	f.w("\t\treturn -1;")
+	if g.chance(g.spec.Rates.RedundantCheck) {
+		ln := f.w("\tif (filp == NULL)")
+		g.bug(RedundantCheck, f, ln, name)
+		f.w("\t\treturn -2;")
+	}
+	f.w("\tfilp->private_data = NULL;")
+	f.w("\treturn 0;")
+	f.w("}")
+}
+
+// fnListWalk emits a clean queue walk (exercises loops and member
+// chains without bugs).
+func (g *generator) fnListWalk(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_drain%d", mod, i)
+	f.w("static int %s(void) {", name)
+	f.w("\tstruct sk_buff *p;")
+	f.w("\tint total = 0;")
+	f.w("\tspin_lock(&%s_lock);", mod)
+	f.w("\tfor (p = %s_queue; p; p = p->next)", mod)
+	f.w("\t\ttotal += p->len;")
+	f.w("\t%s_count = 0;", mod)
+	f.w("\tspin_unlock(&%s_lock);", mod)
+	f.w("\treturn total;")
+	f.w("}")
+}
+
+// fnSecCheck emits a privileged operation guarded by capable(). Bug: the
+// guard is missing (Table 2's "does security check Y protect X").
+func (g *generator) fnSecCheck(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_setopt%d", mod, i)
+	f.w("static int %s(int v) {", name)
+	if g.chance(g.spec.Rates.SecUnchecked) {
+		ln := f.w("\tset_port_state(v);")
+		g.bug(SecUnchecked, f, ln, name)
+	} else {
+		f.w("\tif (!capable(12))")
+		f.w("\t\treturn -1;")
+		f.w("\tset_port_state(v);")
+	}
+	f.w("\treturn 0;")
+	f.w("}")
+}
+
+// fnErrorCleanup emits the error-path reversal idiom: request_region must
+// be released when the subsequent probe fails. Bug: the error path leaks
+// the region (Table 2's "does a reverse b").
+func (g *generator) fnErrorCleanup(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_setup%d", mod, i)
+	f.w("static int %s(int port) {", name)
+	f.w("\tint err;")
+	reqLn := f.w("\trequest_region(port);")
+	f.w("\terr = probe_port(port);")
+	if g.chance(g.spec.Rates.MissingRevert) {
+		// The reverse checker reports at the unreversed forward action.
+		g.bug(MissingRevert, f, reqLn, name)
+		f.w("\tif (err < 0)")
+		f.w("\t\treturn -EIO;")
+	} else {
+		f.w("\tif (err < 0) {")
+		f.w("\t\trelease_region(port);")
+		f.w("\t\treturn -EIO;")
+		f.w("\t}")
+	}
+	f.w("\treturn 0;")
+	f.w("}")
+}
+
+// fnCoincidence emits realistic noise — weak, coincidental beliefs that
+// are NOT bugs: a scratch variable once touched inside a critical section
+// and twice outside it, and a one-off call pairing. The z ranking must
+// push violations of these beliefs below the seeded bugs (§5.1); the
+// ranking experiment measures exactly that.
+func (g *generator) fnCoincidence(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_misc%d", mod, i)
+	f.w("static int %s(int v) {", name)
+	f.w("\tspin_lock(&%s_lock);", mod)
+	f.w("\t%s_tmp = v + %s_state;", mod, mod)
+	f.w("\tspin_unlock(&%s_lock);", mod)
+	f.w("\t%s_tmp = %s_tmp + 1;", mod, mod)
+	f.w("\tmisc_seed(v);")
+	f.w("\tif (v > 0)")
+	f.w("\t\tmisc_gather(v);")
+	f.w("\treturn %s_tmp;", mod)
+	f.w("}")
+}
+
+// fnPanicGuard emits the §6 panic idiom: the null path crashes the
+// machine, so the following dereference is safe. It seeds NO bug — it
+// exists to measure the crash-path-pruning ablation (without pruning, the
+// null checker false-positives here).
+func (g *generator) fnPanicGuard(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_claim%d", mod, i)
+	f.w("static int %s(struct sk_buff *b, int cpu) {", name)
+	f.w("\tif (!b)")
+	f.w("\t\tpanic(\"%s: no buffer for CPU %%d\", cpu);", mod)
+	f.w("\tb->len = 0;")
+	f.w("\treturn 0;")
+	f.w("}")
+}
+
+// fnMacroGuard emits the macro idiom behind most of the paper's null
+// false positives (§6): a warn-only macro checks its argument, and the
+// caller dereferences afterwards. Clean code — the macro-origin
+// truncation must keep the belief from leaking (the macro ablation
+// measures this).
+func (g *generator) fnMacroGuard(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_touch%d", mod, i)
+	f.w("static int %s(struct inode *ino) {", name)
+	f.w("\tDEV_WARN_IF_NULL(ino);")
+	f.w("\treturn ino->i_ino;")
+	f.w("}")
+}
+
+// fnTeardown emits the deallocation discipline (§4.1 pre/post-conditions
+// of free). Bug: the freed buffer is touched afterwards.
+func (g *generator) fnTeardown(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_teardown%d", mod, i)
+	f.w("static void %s(struct sk_buff *b) {", name)
+	f.w("\tif (!b)")
+	f.w("\t\treturn;")
+	if g.chance(g.spec.Rates.UseAfterFree) {
+		f.w("\tkfree(b);")
+		ln := f.w("\tb->len = 0;")
+		g.bug(UseAfterFree, f, ln, name)
+	} else {
+		f.w("\tb->len = 0;")
+		f.w("\tkfree(b);")
+	}
+	f.w("}")
+}
+
+// fnDevOps emits member-granular locking — dev.lock protects dev.count —
+// the dominant idiom in modern kernels. Bug: the counter is touched after
+// the member lock is dropped.
+func (g *generator) fnDevOps(f *file, mod string, i int) {
+	name := fmt.Sprintf("%s_devop%d", mod, i)
+	f.w("static int %s(int d) {", name)
+	f.w("\tspin_lock(&%s_dev.lock);", mod)
+	f.w("\t%s_dev.count = %s_dev.count + d;", mod, mod)
+	f.w("\tspin_unlock(&%s_dev.lock);", mod)
+	if g.chance(g.spec.Rates.UnlockedAccess) {
+		ln := f.w("\t%s_dev.count = 0;", mod)
+		g.bug(UnlockedAccess, f, ln, name)
+	}
+	f.w("\treturn d;")
+	f.w("}")
+}

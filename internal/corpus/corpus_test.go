@@ -1,0 +1,187 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deviant/internal/cparse"
+	"deviant/internal/cpp"
+	"deviant/internal/ctoken"
+	"deviant/internal/report"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Linux241())
+	b := Generate(Linux241())
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("file counts differ")
+	}
+	for name, src := range a.Files {
+		if b.Files[name] != src {
+			t.Fatalf("file %s differs between runs", name)
+		}
+	}
+	if len(a.Bugs) != len(b.Bugs) {
+		t.Fatal("bug counts differ")
+	}
+}
+
+func TestSpecSizes(t *testing.T) {
+	small := Generate(Linux241())
+	large := Generate(Linux247())
+	if large.Lines <= small.Lines {
+		t.Errorf("2.4.7-like (%d lines) should exceed 2.4.1-like (%d)", large.Lines, small.Lines)
+	}
+	if len(small.Units) != small.Spec.Modules || len(large.Units) != large.Spec.Modules {
+		t.Errorf("units: %d, %d", len(small.Units), len(large.Units))
+	}
+}
+
+func TestAllKindsSeeded(t *testing.T) {
+	c := Generate(Linux247())
+	kinds := []BugKind{
+		CheckThenUse, UseThenCheck, RedundantCheck, UserPtrDeref,
+		WrongErrCheck, UncheckedAlloc, UnlockedAccess, MissingUnlock, IntrEnabled,
+		SecUnchecked, MissingRevert, UseAfterFree,
+	}
+	for _, k := range kinds {
+		if c.CountOf(k) == 0 {
+			t.Errorf("no %s bugs seeded in the large corpus", k)
+		}
+	}
+}
+
+func TestCorpusParsesCleanly(t *testing.T) {
+	for _, spec := range []Spec{Linux241(), Linux247(), OpenBSD28()} {
+		c := Generate(spec)
+		for _, unit := range c.Units {
+			pp := cpp.New(cpp.MapFS(c.Files), "include")
+			toks, err := pp.Process(unit)
+			if err != nil {
+				t.Fatalf("%s/%s: cpp: %v", spec.Name, unit, err)
+			}
+			_, errs := cparse.ParseFile(unit, toks)
+			if len(errs) != 0 {
+				t.Fatalf("%s/%s: parse: %v", spec.Name, unit, errs[0])
+			}
+		}
+	}
+}
+
+func TestGroundTruthLinesPointAtCode(t *testing.T) {
+	c := Generate(Linux247())
+	for _, b := range c.Bugs {
+		src, ok := c.Files[b.File]
+		if !ok {
+			t.Fatalf("bug in unknown file %s", b.File)
+		}
+		lines := 0
+		for _, ch := range src {
+			if ch == '\n' {
+				lines++
+			}
+		}
+		if b.Line < 1 || b.Line > lines {
+			t.Errorf("bug line %d out of range (%s has %d lines)", b.Line, b.File, lines)
+		}
+	}
+}
+
+func TestScoreReports(t *testing.T) {
+	c := Generate(Linux241())
+	bugs := c.BugsOf(CheckThenUse)
+	if len(bugs) == 0 {
+		t.Skip("no check-then-use bugs at this seed")
+	}
+	// Simulate a checker that found the first bug exactly, plus one
+	// bogus report.
+	rs := []report.Report{
+		{Checker: "null/check-then-use", Pos: ctoken.Pos{File: bugs[0].File, Line: bugs[0].Line}},
+		{Checker: "null/check-then-use", Pos: ctoken.Pos{File: bugs[0].File, Line: bugs[0].Line + 500}},
+		{Checker: "lockvar", Pos: ctoken.Pos{File: bugs[0].File, Line: bugs[0].Line}},
+	}
+	sc := ScoreReports(c, rs, CheckThenUse, 2)
+	if sc.TruePositives != 1 || sc.FalsePositives != 1 {
+		t.Errorf("score: %+v", sc)
+	}
+	if sc.FalseNegatives != len(bugs)-1 {
+		t.Errorf("FN: %d want %d", sc.FalseNegatives, len(bugs)-1)
+	}
+	if sc.Precision() != 0.5 {
+		t.Errorf("precision: %v", sc.Precision())
+	}
+}
+
+func TestIsBugAt(t *testing.T) {
+	c := Generate(Linux241())
+	bugs := c.BugsOf(UncheckedAlloc)
+	if len(bugs) == 0 {
+		t.Skip("no alloc bugs at this seed")
+	}
+	b := bugs[0]
+	if !c.IsBugAt(UncheckedAlloc, b.File, b.Line+1, 2) {
+		t.Error("within tolerance should match")
+	}
+	if c.IsBugAt(UncheckedAlloc, b.File, b.Line+100, 2) {
+		t.Error("far away should not match")
+	}
+}
+
+func TestVersionPair(t *testing.T) {
+	oldC, newC, regressions := VersionPair(Linux241(), 2.0)
+	if len(newC.Bugs) <= len(oldC.Bugs) {
+		t.Fatalf("new version should have more bugs: %d vs %d", len(newC.Bugs), len(oldC.Bugs))
+	}
+	if len(regressions) != len(newC.Bugs)-len(oldC.Bugs) {
+		t.Errorf("regressions %d != delta %d", len(regressions), len(newC.Bugs)-len(oldC.Bugs))
+	}
+	// Monotonicity: every old bug persists in the new version.
+	newSet := map[string]bool{}
+	for _, b := range newC.Bugs {
+		newSet[bugKey(b)] = true
+	}
+	for _, b := range oldC.Bugs {
+		if !newSet[bugKey(b)] {
+			t.Errorf("old bug vanished in new version: %+v", b)
+		}
+	}
+	// Both versions parse.
+	for _, c := range []*Corpus{oldC, newC} {
+		for _, unit := range c.Units {
+			pp := cpp.New(cpp.MapFS(c.Files), "include")
+			toks, err := pp.Process(unit)
+			if err != nil {
+				t.Fatalf("%s: %v", unit, err)
+			}
+			if _, errs := cparse.ParseFile(unit, toks); len(errs) != 0 {
+				t.Fatalf("%s: %v", unit, errs[0])
+			}
+		}
+	}
+}
+
+func TestWriteToDirRoundTrip(t *testing.T) {
+	c := Generate(Linux241())
+	dir := t.TempDir()
+	manifest, err := c.WriteToDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bugs, err := ReadGroundTruth(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bugs) != len(c.Bugs) {
+		t.Fatalf("round trip lost bugs: %d vs %d", len(bugs), len(c.Bugs))
+	}
+	for i := range bugs {
+		if bugs[i] != c.Bugs[i] {
+			t.Fatalf("bug %d mismatch: %+v vs %+v", i, bugs[i], c.Bugs[i])
+		}
+	}
+	// Spot-check one source file landed on disk.
+	if _, err := os.Stat(filepath.Join(dir, c.Units[0])); err != nil {
+		t.Errorf("unit missing on disk: %v", err)
+	}
+}

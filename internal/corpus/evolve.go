@@ -1,0 +1,57 @@
+package corpus
+
+// VersionPair generates two snapshots of the "same" code base for the
+// cross-version consistency experiment (§4.2: relating a routine to
+// itself through time).
+//
+// Both versions share the spec's seed, so the deterministic random draws
+// line up function-for-function; the new version multiplies every bug
+// rate by growth (> 1), so every function buggy in the old version is
+// buggy in the new one (same draw, larger threshold) and the difference
+// between the two bug sets is exactly the set of regressions the new
+// version introduced. Regressions are matched by (kind, file, function),
+// since line numbers shift between versions.
+func VersionPair(spec Spec, growth float64) (oldC, newC *Corpus, regressions []Bug) {
+	oldC = Generate(spec)
+
+	newSpec := spec
+	newSpec.Name = spec.Name + "-next"
+	newSpec.Rates = scaleRates(spec.Rates, growth)
+	newC = Generate(newSpec)
+
+	oldSet := make(map[string]bool, len(oldC.Bugs))
+	for _, b := range oldC.Bugs {
+		oldSet[bugKey(b)] = true
+	}
+	for _, b := range newC.Bugs {
+		if !oldSet[bugKey(b)] {
+			regressions = append(regressions, b)
+		}
+	}
+	return oldC, newC, regressions
+}
+
+func bugKey(b Bug) string { return string(b.Kind) + "|" + b.File + "|" + b.Func }
+
+func scaleRates(r Rates, k float64) Rates {
+	clamp := func(v float64) float64 {
+		if v > 0.95 {
+			return 0.95
+		}
+		return v
+	}
+	return Rates{
+		CheckThenUse:   clamp(r.CheckThenUse * k),
+		UseThenCheck:   clamp(r.UseThenCheck * k),
+		RedundantCheck: clamp(r.RedundantCheck * k),
+		UserPtrDeref:   clamp(r.UserPtrDeref * k),
+		WrongErrCheck:  clamp(r.WrongErrCheck * k),
+		UncheckedAlloc: clamp(r.UncheckedAlloc * k),
+		UnlockedAccess: clamp(r.UnlockedAccess * k),
+		MissingUnlock:  clamp(r.MissingUnlock * k),
+		IntrEnabled:    clamp(r.IntrEnabled * k),
+		SecUnchecked:   clamp(r.SecUnchecked * k),
+		MissingRevert:  clamp(r.MissingRevert * k),
+		UseAfterFree:   clamp(r.UseAfterFree * k),
+	}
+}

@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"strings"
+
+	"deviant/internal/report"
+)
+
+// Score compares checker reports against seeded ground truth.
+type Score struct {
+	TruePositives  int // reports matching a seeded bug
+	FalsePositives int // reports matching nothing
+	FalseNegatives int // seeded bugs nothing reported
+}
+
+// Recall returns TP / (TP + FN), or 0 for an empty denominator.
+func (s Score) Recall() float64 {
+	d := s.TruePositives + s.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TruePositives) / float64(d)
+}
+
+// Precision returns TP / (TP + FP), or 0 for an empty denominator.
+func (s Score) Precision() float64 {
+	d := s.TruePositives + s.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TruePositives) / float64(d)
+}
+
+// ScoreReports matches the reports emitted under checker kind (exact name
+// or name/sub-checker) against c's seeded bugs of the same kind. A report
+// matches a bug when it lands in the same file within tol lines; each bug
+// absorbs at most one report and vice versa.
+func ScoreReports(c *Corpus, reports []report.Report, kind BugKind, tol int) Score {
+	return ScoreReportsKinds(c, reports, kind, []BugKind{kind}, tol)
+}
+
+// ScoreReportsKinds is ScoreReports with cross-labeled ground truth:
+// reports from checker reportKind may legitimately land on bugs of any of
+// matchKinds (checkers overlap — the reverse checker also catches leaked
+// locks that the pairing template seeded).
+func ScoreReportsKinds(c *Corpus, reports []report.Report, reportKind BugKind, matchKinds []BugKind, tol int) Score {
+	want := string(reportKind)
+	var relevant []report.Report
+	for _, r := range reports {
+		if r.Checker == want || strings.HasPrefix(r.Checker, want+"/") {
+			relevant = append(relevant, r)
+		}
+	}
+	var bugs []Bug
+	for _, k := range matchKinds {
+		bugs = append(bugs, c.BugsOf(k)...)
+	}
+	usedBug := make([]bool, len(bugs))
+	var sc Score
+	for _, r := range relevant {
+		matched := false
+		for i, b := range bugs {
+			if usedBug[i] || b.File != r.Pos.File {
+				continue
+			}
+			d := r.Pos.Line - b.Line
+			if d < 0 {
+				d = -d
+			}
+			if d <= tol {
+				usedBug[i] = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			sc.TruePositives++
+		} else {
+			sc.FalsePositives++
+		}
+	}
+	// Recall is measured against the checker's own bug kind only; the
+	// extra matchKinds exist to absolve cross-found reports, not to
+	// demand the checker find another template's bugs.
+	for i, u := range usedBug {
+		if !u && bugs[i].Kind == reportKind {
+			sc.FalseNegatives++
+		}
+	}
+	return sc
+}
+
+// IsBugAt reports whether a seeded bug of kind sits in file within tol
+// lines of line (for inspection-curve ground truth).
+func (c *Corpus) IsBugAt(kind BugKind, file string, line, tol int) bool {
+	for _, b := range c.Bugs {
+		if b.Kind != kind || b.File != file {
+			continue
+		}
+		d := line - b.Line
+		if d < 0 {
+			d = -d
+		}
+		if d <= tol {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteToDir materializes the corpus on disk under dir, plus a
+// GROUND_TRUTH.tsv manifest of the seeded bugs (kind, file, line,
+// function). It returns the manifest path.
+func (c *Corpus) WriteToDir(dir string) (string, error) {
+	for name, src := range c.Files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return "", fmt.Errorf("corpus: %w", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return "", fmt.Errorf("corpus: %w", err)
+		}
+	}
+	manifest := filepath.Join(dir, "GROUND_TRUTH.tsv")
+	var sb strings.Builder
+	sb.WriteString("kind\tfile\tline\tfunction\n")
+	for _, b := range c.Bugs {
+		fmt.Fprintf(&sb, "%s\t%s\t%d\t%s\n", b.Kind, b.File, b.Line, b.Func)
+	}
+	if err := os.WriteFile(manifest, []byte(sb.String()), 0o644); err != nil {
+		return "", fmt.Errorf("corpus: %w", err)
+	}
+	return manifest, nil
+}
+
+// ReadGroundTruth parses a GROUND_TRUTH.tsv manifest back into bugs.
+func ReadGroundTruth(path string) ([]Bug, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	var bugs []Bug
+	for i, line := range lines {
+		if i == 0 || strings.TrimSpace(line) == "" {
+			continue // header / trailing blank
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("corpus: bad manifest line %d: %q", i+1, line)
+		}
+		var lineNo int
+		if _, err := fmt.Sscanf(parts[2], "%d", &lineNo); err != nil {
+			return nil, fmt.Errorf("corpus: bad line number on manifest line %d: %w", i+1, err)
+		}
+		bugs = append(bugs, Bug{
+			Kind: BugKind(parts[0]), File: parts[1], Line: lineNo, Func: parts[3],
+		})
+	}
+	return bugs, nil
+}

@@ -1,0 +1,999 @@
+// Package cparse parses preprocessed C token streams into cast trees.
+//
+// The parser is a recursive-descent parser for the GNU-C-flavoured subset
+// systems code uses: declarations with full declarator syntax (pointers,
+// arrays, function pointers), struct/union/enum definitions, typedefs, and
+// the complete statement and expression grammar. It is error-tolerant:
+// parse errors are accumulated and the parser resynchronizes at the next
+// ';' or '}', so one malformed construct does not hide the rest of a file
+// from the checkers.
+package cparse
+
+import (
+	"fmt"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/cpp"
+	"deviant/internal/ctoken"
+)
+
+// Parser parses one translation unit.
+type Parser struct {
+	toks []ctoken.Token
+	pos  int
+	errs []error
+
+	// typedefs tracks typedef names so the grammar can distinguish
+	// declarations from expressions (the classic lexer-hack state).
+	typedefs map[string]cast.Type
+	// records tracks struct/union definitions by "struct tag" key so
+	// field lookups resolve across the unit.
+	records map[string]*cast.StructType
+}
+
+// ParseFile preprocesses nothing; it parses an already-preprocessed token
+// stream (as produced by cpp) into a File named name.
+func ParseFile(name string, toks []ctoken.Token) (*cast.File, []error) {
+	p := &Parser{
+		toks:     toks,
+		typedefs: make(map[string]cast.Type),
+		records:  make(map[string]*cast.StructType),
+	}
+	f := &cast.File{Name: name}
+	for !p.at(ctoken.EOF) {
+		start := p.pos
+		decls := p.externalDecl()
+		f.Decls = append(f.Decls, decls...)
+		if p.pos == start {
+			// Ensure progress even on garbage.
+			p.errorf(p.cur().Pos, "unexpected token %s", p.cur())
+			p.pos++
+		}
+	}
+	return f, p.errs
+}
+
+// ParseSource scans, preprocesses (with no macros beyond defines) and
+// parses src. It is a convenience for tests and examples.
+func ParseSource(name, src string) (*cast.File, []error) {
+	pp := cpp.New(cpp.MapFS{name: src})
+	toks, err := pp.Process(name)
+	var errs []error
+	if err != nil {
+		errs = append(errs, pp.Errs()...)
+	}
+	f, perrs := ParseFile(name, toks)
+	return f, append(errs, perrs...)
+}
+
+func (p *Parser) errorf(pos ctoken.Pos, format string, args ...any) {
+	if len(p.errs) < 200 { // cap noise on badly broken files
+		p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+}
+
+func (p *Parser) cur() ctoken.Token { return p.toks[p.pos] }
+
+func (p *Parser) at(k ctoken.Kind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *Parser) peekKind(n int) ctoken.Kind {
+	if p.pos+n >= len(p.toks) {
+		return ctoken.EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) next() ctoken.Token {
+	t := p.toks[p.pos]
+	if t.Kind != ctoken.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k ctoken.Kind) ctoken.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return ctoken.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// accept consumes the token if it matches.
+func (p *Parser) accept(k ctoken.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// syncDecl skips to a plausible declaration boundary.
+func (p *Parser) syncDecl() {
+	depth := 0
+	for !p.at(ctoken.EOF) {
+		switch p.cur().Kind {
+		case ctoken.LBrace:
+			depth++
+		case ctoken.RBrace:
+			if depth == 0 {
+				p.next()
+				return
+			}
+			depth--
+		case ctoken.Semi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+var typeKeywords = map[ctoken.Kind]bool{
+	ctoken.KwVoid: true, ctoken.KwChar: true, ctoken.KwShort: true,
+	ctoken.KwInt: true, ctoken.KwLong: true, ctoken.KwFloat: true,
+	ctoken.KwDouble: true, ctoken.KwSigned: true, ctoken.KwUnsigned: true,
+	ctoken.KwStruct: true, ctoken.KwUnion: true, ctoken.KwEnum: true,
+	ctoken.KwConst: true, ctoken.KwVolatile: true,
+}
+
+var storageKeywords = map[ctoken.Kind]bool{
+	ctoken.KwTypedef: true, ctoken.KwStatic: true, ctoken.KwExtern: true,
+	ctoken.KwAuto: true, ctoken.KwRegister: true, ctoken.KwInline: true,
+}
+
+// startsDecl reports whether the current token can begin a declaration.
+func (p *Parser) startsDecl() bool {
+	t := p.cur()
+	if typeKeywords[t.Kind] || storageKeywords[t.Kind] {
+		return true
+	}
+	if t.Kind == ctoken.Ident {
+		if _, ok := p.typedefs[t.Text]; ok {
+			// "T * x;" is a declaration; "T * x" as expression would be
+			// multiplication of two idents, which we accept ambiguity on
+			// in favor of the declaration reading, matching C.
+			return true
+		}
+	}
+	return false
+}
+
+type declSpecs struct {
+	typ     cast.Type
+	typedef bool
+	static  bool
+	extern  bool
+	inline  bool
+	pos     ctoken.Pos
+}
+
+// gnuNoise lists GNU C extension keywords that carry no meaning for our
+// analyses; they (and any parenthesized argument list) are skipped.
+var gnuNoise = map[string]bool{
+	"__attribute__": true, "__attribute": true,
+	"__extension__": true, "__restrict": true, "__restrict__": true,
+	"__inline": true, "__inline__": true, "__volatile__": true,
+	"__const": true, "__const__": true, "__signed__": true,
+	"__builtin_va_list": false, // handled as a type elsewhere
+}
+
+// skipGNUNoise consumes extension keywords plus their balanced argument
+// lists, returning whether anything was consumed.
+func (p *Parser) skipGNUNoise() bool {
+	consumed := false
+	for p.at(ctoken.Ident) && gnuNoise[p.cur().Text] {
+		p.next()
+		consumed = true
+		if p.at(ctoken.LParen) {
+			depth := 0
+			for !p.at(ctoken.EOF) {
+				switch p.cur().Kind {
+				case ctoken.LParen:
+					depth++
+				case ctoken.RParen:
+					depth--
+					if depth == 0 {
+						p.next()
+						goto nextNoise
+					}
+				}
+				p.next()
+			}
+		}
+	nextNoise:
+	}
+	return consumed
+}
+
+// declSpecifiers parses storage classes, qualifiers and the type.
+func (p *Parser) declSpecifiers() declSpecs {
+	ds := declSpecs{pos: p.cur().Pos}
+	var basicParts []string
+	sawType := false
+	for {
+		if p.skipGNUNoise() {
+			continue
+		}
+		t := p.cur()
+		switch {
+		case t.Kind == ctoken.KwTypedef:
+			ds.typedef = true
+			p.next()
+		case t.Kind == ctoken.KwStatic:
+			ds.static = true
+			p.next()
+		case t.Kind == ctoken.KwExtern:
+			ds.extern = true
+			p.next()
+		case t.Kind == ctoken.KwInline:
+			ds.inline = true
+			p.next()
+		case t.Kind == ctoken.KwAuto || t.Kind == ctoken.KwRegister ||
+			t.Kind == ctoken.KwConst || t.Kind == ctoken.KwVolatile:
+			p.next() // qualifiers do not affect our analyses
+		case t.Kind == ctoken.KwStruct || t.Kind == ctoken.KwUnion:
+			ds.typ = p.structOrUnion()
+			sawType = true
+		case t.Kind == ctoken.KwEnum:
+			ds.typ = p.enumSpec()
+			sawType = true
+		case t.Kind == ctoken.KwVoid || t.Kind == ctoken.KwChar ||
+			t.Kind == ctoken.KwShort || t.Kind == ctoken.KwInt ||
+			t.Kind == ctoken.KwLong || t.Kind == ctoken.KwFloat ||
+			t.Kind == ctoken.KwDouble || t.Kind == ctoken.KwSigned ||
+			t.Kind == ctoken.KwUnsigned:
+			basicParts = append(basicParts, t.Kind.String())
+			sawType = true
+			p.next()
+		case t.Kind == ctoken.Ident && !sawType && len(basicParts) == 0:
+			if ut, ok := p.typedefs[t.Text]; ok {
+				ds.typ = &cast.NamedType{Name: t.Text, Underlying: ut}
+				sawType = true
+				p.next()
+				continue
+			}
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	if len(basicParts) > 0 {
+		ds.typ = &cast.BasicType{Name: strings.Join(basicParts, " ")}
+	}
+	if ds.typ == nil {
+		// implicit int (K&R-era code, also our recovery path)
+		ds.typ = &cast.BasicType{Name: "int"}
+	}
+	return ds
+}
+
+func (p *Parser) structOrUnion() cast.Type {
+	kw := p.next() // struct or union
+	st := &cast.StructType{Union: kw.Kind == ctoken.KwUnion}
+	if p.at(ctoken.Ident) {
+		st.Tag = p.next().Text
+	}
+	key := st.TypeString()
+	if p.at(ctoken.LBrace) {
+		p.next()
+		for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
+			start := p.pos
+			st.Fields = append(st.Fields, p.fieldDecl()...)
+			if p.pos == start {
+				// Malformed member: skip a token so the loop advances.
+				p.next()
+			}
+		}
+		p.expect(ctoken.RBrace)
+		if st.Tag != "" {
+			p.records[key] = st
+		}
+		return st
+	}
+	// Reference to a (possibly forward-declared) tag: share the record.
+	if st.Tag != "" {
+		if def, ok := p.records[key]; ok {
+			return def
+		}
+		p.records[key] = st
+	}
+	return st
+}
+
+// fieldDecl parses one struct member declaration, possibly declaring
+// several comma-separated fields.
+func (p *Parser) fieldDecl() []*cast.FieldDecl {
+	ds := p.declSpecifiers()
+	var out []*cast.FieldDecl
+	for {
+		name, namePos, typ := p.declarator(ds.typ)
+		// Bitfields: ": width"
+		if p.accept(ctoken.Colon) {
+			p.condExpr()
+		}
+		if name != "" {
+			out = append(out, &cast.FieldDecl{Name: name, NamePos: namePos, Type: typ})
+		}
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+	}
+	p.expect(ctoken.Semi)
+	return out
+}
+
+func (p *Parser) enumSpec() cast.Type {
+	p.next() // enum
+	et := &cast.EnumType{}
+	if p.at(ctoken.Ident) {
+		et.Tag = p.next().Text
+	}
+	if p.at(ctoken.LBrace) {
+		p.next()
+		for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
+			if p.at(ctoken.Ident) {
+				name := p.next().Text
+				et.Enumerats = append(et.Enumerats, name)
+				if p.accept(ctoken.Assign) {
+					p.condExpr()
+				}
+			}
+			if !p.accept(ctoken.Comma) {
+				break
+			}
+		}
+		p.expect(ctoken.RBrace)
+	}
+	return et
+}
+
+// declarator parses a (possibly abstract) declarator and returns the
+// declared name (possibly "") and the full type built around base.
+func (p *Parser) declarator(base cast.Type) (string, ctoken.Pos, cast.Type) {
+	// Leading pointers, with qualifiers and GNU noise between them.
+	for p.at(ctoken.Star) {
+		p.next()
+		for {
+			if p.at(ctoken.KwConst) || p.at(ctoken.KwVolatile) {
+				p.next()
+				continue
+			}
+			if !p.skipGNUNoise() {
+				break
+			}
+		}
+		base = &cast.PointerType{Elem: base}
+	}
+	p.skipGNUNoise()
+
+	var name string
+	var namePos ctoken.Pos
+	// inner receives the eventual full type; used for parenthesized
+	// declarators like (*fp)(args).
+	var innerWrap func(cast.Type) cast.Type
+
+	switch {
+	case p.at(ctoken.Ident):
+		t := p.next()
+		name, namePos = t.Text, t.Pos
+	case p.at(ctoken.LParen) && p.lparenStartsDeclarator():
+		p.next()
+		var innerBase cast.Type = &holeType{}
+		n, np, it := p.declarator(innerBase)
+		name, namePos = n, np
+		p.expect(ctoken.RParen)
+		innerWrap = func(outer cast.Type) cast.Type { return fillHole(it, outer) }
+	default:
+		// abstract declarator (no name), e.g. in prototypes
+		namePos = p.cur().Pos
+	}
+
+	// Suffixes bind tighter than the leading pointers.
+	typ := base
+	for {
+		switch {
+		case p.at(ctoken.LBracket):
+			p.next()
+			var n int64 = -1
+			if !p.at(ctoken.RBracket) {
+				if e := p.condExpr(); e != nil {
+					if il, ok := e.(*cast.IntLit); ok {
+						n = il.Value
+					}
+				}
+			}
+			p.expect(ctoken.RBracket)
+			typ = &cast.ArrayType{Elem: typ, Len: n}
+			continue
+		case p.at(ctoken.LParen):
+			p.next()
+			params, variadic := p.paramList()
+			p.expect(ctoken.RParen)
+			typ = &cast.FuncType{Ret: typ, Params: params, Variadic: variadic}
+			continue
+		}
+		break
+	}
+	if innerWrap != nil {
+		typ = innerWrap(typ)
+	}
+	// Trailing attributes: "int x __attribute__((unused));"
+	p.skipGNUNoise()
+	return name, namePos, typ
+}
+
+// holeType is a placeholder filled by fillHole for parenthesized
+// declarators.
+type holeType struct{}
+
+func (*holeType) TypeString() string { return "<hole>" }
+func (*holeType) IsPointer() bool    { return false }
+
+// fillHole replaces the holeType leaf inside t with outer.
+func fillHole(t, outer cast.Type) cast.Type {
+	switch x := t.(type) {
+	case *holeType:
+		return outer
+	case *cast.PointerType:
+		return &cast.PointerType{Elem: fillHole(x.Elem, outer)}
+	case *cast.ArrayType:
+		return &cast.ArrayType{Elem: fillHole(x.Elem, outer), Len: x.Len}
+	case *cast.FuncType:
+		return &cast.FuncType{Ret: fillHole(x.Ret, outer), Params: x.Params, Variadic: x.Variadic}
+	default:
+		return t
+	}
+}
+
+// lparenStartsDeclarator distinguishes "(*fp)" declarators from parameter
+// lists following an omitted name.
+func (p *Parser) lparenStartsDeclarator() bool {
+	k := p.peekKind(1)
+	return k == ctoken.Star || k == ctoken.LParen
+}
+
+func (p *Parser) paramList() ([]*cast.ParamDecl, bool) {
+	var params []*cast.ParamDecl
+	variadic := false
+	if p.at(ctoken.RParen) {
+		return params, false
+	}
+	// (void)
+	if p.at(ctoken.KwVoid) && p.peekKind(1) == ctoken.RParen {
+		p.next()
+		return params, false
+	}
+	for {
+		if p.at(ctoken.Ellipsis) {
+			p.next()
+			variadic = true
+			break
+		}
+		ds := p.declSpecifiers()
+		name, namePos, typ := p.declarator(ds.typ)
+		params = append(params, &cast.ParamDecl{Name: name, NamePos: namePos, Type: typ})
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+	}
+	return params, variadic
+}
+
+// externalDecl parses one top-level declaration, which may expand to
+// multiple nodes ("int a, *b;").
+func (p *Parser) externalDecl() []cast.Node {
+	if p.accept(ctoken.Semi) {
+		return nil
+	}
+	ds := p.declSpecifiers()
+
+	// Bare "struct foo { ... };" or "enum e { ... };"
+	if p.at(ctoken.Semi) {
+		p.next()
+		switch t := ds.typ.(type) {
+		case *cast.StructType:
+			return []cast.Node{&cast.RecordDecl{TagPos: ds.pos, Type: t}}
+		case *cast.EnumType:
+			return []cast.Node{&cast.EnumDecl{TagPos: ds.pos, Type: t}}
+		}
+		return nil
+	}
+
+	var out []cast.Node
+	// Emit the record/enum definition itself too, if the specifier
+	// defined one inline ("struct foo { ... } x;").
+	switch t := ds.typ.(type) {
+	case *cast.StructType:
+		if len(t.Fields) > 0 {
+			out = append(out, &cast.RecordDecl{TagPos: ds.pos, Type: t})
+		}
+	case *cast.EnumType:
+		if len(t.Enumerats) > 0 {
+			out = append(out, &cast.EnumDecl{TagPos: ds.pos, Type: t})
+		}
+	}
+
+	first := true
+	for {
+		name, namePos, typ := p.declarator(ds.typ)
+		if name == "" {
+			p.errorf(namePos, "expected declarator name")
+			p.syncDecl()
+			return out
+		}
+
+		if ds.typedef {
+			p.typedefs[name] = typ
+			out = append(out, &cast.TypedefDecl{Name: name, NamePos: namePos, Type: typ})
+		} else if ft, ok := typ.(*cast.FuncType); ok && first && p.at(ctoken.LBrace) {
+			fd := &cast.FuncDecl{
+				Name: name, NamePos: namePos,
+				Ret: ft.Ret, Params: ft.Params, Variadic: ft.Variadic,
+				Static: ds.static, Inline: ds.inline,
+			}
+			fd.Body = p.compoundStmt()
+			out = append(out, fd)
+			return out
+		} else if ft, ok := typ.(*cast.FuncType); ok {
+			out = append(out, &cast.FuncDecl{
+				Name: name, NamePos: namePos,
+				Ret: ft.Ret, Params: ft.Params, Variadic: ft.Variadic,
+				Static: ds.static, Inline: ds.inline,
+			})
+		} else {
+			vd := &cast.VarDecl{
+				Name: name, NamePos: namePos, Type: typ,
+				Static: ds.static, Extern: ds.extern,
+			}
+			if p.accept(ctoken.Assign) {
+				vd.Init = p.initializer()
+			}
+			out = append(out, vd)
+		}
+		first = false
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+	}
+	p.expect(ctoken.Semi)
+	return out
+}
+
+func (p *Parser) initializer() cast.Expr {
+	if p.at(ctoken.LBrace) {
+		lb := p.next().Pos
+		il := &cast.InitListExpr{LbracePos: lb}
+		for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
+			desig := ""
+			if p.at(ctoken.Dot) && p.peekKind(1) == ctoken.Ident {
+				p.next()
+				desig = p.next().Text
+				p.expect(ctoken.Assign)
+			} else if p.at(ctoken.LBracket) {
+				// [idx] = value designators: record no name.
+				p.next()
+				p.condExpr()
+				p.expect(ctoken.RBracket)
+				p.expect(ctoken.Assign)
+			}
+			il.Items = append(il.Items, p.initializer())
+			il.Designators = append(il.Designators, desig)
+			if !p.accept(ctoken.Comma) {
+				break
+			}
+		}
+		p.expect(ctoken.RBrace)
+		return il
+	}
+	return p.assignExpr()
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) compoundStmt() *cast.CompoundStmt {
+	lb := p.expect(ctoken.LBrace).Pos
+	cs := &cast.CompoundStmt{Lbrace: lb}
+	for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
+		start := p.pos
+		cs.List = append(cs.List, p.stmt())
+		if p.pos == start {
+			p.errorf(p.cur().Pos, "cannot parse statement at %s", p.cur())
+			p.next()
+		}
+	}
+	p.expect(ctoken.RBrace)
+	return cs
+}
+
+func (p *Parser) stmt() cast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.LBrace:
+		return p.compoundStmt()
+	case ctoken.KwIf:
+		p.next()
+		p.expect(ctoken.LParen)
+		cond := p.expr()
+		p.expect(ctoken.RParen)
+		then := p.stmt()
+		var els cast.Stmt
+		if p.accept(ctoken.KwElse) {
+			els = p.stmt()
+		}
+		return &cast.IfStmt{IfPos: t.Pos, Cond: cond, Then: then, Else: els}
+	case ctoken.KwWhile:
+		p.next()
+		p.expect(ctoken.LParen)
+		cond := p.expr()
+		p.expect(ctoken.RParen)
+		return &cast.WhileStmt{WhilePos: t.Pos, Cond: cond, Body: p.stmt()}
+	case ctoken.KwDo:
+		p.next()
+		body := p.stmt()
+		p.expect(ctoken.KwWhile)
+		p.expect(ctoken.LParen)
+		cond := p.expr()
+		p.expect(ctoken.RParen)
+		p.expect(ctoken.Semi)
+		return &cast.DoWhileStmt{DoPos: t.Pos, Body: body, Cond: cond}
+	case ctoken.KwFor:
+		p.next()
+		p.expect(ctoken.LParen)
+		var init cast.Stmt
+		if !p.at(ctoken.Semi) {
+			if p.startsDecl() {
+				init = &cast.DeclStmt{Decls: p.localDecls()}
+			} else {
+				e := p.expr()
+				init = &cast.ExprStmt{X: e, SemiPos: p.cur().Pos}
+				p.expect(ctoken.Semi)
+			}
+		} else {
+			p.next()
+		}
+		var cond cast.Expr
+		if !p.at(ctoken.Semi) {
+			cond = p.expr()
+		}
+		p.expect(ctoken.Semi)
+		var post cast.Expr
+		if !p.at(ctoken.RParen) {
+			post = p.expr()
+		}
+		p.expect(ctoken.RParen)
+		return &cast.ForStmt{ForPos: t.Pos, Init: init, Cond: cond, Post: post, Body: p.stmt()}
+	case ctoken.KwSwitch:
+		p.next()
+		p.expect(ctoken.LParen)
+		tag := p.expr()
+		p.expect(ctoken.RParen)
+		return &cast.SwitchStmt{SwitchPos: t.Pos, Tag: tag, Body: p.stmt()}
+	case ctoken.KwCase:
+		p.next()
+		v := p.condExpr()
+		p.expect(ctoken.Colon)
+		return &cast.CaseStmt{CasePos: t.Pos, Value: v}
+	case ctoken.KwDefault:
+		p.next()
+		p.expect(ctoken.Colon)
+		return &cast.CaseStmt{CasePos: t.Pos}
+	case ctoken.KwReturn:
+		p.next()
+		var x cast.Expr
+		if !p.at(ctoken.Semi) {
+			x = p.expr()
+		}
+		p.expect(ctoken.Semi)
+		return &cast.ReturnStmt{ReturnPos: t.Pos, X: x}
+	case ctoken.KwBreak:
+		p.next()
+		p.expect(ctoken.Semi)
+		return &cast.BreakStmt{BreakPos: t.Pos}
+	case ctoken.KwContinue:
+		p.next()
+		p.expect(ctoken.Semi)
+		return &cast.ContinueStmt{ContinuePos: t.Pos}
+	case ctoken.KwGoto:
+		p.next()
+		label := p.expect(ctoken.Ident).Text
+		p.expect(ctoken.Semi)
+		return &cast.GotoStmt{GotoPos: t.Pos, Label: label}
+	case ctoken.Semi:
+		p.next()
+		return &cast.ExprStmt{SemiPos: t.Pos}
+	case ctoken.Ident:
+		// Inline assembly: "asm volatile ( ... );" — opaque to the
+		// analyses, consumed as an empty statement.
+		if t.Text == "asm" || t.Text == "__asm__" || t.Text == "__asm" {
+			p.next()
+			for p.at(ctoken.KwVolatile) || (p.at(ctoken.Ident) && p.cur().Text == "__volatile__") {
+				p.next()
+			}
+			if p.at(ctoken.LParen) {
+				depth := 0
+				for !p.at(ctoken.EOF) {
+					if p.at(ctoken.LParen) {
+						depth++
+					} else if p.at(ctoken.RParen) {
+						depth--
+						if depth == 0 {
+							p.next()
+							break
+						}
+					}
+					p.next()
+				}
+			}
+			semi := p.cur().Pos
+			p.accept(ctoken.Semi)
+			return &cast.ExprStmt{SemiPos: semi}
+		}
+		// Label: "name: stmt"
+		if p.peekKind(1) == ctoken.Colon {
+			p.next()
+			p.next()
+			var inner cast.Stmt
+			if !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
+				inner = p.stmt()
+			}
+			return &cast.LabelStmt{LabelPos: t.Pos, Name: t.Text, Stmt: inner}
+		}
+	}
+	if p.startsDecl() {
+		return &cast.DeclStmt{Decls: p.localDecls()}
+	}
+	e := p.expr()
+	semi := p.cur().Pos
+	p.expect(ctoken.Semi)
+	return &cast.ExprStmt{X: e, SemiPos: semi}
+}
+
+// localDecls parses one local declaration statement ("int a = 1, *b;"),
+// consuming the terminating semicolon.
+func (p *Parser) localDecls() []*cast.VarDecl {
+	ds := p.declSpecifiers()
+	var out []*cast.VarDecl
+	for {
+		name, namePos, typ := p.declarator(ds.typ)
+		if name == "" {
+			p.errorf(namePos, "expected name in declaration")
+			break
+		}
+		if ds.typedef {
+			p.typedefs[name] = typ
+			if !p.accept(ctoken.Comma) {
+				break
+			}
+			continue
+		}
+		vd := &cast.VarDecl{Name: name, NamePos: namePos, Type: typ, Static: ds.static, Extern: ds.extern}
+		if p.accept(ctoken.Assign) {
+			vd.Init = p.initializer()
+		}
+		out = append(out, vd)
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+	}
+	p.expect(ctoken.Semi)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *Parser) expr() cast.Expr {
+	e := p.assignExpr()
+	for p.at(ctoken.Comma) {
+		p.next()
+		e = &cast.CommaExpr{X: e, Y: p.assignExpr()}
+	}
+	return e
+}
+
+var assignOps = map[ctoken.Kind]bool{
+	ctoken.Assign: true, ctoken.AddAssign: true, ctoken.SubAssign: true,
+	ctoken.MulAssign: true, ctoken.DivAssign: true, ctoken.ModAssign: true,
+	ctoken.AndAssign: true, ctoken.OrAssign: true, ctoken.XorAssign: true,
+	ctoken.ShlAssign: true, ctoken.ShrAssign: true,
+}
+
+func (p *Parser) assignExpr() cast.Expr {
+	l := p.condExpr()
+	if assignOps[p.cur().Kind] {
+		op := p.next().Kind
+		r := p.assignExpr()
+		return &cast.AssignExpr{Op: op, L: l, R: r}
+	}
+	return l
+}
+
+func (p *Parser) condExpr() cast.Expr {
+	c := p.binaryExpr(0)
+	if p.accept(ctoken.Question) {
+		then := p.expr()
+		p.expect(ctoken.Colon)
+		els := p.condExpr()
+		return &cast.CondExpr{Cond: c, Then: then, Else: els}
+	}
+	return c
+}
+
+// binary operator precedence, higher binds tighter.
+var binPrec = map[ctoken.Kind]int{
+	ctoken.OrOr:    1,
+	ctoken.AndAnd:  2,
+	ctoken.Pipe:    3,
+	ctoken.Caret:   4,
+	ctoken.Amp:     5,
+	ctoken.EqEq:    6,
+	ctoken.NotEq:   6,
+	ctoken.Lt:      7,
+	ctoken.Gt:      7,
+	ctoken.Le:      7,
+	ctoken.Ge:      7,
+	ctoken.Shl:     8,
+	ctoken.Shr:     8,
+	ctoken.Plus:    9,
+	ctoken.Minus:   9,
+	ctoken.Star:    10,
+	ctoken.Slash:   10,
+	ctoken.Percent: 10,
+}
+
+func (p *Parser) binaryExpr(minPrec int) cast.Expr {
+	x := p.unaryExpr()
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return x
+		}
+		op := p.next().Kind
+		y := p.binaryExpr(prec + 1)
+		x = &cast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) unaryExpr() cast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.Star, ctoken.Amp, ctoken.Minus, ctoken.Plus,
+		ctoken.Not, ctoken.Tilde, ctoken.Inc, ctoken.Dec:
+		p.next()
+		x := p.unaryExpr()
+		return &cast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x, Macro: t.FromMacro}
+	case ctoken.KwSizeof:
+		p.next()
+		if p.at(ctoken.LParen) && p.typeStartsAt(1) {
+			lp := p.next().Pos
+			_ = lp
+			typ := p.typeName()
+			p.expect(ctoken.RParen)
+			return &cast.SizeofTypeExpr{SizeofPos: t.Pos, Of: typ}
+		}
+		x := p.unaryExpr()
+		return &cast.UnaryExpr{OpPos: t.Pos, Op: ctoken.KwSizeof, X: x, Macro: t.FromMacro}
+	case ctoken.LParen:
+		// Cast or parenthesized expression.
+		if p.typeStartsAt(1) {
+			lp := p.next().Pos
+			typ := p.typeName()
+			p.expect(ctoken.RParen)
+			// A cast applies to a unary expression; "(int)x + y" parses
+			// as ((int)x) + y.
+			x := p.unaryExpr()
+			return &cast.CastExpr{LparenPos: lp, To: typ, X: x}
+		}
+	}
+	return p.postfixExpr()
+}
+
+// typeStartsAt reports whether the token at offset n begins a type name
+// (used to recognize casts and sizeof(type)).
+func (p *Parser) typeStartsAt(n int) bool {
+	k := p.peekKind(n)
+	if typeKeywords[k] {
+		return true
+	}
+	if k == ctoken.Ident {
+		tok := p.toks[p.pos+n]
+		if _, ok := p.typedefs[tok.Text]; ok {
+			// Only a cast if followed by * or ) — "(x)(y)" where x is a
+			// typedef is a cast; "(x + 1)" is not reachable here since x
+			// being a typedef name in expression position is rare; accept.
+			next := p.peekKind(n + 1)
+			return next == ctoken.Star || next == ctoken.RParen
+		}
+	}
+	return false
+}
+
+// typeName parses a type-name (specifiers plus abstract declarator).
+func (p *Parser) typeName() cast.Type {
+	ds := p.declSpecifiers()
+	_, _, typ := p.declarator(ds.typ)
+	return typ
+}
+
+func (p *Parser) postfixExpr() cast.Expr {
+	x := p.primaryExpr()
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case ctoken.LParen:
+			p.next()
+			call := &cast.CallExpr{Fun: x, Lparen: t.Pos}
+			for !p.at(ctoken.RParen) && !p.at(ctoken.EOF) {
+				call.Args = append(call.Args, p.assignExpr())
+				if !p.accept(ctoken.Comma) {
+					break
+				}
+			}
+			p.expect(ctoken.RParen)
+			x = call
+		case ctoken.LBracket:
+			p.next()
+			idx := p.expr()
+			p.expect(ctoken.RBracket)
+			x = &cast.IndexExpr{X: x, Index: idx}
+		case ctoken.Dot:
+			p.next()
+			m := p.expect(ctoken.Ident)
+			x = &cast.MemberExpr{X: x, Member: m.Text, MemPos: m.Pos}
+		case ctoken.Arrow:
+			p.next()
+			m := p.expect(ctoken.Ident)
+			x = &cast.MemberExpr{X: x, Arrow: true, Member: m.Text, MemPos: m.Pos}
+		case ctoken.Inc, ctoken.Dec:
+			p.next()
+			x = &cast.PostfixExpr{Op: t.Kind, X: x}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() cast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.Ident:
+		p.next()
+		return &cast.Ident{Name: t.Text, NamePos: t.Pos, Macro: t.FromMacro}
+	case ctoken.IntLit:
+		p.next()
+		return &cast.IntLit{LitPos: t.Pos, Text: t.Text, Value: cpp.ParseIntLit(t.Text), Macro: t.FromMacro}
+	case ctoken.FloatLit:
+		p.next()
+		return &cast.FloatLit{LitPos: t.Pos, Text: t.Text, Macro: t.FromMacro}
+	case ctoken.CharLit:
+		p.next()
+		return &cast.CharLit{LitPos: t.Pos, Text: t.Text, Value: cpp.ParseIntLit(t.Text), Macro: t.FromMacro}
+	case ctoken.StringLit:
+		p.next()
+		text := t.Text
+		// Adjacent string literals concatenate.
+		for p.at(ctoken.StringLit) {
+			nxt := p.next()
+			text = text[:len(text)-1] + strings.TrimPrefix(nxt.Text, `"`)
+		}
+		return &cast.StringLit{LitPos: t.Pos, Text: text, Macro: t.FromMacro}
+	case ctoken.LParen:
+		p.next()
+		e := p.expr()
+		p.expect(ctoken.RParen)
+		return e
+	default:
+		p.errorf(t.Pos, "expected expression, found %s", t)
+		p.next()
+		return &cast.IntLit{LitPos: t.Pos, Text: "0", Value: 0}
+	}
+}

@@ -1,0 +1,557 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+)
+
+func parse(t *testing.T, src string) *cast.File {
+	t.Helper()
+	f, errs := ParseSource("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return f
+}
+
+func firstFunc(t *testing.T, f *cast.File) *cast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+			return fd
+		}
+	}
+	t.Fatal("no function definition found")
+	return nil
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	f := parse(t, "int add(int a, int b) { return a + b; }")
+	fd := firstFunc(t, f)
+	if fd.Name != "add" {
+		t.Errorf("name %q", fd.Name)
+	}
+	if len(fd.Params) != 2 || fd.Params[0].Name != "a" || fd.Params[1].Name != "b" {
+		t.Errorf("params %v", fd.Params)
+	}
+	if fd.Ret.TypeString() != "int" {
+		t.Errorf("ret %q", fd.Ret.TypeString())
+	}
+	if len(fd.Body.List) != 1 {
+		t.Fatalf("body %v", fd.Body.List)
+	}
+	ret, ok := fd.Body.List[0].(*cast.ReturnStmt)
+	if !ok {
+		t.Fatalf("not a return: %T", fd.Body.List[0])
+	}
+	if cast.ExprString(ret.X) != "(a + b)" {
+		t.Errorf("return expr %q", cast.ExprString(ret.X))
+	}
+}
+
+func TestParsePointerDeclarations(t *testing.T) {
+	f := parse(t, "int *p; char **q; struct foo *r;")
+	if len(f.Decls) != 3 {
+		t.Fatalf("decls: %d", len(f.Decls))
+	}
+	p := f.Decls[0].(*cast.VarDecl)
+	if !p.Type.IsPointer() {
+		t.Error("p should be pointer")
+	}
+	q := f.Decls[1].(*cast.VarDecl)
+	if q.Type.TypeString() != "char * *" {
+		t.Errorf("q type %q", q.Type.TypeString())
+	}
+	r := f.Decls[2].(*cast.VarDecl)
+	if r.Type.TypeString() != "struct foo *" {
+		t.Errorf("r type %q", r.Type.TypeString())
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	f := parse(t, "int a, *b, c[10];")
+	if len(f.Decls) != 3 {
+		t.Fatalf("decls: %d", len(f.Decls))
+	}
+	if f.Decls[0].(*cast.VarDecl).Type.IsPointer() {
+		t.Error("a is not a pointer")
+	}
+	if !f.Decls[1].(*cast.VarDecl).Type.IsPointer() {
+		t.Error("b is a pointer")
+	}
+	arr, ok := f.Decls[2].(*cast.VarDecl).Type.(*cast.ArrayType)
+	if !ok || arr.Len != 10 {
+		t.Errorf("c: %v", f.Decls[2].(*cast.VarDecl).Type)
+	}
+}
+
+func TestParseStructDefinition(t *testing.T) {
+	f := parse(t, "struct tty_struct { void *driver_data; int count; struct tty_struct *link; };")
+	rd, ok := f.Decls[0].(*cast.RecordDecl)
+	if !ok {
+		t.Fatalf("decl: %T", f.Decls[0])
+	}
+	if rd.Type.Tag != "tty_struct" || len(rd.Type.Fields) != 3 {
+		t.Fatalf("struct: %+v", rd.Type)
+	}
+	if rd.Type.Fields[0].Name != "driver_data" || !rd.Type.Fields[0].Type.IsPointer() {
+		t.Errorf("field 0: %+v", rd.Type.Fields[0])
+	}
+}
+
+func TestParseTypedef(t *testing.T) {
+	f := parse(t, "typedef unsigned long size_t; size_t n;")
+	td, ok := f.Decls[0].(*cast.TypedefDecl)
+	if !ok || td.Name != "size_t" {
+		t.Fatalf("typedef: %+v", f.Decls[0])
+	}
+	vd := f.Decls[1].(*cast.VarDecl)
+	nt, ok := vd.Type.(*cast.NamedType)
+	if !ok || nt.Name != "size_t" {
+		t.Fatalf("var type: %v", vd.Type)
+	}
+	if cast.Unwrap(vd.Type).TypeString() != "unsigned long" {
+		t.Errorf("unwrap: %q", cast.Unwrap(vd.Type).TypeString())
+	}
+}
+
+func TestParseTypedefStructPointer(t *testing.T) {
+	f := parse(t, "typedef struct buf { int n; } buf_t; buf_t *b;")
+	vd := f.Decls[len(f.Decls)-1].(*cast.VarDecl)
+	if !vd.Type.IsPointer() {
+		t.Error("b should be a pointer")
+	}
+}
+
+func TestParseFunctionPointerDeclarator(t *testing.T) {
+	f := parse(t, "int (*handler)(int sig);")
+	vd, ok := f.Decls[0].(*cast.VarDecl)
+	if !ok || vd.Name != "handler" {
+		t.Fatalf("decl: %+v", f.Decls[0])
+	}
+	pt, ok := vd.Type.(*cast.PointerType)
+	if !ok {
+		t.Fatalf("type: %v (%s)", vd.Type, vd.Type.TypeString())
+	}
+	if _, ok := pt.Elem.(*cast.FuncType); !ok {
+		t.Fatalf("elem: %v", pt.Elem)
+	}
+}
+
+func TestParseStructWithFunctionPointers(t *testing.T) {
+	src := `
+struct file_operations {
+	int (*open)(struct inode *, struct file *);
+	int (*release)(struct inode *, struct file *);
+	long (*ioctl)(struct file *, unsigned int, unsigned long);
+};`
+	f := parse(t, src)
+	rd := f.Decls[0].(*cast.RecordDecl)
+	if len(rd.Type.Fields) != 3 {
+		t.Fatalf("fields: %d", len(rd.Type.Fields))
+	}
+	names := []string{"open", "release", "ioctl"}
+	for i, n := range names {
+		if rd.Type.Fields[i].Name != n {
+			t.Errorf("field %d: %q", i, rd.Type.Fields[i].Name)
+		}
+	}
+}
+
+func TestParseInitializerListWithDesignators(t *testing.T) {
+	src := `
+struct file_operations fops = {
+	.open = my_open,
+	.release = my_release,
+};`
+	f := parse(t, src)
+	vd := f.Decls[0].(*cast.VarDecl)
+	il, ok := vd.Init.(*cast.InitListExpr)
+	if !ok {
+		t.Fatalf("init: %T", vd.Init)
+	}
+	if len(il.Items) != 2 || il.Designators[0] != "open" || il.Designators[1] != "release" {
+		t.Fatalf("items: %v desig %v", il.Items, il.Designators)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	f := parse(t, "enum state { IDLE, RUNNING = 5, DONE };")
+	ed, ok := f.Decls[0].(*cast.EnumDecl)
+	if !ok {
+		t.Fatalf("decl: %T", f.Decls[0])
+	}
+	if len(ed.Type.Enumerats) != 3 || ed.Type.Enumerats[1] != "RUNNING" {
+		t.Errorf("enumerators: %v", ed.Type.Enumerats)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+void f(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i == 3)
+			continue;
+		else
+			g(i);
+	}
+	while (n > 0)
+		n--;
+	do { n++; } while (n < 10);
+	switch (n) {
+	case 1:
+		g(1);
+		break;
+	default:
+		g(0);
+	}
+	goto out;
+out:
+	return;
+}`
+	f := parse(t, src)
+	fd := firstFunc(t, f)
+	kinds := map[string]bool{}
+	cast.Inspect(fd, func(n cast.Node) bool {
+		switch n.(type) {
+		case *cast.ForStmt:
+			kinds["for"] = true
+		case *cast.IfStmt:
+			kinds["if"] = true
+		case *cast.WhileStmt:
+			kinds["while"] = true
+		case *cast.DoWhileStmt:
+			kinds["do"] = true
+		case *cast.SwitchStmt:
+			kinds["switch"] = true
+		case *cast.CaseStmt:
+			kinds["case"] = true
+		case *cast.GotoStmt:
+			kinds["goto"] = true
+		case *cast.LabelStmt:
+			kinds["label"] = true
+		}
+		return true
+	})
+	for _, k := range []string{"for", "if", "while", "do", "switch", "case", "goto", "label"} {
+		if !kinds[k] {
+			t.Errorf("missing %s statement", k)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":        "(a + (b * c))",
+		"a * b + c":        "((a * b) + c)",
+		"a && b || c":      "((a && b) || c)",
+		"a == b && c != d": "((a == b) && (c != d))",
+		"a | b & c":        "(a | (b & c))",
+		"a << 2 + 1":       "(a << (2 + 1))",
+		"-a * b":           "(-a * b)",
+		"!a && b":          "(!a && b)",
+	}
+	for src, want := range cases {
+		f := parse(t, "int x = "+src+";")
+		vd := f.Decls[0].(*cast.VarDecl)
+		if got := cast.ExprString(vd.Init); got != want {
+			t.Errorf("%q: got %q want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseAssignmentsAndTernary(t *testing.T) {
+	f := parse(t, "void f(void) { a = b ? c : d; x += 2; *p = q->r; }")
+	fd := firstFunc(t, f)
+	s0 := fd.Body.List[0].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if _, ok := s0.R.(*cast.CondExpr); !ok {
+		t.Errorf("want ternary on RHS, got %T", s0.R)
+	}
+	s1 := fd.Body.List[1].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if s1.Op != ctoken.AddAssign {
+		t.Errorf("op %v", s1.Op)
+	}
+	s2 := fd.Body.List[2].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if _, ok := s2.L.(*cast.UnaryExpr); !ok {
+		t.Errorf("LHS %T", s2.L)
+	}
+	m, ok := s2.R.(*cast.MemberExpr)
+	if !ok || !m.Arrow || m.Member != "r" {
+		t.Errorf("RHS %v", cast.ExprString(s2.R))
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	f := parse(t, "void f(void *v) { struct foo *p; p = (struct foo *)v; int n = (int)x + 1; }")
+	fd := firstFunc(t, f)
+	asg := fd.Body.List[1].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	ce, ok := asg.R.(*cast.CastExpr)
+	if !ok {
+		t.Fatalf("not a cast: %T", asg.R)
+	}
+	if ce.To.TypeString() != "struct foo *" {
+		t.Errorf("cast type %q", ce.To.TypeString())
+	}
+	// (int)x + 1 should parse as ((int)x) + 1
+	ds := fd.Body.List[2].(*cast.DeclStmt)
+	be, ok := ds.Decls[0].Init.(*cast.BinaryExpr)
+	if !ok {
+		t.Fatalf("not binary: %T", ds.Decls[0].Init)
+	}
+	if _, ok := be.X.(*cast.CastExpr); !ok {
+		t.Errorf("cast should bind tighter than +: %v", cast.ExprString(be))
+	}
+}
+
+func TestParseSizeof(t *testing.T) {
+	f := parse(t, "int a = sizeof(struct foo); int b = sizeof x; int c = sizeof(x);")
+	if _, ok := f.Decls[0].(*cast.VarDecl).Init.(*cast.SizeofTypeExpr); !ok {
+		t.Errorf("sizeof(type): %T", f.Decls[0].(*cast.VarDecl).Init)
+	}
+	u, ok := f.Decls[1].(*cast.VarDecl).Init.(*cast.UnaryExpr)
+	if !ok || u.Op != ctoken.KwSizeof {
+		t.Errorf("sizeof x: %T", f.Decls[1].(*cast.VarDecl).Init)
+	}
+}
+
+func TestParseCallsAndChaining(t *testing.T) {
+	f := parse(t, "void f(void) { g(1, h(2), p->q.r[3]); }")
+	fd := firstFunc(t, f)
+	call := fd.Body.List[0].(*cast.ExprStmt).X.(*cast.CallExpr)
+	if cast.CalleeName(call) != "g" || len(call.Args) != 3 {
+		t.Fatalf("call: %v", cast.ExprString(call))
+	}
+	if cast.ExprString(call.Args[2]) != "p->q.r[3]" {
+		t.Errorf("arg2: %q", cast.ExprString(call.Args[2]))
+	}
+}
+
+func TestParsePaperFragmentCapidrv(t *testing.T) {
+	// Section 3.1, first fragment (check-then-use bug).
+	src := `
+void f(struct capi_ctr *card, int id) {
+	if (card == NULL) {
+		printk("capidrv-%d: incoming call on unbound id %d!\n",
+			card->contrnr, id);
+	}
+}`
+	f := parse(t, src)
+	fd := firstFunc(t, f)
+	ifs, ok := fd.Body.List[0].(*cast.IfStmt)
+	if !ok {
+		t.Fatalf("no if: %T", fd.Body.List[0])
+	}
+	be := ifs.Cond.(*cast.BinaryExpr)
+	if be.Op != ctoken.EqEq || cast.ExprString(be.X) != "card" {
+		t.Errorf("cond: %v", cast.ExprString(ifs.Cond))
+	}
+}
+
+func TestParsePaperFragmentMxser(t *testing.T) {
+	// Section 3.1, second fragment (use-then-check bug).
+	src := `
+int mxser_write(struct tty_struct *tty, int from_user) {
+	struct mxser_struct *info = tty->driver_data;
+	unsigned long flags;
+
+	if (!tty || !info->xmit_buf)
+		return 0;
+	return 1;
+}`
+	f := parse(t, src)
+	fd := firstFunc(t, f)
+	if fd.Name != "mxser_write" {
+		t.Fatalf("name %q", fd.Name)
+	}
+	ds, ok := fd.Body.List[0].(*cast.DeclStmt)
+	if !ok {
+		t.Fatalf("first stmt: %T", fd.Body.List[0])
+	}
+	if cast.ExprString(ds.Decls[0].Init) != "tty->driver_data" {
+		t.Errorf("init: %q", cast.ExprString(ds.Decls[0].Init))
+	}
+}
+
+func TestParsePrototypes(t *testing.T) {
+	f := parse(t, "int open(const char *path, int flags); void panic(const char *fmt, ...);")
+	fd0 := f.Decls[0].(*cast.FuncDecl)
+	if fd0.Body != nil || fd0.Name != "open" || len(fd0.Params) != 2 {
+		t.Errorf("open: %+v", fd0)
+	}
+	fd1 := f.Decls[1].(*cast.FuncDecl)
+	if !fd1.Variadic {
+		t.Error("panic should be variadic")
+	}
+}
+
+func TestParseStaticInline(t *testing.T) {
+	f := parse(t, "static inline int get(void) { return 1; }")
+	fd := firstFunc(t, f)
+	if !fd.Static || !fd.Inline {
+		t.Errorf("static=%v inline=%v", fd.Static, fd.Inline)
+	}
+}
+
+func TestParseStringConcat(t *testing.T) {
+	f := parse(t, `char *s = "foo" "bar";`)
+	sl := f.Decls[0].(*cast.VarDecl).Init.(*cast.StringLit)
+	if sl.Text != `"foobar"` {
+		t.Errorf("concat: %q", sl.Text)
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	src := "int good1; int @@@; int good2; void f(void) { return; }"
+	f, errs := ParseSource("t.c", src)
+	if len(errs) == 0 {
+		t.Fatal("want errors")
+	}
+	var names []string
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *cast.VarDecl:
+			names = append(names, x.Name)
+		case *cast.FuncDecl:
+			names = append(names, x.Name)
+		}
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "good1") || !strings.Contains(joined, "f") {
+		t.Errorf("recovered decls: %v", names)
+	}
+}
+
+func TestParseNestedStructAccess(t *testing.T) {
+	f := parse(t, "void f(void) { a.b->c.d = 1; }")
+	fd := firstFunc(t, f)
+	asg := fd.Body.List[0].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if cast.ExprString(asg.L) != "a.b->c.d" {
+		t.Errorf("lhs: %q", cast.ExprString(asg.L))
+	}
+}
+
+func TestParseCommaExpr(t *testing.T) {
+	f := parse(t, "void f(void) { a = 1, b = 2; }")
+	fd := firstFunc(t, f)
+	if _, ok := fd.Body.List[0].(*cast.ExprStmt).X.(*cast.CommaExpr); !ok {
+		t.Errorf("want comma expr, got %T", fd.Body.List[0].(*cast.ExprStmt).X)
+	}
+}
+
+func TestParseForWithDecl(t *testing.T) {
+	f := parse(t, "void f(void) { for (int i = 0; i < 10; i++) g(i); }")
+	fd := firstFunc(t, f)
+	fs := fd.Body.List[0].(*cast.ForStmt)
+	if _, ok := fs.Init.(*cast.DeclStmt); !ok {
+		t.Errorf("init: %T", fs.Init)
+	}
+}
+
+func TestParseArrayOfFunctionPointers(t *testing.T) {
+	f := parse(t, "int (*handlers[16])(int);")
+	vd := f.Decls[0].(*cast.VarDecl)
+	if vd.Name != "handlers" {
+		t.Fatalf("name %q", vd.Name)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f := parse(t, "void f(void) { x = *p; y = &q; z = !r; w = ~s; v = -u; ++i; j--; }")
+	fd := firstFunc(t, f)
+	if len(fd.Body.List) != 7 {
+		t.Fatalf("stmts: %d", len(fd.Body.List))
+	}
+}
+
+func TestParseRecordsShared(t *testing.T) {
+	// A later "struct foo *" reference resolves to the defined record.
+	src := "struct foo { int a; }; void f(struct foo *p) { p->a = 1; }"
+	f := parse(t, src)
+	fd := firstFunc(t, f)
+	pt := fd.Params[0].Type.(*cast.PointerType)
+	st := pt.Elem.(*cast.StructType)
+	if len(st.Fields) != 1 || st.Fields[0].Name != "a" {
+		t.Errorf("fields not shared: %+v", st)
+	}
+}
+
+func TestCallsHelper(t *testing.T) {
+	f := parse(t, "void f(void) { lock(l); a = a + 1; unlock(l); (*fp)(1); }")
+	calls := cast.Calls(f)
+	if len(calls) != 2 {
+		t.Fatalf("calls: %d", len(calls))
+	}
+	if cast.CalleeName(calls[0]) != "lock" || cast.CalleeName(calls[1]) != "unlock" {
+		t.Errorf("callees: %v %v", cast.CalleeName(calls[0]), cast.CalleeName(calls[1]))
+	}
+}
+
+func TestStripParensAndCasts(t *testing.T) {
+	f := parse(t, "void g(void *v) { struct s *p = (struct s *)v; }")
+	fd := firstFunc(t, f)
+	init := fd.Body.List[0].(*cast.DeclStmt).Decls[0].Init
+	stripped := cast.StripParensAndCasts(init)
+	if id, ok := stripped.(*cast.Ident); !ok || id.Name != "v" {
+		t.Errorf("stripped: %v", cast.ExprString(stripped))
+	}
+}
+
+func TestGNUAttributesSkipped(t *testing.T) {
+	src := `
+static __inline__ int __attribute__((always_inline)) fast_add(int a, int b) {
+	return a + b;
+}
+int packed_field __attribute__((aligned(8)));
+struct s { int x; } __attribute__((packed));
+void f(const char *__restrict dst) { use(dst); }
+`
+	f, errs := ParseSource("gnu.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("GNU extensions rejected: %v", errs)
+	}
+	var names []string
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *cast.FuncDecl:
+			names = append(names, x.Name)
+		case *cast.VarDecl:
+			names = append(names, x.Name)
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"fast_add", "packed_field", "f"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s in %v", want, names)
+		}
+	}
+}
+
+func TestInlineAsmSkipped(t *testing.T) {
+	src := `
+void flush_tlb(unsigned long addr) {
+	asm volatile ("invlpg (%0)" : : "r" (addr) : "memory");
+	done(addr);
+}
+void f(void) {
+	__asm__ __volatile__ ("nop");
+	after();
+}
+`
+	f, errs := ParseSource("asm.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("asm rejected: %v", errs)
+	}
+	calls := cast.Calls(f)
+	var names []string
+	for _, c := range calls {
+		names = append(names, cast.CalleeName(c))
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "done") || !strings.Contains(joined, "after") {
+		t.Errorf("statements after asm lost: %v", names)
+	}
+}

@@ -1,0 +1,170 @@
+package cparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+)
+
+// corpusLikeSource is a dense sample of the constructs the corpus emits.
+const corpusLikeSource = `
+#define NULL 0
+typedef unsigned long size_t;
+struct spinlock { int raw; };
+struct sk_buff { int len; char *data; struct sk_buff *next; };
+static struct spinlock dev_lock;
+static int dev_count;
+
+static int probe(struct sk_buff *skb, int id) {
+	if (skb == NULL) {
+		printk("bad skb id %d!\n", id);
+		return -1;
+	}
+	return skb->len + id;
+}
+
+static int update(int delta) {
+	spin_lock(&dev_lock);
+	dev_count = dev_count + delta;
+	if (dev_count < 0) {
+		spin_unlock(&dev_lock);
+		return -1;
+	}
+	spin_unlock(&dev_lock);
+	return delta;
+}
+
+static int drain(void) {
+	struct sk_buff *p;
+	int total = 0;
+	for (p = queue; p; p = p->next)
+		total += p->len;
+	switch (total & 3) {
+	case 0: total += 1; break;
+	default: total *= 2;
+	}
+	return total;
+}
+`
+
+// TestParserNeverPanicsOnMutations flips random bytes in realistic source
+// and requires the parser to survive (with errors, not panics) — the
+// error-tolerance property real kernel trees demand.
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := []byte(corpusLikeSource)
+	punct := []byte("(){};*&-></=!%#\"' \n\t")
+	for trial := 0; trial < 500; trial++ {
+		src := append([]byte(nil), base...)
+		for flips := 0; flips < 1+trial%5; flips++ {
+			i := rng.Intn(len(src))
+			src[i] = punct[rng.Intn(len(punct))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, r, src)
+				}
+			}()
+			ParseSource("mut.c", string(src))
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnTruncations truncates the source at every byte
+// offset; the parser must always return.
+func TestParserNeverPanicsOnTruncations(t *testing.T) {
+	base := corpusLikeSource
+	for i := 0; i < len(base); i += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncation at %d panicked: %v", i, r)
+				}
+			}()
+			ParseSource("trunc.c", base[:i])
+		}()
+	}
+}
+
+// TestExprStringRoundTrip parses expressions, prints them, reparses the
+// print, and requires a fixpoint — the printer and parser agree.
+func TestExprStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"a + b * c",
+		"(a + b) * c",
+		"p->next->data[3]",
+		"*pp",
+		"f(a, g(b), c + 1)",
+		"a ? b : c",
+		"x << 2 | y & 3",
+		"!done && (count > 0)",
+		"s.field->sub[i].leaf",
+		"-n + +m",
+		"a = b = c",
+		"p == 0",
+	}
+	parseExpr := func(src string) cast.Expr {
+		f, errs := ParseSource("rt.c", "int probe(void) { return "+src+"; }")
+		if len(errs) != 0 {
+			t.Fatalf("%q: %v", src, errs)
+		}
+		fd := f.Decls[0].(*cast.FuncDecl)
+		ret := fd.Body.List[0].(*cast.ReturnStmt)
+		return ret.X
+	}
+	for _, src := range exprs {
+		once := cast.ExprString(parseExpr(src))
+		twice := cast.ExprString(parseExpr(once))
+		if once != twice {
+			t.Errorf("%q: print/parse not a fixpoint: %q vs %q", src, once, twice)
+		}
+	}
+}
+
+// TestParsePositionsPointIntoSource checks every AST node position lands
+// within the file.
+func TestParsePositionsPointIntoSource(t *testing.T) {
+	f, errs := ParseSource("pos.c", corpusLikeSource)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	lines := 1
+	for _, c := range corpusLikeSource {
+		if c == '\n' {
+			lines++
+		}
+	}
+	cast.Inspect(f, func(n cast.Node) bool {
+		p := n.Pos()
+		if p.Line < 0 || p.Line > lines {
+			t.Errorf("%T at impossible line %d", n, p.Line)
+		}
+		return true
+	})
+}
+
+// TestDeepNestingNoStackOverflow guards the recursive-descent parser
+// against pathological nesting.
+func TestDeepNestingNoStackOverflow(t *testing.T) {
+	depth := 300
+	src := "int f(void) { return "
+	for i := 0; i < depth; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < depth; i++ {
+		src += ")"
+	}
+	src += "; }"
+	f, errs := ParseSource("deep.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("deep nesting: %v", errs)
+	}
+	if len(f.Decls) != 1 {
+		t.Fatal("lost the function")
+	}
+	_ = ctoken.Pos{}
+}

@@ -1,0 +1,897 @@
+// Package cpp implements a C preprocessor over ctoken streams.
+//
+// It supports #include, object-like and function-like #define (including
+// stringizing # and pasting ##), #undef, and the conditional directives
+// #if/#ifdef/#ifndef/#elif/#else/#endif with constant-expression
+// evaluation.
+//
+// Following the paper (Section 6), every token produced by a macro
+// expansion is marked FromMacro. Checkers use the mark to truncate belief
+// propagation at macro boundaries, which removes the dominant source of
+// null-checker false positives the paper reports.
+package cpp
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deviant/internal/ctoken"
+)
+
+// FileProvider supplies source text for #include resolution. Using an
+// interface keeps the preprocessor independent of the filesystem: the
+// synthetic corpus serves includes from memory.
+type FileProvider interface {
+	// ReadFile returns the contents of name, or an error if it does not
+	// exist.
+	ReadFile(name string) (string, error)
+}
+
+// MapFS is an in-memory FileProvider.
+type MapFS map[string]string
+
+// ReadFile implements FileProvider.
+func (m MapFS) ReadFile(name string) (string, error) {
+	if src, ok := m[name]; ok {
+		return src, nil
+	}
+	return "", fmt.Errorf("cpp: file %q not found", name)
+}
+
+type macro struct {
+	name     string
+	funcLike bool
+	params   []string
+	variadic bool
+	body     []ctoken.Token
+}
+
+// Preprocessor expands one translation unit.
+type Preprocessor struct {
+	fs       FileProvider
+	includes []string // include search directories
+	macros   map[string]*macro
+	out      []ctoken.Token
+	errs     []error
+	depth    int // include nesting depth
+	included map[string]bool
+}
+
+const maxIncludeDepth = 40
+
+// New returns a preprocessor reading includes from fs, searching dirs.
+func New(fs FileProvider, dirs ...string) *Preprocessor {
+	return &Preprocessor{
+		fs:       fs,
+		includes: dirs,
+		macros:   make(map[string]*macro),
+		included: make(map[string]bool),
+	}
+}
+
+// Define installs an object-like macro, as with -Dname=value.
+func (p *Preprocessor) Define(name, value string) {
+	s := ctoken.NewScanner("<cmdline>", value)
+	toks := s.ScanAll()
+	toks = toks[:len(toks)-1] // drop EOF
+	p.macros[name] = &macro{name: name, body: toks}
+}
+
+// Errs returns accumulated preprocessing errors.
+func (p *Preprocessor) Errs() []error { return p.errs }
+
+// Macros returns the names of all currently defined macros, sorted.
+func (p *Preprocessor) Macros() []string {
+	names := make([]string, 0, len(p.macros))
+	for n := range p.macros {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *Preprocessor) errorf(pos ctoken.Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// Process preprocesses the named file and returns the expanded token
+// stream, terminated by EOF.
+func (p *Preprocessor) Process(name string) ([]ctoken.Token, error) {
+	src, err := p.fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.ProcessSource(name, src)
+}
+
+// ProcessSource preprocesses src, reporting positions against name.
+func (p *Preprocessor) ProcessSource(name, src string) ([]ctoken.Token, error) {
+	p.out = p.out[:0]
+	p.processFile(name, src)
+	p.out = append(p.out, ctoken.Token{Kind: ctoken.EOF})
+	out := make([]ctoken.Token, len(p.out))
+	copy(out, p.out)
+	if len(p.errs) > 0 {
+		return out, p.errs[0]
+	}
+	return out, nil
+}
+
+// condState tracks one #if level.
+type condState struct {
+	active      bool // current branch is emitting tokens
+	takenBranch bool // some branch at this level was already taken
+	parentLive  bool // enclosing context was emitting
+	sawElse     bool
+}
+
+func (p *Preprocessor) processFile(name, src string) {
+	if p.depth >= maxIncludeDepth {
+		p.errorf(ctoken.Pos{File: name, Line: 1}, "include depth exceeds %d", maxIncludeDepth)
+		return
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+
+	s := ctoken.NewScanner(name, src)
+	s.KeepNewlines = true
+	toks := s.ScanAll()
+	for _, e := range s.Errs() {
+		p.errs = append(p.errs, e)
+	}
+
+	var conds []condState
+	live := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	i := 0
+	for i < len(toks) {
+		// Directive: '#' as the first token of a line.
+		if toks[i].Kind == ctoken.Hash {
+			line, next := grabLine(toks, i+1)
+			i = next
+			p.directive(line, &conds, live())
+			continue
+		}
+		if toks[i].Kind == ctoken.Newline || toks[i].Kind == ctoken.EOF {
+			i++
+			continue
+		}
+		line, next := grabLine(toks, i)
+		i = next
+		if live() {
+			p.out = append(p.out, p.expand(line, nil)...)
+		}
+	}
+	if len(conds) != 0 {
+		p.errorf(ctoken.Pos{File: name}, "unterminated #if")
+	}
+}
+
+// grabLine collects tokens up to (not including) the next Newline/EOF and
+// returns the index just past the newline.
+func grabLine(toks []ctoken.Token, i int) ([]ctoken.Token, int) {
+	start := i
+	for i < len(toks) && toks[i].Kind != ctoken.Newline && toks[i].Kind != ctoken.EOF {
+		i++
+	}
+	line := toks[start:i]
+	if i < len(toks) && toks[i].Kind == ctoken.Newline {
+		i++
+	}
+	return line, i
+}
+
+func (p *Preprocessor) directive(line []ctoken.Token, conds *[]condState, live bool) {
+	if len(line) == 0 {
+		return // null directive
+	}
+	name := line[0].Text
+	switch line[0].Kind {
+	case ctoken.KwIf:
+		name = "if"
+	case ctoken.KwElse:
+		name = "else"
+	}
+	rest := line[1:]
+	switch name {
+	case "if", "ifdef", "ifndef":
+		cs := condState{parentLive: live}
+		if live {
+			var val bool
+			switch name {
+			case "ifdef":
+				val = len(rest) > 0 && p.macros[rest[0].Text] != nil
+			case "ifndef":
+				val = len(rest) > 0 && p.macros[rest[0].Text] == nil
+			default:
+				val = p.evalCond(rest)
+			}
+			cs.active = val
+			cs.takenBranch = val
+		}
+		*conds = append(*conds, cs)
+	case "elif":
+		if len(*conds) == 0 {
+			p.errorf(line[0].Pos, "#elif without #if")
+			return
+		}
+		cs := &(*conds)[len(*conds)-1]
+		if cs.sawElse {
+			p.errorf(line[0].Pos, "#elif after #else")
+		}
+		if cs.parentLive && !cs.takenBranch && p.evalCond(rest) {
+			cs.active = true
+			cs.takenBranch = true
+		} else {
+			cs.active = false
+		}
+	case "else":
+		if len(*conds) == 0 {
+			p.errorf(line[0].Pos, "#else without #if")
+			return
+		}
+		cs := &(*conds)[len(*conds)-1]
+		cs.sawElse = true
+		cs.active = cs.parentLive && !cs.takenBranch
+		cs.takenBranch = true
+	case "endif":
+		if len(*conds) == 0 {
+			p.errorf(line[0].Pos, "#endif without #if")
+			return
+		}
+		*conds = (*conds)[:len(*conds)-1]
+	case "define":
+		if live {
+			p.define(rest)
+		}
+	case "undef":
+		if live && len(rest) > 0 {
+			delete(p.macros, rest[0].Text)
+		}
+	case "include":
+		if live {
+			p.include(rest)
+		}
+	case "pragma", "error", "warning", "line":
+		// Accepted and ignored; #error in a live branch is reported.
+		if live && name == "error" {
+			p.errorf(line[0].Pos, "#error %s", tokensText(rest))
+		}
+	default:
+		if live {
+			p.errorf(line[0].Pos, "unknown directive #%s", name)
+		}
+	}
+}
+
+func tokensText(toks []ctoken.Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.Text != "" {
+			b.WriteString(t.Text)
+		} else {
+			b.WriteString(t.Kind.String())
+		}
+	}
+	return b.String()
+}
+
+func (p *Preprocessor) define(rest []ctoken.Token) {
+	if len(rest) == 0 || (rest[0].Kind != ctoken.Ident && !rest[0].Kind.IsKeyword()) {
+		if len(rest) > 0 {
+			p.errorf(rest[0].Pos, "bad #define")
+		}
+		return
+	}
+	m := &macro{name: rest[0].Text}
+	body := rest[1:]
+	// Function-like only when '(' immediately follows the name; the
+	// scanner drops spacing, so approximate with column adjacency.
+	if len(body) > 0 && body[0].Kind == ctoken.LParen &&
+		body[0].Pos.Col == rest[0].Pos.Col+len(rest[0].Text) {
+		m.funcLike = true
+		j := 1
+		for j < len(body) && body[j].Kind != ctoken.RParen {
+			switch body[j].Kind {
+			case ctoken.Ident:
+				m.params = append(m.params, body[j].Text)
+			case ctoken.Ellipsis:
+				m.variadic = true
+			case ctoken.Comma:
+			default:
+				p.errorf(body[j].Pos, "bad macro parameter")
+			}
+			j++
+		}
+		if j < len(body) {
+			j++ // skip ')'
+		}
+		body = body[j:]
+	}
+	m.body = make([]ctoken.Token, len(body))
+	copy(m.body, body)
+	p.macros[m.name] = m
+}
+
+func (p *Preprocessor) include(rest []ctoken.Token) {
+	if len(rest) == 0 {
+		return
+	}
+	var name string
+	switch rest[0].Kind {
+	case ctoken.StringLit:
+		name = strings.Trim(rest[0].Text, `"`)
+	case ctoken.Lt:
+		var b strings.Builder
+		for _, t := range rest[1:] {
+			if t.Kind == ctoken.Gt {
+				break
+			}
+			if t.Text != "" {
+				b.WriteString(t.Text)
+			} else {
+				b.WriteString(t.Kind.String())
+			}
+		}
+		name = b.String()
+	default:
+		p.errorf(rest[0].Pos, "bad #include")
+		return
+	}
+	candidates := []string{name}
+	for _, d := range p.includes {
+		candidates = append(candidates, path.Join(d, name))
+	}
+	for _, c := range candidates {
+		src, err := p.fs.ReadFile(c)
+		if err == nil {
+			if p.included[c] {
+				return // idempotent headers: every corpus header has a guard role
+			}
+			p.included[c] = true
+			p.processFile(c, src)
+			return
+		}
+	}
+	p.errorf(rest[0].Pos, "include %q not found", name)
+}
+
+// expand macro-expands a token sequence. active carries macro names whose
+// expansion is in progress, to block recursion.
+func (p *Preprocessor) expand(toks []ctoken.Token, active map[string]bool) []ctoken.Token {
+	var out []ctoken.Token
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if t.Kind != ctoken.Ident || t.NoExpand {
+			out = append(out, t)
+			i++
+			continue
+		}
+		// Builtin magic macros.
+		switch t.Text {
+		case "__LINE__":
+			out = append(out, ctoken.Token{
+				Kind: ctoken.IntLit, Text: strconv.Itoa(t.Pos.Line),
+				Pos: t.Pos, FromMacro: true,
+			})
+			i++
+			continue
+		case "__FILE__":
+			out = append(out, ctoken.Token{
+				Kind: ctoken.StringLit, Text: strconv.Quote(t.Pos.File),
+				Pos: t.Pos, FromMacro: true,
+			})
+			i++
+			continue
+		}
+		m := p.macros[t.Text]
+		if m == nil || active[t.Text] {
+			if m != nil {
+				t.NoExpand = true
+			}
+			out = append(out, t)
+			i++
+			continue
+		}
+		if !m.funcLike {
+			na := withActive(active, m.name)
+			exp := p.expand(markMacro(m.body, t.Pos), na)
+			out = append(out, exp...)
+			i++
+			continue
+		}
+		// Function-like: require '('; otherwise leave the name alone.
+		if i+1 >= len(toks) || toks[i+1].Kind != ctoken.LParen {
+			out = append(out, t)
+			i++
+			continue
+		}
+		args, next, ok := gatherArgs(toks, i+2)
+		if !ok {
+			p.errorf(t.Pos, "unterminated macro invocation of %s", m.name)
+			out = append(out, t)
+			i++
+			continue
+		}
+		// C semantics: arguments are fully macro-expanded before
+		// substitution (except as operands of # and ##, which use the
+		// raw tokens); the macro's own name is hidden only during the
+		// rescan of its expansion, not while expanding arguments.
+		expArgs := make([][]ctoken.Token, len(args))
+		for ai, a := range args {
+			expArgs[ai] = p.expand(a, active)
+		}
+		body := p.substitute(m, args, expArgs, t.Pos)
+		na := withActive(active, m.name)
+		out = append(out, p.expand(body, na)...)
+		i = next
+	}
+	return out
+}
+
+func withActive(active map[string]bool, name string) map[string]bool {
+	na := make(map[string]bool, len(active)+1)
+	for k := range active {
+		na[k] = true
+	}
+	na[name] = true
+	return na
+}
+
+// markMacro stamps FromMacro and the invocation position onto body copies.
+func markMacro(body []ctoken.Token, pos ctoken.Pos) []ctoken.Token {
+	out := make([]ctoken.Token, len(body))
+	for i, t := range body {
+		t.FromMacro = true
+		t.Pos = pos
+		out[i] = t
+	}
+	return out
+}
+
+// gatherArgs collects comma-separated macro arguments starting just past
+// the opening paren at index i. Returns the args, the index just past the
+// closing paren, and whether the invocation was terminated.
+func gatherArgs(toks []ctoken.Token, i int) ([][]ctoken.Token, int, bool) {
+	var args [][]ctoken.Token
+	var cur []ctoken.Token
+	depth := 0
+	for i < len(toks) {
+		t := toks[i]
+		switch t.Kind {
+		case ctoken.LParen, ctoken.LBracket:
+			depth++
+			cur = append(cur, t)
+		case ctoken.RBracket:
+			depth--
+			cur = append(cur, t)
+		case ctoken.RParen:
+			if depth == 0 {
+				if len(cur) > 0 || len(args) > 0 {
+					args = append(args, cur)
+				}
+				return args, i + 1, true
+			}
+			depth--
+			cur = append(cur, t)
+		case ctoken.Comma:
+			if depth == 0 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, t)
+			}
+		default:
+			cur = append(cur, t)
+		}
+		i++
+	}
+	return nil, i, false
+}
+
+// substitute replaces parameters in m's body with arguments, handling
+// # and ##. rawArgs feed # and ## operands; expArgs feed ordinary
+// parameter references.
+func (p *Preprocessor) substitute(m *macro, rawArgs, expArgs [][]ctoken.Token, pos ctoken.Pos) []ctoken.Token {
+	paramIdx := func(name string) int {
+		for i, pn := range m.params {
+			if pn == name {
+				return i
+			}
+		}
+		return -1
+	}
+	rawFor := func(idx int) []ctoken.Token {
+		if idx < len(rawArgs) {
+			return rawArgs[idx]
+		}
+		return nil
+	}
+	argFor := func(idx int) []ctoken.Token {
+		if idx < len(expArgs) {
+			return expArgs[idx]
+		}
+		return nil
+	}
+
+	var out []ctoken.Token
+	body := m.body
+	for i := 0; i < len(body); i++ {
+		t := body[i]
+		// Stringize: # param
+		if t.Kind == ctoken.Hash && i+1 < len(body) && body[i+1].Kind == ctoken.Ident {
+			if idx := paramIdx(body[i+1].Text); idx >= 0 {
+				out = append(out, ctoken.Token{
+					Kind:      ctoken.StringLit,
+					Text:      strconv.Quote(tokensText(rawFor(idx))),
+					Pos:       pos,
+					FromMacro: true,
+				})
+				i++
+				continue
+			}
+		}
+		// Paste: X ## Y (operands use raw argument tokens)
+		if i+2 < len(body) && body[i+1].Kind == ctoken.HashHash {
+			left := p.substOne(t, paramIdx, rawFor, pos)
+			right := p.substOne(body[i+2], paramIdx, rawFor, pos)
+			out = append(out, pasteTokens(left, right, pos)...)
+			i += 2
+			continue
+		}
+		out = append(out, p.substOne(t, paramIdx, argFor, pos)...)
+	}
+	return out
+}
+
+func (p *Preprocessor) substOne(t ctoken.Token, paramIdx func(string) int, argFor func(int) []ctoken.Token, pos ctoken.Pos) []ctoken.Token {
+	if t.Kind == ctoken.Ident {
+		if idx := paramIdx(t.Text); idx >= 0 {
+			return markMacro(argFor(idx), pos)
+		}
+	}
+	return markMacro([]ctoken.Token{t}, pos)
+}
+
+// pasteTokens glues the last token of left to the first of right and
+// rescans the result.
+func pasteTokens(left, right []ctoken.Token, pos ctoken.Pos) []ctoken.Token {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	l := left[len(left)-1]
+	r := right[0]
+	glued := l.Text + r.Text
+	if l.Text == "" {
+		glued = l.Kind.String() + r.Text
+	}
+	s := ctoken.NewScanner(pos.File, glued)
+	rescanned := s.ScanAll()
+	rescanned = rescanned[:len(rescanned)-1]
+	out := append([]ctoken.Token{}, left[:len(left)-1]...)
+	out = append(out, markMacro(rescanned, pos)...)
+	out = append(out, right[1:]...)
+	return out
+}
+
+// evalCond evaluates an #if/#elif expression.
+func (p *Preprocessor) evalCond(toks []ctoken.Token) bool {
+	// Replace defined(X)/defined X before macro expansion.
+	var pre []ctoken.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == ctoken.Ident && t.Text == "defined" {
+			name := ""
+			if i+1 < len(toks) && toks[i+1].Kind == ctoken.Ident {
+				name = toks[i+1].Text
+				i++
+			} else if i+3 < len(toks) && toks[i+1].Kind == ctoken.LParen &&
+				toks[i+2].Kind == ctoken.Ident && toks[i+3].Kind == ctoken.RParen {
+				name = toks[i+2].Text
+				i += 3
+			}
+			val := "0"
+			if p.macros[name] != nil {
+				val = "1"
+			}
+			pre = append(pre, ctoken.Token{Kind: ctoken.IntLit, Text: val, Pos: t.Pos})
+			continue
+		}
+		pre = append(pre, t)
+	}
+	expanded := p.expand(pre, nil)
+	ev := condEval{toks: expanded, pp: p}
+	v := ev.ternary()
+	return v != 0
+}
+
+// condEval is a tiny recursive-descent evaluator for #if expressions.
+type condEval struct {
+	toks []ctoken.Token
+	pos  int
+	pp   *Preprocessor
+}
+
+func (e *condEval) peek() ctoken.Kind {
+	if e.pos >= len(e.toks) {
+		return ctoken.EOF
+	}
+	return e.toks[e.pos].Kind
+}
+
+func (e *condEval) next() ctoken.Token {
+	t := e.toks[e.pos]
+	e.pos++
+	return t
+}
+
+func (e *condEval) ternary() int64 {
+	c := e.logicalOr()
+	if e.peek() == ctoken.Question {
+		e.next()
+		a := e.ternary()
+		if e.peek() == ctoken.Colon {
+			e.next()
+		}
+		b := e.ternary()
+		if c != 0 {
+			return a
+		}
+		return b
+	}
+	return c
+}
+
+func (e *condEval) logicalOr() int64 {
+	v := e.logicalAnd()
+	for e.peek() == ctoken.OrOr {
+		e.next()
+		r := e.logicalAnd()
+		if v != 0 || r != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v
+}
+
+func (e *condEval) logicalAnd() int64 {
+	v := e.bitOr()
+	for e.peek() == ctoken.AndAnd {
+		e.next()
+		r := e.bitOr()
+		if v != 0 && r != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v
+}
+
+func (e *condEval) bitOr() int64 {
+	v := e.bitXor()
+	for e.peek() == ctoken.Pipe {
+		e.next()
+		v |= e.bitXor()
+	}
+	return v
+}
+
+func (e *condEval) bitXor() int64 {
+	v := e.bitAnd()
+	for e.peek() == ctoken.Caret {
+		e.next()
+		v ^= e.bitAnd()
+	}
+	return v
+}
+
+func (e *condEval) bitAnd() int64 {
+	v := e.equality()
+	for e.peek() == ctoken.Amp {
+		e.next()
+		v &= e.equality()
+	}
+	return v
+}
+
+func (e *condEval) equality() int64 {
+	v := e.relational()
+	for {
+		switch e.peek() {
+		case ctoken.EqEq:
+			e.next()
+			v = b2i(v == e.relational())
+		case ctoken.NotEq:
+			e.next()
+			v = b2i(v != e.relational())
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) relational() int64 {
+	v := e.shift()
+	for {
+		switch e.peek() {
+		case ctoken.Lt:
+			e.next()
+			v = b2i(v < e.shift())
+		case ctoken.Gt:
+			e.next()
+			v = b2i(v > e.shift())
+		case ctoken.Le:
+			e.next()
+			v = b2i(v <= e.shift())
+		case ctoken.Ge:
+			e.next()
+			v = b2i(v >= e.shift())
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) shift() int64 {
+	v := e.additive()
+	for {
+		switch e.peek() {
+		case ctoken.Shl:
+			e.next()
+			v <<= uint(e.additive() & 63)
+		case ctoken.Shr:
+			e.next()
+			v >>= uint(e.additive() & 63)
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) additive() int64 {
+	v := e.multiplicative()
+	for {
+		switch e.peek() {
+		case ctoken.Plus:
+			e.next()
+			v += e.multiplicative()
+		case ctoken.Minus:
+			e.next()
+			v -= e.multiplicative()
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) multiplicative() int64 {
+	v := e.unary()
+	for {
+		switch e.peek() {
+		case ctoken.Star:
+			e.next()
+			v *= e.unary()
+		case ctoken.Slash:
+			e.next()
+			if d := e.unary(); d != 0 {
+				v /= d
+			} else {
+				v = 0
+			}
+		case ctoken.Percent:
+			e.next()
+			if d := e.unary(); d != 0 {
+				v %= d
+			} else {
+				v = 0
+			}
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) unary() int64 {
+	switch e.peek() {
+	case ctoken.Not:
+		e.next()
+		return b2i(e.unary() == 0)
+	case ctoken.Tilde:
+		e.next()
+		return ^e.unary()
+	case ctoken.Minus:
+		e.next()
+		return -e.unary()
+	case ctoken.Plus:
+		e.next()
+		return e.unary()
+	case ctoken.LParen:
+		e.next()
+		v := e.ternary()
+		if e.peek() == ctoken.RParen {
+			e.next()
+		}
+		return v
+	case ctoken.IntLit, ctoken.CharLit:
+		t := e.next()
+		return parseIntLit(t.Text)
+	case ctoken.Ident:
+		e.next()
+		return 0 // undefined identifiers evaluate to 0 in #if
+	case ctoken.EOF:
+		return 0
+	default:
+		e.next()
+		return 0
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// parseIntLit parses a C integer or character literal value.
+func parseIntLit(text string) int64 {
+	if strings.HasPrefix(text, "'") {
+		inner := strings.Trim(text, "'")
+		if strings.HasPrefix(inner, "\\") && len(inner) >= 2 {
+			switch inner[1] {
+			case 'n':
+				return '\n'
+			case 't':
+				return '\t'
+			case '0':
+				return 0
+			case 'r':
+				return '\r'
+			case '\\':
+				return '\\'
+			case '\'':
+				return '\''
+			default:
+				return int64(inner[1])
+			}
+		}
+		if len(inner) > 0 {
+			return int64(inner[0])
+		}
+		return 0
+	}
+	text = strings.TrimRight(text, "uUlL")
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		// Try unsigned range.
+		if u, uerr := strconv.ParseUint(text, 0, 64); uerr == nil {
+			return int64(u)
+		}
+		return 0
+	}
+	return v
+}
+
+// ParseIntLit exposes integer-literal parsing to other packages (the
+// parser and constant folding reuse it).
+func ParseIntLit(text string) int64 { return parseIntLit(text) }

@@ -1,0 +1,18 @@
+package cpp
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// DirFS is a FileProvider rooted at a directory on disk.
+type DirFS string
+
+// ReadFile implements FileProvider.
+func (d DirFS) ReadFile(name string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(string(d), name))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,220 @@
+// Package csem builds program-level semantic information over a set of
+// parsed translation units: function and global indexes, and the
+// interface equivalence classes of Section 4.2 ("routines whose addresses
+// are assigned to the same function pointer or passed as arguments to the
+// same function tend to implement the same abstract interface").
+package csem
+
+import (
+	"sort"
+	"strconv"
+
+	"deviant/internal/cast"
+)
+
+// Program is the semantic index of one analyzed code base.
+type Program struct {
+	Files []*cast.File
+	// Funcs maps names to definitions (bodies present).
+	Funcs map[string]*cast.FuncDecl
+	// Protos maps names to prototypes without bodies seen anywhere.
+	Protos map[string]*cast.FuncDecl
+	// Globals maps names of file-scope variables to their declarations.
+	Globals map[string]*cast.VarDecl
+	// Records maps "struct tag" to the struct definition.
+	Records map[string]*cast.StructType
+	// interfaces maps equivalence-class keys to member function names.
+	interfaces map[string][]string
+}
+
+// Analyze indexes files.
+func Analyze(files []*cast.File) *Program {
+	p := &Program{
+		Files:      files,
+		Funcs:      make(map[string]*cast.FuncDecl),
+		Protos:     make(map[string]*cast.FuncDecl),
+		Globals:    make(map[string]*cast.VarDecl),
+		Records:    make(map[string]*cast.StructType),
+		interfaces: make(map[string][]string),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			switch x := d.(type) {
+			case *cast.FuncDecl:
+				if x.Body != nil {
+					p.Funcs[x.Name] = x
+				} else if _, defined := p.Funcs[x.Name]; !defined {
+					p.Protos[x.Name] = x
+				}
+			case *cast.VarDecl:
+				p.Globals[x.Name] = x
+			case *cast.RecordDecl:
+				if x.Type.Tag != "" && len(x.Type.Fields) > 0 {
+					p.Records[x.Type.TypeString()] = x.Type
+				}
+			}
+		}
+	}
+	// A prototype seen before its definition must not linger.
+	for name := range p.Funcs {
+		delete(p.Protos, name)
+	}
+	p.buildInterfaces()
+	return p
+}
+
+// FuncNames returns the names of all defined functions, sorted.
+func (p *Program) FuncNames() []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GlobalNames returns the names of all file-scope variables, sorted.
+func (p *Program) GlobalNames() []string {
+	names := make([]string, 0, len(p.Globals))
+	for n := range p.Globals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsFunc reports whether name names a defined or declared function.
+func (p *Program) IsFunc(name string) bool {
+	if _, ok := p.Funcs[name]; ok {
+		return true
+	}
+	_, ok := p.Protos[name]
+	return ok
+}
+
+// InterfaceClasses returns every equivalence class with at least two
+// members, as (class key, sorted member names) pairs sorted by key. All
+// members of a class are believed to implement the same abstract
+// interface, so cross-checking their beliefs is sound (§4.2).
+func (p *Program) InterfaceClasses() map[string][]string {
+	out := make(map[string][]string, len(p.interfaces))
+	for k, members := range p.interfaces {
+		set := map[string]bool{}
+		for _, m := range members {
+			set[m] = true
+		}
+		if len(set) < 2 {
+			continue
+		}
+		uniq := make([]string, 0, len(set))
+		for m := range set {
+			uniq = append(uniq, m)
+		}
+		sort.Strings(uniq)
+		out[k] = uniq
+	}
+	return out
+}
+
+func (p *Program) addInterfaceMember(class, fn string) {
+	p.interfaces[class] = append(p.interfaces[class], fn)
+}
+
+// buildInterfaces finds the function-pointer idioms that relate code
+// abstractly:
+//
+//  1. designated initializers of struct-typed globals: ".ioctl = my_ioctl"
+//     joins class "struct file_operations.ioctl";
+//  2. positional initializers of struct-typed globals resolve through the
+//     record's field list;
+//  3. assignments through a member: "dev->open = my_open" joins class
+//     ".open" (field name only — the base type is not always known);
+//  4. function names passed to the same callee argument slot:
+//     "register_handler(dev, my_intr)" joins "arg:register_handler:1".
+func (p *Program) buildInterfaces() {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			vd, ok := d.(*cast.VarDecl)
+			if !ok || vd.Init == nil {
+				continue
+			}
+			il, ok := vd.Init.(*cast.InitListExpr)
+			if !ok {
+				continue
+			}
+			st := p.structOf(vd.Type)
+			for i, item := range il.Items {
+				fn := p.funcNameOf(item)
+				if fn == "" {
+					continue
+				}
+				field := il.Designators[i]
+				if field == "" && st != nil && i < len(st.Fields) {
+					field = st.Fields[i].Name
+				}
+				if field == "" {
+					continue
+				}
+				class := "." + field
+				if st != nil {
+					class = st.TypeString() + "." + field
+				}
+				p.addInterfaceMember(class, fn)
+			}
+		}
+		cast.Inspect(f, func(n cast.Node) bool {
+			switch x := n.(type) {
+			case *cast.AssignExpr:
+				if m, ok := x.L.(*cast.MemberExpr); ok {
+					if fn := p.funcNameOf(x.R); fn != "" {
+						p.addInterfaceMember("."+m.Member, fn)
+					}
+				}
+			case *cast.CallExpr:
+				callee := cast.CalleeName(x)
+				if callee == "" {
+					return true
+				}
+				for i, a := range x.Args {
+					if fn := p.funcNameOf(a); fn != "" {
+						p.addInterfaceMember("arg:"+callee+":"+strconv.Itoa(i), fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// structOf resolves a declaration type to its struct definition, following
+// typedefs and the record table.
+func (p *Program) structOf(t cast.Type) *cast.StructType {
+	u := cast.Unwrap(t)
+	st, ok := u.(*cast.StructType)
+	if !ok {
+		return nil
+	}
+	if len(st.Fields) == 0 && st.Tag != "" {
+		if def, ok := p.Records[st.TypeString()]; ok {
+			return def
+		}
+	}
+	return st
+}
+
+// funcNameOf returns the function name if e denotes a defined function
+// (optionally via unary & or a cast), else "".
+func (p *Program) funcNameOf(e cast.Expr) string {
+	e = cast.StripParensAndCasts(e)
+	if u, ok := e.(*cast.UnaryExpr); ok {
+		e = cast.StripParensAndCasts(u.X)
+	}
+	id, ok := e.(*cast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, defined := p.Funcs[id.Name]; defined {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,171 @@
+package csem
+
+import (
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+)
+
+func analyze(t *testing.T, srcs ...string) *Program {
+	t.Helper()
+	var files []*cast.File
+	for i, src := range srcs {
+		f, errs := cparse.ParseSource("t"+string(rune('0'+i))+".c", src)
+		if len(errs) != 0 {
+			t.Fatalf("parse: %v", errs)
+		}
+		files = append(files, f)
+	}
+	return Analyze(files)
+}
+
+func TestIndexes(t *testing.T) {
+	p := analyze(t, `
+int counter;
+static struct dev *devices;
+int probe(void);
+int probe(void) { return 0; }
+void helper(int x) { }
+`)
+	if len(p.Funcs) != 2 {
+		t.Errorf("funcs: %v", p.FuncNames())
+	}
+	if _, ok := p.Funcs["probe"]; !ok {
+		t.Error("probe should be a definition")
+	}
+	if _, ok := p.Protos["probe"]; ok {
+		t.Error("definition shadows prototype")
+	}
+	if len(p.Globals) != 2 {
+		t.Errorf("globals: %v", p.GlobalNames())
+	}
+	if !p.IsFunc("probe") || !p.IsFunc("helper") || p.IsFunc("counter") {
+		t.Error("IsFunc classification")
+	}
+}
+
+func TestInterfaceFromDesignatedInit(t *testing.T) {
+	p := analyze(t, `
+struct file_operations { int (*open)(void); int (*release)(void); };
+int a_open(void) { return 0; }
+int a_release(void) { return 0; }
+int b_open(void) { return 0; }
+int b_release(void) { return 0; }
+struct file_operations a_fops = { .open = a_open, .release = a_release };
+struct file_operations b_fops = { .open = b_open, .release = b_release };
+`)
+	classes := p.InterfaceClasses()
+	open := classes["struct file_operations.open"]
+	if len(open) != 2 || open[0] != "a_open" || open[1] != "b_open" {
+		t.Errorf("open class: %v (all: %v)", open, classes)
+	}
+	rel := classes["struct file_operations.release"]
+	if len(rel) != 2 {
+		t.Errorf("release class: %v", rel)
+	}
+}
+
+func TestInterfaceFromPositionalInit(t *testing.T) {
+	p := analyze(t, `
+struct ops { int (*start)(void); int (*stop)(void); };
+int s1(void) { return 0; }
+int t1(void) { return 0; }
+int s2(void) { return 0; }
+int t2(void) { return 0; }
+struct ops x = { s1, t1 };
+struct ops y = { s2, t2 };
+`)
+	classes := p.InterfaceClasses()
+	if got := classes["struct ops.start"]; len(got) != 2 {
+		t.Errorf("start class: %v (all %v)", got, classes)
+	}
+	if got := classes["struct ops.stop"]; len(got) != 2 {
+		t.Errorf("stop class: %v", got)
+	}
+}
+
+func TestInterfaceFromAssignment(t *testing.T) {
+	p := analyze(t, `
+int h1(int irq) { return 0; }
+int h2(int irq) { return 0; }
+void setup(struct dev *d, struct dev *e) {
+	d->handler = h1;
+	e->handler = h2;
+}
+`)
+	classes := p.InterfaceClasses()
+	if got := classes[".handler"]; len(got) != 2 {
+		t.Errorf("handler class: %v (all %v)", got, classes)
+	}
+}
+
+func TestInterfaceFromCallArgument(t *testing.T) {
+	p := analyze(t, `
+int intr_a(int irq) { return 0; }
+int intr_b(int irq) { return 0; }
+void init(void) {
+	request_irq(3, intr_a);
+	request_irq(4, intr_b);
+}
+`)
+	classes := p.InterfaceClasses()
+	if got := classes["arg:request_irq:1"]; len(got) != 2 {
+		t.Errorf("irq class: %v (all %v)", got, classes)
+	}
+}
+
+func TestSingletonClassesDropped(t *testing.T) {
+	p := analyze(t, `
+int only(void) { return 0; }
+struct ops { int (*f)(void); };
+struct ops o = { .f = only };
+`)
+	if len(p.InterfaceClasses()) != 0 {
+		t.Errorf("singleton class kept: %v", p.InterfaceClasses())
+	}
+}
+
+func TestAmpersandFunctionRef(t *testing.T) {
+	p := analyze(t, `
+int cb1(void) { return 0; }
+int cb2(void) { return 0; }
+struct ops { int (*f)(void); };
+struct ops a = { .f = &cb1 };
+struct ops b = { .f = &cb2 };
+`)
+	if got := p.InterfaceClasses()["struct ops.f"]; len(got) != 2 {
+		t.Errorf("&fn refs: %v", got)
+	}
+}
+
+func TestTypedefStructInit(t *testing.T) {
+	p := analyze(t, `
+typedef struct ops { int (*go)(void); } ops_t;
+int g1(void) { return 0; }
+int g2(void) { return 0; }
+ops_t a = { .go = g1 };
+ops_t b = { .go = g2 };
+`)
+	if got := p.InterfaceClasses()["struct ops.go"]; len(got) != 2 {
+		t.Errorf("typedef resolution: %v (all %v)", got, p.InterfaceClasses())
+	}
+}
+
+func TestRecordsIndexed(t *testing.T) {
+	p := analyze(t, "struct foo { int a; int b; };")
+	st, ok := p.Records["struct foo"]
+	if !ok || len(st.Fields) != 2 {
+		t.Errorf("records: %v", p.Records)
+	}
+}
+
+func TestMultiFileMerge(t *testing.T) {
+	p := analyze(t,
+		"int shared(void) { return 1; }",
+		"int shared2(void) { return 2; }",
+	)
+	if len(p.Funcs) != 2 {
+		t.Errorf("multi-file funcs: %v", p.FuncNames())
+	}
+}

@@ -1,0 +1,336 @@
+package ctoken
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scanner tokenizes C source text. It is used both by the preprocessor
+// (with KeepNewlines and KeepHash set, since directives are line oriented)
+// and, conceptually, by anything that wants a raw token stream.
+type Scanner struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+
+	// KeepNewlines emits Newline tokens at line ends instead of skipping
+	// them; the preprocessor needs them to delimit directives.
+	KeepNewlines bool
+
+	errs []error
+}
+
+// NewScanner returns a scanner over src, reporting positions against file.
+func NewScanner(file, src string) *Scanner {
+	return &Scanner{src: src, file: file, line: 1, col: 1}
+}
+
+// Errs returns accumulated scan errors.
+func (s *Scanner) Errs() []error { return s.errs }
+
+func (s *Scanner) errorf(p Pos, format string, args ...any) {
+	s.errs = append(s.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (s *Scanner) pos() Pos { return Pos{File: s.file, Line: s.line, Col: s.col} }
+
+func (s *Scanner) peek() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peekAt(n int) byte {
+	if s.off+n >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+n]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// ScanAll returns every token in the input, ending with an EOF token.
+func (s *Scanner) ScanAll() []Token {
+	var toks []Token
+	for {
+		t := s.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks
+		}
+	}
+}
+
+// Next returns the next token.
+func (s *Scanner) Next() Token {
+	for {
+		// Skip whitespace (maybe emitting newlines) and comments.
+		for s.off < len(s.src) {
+			c := s.peek()
+			if c == '\n' {
+				p := s.pos()
+				s.advance()
+				if s.KeepNewlines {
+					return Token{Kind: Newline, Pos: p}
+				}
+				continue
+			}
+			if c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' {
+				s.advance()
+				continue
+			}
+			if c == '\\' && s.peekAt(1) == '\n' { // line continuation
+				s.advance()
+				s.advance()
+				continue
+			}
+			if c == '/' && s.peekAt(1) == '/' {
+				for s.off < len(s.src) && s.peek() != '\n' {
+					s.advance()
+				}
+				continue
+			}
+			if c == '/' && s.peekAt(1) == '*' {
+				p := s.pos()
+				s.advance()
+				s.advance()
+				closed := false
+				for s.off < len(s.src) {
+					if s.peek() == '*' && s.peekAt(1) == '/' {
+						s.advance()
+						s.advance()
+						closed = true
+						break
+					}
+					s.advance()
+				}
+				if !closed {
+					s.errorf(p, "unterminated block comment")
+				}
+				continue
+			}
+			break
+		}
+
+		if s.off >= len(s.src) {
+			return Token{Kind: EOF, Pos: s.pos()}
+		}
+
+		p := s.pos()
+		c := s.peek()
+		switch {
+		case isIdentStart(c):
+			start := s.off
+			for s.off < len(s.src) && isIdentCont(s.peek()) {
+				s.advance()
+			}
+			text := s.src[start:s.off]
+			kind := KeywordKind(text)
+			if kind == Ident {
+				return Token{Kind: Ident, Text: text, Pos: p}
+			}
+			return Token{Kind: kind, Text: text, Pos: p}
+		case isDigit(c) || (c == '.' && isDigit(s.peekAt(1))):
+			return s.scanNumber(p)
+		case c == '\'':
+			return s.scanChar(p)
+		case c == '"':
+			return s.scanString(p)
+		default:
+			return s.scanOperator(p)
+		}
+	}
+}
+
+func (s *Scanner) scanNumber(p Pos) Token {
+	start := s.off
+	isFloat := false
+	if s.peek() == '0' && (s.peekAt(1) == 'x' || s.peekAt(1) == 'X') {
+		s.advance()
+		s.advance()
+		for s.off < len(s.src) && isHex(s.peek()) {
+			s.advance()
+		}
+	} else {
+		for s.off < len(s.src) && isDigit(s.peek()) {
+			s.advance()
+		}
+		if s.peek() == '.' {
+			isFloat = true
+			s.advance()
+			for s.off < len(s.src) && isDigit(s.peek()) {
+				s.advance()
+			}
+		}
+		if s.peek() == 'e' || s.peek() == 'E' {
+			if isDigit(s.peekAt(1)) || ((s.peekAt(1) == '+' || s.peekAt(1) == '-') && isDigit(s.peekAt(2))) {
+				isFloat = true
+				s.advance()
+				if s.peek() == '+' || s.peek() == '-' {
+					s.advance()
+				}
+				for s.off < len(s.src) && isDigit(s.peek()) {
+					s.advance()
+				}
+			}
+		}
+	}
+	// Integer/float suffixes.
+	for s.off < len(s.src) && strings.ContainsRune("uUlLfF", rune(s.peek())) {
+		if s.peek() == 'f' || s.peek() == 'F' {
+			isFloat = true
+		}
+		s.advance()
+	}
+	text := s.src[start:s.off]
+	if isFloat {
+		return Token{Kind: FloatLit, Text: text, Pos: p}
+	}
+	return Token{Kind: IntLit, Text: text, Pos: p}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (s *Scanner) scanChar(p Pos) Token {
+	start := s.off
+	s.advance() // opening quote
+	for s.off < len(s.src) {
+		c := s.peek()
+		if c == '\\' {
+			s.advance()
+			if s.off < len(s.src) {
+				s.advance()
+			}
+			continue
+		}
+		if c == '\'' || c == '\n' {
+			break
+		}
+		s.advance()
+	}
+	if s.peek() == '\'' {
+		s.advance()
+	} else {
+		s.errorf(p, "unterminated character literal")
+	}
+	return Token{Kind: CharLit, Text: s.src[start:s.off], Pos: p}
+}
+
+func (s *Scanner) scanString(p Pos) Token {
+	start := s.off
+	s.advance() // opening quote
+	for s.off < len(s.src) {
+		c := s.peek()
+		if c == '\\' {
+			s.advance()
+			if s.off < len(s.src) {
+				s.advance()
+			}
+			continue
+		}
+		if c == '"' || c == '\n' {
+			break
+		}
+		s.advance()
+	}
+	if s.peek() == '"' {
+		s.advance()
+	} else {
+		s.errorf(p, "unterminated string literal")
+	}
+	return Token{Kind: StringLit, Text: s.src[start:s.off], Pos: p}
+}
+
+// operator table ordered so longer operators are matched first.
+var operators = []struct {
+	text string
+	kind Kind
+}{
+	{"...", Ellipsis},
+	{"<<=", ShlAssign},
+	{">>=", ShrAssign},
+	{"<<", Shl},
+	{">>", Shr},
+	{"<=", Le},
+	{">=", Ge},
+	{"==", EqEq},
+	{"!=", NotEq},
+	{"&&", AndAnd},
+	{"||", OrOr},
+	{"->", Arrow},
+	{"++", Inc},
+	{"--", Dec},
+	{"+=", AddAssign},
+	{"-=", SubAssign},
+	{"*=", MulAssign},
+	{"/=", DivAssign},
+	{"%=", ModAssign},
+	{"&=", AndAssign},
+	{"|=", OrAssign},
+	{"^=", XorAssign},
+	{"##", HashHash},
+	{"(", LParen},
+	{")", RParen},
+	{"{", LBrace},
+	{"}", RBrace},
+	{"[", LBracket},
+	{"]", RBracket},
+	{";", Semi},
+	{",", Comma},
+	{":", Colon},
+	{"?", Question},
+	{"=", Assign},
+	{"+", Plus},
+	{"-", Minus},
+	{"*", Star},
+	{"/", Slash},
+	{"%", Percent},
+	{"&", Amp},
+	{"|", Pipe},
+	{"^", Caret},
+	{"~", Tilde},
+	{"!", Not},
+	{"<", Lt},
+	{">", Gt},
+	{".", Dot},
+	{"#", Hash},
+}
+
+func (s *Scanner) scanOperator(p Pos) Token {
+	rest := s.src[s.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op.text) {
+			for range op.text {
+				s.advance()
+			}
+			return Token{Kind: op.kind, Text: op.text, Pos: p}
+		}
+	}
+	c := s.advance()
+	s.errorf(p, "unexpected character %q", c)
+	// Return something so the caller makes progress.
+	return s.Next()
+}

@@ -1,0 +1,253 @@
+package ctoken
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func scan(t *testing.T, src string) []Token {
+	t.Helper()
+	s := NewScanner("test.c", src)
+	toks := s.ScanAll()
+	if errs := s.Errs(); len(errs) != 0 {
+		t.Fatalf("scan errors: %v", errs)
+	}
+	return toks
+}
+
+func TestScanIdentifiersAndKeywords(t *testing.T) {
+	toks := scan(t, "int foo while _bar baz42")
+	want := []Kind{KwInt, Ident, KwWhile, Ident, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if toks[1].Text != "foo" || toks[3].Text != "_bar" || toks[4].Text != "baz42" {
+		t.Errorf("identifier texts wrong: %v", toks)
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"0", IntLit},
+		{"42", IntLit},
+		{"0x1F", IntLit},
+		{"0xdeadBEEF", IntLit},
+		{"077", IntLit},
+		{"42UL", IntLit},
+		{"1.5", FloatLit},
+		{".5", FloatLit},
+		{"1e10", FloatLit},
+		{"1.5e-3", FloatLit},
+		{"2.0f", FloatLit},
+	}
+	for _, c := range cases {
+		toks := scan(t, c.src)
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: got %v want %v", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("%q: text %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestScanStringsAndChars(t *testing.T) {
+	toks := scan(t, `"hello \"world\"" 'a' '\n' '\''`)
+	want := []Kind{StringLit, CharLit, CharLit, CharLit, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v (all: %v)", i, got[i], want[i], toks)
+		}
+	}
+	if toks[0].Text != `"hello \"world\""` {
+		t.Errorf("string text: %q", toks[0].Text)
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	toks := scan(t, "a->b . c ... <<= >>= << >> <= >= == != && || ++ -- += -= ? :")
+	want := []Kind{
+		Ident, Arrow, Ident, Dot, Ident, Ellipsis, ShlAssign, ShrAssign,
+		Shl, Shr, Le, Ge, EqEq, NotEq, AndAnd, OrOr, Inc, Dec,
+		AddAssign, SubAssign, Question, Colon, EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks := scan(t, "a /* comment \n over lines */ b // line\nc")
+	want := []Kind{Ident, Ident, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("c should be on line 3, got %d", toks[2].Pos.Line)
+	}
+}
+
+func TestScanNewlinesKept(t *testing.T) {
+	s := NewScanner("t.c", "#define X 1\nint y;\n")
+	s.KeepNewlines = true
+	toks := s.ScanAll()
+	var nl int
+	for _, tok := range toks {
+		if tok.Kind == Newline {
+			nl++
+		}
+	}
+	if nl != 2 {
+		t.Errorf("want 2 newlines, got %d (%v)", nl, toks)
+	}
+	if toks[0].Kind != Hash {
+		t.Errorf("want leading #, got %v", toks[0])
+	}
+}
+
+func TestScanLineContinuation(t *testing.T) {
+	s := NewScanner("t.c", "#define M(x) \\\n  ((x) + 1)\nq")
+	s.KeepNewlines = true
+	toks := s.ScanAll()
+	// The continuation must NOT produce a Newline between "M(x)" and "((x)".
+	sawNewlineBeforeParen := false
+	for i, tok := range toks {
+		if tok.Kind == Newline && i+1 < len(toks) && toks[i+1].Kind == LParen {
+			sawNewlineBeforeParen = true
+		}
+	}
+	if sawNewlineBeforeParen {
+		t.Errorf("line continuation leaked a newline: %v", toks)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	toks := scan(t, "int\n  x;")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int pos: %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x pos: %v", toks[1].Pos)
+	}
+	if toks[1].Pos.File != "test.c" {
+		t.Errorf("file: %q", toks[1].Pos.File)
+	}
+}
+
+func TestScanErrorRecovery(t *testing.T) {
+	s := NewScanner("t.c", "a @ b")
+	toks := s.ScanAll()
+	if len(s.Errs()) == 0 {
+		t.Fatal("want scan error for @")
+	}
+	got := kinds(toks)
+	want := []Kind{Ident, Ident, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestKeywordKind(t *testing.T) {
+	if KeywordKind("while") != KwWhile {
+		t.Error("while")
+	}
+	if KeywordKind("whilex") != Ident {
+		t.Error("whilex")
+	}
+	if !KwStruct.IsKeyword() {
+		t.Error("struct should be keyword")
+	}
+	if Ident.IsKeyword() {
+		t.Error("Ident should not be keyword")
+	}
+}
+
+// Property: scanning never panics and always terminates with EOF, for
+// arbitrary byte soup.
+func TestScanArbitraryInputTerminates(t *testing.T) {
+	f := func(src string) bool {
+		s := NewScanner("fuzz.c", src)
+		toks := s.ScanAll()
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for identifier-and-space inputs, token count equals field count.
+func TestScanIdentifierFields(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			id := "x"
+			for _, r := range w {
+				if r >= 'a' && r <= 'z' {
+					id += string(r)
+				}
+			}
+			clean = append(clean, id)
+		}
+		src := strings.Join(clean, " ")
+		s := NewScanner("f.c", src)
+		toks := s.ScanAll()
+		return len(toks) == len(clean)+1 // + EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Text: "foo"}
+	if s := tok.String(); !strings.Contains(s, "foo") {
+		t.Errorf("token string %q", s)
+	}
+	if Arrow.String() != "->" {
+		t.Errorf("arrow: %q", Arrow.String())
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "a.c", Line: 3, Col: 7}
+	if p.String() != "a.c:3:7" {
+		t.Errorf("pos: %q", p.String())
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos should be invalid")
+	}
+	if !p.IsValid() {
+		t.Error("p should be valid")
+	}
+}

@@ -1,0 +1,274 @@
+// Package ctoken defines lexical tokens for the C subset analyzed by
+// deviant, together with source positions and a scanner.
+//
+// Tokens carry a FromMacro flag. The paper (Section 6) modifies the C
+// preprocessor to annotate macro-produced code so that belief propagation
+// can be truncated at macro boundaries; our preprocessor sets this flag on
+// every token that results from a macro expansion.
+package ctoken
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Keywords occupy a contiguous range so IsKeyword is a range
+// test.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Colon    // :
+	Question // ?
+	Ellipsis // ...
+
+	Assign       // =
+	AddAssign    // +=
+	SubAssign    // -=
+	MulAssign    // *=
+	DivAssign    // /=
+	ModAssign    // %=
+	AndAssign    // &=
+	OrAssign     // |=
+	XorAssign    // ^=
+	ShlAssign    // <<=
+	ShrAssign    // >>=
+	Inc          // ++
+	Dec          // --
+	Plus         // +
+	Minus        // -
+	Star         // *
+	Slash        // /
+	Percent      // %
+	Amp          // &
+	Pipe         // |
+	Caret        // ^
+	Tilde        // ~
+	Not          // !
+	Shl          // <<
+	Shr          // >>
+	Lt           // <
+	Gt           // >
+	Le           // <=
+	Ge           // >=
+	EqEq         // ==
+	NotEq        // !=
+	AndAnd       // &&
+	OrOr         // ||
+	Arrow        // ->
+	Dot          // .
+	Hash         // # (only visible pre-cpp)
+	HashHash     // ## (only visible pre-cpp)
+	Newline      // significant only inside the preprocessor
+	keywordFirst // marker
+
+	KwAuto
+	KwBreak
+	KwCase
+	KwChar
+	KwConst
+	KwContinue
+	KwDefault
+	KwDo
+	KwDouble
+	KwElse
+	KwEnum
+	KwExtern
+	KwFloat
+	KwFor
+	KwGoto
+	KwIf
+	KwInline
+	KwInt
+	KwLong
+	KwRegister
+	KwReturn
+	KwShort
+	KwSigned
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwSwitch
+	KwTypedef
+	KwUnion
+	KwUnsigned
+	KwVoid
+	KwVolatile
+	KwWhile
+
+	keywordLast // marker
+)
+
+var kindNames = map[Kind]string{
+	EOF:       "EOF",
+	Ident:     "identifier",
+	IntLit:    "integer literal",
+	FloatLit:  "float literal",
+	CharLit:   "char literal",
+	StringLit: "string literal",
+	LParen:    "(",
+	RParen:    ")",
+	LBrace:    "{",
+	RBrace:    "}",
+	LBracket:  "[",
+	RBracket:  "]",
+	Semi:      ";",
+	Comma:     ",",
+	Colon:     ":",
+	Question:  "?",
+	Ellipsis:  "...",
+	Assign:    "=",
+	AddAssign: "+=",
+	SubAssign: "-=",
+	MulAssign: "*=",
+	DivAssign: "/=",
+	ModAssign: "%=",
+	AndAssign: "&=",
+	OrAssign:  "|=",
+	XorAssign: "^=",
+	ShlAssign: "<<=",
+	ShrAssign: ">>=",
+	Inc:       "++",
+	Dec:       "--",
+	Plus:      "+",
+	Minus:     "-",
+	Star:      "*",
+	Slash:     "/",
+	Percent:   "%",
+	Amp:       "&",
+	Pipe:      "|",
+	Caret:     "^",
+	Tilde:     "~",
+	Not:       "!",
+	Shl:       "<<",
+	Shr:       ">>",
+	Lt:        "<",
+	Gt:        ">",
+	Le:        "<=",
+	Ge:        ">=",
+	EqEq:      "==",
+	NotEq:     "!=",
+	AndAnd:    "&&",
+	OrOr:      "||",
+	Arrow:     "->",
+	Dot:       ".",
+	Hash:      "#",
+	HashHash:  "##",
+	Newline:   "newline",
+
+	KwAuto:     "auto",
+	KwBreak:    "break",
+	KwCase:     "case",
+	KwChar:     "char",
+	KwConst:    "const",
+	KwContinue: "continue",
+	KwDefault:  "default",
+	KwDo:       "do",
+	KwDouble:   "double",
+	KwElse:     "else",
+	KwEnum:     "enum",
+	KwExtern:   "extern",
+	KwFloat:    "float",
+	KwFor:      "for",
+	KwGoto:     "goto",
+	KwIf:       "if",
+	KwInline:   "inline",
+	KwInt:      "int",
+	KwLong:     "long",
+	KwRegister: "register",
+	KwReturn:   "return",
+	KwShort:    "short",
+	KwSigned:   "signed",
+	KwSizeof:   "sizeof",
+	KwStatic:   "static",
+	KwStruct:   "struct",
+	KwSwitch:   "switch",
+	KwTypedef:  "typedef",
+	KwUnion:    "union",
+	KwUnsigned: "unsigned",
+	KwVoid:     "void",
+	KwVolatile: "volatile",
+	KwWhile:    "while",
+}
+
+// String returns a printable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a C keyword.
+func (k Kind) IsKeyword() bool { return k > keywordFirst && k < keywordLast }
+
+var keywords = map[string]Kind{}
+
+func init() {
+	for k := keywordFirst + 1; k < keywordLast; k++ {
+		keywords[kindNames[k]] = k
+	}
+}
+
+// KeywordKind returns the keyword kind for text, or Ident if text is not a
+// keyword.
+func KeywordKind(text string) Kind {
+	if k, ok := keywords[text]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for identifiers and literals
+	Pos  Pos
+	// FromMacro marks tokens produced by macro expansion. Checkers use it
+	// to truncate belief propagation across macro boundaries (paper §6).
+	FromMacro bool
+	// NoExpand marks identifier tokens that must not be macro-expanded
+	// again (used internally by the preprocessor to prevent recursion).
+	NoExpand bool
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, FloatLit, CharLit, StringLit:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,316 @@
+// Package engine applies checkers down the execution paths of a CFG,
+// memoizing checker state per basic block — the analysis core of xgcc
+// (§3.5: "the extensions are applied down each execution path in that
+// function. The system memoizes extension results, making the analyses
+// usually roughly linear in code length").
+//
+// A checker supplies a state (cloneable, with a canonical Key), receives a
+// stream of events (dereferences, calls, assignments, uses, returns) plus
+// branch assumptions, and reports errors through the shared collector.
+package engine
+
+import (
+	"strconv"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/ctoken"
+	"deviant/internal/report"
+)
+
+// State is a checker's per-path analysis state.
+type State interface {
+	// Clone returns an independent copy.
+	Clone() State
+	// Key canonically encodes the state for memoization. Two states with
+	// equal keys must behave identically for the rest of the path.
+	Key() string
+}
+
+// EventKind discriminates events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvDeref: Ptr was dereferenced (*p, p->f, p[i]).
+	EvDeref EventKind = iota
+	// EvUse: an identifier or member chain was read (Expr holds it).
+	EvUse
+	// EvCall: Call holds the call expression.
+	EvCall
+	// EvAssign: LHS = RHS (RHS nil for ++/--).
+	EvAssign
+	// EvDecl: Decl holds a local declaration (Init handled as assign).
+	EvDecl
+	// EvReturn: Expr holds the returned value (nil for bare return).
+	EvReturn
+	// EvStmtEnd marks the end of one statement-level unit; checkers that
+	// count per-statement (the lock checker's access counting) flush
+	// transient buffers here. Transient per-statement state need not be
+	// part of State.Key since units never span memoization points.
+	EvStmtEnd
+)
+
+// Event is one action on a path.
+type Event struct {
+	Kind EventKind
+	Ptr  cast.Expr // EvDeref: the pointer operand
+	Expr cast.Expr // EvUse / EvReturn payload
+	Call *cast.CallExpr
+	LHS  cast.Expr
+	RHS  cast.Expr
+	Decl *cast.VarDecl
+	Pos  ctoken.Pos
+}
+
+// Ctx gives checkers access to the surrounding function and the report
+// collector.
+type Ctx struct {
+	Fn      *cast.FuncDecl
+	File    string
+	Reports *report.Collector
+}
+
+// Checker is the interface analyses implement; it corresponds to one
+// metal extension.
+type Checker interface {
+	// Name identifies the checker in reports.
+	Name() string
+	// NewState returns the state at function entry.
+	NewState(fn *cast.FuncDecl) State
+	// Event processes one straight-line action, mutating st.
+	Event(st State, ev *Event, ctx *Ctx)
+	// Branch incorporates the assumption that cond evaluated to val,
+	// mutating st (called once per outgoing CFG edge with a cloned st).
+	Branch(st State, cond cast.Expr, val bool, ctx *Ctx)
+	// FuncEnd is called when a path reaches the function exit.
+	FuncEnd(st State, ctx *Ctx)
+}
+
+// Options tunes the traversal.
+type Options struct {
+	// Memoize prunes (block, state) pairs already visited. Disabling it
+	// reproduces naive exhaustive path exploration (the E10 ablation).
+	Memoize bool
+	// MaxVisits bounds total block visits as a safety valve; <= 0 means
+	// the default.
+	MaxVisits int
+	// LoopBound bounds how many times a block may repeat on one path
+	// when memoization is off; <= 0 means the default of 2.
+	LoopBound int
+}
+
+// DefaultMaxVisits bounds traversal work per function.
+const DefaultMaxVisits = 200000
+
+// RunStats reports traversal effort, used by the scalability experiment.
+type RunStats struct {
+	Visits    int  // block visits performed
+	MemoHits  int  // visits skipped by memoization
+	Truncated bool // hit MaxVisits
+}
+
+type runner struct {
+	g     *cfg.Graph
+	ch    Checker
+	ctx   *Ctx
+	opts  Options
+	memo  map[string]bool
+	stats RunStats
+}
+
+// Run applies ch to every path of g and returns traversal statistics.
+func Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats {
+	if opts.MaxVisits <= 0 {
+		opts.MaxVisits = DefaultMaxVisits
+	}
+	if opts.LoopBound <= 0 {
+		opts.LoopBound = 2
+	}
+	r := &runner{
+		g:    g,
+		ch:   ch,
+		ctx:  &Ctx{Fn: g.Fn, File: g.Fn.NamePos.File, Reports: col},
+		opts: opts,
+		memo: make(map[string]bool),
+	}
+	st := ch.NewState(g.Fn)
+	r.visit(g.Entry, st, make(map[int]int))
+	return r.stats
+}
+
+// visit processes blk under st. onPath counts per-block occurrences on the
+// current path (loop bounding for the unmemoized mode).
+func (r *runner) visit(blk *cfg.Block, st State, onPath map[int]int) {
+	if blk == nil || r.stats.Truncated {
+		return
+	}
+	if r.stats.Visits >= r.opts.MaxVisits {
+		r.stats.Truncated = true
+		return
+	}
+	if r.opts.Memoize {
+		k := stateKey(blk.ID, st)
+		if r.memo[k] {
+			r.stats.MemoHits++
+			return
+		}
+		r.memo[k] = true
+	} else {
+		if onPath[blk.ID] >= r.opts.LoopBound {
+			return
+		}
+		onPath[blk.ID]++
+		defer func() { onPath[blk.ID]-- }()
+	}
+	r.stats.Visits++
+
+	for _, n := range blk.Nodes {
+		r.node(st, n)
+		r.ch.Event(st, &Event{Kind: EvStmtEnd, Pos: n.Pos()}, r.ctx)
+	}
+	if blk.Cond != nil {
+		emitExpr(blk.Cond, func(ev *Event) { r.ch.Event(st, ev, r.ctx) })
+		r.ch.Event(st, &Event{Kind: EvStmtEnd, Pos: blk.Cond.Pos()}, r.ctx)
+	}
+
+	if len(blk.Succs) == 0 || blk == r.g.Exit {
+		r.ch.FuncEnd(st, r.ctx)
+		if blk == r.g.Exit {
+			return
+		}
+	}
+	for _, e := range blk.Succs {
+		next := st.Clone()
+		if blk.Cond != nil {
+			r.ch.Branch(next, blk.Cond, e.Branch, r.ctx)
+		}
+		r.visit(e.To, next, onPath)
+	}
+}
+
+func (r *runner) node(st State, n cast.Node) {
+	emit := func(ev *Event) { r.ch.Event(st, ev, r.ctx) }
+	switch x := n.(type) {
+	case *cast.VarDecl:
+		if x.Init != nil {
+			emitExpr(x.Init, emit)
+		}
+		emit(&Event{Kind: EvDecl, Decl: x, Pos: x.NamePos})
+	case *cast.ReturnStmt:
+		// The returned expression's events were emitted when the builder
+		// placed it ahead of the ReturnStmt node; the builder emits the
+		// expr as part of the return unit here instead:
+		emit(&Event{Kind: EvReturn, Expr: x.X, Pos: x.ReturnPos})
+	case cast.Expr:
+		emitExpr(x, emit)
+	}
+}
+
+func stateKey(blockID int, st State) string {
+	return strconv.Itoa(blockID) + "|" + st.Key()
+}
+
+// emitExpr walks e in evaluation order emitting events.
+func emitExpr(e cast.Expr, emit func(*Event)) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *cast.Ident:
+		emit(&Event{Kind: EvUse, Expr: x, Pos: x.NamePos})
+	case *cast.IntLit, *cast.FloatLit, *cast.CharLit, *cast.StringLit, *cast.SizeofTypeExpr:
+		return
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case ctoken.Star:
+			emitExpr(x.X, emit)
+			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.OpPos})
+		case ctoken.KwSizeof:
+			// sizeof does not evaluate its operand: no events.
+			return
+		case ctoken.Inc, ctoken.Dec:
+			emitExpr(x.X, emit)
+			emit(&Event{Kind: EvAssign, LHS: x.X, Pos: x.OpPos})
+		case ctoken.Amp:
+			// &x computes an address; if x itself contains dereferences
+			// they still count, but a bare &ident is not a use.
+			if _, isIdent := x.X.(*cast.Ident); !isIdent {
+				emitExpr(x.X, emit)
+			}
+		default:
+			emitExpr(x.X, emit)
+		}
+	case *cast.PostfixExpr:
+		emitExpr(x.X, emit)
+		emit(&Event{Kind: EvAssign, LHS: x.X, Pos: x.X.Pos()})
+	case *cast.BinaryExpr:
+		emitExpr(x.X, emit)
+		emitExpr(x.Y, emit)
+	case *cast.AssignExpr:
+		emitExpr(x.R, emit)
+		// LHS: inner dereferences happen, and the location is written.
+		emitLValue(x.L, emit)
+		emit(&Event{Kind: EvAssign, LHS: x.L, RHS: x.R, Pos: x.L.Pos()})
+	case *cast.CondExpr:
+		emitExpr(x.Cond, emit)
+		// Both arms are emitted on this path: a deliberate approximation
+		// (in-expression ternaries are rare in the code we check).
+		emitExpr(x.Then, emit)
+		emitExpr(x.Else, emit)
+	case *cast.CallExpr:
+		if _, isIdent := x.Fun.(*cast.Ident); !isIdent {
+			emitExpr(x.Fun, emit)
+		}
+		for _, a := range x.Args {
+			emitExpr(a, emit)
+		}
+		emit(&Event{Kind: EvCall, Call: x, Pos: x.Lparen})
+	case *cast.IndexExpr:
+		emitExpr(x.X, emit)
+		emitExpr(x.Index, emit)
+		emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.X.Pos()})
+	case *cast.MemberExpr:
+		emitExpr(x.X, emit)
+		if x.Arrow {
+			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.MemPos})
+		}
+		emit(&Event{Kind: EvUse, Expr: x, Pos: x.MemPos})
+	case *cast.CastExpr:
+		emitExpr(x.X, emit)
+	case *cast.CommaExpr:
+		emitExpr(x.X, emit)
+		emitExpr(x.Y, emit)
+	case *cast.InitListExpr:
+		for _, it := range x.Items {
+			emitExpr(it, emit)
+		}
+	}
+}
+
+// emitLValue emits the evaluation events of an assignment target: the
+// address computation evaluates (and dereferences) everything except the
+// outermost location itself.
+func emitLValue(l cast.Expr, emit func(*Event)) {
+	switch x := l.(type) {
+	case *cast.Ident:
+		// Writing an ident evaluates nothing.
+	case *cast.UnaryExpr:
+		if x.Op == ctoken.Star {
+			emitExpr(x.X, emit)
+			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.OpPos})
+			return
+		}
+		emitExpr(x, emit)
+	case *cast.MemberExpr:
+		emitExpr(x.X, emit)
+		if x.Arrow {
+			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.MemPos})
+		}
+	case *cast.IndexExpr:
+		emitExpr(x.X, emit)
+		emitExpr(x.Index, emit)
+		emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.X.Pos()})
+	default:
+		emitExpr(l, emit)
+	}
+}

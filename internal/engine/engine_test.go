@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/cparse"
+	"deviant/internal/report"
+)
+
+// traceState records nothing; the checker is stateless so all paths memo
+// together after joins.
+type traceState struct{ id string }
+
+func (s *traceState) Clone() State { return &traceState{id: s.id} }
+func (s *traceState) Key() string  { return s.id }
+
+// traceChecker records the event stream.
+type traceChecker struct {
+	events   []string
+	branches []string
+	ends     int
+}
+
+func (c *traceChecker) Name() string                  { return "trace" }
+func (c *traceChecker) NewState(*cast.FuncDecl) State { return &traceState{} }
+
+func (c *traceChecker) Event(st State, ev *Event, ctx *Ctx) {
+	switch ev.Kind {
+	case EvDeref:
+		c.events = append(c.events, "deref:"+cast.ExprString(ev.Ptr))
+	case EvUse:
+		c.events = append(c.events, "use:"+cast.ExprString(ev.Expr))
+	case EvCall:
+		c.events = append(c.events, "call:"+cast.CalleeName(ev.Call))
+	case EvAssign:
+		c.events = append(c.events, "assign:"+cast.ExprString(ev.LHS))
+	case EvDecl:
+		c.events = append(c.events, "decl:"+ev.Decl.Name)
+	case EvReturn:
+		c.events = append(c.events, "return")
+	}
+}
+
+func (c *traceChecker) Branch(st State, cond cast.Expr, val bool, ctx *Ctx) {
+	c.branches = append(c.branches, fmt.Sprintf("%s=%v", cast.ExprString(cond), val))
+}
+
+func (c *traceChecker) FuncEnd(st State, ctx *Ctx) { c.ends++ }
+
+func runOn(t *testing.T, src string, opts Options) (*traceChecker, RunStats) {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	var fd *cast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*cast.FuncDecl); ok && x.Body != nil {
+			fd = x
+			break
+		}
+	}
+	if fd == nil {
+		t.Fatal("no function")
+	}
+	g := cfg.Build(fd, cfg.Options{})
+	ch := &traceChecker{}
+	col := report.NewCollector()
+	stats := Run(g, ch, col, opts)
+	return ch, stats
+}
+
+func TestEventOrderLinear(t *testing.T) {
+	ch, _ := runOn(t, `void f(struct s *p) {
+		int x = p->a;
+		g(x);
+		*p = 1;
+	}`, Options{Memoize: true})
+	want := []string{
+		"use:p", "deref:p", "use:p->a", "decl:x",
+		"use:x", "call:g",
+		"use:p", "deref:p", "assign:*p",
+	}
+	if strings.Join(ch.events, ",") != strings.Join(want, ",") {
+		t.Errorf("events:\n got %v\nwant %v", ch.events, want)
+	}
+}
+
+func TestBranchEvents(t *testing.T) {
+	ch, _ := runOn(t, "void f(int *p) { if (p == 0) a(); else b(); }", Options{Memoize: true})
+	// Two branch applications, one per edge.
+	if len(ch.branches) != 2 {
+		t.Fatalf("branches: %v", ch.branches)
+	}
+	joined := strings.Join(ch.branches, ",")
+	if !strings.Contains(joined, "=true") || !strings.Contains(joined, "=false") {
+		t.Errorf("branches: %v", ch.branches)
+	}
+}
+
+func TestAssignEmitsRHSBeforeLHS(t *testing.T) {
+	ch, _ := runOn(t, "void f(struct s *p, struct s *q) { p->x = q->y; }", Options{Memoize: true})
+	want := []string{
+		"use:q", "deref:q", "use:q->y",
+		"use:p", "deref:p",
+		"assign:p->x",
+	}
+	if strings.Join(ch.events, ",") != strings.Join(want, ",") {
+		t.Errorf("events: %v", ch.events)
+	}
+}
+
+func TestCallArgsEmitted(t *testing.T) {
+	ch, _ := runOn(t, "void f(int a, int b) { g(a, h(b)); }", Options{Memoize: true})
+	want := []string{"use:a", "use:b", "call:h", "call:g"}
+	if strings.Join(ch.events, ",") != strings.Join(want, ",") {
+		t.Errorf("events: %v", ch.events)
+	}
+}
+
+func TestSizeofDoesNotEvaluate(t *testing.T) {
+	ch, _ := runOn(t, "void f(struct s *p) { int n = sizeof(*p); use(n); }", Options{Memoize: true})
+	for _, e := range ch.events {
+		if e == "deref:p" {
+			t.Errorf("sizeof operand must not be evaluated: %v", ch.events)
+		}
+	}
+}
+
+func TestFuncEndPerTerminalState(t *testing.T) {
+	ch, _ := runOn(t, "int f(int x) { if (x) return 1; return 0; }", Options{Memoize: true})
+	// Stateless checker: exit block visited once (memoized).
+	if ch.ends < 1 {
+		t.Errorf("ends: %d", ch.ends)
+	}
+}
+
+func TestMemoizationCutsVisits(t *testing.T) {
+	// Diamond chains: stateless checker should visit each block once
+	// when memoized; unmemoized exploration visits exponentially many.
+	src := `void f(int a, int b, int c, int d) {
+		if (a) x1(); else y1();
+		if (b) x2(); else y2();
+		if (c) x3(); else y3();
+		if (d) x4(); else y4();
+		done();
+	}`
+	_, memoStats := runOn(t, src, Options{Memoize: true})
+	_, rawStats := runOn(t, src, Options{Memoize: false})
+	if memoStats.Visits >= rawStats.Visits {
+		t.Errorf("memoized %d visits should be fewer than raw %d",
+			memoStats.Visits, rawStats.Visits)
+	}
+	if memoStats.MemoHits == 0 {
+		t.Error("expected memo hits on diamond joins")
+	}
+}
+
+func TestLoopTerminates(t *testing.T) {
+	_, stats := runOn(t, `void f(int n) {
+		while (n) {
+			if (n == 2) step();
+			n--;
+		}
+	}`, Options{Memoize: true})
+	if stats.Truncated {
+		t.Error("loop analysis should converge via memoization")
+	}
+	_, stats2 := runOn(t, `void f(int n) {
+		while (n) { n--; }
+	}`, Options{Memoize: false})
+	if stats2.Truncated {
+		t.Error("loop bound should terminate unmemoized mode")
+	}
+}
+
+func TestMaxVisitsTruncates(t *testing.T) {
+	src := `void f(int a, int b, int c, int d, int e) {
+		if (a) x1(); else y1();
+		if (b) x2(); else y2();
+		if (c) x3(); else y3();
+		if (d) x4(); else y4();
+		if (e) x5(); else y5();
+	}`
+	_, stats := runOn(t, src, Options{Memoize: false, MaxVisits: 5})
+	if !stats.Truncated {
+		t.Error("tiny MaxVisits should truncate")
+	}
+}
+
+func TestAmpIdentNotUse(t *testing.T) {
+	ch, _ := runOn(t, "void f(int x) { g(&x); h(&p->field); }", Options{Memoize: true})
+	joined := strings.Join(ch.events, ",")
+	if strings.Contains(joined, "use:x") {
+		t.Errorf("&x should not be a use: %v", ch.events)
+	}
+	if !strings.Contains(joined, "deref:p") {
+		t.Errorf("&p->field still dereferences p: %v", ch.events)
+	}
+}
+
+func TestIndexDerefs(t *testing.T) {
+	ch, _ := runOn(t, "void f(int *a, int i) { use(a[i]); }", Options{Memoize: true})
+	joined := strings.Join(ch.events, ",")
+	if !strings.Contains(joined, "deref:a") {
+		t.Errorf("a[i] should deref a: %v", ch.events)
+	}
+}
+
+func TestIncDecAreAssigns(t *testing.T) {
+	ch, _ := runOn(t, "void f(int n) { n++; --n; }", Options{Memoize: true})
+	count := 0
+	for _, e := range ch.events {
+		if e == "assign:n" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("want 2 assigns to n: %v", ch.events)
+	}
+}
+
+func TestConditionEventsBeforeBranch(t *testing.T) {
+	// Dereference inside a condition must be seen as an event.
+	ch, _ := runOn(t, "void f(struct s *p) { if (p->flag) a(); }", Options{Memoize: true})
+	joined := strings.Join(ch.events, ",")
+	if !strings.Contains(joined, "deref:p") {
+		t.Errorf("condition deref missing: %v", ch.events)
+	}
+	if len(ch.branches) != 2 {
+		t.Errorf("branches: %v", ch.branches)
+	}
+}
+
+// gotoChecker verifies that path state flows through goto edges: it
+// tracks a single flag set by a call to mark() and asserts the engine
+// reports the flag state at done().
+type flagState struct{ set bool }
+
+func (s *flagState) Clone() State { return &flagState{set: s.set} }
+func (s *flagState) Key() string {
+	if s.set {
+		return "1"
+	}
+	return "0"
+}
+
+type gotoChecker struct{ doneStates map[string]bool }
+
+func (c *gotoChecker) Name() string                  { return "goto" }
+func (c *gotoChecker) NewState(*cast.FuncDecl) State { return &flagState{} }
+func (c *gotoChecker) Event(st State, ev *Event, ctx *Ctx) {
+	if ev.Kind != EvCall {
+		return
+	}
+	s := st.(*flagState)
+	switch cast.CalleeName(ev.Call) {
+	case "mark":
+		s.set = true
+	case "done":
+		c.doneStates[s.Key()] = true
+	}
+}
+func (c *gotoChecker) Branch(State, cast.Expr, bool, *Ctx) {}
+func (c *gotoChecker) FuncEnd(State, *Ctx)                 {}
+
+func TestStateFlowsThroughGoto(t *testing.T) {
+	src := `
+void f(int x) {
+	if (x)
+		goto fin;
+	mark();
+fin:
+	done();
+}`
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	var fd *cast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*cast.FuncDecl); ok && x.Body != nil {
+			fd = x
+		}
+	}
+	g := cfg.Build(fd, cfg.Options{})
+	ch := &gotoChecker{doneStates: map[string]bool{}}
+	Run(g, ch, report.NewCollector(), Options{Memoize: true})
+	// done() is reachable both with the flag set (fallthrough path) and
+	// unset (goto path): the engine must visit it under both states.
+	if !ch.doneStates["0"] || !ch.doneStates["1"] {
+		t.Errorf("goto state flow: %+v", ch.doneStates)
+	}
+}

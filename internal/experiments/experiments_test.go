@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Shape(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"null pointer", "user pointer", "IS_ERR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2DerivesAllTemplates(t *testing.T) {
+	out, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Does lock <l> protect <v>?",
+		"Must <a> be paired with <b>?",
+		"Can routine <f> fail?",
+		"Does security check <y> protect <x>?",
+		"Does <a> reverse <b>?",
+		"interrupts off",
+		"inverse",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing template %q:\n%s", want, out)
+		}
+	}
+	// The derived instances must be the right ones.
+	for _, want := range []string{"kmalloc", "spin_lock", "capable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing derived instance %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3CoversThreeSystems(t *testing.T) {
+	out, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"linux-2.4.1-like", "linux-2.4.7-like", "openbsd-2.8-like",
+		"check-then-use", "use-then-check", "redundant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	out, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "interfaces") {
+		t.Errorf("missing interface column:\n%s", out)
+	}
+}
+
+func TestTable5RanksKmallocTop(t *testing.T) {
+	out, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kmalloc must appear in the can-fail top list.
+	idx := strings.Index(out, "kmalloc")
+	if idx < 0 {
+		t.Fatalf("kmalloc missing:\n%s", out)
+	}
+}
+
+func TestTable6(t *testing.T) {
+	out, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "spin_lock") || !strings.Contains(out, "ablation") {
+		t.Errorf("table 6 incomplete:\n%s", out)
+	}
+}
+
+func TestFigure1MatchesPaperCounts(t *testing.T) {
+	out, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(a,l): 4 checks, 1 errors") {
+		t.Errorf("(a,l) counts wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "(b,l): 3 checks, 2 errors") {
+		t.Errorf("(b,l) counts wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "(a,l) outranks (b,l)") {
+		t.Errorf("ranking wrong:\n%s", out)
+	}
+}
+
+func TestFigure2FindsExactlyTheBug(t *testing.T) {
+	out, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reports: 1") {
+		t.Errorf("figure 2 should find exactly 1 bug:\n%s", out)
+	}
+	if !strings.Contains(out, "card") {
+		t.Errorf("should flag card:\n%s", out)
+	}
+}
+
+func TestFigure3RankingBeatsThreshold(t *testing.T) {
+	out, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy A") || !strings.Contains(out, "strategy B") {
+		t.Fatalf("missing strategies:\n%s", out)
+	}
+}
+
+func TestFigure4RoughlyLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep is slow")
+	}
+	out, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "roughly linear") {
+		t.Errorf("figure 4 incomplete:\n%s", out)
+	}
+}
+
+func TestAblationPruning(t *testing.T) {
+	out, err := AblationPruning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "with pruning") {
+		t.Errorf("ablation incomplete:\n%s", out)
+	}
+}
+
+func TestTable7CrossVersion(t *testing.T) {
+	out, err := Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+	if !strings.Contains(out, "regressions") {
+		t.Errorf("table 7 incomplete:\n%s", out)
+	}
+	// Every visible regression must be flagged with no extra noise.
+	if !strings.Contains(out, "extra flags: 0") {
+		t.Errorf("cross-version diff produced noise:\n%s", out)
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/checkers/lockvar"
+	"deviant/internal/checkers/null"
+	"deviant/internal/core"
+	"deviant/internal/corpus"
+	"deviant/internal/cparse"
+	"deviant/internal/csem"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+	"deviant/internal/sm"
+	"deviant/internal/stats"
+)
+
+// Figure1Source is the paper's contrived lock example, structurally
+// verbatim (Figure 1).
+const Figure1Source = `
+typedef int lock_t;
+lock_t l;
+int a, b;
+void foo(void) {
+	lock(l);
+	a = a + b;
+	unlock(l);
+	b = b + 1;
+}
+void bar(void) {
+	lock(l);
+	a = a + 1;
+	unlock(l);
+}
+void baz(void) {
+	a = a + 1;
+	unlock(l);
+	b = b - 1;
+	a = a / 5;
+}
+`
+
+// Figure1 reproduces the Figure 1 walk-through: the lock checker derives
+// (a,l) with 4 checks / 1 error and (b,l) with 3 checks / 2 errors, and
+// ranks (a,l) first (§3.3–3.4).
+func Figure1() (string, error) {
+	f, errs := cparse.ParseSource("figure1.c", Figure1Source)
+	if len(errs) != 0 {
+		return "", fmt.Errorf("figure1 parse: %v", errs[0])
+	}
+	prog := csem.Analyze([]*cast.File{f})
+	conv := latent.Default()
+	ch := lockvar.New(prog, conv)
+	col := report.NewCollector()
+	for _, name := range prog.FuncNames() {
+		g := cfg.Build(prog.Funcs[name], cfg.Options{NoReturn: conv.IsCrashRoutine})
+		engine.Run(g, ch, col, engine.Options{Memoize: true})
+	}
+	ch.Finish(col)
+
+	var b strings.Builder
+	b.WriteString("Figure 1: statistical lock inference on the paper's example\n")
+	a := ch.Counter("a", "l")
+	bb := ch.Counter("b", "l")
+	za := a.Z(stats.DefaultP0)
+	zb := bb.Z(stats.DefaultP0)
+	fmt.Fprintf(&b, "  (a,l): %d checks, %d errors  z=%.2f   (paper: 4 checks, 1 error)\n", a.Checks, a.Errors, za)
+	fmt.Fprintf(&b, "  (b,l): %d checks, %d errors  z=%.2f   (paper: 3 checks, 2 errors)\n", bb.Checks, bb.Errors, zb)
+	fmt.Fprintf(&b, "  ranking: (a,l) %s (b,l)\n", cmp(za, zb))
+	for _, r := range col.ByChecker("lockvar") {
+		fmt.Fprintf(&b, "  %s\n", r.String())
+	}
+	return b.String(), nil
+}
+
+func cmp(a, b float64) string {
+	if a > b {
+		return "outranks"
+	}
+	return "does NOT outrank"
+}
+
+// figure2Source bundles the two §3.1 bug fragments the metal checker of
+// Figure 2 must flag.
+const figure2Source = `
+void capidrv_fragment(struct capi_ctr *card, int id) {
+	if (card == NULL) {
+		printk("capidrv-%d: incoming call on unbound id %d!\n",
+			card->contrnr, id);
+	}
+}
+int clean_guard(struct s *p) {
+	if (p == NULL)
+		return -1;
+	return p->x;
+}
+`
+
+// Figure2 reproduces Figure 2: the transcribed metal extension
+// (sm.FigureTwoChecker) flags the §3.1 null dereference and stays silent
+// on the clean guard.
+func Figure2() (string, error) {
+	f, errs := cparse.ParseSource("figure2.c", figure2Source)
+	if len(errs) != 0 {
+		return "", fmt.Errorf("figure2 parse: %v", errs[0])
+	}
+	conv := latent.Default()
+	col := report.NewCollector()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+			g := cfg.Build(fd, cfg.Options{NoReturn: conv.IsCrashRoutine})
+			engine.Run(g, &sm.Runner{M: sm.FigureTwoChecker()}, col, engine.Options{Memoize: true})
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: metal-style internal_null_checker (sm framework)\n")
+	for _, r := range col.Ranked() {
+		fmt.Fprintf(&b, "  %s\n", r.String())
+	}
+	fmt.Fprintf(&b, "  reports: %d (expected 1: the capidrv fragment)\n", col.Len())
+	return b.String(), nil
+}
+
+// Figure3 reproduces the §5.1 methodology claim: ranking error messages
+// by z beats thresholding beliefs. It runs the lock checker on the
+// linux-2.4.7-like corpus (whose fnCoincidence functions seed weak,
+// coincidental beliefs), then compares (a) inspecting the z-ranked error
+// list top-down against (b) inspecting the unranked violation pool of
+// beliefs above a threshold t, for several t.
+func Figure3() (string, error) {
+	c := corpus.Generate(corpus.Linux247())
+	res, err := run(c)
+	if err != nil {
+		return "", err
+	}
+	lockReports := checkerLines(res, "lockvar")
+	isBug := func(r report.Report) bool {
+		return c.IsBugAt(corpus.UnlockedAccess, r.Pos.File, r.Pos.Line, 2)
+	}
+
+	var b strings.Builder
+	b.WriteString("Figure 3: rank errors, not beliefs (§5.1)\n")
+	fmt.Fprintf(&b, "corpus %s: %d lock-checker messages, %d seeded bugs\n",
+		c.Spec.Name, len(lockReports), c.CountOf(corpus.UnlockedAccess))
+
+	// Strategy A: inspect the z-ranked list top-down.
+	curve := stats.InspectionCurve(len(lockReports), func(i int) bool { return isBug(lockReports[i]) })
+	b.WriteString("strategy A (rank errors by z): cumulative bugs at rank k\n")
+	for _, k := range []int{1, 2, 3, 5, 8, 13, 21, len(curve)} {
+		if k > len(curve) {
+			break
+		}
+		pt := curve[k-1]
+		fmt.Fprintf(&b, "  k=%3d: %d bugs, %d false positives\n", pt.Rank, pt.Hits, pt.FalsePositives)
+	}
+	stop := stats.StopAtNoise(curve, 0.34)
+	fmt.Fprintf(&b, "  inspector stops at rank %d (noise > 1/3)\n", stop)
+
+	// Strategy B: threshold beliefs at t, inspect the whole pool.
+	b.WriteString("strategy B (threshold beliefs at t, unranked pool):\n")
+	for _, t := range []float64{-6, -3, -1, 0, 1} {
+		pool := 0
+		bugs := 0
+		for _, r := range lockReports {
+			if r.Z >= t {
+				pool++
+				if isBug(r) {
+					bugs++
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  t=%+4.1f: pool=%3d messages, %d real bugs (%.0f%% noise)\n",
+			t, pool, bugs, noisePct(pool, bugs))
+	}
+	b.WriteString("conclusion: thresholding works only inside a narrow, corpus-dependent\n")
+	b.WriteString("band of t; the ranked list needs no tuning and concentrates the bugs\n")
+	b.WriteString("at the top (§5.1: \"ranking error messages rather than beliefs\n")
+	b.WriteString("completely avoids these problems\").\n")
+	return b.String(), nil
+}
+
+func noisePct(pool, bugs int) float64 {
+	if pool == 0 {
+		return 0
+	}
+	return 100 * float64(pool-bugs) / float64(pool)
+}
+
+// Figure4 reproduces the §3.5 scalability claim: with memoization the
+// analyses are roughly linear in code length. It times the full pipeline
+// over growing corpora, with and without memoization.
+func Figure4() (string, error) {
+	specs := []corpus.Spec{
+		{Name: "tiny", Seed: 1, Modules: 6, FuncsPerModule: 13, Rates: corpus.DefaultRates()},
+		{Name: "small", Seed: 2, Modules: 18, FuncsPerModule: 13, Rates: corpus.DefaultRates()},
+		{Name: "medium", Seed: 3, Modules: 36, FuncsPerModule: 13, Rates: corpus.DefaultRates()},
+		{Name: "large", Seed: 4, Modules: 72, FuncsPerModule: 13, Rates: corpus.DefaultRates()},
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: scalability — analysis effort vs code size (§3.5)\n")
+	fmt.Fprintf(&b, "%-8s %8s %7s | %12s %10s | %14s\n",
+		"corpus", "lines", "funcs", "memo visits", "time", "no-memo visits")
+	var first, last Timing
+	for i, spec := range specs {
+		tm, err := measure(spec, true)
+		if err != nil {
+			return "", err
+		}
+		tn, err := measure(spec, false)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-8s %8d %7d | %12d %10s | %14d\n",
+			spec.Name, tm.Lines, tm.Funcs, tm.Visits, tm.Elapsed.Round(time.Millisecond), tn.Visits)
+		if i == 0 {
+			first = tm
+		}
+		last = tm
+	}
+	lineRatio := float64(last.Lines) / float64(first.Lines)
+	visitRatio := float64(last.Visits) / float64(first.Visits)
+	fmt.Fprintf(&b, "lines grew %.1fx, memoized visits grew %.1fx (roughly linear)\n",
+		lineRatio, visitRatio)
+	return b.String(), nil
+}
+
+// AblationPruning measures the false-positive contribution of crash-path
+// pruning (§6) on the null checkers.
+func AblationPruning() (string, error) {
+	c := corpus.Generate(corpus.Linux247())
+	on, err := run(c)
+	if err != nil {
+		return "", err
+	}
+	opts := core.DefaultOptions()
+	opts.DisableCrashPruning = true
+	off, err := runOpts(c, opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: crash-path pruning (panic/BUG paths)\n")
+	fmt.Fprintf(&b, "  null-checker reports with pruning:    %d\n", len(on.Reports.ByChecker("null")))
+	fmt.Fprintf(&b, "  null-checker reports without pruning: %d\n", len(off.Reports.ByChecker("null")))
+	fmt.Fprintf(&b, "  (the corpus has %d panic-guard functions; each is a potential FP)\n",
+		countFuncsWithPrefixSuffix(on, "_claim"))
+	return b.String(), nil
+}
+
+func countFuncsWithPrefixSuffix(res *core.Result, sub string) int {
+	n := 0
+	for _, name := range res.Prog.FuncNames() {
+		if strings.Contains(name, sub) {
+			n++
+		}
+	}
+	return n
+}
+
+// AblationMacros measures the false-positive contribution of the
+// macro-origin belief truncation (§6: "almost all false positives we
+// observed were due to such macros").
+func AblationMacros() (string, error) {
+	c := corpus.Generate(corpus.Linux247())
+	on, err := run(c)
+	if err != nil {
+		return "", err
+	}
+	opts := core.DefaultOptions()
+	nc := null.AllChecks()
+	nc.TrackMacros = true
+	opts.NullConfig = &nc
+	off, err := runOpts(c, opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: macro-origin belief truncation\n")
+	fmt.Fprintf(&b, "  null-checker reports with truncation:    %d\n", len(on.Reports.ByChecker("null")))
+	fmt.Fprintf(&b, "  null-checker reports without truncation: %d\n", len(off.Reports.ByChecker("null")))
+	fmt.Fprintf(&b, "  (the corpus has %d warn-macro functions; each is a potential FP)\n",
+		countFuncsWithPrefixSuffix(on, "_touch"))
+	return b.String(), nil
+}

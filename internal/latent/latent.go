@@ -1,0 +1,185 @@
+// Package latent encodes the paper's "latent specifications" (§5.2):
+// naming conventions, crash-routine annotations, and error-return idioms
+// that systems code uses to communicate intent. Checkers consult these to
+// decide what to check and to suppress or prioritize results.
+package latent
+
+import "strings"
+
+// Conventions bundles the latent-specification knowledge used by the
+// checkers. The zero value is unusable; construct with Default.
+type Conventions struct {
+	// PairSubstrings maps "opening" substrings to their closing
+	// counterparts; a candidate (a, b) pair whose names contain such a
+	// combination is prioritized in pair derivation.
+	PairSubstrings map[string][]string
+	// CrashRoutines never return; paths following a call are pruned.
+	CrashRoutines map[string]bool
+	// AllocSubstrings suggest a routine returns fresh storage that may
+	// be null on failure.
+	AllocSubstrings []string
+	// FreeSubstrings suggest a routine releases storage.
+	FreeSubstrings []string
+	// UserCopyRoutines take a user pointer at the given argument index;
+	// passing p marks p as a dangerous user pointer (§7).
+	UserCopyRoutines map[string]int
+	// LockSubstrings / UnlockSubstrings identify lock acquire/release
+	// calls whose first argument is the lock.
+	LockSubstrings   []string
+	UnlockSubstrings []string
+	// IntrDisable / IntrEnable identify interrupt-state manipulation
+	// (cli/sti-style, no argument).
+	IntrDisable map[string]bool
+	IntrEnable  map[string]bool
+	// ErrPtrCheck is the IS_ERR-style predicate name (§8.3).
+	ErrPtrCheck string
+}
+
+// Default returns the conventions tuned for Linux/BSD-flavoured code,
+// mirroring the substrings the paper lists: "lock, unlock, alloc, free,
+// release, assert, fatal, panic, spl, sys, intr, brelse, ioctl".
+func Default() *Conventions {
+	return &Conventions{
+		PairSubstrings: map[string][]string{
+			"lock":    {"unlock"},
+			"acquire": {"release"},
+			"enter":   {"exit", "leave"},
+			"open":    {"close"},
+			"get":     {"put", "release"},
+			"alloc":   {"free", "release", "brelse"},
+			"disable": {"enable", "restore"},
+			"cli":     {"sti", "restore_flags"},
+			"down":    {"up"},
+			"start":   {"stop", "end", "finish"},
+			"begin":   {"end"},
+			"request": {"release", "free"},
+		},
+		CrashRoutines: map[string]bool{
+			"panic": true, "BUG": true, "oops": true, "do_exit": true,
+			"exit": true, "abort": true, "die": true, "machine_halt": true,
+			"assert_fail": true, "__assert_fail": true, "out_of_line_bug": true,
+		},
+		AllocSubstrings: []string{"alloc", "create", "dup", "new", "getblk", "clone"},
+		FreeSubstrings:  []string{"free", "release", "destroy", "put", "brelse", "kfree"},
+		UserCopyRoutines: map[string]int{
+			"copy_from_user": 1, "copy_to_user": 0,
+			"copyin": 0, "copyout": 1,
+			"get_user": 1, "put_user": 1,
+			"memcpy_fromfs": 1, "memcpy_tofs": 0,
+			"verify_area": 1,
+		},
+		LockSubstrings:   []string{"lock", "acquire", "down"},
+		UnlockSubstrings: []string{"unlock", "release", "up"},
+		IntrDisable: map[string]bool{
+			"cli": true, "local_irq_disable": true, "disable_irq": true,
+			"splhigh": true, "splbio": true, "splnet": true,
+		},
+		IntrEnable: map[string]bool{
+			"sti": true, "local_irq_enable": true, "enable_irq": true,
+			"restore_flags": true, "splx": true, "spl0": true,
+		},
+		ErrPtrCheck: "IS_ERR",
+	}
+}
+
+// nameMatches reports whether name matches the convention substring sub.
+// Short substrings ("up", "get") only match as whole '_'-separated tokens
+// so "down_interruptible" does not match "up"; longer substrings match
+// anywhere.
+func nameMatches(name, sub string) bool {
+	lower := strings.ToLower(name)
+	if len(sub) >= 4 {
+		return strings.Contains(lower, sub)
+	}
+	for _, tok := range strings.Split(lower, "_") {
+		if tok == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCrashRoutine reports whether name is a never-returns routine, either
+// by exact table match or by the "fatal"/"panic"/"assert" substrings the
+// paper calls out.
+func (c *Conventions) IsCrashRoutine(name string) bool {
+	if c.CrashRoutines[name] {
+		return true
+	}
+	lower := strings.ToLower(name)
+	for _, sub := range []string{"panic", "fatal"} {
+		if strings.Contains(lower, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLockAcquire reports whether name looks like a lock acquisition.
+// Release substrings are checked first so "spin_unlock" is not classified
+// as an acquire by its "lock" substring.
+func (c *Conventions) IsLockAcquire(name string) bool {
+	if c.IsLockRelease(name) {
+		return false
+	}
+	for _, sub := range c.LockSubstrings {
+		if nameMatches(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLockRelease reports whether name looks like a lock release.
+func (c *Conventions) IsLockRelease(name string) bool {
+	for _, sub := range c.UnlockSubstrings {
+		if nameMatches(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// LooksAlloc reports whether name suggests an allocator.
+func (c *Conventions) LooksAlloc(name string) bool {
+	for _, sub := range c.AllocSubstrings {
+		if nameMatches(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// LooksFree reports whether name suggests a deallocator.
+func (c *Conventions) LooksFree(name string) bool {
+	for _, sub := range c.FreeSubstrings {
+		if nameMatches(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// PairBoost returns a ranking bonus for a candidate (a, b) pairing whose
+// names match a known open/close naming convention ("use these latent
+// specifications to cull out the most easily understood results", §5.1).
+func (c *Conventions) PairBoost(a, b string) float64 {
+	for open, closes := range c.PairSubstrings {
+		if !nameMatches(a, open) {
+			continue
+		}
+		for _, cl := range closes {
+			if nameMatches(b, cl) {
+				return 2.0
+			}
+		}
+	}
+	return 0
+}
+
+// UserPointerArg returns the argument index of name's user-pointer
+// parameter and true if name is a user-copy routine.
+func (c *Conventions) UserPointerArg(name string) (int, bool) {
+	idx, ok := c.UserCopyRoutines[name]
+	return idx, ok
+}

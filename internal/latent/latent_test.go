@@ -1,0 +1,84 @@
+package latent
+
+import "testing"
+
+func TestCrashRoutines(t *testing.T) {
+	c := Default()
+	for _, name := range []string{"panic", "BUG", "do_exit", "dev_panic", "fatal_error"} {
+		if !c.IsCrashRoutine(name) {
+			t.Errorf("%s should be a crash routine", name)
+		}
+	}
+	for _, name := range []string{"printk", "kmalloc", "spin_lock"} {
+		if c.IsCrashRoutine(name) {
+			t.Errorf("%s should not be a crash routine", name)
+		}
+	}
+}
+
+func TestLockClassification(t *testing.T) {
+	c := Default()
+	acquires := []string{"spin_lock", "lock_kernel", "down_interruptible", "mutex_acquire"}
+	for _, n := range acquires {
+		if !c.IsLockAcquire(n) {
+			t.Errorf("%s should be an acquire", n)
+		}
+	}
+	releases := []string{"spin_unlock", "unlock_kernel", "up", "mutex_release"}
+	for _, n := range releases {
+		if !c.IsLockRelease(n) {
+			t.Errorf("%s should be a release", n)
+		}
+		if c.IsLockAcquire(n) {
+			t.Errorf("%s must not be classified as an acquire", n)
+		}
+	}
+	if c.IsLockAcquire("printk") || c.IsLockRelease("printk") {
+		t.Error("printk is neither")
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	c := Default()
+	if !c.LooksAlloc("kmalloc") || !c.LooksAlloc("create_bounce") || !c.LooksAlloc("skb_clone") {
+		t.Error("alloc substrings")
+	}
+	if !c.LooksFree("kfree") || !c.LooksFree("brelse") || !c.LooksFree("release_region") {
+		t.Error("free substrings")
+	}
+	if c.LooksAlloc("printk") || c.LooksFree("printk") {
+		t.Error("printk is neither")
+	}
+}
+
+func TestPairBoost(t *testing.T) {
+	c := Default()
+	if c.PairBoost("spin_lock", "spin_unlock") <= 0 {
+		t.Error("lock/unlock should get a boost")
+	}
+	if c.PairBoost("cli", "restore_flags") <= 0 {
+		t.Error("cli/restore_flags should get a boost")
+	}
+	if c.PairBoost("request_region", "release_region") <= 0 {
+		t.Error("request/release should get a boost")
+	}
+	if c.PairBoost("printk", "sprintf") != 0 {
+		t.Error("unrelated names get no boost")
+	}
+	if c.PairBoost("spin_unlock", "spin_lock") != 0 {
+		t.Error("reversed pair gets no boost")
+	}
+}
+
+func TestUserPointerArg(t *testing.T) {
+	c := Default()
+	if idx, ok := c.UserPointerArg("copy_from_user"); !ok || idx != 1 {
+		t.Errorf("copy_from_user: %d %v", idx, ok)
+	}
+	if idx, ok := c.UserPointerArg("copyout"); !ok || idx != 1 {
+		t.Errorf("copyout: %d %v", idx, ok)
+	}
+	if _, ok := c.UserPointerArg("memcpy"); ok {
+		t.Error("memcpy is not a user-copy routine")
+	}
+}

@@ -1,0 +1,209 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"deviant/internal/ctoken"
+)
+
+func pos(line int) ctoken.Pos { return ctoken.Pos{File: "a.c", Line: line, Col: 1} }
+
+func TestDeduplication(t *testing.T) {
+	c := NewCollector()
+	c.AddMust("null/check-then-use", "rule-p", pos(3), Serious, 1, "deref null p")
+	c.AddMust("null/check-then-use", "rule-p", pos(3), Serious, 1, "deref null p")
+	if c.Len() != 1 {
+		t.Errorf("len: %d", c.Len())
+	}
+	c.AddMust("null/check-then-use", "rule-q", pos(3), Serious, 1, "deref null q")
+	if c.Len() != 2 {
+		t.Errorf("len: %d", c.Len())
+	}
+}
+
+func TestStatKeepsHigherZ(t *testing.T) {
+	c := NewCollector()
+	c.AddStat("pairing", "lock:unlock", pos(5), 1.0, 10, 9, "unpaired")
+	c.AddStat("pairing", "lock:unlock", pos(5), 2.0, 20, 19, "unpaired")
+	r := c.Ranked()
+	if len(r) != 1 || r[0].Z != 2.0 {
+		t.Errorf("reports: %+v", r)
+	}
+}
+
+func TestRankingMustBeforeStat(t *testing.T) {
+	c := NewCollector()
+	c.AddStat("pairing", "a:b", pos(9), 5.0, 10, 9, "stat err")
+	c.AddMust("null", "rule", pos(10), Serious, 2, "must err")
+	r := c.Ranked()
+	if r[0].Message != "must err" {
+		t.Errorf("order: %+v", r)
+	}
+}
+
+func TestRankingSeverityLocalitySpan(t *testing.T) {
+	c := NewCollector()
+	c.AddMust("null", "r1", pos(1), Minor, 1, "minor")
+	c.AddMust("null", "r2", pos(2), Serious, 50, "serious nonlocal")
+	c.AddMust("null", "r3", pos(3), Serious, 2, "serious local")
+	r := c.Ranked()
+	if r[0].Message != "serious local" || r[1].Message != "serious nonlocal" || r[2].Message != "minor" {
+		t.Errorf("order: %v, %v, %v", r[0].Message, r[1].Message, r[2].Message)
+	}
+}
+
+func TestRankingStatByZ(t *testing.T) {
+	c := NewCollector()
+	c.AddStat("lockvar", "v1@l", pos(1), 1.5, 10, 9, "e1")
+	c.AddStat("lockvar", "v2@l", pos(2), 3.0, 100, 99, "e2")
+	c.AddStat("lockvar", "v3@l", pos(3), 0.5, 4, 3, "e3")
+	r := c.Ranked()
+	if r[0].Message != "e2" || r[1].Message != "e1" || r[2].Message != "e3" {
+		t.Errorf("order: %+v", r)
+	}
+}
+
+func TestByChecker(t *testing.T) {
+	c := NewCollector()
+	c.AddMust("null/check-then-use", "r", pos(1), Serious, 1, "a")
+	c.AddMust("null/redundant-check", "r", pos(2), Minor, 1, "b")
+	c.AddStat("pairing", "r", pos(3), 1.0, 2, 1, "c")
+	if got := len(c.ByChecker("null")); got != 2 {
+		t.Errorf("null reports: %d", got)
+	}
+	if got := len(c.ByChecker("null/check-then-use")); got != 1 {
+		t.Errorf("exact match: %d", got)
+	}
+	if got := len(c.ByChecker("pairing")); got != 1 {
+		t.Errorf("pairing: %d", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Checker: "null", Pos: pos(7), Message: "boom", Z: math.NaN()}
+	if !strings.Contains(r.String(), "a.c:7:1") || !strings.Contains(r.String(), "boom") {
+		t.Errorf("string: %q", r.String())
+	}
+	rs := Report{Checker: "pair", Pos: pos(7), Message: "x", Z: 2.5, Counter: CounterInfo{Checks: 10, Examples: 9}}
+	if !strings.Contains(rs.String(), "z=2.50") || !strings.Contains(rs.String(), "9/10") {
+		t.Errorf("stat string: %q", rs.String())
+	}
+}
+
+func TestMustLocalityFromSpan(t *testing.T) {
+	c := NewCollector()
+	c.AddMust("null", "r", pos(1), Serious, 3, "local")
+	c.AddMust("null", "r2", pos(2), Serious, 30, "global")
+	r := c.Ranked()
+	if !r[0].Local || r[0].Message != "local" {
+		t.Errorf("span<=10 should be local: %+v", r[0])
+	}
+	if r[1].Local {
+		t.Errorf("span>10 should be non-local: %+v", r[1])
+	}
+}
+
+func TestTrustModelRanking(t *testing.T) {
+	c := NewCollector()
+	// Two statistical reports with identical z; one sits in a file that
+	// also holds a definite error.
+	c.AddStat("lockvar", "r1", ctoken.Pos{File: "clean.c", Line: 5, Col: 1}, 1.0, 10, 9, "in clean file")
+	c.AddStat("lockvar", "r2", ctoken.Pos{File: "messy.c", Line: 5, Col: 1}, 1.0, 10, 9, "in messy file")
+	c.AddMust("null/check-then-use", "r3", ctoken.Pos{File: "messy.c", Line: 9, Col: 1}, Serious, 1, "definite")
+
+	tm := c.TrustFromMustErrors()
+	if tm.Errors("messy.c") != 1 || tm.Errors("clean.c") != 0 {
+		t.Fatalf("trust observations wrong")
+	}
+	if tm.Weight("messy.c") >= tm.Weight("clean.c") {
+		t.Error("messy file should weigh less")
+	}
+
+	ranked := c.RankedWithTrust(tm)
+	// MUST first, then the messy-file statistical report boosted above
+	// the clean-file tie.
+	if ranked[0].Message != "definite" {
+		t.Fatalf("MUST should stay first: %+v", ranked[0])
+	}
+	if ranked[1].Message != "in messy file" {
+		t.Errorf("suspicion boost should break the tie: %v then %v", ranked[1].Message, ranked[2].Message)
+	}
+}
+
+func TestTrustBoostDoesNotOverrideEvidence(t *testing.T) {
+	c := NewCollector()
+	c.AddStat("lockvar", "strong", ctoken.Pos{File: "clean.c", Line: 1, Col: 1}, 5.0, 100, 99, "strong evidence")
+	c.AddStat("lockvar", "weak", ctoken.Pos{File: "messy.c", Line: 1, Col: 1}, 0.5, 4, 3, "weak evidence")
+	c.AddMust("null", "m", ctoken.Pos{File: "messy.c", Line: 2, Col: 1}, Serious, 1, "definite")
+	tm := c.TrustFromMustErrors()
+	ranked := c.RankedWithTrust(tm)
+	// Statistical portion: strong evidence must stay above boosted weak.
+	var stats []Report
+	for _, r := range ranked {
+		if r.Statistical() {
+			stats = append(stats, r)
+		}
+	}
+	if stats[0].Message != "strong evidence" {
+		t.Errorf("boost overrode evidence: %+v", stats)
+	}
+}
+
+func TestRankedByCustomBoost(t *testing.T) {
+	c := NewCollector()
+	c.AddStat("lockvar", "cold", ctoken.Pos{File: "cold.c", Line: 1, Col: 1}, 1.0, 10, 9, "cold path")
+	c.AddStat("lockvar", "hot", ctoken.Pos{File: "hot.c", Line: 1, Col: 1}, 1.0, 10, 9, "hot path")
+	// Profile-style boost: the hot file's violations float up.
+	profile := map[string]float64{"hot.c": 0.5}
+	ranked := c.RankedBy(func(r *Report) float64 { return profile[r.Pos.File] })
+	if ranked[0].Message != "hot path" {
+		t.Errorf("profile boost ignored: %+v", ranked[0])
+	}
+}
+
+// Property: Ranked returns a permutation of everything added, in an order
+// consistent with the documented comparator (MUST first; statistical by
+// decreasing z).
+func TestRankedIsCompleteAndOrdered(t *testing.T) {
+	f := func(zs []float64, musts uint8) bool {
+		c := NewCollector()
+		n := 0
+		for i, z := range zs {
+			if z != z || len(zs) > 24 { // skip NaN inputs and huge cases
+				continue
+			}
+			c.AddStat("st", "r", ctoken.Pos{File: "f.c", Line: i + 1, Col: 1}, z, 10, 9, "s")
+			n++
+		}
+		m := int(musts % 8)
+		for i := 0; i < m; i++ {
+			c.AddMust("mu", "r", ctoken.Pos{File: "g.c", Line: i + 1, Col: 1}, Serious, 1, "m")
+		}
+		ranked := c.Ranked()
+		if len(ranked) != n+m {
+			return false
+		}
+		sawStat := false
+		var prevZ float64
+		for _, r := range ranked {
+			if !r.Statistical() {
+				if sawStat {
+					return false // MUST after statistical
+				}
+				continue
+			}
+			if sawStat && r.Z > prevZ {
+				return false // z must be non-increasing
+			}
+			sawStat = true
+			prevZ = r.Z
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package sm is the metal-like state-machine layer (§3.5): checkers are
+// written as declarative machines — slot variables, states, pattern-
+// triggered transitions — and compiled onto the analysis engine. Figure
+// 2's internal_null_checker transcribes to a handful of Add calls (see
+// FigureTwoChecker).
+//
+// A machine tracks one state per slot instance (canonical expression
+// key). Triggers correspond to the source patterns metal matches: null
+// comparisons (with the branch direction), dereferences, assignments,
+// and calls.
+package sm
+
+import (
+	"sort"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/report"
+)
+
+// Reserved state names.
+const (
+	// Start is the implicit state of every untracked slot instance.
+	Start = ""
+	// Stop drops tracking of the slot instance.
+	Stop = "<stop>"
+)
+
+// Trigger identifies the source pattern that fires a transition.
+type Trigger int
+
+// Triggers.
+const (
+	// CompareNullTrue: the true edge of "v == NULL" (or false edge of
+	// "v != NULL", or the falsy edge of a bare "v" test).
+	CompareNullTrue Trigger = iota
+	// CompareNullFalse: the opposite edge.
+	CompareNullFalse
+	// Deref: *v, v->f, v[i].
+	Deref
+	// Assign: any assignment to v.
+	Assign
+	// CallArg: v passed as a call argument; the transition's Callee
+	// restricts which callees match ("" = any).
+	CallArg
+)
+
+// Transition is one rule: in state From, on trigger On, move the slot to
+// state To, firing Fire if set.
+type Transition struct {
+	From   string
+	On     Trigger
+	Callee string // CallArg only: restrict to this callee ("" = any)
+	To     string
+	Fire   func(slot string, pos ctoken.Pos, rep *Reporter)
+}
+
+// Reporter lets transitions emit errors.
+type Reporter struct {
+	machine string
+	col     *report.Collector
+}
+
+// Error reports a serious MUST-belief error at pos.
+func (r *Reporter) Error(rule string, pos ctoken.Pos, msg string) {
+	r.col.AddMust(r.machine, rule, pos, report.Serious, 0, msg)
+}
+
+// Machine is a declarative checker.
+type Machine struct {
+	name  string
+	rules []Transition
+	// TrackMacros, when false (default), ignores macro-origin actions.
+	TrackMacros bool
+}
+
+// NewMachine returns an empty machine.
+func NewMachine(name string) *Machine { return &Machine{name: name} }
+
+// Add appends a transition rule.
+func (m *Machine) Add(t Transition) *Machine {
+	m.rules = append(m.rules, t)
+	return m
+}
+
+// FigureTwoChecker transcribes the paper's Figure 2 metal extension:
+//
+//	sm internal_null_checker {
+//	  state decl any_pointer v;
+//	  start: { (v == NULL) } ==> true=v.null, false=v.stop ;
+//	  v.null: { *v } ==> { err("dereferencing NULL ptr!"); } ;
+//	}
+func FigureTwoChecker() *Machine {
+	m := NewMachine("sm/internal_null_checker")
+	m.Add(Transition{From: Start, On: CompareNullTrue, To: "null"})
+	m.Add(Transition{From: Start, On: CompareNullFalse, To: Stop})
+	m.Add(Transition{From: "null", On: Deref, To: "null",
+		Fire: func(slot string, pos ctoken.Pos, rep *Reporter) {
+			rep.Error("do not dereference null pointer "+slot, pos,
+				"dereferencing NULL ptr "+slot+"!")
+		}})
+	// Reassignment resets tracking (not in the stripped-down figure, but
+	// required for soundness and present in the full extension).
+	m.Add(Transition{From: "null", On: Assign, To: Stop})
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// engine adapter
+
+type machineState struct {
+	slots map[string]string
+}
+
+func (s *machineState) Clone() engine.State {
+	ns := &machineState{slots: make(map[string]string, len(s.slots))}
+	for k, v := range s.slots {
+		ns.slots[k] = v
+	}
+	return ns
+}
+
+func (s *machineState) Key() string {
+	if len(s.slots) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.slots))
+	for k := range s.slots {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k + "=" + s.slots[k] + ";")
+	}
+	return sb.String()
+}
+
+// Runner adapts a Machine to the engine.Checker interface.
+type Runner struct {
+	M *Machine
+}
+
+// Name implements engine.Checker.
+func (r *Runner) Name() string { return r.M.name }
+
+// NewState implements engine.Checker.
+func (r *Runner) NewState(*cast.FuncDecl) engine.State {
+	return &machineState{slots: make(map[string]string)}
+}
+
+func slotKey(e cast.Expr) string {
+	e = cast.StripParensAndCasts(e)
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Name
+	case *cast.MemberExpr:
+		base := slotKey(x.X)
+		if base == "" {
+			return ""
+		}
+		if x.Arrow {
+			return base + "->" + x.Member
+		}
+		return base + "." + x.Member
+	case *cast.UnaryExpr:
+		if x.Op == ctoken.Star {
+			if base := slotKey(x.X); base != "" {
+				return "*" + base
+			}
+		}
+	}
+	return ""
+}
+
+// fire applies the first matching rule for (slot, trigger, callee).
+func (r *Runner) fire(s *machineState, slot string, tg Trigger, callee string, pos ctoken.Pos, ctx *engine.Ctx) {
+	cur := s.slots[slot] // "" = Start
+	for _, rule := range r.M.rules {
+		if rule.On != tg || rule.From != cur {
+			continue
+		}
+		if tg == CallArg && rule.Callee != "" && rule.Callee != callee {
+			continue
+		}
+		if rule.Fire != nil {
+			rule.Fire(slot, pos, &Reporter{machine: r.M.name, col: ctx.Reports})
+		}
+		switch rule.To {
+		case Stop:
+			delete(s.slots, slot)
+		case Start:
+			delete(s.slots, slot)
+		default:
+			s.slots[slot] = rule.To
+		}
+		return
+	}
+}
+
+// Event implements engine.Checker.
+func (r *Runner) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
+	s := st.(*machineState)
+	switch ev.Kind {
+	case engine.EvDeref:
+		if !r.M.TrackMacros && ev.Ptr.FromMacro() {
+			return
+		}
+		if slot := slotKey(ev.Ptr); slot != "" {
+			r.fire(s, slot, Deref, "", ev.Pos, ctx)
+		}
+	case engine.EvAssign:
+		if slot := slotKey(ev.LHS); slot != "" {
+			r.fire(s, slot, Assign, "", ev.Pos, ctx)
+		}
+	case engine.EvDecl:
+		if ev.Decl.Init != nil {
+			r.fire(s, ev.Decl.Name, Assign, "", ev.Pos, ctx)
+		}
+	case engine.EvCall:
+		callee := cast.CalleeName(ev.Call)
+		for _, a := range ev.Call.Args {
+			if slot := slotKey(a); slot != "" {
+				r.fire(s, slot, CallArg, callee, ev.Pos, ctx)
+			}
+		}
+	}
+}
+
+// Branch implements engine.Checker: null-comparison patterns drive the
+// CompareNull triggers.
+func (r *Runner) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.Ctx) {
+	s := st.(*machineState)
+	if !r.M.TrackMacros && cond.FromMacro() {
+		return
+	}
+	slot, nullWhenTrue, ok := nullCompare(cond)
+	if !ok {
+		return
+	}
+	tg := CompareNullFalse
+	if nullWhenTrue == val {
+		tg = CompareNullTrue
+	}
+	r.fire(s, slot, tg, "", cond.Pos(), ctx)
+}
+
+// FuncEnd implements engine.Checker.
+func (r *Runner) FuncEnd(engine.State, *engine.Ctx) {}
+
+func nullCompare(cond cast.Expr) (string, bool, bool) {
+	switch x := cast.StripParensAndCasts(cond).(type) {
+	case *cast.BinaryExpr:
+		if x.Op != ctoken.EqEq && x.Op != ctoken.NotEq {
+			return "", false, false
+		}
+		var side cast.Expr
+		switch {
+		case isNull(x.Y):
+			side = x.X
+		case isNull(x.X):
+			side = x.Y
+		default:
+			return "", false, false
+		}
+		slot := slotKey(side)
+		if slot == "" {
+			return "", false, false
+		}
+		return slot, x.Op == ctoken.EqEq, true
+	default:
+		slot := slotKey(cond)
+		if slot == "" {
+			return "", false, false
+		}
+		return slot, false, true
+	}
+}
+
+func isNull(e cast.Expr) bool {
+	switch x := cast.StripParensAndCasts(e).(type) {
+	case *cast.IntLit:
+		return x.Value == 0
+	case *cast.Ident:
+		return x.Name == "NULL"
+	}
+	return false
+}

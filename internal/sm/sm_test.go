@@ -1,0 +1,152 @@
+package sm
+
+import (
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/cparse"
+	"deviant/internal/ctoken"
+	"deviant/internal/engine"
+	"deviant/internal/latent"
+	"deviant/internal/report"
+)
+
+func run(t *testing.T, src string, m *Machine) *report.Collector {
+	t.Helper()
+	f, errs := cparse.ParseSource("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	conv := latent.Default()
+	col := report.NewCollector()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+			g := cfg.Build(fd, cfg.Options{NoReturn: conv.IsCrashRoutine})
+			engine.Run(g, &Runner{M: m}, col, engine.Options{Memoize: true})
+		}
+	}
+	return col
+}
+
+func TestFigureTwoFindsPaperBug(t *testing.T) {
+	// The §3.1 capidrv fragment through the Figure 2 machine.
+	src := `
+void f(struct capi_ctr *card, int id) {
+	if (card == NULL) {
+		printk("capidrv-%d: incoming call on unbound id %d!\n",
+			card->contrnr, id);
+	}
+}`
+	col := run(t, src, FigureTwoChecker())
+	rs := col.Ranked()
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", rs)
+	}
+	if !strings.Contains(rs[0].Message, "NULL ptr card") {
+		t.Errorf("message: %s", rs[0].Message)
+	}
+}
+
+func TestFigureTwoCleanGuard(t *testing.T) {
+	src := `
+int f(struct s *p) {
+	if (p == NULL)
+		return -1;
+	return p->x;
+}`
+	col := run(t, src, FigureTwoChecker())
+	if col.Len() != 0 {
+		t.Errorf("clean code flagged: %+v", col.Ranked())
+	}
+}
+
+func TestFigureTwoStopOnFalseEdge(t *testing.T) {
+	// p != NULL true edge stops tracking; the deref is safe.
+	src := `
+int f(struct s *p) {
+	if (p != NULL)
+		return p->x;
+	return 0;
+}`
+	col := run(t, src, FigureTwoChecker())
+	if col.Len() != 0 {
+		t.Errorf("flagged: %+v", col.Ranked())
+	}
+}
+
+func TestAssignResets(t *testing.T) {
+	src := `
+int f(struct s *p) {
+	if (p == NULL)
+		p = fallback();
+	return p->x;
+}`
+	col := run(t, src, FigureTwoChecker())
+	if col.Len() != 0 {
+		t.Errorf("reassigned pointer flagged: %+v", col.Ranked())
+	}
+}
+
+func TestCustomMachineCallArg(t *testing.T) {
+	// A free-then-use machine: v freed once must not be passed again.
+	m := NewMachine("sm/use-after-free")
+	m.Add(Transition{From: Start, On: CallArg, Callee: "kfree", To: "freed"})
+	m.Add(Transition{From: "freed", On: CallArg, To: "freed",
+		Fire: func(slot string, pos ctoken.Pos, rep *Reporter) {
+			rep.Error("do not use freed pointer "+slot, pos, "use of freed pointer "+slot)
+		}})
+	m.Add(Transition{From: "freed", On: Assign, To: Stop})
+
+	src := `
+void f(struct s *p) {
+	kfree(p);
+	consume(p);
+}
+void g(struct s *p) {
+	kfree(p);
+	p = make_s();
+	consume(p);
+}`
+	col := run(t, src, m)
+	rs := col.Ranked()
+	if len(rs) != 1 {
+		t.Fatalf("reports: %+v", rs)
+	}
+	if rs[0].Pos.Line != 4 {
+		t.Errorf("site: %v", rs[0].Pos)
+	}
+}
+
+func TestMacroTruncationInMachines(t *testing.T) {
+	src := `
+#define CHECKP(p) if ((p) == NULL) log_warn()
+int f(struct s *q) {
+	CHECKP(q);
+	return q->x;
+}`
+	col := run(t, src, FigureTwoChecker())
+	if col.Len() != 0 {
+		t.Errorf("macro belief leaked: %+v", col.Ranked())
+	}
+	m := FigureTwoChecker()
+	m.TrackMacros = true
+	col2 := run(t, src, m)
+	if col2.Len() != 1 {
+		t.Errorf("ablation should reintroduce FP: %+v", col2.Ranked())
+	}
+}
+
+func TestMachineStateKeyStable(t *testing.T) {
+	s := &machineState{slots: map[string]string{"b": "null", "a": "x"}}
+	s2 := &machineState{slots: map[string]string{"a": "x", "b": "null"}}
+	if s.Key() != s2.Key() {
+		t.Error("key must be order independent")
+	}
+	c := s.Clone().(*machineState)
+	c.slots["a"] = "y"
+	if s.slots["a"] != "x" {
+		t.Error("clone aliases")
+	}
+}

@@ -1,0 +1,177 @@
+// Package stats implements the statistical ranking machinery of Section 5:
+// the z statistic for proportions, per-slot-instance check/error counters,
+// and error ranking.
+//
+// The crucial design point, taken directly from the paper (§5.1), is that
+// z ranks *error messages*, not beliefs: a threshold on belief scores is
+// either too low (drowning in false positives) or too high (missing
+// everything), whereas inspecting errors in decreasing z order lets the
+// user stop when the noise gets too high.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultP0 is the expected example probability used by the paper
+// ("we typically assume a random distribution with probability p0=0.9").
+const DefaultP0 = 0.9
+
+// Z computes the z test statistic for proportions:
+//
+//	z(n, e) = (e/n - p0) / sqrt(p0*(1-p0)/n)
+//
+// where n is the population size (number of checks) and e the number of
+// examples (successful checks). Larger z means the observed ratio of
+// examples to counter-examples is more standard errors above p0, i.e. the
+// belief is more credible. Z returns -Inf for n == 0.
+func Z(n, e int, p0 float64) float64 {
+	if n <= 0 {
+		return math.Inf(-1)
+	}
+	return (float64(e)/float64(n) - p0) / math.Sqrt(p0*(1-p0)/float64(n))
+}
+
+// ZInverse ranks the negated template T-not (the paper's "inverse
+// principle"): if z(n, e) ranks instances satisfying T, z(n, n-e) ranks
+// instances satisfying the negation.
+func ZInverse(n, e int, p0 float64) float64 { return Z(n, n-e, p0) }
+
+// Counter accumulates evidence for one slot-instance combination of a MAY
+// belief: how often the implied rule was checked and how often it failed.
+type Counter struct {
+	Checks int // population n: times the rule could be tested
+	Errors int // counter-examples c: times the test failed
+}
+
+// Examples returns the number of successful checks (n - c).
+func (c Counter) Examples() int { return c.Checks - c.Errors }
+
+// Z returns the ranking statistic for the counter under p0.
+func (c Counter) Z(p0 float64) float64 { return Z(c.Checks, c.Examples(), p0) }
+
+// String renders the counter as "e/n".
+func (c Counter) String() string { return fmt.Sprintf("%d/%d", c.Examples(), c.Checks) }
+
+// Population tracks counters for a universe of slot instances, keyed by a
+// caller-chosen string (e.g. "spin_lock:spin_unlock" or "var@lock").
+type Population struct {
+	counters map[string]*Counter
+}
+
+// NewPopulation returns an empty population.
+func NewPopulation() *Population {
+	return &Population{counters: make(map[string]*Counter)}
+}
+
+// Check records one successful-or-failed test of key's rule: every call
+// increments Checks, and err additionally increments Errors.
+func (p *Population) Check(key string, err bool) {
+	c := p.counters[key]
+	if c == nil {
+		c = &Counter{}
+		p.counters[key] = c
+	}
+	c.Checks++
+	if err {
+		c.Errors++
+	}
+}
+
+// Get returns the counter for key (zero value if never checked).
+func (p *Population) Get(key string) Counter {
+	if c := p.counters[key]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// Len returns the number of distinct slot instances observed.
+func (p *Population) Len() int { return len(p.counters) }
+
+// Keys returns all keys, sorted.
+func (p *Population) Keys() []string {
+	keys := make([]string, 0, len(p.counters))
+	for k := range p.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Ranked is one slot instance with its counter and z value.
+type Ranked struct {
+	Key string
+	Counter
+	ZVal float64
+}
+
+// RankedInstances returns all instances ordered by decreasing z (ties
+// broken by key for determinism). Boost, if non-nil, adds a bonus to the
+// sort score of selected keys — the latent-specification trick of
+// prioritizing pairs whose names contain "lock", "release", etc. (§5.1).
+func (p *Population) RankedInstances(p0 float64, boost func(key string) float64) []Ranked {
+	out := make([]Ranked, 0, len(p.counters))
+	for k, c := range p.counters {
+		out = append(out, Ranked{Key: k, Counter: *c, ZVal: c.Z(p0)})
+	}
+	score := func(r Ranked) float64 {
+		s := r.ZVal
+		if boost != nil {
+			s += boost(r.Key)
+		}
+		return s
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// InspectionPoint is one step of a simulated inspection of a ranked error
+// list: after examining the i-th message (1-based), Hits errors were real
+// and FalsePositives were not.
+type InspectionPoint struct {
+	Rank           int
+	Hits           int
+	FalsePositives int
+}
+
+// InspectionCurve simulates the paper's inspection methodology: walk a
+// ranked list of error messages top-down, tallying true bugs versus false
+// positives at every rank. isBug reports ground truth for the i-th ranked
+// message.
+func InspectionCurve(n int, isBug func(i int) bool) []InspectionPoint {
+	out := make([]InspectionPoint, 0, n)
+	hits, fps := 0, 0
+	for i := 0; i < n; i++ {
+		if isBug(i) {
+			hits++
+		} else {
+			fps++
+		}
+		out = append(out, InspectionPoint{Rank: i + 1, Hits: hits, FalsePositives: fps})
+	}
+	return out
+}
+
+// StopAtNoise returns the largest rank k such that the cumulative false
+// positive rate within the first k messages stays at or below maxFPRate,
+// mimicking "we stop when the false positive rate is too high". It scans
+// from the top and returns the last acceptable prefix length.
+func StopAtNoise(curve []InspectionPoint, maxFPRate float64) int {
+	best := 0
+	for _, pt := range curve {
+		rate := float64(pt.FalsePositives) / float64(pt.Rank)
+		if rate <= maxFPRate {
+			best = pt.Rank
+		}
+	}
+	return best
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZBasics(t *testing.T) {
+	// Perfect fit above p0 is positive, ratio below p0 negative.
+	if Z(100, 100, DefaultP0) <= 0 {
+		t.Error("100/100 should rank positive")
+	}
+	if Z(100, 50, DefaultP0) >= 0 {
+		t.Error("50/100 should rank negative at p0=0.9")
+	}
+	if !math.IsInf(Z(0, 0, DefaultP0), -1) {
+		t.Error("empty population ranks -Inf")
+	}
+}
+
+func TestZFavorsEvidence(t *testing.T) {
+	// Paper: "This statistic favors samples with more evidence, and a
+	// higher ratio of examples to counter-examples."
+	// 999/1000 must outrank 9/10 (same 90%+ ratio shape, more evidence).
+	if Z(1000, 999, DefaultP0) <= Z(10, 9, DefaultP0) {
+		t.Errorf("z(1000,999)=%v should exceed z(10,9)=%v",
+			Z(1000, 999, DefaultP0), Z(10, 9, DefaultP0))
+	}
+	// And a higher ratio at fixed n outranks a lower one.
+	if Z(100, 99, DefaultP0) <= Z(100, 95, DefaultP0) {
+		t.Error("higher example ratio should rank higher")
+	}
+}
+
+func TestZExactValue(t *testing.T) {
+	// Hand-computed: n=100, e=95, p0=0.9 -> (0.95-0.9)/sqrt(0.09/100)
+	want := 0.05 / math.Sqrt(0.0009)
+	got := Z(100, 95, 0.9)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestZInverse(t *testing.T) {
+	// The inverse principle: z(n, n-e).
+	if ZInverse(100, 5, DefaultP0) != Z(100, 95, DefaultP0) {
+		t.Error("inverse mismatch")
+	}
+}
+
+// Property: z is monotonically increasing in e for fixed n.
+func TestZMonotoneInExamples(t *testing.T) {
+	f := func(nRaw, eRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		e := int(eRaw) % n
+		return Z(n, e, DefaultP0) < Z(n, e+1, DefaultP0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Checks: 4, Errors: 1}
+	if c.Examples() != 3 {
+		t.Errorf("examples: %d", c.Examples())
+	}
+	if c.String() != "3/4" {
+		t.Errorf("string: %q", c.String())
+	}
+}
+
+func TestPopulationCheckAndRank(t *testing.T) {
+	p := NewPopulation()
+	// Figure 1's counts: (a,l): 4 checks, 1 error; (b,l): 3 checks, 2 errors.
+	for i := 0; i < 4; i++ {
+		p.Check("a@l", i == 3)
+	}
+	p.Check("b@l", false)
+	p.Check("b@l", true)
+	p.Check("b@l", true)
+
+	if got := p.Get("a@l"); got.Checks != 4 || got.Errors != 1 {
+		t.Errorf("a@l: %+v", got)
+	}
+	if p.Len() != 2 {
+		t.Errorf("len: %d", p.Len())
+	}
+	ranked := p.RankedInstances(DefaultP0, nil)
+	if ranked[0].Key != "a@l" {
+		t.Errorf("a@l should outrank b@l: %+v", ranked)
+	}
+}
+
+func TestRankedBoost(t *testing.T) {
+	p := NewPopulation()
+	for i := 0; i < 10; i++ {
+		p.Check("foo:bar", i == 9)
+		p.Check("my_lock:my_unlock", i == 9)
+	}
+	boost := func(key string) float64 {
+		if key == "my_lock:my_unlock" {
+			return 1.0
+		}
+		return 0
+	}
+	ranked := p.RankedInstances(DefaultP0, boost)
+	if ranked[0].Key != "my_lock:my_unlock" {
+		t.Errorf("latent boost should promote lock pair: %+v", ranked)
+	}
+}
+
+func TestRankedDeterministicTies(t *testing.T) {
+	p := NewPopulation()
+	p.Check("b", false)
+	p.Check("a", false)
+	r := p.RankedInstances(DefaultP0, nil)
+	if r[0].Key != "a" || r[1].Key != "b" {
+		t.Errorf("ties should sort by key: %+v", r)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	p := NewPopulation()
+	p.Check("z", false)
+	p.Check("a", false)
+	p.Check("m", false)
+	keys := p.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Errorf("keys: %v", keys)
+	}
+}
+
+func TestInspectionCurve(t *testing.T) {
+	// bugs at ranks 1,2,4 (0-indexed 0,1,3)
+	truth := []bool{true, true, false, true, false}
+	curve := InspectionCurve(len(truth), func(i int) bool { return truth[i] })
+	if len(curve) != 5 {
+		t.Fatalf("curve length: %d", len(curve))
+	}
+	last := curve[4]
+	if last.Hits != 3 || last.FalsePositives != 2 {
+		t.Errorf("final point: %+v", last)
+	}
+	if curve[1].Hits != 2 || curve[1].FalsePositives != 0 {
+		t.Errorf("point 2: %+v", curve[1])
+	}
+}
+
+func TestStopAtNoise(t *testing.T) {
+	truth := []bool{true, true, true, false, true, false, false, false}
+	curve := InspectionCurve(len(truth), func(i int) bool { return truth[i] })
+	// At most 25% FPs: prefix of 4 has 1/4 = 25% ok; prefix of 5 has 1/5
+	// = 20% ok; 6 has 2/6 = 33% too high; 7,8 worse.
+	if got := StopAtNoise(curve, 0.25); got != 5 {
+		t.Errorf("stop: %d", got)
+	}
+	if got := StopAtNoise(curve, 0.0); got != 3 {
+		t.Errorf("strict stop: %d", got)
+	}
+}
+
+// Property: inspection curve totals always sum to rank.
+func TestInspectionCurveSums(t *testing.T) {
+	f := func(bits []bool) bool {
+		curve := InspectionCurve(len(bits), func(i int) bool { return bits[i] })
+		for _, pt := range curve {
+			if pt.Hits+pt.FalsePositives != pt.Rank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RankedInstances is ordered by non-increasing z and contains
+// every observed key exactly once, with Errors <= Checks.
+func TestRankedInstancesInvariants(t *testing.T) {
+	f := func(events []bool) bool {
+		p := NewPopulation()
+		keys := []string{"a", "b", "c", "d"}
+		for i, e := range events {
+			p.Check(keys[i%len(keys)], e)
+		}
+		ranked := p.RankedInstances(DefaultP0, nil)
+		if len(ranked) != p.Len() {
+			return false
+		}
+		seen := map[string]bool{}
+		prev := 0.0
+		for i, r := range ranked {
+			if seen[r.Key] || r.Errors > r.Checks || r.Checks <= 0 {
+				return false
+			}
+			seen[r.Key] = true
+			if i > 0 && r.ZVal > prev {
+				return false
+			}
+			prev = r.ZVal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import "math"
+
+// TrustModel implements the §5 ranking augmentation: "One useful addition
+// is code trustworthiness: code with few errors is more reliable for
+// examples of correct practice than code with many." Combined with §6.1's
+// observation that redundancy and contradiction correlate with general
+// confusion, the model tracks definite (MUST-belief) errors per file and
+// exposes two signals:
+//
+//   - Weight: how much to trust the file's code as *evidence* of correct
+//     practice (1.0 for clean files, decaying with error count);
+//   - SuspicionBoost: a small rank bonus for statistical violations
+//     sitting in files that already contain definite errors (bugs
+//     cluster around confusion).
+type TrustModel struct {
+	errs map[string]int
+}
+
+// NewTrustModel returns a model with no observations.
+func NewTrustModel() *TrustModel {
+	return &TrustModel{errs: make(map[string]int)}
+}
+
+// Observe records one definite error in file.
+func (t *TrustModel) Observe(file string) { t.errs[file]++ }
+
+// Errors returns the number of definite errors observed in file.
+func (t *TrustModel) Errors(file string) int { return t.errs[file] }
+
+// Weight returns the trust weight of file in (0, 1]: 1/(1+errors).
+func (t *TrustModel) Weight(file string) float64 {
+	return 1.0 / (1.0 + float64(t.errs[file]))
+}
+
+// SuspicionBoost returns a rank bonus, in z units, for error messages
+// located in file: ln(1+errors) scaled gently so trust reorders only
+// near-ties and never overrides strong statistical evidence.
+func (t *TrustModel) SuspicionBoost(file string) float64 {
+	return 0.25 * math.Log1p(float64(t.errs[file]))
+}
