@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is the gate: vet, build, the full
+# test suite under the race detector, and a benchmark smoke run that
+# executes the serial/parallel pipeline benchmarks once each.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (slow; regenerates every table and figure).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# One iteration of the pipeline scalability benchmarks — enough to catch
+# a benchmark that no longer compiles or crashes, cheap enough for CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkAnalyze(Serial|Parallel)$$' -benchtime=1x .
+
+ci: vet build race bench-smoke

@@ -11,6 +11,7 @@ package deviant
 // N" are the same code path.
 
 import (
+	"runtime"
 	"testing"
 
 	"deviant/internal/cast"
@@ -97,6 +98,37 @@ func BenchmarkFullPipeline(b *testing.B) {
 		}
 	}
 }
+
+// benchAnalyze runs the full analysis over the largest scalability
+// corpus (the Figure 4 workload family, linux-2.4.7-scale) at a fixed
+// worker count.
+func benchAnalyze(b *testing.B, workers int) {
+	b.Helper()
+	c := corpus.Generate(corpus.Linux247())
+	opts := DefaultOptions()
+	opts.Workers = workers
+	b.ReportMetric(float64(c.Lines), "source-lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Analyze(c.Files, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reports.Len() == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkAnalyzeSerial is the single-worker baseline: the pipeline
+// takes the inline path with no goroutines or channels.
+func BenchmarkAnalyzeSerial(b *testing.B) { benchAnalyze(b, 1) }
+
+// BenchmarkAnalyzeParallel runs the same workload with one worker per
+// CPU. Output is identical to the serial run (see TestParallelDeterminism);
+// only wall clock differs. On a 4+-core machine expect >= 2x over
+// BenchmarkAnalyzeSerial.
+func BenchmarkAnalyzeParallel(b *testing.B) { benchAnalyze(b, runtime.NumCPU()) }
 
 // BenchmarkPreprocess measures the C preprocessor alone.
 func BenchmarkPreprocess(b *testing.B) {

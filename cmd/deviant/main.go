@@ -19,7 +19,11 @@
 //	-p0 f         expected example probability for the z statistic
 //	-no-memo      disable engine memoization (slower; for comparison)
 //	-no-prune     keep panic/BUG paths (more false positives)
-//	-json         one JSON object per report on stdout
+//	-j N          run the pipeline on N worker goroutines (0 = all CPUs,
+//	              1 = serial; output is identical for every N)
+//	-stats        print per-stage wall-clock timing after the reports
+//	-json         one JSON object per line on stdout: first a summary
+//	              (units, functions, lines, parse_errors), then reports
 //	-trust        §5 trustworthiness-augmented ranking
 //	-diff OLDDIR  cross-version mode (§4.2): check that <dir> preserves
 //	              the invariants OLDDIR's code implied
@@ -50,7 +54,9 @@ func main() {
 	p0 := flag.Float64("p0", deviant.DefaultP0, "expected example probability for z")
 	noMemo := flag.Bool("no-memo", false, "disable engine memoization")
 	noPrune := flag.Bool("no-prune", false, "disable crash-path pruning")
-	jsonOut := flag.Bool("json", false, "emit reports as JSON lines")
+	workers := flag.Int("j", 0, "pipeline worker goroutines (0 = all CPUs, 1 = serial)")
+	stats := flag.Bool("stats", false, "print per-stage wall-clock timing")
+	jsonOut := flag.Bool("json", false, "emit a summary line and reports as JSON lines")
 	trust := flag.Bool("trust", false, "rank with the §5 code-trustworthiness augmentation")
 	diffOld := flag.String("diff", "", "cross-version mode: directory of the OLD version; the positional dir is the new one")
 	flag.Parse()
@@ -62,8 +68,17 @@ func main() {
 	}
 	dir := flag.Arg(0)
 
+	opts := deviant.DefaultOptions()
+	opts.P0 = *p0
+	opts.Memoize = !*noMemo
+	opts.DisableCrashPruning = *noPrune
+	opts.Workers = *workers
+	if *checkers != "" {
+		opts.Checks = parseCheckers(*checkers)
+	}
+
 	if *diffOld != "" {
-		runDiff(*diffOld, dir)
+		runDiff(*diffOld, dir, opts)
 		return
 	}
 
@@ -73,14 +88,6 @@ func main() {
 	}
 	if len(units) == 0 {
 		log.Fatalf("no .c files under %s", dir)
-	}
-
-	opts := deviant.DefaultOptions()
-	opts.P0 = *p0
-	opts.Memoize = !*noMemo
-	opts.DisableCrashPruning = *noPrune
-	if *checkers != "" {
-		opts.Checks = parseCheckers(*checkers)
 	}
 
 	res, err := deviant.AnalyzeFS(cpp.DirFS(dir), units, opts)
@@ -104,16 +111,24 @@ func main() {
 		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
 	}
 	if *jsonOut {
-		emitJSON(ranked, *top)
-		return
-	}
-	fmt.Printf("%d reports\n", len(ranked))
-	for i, r := range ranked {
-		if *top > 0 && i >= *top {
-			fmt.Printf("... %d more (rerun with -top 0)\n", len(ranked)-i)
-			break
+		emitJSON(res, len(units), ranked, *top)
+	} else {
+		fmt.Printf("%d reports\n", len(ranked))
+		for i, r := range ranked {
+			if *top > 0 && i >= *top {
+				fmt.Printf("... %d more (rerun with -top 0)\n", len(ranked)-i)
+				break
+			}
+			fmt.Printf("%4d. %s\n", i+1, r.String())
 		}
-		fmt.Printf("%4d. %s\n", i+1, r.String())
+	}
+	if *stats {
+		// Keep stdout pure JSON lines in -json mode.
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprint(w, res.Timing.String())
 	}
 }
 
@@ -133,8 +148,28 @@ type jsonReport struct {
 	Examples int     `json:"examples,omitempty"`
 }
 
-func emitJSON(ranked []deviant.Report, top int) {
+// jsonSummary is the first line of -json output: corpus size and
+// frontend health, so scripts can detect parse trouble without scraping
+// stderr.
+type jsonSummary struct {
+	Units       int `json:"units"`
+	Functions   int `json:"functions"`
+	Lines       int `json:"lines"`
+	ParseErrors int `json:"parse_errors"`
+	Reports     int `json:"reports"`
+}
+
+func emitJSON(res *deviant.Result, units int, ranked []deviant.Report, top int) {
 	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(jsonSummary{
+		Units:       units,
+		Functions:   res.FuncCount,
+		Lines:       res.LineCount,
+		ParseErrors: len(res.ParseErrors),
+		Reports:     len(ranked),
+	}); err != nil {
+		log.Fatal(err)
+	}
 	for i, r := range ranked {
 		if top > 0 && i >= top {
 			break
@@ -258,8 +293,10 @@ func readTree(dir string) (map[string]string, error) {
 }
 
 // runDiff cross-checks newDir against oldDir (§4.2: the same routines
-// through time) and prints the invariant violations.
-func runDiff(oldDir, newDir string) {
+// through time) and prints the invariant violations. It honors the same
+// analysis flags (-p0, -checkers, -no-memo, -no-prune, -j) as the
+// single-version mode.
+func runDiff(oldDir, newDir string, opts deviant.Options) {
 	oldSrcs, err := readTree(oldDir)
 	if err != nil {
 		log.Fatal(err)
@@ -268,7 +305,7 @@ func runDiff(oldDir, newDir string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	drifts, _, err := deviant.Diff(oldSrcs, newSrcs, deviant.DefaultOptions())
+	drifts, _, err := deviant.Diff(oldSrcs, newSrcs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

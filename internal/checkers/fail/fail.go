@@ -228,6 +228,30 @@ func isConstish(e cast.Expr) bool {
 // FuncEnd implements engine.Checker.
 func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
 
+// Fork returns an empty checker sharing c's configuration, for one
+// worker's shard of functions.
+func (c *Checker) Fork() *Checker { return New(c.conv) }
+
+// Merge folds a fork's evidence into c: counters sum, error-site lists
+// concatenate in merge order (re-truncated to the cap), and the earliest
+// merge wins a callee's representative check site — so folding shards in
+// function order reproduces the serial accumulators exactly.
+func (c *Checker) Merge(o *Checker) {
+	c.pop.Merge(o.pop)
+	for k, v := range o.errSites {
+		s := append(c.errSites[k], v...)
+		if len(s) > maxSitesPerFunc {
+			s = s[:maxSitesPerFunc]
+		}
+		c.errSites[k] = s
+	}
+	for k, v := range o.checkSites {
+		if _, ok := c.checkSites[k]; !ok {
+			c.checkSites[k] = v
+		}
+	}
+}
+
 // Derived is the evidence for one routine.
 type Derived struct {
 	Func string

@@ -179,3 +179,12 @@ func (c *Checker) Branch(engine.State, cast.Expr, bool, *engine.Ctx) {}
 
 // FuncEnd implements engine.Checker.
 func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
+
+// Fork returns a per-worker view for the parallel pipeline. The checker
+// accumulates nothing across functions (all its state lives in the path
+// state and reports flow through the per-shard collector), so the fork is
+// the checker itself.
+func (c *Checker) Fork() *Checker { return c }
+
+// Merge is a no-op; see Fork.
+func (c *Checker) Merge(*Checker) {}

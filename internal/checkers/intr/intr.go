@@ -120,6 +120,28 @@ func (c *Checker) Branch(engine.State, cast.Expr, bool, *engine.Ctx) {}
 // FuncEnd implements engine.Checker.
 func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
 
+// Fork returns an empty checker sharing c's configuration, for one
+// worker's shard of functions.
+func (c *Checker) Fork() *Checker { return New(c.conv) }
+
+// Merge folds a fork's evidence into c: counters sum, site lists
+// concatenate in merge order and re-truncate to the cap.
+func (c *Checker) Merge(o *Checker) {
+	c.pop.Merge(o.pop)
+	mergeSites(c.enabledSites, o.enabledSites)
+	mergeSites(c.disabledSite, o.disabledSite)
+}
+
+func mergeSites(dst, src map[string][]ctoken.Pos) {
+	for k, v := range src {
+		s := append(dst[k], v...)
+		if len(s) > maxSites {
+			s = s[:maxSites]
+		}
+		dst[k] = s
+	}
+}
+
 // Derived is one routine's interrupt-context evidence.
 type Derived struct {
 	Func          string

@@ -234,6 +234,35 @@ func isNull(e cast.Expr) bool {
 // FuncEnd implements engine.Checker.
 func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
 
+// Fork returns an empty checker sharing c's configuration, for one
+// worker's shard of functions.
+func (c *Checker) Fork() *Checker { return New(c.conv) }
+
+// Merge folds a fork's evidence into c. Counts are sums; site lists
+// concatenate in merge order and re-truncate, so folding shards in
+// function order reproduces the serial site lists exactly (per-shard
+// truncation only ever drops sites past the global cap).
+func (c *Checker) Merge(o *Checker) {
+	for k, v := range o.isErrCount {
+		c.isErrCount[k] += v
+	}
+	for k, v := range o.otherCount {
+		c.otherCount[k] += v
+	}
+	mergeSites(c.isErrSites, o.isErrSites)
+	mergeSites(c.otherSites, o.otherSites)
+}
+
+func mergeSites(dst, src map[string][]ctoken.Pos) {
+	for k, v := range src {
+		s := append(dst[k], v...)
+		if len(s) > maxSites {
+			s = s[:maxSites]
+		}
+		dst[k] = s
+	}
+}
+
 // Derived is the IS_ERR evidence for one routine.
 type Derived struct {
 	Func           string

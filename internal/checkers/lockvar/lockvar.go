@@ -378,6 +378,35 @@ func (c *Checker) Branch(engine.State, cast.Expr, bool, *engine.Ctx) {}
 // FuncEnd implements engine.Checker.
 func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
 
+// Fork returns a checker for one worker's shard of functions. The
+// pre-pass products (lock and shared-variable universes, promoted MUST
+// pairs) are shared read-only; only the evidence accumulators are fresh.
+func (c *Checker) Fork() *Checker {
+	return &Checker{
+		conv:     c.conv,
+		globals:  c.globals,
+		locks:    c.locks,
+		p0:       c.p0,
+		pop:      stats.NewPopulation(),
+		errSites: make(map[string][]ctoken.Pos),
+		must:     c.must,
+		mustSite: c.mustSite,
+	}
+}
+
+// Merge folds a fork's evidence into c: counters sum, error-site lists
+// concatenate in merge order and re-truncate to the cap.
+func (c *Checker) Merge(o *Checker) {
+	c.pop.Merge(o.pop)
+	for k, v := range o.errSites {
+		s := append(c.errSites[k], v...)
+		if len(s) > maxSitesPerPair {
+			s = s[:maxSitesPerPair]
+		}
+		c.errSites[k] = s
+	}
+}
+
 // ---------------------------------------------------------------------------
 // results
 

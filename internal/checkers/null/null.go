@@ -403,3 +403,31 @@ func (c *Checker) Finish(col *report.Collector) {
 // Reset clears accumulated cross-path observations (for reuse across
 // corpora).
 func (c *Checker) Reset() { c.checkObs = make(map[string]*checkObservation) }
+
+// Fork returns a checker with c's configuration and an empty observation
+// table, for one worker's shard of functions.
+func (c *Checker) Fork() *Checker { return New(c.cfgn) }
+
+// Merge folds a fork's observations back into c. A check site belongs to
+// exactly one function, so function-disjoint shards observe disjoint
+// sites and the union cannot depend on merge order; colliding keys are
+// still folded field-by-field for safety.
+func (c *Checker) Merge(o *Checker) {
+	for k, obs := range o.checkObs {
+		have, ok := c.checkObs[k]
+		if !ok {
+			c.checkObs[k] = obs
+			continue
+		}
+		have.facts |= obs.facts
+		for s := range obs.srcs {
+			have.srcs[s] = true
+		}
+		if obs.minSpan < have.minSpan {
+			have.minSpan = obs.minSpan
+		}
+		if obs.derefPos != 0 {
+			have.derefPos = obs.derefPos
+		}
+	}
+}

@@ -147,6 +147,20 @@ func (c *Checker) record(path []callRef) {
 	c.paths = append(c.paths, cp)
 }
 
+// Fork returns an empty deriver sharing c's configuration (conventions,
+// limits, and ignore set are read-only), for one worker's shard of
+// functions.
+func (c *Checker) Fork() *Checker {
+	return &Checker{conv: c.conv, limits: c.limits, Ignore: c.Ignore}
+}
+
+// Merge appends a fork's recorded paths to c. Folding shards in function
+// order reproduces the serial path list exactly, so Derive and Finish see
+// the same evidence in the same order.
+func (c *Checker) Merge(o *Checker) {
+	c.paths = append(c.paths, o.paths...)
+}
+
 // Pair is one derived slot-instance combination for the template
 // "<a> must be paired with <b>".
 type Pair struct {

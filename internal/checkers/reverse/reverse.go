@@ -168,6 +168,18 @@ func isErrorReturn(e cast.Expr) bool {
 	return false
 }
 
+// Fork returns an empty deriver sharing c's configuration, for one
+// worker's shard of functions.
+func (c *Checker) Fork() *Checker {
+	return &Checker{conv: c.conv, limits: c.limits}
+}
+
+// Merge appends a fork's recorded paths to c; folding shards in function
+// order reproduces the serial path list exactly.
+func (c *Checker) Merge(o *Checker) {
+	c.paths = append(c.paths, o.paths...)
+}
+
 // Reversal is one derived (b, a) instance: a reverses b on error paths.
 type Reversal struct {
 	Forward, Undo string

@@ -132,6 +132,34 @@ func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.
 // FuncEnd implements engine.Checker.
 func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
 
+// Fork returns an empty checker sharing c's predicate set, for one
+// worker's shard of functions.
+func (c *Checker) Fork() *Checker {
+	return &Checker{
+		preds:     c.preds,
+		p0:        c.p0,
+		pop:       stats.NewPopulation(),
+		errSites:  make(map[string][]ctoken.Pos),
+		seenPreds: make(map[string]bool),
+	}
+}
+
+// Merge folds a fork's evidence into c: counters sum, seen-predicate sets
+// union, site lists concatenate in merge order and re-truncate.
+func (c *Checker) Merge(o *Checker) {
+	c.pop.Merge(o.pop)
+	for k := range o.seenPreds {
+		c.seenPreds[k] = true
+	}
+	for k, v := range o.errSites {
+		s := append(c.errSites[k], v...)
+		if len(s) > maxSites {
+			s = s[:maxSites]
+		}
+		c.errSites[k] = s
+	}
+}
+
 // Derived is the evidence for one (X, Y) instance.
 type Derived struct {
 	Action, Check string

@@ -6,8 +6,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"deviant/internal/cast"
 	"deviant/internal/cfg"
@@ -76,6 +78,13 @@ type Options struct {
 	DisableCrashPruning bool
 	// NullConfig overrides the null checker configuration.
 	NullConfig *null.Config
+	// Workers bounds pipeline concurrency: translation units are
+	// preprocessed and parsed concurrently, CFGs build concurrently, and
+	// each checker runs over contiguous shards of the function list on
+	// this many goroutines. Results are merged in shard order, so output
+	// is identical for every worker count. Zero or negative means
+	// runtime.NumCPU(); 1 forces the fully serial path.
+	Workers int
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -115,6 +124,44 @@ type Result struct {
 	// Functions analyzed and total source lines (scalability metrics).
 	FuncCount int
 	LineCount int
+
+	// Timing is the per-stage wall clock of this run.
+	Timing Timing
+}
+
+// Timing records where a run spent its time, stage by stage. Frontend,
+// Semantic, CFG, Total and the Checkers entries are wall clock;
+// Preprocess and Parse are summed across translation units, so under a
+// parallel frontend they add up to more than Frontend — the ratio is the
+// frontend's effective parallelism.
+type Timing struct {
+	Preprocess time.Duration // preprocessing, summed over units
+	Parse      time.Duration // parsing, summed over units
+	Frontend   time.Duration // wall clock of the whole frontend stage
+	Semantic   time.Duration // semantic indexing (serial)
+	CFG        time.Duration // CFG construction
+	Checkers   map[string]time.Duration
+	Total      time.Duration
+}
+
+// String renders the timing table (the CLI's -stats output).
+func (t Timing) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s  (preprocess %s + parse %s summed over units)\n",
+		"frontend", t.Frontend.Round(time.Microsecond),
+		t.Preprocess.Round(time.Microsecond), t.Parse.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-12s %12s\n", "semantic", t.Semantic.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-12s %12s\n", "cfg", t.CFG.Round(time.Microsecond))
+	names := make([]string, 0, len(t.Checkers))
+	for n := range t.Checkers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-12s %12s\n", "  "+n, t.Checkers[n].Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "%-12s %12s\n", "total", t.Total.Round(time.Microsecond))
+	return b.String()
 }
 
 // Analyzer runs the pipeline over a file provider.
@@ -137,6 +184,9 @@ func New(opts Options, conv *latent.Conventions) *Analyzer {
 	if len(opts.IncludeDirs) == 0 {
 		opts.IncludeDirs = []string{"include"}
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
 	return &Analyzer{opts: opts, conv: conv}
 }
 
@@ -155,57 +205,134 @@ func (a *Analyzer) AnalyzeSources(srcs map[string]string) (*Result, error) {
 }
 
 // AnalyzeFS preprocesses, parses and checks the given translation units.
+//
+// Every stage runs on Options.Workers goroutines: units go through the
+// frontend concurrently (sharing a scan cache so common headers are lexed
+// once per run instead of once per includer), per-function CFGs build
+// concurrently, and each checker runs over contiguous shards of the
+// function list with a forked accumulator and a private report collector
+// per shard. Shards fold back in function order, which makes every
+// counter, site list, derived table and ranked report byte-identical to
+// the Workers=1 run — scheduling can reorder the work but never the
+// merge.
 func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, error) {
 	if len(units) == 0 {
 		return nil, fmt.Errorf("core: no translation units")
 	}
+	workers := a.opts.Workers
+	start := time.Now()
 	res := &Result{
 		Reports:     report.NewCollector(),
 		EngineStats: make(map[string]engine.RunStats),
+		Timing:      Timing{Checkers: make(map[string]time.Duration)},
 	}
 
-	var files []*cast.File
-	for _, unit := range units {
+	// ---- frontend: preprocess + parse each unit, concurrently.
+	type unitOut struct {
+		file    *cast.File
+		errs    []error
+		readErr error
+		lines   int
+		ppDur   time.Duration
+		parse   time.Duration
+	}
+	cache := cpp.NewTokenCache()
+	outs := make([]unitOut, len(units))
+	feStart := time.Now()
+	parallelDo(workers, len(units), func(i int) {
+		o := &outs[i]
 		pp := cpp.New(fs, a.opts.IncludeDirs...)
+		pp.UseCache(cache)
 		for k, v := range a.opts.Defines {
 			pp.Define(k, v)
 		}
-		src, err := fs.ReadFile(unit)
+		src, err := fs.ReadFile(units[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			o.readErr = err
+			return
 		}
-		res.LineCount += strings.Count(src, "\n") + 1
-		toks, err := pp.ProcessSource(unit, src)
+		o.lines = strings.Count(src, "\n") + 1
+		t0 := time.Now()
+		toks, err := pp.ProcessSource(units[i], src)
+		o.ppDur = time.Since(t0)
 		if err != nil {
-			res.ParseErrors = append(res.ParseErrors, pp.Errs()...)
+			o.errs = append(o.errs, pp.Errs()...)
 		}
-		f, perrs := cparse.ParseFile(unit, toks)
-		res.ParseErrors = append(res.ParseErrors, perrs...)
-		files = append(files, f)
+		t0 = time.Now()
+		f, perrs := cparse.ParseFile(units[i], toks)
+		o.parse = time.Since(t0)
+		o.errs = append(o.errs, perrs...)
+		o.file = f
+	})
+	res.Timing.Frontend = time.Since(feStart)
+	files := make([]*cast.File, 0, len(units))
+	for i := range outs {
+		if outs[i].readErr != nil {
+			return nil, fmt.Errorf("core: %w", outs[i].readErr)
+		}
+		res.LineCount += outs[i].lines
+		res.ParseErrors = append(res.ParseErrors, outs[i].errs...)
+		res.Timing.Preprocess += outs[i].ppDur
+		res.Timing.Parse += outs[i].parse
+		files = append(files, outs[i].file)
 	}
+
+	t0 := time.Now()
 	res.Prog = csem.Analyze(files)
+	res.Timing.Semantic = time.Since(t0)
 	res.FuncCount = len(res.Prog.Funcs)
 
-	// Build CFGs once, shared by all checkers.
+	// ---- CFGs, built once and shared by all checkers. Functions are
+	// independent, so construction is embarrassingly parallel.
 	var noReturn func(string) bool
 	if !a.opts.DisableCrashPruning {
 		noReturn = a.conv.IsCrashRoutine
 	}
-	graphs := make(map[string]*cfg.Graph, len(res.Prog.Funcs))
-	for _, name := range res.Prog.FuncNames() {
-		graphs[name] = cfg.Build(res.Prog.Funcs[name], cfg.Options{NoReturn: noReturn})
+	names := res.Prog.FuncNames()
+	built := make([]*cfg.Graph, len(names))
+	t0 = time.Now()
+	parallelDo(workers, len(names), func(i int) {
+		built[i] = cfg.Build(res.Prog.Funcs[names[i]], cfg.Options{NoReturn: noReturn})
+	})
+	graphs := make(map[string]*cfg.Graph, len(names))
+	for i, name := range names {
+		graphs[name] = built[i]
 	}
-	eopts := engine.Options{Memoize: a.opts.Memoize}
+	res.Timing.CFG = time.Since(t0)
 
-	runEngine := func(ch engine.Checker) {
-		total := engine.RunStats{}
-		for _, name := range res.Prog.FuncNames() {
-			s := engine.Run(graphs[name], ch, res.Reports, eopts)
-			total.Visits += s.Visits
-			total.MemoHits += s.MemoHits
-			total.Truncated = total.Truncated || s.Truncated
+	eopts := engine.Options{Memoize: a.opts.Memoize}
+	spans := chunkSpans(len(names), workers)
+
+	// runEngine drives one engine checker over every function: each shard
+	// gets a forked accumulator and a private collector, folded back in
+	// shard order.
+	runEngine := func(name string, fork func() engine.Checker, merge func(engine.Checker)) {
+		t := time.Now()
+		shards := make([]engine.Checker, len(spans))
+		cols := make([]*report.Collector, len(spans))
+		sts := make([]engine.RunStats, len(spans))
+		parallelDo(workers, len(spans), func(si int) {
+			ch := fork()
+			col := report.NewCollector()
+			var total engine.RunStats
+			for _, fn := range names[spans[si].lo:spans[si].hi] {
+				s := engine.Run(graphs[fn], ch, col, eopts)
+				total.Visits += s.Visits
+				total.MemoHits += s.MemoHits
+				total.Truncated = total.Truncated || s.Truncated
+			}
+			shards[si], cols[si], sts[si] = ch, col, total
+		})
+		var agg engine.RunStats
+		for si := range spans {
+			merge(shards[si])
+			res.Reports.Merge(cols[si])
+			agg.Visits += sts[si].Visits
+			agg.MemoHits += sts[si].MemoHits
+			agg.Truncated = agg.Truncated || sts[si].Truncated
 		}
-		res.EngineStats[ch.Name()] = total
+		res.EngineStats[name] = agg
+		res.Timing.Checkers[name] = time.Since(t)
 	}
 
 	if a.opts.Checks.Null {
@@ -214,67 +341,130 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			cfgn = *a.opts.NullConfig
 		}
 		ch := null.New(cfgn)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*null.Checker)) })
 		ch.Finish(res.Reports)
 	}
 	if a.opts.Checks.Free {
 		ch := freecheck.New(a.conv)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*freecheck.Checker)) })
 	}
-	if a.opts.Checks.Redundant {
-		redundant.New(res.Prog).Run(res.Reports)
+
+	// The three program-level AST checkers are independent of each other;
+	// run them concurrently, each into a private collector, merged in the
+	// fixed serial order.
+	type progStage struct {
+		name    string
+		enabled bool
+		run     func(*report.Collector)
 	}
-	if a.opts.Checks.RetConv {
-		retconv.New(res.Prog, a.conv).Run(res.Reports)
+	progStages := []progStage{
+		{"redundant", a.opts.Checks.Redundant, func(col *report.Collector) {
+			redundant.New(res.Prog).Run(col)
+		}},
+		{"retconv", a.opts.Checks.RetConv, func(col *report.Collector) {
+			retconv.New(res.Prog, a.conv).Run(col)
+		}},
+		{"userptr", a.opts.Checks.UserPtr, func(col *report.Collector) {
+			userptr.New(res.Prog, a.conv).Run(col)
+		}},
 	}
-	if a.opts.Checks.UserPtr {
-		ch := userptr.New(res.Prog, a.conv)
-		ch.Run(res.Reports)
+	progCols := make([]*report.Collector, len(progStages))
+	progDur := make([]time.Duration, len(progStages))
+	parallelDo(workers, len(progStages), func(i int) {
+		if !progStages[i].enabled {
+			return
+		}
+		t := time.Now()
+		progCols[i] = report.NewCollector()
+		progStages[i].run(progCols[i])
+		progDur[i] = time.Since(t)
+	})
+	for i, st := range progStages {
+		if progCols[i] != nil {
+			res.Reports.Merge(progCols[i])
+			res.Timing.Checkers[st.name] = progDur[i]
+		}
 	}
+
 	if a.opts.Checks.IsErr {
 		ch := iserr.New(a.conv)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*iserr.Checker)) })
 		ch.Finish(res.Reports)
 		res.IsErrFuncs = ch.Ranked()
 	}
 	if a.opts.Checks.Fail {
 		ch := fail.New(a.conv)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*fail.Checker)) })
 		ch.Finish(res.Reports)
 		res.CanFail = ch.Ranked()
 		res.CanFailNever = ch.InverseRanked()
 	}
 	if a.opts.Checks.LockVar {
 		ch := lockvar.New(res.Prog, a.conv)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*lockvar.Checker)) })
 		ch.Finish(res.Reports)
 		res.LockBindings = ch.Bindings()
 	}
 	if a.opts.Checks.Pairing {
+		t := time.Now()
 		ch := pairing.New(a.conv, pairing.DefaultLimits())
-		for _, name := range res.Prog.FuncNames() {
-			ch.AddFunction(graphs[name])
+		forks := make([]*pairing.Checker, len(spans))
+		parallelDo(workers, len(spans), func(si int) {
+			f := ch.Fork()
+			for _, fn := range names[spans[si].lo:spans[si].hi] {
+				f.AddFunction(graphs[fn])
+			}
+			forks[si] = f
+		})
+		for _, f := range forks {
+			ch.Merge(f)
 		}
 		res.Pairs = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+		res.Timing.Checkers["pairing"] = time.Since(t)
 	}
 	if a.opts.Checks.Intr {
 		ch := intr.New(a.conv)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*intr.Checker)) })
 		ch.Finish(res.Reports)
 		res.IntrFuncs = ch.Ranked()
 	}
 	if a.opts.Checks.SecCheck {
 		ch := seccheck.New(nil)
-		runEngine(ch)
+		runEngine(ch.Name(),
+			func() engine.Checker { return ch.Fork() },
+			func(w engine.Checker) { ch.Merge(w.(*seccheck.Checker)) })
 		ch.Finish(res.Reports)
 		res.SecChecks = ch.Ranked()
 	}
 	if a.opts.Checks.Reverse {
+		t := time.Now()
 		ch := reverse.New(a.conv, reverse.DefaultLimits())
-		for _, name := range res.Prog.FuncNames() {
-			ch.AddFunction(graphs[name])
+		forks := make([]*reverse.Checker, len(spans))
+		parallelDo(workers, len(spans), func(si int) {
+			f := ch.Fork()
+			for _, fn := range names[spans[si].lo:spans[si].hi] {
+				f.AddFunction(graphs[fn])
+			}
+			forks[si] = f
+		})
+		for _, f := range forks {
+			ch.Merge(f)
 		}
 		res.Reversals = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+		res.Timing.Checkers["reverse"] = time.Since(t)
 	}
+	res.Timing.Total = time.Since(start)
 	return res, nil
 }

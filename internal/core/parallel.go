@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelDo runs fn(i) for every i in [0, n) using at most workers
+// goroutines, handing out indices dynamically so uneven items cannot
+// serialize a stage. With one worker (or one item) it runs inline on the
+// caller's goroutine — the serial path has no scheduling overhead.
+func parallelDo(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// span is one contiguous shard of the function list. Shards are always
+// contiguous and always folded back in index order: that is what makes
+// every sharded accumulator — site lists, first-seen maps, path lists,
+// report collectors — end up byte-identical to the serial run no matter
+// how many workers raced over the shards.
+type span struct{ lo, hi int }
+
+// chunkSpans partitions [0, n) into contiguous, roughly equal spans,
+// several per worker for load balance. One worker gets one span.
+func chunkSpans(n, workers int) []span {
+	if n <= 0 {
+		return nil
+	}
+	const perWorker = 4
+	count := workers * perWorker
+	if workers <= 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	out := make([]span, 0, count)
+	for i := 0; i < count; i++ {
+		lo, hi := i*n/count, (i+1)*n/count
+		if lo < hi {
+			out = append(out, span{lo, hi})
+		}
+	}
+	return out
+}

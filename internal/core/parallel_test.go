@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkSpansCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 1}, {1, 8}, {5, 2}, {64, 1}, {64, 4}, {100, 8}, {3, 16},
+	} {
+		spans := chunkSpans(tc.n, tc.workers)
+		next := 0
+		for _, s := range spans {
+			if s.lo != next {
+				t.Fatalf("chunkSpans(%d, %d): span starts at %d, want %d", tc.n, tc.workers, s.lo, next)
+			}
+			if s.hi <= s.lo {
+				t.Fatalf("chunkSpans(%d, %d): empty span %+v", tc.n, tc.workers, s)
+			}
+			next = s.hi
+		}
+		if next != tc.n {
+			t.Fatalf("chunkSpans(%d, %d): covers [0, %d), want [0, %d)", tc.n, tc.workers, next, tc.n)
+		}
+		if tc.workers <= 1 && tc.n > 0 && len(spans) != 1 {
+			t.Fatalf("chunkSpans(%d, 1) = %d spans, want 1 (serial path must see one shard)", tc.n, len(spans))
+		}
+	}
+}
+
+func TestParallelDoVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 200
+		var hits [n]atomic.Int32
+		parallelDo(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package cpp
+
+import (
+	"sync"
+
+	"deviant/internal/ctoken"
+)
+
+// TokenCache shares the raw scanned token stream of each file across
+// translation units. Every unit of a kernel-style tree includes the same
+// headers, and with one Preprocessor per unit each header was previously
+// re-lexed once per includer; a cache keyed by file name lexes it once for
+// the whole run. Only the *scan* is shared — scanning depends on nothing
+// but the file contents — while directive evaluation and macro expansion
+// still run per unit, so conditional compilation and macro state stay
+// exactly as precise as before.
+//
+// The cache is safe for concurrent use; the parallel frontend hands one
+// instance to every worker's Preprocessor. Cached token slices are
+// treated as read-only by the preprocessor (macro bodies and expansions
+// are always copied before mutation).
+type TokenCache struct {
+	mu      sync.RWMutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	toks []ctoken.Token
+	errs []error
+}
+
+// NewTokenCache returns an empty cache.
+func NewTokenCache() *TokenCache {
+	return &TokenCache{entries: make(map[string]*cacheEntry)}
+}
+
+func (c *TokenCache) get(name string) ([]ctoken.Token, []error, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, nil, false
+	}
+	return e.toks, e.errs, true
+}
+
+func (c *TokenCache) put(name string, toks []ctoken.Token, errs []error) {
+	c.mu.Lock()
+	if _, ok := c.entries[name]; !ok {
+		c.entries[name] = &cacheEntry{toks: toks, errs: errs}
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached files.
+func (c *TokenCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

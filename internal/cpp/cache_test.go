@@ -1,0 +1,107 @@
+package cpp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTokenCacheSharedAcrossUnits checks that two units including the
+// same header produce identical output with and without a shared cache,
+// and that the header is scanned once.
+func TestTokenCacheSharedAcrossUnits(t *testing.T) {
+	files := map[string]string{
+		"include/defs.h": "#define N 3\nint shared(int x);\n",
+		"a.c":            "#include <defs.h>\nint a(void) { return N; }\n",
+		"b.c":            "#include <defs.h>\nint b(void) { return N + 1; }\n",
+	}
+	fs := MapFS(files)
+
+	process := func(unit string, cache *TokenCache) string {
+		pp := New(fs, "include")
+		if cache != nil {
+			pp.UseCache(cache)
+		}
+		toks, err := pp.Process(unit)
+		if err != nil {
+			t.Fatalf("%s: %v", unit, err)
+		}
+		out := ""
+		for _, tk := range toks {
+			out += tk.Text + " "
+		}
+		return out
+	}
+
+	cache := NewTokenCache()
+	for _, unit := range []string{"a.c", "b.c"} {
+		plain := process(unit, nil)
+		cached := process(unit, cache)
+		if plain != cached {
+			t.Errorf("%s: cached output differs from uncached:\n  plain:  %s\n  cached: %s",
+				unit, plain, cached)
+		}
+	}
+	// a.c, b.c and defs.h each scanned exactly once.
+	if got := cache.Len(); got != 3 {
+		t.Errorf("cache holds %d files, want 3", got)
+	}
+}
+
+// TestTokenCacheConditionalCompilation checks that sharing scanned tokens
+// does not leak macro state between units: the same header must expand
+// differently under different -D sets.
+func TestTokenCacheConditionalCompilation(t *testing.T) {
+	files := map[string]string{
+		"include/cfg.h": "#ifdef FAST\n#define MODE 1\n#else\n#define MODE 2\n#endif\n",
+		"u.c":           "#include <cfg.h>\nint mode(void) { return MODE; }\n",
+	}
+	fs := MapFS(files)
+	cache := NewTokenCache()
+
+	run := func(fast bool) string {
+		pp := New(fs, "include")
+		pp.UseCache(cache)
+		if fast {
+			pp.Define("FAST", "1")
+		}
+		toks, err := pp.Process("u.c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, tk := range toks {
+			out += tk.Text + " "
+		}
+		return out
+	}
+
+	withFast := run(true)
+	without := run(false)
+	if withFast == without {
+		t.Fatalf("conditional compilation lost under shared cache: both runs produced %q", withFast)
+	}
+}
+
+// TestTokenCacheConcurrent exercises the cache from many goroutines; run
+// with -race.
+func TestTokenCacheConcurrent(t *testing.T) {
+	files := map[string]string{
+		"include/h.h": "#define V 9\n",
+		"c.c":         "#include <h.h>\nint f(void) { return V; }\n",
+	}
+	fs := MapFS(files)
+	cache := NewTokenCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pp := New(fs, "include")
+			pp.UseCache(cache)
+			if _, err := pp.Process("c.c"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -58,6 +58,7 @@ type Preprocessor struct {
 	errs     []error
 	depth    int // include nesting depth
 	included map[string]bool
+	cache    *TokenCache // optional shared scan cache
 }
 
 const maxIncludeDepth = 40
@@ -71,6 +72,10 @@ func New(fs FileProvider, dirs ...string) *Preprocessor {
 		included: make(map[string]bool),
 	}
 }
+
+// UseCache makes p consult (and populate) a shared scan cache, so files
+// included by many translation units are lexed only once per run.
+func (p *Preprocessor) UseCache(c *TokenCache) { p.cache = c }
 
 // Define installs an object-like macro, as with -Dname=value.
 func (p *Preprocessor) Define(name, value string) {
@@ -136,12 +141,7 @@ func (p *Preprocessor) processFile(name, src string) {
 	p.depth++
 	defer func() { p.depth-- }()
 
-	s := ctoken.NewScanner(name, src)
-	s.KeepNewlines = true
-	toks := s.ScanAll()
-	for _, e := range s.Errs() {
-		p.errs = append(p.errs, e)
-	}
+	toks := p.scanFile(name, src)
 
 	var conds []condState
 	live := func() bool {
@@ -175,6 +175,28 @@ func (p *Preprocessor) processFile(name, src string) {
 	if len(conds) != 0 {
 		p.errorf(ctoken.Pos{File: name}, "unterminated #if")
 	}
+}
+
+// scanFile lexes src (keeping newlines, which directive parsing needs),
+// consulting the shared cache when one is attached. Scanner diagnostics
+// replay into p.errs on every use so cached and uncached includes report
+// identically.
+func (p *Preprocessor) scanFile(name, src string) []ctoken.Token {
+	if p.cache != nil {
+		if toks, errs, ok := p.cache.get(name); ok {
+			p.errs = append(p.errs, errs...)
+			return toks
+		}
+	}
+	s := ctoken.NewScanner(name, src)
+	s.KeepNewlines = true
+	toks := s.ScanAll()
+	serrs := s.Errs()
+	if p.cache != nil {
+		p.cache.put(name, toks, serrs)
+	}
+	p.errs = append(p.errs, serrs...)
+	return toks
 }
 
 // grabLine collects tokens up to (not including) the next Newline/EOF and

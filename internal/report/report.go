@@ -74,9 +74,13 @@ func (r *Report) String() string {
 	return sb.String()
 }
 
-// Collector accumulates deduplicated reports.
+// Collector accumulates deduplicated reports. Insertion order is
+// preserved so that ranking ties resolve identically from run to run, and
+// so that merging per-worker collectors in shard order reproduces the
+// serial collector exactly.
 type Collector struct {
 	byKey map[string]*Report
+	keys  []string // insertion order of first occurrence
 }
 
 // NewCollector returns an empty collector.
@@ -98,6 +102,26 @@ func (c *Collector) Add(r Report) {
 		return
 	}
 	c.byKey[k] = &r
+	c.keys = append(c.keys, k)
+}
+
+// Merge folds another collector into c, replaying o's reports in their
+// original insertion order. Folding per-shard collectors back in shard
+// order therefore yields the same contents — including which duplicate
+// survived — as collecting serially.
+func (c *Collector) Merge(o *Collector) {
+	for _, k := range o.keys {
+		c.Add(*o.byKey[k])
+	}
+}
+
+// all returns the reports in insertion order.
+func (c *Collector) all() []Report {
+	out := make([]Report, 0, len(c.keys))
+	for _, k := range c.keys {
+		out = append(out, *c.byKey[k])
+	}
+	return out
 }
 
 // AddMust records an internal-consistency (MUST belief) error.
@@ -138,11 +162,8 @@ func (c *Collector) Len() int { return len(c.byKey) }
 // definite errors, so they sort before statistical ones of the same
 // checker prefix ordering).
 func (c *Collector) Ranked() []Report {
-	out := make([]Report, 0, len(c.byKey))
-	for _, r := range c.byKey {
-		out = append(out, *r)
-	}
-	sort.Slice(out, func(i, j int) bool { return less(&out[i], &out[j]) })
+	out := c.all()
+	sort.SliceStable(out, func(i, j int) bool { return less(&out[i], &out[j]) })
 	return out
 }
 
@@ -153,17 +174,14 @@ func (c *Collector) Ranked() []Report {
 // and profile-driven ranking (§2's future work: a boost derived from
 // execution counts floats bugs in hot code to the top).
 func (c *Collector) RankedBy(boost func(*Report) float64) []Report {
-	out := make([]Report, 0, len(c.byKey))
-	for _, r := range c.byKey {
-		out = append(out, *r)
-	}
+	out := c.all()
 	adj := func(r *Report) float64 {
 		if !r.Statistical() {
 			return 0
 		}
 		return r.Z + boost(r)
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		a, b := &out[i], &out[j]
 		am, bm := !a.Statistical(), !b.Statistical()
 		if am != bm {
@@ -176,7 +194,7 @@ func (c *Collector) RankedBy(boost func(*Report) float64) []Report {
 		if za != zb {
 			return za > zb
 		}
-		return posLess(a.Pos, b.Pos)
+		return tieLess(a, b)
 	})
 	return out
 }
@@ -193,8 +211,8 @@ func (c *Collector) RankedWithTrust(tm *stats.TrustModel) []Report {
 // (MUST-belief) reports: each one marks its file as less trustworthy.
 func (c *Collector) TrustFromMustErrors() *stats.TrustModel {
 	tm := stats.NewTrustModel()
-	for _, r := range c.byKey {
-		if !r.Statistical() {
+	for _, k := range c.keys {
+		if r := c.byKey[k]; !r.Statistical() {
 			tm.Observe(r.Pos.File)
 		}
 	}
@@ -228,12 +246,26 @@ func less(a, b *Report) bool {
 		if a.Span != b.Span {
 			return a.Span < b.Span
 		}
-		return posLess(a.Pos, b.Pos)
+		return tieLess(a, b)
 	}
 	if a.Z != b.Z {
 		return a.Z > b.Z
 	}
-	return posLess(a.Pos, b.Pos)
+	return tieLess(a, b)
+}
+
+// tieLess is the final total-order tiebreak: position, then checker, then
+// rule. Distinct reports can share a position (different rules at one
+// site), so ordering must not stop at posLess or the ranking would depend
+// on map iteration order.
+func tieLess(a, b *Report) bool {
+	if a.Pos != b.Pos {
+		return posLess(a.Pos, b.Pos)
+	}
+	if a.Checker != b.Checker {
+		return a.Checker < b.Checker
+	}
+	return a.Rule < b.Rule
 }
 
 func posLess(a, b ctoken.Pos) bool {

@@ -80,6 +80,21 @@ func (p *Population) Check(key string, err bool) {
 	}
 }
 
+// Merge folds another population's evidence into p. Counters are sums,
+// so the merged result is independent of merge order — the property the
+// parallel pipeline relies on when it shards counting across workers.
+func (p *Population) Merge(o *Population) {
+	for k, oc := range o.counters {
+		c := p.counters[k]
+		if c == nil {
+			c = &Counter{}
+			p.counters[k] = c
+		}
+		c.Checks += oc.Checks
+		c.Errors += oc.Errors
+	}
+}
+
 // Get returns the counter for key (zero value if never checked).
 func (p *Population) Get(key string) Counter {
 	if c := p.counters[key]; c != nil {

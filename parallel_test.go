@@ -1,0 +1,144 @@
+package deviant
+
+// Determinism property tests for the parallel pipeline: analysis output
+// must be byte-identical for every worker count. The pipeline shards work
+// over contiguous spans of the function list and folds the shards back in
+// order, so reports, derived-rule tables, and engine statistics may not
+// depend on scheduling. These tests pin that property on two experiment
+// corpora across Workers ∈ {1, 4, 8}.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"deviant/internal/corpus"
+)
+
+// renderReports produces a canonical textual form of the ranked reports.
+// Reports are compared rendered rather than with DeepEqual because MUST
+// reports carry Z = NaN, and NaN != NaN would make DeepEqual fail even on
+// identical output.
+func renderReports(res *Result) string {
+	var sb strings.Builder
+	for _, r := range res.Reports.Ranked() {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func analyzeWithWorkers(t *testing.T, files map[string]string, workers int) *Result {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = workers
+	res, err := Analyze(files, opts)
+	if err != nil {
+		t.Fatalf("Analyze(workers=%d): %v", workers, err)
+	}
+	return res
+}
+
+func checkSameResults(t *testing.T, name string, serial, parallel *Result, workers int) {
+	t.Helper()
+	if got, want := renderReports(parallel), renderReports(serial); got != want {
+		t.Errorf("%s: ranked reports differ between workers=1 and workers=%d", name, workers)
+	}
+	if serial.FuncCount != parallel.FuncCount || serial.LineCount != parallel.LineCount {
+		t.Errorf("%s: corpus accounting differs: funcs %d vs %d, lines %d vs %d",
+			name, serial.FuncCount, parallel.FuncCount, serial.LineCount, parallel.LineCount)
+	}
+	if len(serial.ParseErrors) != len(parallel.ParseErrors) {
+		t.Errorf("%s: parse error count differs: %d vs %d",
+			name, len(serial.ParseErrors), len(parallel.ParseErrors))
+	}
+	// Derived-rule tables must match exactly — these are the paper's
+	// statistical inferences, and z scores are finite here (or -Inf,
+	// which compares equal to itself), so DeepEqual is sound.
+	derived := []struct {
+		what             string
+		serial, parallel any
+	}{
+		{"pairs", serial.Pairs, parallel.Pairs},
+		{"can-fail", serial.CanFail, parallel.CanFail},
+		{"can-fail-never", serial.CanFailNever, parallel.CanFailNever},
+		{"lock bindings", serial.LockBindings, parallel.LockBindings},
+		{"iserr funcs", serial.IsErrFuncs, parallel.IsErrFuncs},
+		{"intr funcs", serial.IntrFuncs, parallel.IntrFuncs},
+		{"sec checks", serial.SecChecks, parallel.SecChecks},
+		{"reversals", serial.Reversals, parallel.Reversals},
+	}
+	for _, d := range derived {
+		if !reflect.DeepEqual(d.serial, d.parallel) {
+			t.Errorf("%s: derived %s table differs between workers=1 and workers=%d",
+				name, d.what, workers)
+		}
+	}
+	if !reflect.DeepEqual(serial.EngineStats, parallel.EngineStats) {
+		t.Errorf("%s: engine stats differ between workers=1 and workers=%d:\n  serial:   %v\n  parallel: %v",
+			name, workers, serial.EngineStats, parallel.EngineStats)
+	}
+}
+
+// TestParallelDeterminism proves the acceptance property: Analyze with
+// Workers 1, 4, and 8 produces identical ranked reports and identical
+// derived-rule tables on the experiment corpora.
+func TestParallelDeterminism(t *testing.T) {
+	corpora := []struct {
+		name string
+		spec corpus.Spec
+	}{
+		{"linux-2.4.1", corpus.Linux241()},
+		{"openbsd-2.8", corpus.OpenBSD28()},
+	}
+	for _, tc := range corpora {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			files := corpus.Generate(tc.spec).Files
+			serial := analyzeWithWorkers(t, files, 1)
+			if serial.Reports.Len() == 0 {
+				t.Fatal("serial run produced no reports; corpus is not exercising the checkers")
+			}
+			for _, workers := range []int{4, 8} {
+				par := analyzeWithWorkers(t, files, workers)
+				checkSameResults(t, tc.name, serial, par, workers)
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismRepeated reruns the same parallel configuration
+// several times: scheduling varies between runs, output may not.
+func TestParallelDeterminismRepeated(t *testing.T) {
+	files := corpus.Generate(corpus.Linux241()).Files
+	want := renderReports(analyzeWithWorkers(t, files, 8))
+	for i := 0; i < 3; i++ {
+		if got := renderReports(analyzeWithWorkers(t, files, 8)); got != want {
+			t.Fatalf("run %d: parallel output varies across runs with workers=8", i)
+		}
+	}
+}
+
+// TestTimingPopulated checks that the per-stage timing breakdown is
+// filled in by Analyze (satellite for the -stats flag).
+func TestTimingPopulated(t *testing.T) {
+	files := corpus.Generate(corpus.Linux241()).Files
+	res := analyzeWithWorkers(t, files, 2)
+	tm := res.Timing
+	if tm.Total <= 0 || tm.Frontend <= 0 || tm.Semantic <= 0 || tm.CFG <= 0 {
+		t.Errorf("stage timings not populated: %+v", tm)
+	}
+	if tm.Preprocess <= 0 || tm.Parse <= 0 {
+		t.Errorf("frontend sub-timings not populated: preprocess=%v parse=%v", tm.Preprocess, tm.Parse)
+	}
+	if len(tm.Checkers) == 0 {
+		t.Error("no per-checker timings recorded")
+	}
+	out := tm.String()
+	for _, want := range []string{"frontend", "semantic", "cfg", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Timing.String() missing %q:\n%s", want, out)
+		}
+	}
+}
