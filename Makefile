@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke ci
+.PHONY: all build vet test race bench bench-smoke service-race serve-smoke ci
 
 all: build
 
@@ -29,4 +29,14 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkAnalyze(Serial|Parallel)$$' -benchtime=1x .
 
-ci: vet build race bench-smoke
+# The service suite under the race detector (also part of `race`, but
+# kept callable on its own for quick iteration on deviantd).
+service-race:
+	$(GO) test -race ./internal/service/...
+
+# Boot deviantd, POST the quickstart corpus, assert the ranked reports
+# match the CLI run bit for bit, then drain on SIGTERM.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -v ./cmd/deviantd
+
+ci: vet build race bench-smoke service-race serve-smoke

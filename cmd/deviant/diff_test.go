@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const diffHeader = `
+#define NULL 0
+struct dev { int count; int *buf; };
+void *kmalloc(int n);
+void panic(const char *fmt, ...);
+void printk(const char *fmt, ...);
+`
+
+const oldDrv = `
+#include "k.h"
+int drv_read(struct dev *d) {
+	if (d == NULL)
+		return -1;
+	return d->count;
+}
+int mk_a(struct dev *d) { int *b = kmalloc(4); if (!b) return -1; b[0] = 1; return 0; }
+int mk_b(struct dev *d) { int *b = kmalloc(4); if (!b) return -1; b[0] = 1; return 0; }
+int mk_c(struct dev *d) { int *b = kmalloc(4); if (!b) return -1; b[0] = 1; return 0; }
+`
+
+// The new version drops drv_read's null guard (a §4.2 drift), forgets one
+// kmalloc check (statistical fail-checker signal, so -p0 matters), and
+// adds a panic-guarded deref (so -no-prune matters).
+const newDrv = `
+#include "k.h"
+int drv_read(struct dev *d) {
+	return d->count;
+}
+int mk_a(struct dev *d) { int *b = kmalloc(4); if (!b) return -1; b[0] = 1; return 0; }
+int mk_b(struct dev *d) { int *b = kmalloc(4); if (!b) return -1; b[0] = 1; return 0; }
+int mk_c(struct dev *d) { int *b = kmalloc(4); b[0] = 1; return 0; }
+int prune_me(struct dev *d) {
+	if (d == NULL)
+		panic("bad dev");
+	return d->count;
+}
+`
+
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "deviant")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDiffFlagsAffectOutput is the end-to-end guard for the PR 1
+// regression fix (runDiff silently ignoring the analysis flags): each
+// analysis flag must observably change -diff output through the real
+// binary, and -no-memo — a pure performance knob — must not.
+func TestDiffFlagsAffectOutput(t *testing.T) {
+	bin := buildCLI(t)
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	writeTree(t, oldDir, map[string]string{"drv.c": oldDrv, "include/k.h": diffHeader})
+	writeTree(t, newDir, map[string]string{"drv.c": newDrv, "include/k.h": diffHeader})
+
+	run := func(extra ...string) string {
+		t.Helper()
+		args := append([]string{"-diff", oldDir}, extra...)
+		args = append(args, newDir)
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("deviant %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	base := run()
+	if !strings.Contains(base, "invariant violations") || !strings.Contains(base, "drv_read") {
+		t.Fatalf("base diff output missing the dropped-null-check drift:\n%s", base)
+	}
+	if !strings.Contains(base, "reports in new version") {
+		t.Fatalf("diff output missing the new version's report listing:\n%s", base)
+	}
+
+	driftHeader := func(out string) string { return strings.SplitN(out, "\n", 2)[0] }
+
+	t.Run("checkers", func(t *testing.T) {
+		sub := run("-checkers", "null")
+		if sub == base {
+			t.Error("-checkers null did not change diff output")
+		}
+		if driftHeader(sub) != driftHeader(base) {
+			t.Errorf("drift list should not depend on checker selection:\n%s\nvs\n%s",
+				driftHeader(sub), driftHeader(base))
+		}
+	})
+	t.Run("p0", func(t *testing.T) {
+		if run("-p0", "0.5") == base {
+			t.Error("-p0 0.5 did not change diff output (z values should shift)")
+		}
+	})
+	t.Run("no-prune", func(t *testing.T) {
+		unpruned := run("-no-prune")
+		if unpruned == base {
+			t.Error("-no-prune did not change diff output")
+		}
+		if !strings.Contains(unpruned, "check-then-use") {
+			t.Errorf("-no-prune should surface prune_me's panic-guarded deref as check-then-use:\n%s", unpruned)
+		}
+	})
+	t.Run("no-memo", func(t *testing.T) {
+		if run("-no-memo") != base {
+			t.Error("-no-memo changed diff output; memoization must be output-invariant")
+		}
+	})
+	t.Run("json", func(t *testing.T) {
+		out := run("-json")
+		if !strings.Contains(out, `"parse_errors":0`) || !strings.Contains(out, `"kind":"dropped-null-check"`) {
+			t.Errorf("-json diff output malformed:\n%s", out)
+		}
+	})
+}
+
+// TestExitCodeOnParseErrors pins the CI contract: exit 0 on a clean
+// corpus (even with bug reports), exit 3 when the frontend reported parse
+// errors.
+func TestExitCodeOnParseErrors(t *testing.T) {
+	bin := buildCLI(t)
+
+	clean := t.TempDir()
+	writeTree(t, clean, map[string]string{"drv.c": oldDrv, "include/k.h": diffHeader})
+	if out, err := exec.Command(bin, clean).CombinedOutput(); err != nil {
+		t.Fatalf("clean corpus should exit 0: %v\n%s", err, out)
+	}
+
+	broken := t.TempDir()
+	writeTree(t, broken, map[string]string{
+		"bad.c":       "#include \"k.h\"\nint broken syntax @@@ ;\nint f(struct dev *d) { return d->count; }\n",
+		"include/k.h": diffHeader,
+	})
+	err := exec.Command(bin, broken).Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("broken corpus should exit non-zero, got %v", err)
+	}
+	if code := ee.ExitCode(); code != 3 {
+		t.Errorf("broken corpus exit code = %d, want 3", code)
+	}
+}

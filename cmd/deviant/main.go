@@ -26,13 +26,20 @@
 //	              (units, functions, lines, parse_errors), then reports
 //	-trust        §5 trustworthiness-augmented ranking
 //	-diff OLDDIR  cross-version mode (§4.2): check that <dir> preserves
-//	              the invariants OLDDIR's code implied
+//	              the invariants OLDDIR's code implied; prints the drift
+//	              list and then the new version's ranked reports
+//
+// Exit codes: 0 on a clean run (reports may still be printed — deviant
+// finds bugs, it does not gate on them), 1 on a fatal error, 2 on bad
+// usage, 3 when the frontend reported parse errors, so CI scripts can
+// tell "clean corpus, no bugs" from "corpus didn't parse".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"log"
 	"os"
@@ -42,7 +49,13 @@ import (
 
 	"deviant"
 	"deviant/internal/cpp"
+	"deviant/internal/report"
 )
+
+// exitParseErrors is the exit code for "the corpus did not fully parse":
+// distinct from 1 (fatal error) and 2 (usage) so scripts can gate on
+// frontend health.
+const exitParseErrors = 3
 
 func main() {
 	log.SetFlags(0)
@@ -78,7 +91,13 @@ func main() {
 	}
 
 	if *diffOld != "" {
-		runDiff(*diffOld, dir, opts)
+		parseErrs, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if parseErrs > 0 {
+			os.Exit(exitParseErrors)
+		}
 		return
 	}
 
@@ -130,22 +149,9 @@ func main() {
 		}
 		fmt.Fprint(w, res.Timing.String())
 	}
-}
-
-// jsonReport is the machine-readable report shape (one JSON object per
-// line).
-type jsonReport struct {
-	Rank     int     `json:"rank"`
-	Checker  string  `json:"checker"`
-	File     string  `json:"file"`
-	Line     int     `json:"line"`
-	Col      int     `json:"col"`
-	Rule     string  `json:"rule"`
-	Message  string  `json:"message"`
-	Definite bool    `json:"definite"` // MUST-belief contradiction
-	Z        float64 `json:"z,omitempty"`
-	Checks   int     `json:"checks,omitempty"`
-	Examples int     `json:"examples,omitempty"`
+	if len(res.ParseErrors) > 0 {
+		os.Exit(exitParseErrors)
+	}
 }
 
 // jsonSummary is the first line of -json output: corpus size and
@@ -160,7 +166,13 @@ type jsonSummary struct {
 }
 
 func emitJSON(res *deviant.Result, units int, ranked []deviant.Report, top int) {
-	enc := json.NewEncoder(os.Stdout)
+	if err := emitJSONTo(os.Stdout, res, units, ranked, top); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Report, top int) error {
+	enc := json.NewEncoder(w)
 	if err := enc.Encode(jsonSummary{
 		Units:       units,
 		Functions:   res.FuncCount,
@@ -168,61 +180,23 @@ func emitJSON(res *deviant.Result, units int, ranked []deviant.Report, top int) 
 		ParseErrors: len(res.ParseErrors),
 		Reports:     len(ranked),
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i, r := range ranked {
 		if top > 0 && i >= top {
 			break
 		}
-		jr := jsonReport{
-			Rank: i + 1, Checker: r.Checker,
-			File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Col,
-			Rule: r.Rule, Message: r.Message,
-			Definite: !r.Statistical(),
-		}
-		if r.Statistical() {
-			jr.Z = r.Z
-			jr.Checks = r.Counter.Checks
-			jr.Examples = r.Counter.Examples
-		}
-		if err := enc.Encode(jr); err != nil {
-			log.Fatal(err)
+		if err := enc.Encode(report.ToJSON(i+1, &r)); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 func parseCheckers(s string) deviant.Checks {
-	var c deviant.Checks
-	for _, name := range strings.Split(s, ",") {
-		switch strings.TrimSpace(name) {
-		case "null":
-			c.Null = true
-		case "free":
-			c.Free = true
-		case "userptr":
-			c.UserPtr = true
-		case "iserr":
-			c.IsErr = true
-		case "fail":
-			c.Fail = true
-		case "lockvar":
-			c.LockVar = true
-		case "pairing":
-			c.Pairing = true
-		case "intr":
-			c.Intr = true
-		case "seccheck":
-			c.SecCheck = true
-		case "reverse":
-			c.Reverse = true
-		case "retconv":
-			c.RetConv = true
-		case "redundant":
-			c.Redundant = true
-		case "":
-		default:
-			log.Fatalf("unknown checker %q", name)
-		}
+	c, err := deviant.ParseChecks(s)
+	if err != nil {
+		log.Fatal(err)
 	}
 	return c
 }
@@ -292,25 +266,67 @@ func readTree(dir string) (map[string]string, error) {
 	return srcs, err
 }
 
+// jsonDrift is the wire shape of one cross-version invariant violation.
+type jsonDrift struct {
+	Kind string `json:"kind"`
+	Func string `json:"func"`
+	Pos  string `json:"pos"`
+	Msg  string `json:"msg"`
+}
+
 // runDiff cross-checks newDir against oldDir (§4.2: the same routines
-// through time) and prints the invariant violations. It honors the same
-// analysis flags (-p0, -checkers, -no-memo, -no-prune, -j) as the
-// single-version mode.
-func runDiff(oldDir, newDir string, opts deviant.Options) {
+// through time): it prints the invariant violations, then the new
+// version's ranked reports — which include the drift reports — so the
+// analysis flags (-p0, -checkers, -no-memo, -no-prune, -j) and the
+// presentation flags (-top, -json, -trust) all apply exactly as in
+// single-version mode. It returns the new version's frontend parse-error
+// count for exit-code purposes.
+func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, jsonOut, trust bool) (int, error) {
 	oldSrcs, err := readTree(oldDir)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 	newSrcs, err := readTree(newDir)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
-	drifts, _, err := deviant.Diff(oldSrcs, newSrcs, opts)
+	drifts, newRes, err := deviant.Diff(oldSrcs, newSrcs, opts)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
-	fmt.Printf("%d invariant violations (old: %s, new: %s)\n", len(drifts), oldDir, newDir)
+	units := 0
+	for name := range newSrcs {
+		if strings.HasSuffix(name, ".c") {
+			units++
+		}
+	}
+	ranked := newRes.Reports.Ranked()
+	if trust {
+		ranked = newRes.Reports.RankedWithTrust(newRes.Reports.TrustFromMustErrors())
+	}
+	if jsonOut {
+		if err := emitJSONTo(w, newRes, units, ranked, top); err != nil {
+			return 0, err
+		}
+		enc := json.NewEncoder(w)
+		for _, d := range drifts {
+			if err := enc.Encode(jsonDrift{Kind: d.Kind, Func: d.Func, Pos: d.Pos.String(), Msg: d.Msg}); err != nil {
+				return 0, err
+			}
+		}
+		return len(newRes.ParseErrors), nil
+	}
+	fmt.Fprintf(w, "%d invariant violations (old: %s, new: %s)\n", len(drifts), oldDir, newDir)
 	for i, d := range drifts {
-		fmt.Printf("%3d. [%s] %s at %s: %s\n", i+1, d.Kind, d.Func, d.Pos, d.Msg)
+		fmt.Fprintf(w, "%3d. [%s] %s at %s: %s\n", i+1, d.Kind, d.Func, d.Pos, d.Msg)
 	}
+	fmt.Fprintf(w, "%d reports in new version\n", len(ranked))
+	for i, r := range ranked {
+		if top > 0 && i >= top {
+			fmt.Fprintf(w, "... %d more (rerun with -top 0)\n", len(ranked)-i)
+			break
+		}
+		fmt.Fprintf(w, "%4d. %s\n", i+1, r.String())
+	}
+	return len(newRes.ParseErrors), nil
 }

@@ -1,0 +1,99 @@
+// Command deviantd serves the belief-inference checkers over HTTP as a
+// long-running daemon with content-addressed incremental re-analysis:
+// repeated requests over near-identical source trees re-run the frontend
+// only for the units whose transitive input closure changed, while the
+// ranked output stays byte-identical to a cold run.
+//
+// Usage:
+//
+//	deviantd [flags]
+//
+// Flags:
+//
+//	-addr a       listen address (default :8477)
+//	-j N          worker-goroutine ceiling per request (0 = all CPUs);
+//	              requests may ask for fewer via options.workers
+//	-concurrent N analyses running at once (default 2)
+//	-queue N      requests allowed to wait beyond the running ones before
+//	              new ones get 429 (default 8)
+//	-timeout d    per-request queue-wait + analysis budget (default 60s)
+//	-snapshot N   snapshot store capacity in translation units
+//	              (default 1024; higher = more reuse, more memory)
+//
+// Endpoints: POST /v1/analyze, POST /v1/diff, GET /v1/rules,
+// GET /healthz, GET /metrics — see package deviant/internal/service.
+//
+// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
+// balancers stop routing here, new analyses are refused, and the process
+// exits once in-flight requests finish (or after the drain deadline).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deviant/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("deviantd: ")
+
+	addr := flag.String("addr", ":8477", "listen address")
+	workers := flag.Int("j", 0, "worker-goroutine ceiling per request (0 = all CPUs)")
+	concurrent := flag.Int("concurrent", 0, "analyses running at once (0 = 2)")
+	queue := flag.Int("queue", 0, "waiting requests beyond the running ones (0 = 8)")
+	timeout := flag.Duration("timeout", 0, "per-request budget (0 = 60s)")
+	snapshotUnits := flag.Int("snapshot", 0, "snapshot store capacity in units (0 = 1024)")
+	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: deviantd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		MaxWorkers:    *workers,
+		MaxConcurrent: *concurrent,
+		QueueDepth:    *queue,
+		Timeout:       *timeout,
+		SnapshotUnits: *snapshotUnits,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("%s: draining (up to %s)", sig, *drainWait)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+		st := srv.Store().Stats()
+		log.Printf("drained; snapshot store served %d unit hits, %d misses", st.UnitHits, st.UnitMisses)
+	}
+}

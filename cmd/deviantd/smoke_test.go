@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The quickstart corpus (examples/quickstart): the two §3.1 bugs plus a
+// missing allocator check.
+const smokeSrc = `
+#include "kernel.h"
+void capi_recv(struct capi_ctr *card, int id) {
+	if (card == NULL) {
+		printk("capidrv-%d: incoming call on unbound id %d!\n",
+			card->contrnr, id);
+		return;
+	}
+	card->count = card->count + 1;
+}
+int mxser_write(struct tty_struct *tty, int n) {
+	struct mxser_struct *info = tty->driver_data;
+	if (!tty || !info)
+		return 0;
+	return info->len + n;
+}
+int grow_queue(int n) {
+	struct buf *b = kmalloc(n);
+	b->len = n;
+	return 0;
+}
+int grow_queue_checked(int n) {
+	struct buf *b = kmalloc(n);
+	if (!b)
+		return -1;
+	b->len = n;
+	return 0;
+}
+`
+
+const smokeHeader = `
+#define NULL 0
+struct capi_ctr { int contrnr; int count; };
+struct tty_struct { void *driver_data; };
+struct mxser_struct { int len; };
+struct buf { int len; };
+void *kmalloc(int n);
+void printk(const char *fmt, ...);
+`
+
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// TestServeSmoke is `make serve-smoke`: boot the daemon, POST the
+// quickstart corpus twice (cold, then warm from the snapshot store),
+// check both answers match the CLI bit for bit, and drain on SIGTERM.
+func TestServeSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	daemon := buildBinary(t, tmp, "deviant/cmd/deviantd")
+	cli := buildBinary(t, tmp, "deviant/cmd/deviant")
+
+	// The CLI's view of the corpus: the same tree on disk.
+	corpus := filepath.Join(tmp, "corpus")
+	for name, content := range map[string]string{
+		"drv.c":            smokeSrc,
+		"include/kernel.h": smokeHeader,
+	} {
+		path := filepath.Join(corpus, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cliOut, err := exec.Command(cli, "-json", corpus).Output()
+	if err != nil {
+		t.Fatalf("deviant -json: %v", err)
+	}
+	var cliReports []json.RawMessage
+	sc := bufio.NewScanner(bytes.NewReader(cliOut))
+	sc.Scan() // first line is the summary; the rest are reports
+	for sc.Scan() {
+		cliReports = append(cliReports, append(json.RawMessage(nil), sc.Bytes()...))
+	}
+	if len(cliReports) == 0 {
+		t.Fatal("CLI found no reports in the quickstart corpus")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(daemon, "-addr", addr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("daemon did not come up")
+	}
+
+	body, err := json.Marshal(map[string]any{"sources": map[string]string{
+		"drv.c":            smokeSrc,
+		"include/kernel.h": smokeHeader,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (reports []json.RawMessage, snapshot struct {
+		UnitsReused int `json:"units_reused"`
+		UnitsParsed int `json:"units_parsed"`
+	}) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var payload struct {
+			Reports  []json.RawMessage `json:"reports"`
+			Snapshot json.RawMessage   `json:"snapshot"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze: status %d", resp.StatusCode)
+		}
+		if err := json.Unmarshal(payload.Snapshot, &snapshot); err != nil {
+			t.Fatal(err)
+		}
+		return payload.Reports, snapshot
+	}
+
+	compare := func(label string, got []json.RawMessage) {
+		t.Helper()
+		if len(got) != len(cliReports) {
+			t.Fatalf("%s: daemon found %d reports, CLI %d", label, len(got), len(cliReports))
+		}
+		for i := range got {
+			var a, b any
+			if err := json.Unmarshal(got[i], &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(cliReports[i], &b); err != nil {
+				t.Fatal(err)
+			}
+			na, _ := json.Marshal(a)
+			nb, _ := json.Marshal(b)
+			if !bytes.Equal(na, nb) {
+				t.Errorf("%s: report %d differs:\ndaemon: %s\ncli:    %s", label, i+1, na, nb)
+			}
+		}
+	}
+
+	coldReports, coldSnap := post()
+	compare("cold", coldReports)
+	if coldSnap.UnitsParsed != 1 || coldSnap.UnitsReused != 0 {
+		t.Errorf("cold run snapshot: %+v", coldSnap)
+	}
+
+	warmReports, warmSnap := post()
+	compare("warm", warmReports)
+	if warmSnap.UnitsReused != 1 || warmSnap.UnitsParsed != 0 {
+		t.Errorf("warm run should reuse the lone unit: %+v", warmSnap)
+	}
+
+	// Drain: SIGTERM must flip healthz to 503 and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+// TestUsageExit pins that stray arguments exit 2, matching the CLI.
+func TestUsageExit(t *testing.T) {
+	bin := buildBinary(t, t.TempDir(), "deviant/cmd/deviantd")
+	err := exec.Command(bin, "stray").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("stray arg should exit non-zero, got %v", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("usage exit code = %d, want 2", code)
+	}
+}

@@ -72,6 +72,9 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // AllChecks enables every checker.
 func AllChecks() Checks { return core.AllChecks() }
 
+// ParseChecks parses a comma-separated checker subset ("null,fail").
+func ParseChecks(s string) (Checks, error) { return core.ParseChecks(s) }
+
 // DefaultConventions returns Linux/BSD-flavoured latent specifications.
 func DefaultConventions() *Conventions { return latent.Default() }
 

@@ -45,6 +45,10 @@ func New(conv *latent.Conventions) *Checker {
 // Name implements engine.Checker.
 func (c *Checker) Name() string { return "intr" }
 
+// SetP0 overrides the expected example probability used for z ranking
+// (deviant's -p0 flag; defaults to stats.DefaultP0).
+func (c *Checker) SetP0(p0 float64) { c.p0 = p0 }
+
 type state struct {
 	disabled bool
 }
@@ -122,7 +126,7 @@ func (c *Checker) FuncEnd(engine.State, *engine.Ctx) {}
 
 // Fork returns an empty checker sharing c's configuration, for one
 // worker's shard of functions.
-func (c *Checker) Fork() *Checker { return New(c.conv) }
+func (c *Checker) Fork() *Checker { f := New(c.conv); f.p0 = c.p0; return f }
 
 // Merge folds a fork's evidence into c: counters sum, site lists
 // concatenate in merge order and re-truncate to the cap.

@@ -273,6 +273,10 @@ func (s *state) Key() string {
 // Name implements engine.Checker.
 func (c *Checker) Name() string { return "lockvar" }
 
+// SetP0 overrides the expected example probability used for z ranking
+// (deviant's -p0 flag; defaults to stats.DefaultP0).
+func (c *Checker) SetP0(p0 float64) { c.p0 = p0 }
+
 // NewState implements engine.Checker. Beliefs about locks propagate
 // backward as well as forward (§3.3: "unlock(l) implies a belief that l
 // was locked before"): if the first lock event for l in the function is a

@@ -47,6 +47,10 @@ func New(prog *csem.Program, conv *latent.Conventions) *Checker {
 	return &Checker{prog: prog, conv: conv, p0: stats.DefaultP0}
 }
 
+// SetP0 overrides the expected example probability used for z ranking
+// (deviant's -p0 flag; defaults to stats.DefaultP0).
+func (c *Checker) SetP0(p0 float64) { c.p0 = p0 }
+
 func classify(fd *cast.FuncDecl) funcConv {
 	var fc funcConv
 	cast.Inspect(fd.Body, func(n cast.Node) bool {

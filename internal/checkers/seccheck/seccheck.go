@@ -58,6 +58,10 @@ func New(preds map[string]bool) *Checker {
 // Name implements engine.Checker.
 func (c *Checker) Name() string { return "seccheck" }
 
+// SetP0 overrides the expected example probability used for z ranking
+// (deviant's -p0 flag; defaults to stats.DefaultP0).
+func (c *Checker) SetP0(p0 float64) { c.p0 = p0 }
+
 // state carries the set of predicates that dominated the current point.
 type state struct {
 	checked map[string]bool

@@ -31,6 +31,7 @@ import (
 	"deviant/internal/engine"
 	"deviant/internal/latent"
 	"deviant/internal/report"
+	"deviant/internal/snapshot"
 	"deviant/internal/stats"
 )
 
@@ -55,6 +56,46 @@ func AllChecks() Checks {
 	return Checks{Null: true, Free: true, UserPtr: true, IsErr: true, Fail: true,
 		LockVar: true, Pairing: true, Intr: true, SecCheck: true, Reverse: true,
 		RetConv: true, Redundant: true}
+}
+
+// ParseChecks parses a comma-separated checker subset ("null,fail,..."),
+// the format shared by deviant's -checkers flag and deviantd's request
+// options. Empty and blank elements are ignored; an unknown name is an
+// error naming the offender.
+func ParseChecks(s string) (Checks, error) {
+	var c Checks
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "null":
+			c.Null = true
+		case "free":
+			c.Free = true
+		case "userptr":
+			c.UserPtr = true
+		case "iserr":
+			c.IsErr = true
+		case "fail":
+			c.Fail = true
+		case "lockvar":
+			c.LockVar = true
+		case "pairing":
+			c.Pairing = true
+		case "intr":
+			c.Intr = true
+		case "seccheck":
+			c.SecCheck = true
+		case "reverse":
+			c.Reverse = true
+		case "retconv":
+			c.RetConv = true
+		case "redundant":
+			c.Redundant = true
+		case "":
+		default:
+			return Checks{}, fmt.Errorf("unknown checker %q", strings.TrimSpace(name))
+		}
+	}
+	return c, nil
 }
 
 // Options configures a run.
@@ -85,6 +126,13 @@ type Options struct {
 	// is identical for every worker count. Zero or negative means
 	// runtime.NumCPU(); 1 forces the fully serial path.
 	Workers int
+	// Snapshot, when non-nil, caches per-unit frontend artifacts (parse
+	// trees, diagnostics, per-function CFGs) across runs keyed by
+	// transitive content digest. Units whose full input closure is
+	// unchanged skip preprocessing, parsing and CFG construction; the
+	// semantic index, every checker, rule derivation and ranking still run
+	// globally, so warm output is byte-identical to a cold run.
+	Snapshot *snapshot.Store
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -125,6 +173,10 @@ type Result struct {
 	FuncCount int
 	LineCount int
 
+	// Snapshot reports what this run reused from Options.Snapshot
+	// (zero-valued when no store was attached).
+	Snapshot snapshot.RunStats
+
 	// Timing is the per-stage wall clock of this run.
 	Timing Timing
 }
@@ -142,6 +194,12 @@ type Timing struct {
 	CFG        time.Duration // CFG construction
 	Checkers   map[string]time.Duration
 	Total      time.Duration
+
+	// TokenCacheHits / TokenCacheMisses count this run's shared
+	// header-scan cache traffic: hits are file scans the cache absorbed,
+	// misses are files that had to be lexed.
+	TokenCacheHits   int64
+	TokenCacheMisses int64
 }
 
 // String renders the timing table (the CLI's -stats output).
@@ -150,6 +208,11 @@ func (t Timing) String() string {
 	fmt.Fprintf(&b, "%-12s %12s  (preprocess %s + parse %s summed over units)\n",
 		"frontend", t.Frontend.Round(time.Microsecond),
 		t.Preprocess.Round(time.Microsecond), t.Parse.Round(time.Microsecond))
+	if t.TokenCacheHits+t.TokenCacheMisses > 0 {
+		fmt.Fprintf(&b, "%-12s %6d hits, %d misses (%.0f%% of file scans absorbed)\n",
+			"scan-cache", t.TokenCacheHits, t.TokenCacheMisses,
+			100*float64(t.TokenCacheHits)/float64(t.TokenCacheHits+t.TokenCacheMisses))
+	}
 	fmt.Fprintf(&b, "%-12s %12s\n", "semantic", t.Semantic.Round(time.Microsecond))
 	fmt.Fprintf(&b, "%-12s %12s\n", "cfg", t.CFG.Round(time.Microsecond))
 	names := make([]string, 0, len(t.Checkers))
@@ -190,6 +253,27 @@ func New(opts Options, conv *latent.Conventions) *Analyzer {
 	return &Analyzer{opts: opts, conv: conv}
 }
 
+// configFingerprint hashes every option that changes frontend or CFG
+// output into the snapshot cache key: include search dirs, predefined
+// macros, crash-path pruning, and the latent conventions (whose crash
+// routines drive pruning). Checker selection, p0 and memoization are
+// deliberately excluded — they run downstream of the cached artifacts.
+// Go's fmt prints maps with sorted keys, so the conventions render
+// deterministically.
+func (a *Analyzer) configFingerprint() string {
+	defs := make([]string, 0, len(a.opts.Defines))
+	for k, v := range a.opts.Defines {
+		defs = append(defs, k+"="+v)
+	}
+	sort.Strings(defs)
+	return snapshot.Fingerprint(
+		"includes:"+strings.Join(a.opts.IncludeDirs, "\x01"),
+		"defines:"+strings.Join(defs, "\x01"),
+		fmt.Sprintf("prune:%v", !a.opts.DisableCrashPruning),
+		fmt.Sprintf("conv:%+v", *a.conv),
+	)
+}
+
 // AnalyzeSources is a convenience over AnalyzeFS for in-memory code: every
 // ".c" key is a translation unit, everything else is includable.
 func (a *Analyzer) AnalyzeSources(srcs map[string]string) (*Result, error) {
@@ -227,7 +311,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		Timing:      Timing{Checkers: make(map[string]time.Duration)},
 	}
 
-	// ---- frontend: preprocess + parse each unit, concurrently.
+	// ---- frontend: preprocess + parse each unit, concurrently. With a
+	// snapshot store attached, a unit whose transitive content digest
+	// matches a cached artifact reuses the previous parse tree outright;
+	// only genuinely changed units pay for preprocessing and parsing.
 	type unitOut struct {
 		file    *cast.File
 		errs    []error
@@ -235,12 +322,26 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		lines   int
 		ppDur   time.Duration
 		parse   time.Duration
+		art     *snapshot.Artifact
+		reused  bool
+	}
+	snap := a.opts.Snapshot
+	var confFP string
+	if snap != nil {
+		confFP = a.configFingerprint()
 	}
 	cache := cpp.NewTokenCache()
 	outs := make([]unitOut, len(units))
 	feStart := time.Now()
 	parallelDo(workers, len(units), func(i int) {
 		o := &outs[i]
+		if snap != nil {
+			if art, ok := snap.Lookup(fs, confFP, units[i]); ok {
+				o.file, o.errs, o.lines = art.File, art.ParseErrors, art.Lines
+				o.art, o.reused = art, true
+				return
+			}
+		}
 		pp := cpp.New(fs, a.opts.IncludeDirs...)
 		pp.UseCache(cache)
 		for k, v := range a.opts.Defines {
@@ -263,8 +364,15 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		o.parse = time.Since(t0)
 		o.errs = append(o.errs, perrs...)
 		o.file = f
+		if snap != nil {
+			o.art = &snapshot.Artifact{File: f, ParseErrors: o.errs, Lines: o.lines}
+			snap.Add(fs, confFP, units[i], pp.IncludeDeps(), pp.MissedProbes(), o.art)
+		}
 	})
 	res.Timing.Frontend = time.Since(feStart)
+	cstats := cache.Stats()
+	res.Timing.TokenCacheHits, res.Timing.TokenCacheMisses = cstats.Hits, cstats.Misses
+	res.Snapshot.Enabled = snap != nil
 	files := make([]*cast.File, 0, len(units))
 	for i := range outs {
 		if outs[i].readErr != nil {
@@ -274,6 +382,13 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		res.ParseErrors = append(res.ParseErrors, outs[i].errs...)
 		res.Timing.Preprocess += outs[i].ppDur
 		res.Timing.Parse += outs[i].parse
+		if snap != nil {
+			if outs[i].reused {
+				res.Snapshot.UnitsReused++
+			} else {
+				res.Snapshot.UnitsParsed++
+			}
+		}
 		files = append(files, outs[i].file)
 	}
 
@@ -283,20 +398,56 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	res.FuncCount = len(res.Prog.Funcs)
 
 	// ---- CFGs, built once and shared by all checkers. Functions are
-	// independent, so construction is embarrassingly parallel.
+	// independent, so construction is embarrassingly parallel. With a
+	// snapshot store, graphs built from a cached unit's tree in a previous
+	// run are reused: the graph depends only on the function's AST and the
+	// pruning configuration, both covered by the artifact's cache key.
 	var noReturn func(string) bool
 	if !a.opts.DisableCrashPruning {
 		noReturn = a.conv.IsCrashRoutine
 	}
+	var owner map[*cast.FuncDecl]*snapshot.Artifact
+	if snap != nil {
+		owner = make(map[*cast.FuncDecl]*snapshot.Artifact, len(res.Prog.Funcs))
+		for i := range outs {
+			if outs[i].art == nil || outs[i].file == nil {
+				continue
+			}
+			for _, d := range outs[i].file.Decls {
+				if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+					owner[fd] = outs[i].art
+				}
+			}
+		}
+	}
 	names := res.Prog.FuncNames()
 	built := make([]*cfg.Graph, len(names))
+	graphReused := make([]bool, len(names))
 	t0 = time.Now()
 	parallelDo(workers, len(names), func(i int) {
-		built[i] = cfg.Build(res.Prog.Funcs[names[i]], cfg.Options{NoReturn: noReturn})
+		fd := res.Prog.Funcs[names[i]]
+		art := owner[fd]
+		if art != nil {
+			if g, ok := art.Graph(names[i]); ok {
+				built[i], graphReused[i] = g, true
+				return
+			}
+		}
+		built[i] = cfg.Build(fd, cfg.Options{NoReturn: noReturn})
+		if art != nil {
+			art.SetGraph(names[i], built[i])
+		}
 	})
 	graphs := make(map[string]*cfg.Graph, len(names))
 	for i, name := range names {
 		graphs[name] = built[i]
+		if snap != nil {
+			if graphReused[i] {
+				res.Snapshot.GraphsReused++
+			} else {
+				res.Snapshot.GraphsBuilt++
+			}
+		}
 	}
 	res.Timing.CFG = time.Since(t0)
 
@@ -366,7 +517,9 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			redundant.New(res.Prog).Run(col)
 		}},
 		{"retconv", a.opts.Checks.RetConv, func(col *report.Collector) {
-			retconv.New(res.Prog, a.conv).Run(col)
+			ch := retconv.New(res.Prog, a.conv)
+			ch.SetP0(a.opts.P0)
+			ch.Run(col)
 		}},
 		{"userptr", a.opts.Checks.UserPtr, func(col *report.Collector) {
 			userptr.New(res.Prog, a.conv).Run(col)
@@ -392,6 +545,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 
 	if a.opts.Checks.IsErr {
 		ch := iserr.New(a.conv)
+		ch.SetP0(a.opts.P0)
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*iserr.Checker)) })
@@ -400,6 +554,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	}
 	if a.opts.Checks.Fail {
 		ch := fail.New(a.conv)
+		ch.SetP0(a.opts.P0)
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*fail.Checker)) })
@@ -409,6 +564,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	}
 	if a.opts.Checks.LockVar {
 		ch := lockvar.New(res.Prog, a.conv)
+		ch.SetP0(a.opts.P0)
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*lockvar.Checker)) })
@@ -434,6 +590,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	}
 	if a.opts.Checks.Intr {
 		ch := intr.New(a.conv)
+		ch.SetP0(a.opts.P0)
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*intr.Checker)) })
@@ -442,6 +599,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	}
 	if a.opts.Checks.SecCheck {
 		ch := seccheck.New(nil)
+		ch.SetP0(a.opts.P0)
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*seccheck.Checker)) })

@@ -2,6 +2,7 @@ package cpp
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"deviant/internal/ctoken"
 )
@@ -22,6 +23,18 @@ import (
 type TokenCache struct {
 	mu      sync.RWMutex
 	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness. A hit is
+// a scan avoided; a miss is a file that had to be lexed (two workers
+// racing on the same cold header each count a miss, so misses can
+// slightly exceed the distinct file count). hits/(hits+misses) is the
+// fraction of file scans the cache absorbed.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
 }
 
 type cacheEntry struct {
@@ -39,8 +52,10 @@ func (c *TokenCache) get(name string) ([]ctoken.Token, []error, bool) {
 	e, ok := c.entries[name]
 	c.mu.RUnlock()
 	if !ok {
+		c.misses.Add(1)
 		return nil, nil, false
 	}
+	c.hits.Add(1)
 	return e.toks, e.errs, true
 }
 
@@ -57,4 +72,9 @@ func (c *TokenCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.entries)
+}
+
+// Stats returns the hit/miss counters accumulated so far.
+func (c *TokenCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }

@@ -82,6 +82,59 @@ func TestTokenCacheConditionalCompilation(t *testing.T) {
 	}
 }
 
+// TestTokenCacheStats checks the hit/miss counters: the first unit scans
+// itself plus the header cold (two misses), the second unit misses on its
+// own file but hits the shared header.
+func TestTokenCacheStats(t *testing.T) {
+	files := map[string]string{
+		"include/defs.h": "#define N 3\n",
+		"a.c":            "#include <defs.h>\nint a(void) { return N; }\n",
+		"b.c":            "#include <defs.h>\nint b(void) { return N + 1; }\n",
+	}
+	fs := MapFS(files)
+	cache := NewTokenCache()
+	for _, unit := range []string{"a.c", "b.c"} {
+		pp := New(fs, "include")
+		pp.UseCache(cache)
+		if _, err := pp.Process(unit); err != nil {
+			t.Fatalf("%s: %v", unit, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (a.c, b.c, defs.h each scanned once)", st.Misses)
+	}
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (defs.h reused by b.c)", st.Hits)
+	}
+}
+
+// TestPreprocessorDeps checks the include-dependency record: resolved
+// includes (transitively) and the search candidates probed before each
+// resolution.
+func TestPreprocessorDeps(t *testing.T) {
+	files := map[string]string{
+		"include/outer.h": "#include <inner.h>\n#define OUT 1\n",
+		"include/inner.h": "#define IN 2\n",
+		"u.c":             "#include <outer.h>\nint f(void) { return OUT + IN; }\n",
+	}
+	pp := New(MapFS(files), "include")
+	if _, err := pp.Process("u.c"); err != nil {
+		t.Fatal(err)
+	}
+	deps := pp.IncludeDeps()
+	want := []string{"include/inner.h", "include/outer.h"}
+	if len(deps) != len(want) || deps[0] != want[0] || deps[1] != want[1] {
+		t.Errorf("IncludeDeps = %v, want %v", deps, want)
+	}
+	// <outer.h> and <inner.h> are probed as bare names (the unit-relative
+	// candidate) before resolving under include/.
+	probes := pp.MissedProbes()
+	if len(probes) != 2 || probes[0] != "inner.h" || probes[1] != "outer.h" {
+		t.Errorf("MissedProbes = %v, want [inner.h outer.h]", probes)
+	}
+}
+
 // TestTokenCacheConcurrent exercises the cache from many goroutines; run
 // with -race.
 func TestTokenCacheConcurrent(t *testing.T) {

@@ -58,7 +58,8 @@ type Preprocessor struct {
 	errs     []error
 	depth    int // include nesting depth
 	included map[string]bool
-	cache    *TokenCache // optional shared scan cache
+	missing  map[string]bool // include candidates probed and not found
+	cache    *TokenCache     // optional shared scan cache
 }
 
 const maxIncludeDepth = 40
@@ -87,6 +88,32 @@ func (p *Preprocessor) Define(name, value string) {
 
 // Errs returns accumulated preprocessing errors.
 func (p *Preprocessor) Errs() []error { return p.errs }
+
+// IncludeDeps returns the resolved path of every file pulled in via
+// #include while expanding the unit, sorted. Together with the unit
+// itself these are the files whose contents determine the expanded token
+// stream, which is what a content-addressed frontend cache must hash.
+func (p *Preprocessor) IncludeDeps() []string {
+	deps := make([]string, 0, len(p.included))
+	for name := range p.included {
+		deps = append(deps, name)
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// MissedProbes returns every include search candidate that was probed and
+// not found, sorted. A cache that records these can detect that creating
+// such a file would shadow a previously resolved include and change the
+// expansion, even though every previously read file is unchanged.
+func (p *Preprocessor) MissedProbes() []string {
+	probes := make([]string, 0, len(p.missing))
+	for name := range p.missing {
+		probes = append(probes, name)
+	}
+	sort.Strings(probes)
+	return probes
+}
 
 // Macros returns the names of all currently defined macros, sorted.
 func (p *Preprocessor) Macros() []string {
@@ -387,6 +414,10 @@ func (p *Preprocessor) include(rest []ctoken.Token) {
 			p.processFile(c, src)
 			return
 		}
+		if p.missing == nil {
+			p.missing = make(map[string]bool)
+		}
+		p.missing[c] = true
 	}
 	p.errorf(rest[0].Pos, "include %q not found", name)
 }

@@ -219,6 +219,41 @@ func (c *Collector) TrustFromMustErrors() *stats.TrustModel {
 	return tm
 }
 
+// JSONReport is the machine-readable shape of one ranked report, shared
+// by the CLI's -json mode and the deviantd service responses so scripts
+// see one schema everywhere.
+type JSONReport struct {
+	Rank     int     `json:"rank"`
+	Checker  string  `json:"checker"`
+	File     string  `json:"file"`
+	Line     int     `json:"line"`
+	Col      int     `json:"col"`
+	Rule     string  `json:"rule"`
+	Message  string  `json:"message"`
+	Definite bool    `json:"definite"` // MUST-belief contradiction
+	Z        float64 `json:"z,omitempty"`
+	Checks   int     `json:"checks,omitempty"`
+	Examples int     `json:"examples,omitempty"`
+}
+
+// ToJSON converts one ranked report (1-based rank) to its wire shape.
+// Statistical evidence fields are populated only for MAY-belief errors;
+// MUST contradictions are marked definite and carry no z.
+func ToJSON(rank int, r *Report) JSONReport {
+	jr := JSONReport{
+		Rank: rank, Checker: r.Checker,
+		File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Col,
+		Rule: r.Rule, Message: r.Message,
+		Definite: !r.Statistical(),
+	}
+	if r.Statistical() {
+		jr.Z = r.Z
+		jr.Checks = r.Counter.Checks
+		jr.Examples = r.Counter.Examples
+	}
+	return jr
+}
+
 // ByChecker returns the ranked reports produced by one checker.
 func (c *Collector) ByChecker(name string) []Report {
 	var out []Report

@@ -1,0 +1,483 @@
+// Package service implements deviantd's HTTP/JSON API: a resident
+// analysis server that runs requests through the parallel pipeline with
+// a shared content-addressed snapshot store, so repeated analyses of
+// near-identical trees only pay the frontend for the units that changed.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  analyze an in-memory source tree
+//	POST /v1/diff     §4.2 cross-version check of two trees
+//	GET  /v1/rules    derived rule instances from the last analysis
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     Prometheus-style counters, incl. snapshot stats
+//
+// Admission control is two-level: at most MaxConcurrent analyses run at
+// once, at most QueueDepth more wait; beyond that requests are rejected
+// immediately with 429 so clients back off instead of piling up. A
+// request that waits or runs past Timeout gets 504 (its work completes in
+// the background and still warms the snapshot store). SIGTERM handling
+// lives in cmd/deviantd: it marks the server draining (healthz flips to
+// 503, new analyses get 503) and lets http.Server.Shutdown wait for
+// in-flight requests.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deviant"
+	"deviant/internal/report"
+	"deviant/internal/snapshot"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxWorkers clamps the per-request worker budget (0 = NumCPU).
+	MaxWorkers int
+	// MaxConcurrent is how many analyses run at once (0 = 2).
+	MaxConcurrent int
+	// QueueDepth is how many requests may wait beyond the running ones
+	// before new ones are rejected with 429 (0 = 8).
+	QueueDepth int
+	// Timeout bounds one request's queue wait plus analysis (0 = 60s).
+	Timeout time.Duration
+	// SnapshotUnits caps the snapshot store (0 = snapshot default).
+	SnapshotUnits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.NumCPU()
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the deviantd HTTP handler.
+type Server struct {
+	cfg   Config
+	store *snapshot.Store
+	mux   *http.ServeMux
+
+	slots chan struct{} // admission: running + queued
+	run   chan struct{} // running
+
+	draining atomic.Bool
+
+	requests  atomic.Int64 // analyses + diffs accepted
+	rejected  atomic.Int64 // 429s
+	timeouts  atomic.Int64 // 504s
+	inflight  atomic.Int64
+	analyseNs atomic.Int64 // cumulative analysis wall clock
+
+	mu        sync.Mutex
+	lastRules *rulesResponse
+	analyses  int64 // completed analyze requests, ids /v1/rules snapshots
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: snapshot.NewStore(cfg.SnapshotUnits),
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		run:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the server into (or out of) drain mode: healthz
+// reports 503 so load balancers stop routing here, and new analysis
+// requests are refused while in-flight ones finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Store exposes the snapshot store (for stats in tests and cmd/deviantd).
+func (s *Server) Store() *snapshot.Store { return s.store }
+
+// requestOptions is the per-request analysis configuration, mirroring the
+// CLI flags of the same names.
+type requestOptions struct {
+	Checkers string  `json:"checkers,omitempty"`
+	P0       float64 `json:"p0,omitempty"`
+	NoMemo   bool    `json:"no_memo,omitempty"`
+	NoPrune  bool    `json:"no_prune,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+	Top      int     `json:"top,omitempty"`
+	Trust    bool    `json:"trust,omitempty"`
+}
+
+type analyzeRequest struct {
+	Sources map[string]string `json:"sources"`
+	Options requestOptions    `json:"options"`
+}
+
+type diffRequest struct {
+	OldSources map[string]string `json:"old_sources"`
+	NewSources map[string]string `json:"new_sources"`
+	Options    requestOptions    `json:"options"`
+}
+
+// analyzeResponse mirrors the CLI's -json output: the same summary
+// fields and the same report.JSONReport shape, plus the run's snapshot
+// reuse counters.
+type analyzeResponse struct {
+	Units       int                 `json:"units"`
+	Functions   int                 `json:"functions"`
+	Lines       int                 `json:"lines"`
+	ParseErrors int                 `json:"parse_errors"`
+	Reports     []report.JSONReport `json:"reports"`
+	Snapshot    snapshot.RunStats   `json:"snapshot"`
+}
+
+type jsonDrift struct {
+	Kind string `json:"kind"`
+	Func string `json:"func"`
+	Pos  string `json:"pos"`
+	Msg  string `json:"msg"`
+}
+
+type diffResponse struct {
+	Drifts []jsonDrift     `json:"drifts"`
+	New    analyzeResponse `json:"new"`
+}
+
+type jsonRule struct {
+	Kind     string  `json:"kind"` // pair | can-fail | lock
+	A        string  `json:"a"`
+	B        string  `json:"b,omitempty"`
+	Checks   int     `json:"checks"`
+	Examples int     `json:"examples"`
+	Z        float64 `json:"z"`
+}
+
+type rulesResponse struct {
+	Analysis int64      `json:"analysis"` // 0 until the first analyze
+	Rules    []jsonRule `json:"rules"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// buildOptions maps request options onto core options, clamping the
+// worker budget to the server's configured ceiling.
+func (s *Server) buildOptions(ro requestOptions) (deviant.Options, error) {
+	opts := deviant.DefaultOptions()
+	if ro.Checkers != "" {
+		c, err := deviant.ParseChecks(ro.Checkers)
+		if err != nil {
+			return opts, err
+		}
+		opts.Checks = c
+	}
+	if ro.P0 != 0 {
+		if ro.P0 < 0 || ro.P0 >= 1 {
+			return opts, fmt.Errorf("p0 %v out of range (0, 1)", ro.P0)
+		}
+		opts.P0 = ro.P0
+	}
+	opts.Memoize = !ro.NoMemo
+	opts.DisableCrashPruning = ro.NoPrune
+	opts.Workers = s.cfg.MaxWorkers
+	if ro.Workers > 0 && ro.Workers < s.cfg.MaxWorkers {
+		opts.Workers = ro.Workers
+	}
+	opts.Snapshot = s.store
+	return opts, nil
+}
+
+// admit reserves capacity for one analysis. It returns a release func on
+// success, or an HTTP status + message when the request cannot run.
+func (s *Server) admit(ctx context.Context) (func(), int, string) {
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, "server is draining"
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return nil, http.StatusTooManyRequests, "queue full, retry later"
+	}
+	select {
+	case s.run <- struct{}{}:
+	case <-ctx.Done():
+		<-s.slots
+		s.timeouts.Add(1)
+		return nil, http.StatusGatewayTimeout, "timed out waiting for a worker slot"
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-s.run
+			<-s.slots
+		})
+	}, 0, ""
+}
+
+// runAnalysis executes fn under the admission tokens and the request
+// timeout. On timeout the analysis keeps running in the background —
+// still holding its run token, still warming the snapshot store — and
+// the client gets 504.
+func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, int, string) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	release, status, msg := s.admit(ctx)
+	if release == nil {
+		return nil, status, msg
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	type outcome struct {
+		v   any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		defer s.inflight.Add(-1)
+		t := time.Now()
+		v, err := fn()
+		s.analyseNs.Add(int64(time.Since(t)))
+		done <- outcome{v, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return nil, http.StatusInternalServerError, out.err.Error()
+		}
+		return out.v, 0, ""
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, http.StatusGatewayTimeout, "analysis timed out"
+	}
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func validateSources(sources map[string]string) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("no sources")
+	}
+	for name := range sources {
+		if strings.HasSuffix(name, ".c") {
+			return nil
+		}
+	}
+	return fmt.Errorf("no .c translation units in sources")
+}
+
+// render converts a finished run into the wire shape, applying the
+// request's presentation options (top, trust).
+func render(res *deviant.Result, units int, ro requestOptions) analyzeResponse {
+	ranked := res.Reports.Ranked()
+	if ro.Trust {
+		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
+	}
+	if ro.Top > 0 && len(ranked) > ro.Top {
+		ranked = ranked[:ro.Top]
+	}
+	reports := make([]report.JSONReport, len(ranked))
+	for i := range ranked {
+		reports[i] = report.ToJSON(i+1, &ranked[i])
+	}
+	return analyzeResponse{
+		Units:       units,
+		Functions:   res.FuncCount,
+		Lines:       res.LineCount,
+		ParseErrors: len(res.ParseErrors),
+		Reports:     reports,
+		Snapshot:    res.Snapshot,
+	}
+}
+
+func countUnits(sources map[string]string) int {
+	n := 0
+	for name := range sources {
+		if strings.HasSuffix(name, ".c") {
+			n++
+		}
+	}
+	return n
+}
+
+// rulesFrom flattens a result's derived rule instances, each kind in its
+// own ranked order.
+func rulesFrom(res *deviant.Result) []jsonRule {
+	rules := []jsonRule{}
+	for _, p := range res.Pairs {
+		rules = append(rules, jsonRule{Kind: "pair", A: p.A, B: p.B,
+			Checks: p.Checks, Examples: p.Examples(), Z: p.Z})
+	}
+	for _, d := range res.CanFail {
+		rules = append(rules, jsonRule{Kind: "can-fail", A: d.Func,
+			Checks: d.Checks, Examples: d.Examples(), Z: d.Z})
+	}
+	for _, b := range res.LockBindings {
+		rules = append(rules, jsonRule{Kind: "lock", A: b.Lock, B: b.Var,
+			Checks: b.Checks, Examples: b.Examples(), Z: b.Z})
+	}
+	return rules
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := validateSources(req.Sources); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := s.buildOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, status, msg := s.runAnalysis(r.Context(), func() (any, error) {
+		return deviant.Analyze(req.Sources, opts)
+	})
+	if status != 0 {
+		writeError(w, status, "%s", msg)
+		return
+	}
+	res := v.(*deviant.Result)
+	s.mu.Lock()
+	s.analyses++
+	s.lastRules = &rulesResponse{Analysis: s.analyses, Rules: rulesFrom(res)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, render(res, countUnits(req.Sources), req.Options))
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	var req diffRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := validateSources(req.OldSources); err != nil {
+		writeError(w, http.StatusBadRequest, "old_sources: %v", err)
+		return
+	}
+	if err := validateSources(req.NewSources); err != nil {
+		writeError(w, http.StatusBadRequest, "new_sources: %v", err)
+		return
+	}
+	opts, err := s.buildOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type diffOut struct {
+		drifts []deviant.Drift
+		res    *deviant.Result
+	}
+	v, status, msg := s.runAnalysis(r.Context(), func() (any, error) {
+		drifts, res, err := deviant.Diff(req.OldSources, req.NewSources, opts)
+		if err != nil {
+			return nil, err
+		}
+		return diffOut{drifts, res}, nil
+	})
+	if status != 0 {
+		writeError(w, status, "%s", msg)
+		return
+	}
+	out := v.(diffOut)
+	drifts := make([]jsonDrift, len(out.drifts))
+	for i, d := range out.drifts {
+		drifts[i] = jsonDrift{Kind: d.Kind, Func: d.Func, Pos: d.Pos.String(), Msg: d.Msg}
+	}
+	writeJSON(w, http.StatusOK, diffResponse{
+		Drifts: drifts,
+		New:    render(out.res, countUnits(req.NewSources), req.Options),
+	})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := s.lastRules
+	s.mu.Unlock()
+	if resp == nil {
+		writeJSON(w, http.StatusOK, rulesResponse{Rules: []jsonRule{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	metrics := map[string]int64{
+		"deviantd_requests_total":          s.requests.Load(),
+		"deviantd_requests_inflight":       s.inflight.Load(),
+		"deviantd_requests_rejected_total": s.rejected.Load(),
+		"deviantd_requests_timeout_total":  s.timeouts.Load(),
+		"deviantd_analysis_seconds_total":  int64(time.Duration(s.analyseNs.Load()).Seconds()),
+		"deviantd_snapshot_unit_hits":      st.UnitHits,
+		"deviantd_snapshot_unit_misses":    st.UnitMisses,
+		"deviantd_snapshot_evictions":      st.Evictions,
+		"deviantd_snapshot_units":          int64(st.Units),
+		"deviantd_snapshot_graphs":         int64(st.Graphs),
+	}
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, metrics[name])
+	}
+}

@@ -1,0 +1,322 @@
+// Package snapshot is a content-addressed cache of per-translation-unit
+// frontend results, the substrate of deviantd's incremental re-analysis.
+//
+// The analysis workflow the paper describes is iterative: checkers re-run
+// after every edit and after every inspected report, and §4.2's
+// cross-version diffing analyzes near-identical trees back to back. Most
+// of each run's frontend work — preprocessing, parsing, CFG construction —
+// is therefore identical to the previous run's. A Store keys every unit's
+// frontend artifact (parse tree, parse diagnostics, line count, and the
+// per-function CFGs built from that tree) by the unit's *transitive
+// content digest*: a hash of the unit's own bytes, the bytes of every file
+// its #includes resolved to, the include search candidates that were
+// probed and found missing (creating one would shadow a resolved include),
+// and a caller-supplied configuration fingerprint. A warm lookup re-hashes
+// those inputs against the current file provider; any drift in any of them
+// changes the key and forces a cold re-parse of exactly that unit.
+//
+// Invalidation rules (what forces a unit to re-parse):
+//
+//  1. the unit's own content changed;
+//  2. the content of any transitively included file changed;
+//  3. a file appeared at a path that was previously probed and missing
+//     (include shadowing);
+//  4. the configuration fingerprint changed — include dirs, -D defines,
+//     crash-path pruning, or the latent conventions;
+//  5. the entry was evicted (the store holds at most MaxUnits artifacts,
+//     least recently used first out).
+//
+// Artifacts are shared, not copied: the parse tree and CFGs are immutable
+// after construction (the parallel pipeline already shares them across
+// checker goroutines), so one cached artifact may serve many concurrent
+// requests.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/cpp"
+)
+
+// DefaultMaxUnits bounds a Store's resident artifacts when NewStore is
+// given no explicit capacity.
+const DefaultMaxUnits = 1024
+
+// Artifact is everything the frontend produced for one translation unit.
+type Artifact struct {
+	// File is the unit's parse tree.
+	File *cast.File
+	// ParseErrors are the unit's preprocessing and parse diagnostics.
+	ParseErrors []error
+	// Lines is the unit's source line count.
+	Lines int
+
+	mu     sync.Mutex
+	graphs map[string]*cfg.Graph
+}
+
+// Graph returns the cached CFG for the named function, if one was built
+// from this artifact's tree.
+func (a *Artifact) Graph(fn string) (*cfg.Graph, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.graphs[fn]
+	return g, ok
+}
+
+// SetGraph records the CFG built for the named function. The graph must
+// be immutable from here on: it may be served to concurrent runs.
+func (a *Artifact) SetGraph(fn string, g *cfg.Graph) {
+	a.mu.Lock()
+	if a.graphs == nil {
+		a.graphs = make(map[string]*cfg.Graph)
+	}
+	a.graphs[fn] = g
+	a.mu.Unlock()
+}
+
+// GraphCount returns the number of CFGs cached on this artifact.
+func (a *Artifact) GraphCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.graphs)
+}
+
+// Stats is a point-in-time snapshot of store effectiveness.
+type Stats struct {
+	UnitHits   int64 // lookups answered from the store
+	UnitMisses int64 // lookups that forced a cold frontend run
+	Evictions  int64 // artifacts dropped by the LRU bound
+	Units      int   // artifacts currently resident
+	Graphs     int   // CFGs currently resident across all artifacts
+}
+
+// RunStats reports what one analysis run reused from a Store. It is
+// carried on core.Result so callers (the -stats flag, the service's
+// response body and /metrics) can see incrementality working.
+type RunStats struct {
+	Enabled      bool `json:"enabled"`
+	UnitsReused  int  `json:"units_reused"`
+	UnitsParsed  int  `json:"units_parsed"`
+	GraphsReused int  `json:"graphs_reused"`
+	GraphsBuilt  int  `json:"graphs_built"`
+}
+
+// dep is one file the expansion of a unit consulted: either a resolved
+// include (present, digest matters) or a probed-and-missing search
+// candidate (absent, existence matters).
+type dep struct {
+	path    string
+	present bool
+}
+
+// depList remembers how a (fingerprint, unit, unit-digest) expanded last
+// time, so a warm lookup knows which files to hash.
+type depList struct {
+	deps []dep
+	key  string // full transitive key the deps hashed to when recorded
+}
+
+type entry struct {
+	art     *Artifact
+	depKey  string // owning depList, for eviction cleanup
+	lastUse uint64
+}
+
+// Store is the content-addressed artifact cache. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	maxUnits int
+	entries  map[string]*entry   // transitive key -> artifact
+	depLists map[string]*depList // fingerprint|unit|unitDigest -> last dep set
+	tick     uint64
+
+	hits, misses, evictions atomic.Int64
+}
+
+// NewStore returns an empty store holding at most maxUnits artifacts
+// (<= 0 means DefaultMaxUnits).
+func NewStore(maxUnits int) *Store {
+	if maxUnits <= 0 {
+		maxUnits = DefaultMaxUnits
+	}
+	return &Store{
+		maxUnits: maxUnits,
+		entries:  make(map[string]*entry),
+		depLists: make(map[string]*depList),
+	}
+}
+
+// Fingerprint hashes an arbitrary list of configuration strings into a
+// cache-key component. Callers fold in everything that changes frontend
+// or CFG output: include dirs, defines, pruning, conventions.
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func digest(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:])
+}
+
+// transitiveKey hashes the full input closure of one unit against the
+// current provider state. ok is false when a recorded dependency drifted
+// in a way that cannot hash (a previously read file vanished, or a
+// previously missing probe now resolves) — the caller must treat that as
+// a miss.
+func transitiveKey(fs cpp.FileProvider, fingerprint, unit, unitDigest string, deps []dep) (string, bool) {
+	h := sha256.New()
+	w := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	w(fingerprint)
+	w(unit)
+	w(unitDigest)
+	for _, d := range deps {
+		src, err := fs.ReadFile(d.path)
+		if d.present {
+			if err != nil {
+				return "", false
+			}
+			w("+" + d.path)
+			w(digest(src))
+		} else {
+			if err == nil {
+				return "", false
+			}
+			w("-" + d.path)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+func depKeyOf(fingerprint, unit, unitDigest string) string {
+	return fingerprint + "\x00" + unit + "\x00" + unitDigest
+}
+
+// Lookup returns the cached artifact for unit if the unit's transitive
+// content closure — as recorded by the last Add for this (fingerprint,
+// unit, content) — hashes to a resident entry under the current provider
+// state.
+func (s *Store) Lookup(fs cpp.FileProvider, fingerprint, unit string) (*Artifact, bool) {
+	src, err := fs.ReadFile(unit)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	dk := depKeyOf(fingerprint, unit, digest(src))
+	s.mu.Lock()
+	dl, ok := s.depLists[dk]
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	// Hash the dependency closure outside the lock: ReadFile may hit disk.
+	key, ok := transitiveKey(fs, fingerprint, unit, digest(src), dl.deps)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.tick++
+	e.lastUse = s.tick
+	s.hits.Add(1)
+	return e.art, true
+}
+
+// Add records the artifact produced by a cold frontend run over unit.
+// includes are the resolved transitive include paths and missedProbes the
+// probed-and-absent search candidates, both as reported by the
+// preprocessor. The provider must still hold the bytes the frontend read
+// (providers are per-request snapshots; nothing mutates them mid-run).
+func (s *Store) Add(fs cpp.FileProvider, fingerprint, unit string, includes, missedProbes []string, art *Artifact) {
+	src, err := fs.ReadFile(unit)
+	if err != nil {
+		return
+	}
+	deps := make([]dep, 0, len(includes)+len(missedProbes))
+	for _, p := range includes {
+		deps = append(deps, dep{path: p, present: true})
+	}
+	for _, p := range missedProbes {
+		deps = append(deps, dep{path: p, present: false})
+	}
+	unitDigest := digest(src)
+	key, ok := transitiveKey(fs, fingerprint, unit, unitDigest, deps)
+	if !ok {
+		return
+	}
+	dk := depKeyOf(fingerprint, unit, unitDigest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	s.depLists[dk] = &depList{deps: deps, key: key}
+	if _, exists := s.entries[key]; !exists {
+		s.entries[key] = &entry{art: art, depKey: dk, lastUse: s.tick}
+		s.evictLocked()
+	} else {
+		s.entries[key].lastUse = s.tick
+	}
+}
+
+// evictLocked drops least-recently-used entries until the store is within
+// bounds. Callers hold s.mu.
+func (s *Store) evictLocked() {
+	for len(s.entries) > s.maxUnits {
+		var victimKey string
+		var victim *entry
+		for k, e := range s.entries {
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if dl, ok := s.depLists[victim.depKey]; ok && dl.key == victimKey {
+			delete(s.depLists, victim.depKey)
+		}
+		delete(s.entries, victimKey)
+		s.evictions.Add(1)
+	}
+}
+
+// Stats returns current counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	units := len(s.entries)
+	graphs := 0
+	for _, e := range s.entries {
+		graphs += e.art.GraphCount()
+	}
+	s.mu.Unlock()
+	return Stats{
+		UnitHits:   s.hits.Load(),
+		UnitMisses: s.misses.Load(),
+		Evictions:  s.evictions.Load(),
+		Units:      units,
+		Graphs:     graphs,
+	}
+}
+
+// Flush empties the store (counters are preserved). Used when a caller
+// knows the world changed in a way the digests cannot see.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	s.entries = make(map[string]*entry)
+	s.depLists = make(map[string]*depList)
+	s.mu.Unlock()
+}

@@ -1,0 +1,166 @@
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cfg"
+	"deviant/internal/cpp"
+)
+
+const fp = "test-fingerprint"
+
+// addUnit runs the real preprocessor over unit so the recorded dep list
+// matches what core records, then stores a marker artifact.
+func addUnit(t *testing.T, s *Store, fs cpp.MapFS, unit string) *Artifact {
+	t.Helper()
+	pp := cpp.New(fs, "include")
+	if _, err := pp.Process(unit); err != nil {
+		t.Fatalf("%s: %v", unit, err)
+	}
+	art := &Artifact{File: &cast.File{Name: unit}, Lines: 1}
+	s.Add(fs, fp, unit, pp.IncludeDeps(), pp.MissedProbes(), art)
+	return art
+}
+
+func sources() cpp.MapFS {
+	return cpp.MapFS{
+		"include/defs.h": "#define N 3\n",
+		"a.c":            "#include <defs.h>\nint a(void) { return N; }\n",
+		"b.c":            "#include <defs.h>\nint b(void) { return N + 1; }\n",
+	}
+}
+
+func TestStoreHitOnIdenticalClosure(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	want := addUnit(t, s, fs, "a.c")
+	got, ok := s.Lookup(fs, fp, "a.c")
+	if !ok || got != want {
+		t.Fatalf("lookup after add: ok=%v art=%p want %p", ok, got, want)
+	}
+	// A second provider with byte-identical contents hits too: the store
+	// is content-addressed, not provider-addressed.
+	fs2 := sources()
+	if _, ok := s.Lookup(fs2, fp, "a.c"); !ok {
+		t.Error("identical content through a fresh provider missed")
+	}
+}
+
+func TestStoreMissOnUnitEdit(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	addUnit(t, s, fs, "a.c")
+	fs["a.c"] = "#include <defs.h>\nint a(void) { return N + 9; }\n"
+	if _, ok := s.Lookup(fs, fp, "a.c"); ok {
+		t.Error("edited unit content still hit")
+	}
+}
+
+func TestStoreMissOnHeaderEdit(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	addUnit(t, s, fs, "a.c")
+	fs["include/defs.h"] = "#define N 4\n"
+	if _, ok := s.Lookup(fs, fp, "a.c"); ok {
+		t.Error("edited transitive include still hit")
+	}
+}
+
+func TestStoreMissOnIncludeShadowing(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	addUnit(t, s, fs, "a.c")
+	// <defs.h> was probed at the bare path "defs.h" first and missed;
+	// creating that file would shadow include/defs.h.
+	fs["defs.h"] = "#define N 99\n"
+	if _, ok := s.Lookup(fs, fp, "a.c"); ok {
+		t.Error("shadowing include appeared but lookup still hit")
+	}
+}
+
+func TestStoreMissOnFingerprintChange(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	addUnit(t, s, fs, "a.c")
+	if _, ok := s.Lookup(fs, Fingerprint("other", "config"), "a.c"); ok {
+		t.Error("different configuration fingerprint still hit")
+	}
+}
+
+func TestStoreHitAfterEditRevert(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	addUnit(t, s, fs, "a.c")
+	orig := fs["a.c"]
+	fs["a.c"] = "int a(void) { return 0; }\n"
+	addUnit(t, s, fs, "a.c")
+	fs["a.c"] = orig
+	if _, ok := s.Lookup(fs, fp, "a.c"); !ok {
+		t.Error("reverting an edit should hit the original artifact again")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(2)
+	fs := cpp.MapFS{}
+	for i := 0; i < 3; i++ {
+		unit := fmt.Sprintf("u%d.c", i)
+		fs[unit] = fmt.Sprintf("int f%d(void) { return %d; }\n", i, i)
+		addUnit(t, s, fs, unit)
+	}
+	if _, ok := s.Lookup(fs, fp, "u0.c"); ok {
+		t.Error("oldest unit survived eviction with capacity 2")
+	}
+	for _, unit := range []string{"u1.c", "u2.c"} {
+		if _, ok := s.Lookup(fs, fp, unit); !ok {
+			t.Errorf("%s evicted, want resident", unit)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Units != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 units", st)
+	}
+}
+
+func TestStoreGraphCache(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	art := addUnit(t, s, fs, "a.c")
+	if _, ok := art.Graph("a"); ok {
+		t.Fatal("graph present before SetGraph")
+	}
+	g := &cfg.Graph{}
+	art.SetGraph("a", g)
+	if got, ok := art.Graph("a"); !ok || got != g {
+		t.Fatalf("Graph(a) = %p/%v, want %p", got, ok, g)
+	}
+	if st := s.Stats(); st.Graphs != 1 {
+		t.Errorf("Stats.Graphs = %d, want 1", st.Graphs)
+	}
+}
+
+func TestStoreCountersAndConcurrency(t *testing.T) {
+	s := NewStore(0)
+	fs := sources()
+	addUnit(t, s, fs, "a.c")
+	addUnit(t, s, fs, "b.c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Lookup(fs, fp, "a.c")
+				s.Lookup(fs, fp, "b.c")
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.UnitHits != 800 {
+		t.Errorf("UnitHits = %d, want 800", st.UnitHits)
+	}
+}
