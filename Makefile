@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke service-race serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json obs-race service-race serve-smoke ci
 
 all: build
 
@@ -29,6 +29,20 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkAnalyze(Serial|Parallel)$$' -benchtime=1x .
 
+# Observability overhead snapshot: serial baseline vs instrumentation
+# compiled-in-but-off vs tracing+metrics on, archived as machine-readable
+# JSON. One iteration each — enough to keep the three benchmarks honest
+# in CI; run with BENCHTIME=5x (or more) for stable overhead numbers.
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run='^$$' -bench='^BenchmarkAnalyze(Serial|InstrumentedOff|InstrumentedOn)$$' \
+		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# The observability layer under the race detector: tracer lane
+# allocation and the metrics registry are hammered from many goroutines.
+obs-race:
+	$(GO) test -race ./internal/obs/...
+
 # The service suite under the race detector (also part of `race`, but
 # kept callable on its own for quick iteration on deviantd).
 service-race:
@@ -39,4 +53,4 @@ service-race:
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -v ./cmd/deviantd
 
-ci: vet build race bench-smoke service-race serve-smoke
+ci: vet build race bench-smoke obs-race service-race serve-smoke bench-json

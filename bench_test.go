@@ -130,6 +130,48 @@ func BenchmarkAnalyzeSerial(b *testing.B) { benchAnalyze(b, 1) }
 // BenchmarkAnalyzeSerial.
 func BenchmarkAnalyzeParallel(b *testing.B) { benchAnalyze(b, runtime.NumCPU()) }
 
+// benchAnalyzeObs measures the observability layer's overhead on the
+// serial pipeline. traced=false runs with instrumentation compiled in but
+// disabled (nil tracer, no registry) — the configuration every library
+// user gets by default, which must stay within 2% of the
+// pre-instrumentation BenchmarkAnalyzeSerial. traced=true attaches a
+// tracer and folds the run into a metrics registry, pricing full
+// observability.
+func benchAnalyzeObs(b *testing.B, traced bool) {
+	b.Helper()
+	c := corpus.Generate(corpus.Linux247())
+	b.ReportMetric(float64(c.Lines), "source-lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions()
+		opts.Workers = 1
+		if traced {
+			opts.Tracer = NewTracer()
+		}
+		res, err := Analyze(c.Files, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reports.Len() == 0 {
+			b.Fatal("no reports")
+		}
+		if traced {
+			res.RecordMetrics(NewRegistry())
+			if len(opts.Tracer.Spans()) == 0 {
+				b.Fatal("no spans recorded")
+			}
+		}
+	}
+}
+
+// BenchmarkAnalyzeInstrumentedOff is the serial pipeline with tracing and
+// metrics disabled: every instrumentation site pays only its nil check.
+func BenchmarkAnalyzeInstrumentedOff(b *testing.B) { benchAnalyzeObs(b, false) }
+
+// BenchmarkAnalyzeInstrumentedOn is the serial pipeline with a tracer
+// attached and the run folded into a metrics registry.
+func BenchmarkAnalyzeInstrumentedOn(b *testing.B) { benchAnalyzeObs(b, true) }
+
 // BenchmarkPreprocess measures the C preprocessor alone.
 func BenchmarkPreprocess(b *testing.B) {
 	c := corpus.Generate(corpus.Linux247())

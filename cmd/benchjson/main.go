@@ -1,0 +1,63 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark numbers can be archived and
+// diffed by machines instead of scraped from logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Analyze' . | benchjson > BENCH.json
+//
+// Only result lines are consumed ("BenchmarkName-8  10  12345 ns/op ...");
+// everything else (goos/goarch headers, PASS, custom metrics it does not
+// recognise) passes through to stderr untouched so failures stay visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// result is one benchmark line. Name has the -<GOMAXPROCS> suffix
+// stripped so the same benchmark compares across machines.
+type result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g. "BenchmarkAnalyzeSerial-8   3   420163930 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		results = append(results, result{Name: m[1], Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

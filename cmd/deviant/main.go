@@ -21,7 +21,10 @@
 //	-no-prune     keep panic/BUG paths (more false positives)
 //	-j N          run the pipeline on N worker goroutines (0 = all CPUs,
 //	              1 = serial; output is identical for every N)
-//	-stats        print per-stage wall-clock timing after the reports
+//	-stats        print per-stage wall-clock timing and a per-checker
+//	              table (duration, reports, block visits) after the reports
+//	-trace FILE   write a Chrome trace-event JSON of the run to FILE;
+//	              load it in Perfetto (ui.perfetto.dev) or chrome://tracing
 //	-json         one JSON object per line on stdout: first a summary
 //	              (units, functions, lines, parse_errors), then reports
 //	-trust        §5 trustworthiness-augmented ranking
@@ -48,7 +51,9 @@ import (
 	"strings"
 
 	"deviant"
+	"deviant/internal/core"
 	"deviant/internal/cpp"
+	"deviant/internal/obs"
 	"deviant/internal/report"
 )
 
@@ -68,7 +73,8 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable engine memoization")
 	noPrune := flag.Bool("no-prune", false, "disable crash-path pruning")
 	workers := flag.Int("j", 0, "pipeline worker goroutines (0 = all CPUs, 1 = serial)")
-	stats := flag.Bool("stats", false, "print per-stage wall-clock timing")
+	stats := flag.Bool("stats", false, "print per-stage timing and a per-checker table")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
 	jsonOut := flag.Bool("json", false, "emit a summary line and reports as JSON lines")
 	trust := flag.Bool("trust", false, "rank with the §5 code-trustworthiness augmentation")
 	diffOld := flag.String("diff", "", "cross-version mode: directory of the OLD version; the positional dir is the new one")
@@ -89,12 +95,18 @@ func main() {
 	if *checkers != "" {
 		opts.Checks = parseCheckers(*checkers)
 	}
+	var tr *deviant.Tracer
+	if *tracePath != "" {
+		tr = deviant.NewTracer()
+		opts.Tracer = tr
+	}
 
 	if *diffOld != "" {
 		parseErrs, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust)
 		if err != nil {
 			log.Fatal(err)
 		}
+		writeTrace(*tracePath, tr)
 		if parseErrs > 0 {
 			os.Exit(exitParseErrors)
 		}
@@ -125,10 +137,12 @@ func main() {
 		printRules(res)
 	}
 
+	rankSpan := tr.Start("rank")
 	ranked := res.Reports.Ranked()
 	if *trust {
 		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
 	}
+	rankSpan.End()
 	if *jsonOut {
 		emitJSON(res, len(units), ranked, *top)
 	} else {
@@ -148,10 +162,56 @@ func main() {
 			w = os.Stderr
 		}
 		fmt.Fprint(w, res.Timing.String())
+		printCheckerStats(w, res)
 	}
+	writeTrace(*tracePath, tr)
 	if len(res.ParseErrors) > 0 {
 		os.Exit(exitParseErrors)
 	}
+}
+
+// printCheckerStats renders the per-checker table -stats promises. The
+// numbers come from the same metrics registry deviantd scrapes on
+// /metrics: the run is folded into a fresh registry and the table reads
+// the counter handles back, so CLI stats and daemon metrics cannot drift.
+func printCheckerStats(w io.Writer, res *deviant.Result) {
+	reg := deviant.NewRegistry()
+	res.RecordMetrics(reg)
+	names := make([]string, 0, len(res.Timing.Checkers))
+	for name := range res.Timing.Checkers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "per-checker:\n")
+	fmt.Fprintf(w, "  %-10s %10s %8s %10s %10s\n", "checker", "seconds", "reports", "visits", "memo-hits")
+	for _, name := range names {
+		l := obs.L("checker", name)
+		fmt.Fprintf(w, "  %-10s %10.4f %8.0f %10.0f %10.0f\n", name,
+			reg.Counter(core.MetricCheckerSeconds, "", l).Value(),
+			reg.Counter(core.MetricCheckerReports, "", l).Value(),
+			reg.Counter(core.MetricCheckerVisits, "", l).Value(),
+			reg.Counter(core.MetricCheckerMemoHits, "", l).Value())
+	}
+}
+
+// writeTrace dumps the tracer's spans as Chrome trace-event JSON. A nil
+// tracer (no -trace flag) is a no-op.
+func writeTrace(path string, tr *deviant.Tracer) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		log.Fatalf("trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d spans to %s\n", len(tr.Spans()), path)
 }
 
 // jsonSummary is the first line of -json output: corpus size and
@@ -300,10 +360,12 @@ func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, 
 			units++
 		}
 	}
+	rankSpan := opts.Tracer.Start("rank")
 	ranked := newRes.Reports.Ranked()
 	if trust {
 		ranked = newRes.Reports.RankedWithTrust(newRes.Reports.TrustFromMustErrors())
 	}
+	rankSpan.End()
 	if jsonOut {
 		if err := emitJSONTo(w, newRes, units, ranked, top); err != nil {
 			return 0, err

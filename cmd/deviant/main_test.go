@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deviant"
+)
 
 func TestParseCheckers(t *testing.T) {
 	c := parseCheckers("null,lockvar, pairing")
@@ -24,5 +33,86 @@ func TestParseCheckersEmptyItems(t *testing.T) {
 	c := parseCheckers("null,,")
 	if !c.Null {
 		t.Errorf("parsed: %+v", c)
+	}
+}
+
+const statsSrc = `
+#define NULL 0
+void *kmalloc(int n);
+void printk(const char *fmt, ...);
+int f(int *p) {
+	if (p == NULL)
+		printk("%d", *p);
+	int *b = kmalloc(8);
+	if (!b)
+		return -1;
+	b[0] = 1;
+	return 0;
+}
+int g(void) {
+	int *b = kmalloc(4);
+	b[0] = 2;
+	return 0;
+}
+`
+
+// TestStatsTableAndTrace exercises the -stats per-checker table and the
+// -trace Chrome export end to end on an in-memory corpus.
+func TestStatsTableAndTrace(t *testing.T) {
+	opts := deviant.DefaultOptions()
+	tr := deviant.NewTracer()
+	opts.Tracer = tr
+	res, err := deviant.Analyze(map[string]string{"a.c": statsSrc}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	printCheckerStats(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "per-checker:") || !strings.Contains(out, "null") {
+		t.Errorf("stats table missing checker rows:\n%s", out)
+	}
+	if !strings.Contains(out, "reports") || !strings.Contains(out, "visits") {
+		t.Errorf("stats table missing columns:\n%s", out)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	writeTrace(path, tr)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not trace-event JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("negative duration on %q", ev.Name)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"analyze", "frontend", "unit", "preprocess", "parse", "semantic", "cfg", "checker"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span; got %v", want, names)
+		}
+	}
+
+	// Without -trace the tracer is nil and writeTrace must not create a file.
+	missing := filepath.Join(t.TempDir(), "none.json")
+	writeTrace(missing, nil)
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Error("writeTrace(nil) created a file")
 	}
 }

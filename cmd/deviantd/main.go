@@ -19,9 +19,17 @@
 //	-timeout d    per-request queue-wait + analysis budget (default 60s)
 //	-snapshot N   snapshot store capacity in translation units
 //	              (default 1024; higher = more reuse, more memory)
+//	-debug-addr a also serve net/http/pprof on this address (off by
+//	              default; bind to localhost, it is unauthenticated)
 //
-// Endpoints: POST /v1/analyze, POST /v1/diff, GET /v1/rules,
-// GET /healthz, GET /metrics — see package deviant/internal/service.
+// Endpoints: POST /v1/analyze (?trace=1 embeds a Chrome trace of the
+// run), POST /v1/diff, GET /v1/rules, GET /healthz (liveness + build
+// info), GET /metrics (Prometheus text) — see package
+// deviant/internal/service.
+//
+// The daemon logs one JSON line per request to stderr (log/slog): request
+// id, method, path, status, and duration. The same id appears on the
+// "request" span of a ?trace=1 trace, tying logs to traces.
 //
 // On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
 // balancers stop routing here, new analyses are refused, and the process
@@ -34,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +64,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request budget (0 = 60s)")
 	snapshotUnits := flag.Int("snapshot", 0, "snapshot store capacity in units (0 = 1024)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
+	debugAddr := flag.String("debug-addr", "", "also serve net/http/pprof on this address (off when empty)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: deviantd [flags]")
@@ -61,18 +72,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := service.New(service.Config{
 		MaxWorkers:    *workers,
 		MaxConcurrent: *concurrent,
 		QueueDepth:    *queue,
 		Timeout:       *timeout,
 		SnapshotUnits: *snapshotUnits,
+		Logger:        logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
+	if *debugAddr != "" {
+		// An explicit mux rather than http.DefaultServeMux: pprof is only
+		// ever reachable on the opt-in debug address, never on -addr.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -83,7 +113,7 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case sig := <-sigc:
-		log.Printf("%s: draining (up to %s)", sig, *drainWait)
+		logger.Info("draining", "signal", sig.String(), "max_wait", drainWait.String())
 		srv.SetDraining(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
@@ -94,6 +124,6 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 		st := srv.Store().Stats()
-		log.Printf("drained; snapshot store served %d unit hits, %d misses", st.UnitHits, st.UnitMisses)
+		logger.Info("drained", "snapshot_unit_hits", st.UnitHits, "snapshot_unit_misses", st.UnitMisses)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"deviant/internal/core"
 	"deviant/internal/cpp"
 	"deviant/internal/latent"
+	"deviant/internal/obs"
 	"deviant/internal/report"
 	"deviant/internal/stats"
 )
@@ -64,6 +65,29 @@ type FileProvider = cpp.FileProvider
 
 // MapFS is an in-memory FileProvider keyed by path.
 type MapFS = cpp.MapFS
+
+// Tracer records spans for every pipeline stage when attached via
+// Options.Tracer; export the result with WriteChromeTrace (loadable in
+// Perfetto / chrome://tracing). A nil tracer disables tracing with no
+// measurable overhead.
+type Tracer = obs.Tracer
+
+// Span is one traced region recorded on a Tracer.
+type Span = obs.Span
+
+// A constructs a span attribute.
+func A(key, value string) obs.Attr { return obs.A(key, value) }
+
+// Registry is a metrics registry (counters, gauges, fixed-bucket
+// histograms) rendered in Prometheus text format; populate it from a run
+// with Result.RecordMetrics.
+type Registry = obs.Registry
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // DefaultOptions returns the paper-faithful configuration: all checkers
 // on, p0 = 0.9, crash-path pruning and engine memoization enabled.

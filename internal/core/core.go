@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"deviant/internal/csem"
 	"deviant/internal/engine"
 	"deviant/internal/latent"
+	"deviant/internal/obs"
 	"deviant/internal/report"
 	"deviant/internal/snapshot"
 	"deviant/internal/stats"
@@ -133,6 +135,15 @@ type Options struct {
 	// semantic index, every checker, rule derivation and ranking still run
 	// globally, so warm output is byte-identical to a cold run.
 	Snapshot *snapshot.Store
+	// Tracer, when non-nil, records one span per pipeline stage, per
+	// translation unit (with nested preprocess/parse/include spans), per
+	// function CFG build, per checker, per rule derivation, and per
+	// engine traversal — exportable as Chrome trace-event JSON. Nil (the
+	// default) disables tracing entirely: instrumentation sites reduce to
+	// a pointer check, and no clock reads happen. Tracing never feeds
+	// back into analysis, so output stays byte-identical with or without
+	// it, for any worker count.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -310,6 +321,9 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		EngineStats: make(map[string]engine.RunStats),
 		Timing:      Timing{Checkers: make(map[string]time.Duration)},
 	}
+	tr := a.opts.Tracer
+	root := tr.Start("analyze", obs.A("units", strconv.Itoa(len(units))))
+	defer root.End()
 
 	// ---- frontend: preprocess + parse each unit, concurrently. With a
 	// snapshot store attached, a unit whose transitive content digest
@@ -333,12 +347,19 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	cache := cpp.NewTokenCache()
 	outs := make([]unitOut, len(units))
 	feStart := time.Now()
+	feSpan := root.Child("frontend")
 	parallelDo(workers, len(units), func(i int) {
 		o := &outs[i]
+		var usp *obs.Span
+		if tr != nil {
+			usp = feSpan.Fork("unit", obs.A("file", units[i]))
+			defer usp.End()
+		}
 		if snap != nil {
 			if art, ok := snap.Lookup(fs, confFP, units[i]); ok {
 				o.file, o.errs, o.lines = art.File, art.ParseErrors, art.Lines
 				o.art, o.reused = art, true
+				usp.SetAttr("reused", "true")
 				return
 			}
 		}
@@ -353,15 +374,20 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			return
 		}
 		o.lines = strings.Count(src, "\n") + 1
+		psp := usp.Child("preprocess")
+		pp.SetTrace(psp)
 		t0 := time.Now()
 		toks, err := pp.ProcessSource(units[i], src)
 		o.ppDur = time.Since(t0)
+		psp.End()
 		if err != nil {
 			o.errs = append(o.errs, pp.Errs()...)
 		}
+		psp = usp.Child("parse")
 		t0 = time.Now()
 		f, perrs := cparse.ParseFile(units[i], toks)
 		o.parse = time.Since(t0)
+		psp.End()
 		o.errs = append(o.errs, perrs...)
 		o.file = f
 		if snap != nil {
@@ -369,6 +395,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			snap.Add(fs, confFP, units[i], pp.IncludeDeps(), pp.MissedProbes(), o.art)
 		}
 	})
+	feSpan.End()
 	res.Timing.Frontend = time.Since(feStart)
 	cstats := cache.Stats()
 	res.Timing.TokenCacheHits, res.Timing.TokenCacheMisses = cstats.Hits, cstats.Misses
@@ -393,7 +420,9 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	}
 
 	t0 := time.Now()
+	semSpan := root.Child("semantic")
 	res.Prog = csem.Analyze(files)
+	semSpan.End()
 	res.Timing.Semantic = time.Since(t0)
 	res.FuncCount = len(res.Prog.Funcs)
 
@@ -424,7 +453,12 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	built := make([]*cfg.Graph, len(names))
 	graphReused := make([]bool, len(names))
 	t0 = time.Now()
+	cfgSpan := root.Child("cfg")
 	parallelDo(workers, len(names), func(i int) {
+		if tr != nil {
+			fsp := cfgSpan.Fork("cfg-func", obs.A("func", names[i]))
+			defer fsp.End()
+		}
 		fd := res.Prog.Funcs[names[i]]
 		art := owner[fd]
 		if art != nil {
@@ -438,6 +472,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			art.SetGraph(names[i], built[i])
 		}
 	})
+	cfgSpan.End()
 	graphs := make(map[string]*cfg.Graph, len(names))
 	for i, name := range names {
 		graphs[name] = built[i]
@@ -454,11 +489,30 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	eopts := engine.Options{Memoize: a.opts.Memoize}
 	spans := chunkSpans(len(names), workers)
 
+	// checkerSpan/deriveSpan trace one checker's traversal and its rule
+	// derivation. Forked (own lane): the program-level checkers run
+	// concurrently with each other.
+	checkerSpan := func(name string) *obs.Span {
+		if tr == nil {
+			return nil
+		}
+		return root.Fork("checker", obs.A("checker", name))
+	}
+	deriveSpan := func(name string) *obs.Span {
+		if tr == nil {
+			return nil
+		}
+		return root.Fork("derive", obs.A("checker", name))
+	}
+
 	// runEngine drives one engine checker over every function: each shard
 	// gets a forked accumulator and a private collector, folded back in
 	// shard order.
 	runEngine := func(name string, fork func() engine.Checker, merge func(engine.Checker)) {
 		t := time.Now()
+		chSpan := checkerSpan(name)
+		eo := eopts
+		eo.Span = chSpan
 		shards := make([]engine.Checker, len(spans))
 		cols := make([]*report.Collector, len(spans))
 		sts := make([]engine.RunStats, len(spans))
@@ -467,7 +521,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			col := report.NewCollector()
 			var total engine.RunStats
 			for _, fn := range names[spans[si].lo:spans[si].hi] {
-				s := engine.Run(graphs[fn], ch, col, eopts)
+				s := engine.Run(graphs[fn], ch, col, eo)
 				total.Visits += s.Visits
 				total.MemoHits += s.MemoHits
 				total.Truncated = total.Truncated || s.Truncated
@@ -484,6 +538,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		}
 		res.EngineStats[name] = agg
 		res.Timing.Checkers[name] = time.Since(t)
+		chSpan.End()
 	}
 
 	if a.opts.Checks.Null {
@@ -495,7 +550,9 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*null.Checker)) })
+		dsp := deriveSpan(ch.Name())
 		ch.Finish(res.Reports)
+		dsp.End()
 	}
 	if a.opts.Checks.Free {
 		ch := freecheck.New(a.conv)
@@ -531,10 +588,12 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		if !progStages[i].enabled {
 			return
 		}
+		sp := checkerSpan(progStages[i].name)
 		t := time.Now()
 		progCols[i] = report.NewCollector()
 		progStages[i].run(progCols[i])
 		progDur[i] = time.Since(t)
+		sp.End()
 	})
 	for i, st := range progStages {
 		if progCols[i] != nil {
@@ -549,8 +608,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*iserr.Checker)) })
+		dsp := deriveSpan(ch.Name())
 		ch.Finish(res.Reports)
 		res.IsErrFuncs = ch.Ranked()
+		dsp.End()
 	}
 	if a.opts.Checks.Fail {
 		ch := fail.New(a.conv)
@@ -558,9 +619,11 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*fail.Checker)) })
+		dsp := deriveSpan(ch.Name())
 		ch.Finish(res.Reports)
 		res.CanFail = ch.Ranked()
 		res.CanFailNever = ch.InverseRanked()
+		dsp.End()
 	}
 	if a.opts.Checks.LockVar {
 		ch := lockvar.New(res.Prog, a.conv)
@@ -568,11 +631,14 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*lockvar.Checker)) })
+		dsp := deriveSpan(ch.Name())
 		ch.Finish(res.Reports)
 		res.LockBindings = ch.Bindings()
+		dsp.End()
 	}
 	if a.opts.Checks.Pairing {
 		t := time.Now()
+		sp := checkerSpan("pairing")
 		ch := pairing.New(a.conv, pairing.DefaultLimits())
 		forks := make([]*pairing.Checker, len(spans))
 		parallelDo(workers, len(spans), func(si int) {
@@ -585,7 +651,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		for _, f := range forks {
 			ch.Merge(f)
 		}
+		sp.End()
+		dsp := deriveSpan("pairing")
 		res.Pairs = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+		dsp.End()
 		res.Timing.Checkers["pairing"] = time.Since(t)
 	}
 	if a.opts.Checks.Intr {
@@ -594,8 +663,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*intr.Checker)) })
+		dsp := deriveSpan(ch.Name())
 		ch.Finish(res.Reports)
 		res.IntrFuncs = ch.Ranked()
+		dsp.End()
 	}
 	if a.opts.Checks.SecCheck {
 		ch := seccheck.New(nil)
@@ -603,11 +674,14 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		runEngine(ch.Name(),
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*seccheck.Checker)) })
+		dsp := deriveSpan(ch.Name())
 		ch.Finish(res.Reports)
 		res.SecChecks = ch.Ranked()
+		dsp.End()
 	}
 	if a.opts.Checks.Reverse {
 		t := time.Now()
+		sp := checkerSpan("reverse")
 		ch := reverse.New(a.conv, reverse.DefaultLimits())
 		forks := make([]*reverse.Checker, len(spans))
 		parallelDo(workers, len(spans), func(si int) {
@@ -620,7 +694,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		for _, f := range forks {
 			ch.Merge(f)
 		}
+		sp.End()
+		dsp := deriveSpan("reverse")
 		res.Reversals = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+		dsp.End()
 		res.Timing.Checkers["reverse"] = time.Since(t)
 	}
 	res.Timing.Total = time.Since(start)

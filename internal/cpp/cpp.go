@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"deviant/internal/ctoken"
+	"deviant/internal/obs"
 )
 
 // FileProvider supplies source text for #include resolution. Using an
@@ -60,6 +61,7 @@ type Preprocessor struct {
 	included map[string]bool
 	missing  map[string]bool // include candidates probed and not found
 	cache    *TokenCache     // optional shared scan cache
+	trace    *obs.Span       // optional tracing parent for include spans
 }
 
 const maxIncludeDepth = 40
@@ -77,6 +79,12 @@ func New(fs FileProvider, dirs ...string) *Preprocessor {
 // UseCache makes p consult (and populate) a shared scan cache, so files
 // included by many translation units are lexed only once per run.
 func (p *Preprocessor) UseCache(c *TokenCache) { p.cache = c }
+
+// SetTrace makes p emit one child span per resolved #include under sp
+// (attr: file), so a trace shows which headers a unit's expansion paid
+// for. Includes are processed on the caller's goroutine, so the spans
+// nest properly on sp's lane. A nil span disables include tracing.
+func (p *Preprocessor) SetTrace(sp *obs.Span) { p.trace = sp }
 
 // Define installs an object-like macro, as with -Dname=value.
 func (p *Preprocessor) Define(name, value string) {
@@ -411,6 +419,12 @@ func (p *Preprocessor) include(rest []ctoken.Token) {
 				return // idempotent headers: every corpus header has a guard role
 			}
 			p.included[c] = true
+			if p.trace != nil {
+				sp := p.trace.Child("include", obs.A("file", c))
+				p.processFile(c, src)
+				sp.End()
+				return
+			}
 			p.processFile(c, src)
 			return
 		}

@@ -15,6 +15,7 @@ import (
 	"deviant/internal/cast"
 	"deviant/internal/cfg"
 	"deviant/internal/ctoken"
+	"deviant/internal/obs"
 	"deviant/internal/report"
 )
 
@@ -98,6 +99,10 @@ type Options struct {
 	// LoopBound bounds how many times a block may repeat on one path
 	// when memoization is off; <= 0 means the default of 2.
 	LoopBound int
+	// Span, when non-nil, is the tracing parent: Run emits one "engine"
+	// span per function under it (attrs: func, checker). Nil costs one
+	// pointer check per Run.
+	Span *obs.Span
 }
 
 // DefaultMaxVisits bounds traversal work per function.
@@ -126,6 +131,12 @@ func Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats
 	}
 	if opts.LoopBound <= 0 {
 		opts.LoopBound = 2
+	}
+	if opts.Span != nil {
+		// Fork, not Child: shards of one checker run concurrently, and
+		// forked spans get their own trace lanes.
+		sp := opts.Span.Fork("engine", obs.A("func", g.Fn.Name), obs.A("checker", ch.Name()))
+		defer sp.End()
 	}
 	r := &runner{
 		g:    g,

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build describes the running binary, for health endpoints and logs.
+type Build struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// BuildInfo reads the binary's embedded module and VCS metadata
+// (debug.ReadBuildInfo). Fields missing from the build — e.g. the VCS
+// revision in a plain `go test` binary — are left empty.
+func BuildInfo() Build {
+	b := Build{Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}

@@ -1,0 +1,416 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (rendered as {name="value"}). Keep
+// cardinality low: labels come from fixed sets (endpoint names, checker
+// names), never from user input.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// atomicFloat is a float64 with atomic add/load, for counters and gauges
+// shared across request goroutines.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are nil-safe
+// so callers can hold a nil handle when metrics are disabled.
+type Counter struct{ f atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (v must be >= 0; negative deltas are
+// dropped to preserve monotonicity).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.f.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.f.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ f atomicFloat }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.f.Store(v)
+}
+
+// Add shifts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.f.Add(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.f.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with upper[i-1] < v <= upper[i] (Prometheus "le"
+// semantics); one implicit +Inf bucket catches the tail.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1; last is +Inf
+	sum    atomicFloat
+	total  atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; past the end means +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: Counts[i] is the
+// raw (non-cumulative) count of bucket i, with Counts[len(Upper)] the
+// +Inf bucket.
+type HistSnapshot struct {
+	Upper  []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Upper:  append([]float64(nil), h.upper...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LinearBuckets returns count upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExpBuckets returns count upper bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 1ms to ~8s, the range of one analysis request.
+var LatencyBuckets = ExpBuckets(0.001, 2, 14)
+
+// ZScoreBuckets spans the z statistic's useful range: reports rank by z,
+// and almost everything interesting lands in [0, 15).
+var ZScoreBuckets = LinearBuckets(0, 1, 15)
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one label combination within a family: exactly one of the
+// value fields is set.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // callback-backed counter or gauge
+	hist    *Histogram
+}
+
+type metricFamily struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // keyed by rendered label string
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format with # HELP and # TYPE metadata. Getter methods are idempotent:
+// asking for an existing (name, labels) pair returns the same handle, so
+// instrumentation sites need no registration phase. A nil *Registry
+// hands out nil handles, whose methods all no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*metricFamily
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*metricFamily)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *metricFamily {
+	f, ok := r.families[name]
+	if !ok {
+		f = &metricFamily{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q redeclared as %s (was %s)", name, kind, f.kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+// Counter returns (creating if needed) the counter for name+labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels, counter: &Counter{}}
+		f.series[key] = s
+	}
+	return s.counter
+}
+
+// CounterFunc registers a callback-backed counter (e.g. a cumulative
+// total owned by another subsystem). Re-registering replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	f.series[renderLabels(labels)] = &series{labels: labels, fn: fn}
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels, gauge: &Gauge{}}
+		f.series[key] = s
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a callback-backed gauge, sampled at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	f.series[renderLabels(labels)] = &series{labels: labels, fn: fn}
+}
+
+// Histogram returns (creating if needed) the histogram for name+labels.
+// The bucket slice only matters on first creation; later calls may pass
+// nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram)
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels, hist: newHistogram(buckets)}
+		f.series[key] = s
+	}
+	return s.hist
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// renderLabels renders {a="b",c="d"} (empty string for no labels), which
+// doubles as the series key.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// withLe splices an le="..." label into an already-rendered label string.
+func withLe(rendered, le string) string {
+	if rendered == "" {
+		return `{le="` + le + `"}`
+	}
+	return rendered[:len(rendered)-1] + `,le="` + le + `"}`
+}
+
+// formatVal renders integers without an exponent or decimal point so
+// simple counters read naturally ("2", not "2e+00").
+func formatVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, families and series sorted by name so scrapes are stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Copy family pointers out, then render outside the lock: fn-backed
+	// series may call back into subsystems that take their own locks.
+	fams := make([]*metricFamily, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	keysOf := make([][]string, len(fams))
+	for i, f := range fams {
+		for key := range f.series {
+			keysOf[i] = append(keysOf[i], key)
+		}
+		sort.Strings(keysOf[i])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range keysOf[i] {
+			s := f.series[key]
+			switch {
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatVal(s.fn()))
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatVal(s.counter.Value()))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatVal(s.gauge.Value()))
+			case s.hist != nil:
+				snap := s.hist.Snapshot()
+				cum := int64(0)
+				for bi, upper := range snap.Upper {
+					cum += snap.Counts[bi]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLe(key, formatBound(upper)), cum)
+				}
+				cum += snap.Counts[len(snap.Upper)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLe(key, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, key, formatVal(snap.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, key, snap.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "things")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("x_total", ""); again != c {
+		t.Error("Counter not idempotent: second call returned a new handle")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(4)
+	g.Add(-3)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", LinearBuckets(0, 1, 3)).Observe(2)
+	r.CounterFunc("d", "", func() float64 { return 1 })
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Counter
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram should snapshot empty")
+	}
+}
+
+// TestHistogramBucketMath pins the le-semantics of bucket assignment: an
+// observation equal to an upper bound lands in that bucket, one just
+// above it spills into the next, and values past the last bound land in
+// +Inf.
+func TestHistogramBucketMath(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.0001, 2, 3.9, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// v <= 1: {0, 1}; 1 < v <= 2: {1.0001, 2}; 2 < v <= 4: {3.9, 4}; v > 4: {4.0001, 100}
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if wantSum := 0 + 1 + 1.0001 + 2 + 3.9 + 4 + 4.0001 + 100; math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramUnsortedBucketsAreSorted(t *testing.T) {
+	h := newHistogram([]float64{4, 1, 2})
+	h.Observe(1.5)
+	s := h.Snapshot()
+	if s.Upper[0] != 1 || s.Upper[1] != 2 || s.Upper[2] != 4 {
+		t.Fatalf("buckets not sorted: %v", s.Upper)
+	}
+	if s.Counts[1] != 1 {
+		t.Errorf("1.5 should land in the le=2 bucket: %v", s.Counts)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 0.5, 4)
+	if want := []float64{0, 0.5, 1, 1.5}; !equalFloats(lin, want) {
+		t.Errorf("LinearBuckets = %v, want %v", lin, want)
+	}
+	exp := ExpBuckets(1, 2, 4)
+	if want := []float64{1, 2, 4, 8}; !equalFloats(exp, want) {
+		t.Errorf("ExpBuckets = %v, want %v", exp, want)
+	}
+	if len(LatencyBuckets) == 0 || len(ZScoreBuckets) == 0 {
+		t.Error("default bucket sets must be non-empty")
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests served", L("endpoint", "analyze")).Add(2)
+	r.Counter("req_total", "", L("endpoint", "diff")).Inc()
+	r.Gauge("depth", "queue depth").Set(3)
+	r.GaugeFunc("live", "callback gauge", func() float64 { return 7 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP req_total requests served\n",
+		"# TYPE req_total counter\n",
+		`req_total{endpoint="analyze"} 2`,
+		`req_total{endpoint="diff"} 1`,
+		"# TYPE depth gauge\n",
+		"depth 3",
+		"live 7",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must render sorted by name.
+	if strings.Index(out, "# TYPE depth") > strings.Index(out, "# TYPE lat_seconds") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `c_total{path="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("redeclaring a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", LinearBuckets(0, 1, 4))
+	c := r.Counter("c_total", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 5))
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000", got)
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Count)
+	}
+}

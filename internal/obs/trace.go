@@ -1,0 +1,218 @@
+// Package obs is deviant's zero-dependency observability layer: spans
+// for tracing where a run spends its time, a small metrics registry
+// (counters, gauges, fixed-bucket histograms) rendered in Prometheus
+// text format, and build metadata for health endpoints.
+//
+// Everything here is designed to be *off by default and nil-safe*: every
+// method on a nil *Tracer or nil *Span is a no-op that does not read the
+// clock, so library users who never attach a tracer pay only a pointer
+// check per instrumentation site. Instrumented output never feeds back
+// into the analysis itself, so tracing cannot perturb the byte-identical
+// determinism the pipeline guarantees.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Attrs are part of a span's
+// identity for the determinism tests (the set of (name, attrs) pairs a
+// run emits must not depend on the worker count), so values must be
+// derived from the input, never from scheduling.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A is shorthand for constructing an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// SpanInfo is one finished span as recorded by the tracer: times are
+// offsets from the tracer's creation, and Lane is the virtual thread the
+// Chrome trace export places the span on.
+type SpanInfo struct {
+	Name  string
+	Attrs []Attr
+	Lane  int
+	Start time.Duration
+	End   time.Duration
+}
+
+// Tracer collects finished spans. It is safe for concurrent use; the
+// parallel pipeline forks spans from many goroutines at once.
+//
+// The zero tracer is not useful — use NewTracer — but a nil *Tracer is a
+// valid "tracing off" value: Start returns a nil span and every
+// downstream call no-ops.
+type Tracer struct {
+	start time.Time
+
+	mu        sync.Mutex
+	done      []SpanInfo
+	freeLanes []int
+	nextLane  int
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+func (t *Tracer) acquireLane() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.freeLanes); n > 0 {
+		l := t.freeLanes[n-1]
+		t.freeLanes = t.freeLanes[:n-1]
+		return l
+	}
+	l := t.nextLane
+	t.nextLane++
+	return l
+}
+
+// Span is one timed region. Spans form a tree: Child starts sequential
+// sub-work on the same display lane (the caller's goroutine), Fork starts
+// concurrent sub-work on a fresh lane. A span must End before its parent
+// does; Chrome's trace viewer requires events on one lane to nest.
+type Span struct {
+	t       *Tracer
+	name    string
+	attrs   []Attr
+	lane    int
+	ownLane bool
+	start   time.Time
+	ended   bool
+}
+
+// Start opens a top-level span on a fresh lane. On a nil tracer it
+// returns nil, and every method on a nil span is a no-op.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, attrs: attrs, lane: t.acquireLane(), ownLane: true, start: time.Now()}
+}
+
+// Child opens a nested span on the parent's lane. Use it for sequential
+// sub-stages running on the same goroutine; concurrent children must use
+// Fork or the lane's events would overlap without nesting.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, attrs: attrs, lane: s.lane, start: time.Now()}
+}
+
+// Fork opens a nested span on a fresh lane. Use it for sub-work that runs
+// concurrently with the parent's goroutine (per-unit frontend, per-function
+// CFG builds, checker shards). Safe to call from any goroutine.
+func (s *Span) Fork(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, attrs: attrs, lane: s.t.acquireLane(), ownLane: true, start: time.Now()}
+}
+
+// SetAttr appends an annotation discovered mid-span (for example whether a
+// unit was served from the snapshot store). Call only from the goroutine
+// that owns the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and records it on the tracer. Ending twice is a
+// no-op, as is ending a nil span.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	end := time.Now()
+	t := s.t
+	t.mu.Lock()
+	if s.ownLane {
+		t.freeLanes = append(t.freeLanes, s.lane)
+	}
+	t.done = append(t.done, SpanInfo{
+		Name:  s.name,
+		Attrs: s.attrs,
+		Lane:  s.lane,
+		Start: s.start.Sub(t.start),
+		End:   end.Sub(t.start),
+	})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of every finished span, in completion order.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanInfo, len(t.done))
+	copy(out, t.done)
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Perfetto
+// and chrome://tracing load a JSON object holding a traceEvents array of
+// these; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the finished spans as Chrome trace-event JSON,
+// loadable directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Events are sorted by start time so the output is stable for a given
+// span recording.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((s.End - s.Start).Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Lane,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Name < events[j].Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

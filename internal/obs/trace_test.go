@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("root", A("k", "v"))
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	child := sp.Child("child")
+	fork := sp.Fork("fork")
+	child.SetAttr("a", "b")
+	child.End()
+	fork.End()
+	sp.End()
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer recorded spans: %v", got)
+	}
+}
+
+func TestSpanNestingAndLanes(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("analyze")
+	fe := root.Child("frontend")
+	u := fe.Fork("unit", A("file", "a.c"))
+	u.SetAttr("reused", "false")
+	u.End()
+	fe.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["frontend"].Lane != byName["analyze"].Lane {
+		t.Error("Child must share its parent's lane")
+	}
+	if byName["unit"].Lane == byName["frontend"].Lane {
+		t.Error("Fork must take a fresh lane")
+	}
+	if got := byName["unit"].Attrs; len(got) != 2 || got[1] != A("reused", "false") {
+		t.Errorf("unit attrs = %v", got)
+	}
+	// A child's interval must sit inside its parent's.
+	if byName["frontend"].Start < byName["analyze"].Start || byName["frontend"].End > byName["analyze"].End {
+		t.Error("child span escapes its parent's interval")
+	}
+}
+
+func TestLaneReuse(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("a")
+	a.End()
+	b := tr.Start("b")
+	b.End()
+	spans := tr.Spans()
+	if spans[0].Lane != spans[1].Lane {
+		t.Errorf("sequential top-level spans should reuse the freed lane: %d vs %d",
+			spans[0].Lane, spans[1].Lane)
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("x")
+	sp.End()
+	sp.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Errorf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestConcurrentForks(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Fork("work")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 65 {
+		t.Errorf("got %d spans, want 65", got)
+	}
+}
+
+// TestWriteChromeTrace checks the export is valid JSON in the Chrome
+// trace-event shape Perfetto loads: a traceEvents array of complete ("X")
+// events with microsecond ts/dur and args from the span attrs.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("analyze", A("units", "2"))
+	c := root.Child("frontend")
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Errorf("event %q has negative ts/dur", ev.Name)
+		}
+	}
+	// Events are sorted by start time: the root starts first.
+	if out.TraceEvents[0].Name != "analyze" {
+		t.Errorf("first event = %q, want analyze", out.TraceEvents[0].Name)
+	}
+	if out.TraceEvents[0].Args["units"] != "2" {
+		t.Errorf("root args = %v", out.TraceEvents[0].Args)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := BuildInfo()
+	if b.GoVersion == "" {
+		t.Error("BuildInfo must always report the Go version")
+	}
+	if b.Version == "" {
+		t.Error("BuildInfo must always report a module version")
+	}
+}

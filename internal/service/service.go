@@ -5,11 +5,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze  analyze an in-memory source tree
+//	POST /v1/analyze  analyze an in-memory source tree (?trace=1 embeds
+//	                  a Chrome trace-event JSON of the run)
 //	POST /v1/diff     §4.2 cross-version check of two trees
 //	GET  /v1/rules    derived rule instances from the last analysis
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     Prometheus-style counters, incl. snapshot stats
+//	GET  /healthz     liveness + build info (503 while draining)
+//	GET  /metrics     Prometheus text format with HELP/TYPE metadata:
+//	                  request latency histograms per endpoint, queue
+//	                  depth, per-checker report counts and z-score
+//	                  distributions, snapshot and token-cache traffic
+//
+// Observability is structured in three layers (see DESIGN.md §8): every
+// request gets an ID that is logged (one slog JSON line per request when
+// Config.Logger is set) and attached to the request's trace span; the
+// obs.Registry aggregates counters/gauges/histograms for /metrics; and
+// per-run tracing is opt-in per request via ?trace=1.
 //
 // Admission control is two-level: at most MaxConcurrent analyses run at
 // once, at most QueueDepth more wait; beyond that requests are rejected
@@ -22,18 +32,20 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"deviant"
+	"deviant/internal/obs"
 	"deviant/internal/report"
 	"deviant/internal/snapshot"
 )
@@ -51,6 +63,10 @@ type Config struct {
 	Timeout time.Duration
 	// SnapshotUnits caps the snapshot store (0 = snapshot default).
 	SnapshotUnits int
+	// Logger, when non-nil, receives one structured line per request
+	// (id, method, path, status, duration) plus lifecycle events. Nil
+	// disables request logging (the default for embedded/test use).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -74,17 +90,23 @@ type Server struct {
 	cfg   Config
 	store *snapshot.Store
 	mux   *http.ServeMux
+	log   *slog.Logger
+	build obs.Build
 
 	slots chan struct{} // admission: running + queued
 	run   chan struct{} // running
 
 	draining atomic.Bool
+	nextID   atomic.Int64 // request id sequence
 
-	requests  atomic.Int64 // analyses + diffs accepted
-	rejected  atomic.Int64 // 429s
-	timeouts  atomic.Int64 // 504s
-	inflight  atomic.Int64
-	analyseNs atomic.Int64 // cumulative analysis wall clock
+	// Metrics. The registry owns everything /metrics serves; the named
+	// handles are the counters the handlers bump on their hot paths.
+	reg       *obs.Registry
+	requests  *obs.Counter // analyses + diffs accepted
+	rejected  *obs.Counter // 429s
+	timeouts  *obs.Counter // 504s
+	inflight  *obs.Gauge
+	analyzeNs *obs.Counter // cumulative analysis wall clock, seconds
 
 	mu        sync.Mutex
 	lastRules *rulesResponse
@@ -98,9 +120,13 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		store: snapshot.NewStore(cfg.SnapshotUnits),
 		mux:   http.NewServeMux(),
+		log:   cfg.Logger,
+		build: obs.BuildInfo(),
+		reg:   obs.NewRegistry(),
 		slots: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		run:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	s.initMetrics()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
@@ -109,8 +135,119 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// initMetrics declares the server's metric families. Handler-owned
+// counters get handles; values owned by other subsystems (the snapshot
+// store, the admission channels) are registered as callbacks sampled at
+// scrape time.
+func (s *Server) initMetrics() {
+	s.requests = s.reg.Counter("deviantd_requests_total",
+		"Analyze and diff requests accepted for execution.")
+	s.rejected = s.reg.Counter("deviantd_requests_rejected_total",
+		"Requests rejected with 429 because the queue was full.")
+	s.timeouts = s.reg.Counter("deviantd_requests_timeout_total",
+		"Requests that exceeded the request timeout (504).")
+	s.inflight = s.reg.Gauge("deviantd_requests_inflight",
+		"Analyses currently executing.")
+	s.analyzeNs = s.reg.Counter("deviantd_analysis_seconds_total",
+		"Cumulative analysis wall clock, in seconds.")
+	s.reg.GaugeFunc("deviantd_queue_depth",
+		"Admitted requests waiting for a run slot.",
+		func() float64 {
+			if d := len(s.slots) - len(s.run); d > 0 {
+				return float64(d)
+			}
+			return 0
+		})
+	s.reg.CounterFunc("deviantd_snapshot_unit_hits",
+		"Snapshot lookups answered from the store.",
+		func() float64 { return float64(s.store.Stats().UnitHits) })
+	s.reg.CounterFunc("deviantd_snapshot_unit_misses",
+		"Snapshot lookups that forced a cold frontend run.",
+		func() float64 { return float64(s.store.Stats().UnitMisses) })
+	s.reg.CounterFunc("deviantd_snapshot_evictions",
+		"Snapshot artifacts dropped by the LRU bound.",
+		func() float64 { return float64(s.store.Stats().Evictions) })
+	s.reg.CounterFunc("deviantd_snapshot_lookup_seconds_total",
+		"Cumulative wall clock spent verifying snapshot content digests.",
+		func() float64 { return time.Duration(s.store.Stats().LookupNs).Seconds() })
+	s.reg.GaugeFunc("deviantd_snapshot_units",
+		"Translation-unit artifacts resident in the snapshot store.",
+		func() float64 { return float64(s.store.Stats().Units) })
+	s.reg.GaugeFunc("deviantd_snapshot_graphs",
+		"Function CFGs resident in the snapshot store.",
+		func() float64 { return float64(s.store.Stats().Graphs) })
+	// Pre-create one latency histogram per endpoint so a fresh scrape
+	// shows the full set.
+	for _, ep := range []string{"analyze", "diff", "rules", "healthz", "metrics"} {
+		s.latencyFor(ep)
+	}
+}
+
+// latencyFor returns the request-latency histogram for one endpoint.
+func (s *Server) latencyFor(endpoint string) *obs.Histogram {
+	return s.reg.Histogram("deviantd_request_seconds",
+		"HTTP request latency by endpoint.", obs.LatencyBuckets,
+		obs.L("endpoint", endpoint))
+}
+
+// endpointOf maps a request path onto its latency/log label. Unknown
+// paths share one bucket so label cardinality stays bounded.
+func endpointOf(path string) string {
+	switch path {
+	case "/v1/analyze":
+		return "analyze"
+	case "/v1/diff":
+		return "diff"
+	case "/v1/rules":
+		return "rules"
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+type ridKey struct{}
+
+// requestID returns the request's assigned ID ("" outside ServeHTTP).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: it assigns the request ID, times the
+// request into the per-endpoint latency histogram, and emits one
+// structured log line when a logger is configured.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("r%06d", s.nextID.Add(1))
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(start)
+	s.latencyFor(endpointOf(r.URL.Path)).Observe(dur.Seconds())
+	if s.log != nil {
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"dur_ms", float64(dur.Microseconds())/1e3)
+	}
+}
 
 // SetDraining flips the server into (or out of) drain mode: healthz
 // reports 503 so load balancers stop routing here, and new analysis
@@ -119,6 +256,10 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Store exposes the snapshot store (for stats in tests and cmd/deviantd).
 func (s *Server) Store() *snapshot.Store { return s.store }
+
+// Registry exposes the metrics registry, so embedders can add their own
+// families to the same /metrics scrape.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // requestOptions is the per-request analysis configuration, mirroring the
 // CLI flags of the same names.
@@ -145,7 +286,8 @@ type diffRequest struct {
 
 // analyzeResponse mirrors the CLI's -json output: the same summary
 // fields and the same report.JSONReport shape, plus the run's snapshot
-// reuse counters.
+// reuse counters. Trace is present only when the request asked for
+// ?trace=1: Chrome trace-event JSON, loadable directly in Perfetto.
 type analyzeResponse struct {
 	Units       int                 `json:"units"`
 	Functions   int                 `json:"functions"`
@@ -153,6 +295,7 @@ type analyzeResponse struct {
 	ParseErrors int                 `json:"parse_errors"`
 	Reports     []report.JSONReport `json:"reports"`
 	Snapshot    snapshot.RunStats   `json:"snapshot"`
+	Trace       json.RawMessage     `json:"trace,omitempty"`
 }
 
 type jsonDrift struct {
@@ -233,14 +376,14 @@ func (s *Server) admit(ctx context.Context) (func(), int, string) {
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		s.rejected.Add(1)
+		s.rejected.Inc()
 		return nil, http.StatusTooManyRequests, "queue full, retry later"
 	}
 	select {
 	case s.run <- struct{}{}:
 	case <-ctx.Done():
 		<-s.slots
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		return nil, http.StatusGatewayTimeout, "timed out waiting for a worker slot"
 	}
 	var once sync.Once
@@ -263,7 +406,7 @@ func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, 
 	if release == nil {
 		return nil, status, msg
 	}
-	s.requests.Add(1)
+	s.requests.Inc()
 	s.inflight.Add(1)
 	type outcome struct {
 		v   any
@@ -275,7 +418,7 @@ func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, 
 		defer s.inflight.Add(-1)
 		t := time.Now()
 		v, err := fn()
-		s.analyseNs.Add(int64(time.Since(t)))
+		s.analyzeNs.Add(time.Since(t).Seconds())
 		done <- outcome{v, err}
 	}()
 	select {
@@ -285,7 +428,7 @@ func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, 
 		}
 		return out.v, 0, ""
 	case <-ctx.Done():
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		return nil, http.StatusGatewayTimeout, "analysis timed out"
 	}
 }
@@ -365,6 +508,25 @@ func rulesFrom(res *deviant.Result) []jsonRule {
 	return rules
 }
 
+// wantTrace reports whether the request opted into per-run tracing.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "on":
+		return true
+	}
+	return false
+}
+
+// exportTrace renders the request's spans as Chrome trace-event JSON for
+// embedding in the response.
+func exportTrace(tr *deviant.Tracer) json.RawMessage {
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		return nil
+	}
+	return bytes.TrimSpace(buf.Bytes())
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
 	if !decodeRequest(w, r, &req) {
@@ -379,19 +541,36 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	var tr *deviant.Tracer
+	var reqSpan *deviant.Span
+	if wantTrace(r) {
+		tr = deviant.NewTracer()
+		opts.Tracer = tr
+		// The request span ties the trace back to the daemon's log line
+		// for the same request ID.
+		reqSpan = tr.Start("request",
+			deviant.A("id", requestID(r.Context())),
+			deviant.A("endpoint", "analyze"))
+	}
 	v, status, msg := s.runAnalysis(r.Context(), func() (any, error) {
 		return deviant.Analyze(req.Sources, opts)
 	})
+	reqSpan.End()
 	if status != 0 {
 		writeError(w, status, "%s", msg)
 		return
 	}
 	res := v.(*deviant.Result)
+	res.RecordMetrics(s.reg)
 	s.mu.Lock()
 	s.analyses++
 	s.lastRules = &rulesResponse{Analysis: s.analyses, Rules: rulesFrom(res)}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, render(res, countUnits(req.Sources), req.Options))
+	resp := render(res, countUnits(req.Sources), req.Options)
+	if tr != nil {
+		resp.Trace = exportTrace(tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +607,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := v.(diffOut)
+	out.res.RecordMetrics(s.reg)
 	drifts := make([]jsonDrift, len(out.drifts))
 	for i, d := range out.drifts {
 		drifts[i] = jsonDrift{Kind: d.Kind, Func: d.Func, Pos: d.Pos.String(), Msg: d.Msg}
@@ -449,35 +629,22 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// healthResponse is the /healthz body: liveness plus the binary's build
+// identity, so fleet tooling can tell which revision answered.
+type healthResponse struct {
+	Status string    `json:"status"`
+	Build  obs.Build `json:"build"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining", Build: s.build})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Build: s.build})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.store.Stats()
-	metrics := map[string]int64{
-		"deviantd_requests_total":          s.requests.Load(),
-		"deviantd_requests_inflight":       s.inflight.Load(),
-		"deviantd_requests_rejected_total": s.rejected.Load(),
-		"deviantd_requests_timeout_total":  s.timeouts.Load(),
-		"deviantd_analysis_seconds_total":  int64(time.Duration(s.analyseNs.Load()).Seconds()),
-		"deviantd_snapshot_unit_hits":      st.UnitHits,
-		"deviantd_snapshot_unit_misses":    st.UnitMisses,
-		"deviantd_snapshot_evictions":      st.Evictions,
-		"deviantd_snapshot_units":          int64(st.Units),
-		"deviantd_snapshot_graphs":         int64(st.Graphs),
-	}
-	names := make([]string, 0, len(metrics))
-	for name := range metrics {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, name := range names {
-		fmt.Fprintf(w, "%s %d\n", name, metrics[name])
-	}
+	_ = s.reg.WritePrometheus(w)
 }

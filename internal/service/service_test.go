@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -263,8 +264,8 @@ func TestBackpressure(t *testing.T) {
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, want 429: %s", rr.Code, body)
 	}
-	if s.rejected.Load() != 1 {
-		t.Errorf("rejected counter = %d, want 1", s.rejected.Load())
+	if s.rejected.Value() != 1 {
+		t.Errorf("rejected counter = %v, want 1", s.rejected.Value())
 	}
 	<-s.slots
 	<-s.slots
@@ -283,7 +284,7 @@ func TestQueueTimeout(t *testing.T) {
 	if rr.Code != http.StatusGatewayTimeout {
 		t.Fatalf("queued past timeout: status %d, want 504: %s", rr.Code, body)
 	}
-	if s.timeouts.Load() == 0 {
+	if s.timeouts.Value() == 0 {
 		t.Error("timeout counter not incremented")
 	}
 	<-s.run
@@ -323,14 +324,135 @@ func TestMetrics(t *testing.T) {
 	}
 	out := string(body)
 	for _, want := range []string{
+		// Daemon counters with HELP/TYPE metadata.
+		"# HELP deviantd_requests_total ",
+		"# TYPE deviantd_requests_total counter",
 		"deviantd_requests_total 2",
 		"deviantd_snapshot_unit_hits 3",
 		"deviantd_snapshot_unit_misses 3",
 		"deviantd_snapshot_units 3",
+		"# TYPE deviantd_queue_depth gauge",
+		"deviantd_queue_depth 0",
+		// Per-endpoint request latency histogram: both analyze requests
+		// must land in some bucket and the +Inf bucket must equal the
+		// request count.
+		"# TYPE deviantd_request_seconds histogram",
+		`deviantd_request_seconds_bucket{endpoint="analyze",le="+Inf"} 2`,
+		`deviantd_request_seconds_count{endpoint="analyze"} 2`,
+		// Per-run pipeline metrics folded in via Result.RecordMetrics.
+		"# TYPE deviant_checker_seconds_total counter",
+		`deviant_stage_seconds_total{stage="frontend"}`,
+		"# TYPE deviant_report_z histogram",
+		"deviant_runs_total 2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestHealthzBuildInfo pins the /healthz body shape: liveness status plus
+// the binary's build identity.
+func TestHealthzBuildInfo(t *testing.T) {
+	s := New(Config{})
+	rr, body := getPath(t, s, "/healthz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rr.Code)
+	}
+	var resp struct {
+		Status string `json:"status"`
+		Build  struct {
+			Version   string `json:"version"`
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, body)
+	}
+	if resp.Status != "ok" {
+		t.Errorf("status = %q, want ok", resp.Status)
+	}
+	if resp.Build.GoVersion == "" {
+		t.Errorf("build info missing go_version: %s", body)
+	}
+}
+
+// TestAnalyzeTrace pins the ?trace=1 contract: the response embeds a
+// Chrome trace-event JSON document with spans for every pipeline stage
+// and the request span carrying this request's ID.
+func TestAnalyzeTrace(t *testing.T) {
+	s := New(Config{})
+	rr, body := postJSON(t, s, "/v1/analyze?trace=1", analyzeRequest{Sources: svcSources()})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("analyze?trace=1: status %d: %s", rr.Code, body)
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trace) == 0 {
+		t.Fatal("trace=1 response has no trace")
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(resp.Trace, &trace); err != nil {
+		t.Fatalf("embedded trace is not valid trace-event JSON: %v", err)
+	}
+	names := map[string]bool{}
+	var reqID string
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+		if ev.Name == "request" {
+			reqID = ev.Args["id"]
+		}
+	}
+	for _, want := range []string{"request", "analyze", "frontend", "unit", "semantic", "cfg", "checker"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span; got %v", want, names)
+		}
+	}
+	if !strings.HasPrefix(reqID, "r") {
+		t.Errorf("request span id = %q, want r-prefixed request id", reqID)
+	}
+
+	// An untraced request must not pay for or return a trace.
+	plain := analyze(t, s, svcSources())
+	if len(plain.Trace) != 0 {
+		t.Errorf("untraced response carries a trace: %s", plain.Trace)
+	}
+}
+
+// TestRequestLogging pins the structured log contract: one JSON line per
+// request with id, method, path, status, and duration.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Config{Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+	analyze(t, s, svcSources())
+	getPath(t, s, "/healthz")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var entry struct {
+		Msg    string  `json:"msg"`
+		ID     string  `json:"id"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		DurMS  float64 `json:"dur_ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if entry.Msg != "request" || entry.Method != "POST" || entry.Path != "/v1/analyze" ||
+		entry.Status != http.StatusOK || !strings.HasPrefix(entry.ID, "r") {
+		t.Errorf("unexpected request log entry: %+v", entry)
 	}
 }
 

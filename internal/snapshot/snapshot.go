@@ -37,6 +37,7 @@ import (
 	"encoding/hex"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deviant/internal/cast"
 	"deviant/internal/cfg"
@@ -94,6 +95,12 @@ type Stats struct {
 	Evictions  int64 // artifacts dropped by the LRU bound
 	Units      int   // artifacts currently resident
 	Graphs     int   // CFGs currently resident across all artifacts
+
+	// LookupNs is the cumulative wall clock spent in Lookup — dominated
+	// by re-hashing each unit's transitive content closure, which is the
+	// price of a warm hit. Exposed so /metrics can show when digest
+	// verification, not analysis, is the bottleneck.
+	LookupNs int64
 }
 
 // RunStats reports what one analysis run reused from a Store. It is
@@ -138,6 +145,7 @@ type Store struct {
 	tick     uint64
 
 	hits, misses, evictions atomic.Int64
+	lookupNs                atomic.Int64 // cumulative Lookup wall clock
 }
 
 // NewStore returns an empty store holding at most maxUnits artifacts
@@ -208,6 +216,8 @@ func depKeyOf(fingerprint, unit, unitDigest string) string {
 // unit, content) — hashes to a resident entry under the current provider
 // state.
 func (s *Store) Lookup(fs cpp.FileProvider, fingerprint, unit string) (*Artifact, bool) {
+	t0 := time.Now()
+	defer func() { s.lookupNs.Add(int64(time.Since(t0))) }()
 	src, err := fs.ReadFile(unit)
 	if err != nil {
 		s.misses.Add(1)
@@ -309,6 +319,7 @@ func (s *Store) Stats() Stats {
 		Evictions:  s.evictions.Load(),
 		Units:      units,
 		Graphs:     graphs,
+		LookupNs:   s.lookupNs.Load(),
 	}
 }
 

@@ -8,7 +8,9 @@ package deviant
 // corpora across Workers ∈ {1, 4, 8}.
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -29,14 +31,68 @@ func renderReports(res *Result) string {
 }
 
 func analyzeWithWorkers(t *testing.T, files map[string]string, workers int) *Result {
+	res, _ := analyzeTraced(t, files, workers)
+	return res
+}
+
+// analyzeTraced runs Analyze with a tracer attached, so determinism tests
+// can compare the emitted span sets across worker counts.
+func analyzeTraced(t *testing.T, files map[string]string, workers int) (*Result, *Tracer) {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.Workers = workers
+	tr := NewTracer()
+	opts.Tracer = tr
 	res, err := Analyze(files, opts)
 	if err != nil {
 		t.Fatalf("Analyze(workers=%d): %v", workers, err)
 	}
-	return res
+	return res, tr
+}
+
+// spanSet reduces a trace to its scheduling-independent identity: the
+// multiset of (name, attrs) pairs, ignoring timestamps and lanes. Span
+// *identity* must not depend on the worker count — only when and where a
+// span ran may differ.
+func spanSet(tr *Tracer) map[string]int {
+	set := map[string]int{}
+	for _, s := range tr.Spans() {
+		attrs := make([]string, len(s.Attrs))
+		for i, a := range s.Attrs {
+			attrs[i] = a.Key + "=" + a.Value
+		}
+		sort.Strings(attrs)
+		set[s.Name+"{"+strings.Join(attrs, ",")+"}"]++
+	}
+	return set
+}
+
+// diffSpanSets renders the keys whose counts differ, for test failure
+// messages.
+func diffSpanSets(a, b map[string]int) string {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var sb strings.Builder
+	for _, k := range sortedKeys(keys) {
+		if a[k] != b[k] {
+			fmt.Fprintf(&sb, "  %s: %d vs %d\n", k, a[k], b[k])
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func checkSameResults(t *testing.T, name string, serial, parallel *Result, workers int) {
@@ -96,13 +152,33 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
 			files := corpus.Generate(tc.spec).Files
-			serial := analyzeWithWorkers(t, files, 1)
+			serial, serialTrace := analyzeTraced(t, files, 1)
 			if serial.Reports.Len() == 0 {
 				t.Fatal("serial run produced no reports; corpus is not exercising the checkers")
 			}
+			serialSpans := spanSet(serialTrace)
+			for _, stage := range []string{"analyze{units=", "frontend{}", "unit{", "preprocess{}", "parse{}", "semantic{}", "cfg{", "checker{", "engine{"} {
+				found := false
+				for k := range serialSpans {
+					if strings.HasPrefix(k, stage) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("trace missing a %q span", stage)
+				}
+			}
 			for _, workers := range []int{4, 8} {
-				par := analyzeWithWorkers(t, files, workers)
+				par, parTrace := analyzeTraced(t, files, workers)
 				checkSameResults(t, tc.name, serial, par, workers)
+				// The trace's span identities — every (name, attrs) pair and
+				// its multiplicity — must be worker-count-independent; only
+				// timing and lane placement may differ.
+				if parSpans := spanSet(parTrace); !reflect.DeepEqual(serialSpans, parSpans) {
+					t.Errorf("%s: span sets differ between workers=1 and workers=%d:\n%s",
+						tc.name, workers, diffSpanSets(serialSpans, parSpans))
+				}
 			}
 		})
 	}
