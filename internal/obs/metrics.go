@@ -296,8 +296,10 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 }
 
 // Histogram returns (creating if needed) the histogram for name+labels.
-// The bucket slice only matters on first creation; later calls may pass
-// nil.
+// The bucket layout is fixed on first creation; later calls may pass nil
+// to mean "whatever was registered", but passing a different non-nil
+// layout panics — two call sites silently sharing mismatched buckets
+// would corrupt the data.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
@@ -310,8 +312,34 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	if !ok {
 		s = &series{labels: labels, hist: newHistogram(buckets)}
 		f.series[key] = s
+	} else if buckets != nil && !sameBuckets(s.hist.upper, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s%s re-registered with buckets %v (was %v)",
+			name, key, buckets, s.hist.upper))
 	}
 	return s.hist
+}
+
+// sameBuckets reports whether the requested bucket layout matches the
+// registered one, ignoring order (newHistogram sorts on creation).
+func sameBuckets(registered, requested []float64) bool {
+	if len(registered) != len(requested) {
+		return false
+	}
+	sorted := append([]float64(nil), requested...)
+	sort.Float64s(sorted)
+	for i := range sorted {
+		if sorted[i] != registered[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes HELP text per the exposition format, where only
+// backslash and line feed are special (quotes are not).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
 func escapeLabel(v string) string {
@@ -355,41 +383,58 @@ func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// renderedSeries pairs a series pointer with its pre-rendered label key,
+// copied out of the family map under the registry lock so rendering never
+// touches the live maps.
+type renderedSeries struct {
+	key string
+	s   *series
+}
+
+type renderedFamily struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []renderedSeries
+}
+
 // WritePrometheus renders every family in Prometheus text exposition
 // format, families and series sorted by name so scrapes are stable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Copy everything we need — family metadata and series pointers — while
+	// holding the lock: getters insert into both maps concurrently, and the
+	// series values themselves are immutable once published. Rendering and
+	// fn callbacks then run unlocked, since callbacks may call back into
+	// subsystems that take their own locks.
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	// Copy family pointers out, then render outside the lock: fn-backed
-	// series may call back into subsystems that take their own locks.
-	fams := make([]*metricFamily, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
-	}
-	keysOf := make([][]string, len(fams))
-	for i, f := range fams {
-		for key := range f.series {
-			keysOf[i] = append(keysOf[i], key)
+	fams := make([]renderedFamily, 0, len(r.families))
+	for _, f := range r.families {
+		rf := renderedFamily{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: make([]renderedSeries, 0, len(f.series)),
 		}
-		sort.Strings(keysOf[i])
+		for key, s := range f.series {
+			rf.series = append(rf.series, renderedSeries{key: key, s: s})
+		}
+		sort.Slice(rf.series, func(i, j int) bool { return rf.series[i].key < rf.series[j].key })
+		fams = append(fams, rf)
 	}
 	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder
-	for i, f := range fams {
+	for _, f := range fams {
 		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		for _, key := range keysOf[i] {
-			s := f.series[key]
+		for _, rs := range f.series {
+			key, s := rs.key, rs.s
 			switch {
 			case s.fn != nil:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatVal(s.fn()))

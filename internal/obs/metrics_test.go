@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -175,6 +176,77 @@ func TestKindConflictPanics(t *testing.T) {
 		}
 	}()
 	r.Gauge("m", "")
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "line one\nline \\two").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `# HELP c_total line one\nline \\two` + "\n"; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped help missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestHistogramBucketConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1, 2, 4})
+	if again := r.Histogram("h", "", nil); again == nil {
+		t.Fatal("nil buckets should return the registered histogram")
+	}
+	r.Histogram("h", "", []float64{4, 2, 1}) // same layout, different order: ok
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram with different buckets should panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 2, 8})
+}
+
+// TestConcurrentRegisterAndWrite races series creation against scrapes:
+// Result.RecordMetrics creates new label combinations on every request
+// while GET /metrics renders, so WritePrometheus must copy series under
+// the registry lock. Run with -race.
+func TestConcurrentRegisterAndWrite(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				lbl := L("checker", strings.Repeat("c", i%7+1))
+				r.Counter("reports_total", "", lbl).Inc()
+				r.Gauge("depth", "", lbl).Set(float64(i))
+				r.Histogram("z", "", ZScoreBuckets, lbl).Observe(float64(i % 15))
+				if w == 0 && i%100 == 0 {
+					r.GaugeFunc("live", "", func() float64 { return float64(i) }, L("i", strings.Repeat("x", i/100+1)))
+				}
+			}
+		}(w)
+	}
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
 }
 
 func TestConcurrentObserve(t *testing.T) {
