@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json obs-race service-race serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json obs-race service-race serve-smoke fuzz-smoke soak-smoke ci
 
 all: build
 
@@ -53,4 +53,20 @@ service-race:
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -v ./cmd/deviantd
 
-ci: vet build race bench-smoke obs-race service-race serve-smoke bench-json
+# Native coverage-guided fuzzing of the frontend, 30s per target. Inputs
+# that fail are written by the Go toolchain to the target's
+# testdata/fuzz/<FuzzName>/ directory; check them in as regression seeds.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzScanner$$' -fuzztime=$(FUZZTIME) ./internal/ctoken
+	$(GO) test -run='^$$' -fuzz='^FuzzPreprocess$$' -fuzztime=$(FUZZTIME) ./internal/cpp
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/cparse
+
+# Differential soak: 200 generated adversarial programs through the full
+# pipeline under all five equivalence oracles (workers, memoization,
+# snapshot, metamorphic, no-crash/no-hang). Failing inputs land in
+# testdata/fuzz/deviantfuzz/ and reproduce via `deviantfuzz -seed N -n 1`.
+soak-smoke:
+	$(GO) run ./cmd/deviantfuzz -n 200 -seed 1
+
+ci: vet build race bench-smoke obs-race service-race serve-smoke bench-json fuzz-smoke soak-smoke

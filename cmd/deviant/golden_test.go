@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	deviant "deviant"
+	"deviant/internal/ctoken"
+	"deviant/internal/report"
+)
+
+// -json output is a line protocol: one summary object first, then one
+// object per ranked report, rank-ordered, truncated at -top. The exact
+// bytes are a compatibility contract with scripted consumers; regenerate
+// with UPDATE_GOLDEN=1 only for intentional schema changes.
+func TestEmitJSONGolden(t *testing.T) {
+	col := report.NewCollector()
+	col.AddMust("null/use-then-check", "do not check q after dereference",
+		ctoken.Pos{File: "a.c", Line: 9, Col: 3}, report.Serious, 2,
+		"pointer q checked after unconditional dereference")
+	col.AddStat("pairing", "cli must be paired with sti",
+		ctoken.Pos{File: "b.c", Line: 40, Col: 1}, 2.97, 12, 11,
+		"exit path missing sti after cli")
+	col.AddStat("failcheck", "result of kmalloc must be checked before use",
+		ctoken.Pos{File: "a.c", Line: 21, Col: 7}, 1.14, 6, 5,
+		"unchecked kmalloc result dereferenced")
+	ranked := col.Ranked()
+
+	res := &deviant.Result{
+		FuncCount:   7,
+		LineCount:   180,
+		ParseErrors: []error{errors.New("c.c:1:1: include \"gone.h\" not found")},
+	}
+
+	var all bytes.Buffer
+	if err := emitJSONTo(&all, res, 3, ranked, 0); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "json_out.golden"), all.Bytes())
+
+	// -top truncates the report lines but never the summary, and the
+	// summary still counts everything.
+	var top bytes.Buffer
+	if err := emitJSONTo(&top, res, 3, ranked, 1); err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := all.Bytes()[:len(topLines(all.Bytes(), 2))]
+	if !bytes.Equal(top.Bytes(), wantPrefix) {
+		t.Fatalf("-top 1 output is not a prefix of the full output:\n got %s\nwant %s", top.Bytes(), wantPrefix)
+	}
+}
+
+// topLines returns the byte length of the first n lines of b.
+func topLines(b []byte, n int) []byte {
+	off := 0
+	for i := 0; i < n; i++ {
+		j := bytes.IndexByte(b[off:], '\n')
+		if j < 0 {
+			return b
+		}
+		off += j + 1
+	}
+	return b[:off]
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file %s updated", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,47 @@
+package cparse
+
+import (
+	"fmt"
+	"testing"
+
+	"deviant/internal/cast"
+)
+
+// FuzzParse feeds arbitrary bytes through preprocessing and parsing.
+// Invariants: no panic, the parser always produces a file (possibly
+// empty) plus diagnostics, and the result is deterministic.
+func FuzzParse(f *testing.F) {
+	f.Add("int f(int *p) { if (p) return *p; return 0; }\n")
+	f.Add("struct s { int a; }; typedef struct s s_t;\ns_t g(void);\n")
+	f.Add("int f() { switch (x) { case 0: goto out; default: break; } out: return 1;\n")
+	f.Add("int f(void) { for (;;) { while (1) do ; while (0); } }\n")
+	f.Add("void f() { int a[3] = {1,2,3}; a[5] = *(int*)0; }\n")
+	f.Add("((((((")
+	f.Add("int ; struct { union { enum E { } e; }; } ;;; =\n")
+	f.Add("#define D(x) x x\nint D(D(D(y)));\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		run := func() (string, string) {
+			file, errs := ParseSource("fuzz.c", src)
+			if file == nil {
+				t.Fatal("ParseSource returned nil file")
+			}
+			return renderDecls(file), fmt.Sprintf("%v", errs)
+		}
+		aDecls, aErrs := run()
+		bDecls, bErrs := run()
+		if aDecls != bDecls {
+			t.Fatalf("non-deterministic decls:\n%s\nvs\n%s", aDecls, bDecls)
+		}
+		if aErrs != bErrs {
+			t.Fatalf("non-deterministic diagnostics:\n%s\nvs\n%s", aErrs, bErrs)
+		}
+	})
+}
+
+func renderDecls(f *cast.File) string {
+	out := ""
+	for _, d := range f.Decls {
+		out += fmt.Sprintf("%T@%v\n", d, d.Pos())
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package cpp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzPreprocess feeds arbitrary bytes through the preprocessor with a
+// small fixed header tree available for inclusion. Invariants: no panic,
+// and both the token stream and the diagnostic set are deterministic.
+func FuzzPreprocess(f *testing.F) {
+	f.Add("#include \"fz.h\"\nint x = FZ_ONE;\n")
+	f.Add("#define A(x) B(x)\n#define B(x) A(x)\nA(1)\n")
+	f.Add("#include \"loop.h\"\n")
+	f.Add("#if defined(X)\n#elif 0\n#else\n#endif\n#endif\n")
+	f.Add("#define CAT(a,b) a##b\nCAT(id,0) CAT(,) CAT(a)\n")
+	f.Add("#define S(x) #x\nS(\"quote \\\" inside\")\n")
+	f.Add("#ifdef OPEN\nnever closed\n")
+	f.Add("#include <missing.h>\n#define\n#undef\n#line\n")
+	fs := MapFS{
+		"fz.h":   "#ifndef FZ_H\n#define FZ_H\n#define FZ_ONE 1\n#endif\n",
+		"loop.h": "#include \"loop.h\"\n",
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		run := func() ([]string, string) {
+			p := New(fs, ".")
+			toks, err := p.ProcessSource("fuzz.c", src)
+			out := make([]string, 0, len(toks))
+			for _, tok := range toks {
+				out = append(out, fmt.Sprintf("%v %q %v", tok.Kind, tok.Text, tok.Pos))
+			}
+			diag := fmt.Sprintf("%v %v", err, p.Errs())
+			return out, diag
+		}
+		a, ad := run()
+		b, bd := run()
+		if ad != bd {
+			t.Fatalf("non-deterministic diagnostics:\n%s\nvs\n%s", ad, bd)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("non-deterministic: %d vs %d tokens", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("non-deterministic at token %d: %s vs %s", i, a[i], b[i])
+			}
+		}
+	})
+}

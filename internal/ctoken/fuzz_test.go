@@ -1,0 +1,41 @@
+package ctoken
+
+import (
+	"testing"
+)
+
+// FuzzScanner feeds arbitrary bytes through the scanner. Invariants: no
+// panic, the token stream is non-empty and EOF-terminated, every position
+// is sane, and scanning is deterministic.
+func FuzzScanner(f *testing.F) {
+	f.Add("int main(void) { return 0; }\n")
+	f.Add("\"unterminated\nx ' y /* open comment")
+	f.Add("0x1fULL 1e9f .5 'a' '\\n' \"s\\\"t\"\n")
+	f.Add("a->b ... >>= <<= ## # ??( $ @ `\n")
+	f.Add("/* nested /* not */ still code */ id\n")
+	f.Add("#define M(x) x##_t\nM(foo)\n")
+	f.Add("\x00\xff\xfe binary \x01 junk")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := NewScanner("fuzz.c", src).ScanAll()
+		if len(toks) == 0 {
+			t.Fatal("empty token stream")
+		}
+		if toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("stream not EOF-terminated: last kind %v", toks[len(toks)-1].Kind)
+		}
+		for i, tok := range toks {
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				t.Fatalf("token %d has degenerate position %v", i, tok.Pos)
+			}
+		}
+		again := NewScanner("fuzz.c", src).ScanAll()
+		if len(again) != len(toks) {
+			t.Fatalf("non-deterministic: %d vs %d tokens", len(toks), len(again))
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("non-deterministic at token %d: %+v vs %+v", i, toks[i], again[i])
+			}
+		}
+	})
+}

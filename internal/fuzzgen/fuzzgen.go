@@ -1,0 +1,590 @@
+// Package fuzzgen generates adversarial C translation units and drives
+// the full analysis pipeline against differential oracles. Where
+// internal/corpus emits clean kernel-flavoured trees with line-exact
+// ground truth for the experiment tables, fuzzgen's goal is the opposite:
+// programs chosen to stress the frontend and the engine — deep macro
+// nesting, pathological include graphs, giant switch/goto CFGs, truncated
+// and token-unbalanced sources — paired with machine-checked equivalence
+// oracles (oracles.go) that pin the analyzer's own invariants:
+// determinism across worker counts, memoization soundness, snapshot
+// warm/cold equivalence, metamorphic invariance under alpha-renaming and
+// function reordering, and no-crash/no-hang on arbitrary input.
+//
+// Generation is deterministic in the seed: cmd/deviantfuzz prints the
+// seed of every violation, and `deviantfuzz -seed N -n 1` replays it
+// exactly.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Program is one generated compilation job: a set of headers plus
+// translation units whose function chunks are kept separate so the
+// metamorphic transforms (metamorph.go) can reorder them without
+// re-parsing.
+type Program struct {
+	Seed int64
+	// Headers maps header path -> content ("include/..." paths).
+	Headers map[string]string
+	// Units are the ".c" translation units, in generation order.
+	Units []Unit
+	// Renames lists every generated identifier that is safe to
+	// alpha-rename: the names are of the fixed form "idNNNN", chosen to
+	// avoid every latent-convention substring (lock, free, alloc, ...)
+	// so a consistent rename cannot change checker behavior.
+	Renames []string
+}
+
+// Unit is one translation unit: prelude lines (includes, macro
+// definitions, file-scope globals) followed by independent function
+// definitions. Generated functions never call each other, only the fixed
+// external routines declared in the base header, so any permutation of
+// Funcs is behavior-equivalent.
+type Unit struct {
+	Name    string
+	Prelude []string
+	Funcs   []string
+}
+
+// Render builds the unit's source text.
+func (u *Unit) Render() string {
+	var sb strings.Builder
+	for _, l := range u.Prelude {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for _, fn := range u.Funcs {
+		sb.WriteByte('\n')
+		sb.WriteString(fn)
+	}
+	return sb.String()
+}
+
+// Sources renders the program in its natural order as an Analyze input
+// map: headers plus units.
+func (p *Program) Sources() map[string]string {
+	out := make(map[string]string, len(p.Headers)+len(p.Units))
+	for name, src := range p.Headers {
+		out[name] = src
+	}
+	for i := range p.Units {
+		out[p.Units[i].Name] = p.Units[i].Render()
+	}
+	return out
+}
+
+// baseHeader declares the fixed systems vocabulary every generated unit
+// builds on. The names are the idioms the checkers key on (spin locks,
+// allocators, user copies, IS_ERR, cli/sti, panic) — none are ever
+// renamed.
+const baseHeader = `#ifndef _FZ_H
+#define _FZ_H
+#define NULL 0
+struct fzlock { int raw; };
+struct fzbuf { int len; char *data; struct fzbuf *next; };
+struct fznode { int num; int mode; void *priv; struct fzbuf *q; };
+void *kmalloc(int size);
+void kfree(void *p);
+void printk(const char *fmt, ...);
+void panic(const char *fmt, ...);
+int copy_from_user(void *to, const void *from, int n);
+int copy_to_user(void *to, const void *from, int n);
+void spin_lock(struct fzlock *l);
+void spin_unlock(struct fzlock *l);
+void cli(void);
+void sti(void);
+int IS_ERR(void *p);
+int capable(int cap);
+struct fznode *fz_find(int num);
+void touch_hw_port(int port);
+void set_port_state(int v);
+void request_region(int port);
+void release_region(int port);
+#define FZ_WARN_NULL(p) if ((p) == NULL) printk("null!\n")
+#endif
+`
+
+// gen carries generator state for one program.
+type gen struct {
+	rng *rand.Rand
+	p   *Program
+	n   int // identifier counter
+}
+
+// Generate builds a deterministic adversarial program for seed.
+func Generate(seed int64) *Program {
+	g := &gen{
+		rng: rand.New(rand.NewSource(seed)),
+		p: &Program{
+			Seed:    seed,
+			Headers: map[string]string{"include/fz.h": baseHeader},
+		},
+	}
+	g.emitHeaderChain()
+	units := 1 + g.rng.Intn(3)
+	for i := 0; i < units; i++ {
+		g.emitUnit(i)
+	}
+	sort.Strings(g.p.Renames)
+	return g.p
+}
+
+// fresh mints a rename-safe identifier. The fixed "idNNNN" shape matters
+// twice: it contains no latent-convention substring, and the metamorphic
+// rename maps it to the same-length "rnNNNN", so line AND column numbers
+// of every report survive the transform.
+func (g *gen) fresh() string {
+	g.n++
+	name := fmt.Sprintf("id%04d", g.n)
+	g.p.Renames = append(g.p.Renames, name)
+	return name
+}
+
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// pick returns a random int in [lo, hi].
+func (g *gen) pick(lo, hi int) int { return lo + g.rng.Intn(hi-lo+1) }
+
+// emitHeaderChain generates a pathological include graph: a linear chain
+// of guarded headers fzh0 -> fzh1 -> ... -> fzhD, plus (sometimes) a
+// diamond where two chain heads converge on a shared tail. Each header
+// contributes object-like macros that reference the next header's macros,
+// so expansion depth compounds with include depth.
+func (g *gen) emitHeaderChain() {
+	depth := g.pick(0, 10)
+	for i := depth; i >= 0; i-- {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "#ifndef _FZH%d_H\n#define _FZH%d_H\n", i, i)
+		if i < depth {
+			fmt.Fprintf(&sb, "#include \"fzh%d.h\"\n", i+1)
+			fmt.Fprintf(&sb, "#define FZD%d (FZD%d + %d)\n", i, i+1, g.pick(1, 9))
+		} else {
+			fmt.Fprintf(&sb, "#define FZD%d %d\n", i, g.pick(1, 9))
+		}
+		if g.chance(0.3) {
+			fmt.Fprintf(&sb, "#if FZD%d > %d\n#define FZSEL%d 1\n#else\n#define FZSEL%d 0\n#endif\n", i, g.pick(1, 20), i, i)
+		}
+		sb.WriteString("#endif\n")
+		g.p.Headers[fmt.Sprintf("include/fzh%d.h", i)] = sb.String()
+	}
+	if depth >= 2 && g.chance(0.4) {
+		// Diamond: a second entry header that re-includes deep into the
+		// chain; include guards must collapse it.
+		g.p.Headers["include/fzdia.h"] = fmt.Sprintf(
+			"#ifndef _FZDIA_H\n#define _FZDIA_H\n#include \"fzh0.h\"\n#include \"fzh%d.h\"\n#define FZDIA (FZD0 + FZD%d)\n#endif\n",
+			depth/2, depth/2)
+	}
+}
+
+// emitUnit generates one translation unit: includes, a nested
+// function-like macro tower, file-scope globals, and a run of function
+// definitions drawn from the adversarial template set.
+func (g *gen) emitUnit(idx int) {
+	u := Unit{Name: fmt.Sprintf("fz%d.c", idx)}
+	u.Prelude = append(u.Prelude, `#include "fz.h"`)
+	u.Prelude = append(u.Prelude, `#include "fzh0.h"`)
+	if _, ok := g.p.Headers["include/fzdia.h"]; ok && g.chance(0.5) {
+		u.Prelude = append(u.Prelude, `#include "fzdia.h"`)
+	}
+	if g.chance(0.15) {
+		// A dangling include: the frontend must diagnose and carry on.
+		u.Prelude = append(u.Prelude, fmt.Sprintf(`#include "fzmissing%d.h"`, idx))
+	}
+
+	// Macro tower: FZM0..FZMk, each expanding through the previous one,
+	// with a stringize/paste layer on top. Depth up to 8 — expansion is
+	// exponential in the nesting, the paper's §6 stress case.
+	mdepth := g.pick(2, 8)
+	u.Prelude = append(u.Prelude, "#define FZM0(x) ((x) + 1)")
+	for i := 1; i <= mdepth; i++ {
+		u.Prelude = append(u.Prelude,
+			fmt.Sprintf("#define FZM%d(x) (FZM%d(x) + FZM%d((x) - %d))", i, i-1, i-1, g.pick(1, 3)))
+	}
+	u.Prelude = append(u.Prelude, "#define FZSTR(x) #x")
+	u.Prelude = append(u.Prelude, "#define FZCAT(a, b) a##b")
+
+	// File-scope state the lock/pairing checkers can bind to.
+	lock := g.fresh()
+	count := g.fresh()
+	queue := g.fresh()
+	u.Prelude = append(u.Prelude,
+		fmt.Sprintf("static struct fzlock %s;", lock),
+		fmt.Sprintf("static int %s;", count),
+		fmt.Sprintf("static struct fzbuf *%s;", queue))
+
+	st := &unitState{lock: lock, count: count, queue: queue, macroDepth: mdepth}
+	tpls := []func(*unitState) string{
+		g.fnGiantSwitch,
+		g.fnGotoWeb,
+		g.fnNullIdiom,
+		g.fnAllocIdiom,
+		g.fnLockIdiom,
+		g.fnUserPtrIdiom,
+		g.fnIsErrIdiom,
+		g.fnIntrIdiom,
+		g.fnMacroExpr,
+		g.fnNestedControl,
+		g.fnPanicGuard,
+		g.fnFreeIdiom,
+	}
+	nf := g.pick(3, 9)
+	for i := 0; i < nf; i++ {
+		tpl := tpls[g.rng.Intn(len(tpls))]
+		u.Funcs = append(u.Funcs, tpl(st))
+	}
+	g.p.Units = append(g.p.Units, u)
+}
+
+// unitState carries the unit's shared globals into the templates.
+type unitState struct {
+	lock, count, queue string
+	macroDepth         int
+}
+
+// fb builds one function's text line by line.
+type fb struct {
+	sb strings.Builder
+}
+
+func (f *fb) w(format string, args ...any) {
+	fmt.Fprintf(&f.sb, format, args...)
+	f.sb.WriteByte('\n')
+}
+
+func (f *fb) String() string { return f.sb.String() }
+
+// fnGiantSwitch emits a switch with up to dozens of cases, mixed
+// fallthroughs, and case bodies that jump to shared labels — a wide, flat
+// CFG with join points the memoizer must collapse.
+func (g *gen) fnGiantSwitch(st *unitState) string {
+	name := g.fresh()
+	arg := g.fresh()
+	buf := g.fresh()
+	acc := g.fresh()
+	cases := g.pick(8, 48)
+	var f fb
+	f.w("static int %s(int %s, struct fzbuf *%s) {", name, arg, buf)
+	f.w("\tint %s = 0;", acc)
+	f.w("\tif (%s == NULL)", buf)
+	f.w("\t\treturn -1;")
+	f.w("\tswitch (%s & %d) {", arg, cases-1)
+	for c := 0; c < cases; c++ {
+		f.w("\tcase %d:", c)
+		switch g.rng.Intn(4) {
+		case 0:
+			f.w("\t\t%s += %s->len + %d;", acc, buf, c)
+			f.w("\t\tbreak;")
+		case 1:
+			f.w("\t\t%s -= %d;", acc, c)
+			// fall through into the next case (or the closing brace).
+		case 2:
+			f.w("\t\tgoto out_%s;", name)
+		default:
+			f.w("\t\t%s = %s * 2 + %d;", acc, acc, c)
+			f.w("\t\tbreak;")
+		}
+	}
+	f.w("\tdefault:")
+	f.w("\t\t%s = -%s;", acc, acc)
+	f.w("\t}")
+	f.w("\t%s += %s->len;", acc, buf)
+	f.w("out_%s:", name)
+	f.w("\treturn %s;", acc)
+	f.w("}")
+	return f.String()
+}
+
+// fnGotoWeb emits a ladder of labels connected by conditional forward
+// gotos (and, rarely, one backward goto that the engine's loop handling
+// must bound).
+func (g *gen) fnGotoWeb(st *unitState) string {
+	name := g.fresh()
+	v := g.fresh()
+	rungs := g.pick(3, 8)
+	back := g.chance(0.15)
+	var f fb
+	f.w("static int %s(int %s) {", name, v)
+	for r := 0; r < rungs; r++ {
+		f.w("l%d_%s:", r, name)
+		f.w("\t%s = %s + %d;", v, v, r+1)
+		if r+1 < rungs {
+			f.w("\tif (%s > %d)", v, g.pick(5, 60))
+			f.w("\t\tgoto l%d_%s;", g.pick(r+1, rungs-1), name)
+		}
+	}
+	if back {
+		f.w("\tif (%s < %d)", v, g.pick(1, 4))
+		f.w("\t\tgoto l0_%s;", name)
+	}
+	f.w("\treturn %s;", v)
+	f.w("}")
+	return f.String()
+}
+
+// fnNullIdiom emits the §3.1 null idioms: check-then-use (buggy variant
+// dereferences on the null path) or use-then-check.
+func (g *gen) fnNullIdiom(st *unitState) string {
+	name := g.fresh()
+	ptr := g.fresh()
+	n := g.fresh()
+	var f fb
+	f.w("static int %s(struct fzbuf *%s, int %s) {", name, ptr, n)
+	if g.chance(0.3) {
+		f.w("\tif (%s == NULL) {", ptr)
+		f.w("\t\tprintk(\"bad %%d %%d\\n\", %s->len, %s);", ptr, n)
+		f.w("\t\treturn -1;")
+		f.w("\t}")
+	} else if g.chance(0.3) {
+		f.w("\t%s = %s + %s->len;", n, n, ptr)
+		f.w("\tif (!%s)", ptr)
+		f.w("\t\treturn 0;")
+	} else {
+		f.w("\tif (%s == NULL)", ptr)
+		f.w("\t\treturn -1;")
+	}
+	f.w("\treturn %s->len + %s;", ptr, n)
+	f.w("}")
+	return f.String()
+}
+
+// fnAllocIdiom emits kmalloc with or without the failure check.
+func (g *gen) fnAllocIdiom(st *unitState) string {
+	name := g.fresh()
+	sz := g.fresh()
+	buf := g.fresh()
+	var f fb
+	f.w("static int %s(int %s) {", name, sz)
+	f.w("\tstruct fzbuf *%s = kmalloc(%d + %s);", buf, g.pick(8, 128), sz)
+	if g.chance(0.7) {
+		f.w("\tif (!%s)", buf)
+		f.w("\t\treturn -1;")
+	}
+	f.w("\t%s->len = %s;", buf, sz)
+	f.w("\t%s->next = NULL;", buf)
+	f.w("\treturn 0;")
+	f.w("}")
+	return f.String()
+}
+
+// fnLockIdiom emits a critical section over the unit's shared counter,
+// with random early returns that may or may not release the lock, and a
+// possible post-section unprotected access.
+func (g *gen) fnLockIdiom(st *unitState) string {
+	name := g.fresh()
+	d := g.fresh()
+	var f fb
+	f.w("static int %s(int %s) {", name, d)
+	f.w("\tspin_lock(&%s);", st.lock)
+	f.w("\t%s = %s + %s;", st.count, st.count, d)
+	if g.chance(0.25) {
+		f.w("\tif (%s < 0)", st.count)
+		f.w("\t\treturn -1;")
+		f.w("\tspin_unlock(&%s);", st.lock)
+	} else {
+		f.w("\tif (%s < 0) {", st.count)
+		f.w("\t\tspin_unlock(&%s);", st.lock)
+		f.w("\t\treturn -1;")
+		f.w("\t}")
+		f.w("\tspin_unlock(&%s);", st.lock)
+	}
+	if g.chance(0.25) {
+		f.w("\t%s = %s - 1;", st.count, st.count)
+	}
+	f.w("\treturn %s;", d)
+	f.w("}")
+	return f.String()
+}
+
+// fnUserPtrIdiom emits an ioctl-shaped handler: copy_from_user, or the §7
+// direct dereference of the user pointer.
+func (g *gen) fnUserPtrIdiom(st *unitState) string {
+	name := g.fresh()
+	arg := g.fresh()
+	cmd := g.fresh()
+	var f fb
+	f.w("static int %s(unsigned int %s, char *%s) {", name, cmd, arg)
+	f.w("\tchar kb[%d];", g.pick(8, 32))
+	if g.chance(0.3) {
+		f.w("\tkb[0] = %s[0];", arg)
+	} else {
+		f.w("\tif (copy_from_user(kb, %s, %d))", arg, g.pick(8, 16))
+		f.w("\t\treturn -1;")
+	}
+	f.w("\treturn kb[0] + %s;", cmd)
+	f.w("}")
+	return f.String()
+}
+
+// fnIsErrIdiom emits the encoded-error-pointer idiom with either the
+// correct IS_ERR test or the wrong NULL test.
+func (g *gen) fnIsErrIdiom(st *unitState) string {
+	name := g.fresh()
+	num := g.fresh()
+	nd := g.fresh()
+	var f fb
+	f.w("static int %s(int %s) {", name, num)
+	f.w("\tstruct fznode *%s = fz_find(%s);", nd, num)
+	if g.chance(0.3) {
+		f.w("\tif (%s == NULL)", nd)
+	} else {
+		f.w("\tif (IS_ERR(%s))", nd)
+	}
+	f.w("\t\treturn -1;")
+	f.w("\treturn %s->num;", nd)
+	f.w("}")
+	return f.String()
+}
+
+// fnIntrIdiom emits cli/sti-bracketed hardware pokes, sometimes with the
+// poke outside the protected region.
+func (g *gen) fnIntrIdiom(st *unitState) string {
+	name := g.fresh()
+	port := g.pick(0, 7)
+	var f fb
+	f.w("static void %s(void) {", name)
+	if g.chance(0.3) {
+		f.w("\ttouch_hw_port(%d);", port)
+		f.w("\tcli();")
+		f.w("\tsti();")
+	} else {
+		f.w("\tcli();")
+		f.w("\ttouch_hw_port(%d);", port)
+		f.w("\tsti();")
+	}
+	f.w("}")
+	return f.String()
+}
+
+// fnMacroExpr emits expressions routed through the unit's macro tower at
+// its full nesting depth, plus stringize and paste uses.
+func (g *gen) fnMacroExpr(st *unitState) string {
+	name := g.fresh()
+	a := g.fresh()
+	b := g.fresh()
+	// FZCAT(b, x) pastes a new identifier b+"x"; register it as
+	// renameable so a consistent alpha-rename maps the paste operands and
+	// the direct uses of the pasted name together.
+	g.p.Renames = append(g.p.Renames, b+"x")
+	var f fb
+	f.w("static int %s(int %s) {", name, a)
+	f.w("\tint %s = FZM%d(%s);", b, st.macroDepth, a)
+	f.w("\tint FZCAT(%s, x) = FZM%d(%s + FZD0);", b, st.macroDepth/2, b)
+	f.w("\tprintk(FZSTR(%s));", b)
+	f.w("\tif (FZCAT(%s, x) > %d)", b, g.pick(10, 500))
+	f.w("\t\treturn FZM1(%s);", b)
+	f.w("\treturn %s + %sx;", b, b)
+	f.w("}")
+	return f.String()
+}
+
+// fnNestedControl emits a random statement tree: nested if/while/for/
+// switch up to a bounded depth, with dereferences and external calls in
+// the leaves. Sequential branching is capped so path counts stay inside
+// the engine's non-memoized visit budget (memo-oracle runs must not
+// truncate).
+func (g *gen) fnNestedControl(st *unitState) string {
+	name := g.fresh()
+	p := g.fresh()
+	v := g.fresh()
+	var f fb
+	f.w("static int %s(struct fznode *%s, int %s) {", name, p, v)
+	f.w("\tif (!%s)", p)
+	f.w("\t\treturn -1;")
+	branches := 0
+	g.stmtTree(&f, st, p, v, 1, g.pick(2, 4), &branches)
+	f.w("\treturn %s + %s->num;", v, p)
+	f.w("}")
+	return f.String()
+}
+
+const maxSequentialBranches = 9
+
+// stmtTree recursively emits statements at the given indent depth.
+func (g *gen) stmtTree(f *fb, st *unitState, p, v string, indent, depth int, branches *int) {
+	tabs := strings.Repeat("\t", indent)
+	n := g.pick(1, 3)
+	for i := 0; i < n; i++ {
+		if *branches >= maxSequentialBranches || depth <= 0 {
+			f.w("%s%s = %s + %d;", tabs, v, v, g.pick(1, 99))
+			continue
+		}
+		switch g.rng.Intn(5) {
+		case 0:
+			*branches++
+			f.w("%sif (%s > %d) {", tabs, v, g.pick(0, 50))
+			g.stmtTree(f, st, p, v, indent+1, depth-1, branches)
+			if g.chance(0.5) {
+				f.w("%s} else {", tabs)
+				g.stmtTree(f, st, p, v, indent+1, depth-1, branches)
+			}
+			f.w("%s}", tabs)
+		case 1:
+			*branches++
+			f.w("%swhile (%s > %d) {", tabs, v, g.pick(1, 9))
+			f.w("%s\t%s = %s - %d;", tabs, v, v, g.pick(1, 3))
+			f.w("%s}", tabs)
+		case 2:
+			*branches++
+			f.w("%sfor (%s = 0; %s < %d; %s++) {", tabs, v, v, g.pick(2, 12), v)
+			g.stmtTree(f, st, p, v, indent+1, depth-1, branches)
+			f.w("%s}", tabs)
+		case 3:
+			*branches++
+			k := g.pick(2, 5)
+			f.w("%sswitch (%s %% %d) {", tabs, v, k)
+			for c := 0; c < k; c++ {
+				f.w("%scase %d:", tabs, c)
+				f.w("%s\t%s = %s + %d;", tabs, v, v, c)
+				f.w("%s\tbreak;", tabs)
+			}
+			f.w("%s}", tabs)
+		default:
+			f.w("%s%s = %s + %s->num;", tabs, v, v, p)
+		}
+	}
+}
+
+// fnPanicGuard emits the §6 crash-path idiom: the null path panics, so
+// the following dereference is safe; crash-path pruning must keep this
+// from becoming a false positive (and oracle comparisons must agree on
+// it for every configuration that shares the pruning setting).
+func (g *gen) fnPanicGuard(st *unitState) string {
+	name := g.fresh()
+	b := g.fresh()
+	var f fb
+	f.w("static int %s(struct fzbuf *%s) {", name, b)
+	if g.chance(0.5) {
+		f.w("\tif (!%s)", b)
+		f.w("\t\tpanic(\"no buffer\");")
+	} else {
+		f.w("\tFZ_WARN_NULL(%s);", b)
+	}
+	f.w("\t%s->len = 0;", b)
+	f.w("\treturn 0;")
+	f.w("}")
+	return f.String()
+}
+
+// fnFreeIdiom emits teardown with kfree, sometimes touching the buffer
+// after the free.
+func (g *gen) fnFreeIdiom(st *unitState) string {
+	name := g.fresh()
+	b := g.fresh()
+	var f fb
+	f.w("static void %s(struct fzbuf *%s) {", name, b)
+	f.w("\tif (!%s)", b)
+	f.w("\t\treturn;")
+	if g.chance(0.3) {
+		f.w("\tkfree(%s);", b)
+		f.w("\t%s->len = 0;", b)
+	} else {
+		f.w("\t%s->len = 0;", b)
+		f.w("\tkfree(%s);", b)
+	}
+	f.w("}")
+	return f.String()
+}

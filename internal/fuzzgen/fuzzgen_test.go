@@ -1,0 +1,117 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"deviant/internal/core"
+)
+
+// Generation must be a pure function of the seed: the soak runner's repro
+// contract ("deviantfuzz -seed N") depends on it.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42, 999} {
+		a := Generate(seed).Sources()
+		b := Generate(seed).Sources()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: file counts differ: %d vs %d", seed, len(a), len(b))
+		}
+		for name, src := range a {
+			if b[name] != src {
+				t.Fatalf("seed %d: %s differs between generations", seed, name)
+			}
+		}
+	}
+}
+
+func TestMutateDeterministic(t *testing.T) {
+	src := Generate(3).Sources()
+	a := Mutate(src, rand.New(rand.NewSource(9)))
+	b := Mutate(src, rand.New(rand.NewSource(9)))
+	for name := range a {
+		if a[name] != b[name] {
+			t.Fatalf("mutation of %s not deterministic in rng", name)
+		}
+	}
+}
+
+// Unmutated programs must be clean C as far as the frontend is concerned:
+// the metamorphic oracles argue about program semantics, which requires
+// the program to actually parse.
+func TestGeneratedParsesClean(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := Generate(seed)
+		res, err := core.New(core.DefaultOptions(), nil).AnalyzeSources(p.Sources())
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v", seed, err)
+		}
+		// The only diagnostics a fresh program may carry are the
+		// deliberately-missing includes the grammar injects.
+		for _, e := range res.ParseErrors {
+			if !strings.Contains(e.Error(), "fzmissing") {
+				t.Fatalf("seed %d: unexpected frontend diagnostic: %v", seed, e)
+			}
+		}
+		if res.FuncCount == 0 {
+			t.Fatalf("seed %d: no functions survived the frontend", seed)
+		}
+	}
+}
+
+// Renaming must preserve byte length (so report positions survive) and
+// substitute every generated identifier consistently.
+func TestRenamePreservesLayout(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := Generate(seed)
+		orig := p.Sources()
+		ren := p.SourcesRenamed()
+		for name, src := range orig {
+			if len(ren[name]) != len(src) {
+				t.Fatalf("seed %d: %s changed length under rename: %d vs %d",
+					seed, name, len(src), len(ren[name]))
+			}
+		}
+		for _, id := range p.Renames {
+			for name, src := range ren {
+				if containsWord(src, id) {
+					t.Fatalf("seed %d: %s still contains %q after rename", seed, name, id)
+				}
+			}
+		}
+	}
+}
+
+func containsWord(src, word string) bool {
+	for i := 0; ; {
+		j := strings.Index(src[i:], word)
+		if j < 0 {
+			return false
+		}
+		j += i
+		before := j == 0 || !isWordCont(src[j-1])
+		after := j+len(word) == len(src) || !isWordCont(src[j+len(word)])
+		if before && after {
+			return true
+		}
+		i = j + 1
+	}
+}
+
+// A small slice of the soak: every oracle over a couple dozen seeds. The
+// full 200-seed run lives in `make soak-smoke`.
+func TestMiniSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mini-soak skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		_, vs, st := CheckSeed(seed, 30*time.Second)
+		for _, v := range vs {
+			t.Errorf("seed %d (mutated=%v): %s", seed, st.Mutated, v)
+		}
+		if st.Analyses == 0 {
+			t.Errorf("seed %d: no analyses ran", seed)
+		}
+	}
+}

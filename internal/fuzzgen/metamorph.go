@@ -1,0 +1,133 @@
+// Metamorphic transforms: semantics-preserving rewrites of a generated
+// program whose analysis output must be preserved in a checkable way.
+// Two are implemented, matching the paper's belief model:
+//
+//   - Alpha-renaming: consistently renaming every generated identifier
+//     cannot change what the checkers believe, because beliefs attach to
+//     code structure and convention substrings, never to the arbitrary
+//     part of a name. Renames map "idNNNN" to "rnNNNN" — same length, so
+//     every report position (file, line, column) must survive exactly.
+//   - Function reordering: generated functions never call each other, so
+//     any permutation within a unit is behavior-equivalent; the evidence
+//     counters, derived rules and z scores must be unchanged (positions
+//     shift with the line numbers, so the oracle compares position-free
+//     shapes).
+package fuzzgen
+
+import "math/rand"
+
+// RenameMap maps every renameable identifier to its same-length fresh
+// name.
+func RenameMap(p *Program) map[string]string {
+	m := make(map[string]string, len(p.Renames))
+	for _, name := range p.Renames {
+		m[name] = "rn" + name[2:]
+	}
+	return m
+}
+
+// SourcesRenamed renders the program with every renameable identifier
+// consistently alpha-renamed.
+func (p *Program) SourcesRenamed() map[string]string {
+	m := RenameMap(p)
+	out := p.Sources()
+	for name, src := range out {
+		out[name] = applyRename(src, m)
+	}
+	return out
+}
+
+// SourcesReordered renders the program with the functions of every unit
+// permuted by rng. Headers and preludes are untouched.
+func (p *Program) SourcesReordered(rng *rand.Rand) map[string]string {
+	out := make(map[string]string, len(p.Headers)+len(p.Units))
+	for name, src := range p.Headers {
+		out[name] = src
+	}
+	for i := range p.Units {
+		u := p.Units[i] // copy; don't disturb the original order
+		perm := rng.Perm(len(u.Funcs))
+		funcs := make([]string, len(u.Funcs))
+		for j, k := range perm {
+			funcs[j] = u.Funcs[k]
+		}
+		u.Funcs = funcs
+		out[u.Name] = u.Render()
+	}
+	return out
+}
+
+// applyRename rewrites whole identifier tokens of src according to m,
+// leaving string literals, character constants and comments untouched. It
+// is a byte-level scan rather than a ctoken pass so it also works on
+// mutated sources with unbalanced tokens.
+func applyRename(src string, m map[string]string) string {
+	var out []byte
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '"' || c == '\'':
+			// String/char literal: copy through the closing quote,
+			// honoring backslash escapes. Unterminated literals (from
+			// mutation) copy to EOF, which is fine — the scan just stops
+			// renaming inside them.
+			q := c
+			out = append(out, c)
+			i++
+			for i < n {
+				out = append(out, src[i])
+				if src[i] == '\\' && i+1 < n {
+					out = append(out, src[i+1])
+					i += 2
+					continue
+				}
+				if src[i] == q {
+					i++
+					break
+				}
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				out = append(out, src[i])
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			out = append(out, '/', '*')
+			i += 2
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					out = append(out, '*', '/')
+					i += 2
+					break
+				}
+				out = append(out, src[i])
+				i++
+			}
+		case isWordStart(c):
+			j := i
+			for j < n && isWordCont(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if repl, ok := m[word]; ok {
+				out = append(out, repl...)
+			} else {
+				out = append(out, word...)
+			}
+			i = j
+		default:
+			out = append(out, c)
+			i++
+		}
+	}
+	return string(out)
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordCont(c byte) bool { return isWordStart(c) || (c >= '0' && c <= '9') }

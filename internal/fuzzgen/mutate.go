@@ -1,0 +1,102 @@
+// Corpus mutation: given a rendered source map, apply destructive
+// byte-level edits — truncation, deleted and duplicated line spans,
+// unbalanced delimiters, injected garbage. The result is usually not
+// valid C; the frontend must diagnose and recover, and every differential
+// oracle except the metamorphic one still applies (the same broken input
+// must produce the same output for every worker count, memo setting and
+// snapshot temperature, with no crash and no hang).
+package fuzzgen
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// garbage is the injection pool: directive fragments, unterminated
+// literals, stray punctuation, digraph-ish noise.
+var garbage = []string{
+	"#define ", "#if 0\n", "#include \"", "/*", "*/", "\\\n", "\"",
+	"'", "{{", "}}", ";;", "->", "...", "0x", "##", "#", "??(",
+	"\x00", "\t\t\t", "else", "case 0:", "goto ",
+}
+
+// Mutate returns a mutated copy of sources: 1..3 files receive 1..4
+// random edits each. Deterministic in rng.
+func Mutate(sources map[string]string, rng *rand.Rand) map[string]string {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make(map[string]string, len(sources))
+	for name, src := range sources {
+		out[name] = src
+	}
+	nfiles := 1 + rng.Intn(3)
+	for i := 0; i < nfiles; i++ {
+		name := names[rng.Intn(len(names))]
+		src := out[name]
+		nedits := 1 + rng.Intn(4)
+		for e := 0; e < nedits; e++ {
+			src = mutateOnce(src, rng)
+		}
+		out[name] = src
+	}
+	return out
+}
+
+func mutateOnce(src string, rng *rand.Rand) string {
+	if len(src) == 0 {
+		return garbage[rng.Intn(len(garbage))]
+	}
+	switch rng.Intn(6) {
+	case 0: // truncate at an arbitrary byte
+		return src[:rng.Intn(len(src))]
+	case 1: // delete a byte span
+		i := rng.Intn(len(src))
+		j := i + 1 + rng.Intn(minInt(64, len(src)-i))
+		return src[:i] + src[j:]
+	case 2: // duplicate a line
+		lines := strings.SplitAfter(src, "\n")
+		i := rng.Intn(len(lines))
+		lines = append(lines[:i+1], append([]string{lines[i]}, lines[i+1:]...)...)
+		return strings.Join(lines, "")
+	case 3: // unbalance a delimiter
+		delims := "{}()\"'"
+		var idxs []int
+		for i := 0; i < len(src); i++ {
+			if strings.IndexByte(delims, src[i]) >= 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			return src + "}"
+		}
+		i := idxs[rng.Intn(len(idxs))]
+		if rng.Intn(2) == 0 {
+			return src[:i] + src[i+1:] // drop it
+		}
+		return src[:i] + string(delims[rng.Intn(len(delims))]) + src[i+1:] // swap it
+	case 4: // inject garbage
+		i := rng.Intn(len(src) + 1)
+		return src[:i] + garbage[rng.Intn(len(garbage))] + src[i:]
+	default: // splice: swap two chunks
+		if len(src) < 8 {
+			return src
+		}
+		a := rng.Intn(len(src) / 2)
+		b := len(src)/2 + rng.Intn(len(src)/2)
+		alen := 1 + rng.Intn(minInt(32, len(src)/2-a))
+		blen := 1 + rng.Intn(minInt(32, len(src)-b))
+		return src[:a] + src[b:b+blen] + src[a+alen:b] + src[a:a+alen] + src[b+blen:]
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,345 @@
+// The five differential oracles. Each one runs the full pipeline over
+// the same sources under two configurations whose outputs are provably
+// related, and reports any divergence as a Violation:
+//
+//	workers     Workers=1 vs Workers=N must be byte-identical (the
+//	            parallel merge is deterministic by construction).
+//	memo        Memoization on/off must find the same error set: the
+//	            memo contract says equal-key states behave identically
+//	            for the rest of the path, so pruning may change visit
+//	            counts (and therefore z evidence) but never which
+//	            (checker, position, rule) errors exist. Vacuous when
+//	            either run hits the engine's visit budget — truncation
+//	            legitimately cuts exploration short.
+//	snapshot    A warm snapshot-store run must be byte-identical to a
+//	            cold one and to a store-less baseline, and must actually
+//	            reuse every unit (same sources, same fingerprint).
+//	metamorph   Alpha-renaming must preserve every report position and
+//	            the z ranking; function reordering must preserve the
+//	            position-free report shape and the z ranking. Applied
+//	            only to unmutated programs (mutation breaks the
+//	            transforms' equivalence argument).
+//	robust      No analysis run may panic or outrun its deadline. This
+//	            oracle wraps every run the other four perform.
+package fuzzgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"deviant/internal/core"
+	"deviant/internal/snapshot"
+)
+
+// Violation is one oracle failure.
+type Violation struct {
+	Oracle string // workers | memo | snapshot | metamorph | robust
+	Detail string
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// SeedStats summarizes one seed's run for the soak report.
+type SeedStats struct {
+	Mutated     bool
+	Analyses    int
+	MemoVacuous bool // truncation made the memo oracle a no-op
+	Reports     int  // baseline ranked report count
+}
+
+// CheckSeed generates the program for seed, optionally mutates it, and
+// runs every applicable oracle. It returns the sources under test (for
+// failure archiving), the violations, and run statistics.
+func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violation, SeedStats) {
+	p := Generate(seed)
+	// A derived rng decides mutation and the reorder permutation, so the
+	// whole trial replays from the one seed.
+	aux := newAuxRNG(seed)
+	var stats SeedStats
+	stats.Mutated = aux.Float64() < 0.35
+	sources := p.Sources()
+	if stats.Mutated {
+		sources = Mutate(sources, aux.Rand)
+	}
+
+	var vs []Violation
+	run := func(opts core.Options) runOut {
+		stats.Analyses++
+		out := guardedAnalyze(sources, opts, timeout)
+		if out.panicked != "" {
+			vs = append(vs, Violation{"robust", "panic: " + firstLine(out.panicked)})
+		}
+		if out.hung {
+			vs = append(vs, Violation{"robust", fmt.Sprintf("analysis exceeded %v", timeout)})
+		}
+		return out
+	}
+
+	base := run(soakOptions(1, true, nil))
+	if base.panicked != "" || base.hung {
+		return sources, vs, stats
+	}
+	if base.res != nil {
+		stats.Reports = base.res.Reports.Len()
+	}
+	baseCanon := canonical(base)
+
+	// Oracle 1: worker-count determinism, byte for byte.
+	par := run(soakOptions(4, true, nil))
+	if ok(par) && canonical(par) != baseCanon {
+		vs = append(vs, Violation{"workers", diffDetail(baseCanon, canonical(par))})
+	}
+
+	// Oracle 2: memoization soundness on the error set.
+	memOff := run(soakOptions(1, false, nil))
+	if ok(memOff) && ok(base) {
+		if truncated(base) || truncated(memOff) {
+			stats.MemoVacuous = true
+		} else if a, b := reportKeySet(base), reportKeySet(memOff); a != b {
+			vs = append(vs, Violation{"memo", diffDetail(a, b)})
+		}
+	}
+
+	// Oracle 3: snapshot warm/cold equivalence. The cold run populates a
+	// fresh store; the warm run must reuse every unit and reproduce the
+	// baseline byte for byte.
+	store := snapshot.NewStore(0)
+	cold := run(soakOptions(1, true, store))
+	if ok(cold) && canonical(cold) != baseCanon {
+		vs = append(vs, Violation{"snapshot", "cold store run diverged from store-less baseline: " + diffDetail(baseCanon, canonical(cold))})
+	}
+	warm := run(soakOptions(1, true, store))
+	if ok(warm) {
+		if canonical(warm) != baseCanon {
+			vs = append(vs, Violation{"snapshot", "warm run diverged from baseline: " + diffDetail(baseCanon, canonical(warm))})
+		}
+		if warm.res != nil && warm.res.Snapshot.UnitsReused != len(p.Units) {
+			vs = append(vs, Violation{"snapshot",
+				fmt.Sprintf("warm run reused %d/%d units", warm.res.Snapshot.UnitsReused, len(p.Units))})
+		}
+	}
+
+	// Oracle 4: metamorphic invariance, unmutated programs only.
+	if !stats.Mutated && base.res != nil {
+		renamed := sources
+		sources = p.SourcesRenamed()
+		ren := run(soakOptions(1, true, nil))
+		sources = renamed
+		if ok(ren) && ren.res != nil {
+			if a, b := posShape(base.res), posShape(ren.res); a != b {
+				vs = append(vs, Violation{"metamorph", "alpha-rename changed report positions: " + diffDetail(a, b)})
+			}
+			if !sameZSeq(base.res, ren.res) {
+				vs = append(vs, Violation{"metamorph", "alpha-rename changed the z ranking"})
+			}
+		}
+
+		reordered := sources
+		sources = p.SourcesReordered(aux.Rand)
+		reo := run(soakOptions(1, true, nil))
+		sources = reordered
+		if ok(reo) && reo.res != nil {
+			if a, b := shapeNoPos(base.res), shapeNoPos(reo.res); a != b {
+				vs = append(vs, Violation{"metamorph", "function reorder changed report shape: " + diffDetail(a, b)})
+			}
+			if !sameZSeq(base.res, reo.res) {
+				vs = append(vs, Violation{"metamorph", "function reorder changed the z ranking"})
+			}
+		}
+	}
+	return sources, vs, stats
+}
+
+// newAuxRNG returns the per-seed auxiliary rng, offset from the
+// generator's stream so mutation choices don't correlate with program
+// shape.
+func newAuxRNG(seed int64) *auxRNG {
+	return &auxRNG{rand.New(rand.NewSource(seed ^ 0x5eed5eed))}
+}
+
+type auxRNG struct{ *rand.Rand }
+
+func soakOptions(workers int, memoize bool, store *snapshot.Store) core.Options {
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	opts.Memoize = memoize
+	opts.Snapshot = store
+	return opts
+}
+
+type runOut struct {
+	res      *core.Result
+	err      error
+	panicked string
+	hung     bool
+}
+
+func ok(o runOut) bool { return o.panicked == "" && !o.hung }
+
+func truncated(o runOut) bool {
+	if o.res == nil {
+		return false
+	}
+	for _, st := range o.res.EngineStats {
+		if st.Truncated {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedAnalyze runs one analysis with panic capture and a deadline. A
+// run that outlives the deadline is reported as hung; its goroutine is
+// abandoned (the engine's visit budget makes true non-termination a bug,
+// which is exactly what this oracle exists to catch).
+func guardedAnalyze(sources map[string]string, opts core.Options, timeout time.Duration) runOut {
+	done := make(chan runOut, 1)
+	go func() {
+		out := runOut{}
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicked = fmt.Sprintf("%v\n%s", r, debug.Stack())
+			}
+			done <- out
+		}()
+		out.res, out.err = core.New(opts, nil).AnalyzeSources(sources)
+	}()
+	select {
+	case out := <-done:
+		return out
+	case <-time.After(timeout):
+		return runOut{hung: true}
+	}
+}
+
+// canonical renders everything a run produced that must be deterministic:
+// corpus accounting, frontend diagnostics, ranked reports, and every
+// derived rule table. Two runs expected to be equivalent must render
+// byte-identically.
+func canonical(o runOut) string {
+	var b strings.Builder
+	if o.err != nil {
+		fmt.Fprintf(&b, "err: %v\n", o.err)
+		return b.String()
+	}
+	res := o.res
+	fmt.Fprintf(&b, "funcs=%d lines=%d\n", res.FuncCount, res.LineCount)
+	for _, e := range res.ParseErrors {
+		fmt.Fprintf(&b, "diag: %v\n", e)
+	}
+	for _, r := range res.Reports.Ranked() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "pairs: %+v\n", res.Pairs)
+	fmt.Fprintf(&b, "canfail: %+v\n", res.CanFail)
+	fmt.Fprintf(&b, "canfailnever: %+v\n", res.CanFailNever)
+	fmt.Fprintf(&b, "iserr: %+v\n", res.IsErrFuncs)
+	fmt.Fprintf(&b, "locks: %+v\n", res.LockBindings)
+	fmt.Fprintf(&b, "intr: %+v\n", res.IntrFuncs)
+	fmt.Fprintf(&b, "sec: %+v\n", res.SecChecks)
+	fmt.Fprintf(&b, "rev: %+v\n", res.Reversals)
+	return b.String()
+}
+
+// reportKeySet renders the sorted set of report identities plus their
+// definiteness — the memo oracle's comparand.
+func reportKeySet(o runOut) string {
+	if o.res == nil {
+		return fmt.Sprintf("err: %v", o.err)
+	}
+	ranked := o.res.Reports.Ranked()
+	keys := make([]string, 0, len(ranked))
+	for i := range ranked {
+		r := &ranked[i]
+		keys = append(keys, fmt.Sprintf("%s|%s|%s|definite=%v", r.Checker, r.Pos, r.Rule, !r.Statistical()))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// posShape renders the sorted multiset of report identities with full
+// positions and evidence but no name-carrying strings — invariant under
+// same-length alpha-renaming.
+func posShape(res *core.Result) string {
+	ranked := res.Reports.Ranked()
+	lines := make([]string, 0, len(ranked)+1)
+	lines = append(lines, fmt.Sprintf("funcs=%d lines=%d diags=%d reports=%d",
+		res.FuncCount, res.LineCount, len(res.ParseErrors), len(ranked)))
+	for i := range ranked {
+		r := &ranked[i]
+		lines = append(lines, fmt.Sprintf("%s|%s|sev=%d|span=%d|z=%x|%d/%d",
+			r.Checker, r.Pos, r.Severity, r.Span,
+			math.Float64bits(r.Z), r.Counter.Examples, r.Counter.Checks))
+	}
+	sort.Strings(lines[1:])
+	return strings.Join(lines, "\n")
+}
+
+// shapeNoPos renders the sorted multiset of report identities with rules
+// but no positions — invariant under reordering of independent functions.
+func shapeNoPos(res *core.Result) string {
+	ranked := res.Reports.Ranked()
+	lines := make([]string, 0, len(ranked)+1)
+	lines = append(lines, fmt.Sprintf("funcs=%d lines=%d diags=%d reports=%d",
+		res.FuncCount, res.LineCount, len(res.ParseErrors), len(ranked)))
+	for i := range ranked {
+		r := &ranked[i]
+		lines = append(lines, fmt.Sprintf("%s|%s|sev=%d|span=%d|z=%x|%d/%d",
+			r.Checker, r.Rule, r.Severity, r.Span,
+			math.Float64bits(r.Z), r.Counter.Examples, r.Counter.Checks))
+	}
+	sort.Strings(lines[1:])
+	return strings.Join(lines, "\n")
+}
+
+// sameZSeq compares the ranked z sequences (statistical reports only,
+// rank order): the metamorphic transforms must not perturb the ranking.
+func sameZSeq(a, b *core.Result) bool {
+	return zSeq(a) == zSeq(b)
+}
+
+func zSeq(res *core.Result) string {
+	var sb strings.Builder
+	for _, r := range res.Reports.Ranked() {
+		if r.Statistical() {
+			fmt.Fprintf(&sb, "%x,", math.Float64bits(r.Z))
+		}
+	}
+	return sb.String()
+}
+
+// diffDetail renders the first differing line of two canonical strings,
+// keeping violation messages bounded.
+func diffDetail(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, clip(al[i]), clip(bl[i]))
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+func clip(s string) string {
+	if len(s) > 160 {
+		return s[:160] + "..."
+	}
+	return s
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

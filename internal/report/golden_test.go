@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deviant/internal/ctoken"
+)
+
+// goldenCollector builds a fixed mix of definite and statistical reports
+// covering every JSONReport field combination: definite (no z block),
+// statistical with evidence, and a z that is negative (regression guard
+// for sign handling in encoding).
+func goldenCollector() *Collector {
+	c := NewCollector()
+	pos := func(file string, line, col int) ctoken.Pos {
+		return ctoken.Pos{File: file, Line: line, Col: col}
+	}
+	c.AddStat("null/check-then-use", "pointer p checked against null",
+		pos("drv/card.c", 112, 9), 3.61, 17, 16,
+		"pointer p dereferenced after null check")
+	c.AddMust("null/use-then-check", "do not check p after dereference",
+		pos("drv/card.c", 58, 5), Serious, 3,
+		"pointer p checked after unconditional dereference")
+	c.AddStat("pairing", "spin_lock must be paired with spin_unlock",
+		pos("fs/inode.c", 902, 2), 2.08, 31, 29,
+		"exit path missing spin_unlock after spin_lock")
+	c.AddMust("redundant/dead-assign", "assignment is never read",
+		pos("fs/inode.c", 14, 1), Minor, 0,
+		"value assigned to err is overwritten before use")
+	c.AddStat("failcheck", "result of kmalloc must be checked before use",
+		pos("mm/pool.c", 7, 12), -0.52, 4, 3,
+		"unchecked kmalloc result dereferenced")
+	return c
+}
+
+// The JSON wire shape is a compatibility contract: rank ordering, field
+// order within each object, and omission of the evidence block on
+// definite reports. Any diff against the golden file is an intentional
+// schema change and must be reviewed (regenerate with UPDATE_GOLDEN=1).
+func TestJSONReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	ranked := goldenCollector().Ranked()
+	for i := range ranked {
+		if err := enc.Encode(ToJSON(i+1, &ranked[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareGolden(t, filepath.Join("testdata", "json_report.golden"), buf.Bytes())
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file %s updated", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// Field order inside each JSON object is part of the contract (consumers
+// diff raw lines); spot-check the serialized key sequence directly.
+func TestJSONReportFieldOrder(t *testing.T) {
+	r := Report{
+		Checker: "pairing", Rule: "a pairs b", Pos: ctoken.Pos{File: "x.c", Line: 1, Col: 2},
+		Message: "m", Z: 1.5, Counter: CounterInfo{Checks: 10, Examples: 9},
+	}
+	b, err := json.Marshal(ToJSON(1, &r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"rank":1,"checker":"pairing","file":"x.c","line":1,"col":2,"rule":"a pairs b","message":"m","definite":false,"z":1.5,"checks":10,"examples":9}`
+	if string(b) != want {
+		t.Fatalf("field order drifted:\n got %s\nwant %s", b, want)
+	}
+	// A definite report must omit the statistical block entirely.
+	r.Z = math.NaN()
+	b, err = json.Marshal(ToJSON(2, &r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"rank":2,"checker":"pairing","file":"x.c","line":1,"col":2,"rule":"a pairs b","message":"m","definite":true}`
+	if string(b) != want {
+		t.Fatalf("definite report shape drifted:\n got %s\nwant %s", b, want)
+	}
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// postRaw sends bytes as-is, bypassing the JSON marshal in postJSON, so
+// tests can inject malformed and truncated bodies.
+func postRaw(t *testing.T, h http.Handler, path string, body []byte) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr, rr.Body.Bytes()
+}
+
+// Malformed and truncated bodies are client errors: 400, with a JSON
+// error payload, never a 500 and never a hang.
+func TestFaultMalformedBodies(t *testing.T) {
+	s := New(Config{})
+	valid, err := json.Marshal(analyzeRequest{Sources: svcSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"not json", []byte("int main(void) { return 0; }")},
+		{"wrong top-level type", []byte(`[1,2,3]`)},
+		{"unknown field", []byte(`{"sauces":{"a.c":"int x;"}}`)},
+		{"binary garbage", []byte{0x00, 0xff, 0x1f, 0x8b, 0x08}},
+		{"truncated mid-object", valid[:len(valid)/2]},
+		{"truncated mid-string", valid[:len(valid)-3]},
+		{"trailing garbage ignored by decoder is still one object", []byte(`{"sources":{}}`)}, // empty sources → validation 400
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, path := range []string{"/v1/analyze", "/v1/diff"} {
+				rr, body := postRaw(t, s, path, c.body)
+				if rr.Code != http.StatusBadRequest {
+					t.Fatalf("%s: status %d, want 400: %s", path, rr.Code, body)
+				}
+				var e map[string]string
+				if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+					t.Fatalf("%s: error payload not JSON with error field: %s", path, body)
+				}
+			}
+		})
+	}
+}
+
+// A body over MaxBodyBytes is a distinct failure from malformed JSON and
+// must get 413, on both POST endpoints, whether the oversized content is
+// valid JSON or noise.
+func TestFaultOversizedBody(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 4 << 10})
+	big := analyzeRequest{Sources: map[string]string{
+		"a.c": "int x = 0;" + strings.Repeat("/* pad */", 4<<10),
+	}}
+	for _, path := range []string{"/v1/analyze", "/v1/diff"} {
+		rr, body := postJSON(t, s, path, big)
+		if rr.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413: %s", path, rr.Code, body)
+		}
+	}
+	// A body whose defect lies beyond the limit (an unterminated giant
+	// string) hits the size cap before the parse error: 413, not 400.
+	unterminated := append([]byte(`{"sources":{"a.c":"`), bytes.Repeat([]byte{'y'}, 8<<10)...)
+	rr, body := postRaw(t, s, "/v1/analyze", unterminated)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized truncated body: status %d, want 413: %s", rr.Code, body)
+	}
+	// At exactly the limit the request is not oversized.
+	exact := append([]byte(`{"sources":{"a.c":"`), bytes.Repeat([]byte{'x'}, 100)...)
+	exact = append(exact, []byte(`"}}`)...)
+	if int64(len(exact)) > 4<<10 {
+		t.Fatalf("test fixture larger than limit")
+	}
+	rr, body = postRaw(t, s, "/v1/analyze", exact)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("under-limit body: status %d, want 200: %s", rr.Code, body)
+	}
+}
+
+// Requests racing drain mode: a hammer of concurrent analyze requests
+// while the server flips draining on and off must only ever see the
+// documented statuses, and the server must serve normally afterwards.
+func TestFaultDrainRace(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, QueueDepth: 2})
+	sources := svcSources()
+
+	var wg sync.WaitGroup
+	const hammers = 4
+	const perHammer = 25
+	statuses := make([][]int, hammers)
+	for i := 0; i < hammers; i++ {
+		i := i
+		statuses[i] = make([]int, 0, perHammer)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf, _ := json.Marshal(analyzeRequest{Sources: sources})
+			for j := 0; j < perHammer; j++ {
+				req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(buf))
+				rr := httptest.NewRecorder()
+				s.ServeHTTP(rr, req)
+				statuses[i] = append(statuses[i], rr.Code)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			s.SetDraining(k%2 == 0)
+		}
+		s.SetDraining(false)
+	}()
+	wg.Wait()
+
+	allowed := map[int]bool{
+		http.StatusOK:                 true,
+		http.StatusServiceUnavailable: true,
+		http.StatusTooManyRequests:    true,
+		http.StatusGatewayTimeout:     true,
+	}
+	for i, col := range statuses {
+		for j, code := range col {
+			if !allowed[code] {
+				t.Fatalf("hammer %d request %d: unexpected status %d", i, j, code)
+			}
+		}
+	}
+
+	// Fully undrained, the server must be healthy and serve new work.
+	if rr, body := getPath(t, s, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("healthz after drain race: %d: %s", rr.Code, body)
+	}
+	analyze(t, s, sources)
+}
+
+// During drain every new analyze/diff gets a clean 503 JSON error — not
+// a reset, not a 500 — and healthz reports not-ready.
+func TestFaultDrainStatuses(t *testing.T) {
+	s := New(Config{})
+	s.SetDraining(true)
+	for _, path := range []string{"/v1/analyze", "/v1/diff"} {
+		var rr *httptest.ResponseRecorder
+		var body []byte
+		if path == "/v1/analyze" {
+			rr, body = postJSON(t, s, path, analyzeRequest{Sources: svcSources()})
+		} else {
+			rr, body = postJSON(t, s, path, diffRequest{OldSources: svcSources(), NewSources: svcSources()})
+		}
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s during drain: status %d, want 503: %s", path, rr.Code, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s during drain: error payload not JSON: %s", path, body)
+		}
+	}
+	if rr, _ := getPath(t, s, "/healthz"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", rr.Code)
+	}
+	s.SetDraining(false)
+	analyze(t, s, svcSources())
+}
+
+// The queue-full 429 must also hold while bodies are hostile: fill every
+// slot, then hit the server with oversized and malformed bodies — the
+// status must reflect the body fault (decode runs before admission), and
+// releasing the slots restores service.
+func TestFaultBackpressureWithHostileBodies(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 1, MaxBodyBytes: 4 << 10})
+	// Occupy all admission slots directly, as TestBackpressure does.
+	for i := 0; i < cap(s.slots); i++ {
+		s.slots <- struct{}{}
+	}
+	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: svcSources()})
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429: %s", rr.Code, body)
+	}
+	if rr, _ := postRaw(t, s, "/v1/analyze", []byte("not json")); rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body under backpressure: status %d, want 400", rr.Code)
+	}
+	huge := fmt.Sprintf(`{"sources":{"a.c":%q}}`, strings.Repeat("y", 8<<10))
+	if rr, _ := postRaw(t, s, "/v1/analyze", []byte(huge)); rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body under backpressure: status %d, want 413", rr.Code)
+	}
+	for i := 0; i < cap(s.slots); i++ {
+		<-s.slots
+	}
+	analyze(t, s, svcSources())
+}

@@ -35,6 +35,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -63,6 +64,10 @@ type Config struct {
 	Timeout time.Duration
 	// SnapshotUnits caps the snapshot store (0 = snapshot default).
 	SnapshotUnits int
+	// MaxBodyBytes caps a request body; larger payloads get 413
+	// (0 = 32 MiB, enough for any realistic source tree while keeping a
+	// hostile client from buffering gigabytes into the decoder).
+	MaxBodyBytes int64
 	// Logger, when non-nil, receives one structured line per request
 	// (id, method, path, status, duration) plus lifecycle events. Nil
 	// disables request logging (the default for embedded/test use).
@@ -81,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
 	}
 	return c
 }
@@ -433,10 +441,22 @@ func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, 
 	}
 }
 
-func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+// decodeRequest parses a JSON body under the configured size cap.
+// Malformed or truncated JSON (and unknown fields) are the client's
+// fault: 400. A body larger than MaxBodyBytes is a different contract
+// violation and gets its own status, 413, so clients can distinguish
+// "fix your JSON" from "shrink your tree".
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -529,7 +549,7 @@ func exportTrace(tr *deviant.Tracer) json.RawMessage {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if !decodeRequest(w, r, &req) {
+	if !s.decodeRequest(w, r, &req) {
 		return
 	}
 	if err := validateSources(req.Sources); err != nil {
@@ -575,7 +595,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	var req diffRequest
-	if !decodeRequest(w, r, &req) {
+	if !s.decodeRequest(w, r, &req) {
 		return
 	}
 	if err := validateSources(req.OldSources); err != nil {

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Degenerate z inputs must never leak NaN (the report layer reserves NaN
+// to mean "MUST belief, no statistic") and must never leak ±Inf except
+// the documented -Inf for an empty population.
+func TestZEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, e    int
+		p0      float64
+		negInf  bool // expect exactly -Inf
+		sign    int  // expected sign of a finite result; 0 = don't care
+		finite  bool // expect a finite value
+		equalTo *float64
+	}{
+		{name: "n=0", n: 0, e: 0, p0: 0.9, negInf: true},
+		{name: "n=0 with stray examples", n: 0, e: 5, p0: 0.9, negInf: true},
+		{name: "n negative", n: -3, e: 1, p0: 0.9, negInf: true},
+		{name: "e>n clamps to perfect evidence", n: 10, e: 15, p0: 0.9, finite: true, sign: +1},
+		{name: "e negative clamps to zero", n: 10, e: -2, p0: 0.9, finite: true, sign: -1},
+		{name: "p0=0 does not divide by zero", n: 10, e: 5, p0: 0, finite: true, sign: +1},
+		{name: "p0=1 does not divide by zero", n: 10, e: 5, p0: 1, finite: true, sign: -1},
+		{name: "p0 perfect match", n: 10, e: 9, p0: 0.9, finite: true, sign: 0},
+		{name: "all examples", n: 100, e: 100, p0: 0.9, finite: true, sign: +1},
+		{name: "no examples", n: 100, e: 0, p0: 0.9, finite: true, sign: -1},
+		{name: "n=1 single check", n: 1, e: 1, p0: 0.9, finite: true, sign: +1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			z := Z(c.n, c.e, c.p0)
+			if math.IsNaN(z) {
+				t.Fatalf("Z(%d,%d,%g) = NaN", c.n, c.e, c.p0)
+			}
+			if c.negInf {
+				if !math.IsInf(z, -1) {
+					t.Fatalf("Z(%d,%d,%g) = %g, want -Inf", c.n, c.e, c.p0, z)
+				}
+				return
+			}
+			if c.finite && math.IsInf(z, 0) {
+				t.Fatalf("Z(%d,%d,%g) = %g, want finite", c.n, c.e, c.p0, z)
+			}
+			if c.sign > 0 && z <= 0 {
+				t.Fatalf("Z(%d,%d,%g) = %g, want > 0", c.n, c.e, c.p0, z)
+			}
+			if c.sign < 0 && z >= 0 {
+				t.Fatalf("Z(%d,%d,%g) = %g, want < 0", c.n, c.e, c.p0, z)
+			}
+		})
+	}
+}
+
+// Clamping must agree with the clean-input formula at the boundary: e=n
+// and e>n rank identically, e=0 and e<0 rank identically.
+func TestZClampBoundaries(t *testing.T) {
+	if a, b := Z(10, 10, 0.9), Z(10, 99, 0.9); a != b {
+		t.Fatalf("Z(10,10)=%g but Z(10,99)=%g; over-clamp should pin to e=n", a, b)
+	}
+	if a, b := Z(10, 0, 0.9), Z(10, -7, 0.9); a != b {
+		t.Fatalf("Z(10,0)=%g but Z(10,-7)=%g; under-clamp should pin to e=0", a, b)
+	}
+}
+
+// The inverse principle must survive every degenerate input Z survives:
+// z(n, n-e) with e > n feeds a negative example count straight into Z.
+func TestZInverseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		n, e int
+		p0   float64
+	}{
+		{name: "n=0", n: 0, e: 0, p0: 0.9},
+		{name: "e>n yields negative inverse examples", n: 10, e: 15, p0: 0.9},
+		{name: "e=n yields zero inverse examples", n: 10, e: 10, p0: 0.9},
+		{name: "p0=1", n: 10, e: 3, p0: 1},
+		{name: "p0=0", n: 10, e: 3, p0: 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			z := ZInverse(c.n, c.e, c.p0)
+			if math.IsNaN(z) {
+				t.Fatalf("ZInverse(%d,%d,%g) = NaN", c.n, c.e, c.p0)
+			}
+			if math.IsInf(z, 0) && c.n > 0 {
+				t.Fatalf("ZInverse(%d,%d,%g) = %g, want finite for n>0", c.n, c.e, c.p0, z)
+			}
+		})
+	}
+	// The identity the name promises: inverting twice is the original.
+	if a, b := ZInverse(20, 6, 0.8), Z(20, 14, 0.8); a != b {
+		t.Fatalf("ZInverse(20,6) = %g, want Z(20,14) = %g", a, b)
+	}
+}
+
+// Counter.Z must route through the same hardened path: a counter with
+// more errors than checks (possible only through corruption or a checker
+// bug) still ranks finitely.
+func TestCounterZDegenerate(t *testing.T) {
+	c := Counter{Checks: 5, Errors: 9} // Examples() = -4
+	z := c.Z(DefaultP0)
+	if math.IsNaN(z) || math.IsInf(z, 0) {
+		t.Fatalf("corrupt counter %+v ranked %g, want finite", c, z)
+	}
+	empty := Counter{}
+	if z := empty.Z(DefaultP0); !math.IsInf(z, -1) {
+		t.Fatalf("empty counter ranked %g, want -Inf", z)
+	}
+}

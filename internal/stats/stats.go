@@ -26,10 +26,29 @@ const DefaultP0 = 0.9
 // where n is the population size (number of checks) and e the number of
 // examples (successful checks). Larger z means the observed ratio of
 // examples to counter-examples is more standard errors above p0, i.e. the
-// belief is more credible. Z returns -Inf for n == 0.
+// belief is more credible.
+//
+// Degenerate inputs are made finite rather than propagated: n <= 0
+// returns -Inf (no evidence ranks below any evidence, and the value never
+// escapes into report JSON because a zero population produces no report);
+// e is clamped into [0, n] so corrupted counters cannot produce a ratio
+// outside [0, 1]; and p0 is clamped into the open interval (0, 1) so the
+// standard error is never zero — p0 of exactly 0 or 1 would otherwise
+// divide by zero and leak NaN/Inf into the ranking.
 func Z(n, e int, p0 float64) float64 {
 	if n <= 0 {
 		return math.Inf(-1)
+	}
+	if e < 0 {
+		e = 0
+	} else if e > n {
+		e = n
+	}
+	const eps = 1e-9
+	if p0 < eps {
+		p0 = eps
+	} else if p0 > 1-eps {
+		p0 = 1 - eps
 	}
 	return (float64(e)/float64(n) - p0) / math.Sqrt(p0*(1-p0)/float64(n))
 }
