@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json obs-race service-race serve-smoke fuzz-smoke soak-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json obs-race service-race serve-smoke fuzz-smoke soak-smoke chaos-smoke ci
 
 all: build
 
@@ -63,10 +63,18 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/cparse
 
 # Differential soak: 200 generated adversarial programs through the full
-# pipeline under all five equivalence oracles (workers, memoization,
-# snapshot, metamorphic, no-crash/no-hang). Failing inputs land in
-# testdata/fuzz/deviantfuzz/ and reproduce via `deviantfuzz -seed N -n 1`.
+# pipeline under all six equivalence oracles (workers, memoization,
+# snapshot, metamorphic, quarantine determinism, no-crash/no-hang).
+# Failing inputs land in testdata/fuzz/deviantfuzz/ and reproduce via
+# `deviantfuzz -seed N -n 1`.
 soak-smoke:
 	$(GO) run ./cmd/deviantfuzz -n 200 -seed 1
 
-ci: vet build race bench-smoke obs-race service-race serve-smoke bench-json fuzz-smoke soak-smoke
+# Fault-containment sweep: armed failpoints, budget exhaustion, torn and
+# corrupted snapshot files, service panic recovery, and client retry
+# behavior, all under the race detector.
+chaos-smoke:
+	$(GO) test -race -run 'Quarantine|Budget|Deadline|Disk|Persistent|Fault|Panic|Retry|TrapBait|Redact|Canonicalize|Injected' \
+		./internal/fault ./internal/core ./internal/snapshot ./internal/service ./internal/client ./internal/fuzzgen ./cmd/deviant
+
+ci: vet build race bench-smoke obs-race service-race serve-smoke bench-json fuzz-smoke soak-smoke chaos-smoke

@@ -28,14 +28,18 @@
 //	-json         one JSON object per line on stdout: first a summary
 //	              (units, functions, lines, parse_errors), then reports
 //	-trust        §5 trustworthiness-augmented ranking
+//	-timeout d    wall-clock budget for the whole run (0 = none); an
+//	              overrun run still prints what it finished, notes the
+//	              partial results on stderr, and exits 4
 //	-diff OLDDIR  cross-version mode (§4.2): check that <dir> preserves
 //	              the invariants OLDDIR's code implied; prints the drift
 //	              list and then the new version's ranked reports
 //
 // Exit codes: 0 on a clean run (reports may still be printed — deviant
 // finds bugs, it does not gate on them), 1 on a fatal error, 2 on bad
-// usage, 3 when the frontend reported parse errors, so CI scripts can
-// tell "clean corpus, no bugs" from "corpus didn't parse".
+// usage, 3 when the frontend reported parse errors, 4 when -timeout
+// expired mid-run, so CI scripts can tell "clean corpus, no bugs" from
+// "corpus didn't parse" from "results are partial".
 package main
 
 import (
@@ -49,6 +53,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"deviant"
 	"deviant/internal/core"
@@ -61,6 +66,10 @@ import (
 // distinct from 1 (fatal error) and 2 (usage) so scripts can gate on
 // frontend health.
 const exitParseErrors = 3
+
+// exitDeadline is the exit code for "-timeout expired mid-run": the
+// printed results cover only the work that finished in budget.
+const exitDeadline = 4
 
 func main() {
 	log.SetFlags(0)
@@ -78,6 +87,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a summary line and reports as JSON lines")
 	trust := flag.Bool("trust", false, "rank with the §5 code-trustworthiness augmentation")
 	diffOld := flag.String("diff", "", "cross-version mode: directory of the OLD version; the positional dir is the new one")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); exit 4 with partial results on overrun")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -95,6 +105,9 @@ func main() {
 	if *checkers != "" {
 		opts.Checks = parseCheckers(*checkers)
 	}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
+	}
 	var tr *deviant.Tracer
 	if *tracePath != "" {
 		tr = deviant.NewTracer()
@@ -102,11 +115,15 @@ func main() {
 	}
 
 	if *diffOld != "" {
-		parseErrs, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust)
+		parseErrs, deadlineHit, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust)
 		if err != nil {
 			log.Fatal(err)
 		}
 		writeTrace(*tracePath, tr)
+		if deadlineHit {
+			fmt.Fprintln(os.Stderr, "deviant: -timeout expired; results are partial")
+			os.Exit(exitDeadline)
+		}
 		if parseErrs > 0 {
 			os.Exit(exitParseErrors)
 		}
@@ -154,6 +171,7 @@ func main() {
 			}
 			fmt.Printf("%4d. %s\n", i+1, r.String())
 		}
+		printQuarantine(os.Stdout, res)
 	}
 	if *stats {
 		// Keep stdout pure JSON lines in -json mode.
@@ -163,10 +181,32 @@ func main() {
 		}
 		fmt.Fprint(w, res.Timing.String())
 		printCheckerStats(w, res)
+		if res.Degraded {
+			fmt.Fprintf(w, "fault containment: %d quarantined, %d panics recovered\n",
+				len(res.Quarantined), res.PanicsRecovered)
+		}
 	}
 	writeTrace(*tracePath, tr)
+	if res.DeadlineExceeded {
+		fmt.Fprintln(os.Stderr, "deviant: -timeout expired; results are partial")
+		os.Exit(exitDeadline)
+	}
 	if len(res.ParseErrors) > 0 {
 		os.Exit(exitParseErrors)
+	}
+}
+
+// printQuarantine renders the degraded-run section of text output: the
+// canonical quarantine records, one per line, already sorted by core so
+// the section is byte-identical across worker counts.
+func printQuarantine(w io.Writer, res *deviant.Result) {
+	if !res.Degraded {
+		return
+	}
+	fmt.Fprintf(w, "degraded run: %d quarantined (%d panics recovered)\n",
+		len(res.Quarantined), res.PanicsRecovered)
+	for _, q := range res.Quarantined {
+		fmt.Fprintf(w, "   q. %s\n", q.String())
 	}
 }
 
@@ -216,13 +256,16 @@ func writeTrace(path string, tr *deviant.Tracer) {
 
 // jsonSummary is the first line of -json output: corpus size and
 // frontend health, so scripts can detect parse trouble without scraping
-// stderr.
+// stderr. The degraded fields are omitted on clean runs, keeping those
+// bytes identical to builds that predate fault containment.
 type jsonSummary struct {
-	Units       int `json:"units"`
-	Functions   int `json:"functions"`
-	Lines       int `json:"lines"`
-	ParseErrors int `json:"parse_errors"`
-	Reports     int `json:"reports"`
+	Units       int  `json:"units"`
+	Functions   int  `json:"functions"`
+	Lines       int  `json:"lines"`
+	ParseErrors int  `json:"parse_errors"`
+	Reports     int  `json:"reports"`
+	Degraded    bool `json:"degraded,omitempty"`
+	Quarantined int  `json:"quarantined,omitempty"`
 }
 
 func emitJSON(res *deviant.Result, units int, ranked []deviant.Report, top int) {
@@ -239,6 +282,8 @@ func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Re
 		Lines:       res.LineCount,
 		ParseErrors: len(res.ParseErrors),
 		Reports:     len(ranked),
+		Degraded:    res.Degraded,
+		Quarantined: len(res.Quarantined),
 	}); err != nil {
 		return err
 	}
@@ -247,6 +292,13 @@ func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Re
 			break
 		}
 		if err := enc.Encode(report.ToJSON(i+1, &r)); err != nil {
+			return err
+		}
+	}
+	// Quarantine records follow the reports: {"unit","stage","cause"}
+	// lines in canonical order, present only on degraded runs.
+	for _, q := range res.Quarantined {
+		if err := enc.Encode(q); err != nil {
 			return err
 		}
 	}
@@ -340,19 +392,20 @@ type jsonDrift struct {
 // analysis flags (-p0, -checkers, -no-memo, -no-prune, -j) and the
 // presentation flags (-top, -json, -trust) all apply exactly as in
 // single-version mode. It returns the new version's frontend parse-error
-// count for exit-code purposes.
-func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, jsonOut, trust bool) (int, error) {
+// count for exit-code purposes, plus whether the -timeout deadline
+// expired during either version's analysis.
+func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, jsonOut, trust bool) (int, bool, error) {
 	oldSrcs, err := readTree(oldDir)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	newSrcs, err := readTree(newDir)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	drifts, newRes, err := deviant.Diff(oldSrcs, newSrcs, opts)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	units := 0
 	for name := range newSrcs {
@@ -368,15 +421,15 @@ func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, 
 	rankSpan.End()
 	if jsonOut {
 		if err := emitJSONTo(w, newRes, units, ranked, top); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		enc := json.NewEncoder(w)
 		for _, d := range drifts {
 			if err := enc.Encode(jsonDrift{Kind: d.Kind, Func: d.Func, Pos: d.Pos.String(), Msg: d.Msg}); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 		}
-		return len(newRes.ParseErrors), nil
+		return len(newRes.ParseErrors), newRes.DeadlineExceeded, nil
 	}
 	fmt.Fprintf(w, "%d invariant violations (old: %s, new: %s)\n", len(drifts), oldDir, newDir)
 	for i, d := range drifts {
@@ -390,5 +443,6 @@ func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, 
 		}
 		fmt.Fprintf(w, "%4d. %s\n", i+1, r.String())
 	}
-	return len(newRes.ParseErrors), nil
+	printQuarantine(w, newRes)
+	return len(newRes.ParseErrors), newRes.DeadlineExceeded, nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"deviant"
+	"deviant/internal/fault"
 )
 
 func TestParseCheckers(t *testing.T) {
@@ -114,5 +115,68 @@ func TestStatsTableAndTrace(t *testing.T) {
 	writeTrace(missing, nil)
 	if _, err := os.Stat(missing); !os.IsNotExist(err) {
 		t.Error("writeTrace(nil) created a file")
+	}
+}
+
+// TestEmitJSONQuarantine pins the degraded -json contract: clean runs
+// emit byte-identical output to pre-fault-containment builds (omitempty
+// fields, no record lines), degraded runs grow a summary flag plus one
+// canonical {"unit","stage","cause"} line per record.
+func TestEmitJSONQuarantine(t *testing.T) {
+	srcs := map[string]string{"a.c": statsSrc}
+
+	clean, err := deviant.Analyze(srcs, deviant.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanBuf bytes.Buffer
+	if err := emitJSONTo(&cleanBuf, clean, 1, clean.Reports.Ranked(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cleanBuf.String(), "degraded") || strings.Contains(cleanBuf.String(), "quarantin") {
+		t.Errorf("clean -json output mentions quarantine:\n%s", cleanBuf.String())
+	}
+
+	fault.Arm("cfg", "g")
+	defer fault.Reset()
+	deg, err := deviant.Analyze(srcs, deviant.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded {
+		t.Fatal("armed cfg trap did not degrade the run")
+	}
+	var buf bytes.Buffer
+	if err := emitJSONTo(&buf, deg, 1, deg.Reports.Ranked(), 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var summary struct {
+		Degraded    bool `json:"degraded"`
+		Quarantined int  `json:"quarantined"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Degraded || summary.Quarantined != 1 {
+		t.Fatalf("summary: %s", lines[0])
+	}
+	var rec struct {
+		Unit  string `json:"unit"`
+		Stage string `json:"stage"`
+		Cause string `json:"cause"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatalf("last line is not a quarantine record: %v\n%s", err, lines[len(lines)-1])
+	}
+	if rec.Stage != "cfg" || rec.Unit != "g" {
+		t.Errorf("record = %+v, want cfg g", rec)
+	}
+
+	var text bytes.Buffer
+	printQuarantine(&text, deg)
+	if !strings.Contains(text.String(), "degraded run: 1 quarantined") ||
+		!strings.Contains(text.String(), "cfg g:") {
+		t.Errorf("text quarantine section:\n%s", text.String())
 	}
 }

@@ -19,6 +19,10 @@
 //	-timeout d    per-request queue-wait + analysis budget (default 60s)
 //	-snapshot N   snapshot store capacity in translation units
 //	              (default 1024; higher = more reuse, more memory)
+//	-cache-dir d  persist snapshot artifacts under this directory so a
+//	              restarted daemon starts warm; entries are checksummed
+//	              and corrupt ones are evicted and recomputed (empty =
+//	              memory-only caching)
 //	-debug-addr a also serve net/http/pprof on this address (off by
 //	              default; bind to localhost, it is unauthenticated)
 //
@@ -63,6 +67,7 @@ func main() {
 	queue := flag.Int("queue", 0, "waiting requests beyond the running ones (0 = 8)")
 	timeout := flag.Duration("timeout", 0, "per-request budget (0 = 60s)")
 	snapshotUnits := flag.Int("snapshot", 0, "snapshot store capacity in units (0 = 1024)")
+	cacheDir := flag.String("cache-dir", "", "persistent snapshot cache directory (empty = memory only)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "also serve net/http/pprof on this address (off when empty)")
 	flag.Parse()
@@ -79,6 +84,7 @@ func main() {
 		QueueDepth:    *queue,
 		Timeout:       *timeout,
 		SnapshotUnits: *snapshotUnits,
+		CacheDir:      *cacheDir,
 		Logger:        logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -1,8 +1,10 @@
 // deviantfuzz soaks the full analysis pipeline against generated
-// adversarial C programs and five differential oracles: worker-count
+// adversarial C programs and six differential oracles: worker-count
 // determinism, memoization soundness, snapshot warm/cold equivalence,
 // metamorphic invariance under alpha-renaming and function reordering,
-// and no-crash/no-hang.
+// quarantine determinism under armed failpoints (identical fault
+// containment across worker counts and memo on/off, clean bytes once
+// disarmed), and no-crash/no-hang.
 //
 // Usage:
 //

@@ -1,0 +1,262 @@
+// Package client is a retrying HTTP client for deviantd. It speaks the
+// wire types from internal/service and encodes the backoff discipline
+// the server's admission control expects: 429 (queue full) and 503
+// (draining) are transient and retried with capped, jittered exponential
+// backoff, honoring the server's Retry-After hint when present; 4xx
+// client faults are returned immediately; and no retry ever sleeps past
+// the caller's context deadline — a bounded request stays bounded.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"deviant/internal/service"
+)
+
+// StatusError is a non-2xx response: the HTTP status plus the server's
+// JSON error message (or a summary of the body when it isn't ours).
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("deviantd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// Client talks to one deviantd base URL.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int           // retries after the first attempt
+	baseWait   time.Duration // first backoff step (doubles per attempt)
+	maxWait    time.Duration // backoff and Retry-After ceiling
+
+	// Test seams: jitter source and interruptible sleep.
+	rng   func() float64
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Option tunes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying transport (default
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries caps how many times a transient failure is retried
+// after the first attempt (default 4).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the first backoff step and the ceiling both the
+// exponential schedule and Retry-After hints are clamped to
+// (defaults 100ms and 5s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseWait, c.maxWait = base, max }
+}
+
+// New returns a client for the deviantd at base (e.g.
+// "http://127.0.0.1:8477").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         http.DefaultClient,
+		maxRetries: 4,
+		baseWait:   100 * time.Millisecond,
+		maxWait:    5 * time.Second,
+		rng:        rand.Float64,
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Analyze runs one analysis request.
+func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (*service.AnalyzeResponse, error) {
+	var resp service.AnalyzeResponse
+	if err := c.post(ctx, "/v1/analyze", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Diff runs one cross-version check.
+func (c *Client) Diff(ctx context.Context, req service.DiffRequest) (*service.DiffResponse, error) {
+	var resp service.DiffResponse
+	if err := c.post(ctx, "/v1/diff", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Rules fetches the rule instances derived by the last analysis.
+func (c *Client) Rules(ctx context.Context) (*service.RulesResponse, error) {
+	var resp service.RulesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/rules", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health reports the server's liveness and build identity. A draining
+// server answers 503, which is returned as a *StatusError after the
+// retry budget (it may come back) — callers probing a single moment
+// should use a short context.
+func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+	var resp service.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// retryable reports whether a status invites another attempt: the two
+// load-shedding statuses admission control hands out. Everything else —
+// 400s, 413, 500 — would fail identically on a resend.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// do issues one logical request with retries. The body is re-sent from
+// the same buffer on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		var hint time.Duration
+		resp, err := c.attempt(ctx, method, path, body, out)
+		switch {
+		case err == nil:
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case resp != nil:
+			se := err.(*StatusError)
+			if !retryable(se.Status) {
+				return se
+			}
+			last = se
+			hint = retryAfterOf(resp)
+		default:
+			last = err // transport error: connection refused, reset, ...
+		}
+		if attempt >= c.maxRetries {
+			return last
+		}
+		wait := c.backoff(attempt, hint)
+		// A retry that cannot complete before the deadline is not worth
+		// starting; surface the last real failure instead of a later
+		// context error.
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+			return last
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return last
+		}
+	}
+}
+
+// attempt runs one HTTP exchange. A non-2xx returns the response (for
+// its headers) together with a *StatusError.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp, &StatusError{Status: resp.StatusCode, Message: errorMessage(data)}
+	}
+	if out == nil {
+		return resp, nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, fmt.Errorf("deviantd: decoding %s response: %w", path, err)
+	}
+	return resp, nil
+}
+
+// errorMessage extracts the server's JSON error field, falling back to a
+// clipped raw body for responses that aren't deviantd's.
+func errorMessage(data []byte) string {
+	var e service.ErrorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// retryAfterOf parses a Retry-After seconds value (0 when absent or not
+// an integer; HTTP-date values are rare enough here to ignore).
+func retryAfterOf(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff picks the wait before retry number attempt+1: the server's
+// hint when it gave one, otherwise equal-jitter exponential — half the
+// doubling step deterministic, half random, so synchronized clients
+// desynchronize while no one retries absurdly early.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		if hint > c.maxWait {
+			return c.maxWait
+		}
+		return hint
+	}
+	d := c.baseWait << attempt
+	if d > c.maxWait || d <= 0 {
+		d = c.maxWait
+	}
+	half := d / 2
+	return half + time.Duration(c.rng()*float64(half))
+}

@@ -1,0 +1,220 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deviant/internal/service"
+)
+
+// tame pins the client's nondeterminism for byte-exact backoff asserts:
+// jitter always 0.5, sleeps recorded instead of slept.
+func tame(c *Client) *[]time.Duration {
+	var waits []time.Duration
+	c.rng = func() float64 { return 0.5 }
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return ctx.Err()
+	}
+	return &waits
+}
+
+func clientSources() map[string]string {
+	return map[string]string{
+		"m.c": "void *kmalloc(int n);\nint m(int *p) { if (p) return *p; return 0; }\n",
+	}
+}
+
+// Transient 429s are retried on the equal-jitter exponential schedule
+// and the request eventually succeeds.
+func TestRetryScheduleAndSuccess(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			http.Error(w, `{"error":"queue full, retry later"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"units":1,"functions":1,"lines":2,"parse_errors":0,"reports":[],"snapshot":{}}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	waits := tame(c)
+	resp, err := c.Analyze(context.Background(), service.AnalyzeRequest{Sources: clientSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Units != 1 || attempts.Load() != 3 {
+		t.Fatalf("units=%d attempts=%d", resp.Units, attempts.Load())
+	}
+	// base 100ms: step d doubles per attempt, wait = d/2 + 0.5*(d/2).
+	want := []time.Duration{75 * time.Millisecond, 150 * time.Millisecond}
+	if len(*waits) != 2 || (*waits)[0] != want[0] || (*waits)[1] != want[1] {
+		t.Errorf("waits = %v, want %v", *waits, want)
+	}
+}
+
+// A Retry-After hint overrides the exponential schedule, clamped to the
+// configured ceiling.
+func TestRetryAfterHonored(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch attempts.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		case 2:
+			w.Header().Set("Retry-After", "9999")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{"status":"ok","build":{}}`))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithBackoff(100*time.Millisecond, 5*time.Second))
+	waits := tame(c)
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{3 * time.Second, 5 * time.Second}
+	if len(*waits) != 2 || (*waits)[0] != want[0] || (*waits)[1] != want[1] {
+		t.Errorf("waits = %v, want %v", *waits, want)
+	}
+}
+
+// Client faults are final: no retry, and the server's message survives
+// into the error.
+func TestClientFaultNoRetry(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"no .c translation units in sources"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	tame(c)
+	_, err := c.Analyze(context.Background(), service.AnalyzeRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if !strings.Contains(se.Message, "no .c translation units") {
+		t.Errorf("server message lost: %q", se.Message)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("400 was retried: %d attempts", attempts.Load())
+	}
+}
+
+// When the budget runs out the last transient error is returned, after
+// exactly maxRetries+1 attempts.
+func TestRetriesExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"queue full, retry later"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithMaxRetries(2))
+	tame(c)
+	_, err := c.Rules(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429", err)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", attempts.Load())
+	}
+}
+
+// A retry that cannot finish before the caller's deadline is never
+// started: the client returns the real failure immediately instead of
+// sleeping into a context error.
+func TestDeadlineBoundsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, `{"error":"queue full, retry later"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithBackoff(100*time.Millisecond, time.Hour))
+	waits := tame(c)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Rules(ctx)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the 429, not a context error", err)
+	}
+	if len(*waits) != 0 {
+		t.Errorf("client slept %v despite an unmeetable deadline", *waits)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Errorf("deadline-bounded request took %v", time.Since(start))
+	}
+}
+
+// Transport-level failures (nothing listening) are retried like 429s.
+func TestTransportErrorRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing listening at srv.URL now
+
+	c := New(srv.URL, WithMaxRetries(2))
+	waits := tame(c)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("dialing a closed server succeeded")
+	}
+	if len(*waits) != 2 {
+		t.Errorf("slept %d times, want 2", len(*waits))
+	}
+}
+
+// End to end against the real service handler: analyze, rules, health,
+// and the draining path whose Retry-After the client obeys.
+func TestAgainstRealService(t *testing.T) {
+	s := service.New(service.Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	tame(c)
+	resp, err := c.Analyze(context.Background(), service.AnalyzeRequest{Sources: clientSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Units != 1 || resp.Functions != 1 {
+		t.Fatalf("analyze summary: %+v", resp)
+	}
+	rules, err := c.Rules(context.Background())
+	if err != nil || rules.Analysis != 1 {
+		t.Fatalf("rules: %v %+v", err, rules)
+	}
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %v %+v", err, h)
+	}
+
+	s.SetDraining(true)
+	c2 := New(srv.URL, WithMaxRetries(1))
+	waits := tame(c2)
+	_, err = c2.Analyze(context.Background(), service.AnalyzeRequest{Sources: clientSources()})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining: err = %v, want 503", err)
+	}
+	// The server's queue was empty, so its hint is 1s — and the client
+	// used it rather than its own schedule.
+	if len(*waits) != 1 || (*waits)[0] != time.Second {
+		t.Errorf("draining waits = %v, want [1s]", *waits)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"deviant/internal/cpp"
 	"deviant/internal/csem"
 	"deviant/internal/engine"
+	"deviant/internal/fault"
 	"deviant/internal/latent"
 	"deviant/internal/obs"
 	"deviant/internal/report"
@@ -144,6 +145,27 @@ type Options struct {
 	// back into analysis, so output stays byte-identical with or without
 	// it, for any worker count.
 	Tracer *obs.Tracer
+	// VisitBudget, when positive, is a hard per-function visit ceiling
+	// for every path-sensitive checker: a function that hits it is
+	// quarantined for that checker (its reports dropped, the overrun
+	// recorded) instead of silently truncated. Zero keeps the legacy
+	// behavior — the engine's soft DefaultMaxVisits truncation with no
+	// quarantine. Visit counts are a pure function of the input for a
+	// fixed Memoize setting, so budget quarantines are deterministic
+	// across worker counts.
+	VisitBudget int
+	// UnitDeadline, when positive, bounds per-unit wall clock: a
+	// translation unit whose frontend work exceeds it, or a function
+	// whose engine traversal exceeds it, is quarantined through the
+	// same path as a panic. Wall-clock budgets are inherently
+	// machine-dependent, so this knob is off by default and excluded
+	// from the determinism oracles.
+	UnitDeadline time.Duration
+	// Deadline, when non-zero, is the whole-run deadline (the CLI's
+	// -timeout): stages stop taking new work once the clock passes it,
+	// completed work is kept, and Result.DeadlineExceeded is set to
+	// flag the output as partial.
+	Deadline time.Time
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -187,6 +209,21 @@ type Result struct {
 	// Snapshot reports what this run reused from Options.Snapshot
 	// (zero-valued when no store was attached).
 	Snapshot snapshot.RunStats
+
+	// Degraded reports that some work was quarantined rather than
+	// analyzed: the run completed, but Reports cover only the healthy
+	// remainder. Quarantined lists one record per contained failure in
+	// canonical (stage, unit, cause) order — a pure function of the
+	// input, identical across worker counts.
+	Degraded    bool
+	Quarantined []fault.Record
+	// PanicsRecovered counts worker panics converted into quarantine
+	// records (budget overruns quarantine without panicking and are
+	// not counted here).
+	PanicsRecovered int
+	// DeadlineExceeded reports that Options.Deadline cut the run
+	// short; Reports are a partial view of the full analysis.
+	DeadlineExceeded bool
 
 	// Timing is the per-stage wall clock of this run.
 	Timing Timing
@@ -330,14 +367,20 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	// matches a cached artifact reuses the previous parse tree outright;
 	// only genuinely changed units pay for preprocessing and parsing.
 	type unitOut struct {
-		file    *cast.File
-		errs    []error
-		readErr error
-		lines   int
-		ppDur   time.Duration
-		parse   time.Duration
-		art     *snapshot.Artifact
-		reused  bool
+		file        *cast.File
+		errs        []error
+		readErr     error
+		lines       int
+		ppDur       time.Duration
+		parse       time.Duration
+		art         *snapshot.Artifact
+		reused      bool
+		quarantined bool
+	}
+	qc := &quarantine{}
+	deadline := a.opts.Deadline
+	deadlinePassed := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 	snap := a.opts.Snapshot
 	var confFP string
@@ -355,44 +398,73 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			usp = feSpan.Fork("unit", obs.A("file", units[i]))
 			defer usp.End()
 		}
-		if snap != nil {
-			if art, ok := snap.Lookup(fs, confFP, units[i]); ok {
-				o.file, o.errs, o.lines = art.File, art.ParseErrors, art.Lines
-				o.art, o.reused = art, true
-				usp.SetAttr("reused", "true")
-				return
-			}
-		}
-		pp := cpp.New(fs, a.opts.IncludeDirs...)
-		pp.UseCache(cache)
-		for k, v := range a.opts.Defines {
-			pp.Define(k, v)
-		}
-		src, err := fs.ReadFile(units[i])
-		if err != nil {
-			o.readErr = err
+		if deadlinePassed() {
+			o.quarantined = true
+			qc.stageDeadline("frontend")
 			return
 		}
-		o.lines = strings.Count(src, "\n") + 1
-		psp := usp.Child("preprocess")
-		pp.SetTrace(psp)
-		t0 := time.Now()
-		toks, err := pp.ProcessSource(units[i], src)
-		o.ppDur = time.Since(t0)
-		psp.End()
-		if err != nil {
-			o.errs = append(o.errs, pp.Errs()...)
-		}
-		psp = usp.Child("parse")
-		t0 = time.Now()
-		f, perrs := cparse.ParseFile(units[i], toks)
-		o.parse = time.Since(t0)
-		psp.End()
-		o.errs = append(o.errs, perrs...)
-		o.file = f
-		if snap != nil {
-			o.art = &snapshot.Artifact{File: f, ParseErrors: o.errs, Lines: o.lines}
-			snap.Add(fs, confFP, units[i], pp.IncludeDeps(), pp.MissedProbes(), o.art)
+		panicked := false
+		func() {
+			defer qc.recoverInto("frontend", units[i], &panicked)
+			if snap != nil {
+				if art, ok := snap.Lookup(fs, confFP, units[i]); ok {
+					o.file, o.errs, o.lines = art.File, art.ParseErrors, art.Lines
+					o.art, o.reused = art, true
+					usp.SetAttr("reused", "true")
+					return
+				}
+			}
+			pp := cpp.New(fs, a.opts.IncludeDirs...)
+			pp.UseCache(cache)
+			for k, v := range a.opts.Defines {
+				pp.Define(k, v)
+			}
+			src, err := fs.ReadFile(units[i])
+			if err != nil {
+				o.readErr = err
+				return
+			}
+			o.lines = strings.Count(src, "\n") + 1
+			psp := usp.Child("preprocess")
+			pp.SetTrace(psp)
+			t0 := time.Now()
+			toks, err := pp.ProcessSource(units[i], src)
+			o.ppDur = time.Since(t0)
+			psp.End()
+			if err != nil {
+				o.errs = append(o.errs, pp.Errs()...)
+			}
+			psp = usp.Child("parse")
+			t0 = time.Now()
+			f, perrs := cparse.ParseFile(units[i], toks)
+			o.parse = time.Since(t0)
+			psp.End()
+			o.errs = append(o.errs, perrs...)
+			o.file = f
+			for _, d := range f.Decls {
+				if fd, ok := d.(*cast.FuncDecl); ok {
+					fault.Trap("frontend", fd.Name)
+				}
+			}
+			if a.opts.UnitDeadline > 0 && o.ppDur+o.parse > a.opts.UnitDeadline {
+				// Skip snap.Add too: a cached artifact would be reused on
+				// the next run and silently un-quarantine the unit.
+				qc.add("frontend", units[i], frontendBudgetCause(a.opts.UnitDeadline))
+				o.quarantined = true
+				o.file = nil
+				return
+			}
+			if snap != nil {
+				o.art = &snapshot.Artifact{File: f, ParseErrors: o.errs, Lines: o.lines}
+				if snap.Persistent() {
+					o.art.Tokens = toks
+				}
+				snap.Add(fs, confFP, units[i], pp.IncludeDeps(), pp.MissedProbes(), o.art)
+			}
+		}()
+		if panicked {
+			o.quarantined = true
+			o.file, o.errs, o.art = nil, nil, nil
 		}
 	})
 	feSpan.End()
@@ -405,10 +477,16 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		if outs[i].readErr != nil {
 			return nil, fmt.Errorf("core: %w", outs[i].readErr)
 		}
-		res.LineCount += outs[i].lines
-		res.ParseErrors = append(res.ParseErrors, outs[i].errs...)
 		res.Timing.Preprocess += outs[i].ppDur
 		res.Timing.Parse += outs[i].parse
+		if outs[i].quarantined {
+			// The unit contributes nothing downstream: no lines, no
+			// diagnostics, no declarations. Its failure is recorded in
+			// res.Quarantined.
+			continue
+		}
+		res.LineCount += outs[i].lines
+		res.ParseErrors = append(res.ParseErrors, outs[i].errs...)
 		if snap != nil {
 			if outs[i].reused {
 				res.Snapshot.UnitsReused++
@@ -459,22 +537,41 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			fsp := cfgSpan.Fork("cfg-func", obs.A("func", names[i]))
 			defer fsp.End()
 		}
-		fd := res.Prog.Funcs[names[i]]
-		art := owner[fd]
-		if art != nil {
-			if g, ok := art.Graph(names[i]); ok {
-				built[i], graphReused[i] = g, true
-				return
-			}
+		if deadlinePassed() {
+			qc.stageDeadline("cfg")
+			return
 		}
-		built[i] = cfg.Build(fd, cfg.Options{NoReturn: noReturn})
-		if art != nil {
-			art.SetGraph(names[i], built[i])
+		panicked := false
+		func() {
+			defer qc.recoverInto("cfg", names[i], &panicked)
+			fault.Trap("cfg", names[i])
+			fd := res.Prog.Funcs[names[i]]
+			art := owner[fd]
+			if art != nil {
+				if g, ok := art.Graph(names[i]); ok {
+					built[i], graphReused[i] = g, true
+					return
+				}
+			}
+			built[i] = cfg.Build(fd, cfg.Options{NoReturn: noReturn})
+			if art != nil {
+				art.SetGraph(names[i], built[i])
+			}
+		}()
+		if panicked {
+			built[i] = nil
 		}
 	})
 	cfgSpan.End()
+	// Functions whose CFG build was quarantined (or skipped at the run
+	// deadline) drop out of the checker stage; the rest proceed.
 	graphs := make(map[string]*cfg.Graph, len(names))
+	checkNames := make([]string, 0, len(names))
 	for i, name := range names {
+		if built[i] == nil {
+			continue
+		}
+		checkNames = append(checkNames, name)
 		graphs[name] = built[i]
 		if snap != nil {
 			if graphReused[i] {
@@ -487,7 +584,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	res.Timing.CFG = time.Since(t0)
 
 	eopts := engine.Options{Memoize: a.opts.Memoize}
-	spans := chunkSpans(len(names), workers)
+	if a.opts.VisitBudget > 0 {
+		eopts.MaxVisits = a.opts.VisitBudget
+	}
+	spans := chunkSpans(len(checkNames), workers)
 
 	// checkerSpan/deriveSpan trace one checker's traversal and its rule
 	// derivation. Forked (own lane): the program-level checkers run
@@ -505,12 +605,31 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		return root.Fork("derive", obs.A("checker", name))
 	}
 
+	// contain runs one serial derivation step (Finish/Ranked) under
+	// panic isolation: a panic quarantines the checker's derived output
+	// instead of the run.
+	contain := func(stage string, f func()) {
+		defer qc.recoverInto(stage, "*", nil)
+		f()
+	}
+
 	// runEngine drives one engine checker over every function: each shard
 	// gets a forked accumulator and a private collector, folded back in
-	// shard order.
+	// shard order. Each function runs under panic isolation with its own
+	// sub-collector; a function that panics or blows its budget is
+	// quarantined — its reports dropped, the rest of the shard unharmed.
+	// The failpoint fires before the traversal touches the accumulator,
+	// so an injected fault never leaks partial state into derived rules.
 	runEngine := func(name string, fork func() engine.Checker, merge func(engine.Checker)) {
+		stage := "checker:" + name
 		t := time.Now()
 		chSpan := checkerSpan(name)
+		defer chSpan.End()
+		defer func() { res.Timing.Checkers[name] = time.Since(t) }()
+		if deadlinePassed() {
+			qc.stageDeadline(stage)
+			return
+		}
 		eo := eopts
 		eo.Span = chSpan
 		shards := make([]engine.Checker, len(spans))
@@ -520,11 +639,36 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			ch := fork()
 			col := report.NewCollector()
 			var total engine.RunStats
-			for _, fn := range names[spans[si].lo:spans[si].hi] {
-				s := engine.Run(graphs[fn], ch, col, eo)
+			runOne := func(fn string) {
+				defer qc.recoverInto(stage, fn, nil)
+				fault.Trap("checker", fn)
+				eoFn := eo
+				eoFn.Deadline = deadline
+				if a.opts.UnitDeadline > 0 {
+					if ud := time.Now().Add(a.opts.UnitDeadline); eoFn.Deadline.IsZero() || ud.Before(eoFn.Deadline) {
+						eoFn.Deadline = ud
+					}
+				}
+				fcol := report.NewCollector()
+				s := engine.Run(graphs[fn], ch, fcol, eoFn)
 				total.Visits += s.Visits
 				total.MemoHits += s.MemoHits
 				total.Truncated = total.Truncated || s.Truncated
+				if a.opts.VisitBudget > 0 && s.Truncated {
+					qc.add(stage, fn, visitBudgetCause(a.opts.VisitBudget))
+					return
+				}
+				if s.DeadlineExceeded {
+					if deadlinePassed() {
+						qc.markDeadline()
+					}
+					qc.add(stage, fn, "deadline-exceeded")
+					return
+				}
+				col.Merge(fcol)
+			}
+			for _, fn := range checkNames[spans[si].lo:spans[si].hi] {
+				runOne(fn)
 			}
 			shards[si], cols[si], sts[si] = ch, col, total
 		})
@@ -537,8 +681,6 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			agg.Truncated = agg.Truncated || sts[si].Truncated
 		}
 		res.EngineStats[name] = agg
-		res.Timing.Checkers[name] = time.Since(t)
-		chSpan.End()
 	}
 
 	if a.opts.Checks.Null {
@@ -551,7 +693,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*null.Checker)) })
 		dsp := deriveSpan(ch.Name())
-		ch.Finish(res.Reports)
+		contain("checker:"+ch.Name(), func() { ch.Finish(res.Reports) })
 		dsp.End()
 	}
 	if a.opts.Checks.Free {
@@ -588,10 +730,22 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		if !progStages[i].enabled {
 			return
 		}
+		if deadlinePassed() {
+			qc.stageDeadline("checker:" + progStages[i].name)
+			return
+		}
 		sp := checkerSpan(progStages[i].name)
 		t := time.Now()
-		progCols[i] = report.NewCollector()
-		progStages[i].run(progCols[i])
+		col := report.NewCollector()
+		panicked := false
+		func() {
+			defer qc.recoverInto("checker:"+progStages[i].name, "*", &panicked)
+			fault.Trap("checker", progStages[i].name)
+			progStages[i].run(col)
+		}()
+		if !panicked {
+			progCols[i] = col
+		}
 		progDur[i] = time.Since(t)
 		sp.End()
 	})
@@ -609,8 +763,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*iserr.Checker)) })
 		dsp := deriveSpan(ch.Name())
-		ch.Finish(res.Reports)
-		res.IsErrFuncs = ch.Ranked()
+		contain("checker:"+ch.Name(), func() {
+			ch.Finish(res.Reports)
+			res.IsErrFuncs = ch.Ranked()
+		})
 		dsp.End()
 	}
 	if a.opts.Checks.Fail {
@@ -620,9 +776,11 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*fail.Checker)) })
 		dsp := deriveSpan(ch.Name())
-		ch.Finish(res.Reports)
-		res.CanFail = ch.Ranked()
-		res.CanFailNever = ch.InverseRanked()
+		contain("checker:"+ch.Name(), func() {
+			ch.Finish(res.Reports)
+			res.CanFail = ch.Ranked()
+			res.CanFailNever = ch.InverseRanked()
+		})
 		dsp.End()
 	}
 	if a.opts.Checks.LockVar {
@@ -632,30 +790,42 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*lockvar.Checker)) })
 		dsp := deriveSpan(ch.Name())
-		ch.Finish(res.Reports)
-		res.LockBindings = ch.Bindings()
+		contain("checker:"+ch.Name(), func() {
+			ch.Finish(res.Reports)
+			res.LockBindings = ch.Bindings()
+		})
 		dsp.End()
 	}
 	if a.opts.Checks.Pairing {
-		t := time.Now()
-		sp := checkerSpan("pairing")
-		ch := pairing.New(a.conv, pairing.DefaultLimits())
-		forks := make([]*pairing.Checker, len(spans))
-		parallelDo(workers, len(spans), func(si int) {
-			f := ch.Fork()
-			for _, fn := range names[spans[si].lo:spans[si].hi] {
-				f.AddFunction(graphs[fn])
+		if deadlinePassed() {
+			qc.stageDeadline("checker:pairing")
+		} else {
+			t := time.Now()
+			sp := checkerSpan("pairing")
+			ch := pairing.New(a.conv, pairing.DefaultLimits())
+			forks := make([]*pairing.Checker, len(spans))
+			parallelDo(workers, len(spans), func(si int) {
+				f := ch.Fork()
+				for _, fn := range checkNames[spans[si].lo:spans[si].hi] {
+					func() {
+						defer qc.recoverInto("checker:pairing", fn, nil)
+						fault.Trap("checker", fn)
+						f.AddFunction(graphs[fn])
+					}()
+				}
+				forks[si] = f
+			})
+			for _, f := range forks {
+				ch.Merge(f)
 			}
-			forks[si] = f
-		})
-		for _, f := range forks {
-			ch.Merge(f)
+			sp.End()
+			dsp := deriveSpan("pairing")
+			contain("checker:pairing", func() {
+				res.Pairs = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+			})
+			dsp.End()
+			res.Timing.Checkers["pairing"] = time.Since(t)
 		}
-		sp.End()
-		dsp := deriveSpan("pairing")
-		res.Pairs = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
-		dsp.End()
-		res.Timing.Checkers["pairing"] = time.Since(t)
 	}
 	if a.opts.Checks.Intr {
 		ch := intr.New(a.conv)
@@ -664,8 +834,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*intr.Checker)) })
 		dsp := deriveSpan(ch.Name())
-		ch.Finish(res.Reports)
-		res.IntrFuncs = ch.Ranked()
+		contain("checker:"+ch.Name(), func() {
+			ch.Finish(res.Reports)
+			res.IntrFuncs = ch.Ranked()
+		})
 		dsp.End()
 	}
 	if a.opts.Checks.SecCheck {
@@ -675,31 +847,44 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			func() engine.Checker { return ch.Fork() },
 			func(w engine.Checker) { ch.Merge(w.(*seccheck.Checker)) })
 		dsp := deriveSpan(ch.Name())
-		ch.Finish(res.Reports)
-		res.SecChecks = ch.Ranked()
+		contain("checker:"+ch.Name(), func() {
+			ch.Finish(res.Reports)
+			res.SecChecks = ch.Ranked()
+		})
 		dsp.End()
 	}
 	if a.opts.Checks.Reverse {
-		t := time.Now()
-		sp := checkerSpan("reverse")
-		ch := reverse.New(a.conv, reverse.DefaultLimits())
-		forks := make([]*reverse.Checker, len(spans))
-		parallelDo(workers, len(spans), func(si int) {
-			f := ch.Fork()
-			for _, fn := range names[spans[si].lo:spans[si].hi] {
-				f.AddFunction(graphs[fn])
+		if deadlinePassed() {
+			qc.stageDeadline("checker:reverse")
+		} else {
+			t := time.Now()
+			sp := checkerSpan("reverse")
+			ch := reverse.New(a.conv, reverse.DefaultLimits())
+			forks := make([]*reverse.Checker, len(spans))
+			parallelDo(workers, len(spans), func(si int) {
+				f := ch.Fork()
+				for _, fn := range checkNames[spans[si].lo:spans[si].hi] {
+					func() {
+						defer qc.recoverInto("checker:reverse", fn, nil)
+						fault.Trap("checker", fn)
+						f.AddFunction(graphs[fn])
+					}()
+				}
+				forks[si] = f
+			})
+			for _, f := range forks {
+				ch.Merge(f)
 			}
-			forks[si] = f
-		})
-		for _, f := range forks {
-			ch.Merge(f)
+			sp.End()
+			dsp := deriveSpan("reverse")
+			contain("checker:reverse", func() {
+				res.Reversals = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
+			})
+			dsp.End()
+			res.Timing.Checkers["reverse"] = time.Since(t)
 		}
-		sp.End()
-		dsp := deriveSpan("reverse")
-		res.Reversals = ch.Finish(res.Reports, a.opts.P0, a.opts.MinPairExamples, a.opts.MinPairScore)
-		dsp.End()
-		res.Timing.Checkers["reverse"] = time.Since(t)
 	}
 	res.Timing.Total = time.Since(start)
+	qc.finalize(res)
 	return res, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -196,5 +198,98 @@ func TestSnapshotDisabledIsZeroValued(t *testing.T) {
 	}
 	if res.Snapshot != (snapshot.RunStats{}) {
 		t.Errorf("Snapshot = %+v, want zero value", res.Snapshot)
+	}
+}
+
+// TestPersistentSnapshotAcrossRestart is the acceptance pin for the
+// snapshot store's disk tier: a fresh Store over the same cache
+// directory (a simulated process restart) must reuse every unit and
+// produce byte-identical output; corrupting an entry on disk must be
+// detected, evicted and recomputed — after which warm equals cold
+// again.
+func TestPersistentSnapshotAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srcs := incrSources()
+
+	cold := func() (*Result, *snapshot.Store) {
+		store := snapshot.NewStore(0)
+		if err := store.AttachDisk(dir); err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Snapshot = store
+		res, err := New(opts, nil).AnalyzeSources(srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, store
+	}
+
+	r1, s1 := cold()
+	if r1.Snapshot.UnitsParsed != 3 {
+		t.Fatalf("first run: %+v, want 3 parsed", r1.Snapshot)
+	}
+	if st := s1.Stats(); st.DiskWrites != 3 {
+		t.Fatalf("first run disk writes: %+v", st)
+	}
+	want := renderResult(r1)
+
+	// Restart: brand-new store, same directory, all units from disk.
+	r2, s2 := cold()
+	if r2.Snapshot.UnitsReused != 3 || r2.Snapshot.UnitsParsed != 0 {
+		t.Fatalf("restart run: %+v, want 3 reused", r2.Snapshot)
+	}
+	if st := s2.Stats(); st.DiskHits != 3 {
+		t.Fatalf("restart disk hits: %+v", st)
+	}
+	if got := renderResult(r2); got != want {
+		t.Errorf("warm-from-disk output differs from cold:\n--- cold ---\n%s--- warm ---\n%s", want, got)
+	}
+
+	// Corrupt one entry (flip a payload byte): the next restart detects
+	// it, re-parses exactly that unit, rewrites it, and output is still
+	// byte-identical.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".art") || corrupted {
+			continue
+		}
+		p := filepath.Join(dir, de.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 0xff
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = true
+	}
+	if !corrupted {
+		t.Fatal("no entry file found to corrupt")
+	}
+
+	r3, s3 := cold()
+	if st := s3.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("corruption not detected: %+v", st)
+	}
+	if r3.Snapshot.UnitsReused != 2 || r3.Snapshot.UnitsParsed != 1 {
+		t.Fatalf("post-corruption run: %+v, want 2 reused / 1 parsed", r3.Snapshot)
+	}
+	if got := renderResult(r3); got != want {
+		t.Errorf("post-corruption output differs from cold:\n%s", got)
+	}
+
+	// Fully healed: one more restart reuses everything again.
+	r4, _ := cold()
+	if r4.Snapshot.UnitsReused != 3 {
+		t.Fatalf("healed run: %+v, want 3 reused", r4.Snapshot)
+	}
+	if got := renderResult(r4); got != want {
+		t.Errorf("healed output differs from cold")
 	}
 }

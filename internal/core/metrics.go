@@ -22,6 +22,9 @@ const (
 	MetricFunctions       = "deviant_functions_analyzed_total"
 	MetricLines           = "deviant_lines_analyzed_total"
 	MetricRuns            = "deviant_runs_total"
+	MetricQuarantined     = "deviant_quarantined_units_total"
+	MetricPanics          = "deviant_recovered_panics_total"
+	MetricDegradedRuns    = "deviant_degraded_runs_total"
 )
 
 // CheckerBase maps a report's checker name onto its top-level checker:
@@ -99,4 +102,23 @@ func (r *Result) RecordMetrics(reg *obs.Registry) {
 	}
 	reg.Counter(MetricFunctions, "Functions analyzed.").Add(float64(r.FuncCount))
 	reg.Counter(MetricLines, "Source lines analyzed.").Add(float64(r.LineCount))
+	for _, q := range r.Quarantined {
+		// Label by top-level stage ("checker:null" → "checker") to keep
+		// series cardinality fixed regardless of checker selection.
+		stage := q.Stage
+		if i := strings.IndexByte(stage, ':'); i >= 0 {
+			stage = stage[:i]
+		}
+		reg.Counter(MetricQuarantined,
+			"Units of work quarantined instead of analyzed, by pipeline stage.",
+			obs.L("stage", stage)).Inc()
+	}
+	if r.PanicsRecovered > 0 {
+		reg.Counter(MetricPanics,
+			"Worker panics recovered into quarantine records.").Add(float64(r.PanicsRecovered))
+	}
+	if r.Degraded {
+		reg.Counter(MetricDegradedRuns,
+			"Runs that completed with at least one quarantined unit.").Inc()
+	}
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"deviant/internal/fault"
+)
+
+// quarantine accumulates fault records from concurrent pipeline
+// workers. Collection order is scheduling-dependent; finalize()
+// canonicalizes (sort + dedup), which is what makes the quarantine
+// section of a run byte-identical across worker counts.
+type quarantine struct {
+	mu       sync.Mutex
+	recs     []fault.Record
+	panics   int
+	deadline bool
+}
+
+func (q *quarantine) add(stage, unit, cause string) {
+	q.mu.Lock()
+	q.recs = append(q.recs, fault.Record{Unit: unit, Stage: stage, Cause: cause})
+	q.mu.Unlock()
+}
+
+// recoverInto is deferred around one unit of work: a panic becomes a
+// quarantine record, and when flag is non-nil *flag signals the caller
+// to discard the unit's partial outputs.
+func (q *quarantine) recoverInto(stage, unit string, flag *bool) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	q.mu.Lock()
+	q.panics++
+	q.recs = append(q.recs, fault.Record{Unit: unit, Stage: stage, Cause: fault.Redact(r)})
+	q.mu.Unlock()
+	if flag != nil {
+		*flag = true
+	}
+}
+
+// stageDeadline records that a stage stopped taking work at the run
+// deadline: one aggregate record per stage (finalize dedups), since a
+// per-item record for every piece of skipped work would bloat the
+// quarantine list without adding information.
+func (q *quarantine) stageDeadline(stage string) {
+	q.mu.Lock()
+	q.deadline = true
+	q.recs = append(q.recs, fault.Record{Unit: "*", Stage: stage, Cause: "deadline-exceeded"})
+	q.mu.Unlock()
+}
+
+func (q *quarantine) markDeadline() {
+	q.mu.Lock()
+	q.deadline = true
+	q.mu.Unlock()
+}
+
+func (q *quarantine) finalize(res *Result) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	res.Quarantined = fault.Canonicalize(q.recs)
+	res.Degraded = len(res.Quarantined) > 0
+	res.PanicsRecovered = q.panics
+	res.DeadlineExceeded = res.DeadlineExceeded || q.deadline
+}
+
+func visitBudgetCause(budget int) string {
+	return fmt.Sprintf("budget-exceeded: visit ceiling %d", budget)
+}
+
+func frontendBudgetCause(d time.Duration) string {
+	return "budget-exceeded: frontend wall clock over " + d.String()
+}

@@ -11,6 +11,7 @@ package engine
 
 import (
 	"strconv"
+	"time"
 
 	"deviant/internal/cast"
 	"deviant/internal/cfg"
@@ -103,16 +104,26 @@ type Options struct {
 	// span per function under it (attrs: func, checker). Nil costs one
 	// pointer check per Run.
 	Span *obs.Span
+	// Deadline, when non-zero, is a wall-clock budget: traversal stops
+	// once the clock passes it and RunStats.DeadlineExceeded is set.
+	// The clock is sampled every deadlineStride visits, so overrun is
+	// bounded by the cost of that many visits, not by path length.
+	Deadline time.Time
 }
 
 // DefaultMaxVisits bounds traversal work per function.
 const DefaultMaxVisits = 200000
 
+// deadlineStride is how many block visits pass between clock samples
+// when Options.Deadline is set.
+const deadlineStride = 64
+
 // RunStats reports traversal effort, used by the scalability experiment.
 type RunStats struct {
-	Visits    int  // block visits performed
-	MemoHits  int  // visits skipped by memoization
-	Truncated bool // hit MaxVisits
+	Visits           int  // block visits performed
+	MemoHits         int  // visits skipped by memoization
+	Truncated        bool // hit MaxVisits
+	DeadlineExceeded bool // hit Options.Deadline
 }
 
 type runner struct {
@@ -153,11 +164,16 @@ func Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats
 // visit processes blk under st. onPath counts per-block occurrences on the
 // current path (loop bounding for the unmemoized mode).
 func (r *runner) visit(blk *cfg.Block, st State, onPath map[int]int) {
-	if blk == nil || r.stats.Truncated {
+	if blk == nil || r.stats.Truncated || r.stats.DeadlineExceeded {
 		return
 	}
 	if r.stats.Visits >= r.opts.MaxVisits {
 		r.stats.Truncated = true
+		return
+	}
+	if !r.opts.Deadline.IsZero() && r.stats.Visits%deadlineStride == 0 &&
+		time.Now().After(r.opts.Deadline) {
+		r.stats.DeadlineExceeded = true
 		return
 	}
 	if r.opts.Memoize {

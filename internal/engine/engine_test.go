@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"deviant/internal/cast"
 	"deviant/internal/cfg"
@@ -294,5 +295,29 @@ fin:
 	// unset (goto path): the engine must visit it under both states.
 	if !ch.doneStates["0"] || !ch.doneStates["1"] {
 		t.Errorf("goto state flow: %+v", ch.doneStates)
+	}
+}
+
+// A deadline already in the past must stop traversal at the very first
+// clock sample, before any block is processed; a far-future deadline
+// must not perturb the event stream at all.
+func TestDeadline(t *testing.T) {
+	src := "void f(int a) { if (a) g(); else h(); k(); }"
+	_, st := runOn(t, src, Options{Memoize: true, Deadline: time.Now().Add(-time.Second)})
+	if !st.DeadlineExceeded {
+		t.Fatal("expired deadline did not set DeadlineExceeded")
+	}
+	if st.Visits != 0 {
+		t.Errorf("expired deadline still performed %d visits", st.Visits)
+	}
+
+	base, bs := runOn(t, src, Options{Memoize: true})
+	far, fs := runOn(t, src, Options{Memoize: true, Deadline: time.Now().Add(time.Hour)})
+	if fs.DeadlineExceeded {
+		t.Error("far-future deadline reported exceeded")
+	}
+	if strings.Join(base.events, ",") != strings.Join(far.events, ",") || bs.Visits != fs.Visits {
+		t.Errorf("deadline-armed run diverged: %v vs %v (visits %d vs %d)",
+			base.events, far.events, bs.Visits, fs.Visits)
 	}
 }

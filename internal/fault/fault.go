@@ -1,0 +1,182 @@
+// Package fault is the pipeline's fault-containment vocabulary: the
+// quarantine Record that a misbehaving unit is converted into, the
+// deterministic redaction of panic values, and a tiny failpoint
+// facility used by chaos tests and the soak harness to inject panics
+// at named pipeline stages.
+//
+// Determinism is the design constraint throughout. Quarantine records
+// flow into `-json` output and the differential soak oracles, which
+// demand byte-identical output across worker counts; every string this
+// package produces is therefore a pure function of the failing input,
+// never of scheduling, addresses, or stack depth.
+package fault
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Record describes one quarantined unit of work. A unit here is
+// whatever the failing stage iterates over: a translation unit for the
+// frontend, a function for CFG construction and the path-sensitive
+// checkers, or "*" for a whole-stage failure (a prog-level checker
+// panic, or work skipped wholesale at a deadline).
+type Record struct {
+	Unit  string `json:"unit"`
+	Stage string `json:"stage"`
+	Cause string `json:"cause"`
+}
+
+func (r Record) String() string {
+	return r.Stage + " " + r.Unit + ": " + r.Cause
+}
+
+// less orders records canonically: by stage, then unit, then cause.
+func less(a, b Record) bool {
+	if a.Stage != b.Stage {
+		return a.Stage < b.Stage
+	}
+	if a.Unit != b.Unit {
+		return a.Unit < b.Unit
+	}
+	return a.Cause < b.Cause
+}
+
+// Canonicalize sorts records into the canonical (stage, unit, cause)
+// order and drops exact duplicates, so the final quarantine list is
+// independent of the order in which parallel workers hit faults.
+func Canonicalize(recs []Record) []Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	dst := out[:1]
+	for _, r := range out[1:] {
+		if r != dst[len(dst)-1] {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// hexAddr matches pointer-looking hex runs so redaction can scrub
+// address-space layout out of panic text.
+var hexAddr = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+
+// maxCauseLen bounds a redacted cause; panics carrying huge dumps must
+// not bloat quarantine records that end up in JSON responses.
+const maxCauseLen = 160
+
+// Redact converts a recovered panic value into a deterministic,
+// bounded cause string: first line only (stack shape varies with
+// scheduling), addresses scrubbed, length clipped.
+func Redact(v any) string {
+	var s string
+	switch x := v.(type) {
+	case *Injected:
+		return "injected: " + clip(firstLine(x.ID))
+	case error:
+		s = x.Error()
+	case string:
+		s = x
+	default:
+		s = fmt.Sprint(v)
+	}
+	s = clip(hexAddr.ReplaceAllString(firstLine(s), "0x?"))
+	return "panic: " + s
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func clip(s string) string {
+	if len(s) > maxCauseLen {
+		return s[:maxCauseLen] + "..."
+	}
+	return s
+}
+
+// Injected is the panic value thrown by an armed failpoint. Containment
+// code treats it like any other panic; tests can assert on the type.
+type Injected struct {
+	Stage string
+	ID    string
+}
+
+func (e *Injected) Error() string {
+	return "injected fault at " + e.Stage + ": " + e.ID
+}
+
+// armed holds the active failpoints as an immutable stage→substring
+// map behind an atomic pointer: Trap on the hot path is one atomic
+// load and (when disarmed, the overwhelmingly common case) an
+// immediate return.
+var armed atomic.Pointer[map[string]string]
+
+// Arm installs a failpoint: any Trap(stage, id) whose id contains
+// substr panics with an *Injected value. Arming is test/chaos-harness
+// machinery; production runs never call it.
+func Arm(stage, substr string) {
+	for {
+		old := armed.Load()
+		next := map[string]string{}
+		if old != nil {
+			for k, v := range *old {
+				next[k] = v
+			}
+		}
+		next[stage] = substr
+		if armed.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// Disarm removes the failpoint for one stage.
+func Disarm(stage string) {
+	for {
+		old := armed.Load()
+		if old == nil {
+			return
+		}
+		if _, ok := (*old)[stage]; !ok {
+			return
+		}
+		next := map[string]string{}
+		for k, v := range *old {
+			if k != stage {
+				next[k] = v
+			}
+		}
+		if armed.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	armed.Store(nil)
+}
+
+// Trap is the injection site: pipeline stages call it with the id of
+// the work item about to run. Disarmed (the normal state) it costs a
+// single atomic load.
+func Trap(stage, id string) {
+	m := armed.Load()
+	if m == nil {
+		return
+	}
+	if sub, ok := (*m)[stage]; ok && strings.Contains(id, sub) {
+		panic(&Injected{Stage: stage, ID: id})
+	}
+}

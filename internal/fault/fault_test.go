@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTrapDisarmedIsNoop(t *testing.T) {
+	Reset()
+	Trap("frontend", "anything") // must not panic
+}
+
+func TestArmTrapDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("checker", "boom")
+
+	caught := func(stage, id string) (v any) {
+		defer func() { v = recover() }()
+		Trap(stage, id)
+		return nil
+	}
+
+	if v := caught("checker", "fn_boom_1"); v == nil {
+		t.Fatal("armed trap did not fire on matching id")
+	} else if inj, ok := v.(*Injected); !ok || inj.Stage != "checker" || inj.ID != "fn_boom_1" {
+		t.Fatalf("unexpected panic value: %#v", v)
+	}
+	if v := caught("checker", "benign"); v != nil {
+		t.Fatalf("trap fired on non-matching id: %v", v)
+	}
+	if v := caught("frontend", "fn_boom_1"); v != nil {
+		t.Fatalf("trap fired on unarmed stage: %v", v)
+	}
+	Disarm("checker")
+	if v := caught("checker", "fn_boom_1"); v != nil {
+		t.Fatalf("trap fired after disarm: %v", v)
+	}
+}
+
+func TestArmConcurrent(t *testing.T) {
+	Reset()
+	defer Reset()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stage := fmt.Sprintf("s%d", i%4)
+			for j := 0; j < 100; j++ {
+				Arm(stage, "x")
+				Trap(stage+"-other", "x")
+				Disarm(stage)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRedactDeterministicAndBounded(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{errors.New("nil pointer dereference"), "panic: nil pointer dereference"},
+		{"line one\nline two", "panic: line one"},
+		{fmt.Errorf("bad ptr 0xDEADbeef at 0x1234"), "panic: bad ptr 0x? at 0x?"},
+		{42, "panic: 42"},
+		{&Injected{Stage: "cfg", ID: "fn7"}, "injected: fn7"},
+	}
+	for _, c := range cases {
+		if got := Redact(c.in); got != c.want {
+			t.Errorf("Redact(%v) = %q, want %q", c.in, got, c.want)
+		}
+		if got2 := Redact(c.in); got2 != Redact(c.in) {
+			t.Errorf("Redact(%v) not deterministic", c.in)
+		}
+	}
+	long := strings.Repeat("a", 500)
+	if got := Redact(long); len(got) > maxCauseLen+len("panic: ")+len("...") {
+		t.Errorf("Redact did not clip: %d bytes", len(got))
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	in := []Record{
+		{Unit: "b", Stage: "frontend", Cause: "x"},
+		{Unit: "a", Stage: "frontend", Cause: "x"},
+		{Unit: "a", Stage: "cfg", Cause: "y"},
+		{Unit: "a", Stage: "frontend", Cause: "x"}, // dup
+	}
+	got := Canonicalize(in)
+	want := []Record{
+		{Unit: "a", Stage: "cfg", Cause: "y"},
+		{Unit: "a", Stage: "frontend", Cause: "x"},
+		{Unit: "b", Stage: "frontend", Cause: "x"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if Canonicalize(nil) != nil {
+		t.Error("Canonicalize(nil) != nil")
+	}
+}

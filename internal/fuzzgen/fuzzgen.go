@@ -236,7 +236,31 @@ func (g *gen) emitUnit(idx int) {
 		tpl := tpls[g.rng.Intn(len(tpls))]
 		u.Funcs = append(u.Funcs, tpl(st))
 	}
+	if g.chance(0.2) {
+		u.Funcs = append(u.Funcs, g.fnTrapBait())
+	}
 	g.p.Units = append(g.p.Units, u)
+}
+
+// fnTrapBait emits an inert, healthy function whose name carries one of
+// the failpoint prefixes the quarantine oracle arms ("fztrapf" =
+// frontend, "fztrapc" = cfg, "fztrapk" = checker). Disarmed — every run
+// outside that oracle — it is ordinary code; armed, it marks exactly
+// this function (frontend: its whole unit) for quarantine,
+// deterministically in the seed. The name never enters Renames: the
+// alpha-rename transform must not detach it from the armed substring.
+func (g *gen) fnTrapBait() string {
+	prefix := [...]string{"fztrapf", "fztrapc", "fztrapk"}[g.rng.Intn(3)]
+	g.n++
+	name := fmt.Sprintf("%s%04d", prefix, g.n)
+	arg := g.fresh()
+	var f fb
+	f.w("static int %s(int %s) {", name, arg)
+	f.w("\tif (%s > 0)", arg)
+	f.w("\t\treturn %s + 1;", arg)
+	f.w("\treturn 0;")
+	f.w("}")
+	return f.String()
 }
 
 // unitState carries the unit's shared globals into the templates.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"deviant/internal/core"
+	"deviant/internal/fault"
 )
 
 // Generation must be a pure function of the seed: the soak runner's repro
@@ -114,4 +115,44 @@ func TestMiniSoak(t *testing.T) {
 			t.Errorf("seed %d: no analyses ran", seed)
 		}
 	}
+}
+
+// The quarantine oracle must not pass vacuously: within a small seed
+// range some program carries trap bait, and arming the failpoints over
+// it actually quarantines work.
+func TestTrapBaitReachable(t *testing.T) {
+	defer fault.Reset()
+	for seed := int64(1); seed <= 40; seed++ {
+		p := Generate(seed)
+		has := false
+		for _, u := range p.Units {
+			for _, fn := range u.Funcs {
+				if strings.Contains(fn, "fztrap") {
+					has = true
+				}
+			}
+		}
+		if !has {
+			continue
+		}
+		for _, name := range p.Renames {
+			if strings.Contains(name, "fztrap") {
+				t.Fatalf("seed %d: trap bait leaked into Renames", seed)
+			}
+		}
+		fault.Arm("frontend", "fztrapf")
+		fault.Arm("cfg", "fztrapc")
+		fault.Arm("checker", "fztrapk")
+		opts := core.DefaultOptions()
+		res, err := core.New(opts, nil).AnalyzeSources(p.Sources())
+		fault.Reset()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Degraded || len(res.Quarantined) == 0 {
+			t.Fatalf("seed %d: armed traps over bait quarantined nothing", seed)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..40 generated trap bait; raise the bait probability")
 }

@@ -1,4 +1,4 @@
-// The five differential oracles. Each one runs the full pipeline over
+// The six differential oracles. Each one runs the full pipeline over
 // the same sources under two configurations whose outputs are provably
 // related, and reports any divergence as a Violation:
 //
@@ -19,8 +19,13 @@
 //	            position-free report shape and the z ranking. Applied
 //	            only to unmutated programs (mutation breaks the
 //	            transforms' equivalence argument).
+//	quarantine  With the generator's fztrap* failpoints armed, fault
+//	            containment must quarantine the same work — rendered
+//	            byte-identically — across worker counts and with
+//	            memoization on or off, and disarming must restore the
+//	            baseline bytes exactly.
 //	robust      No analysis run may panic or outrun its deadline. This
-//	            oracle wraps every run the other four perform.
+//	            oracle wraps every run the others perform.
 package fuzzgen
 
 import (
@@ -33,12 +38,13 @@ import (
 	"time"
 
 	"deviant/internal/core"
+	"deviant/internal/fault"
 	"deviant/internal/snapshot"
 )
 
 // Violation is one oracle failure.
 type Violation struct {
-	Oracle string // workers | memo | snapshot | metamorph | robust
+	Oracle string // workers | memo | snapshot | metamorph | quarantine | robust
 	Detail string
 }
 
@@ -152,7 +158,47 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 			}
 		}
 	}
+
+	// Oracle 5: quarantine determinism. Arm every fztrap* failpoint the
+	// generator may have planted (a program without bait still must agree
+	// on "nothing quarantined"), then require the armed runs to agree —
+	// full canonical bytes across worker counts, quarantine shape across
+	// memo on/off (memoization legitimately changes visit evidence, never
+	// what is quarantined) — and the disarmed rerun to reproduce the
+	// baseline exactly.
+	fault.Arm("frontend", "fztrapf")
+	fault.Arm("cfg", "fztrapc")
+	fault.Arm("checker", "fztrapk")
+	q1 := run(soakOptions(1, true, nil))
+	q8 := run(soakOptions(8, true, nil))
+	qm := run(soakOptions(4, false, nil))
+	fault.Reset()
+	if ok(q1) && ok(q8) && canonical(q8) != canonical(q1) {
+		vs = append(vs, Violation{"quarantine",
+			"worker counts diverge under armed traps: " + diffDetail(canonical(q1), canonical(q8))})
+	}
+	if ok(q1) && ok(qm) && q1.res != nil && qm.res != nil {
+		if a, b := quarantineShape(q1.res), quarantineShape(qm.res); a != b {
+			vs = append(vs, Violation{"quarantine", "memo on/off quarantine sets differ: " + diffDetail(a, b)})
+		}
+	}
+	disarmed := run(soakOptions(1, true, nil))
+	if ok(disarmed) && canonical(disarmed) != baseCanon {
+		vs = append(vs, Violation{"quarantine",
+			"disarmed rerun diverged from baseline: " + diffDetail(baseCanon, canonical(disarmed))})
+	}
 	return sources, vs, stats
+}
+
+// quarantineShape renders what fault containment did, without visit
+// evidence: the memo-invariance comparand.
+func quarantineShape(res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "degraded=%v panics=%d\n", res.Degraded, res.PanicsRecovered)
+	for _, q := range res.Quarantined {
+		fmt.Fprintf(&b, "%s\n", q)
+	}
+	return b.String()
 }
 
 // newAuxRNG returns the per-seed auxiliary rng, offset from the
@@ -229,6 +275,10 @@ func canonical(o runOut) string {
 	}
 	res := o.res
 	fmt.Fprintf(&b, "funcs=%d lines=%d\n", res.FuncCount, res.LineCount)
+	fmt.Fprintf(&b, "degraded=%v panics=%d\n", res.Degraded, res.PanicsRecovered)
+	for _, q := range res.Quarantined {
+		fmt.Fprintf(&b, "quarantine: %s\n", q)
+	}
 	for _, e := range res.ParseErrors {
 		fmt.Fprintf(&b, "diag: %v\n", e)
 	}

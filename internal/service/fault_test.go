@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+
+	"deviant/internal/fault"
 )
 
 // postRaw sends bytes as-is, bypassing the JSON marshal in postJSON, so
@@ -25,7 +28,7 @@ func postRaw(t *testing.T, h http.Handler, path string, body []byte) (*httptest.
 // error payload, never a 500 and never a hang.
 func TestFaultMalformedBodies(t *testing.T) {
 	s := New(Config{})
-	valid, err := json.Marshal(analyzeRequest{Sources: svcSources()})
+	valid, err := json.Marshal(AnalyzeRequest{Sources: svcSources()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +66,7 @@ func TestFaultMalformedBodies(t *testing.T) {
 // valid JSON or noise.
 func TestFaultOversizedBody(t *testing.T) {
 	s := New(Config{MaxBodyBytes: 4 << 10})
-	big := analyzeRequest{Sources: map[string]string{
+	big := AnalyzeRequest{Sources: map[string]string{
 		"a.c": "int x = 0;" + strings.Repeat("/* pad */", 4<<10),
 	}}
 	for _, path := range []string{"/v1/analyze", "/v1/diff"} {
@@ -108,7 +111,7 @@ func TestFaultDrainRace(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			buf, _ := json.Marshal(analyzeRequest{Sources: sources})
+			buf, _ := json.Marshal(AnalyzeRequest{Sources: sources})
 			for j := 0; j < perHammer; j++ {
 				req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(buf))
 				rr := httptest.NewRecorder()
@@ -157,9 +160,9 @@ func TestFaultDrainStatuses(t *testing.T) {
 		var rr *httptest.ResponseRecorder
 		var body []byte
 		if path == "/v1/analyze" {
-			rr, body = postJSON(t, s, path, analyzeRequest{Sources: svcSources()})
+			rr, body = postJSON(t, s, path, AnalyzeRequest{Sources: svcSources()})
 		} else {
-			rr, body = postJSON(t, s, path, diffRequest{OldSources: svcSources(), NewSources: svcSources()})
+			rr, body = postJSON(t, s, path, DiffRequest{OldSources: svcSources(), NewSources: svcSources()})
 		}
 		if rr.Code != http.StatusServiceUnavailable {
 			t.Fatalf("%s during drain: status %d, want 503: %s", path, rr.Code, body)
@@ -186,7 +189,7 @@ func TestFaultBackpressureWithHostileBodies(t *testing.T) {
 	for i := 0; i < cap(s.slots); i++ {
 		s.slots <- struct{}{}
 	}
-	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: svcSources()})
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, want 429: %s", rr.Code, body)
 	}
@@ -201,4 +204,162 @@ func TestFaultBackpressureWithHostileBodies(t *testing.T) {
 		<-s.slots
 	}
 	analyze(t, s, svcSources())
+}
+
+// 429 (queue full) and 503 (draining) carry a Retry-After hint derived
+// from queue pressure; client-fault statuses (400) do not.
+func TestFaultRetryAfter(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	for i := 0; i < cap(s.slots); i++ {
+		s.slots <- struct{}{}
+	}
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429: %s", rr.Code, body)
+	}
+	checkRetryAfter := func(rr *httptest.ResponseRecorder, where string) {
+		t.Helper()
+		h := rr.Header().Get("Retry-After")
+		if h == "" {
+			t.Fatalf("%s: no Retry-After header", where)
+		}
+		secs, err := strconv.Atoi(h)
+		if err != nil || secs < 1 || secs > 30 {
+			t.Fatalf("%s: Retry-After %q not an int in [1,30]", where, h)
+		}
+	}
+	checkRetryAfter(rr, "429")
+	for i := 0; i < cap(s.slots); i++ {
+		<-s.slots
+	}
+
+	s.SetDraining(true)
+	rr, _ = postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining analyze: status %d, want 503", rr.Code)
+	}
+	checkRetryAfter(rr, "draining 503")
+	rr, _ = getPath(t, s, "/healthz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", rr.Code)
+	}
+	checkRetryAfter(rr, "healthz 503")
+	s.SetDraining(false)
+
+	// Client faults must not invite a retry of the same request.
+	rr, _ = postRaw(t, s, "/v1/analyze", []byte("not json"))
+	if rr.Code != http.StatusBadRequest || rr.Header().Get("Retry-After") != "" {
+		t.Fatalf("400 carries Retry-After %q", rr.Header().Get("Retry-After"))
+	}
+}
+
+// A panic inside a handler becomes a 500 JSON error carrying the request
+// id, bumps the recovered-panics counter, and leaves the server fully
+// able to serve the next request.
+func TestFaultServicePanicRecovery(t *testing.T) {
+	fault.Arm("service", "/v1/rules")
+	defer fault.Reset()
+	s := New(Config{})
+
+	rr, body := getPath(t, s, "/v1/rules")
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("armed trap: status %d, want 500: %s", rr.Code, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e["error"], "request id r") {
+		t.Fatalf("500 body missing request id: %s", body)
+	}
+	if got := s.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %v, want 1", got)
+	}
+
+	fault.Reset()
+	if rr, _ := getPath(t, s, "/v1/rules"); rr.Code != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d", rr.Code)
+	}
+	analyze(t, s, svcSources())
+}
+
+// A panic on the analysis worker goroutine (which can outlive the
+// request on the 504 path, beyond ServeHTTP's recovery) is contained to
+// the request: 500 with a redacted cause, daemon alive.
+func TestFaultWorkerPanicRecovery(t *testing.T) {
+	fault.Arm("service-worker", "run")
+	defer fault.Reset()
+	s := New(Config{})
+
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("worker trap: status %d, want 500: %s", rr.Code, body)
+	}
+	if !strings.Contains(string(body), "analysis worker panicked") {
+		t.Fatalf("500 body missing worker-panic cause: %s", body)
+	}
+	if got := s.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %v, want 1", got)
+	}
+	fault.Reset()
+	analyze(t, s, svcSources())
+}
+
+// A pipeline-stage panic does NOT fail the request: core quarantines the
+// unit and the response reports a degraded run with the quarantine
+// records on the wire.
+func TestFaultAnalyzeDegradedResponse(t *testing.T) {
+	fault.Arm("frontend", "beta_grow")
+	defer fault.Reset()
+	s := New(Config{})
+
+	resp := analyze(t, s, svcSources())
+	if !resp.Degraded || len(resp.Quarantined) != 1 {
+		t.Fatalf("degraded run not reported: degraded=%v quarantined=%v",
+			resp.Degraded, resp.Quarantined)
+	}
+	q := resp.Quarantined[0]
+	if q.Stage != "frontend" || q.Unit != "beta.c" {
+		t.Fatalf("quarantine record %+v, want frontend beta.c", q)
+	}
+	// Quarantine metrics from the run surface on /metrics.
+	_, body := getPath(t, s, "/metrics")
+	if !strings.Contains(string(body), `deviant_quarantined_units_total{stage="frontend"} 1`) {
+		t.Errorf("metrics missing quarantine counter:\n%s", body)
+	}
+
+	fault.Reset()
+	clean := analyze(t, s, svcSources())
+	if clean.Degraded || len(clean.Quarantined) != 0 {
+		t.Fatalf("clean run still degraded: %+v", clean.Quarantined)
+	}
+}
+
+// Config.CacheDir gives the daemon a persistent snapshot tier: a second
+// server over the same directory serves the frontend warm from disk.
+func TestFaultCacheDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{CacheDir: dir})
+	r1 := analyze(t, s1, svcSources())
+	if r1.Snapshot.UnitsParsed != 3 {
+		t.Fatalf("cold fill: %+v", r1.Snapshot)
+	}
+
+	s2 := New(Config{CacheDir: dir})
+	r2 := analyze(t, s2, svcSources())
+	if r2.Snapshot.UnitsReused != 3 || r2.Snapshot.UnitsParsed != 0 {
+		t.Fatalf("restarted daemon did not reuse from disk: %+v", r2.Snapshot)
+	}
+	warm, _ := json.Marshal(r2.Reports)
+	cold, _ := json.Marshal(r1.Reports)
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("disk-warm reports diverge from cold:\n%s\nvs\n%s", warm, cold)
+	}
+	if st := s2.Store().Stats(); st.DiskHits != 3 {
+		t.Errorf("disk hits = %d, want 3: %+v", st.DiskHits, st)
+	}
+
+	// An unusable directory degrades to memory-only, not a dead server.
+	s3 := New(Config{CacheDir: "/proc/definitely/not/writable"})
+	if s3.Store().Persistent() {
+		t.Error("store claims persistence over an unusable directory")
+	}
+	analyze(t, s3, svcSources())
 }

@@ -40,12 +40,14 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"deviant"
+	"deviant/internal/fault"
 	"deviant/internal/obs"
 	"deviant/internal/report"
 	"deviant/internal/snapshot"
@@ -64,6 +66,12 @@ type Config struct {
 	Timeout time.Duration
 	// SnapshotUnits caps the snapshot store (0 = snapshot default).
 	SnapshotUnits int
+	// CacheDir, when non-empty, attaches a crash-safe persistent tier to
+	// the snapshot store: artifacts survive daemon restarts, and corrupt
+	// entries (torn writes, flipped bits) are evicted and recomputed. An
+	// unusable directory degrades to memory-only caching with a warning
+	// rather than refusing to start.
+	CacheDir string
 	// MaxBodyBytes caps a request body; larger payloads get 413
 	// (0 = 32 MiB, enough for any realistic source tree while keeping a
 	// hostile client from buffering gigabytes into the decoder).
@@ -113,11 +121,12 @@ type Server struct {
 	requests  *obs.Counter // analyses + diffs accepted
 	rejected  *obs.Counter // 429s
 	timeouts  *obs.Counter // 504s
+	panics    *obs.Counter // handler/worker panics recovered into 500s
 	inflight  *obs.Gauge
 	analyzeNs *obs.Counter // cumulative analysis wall clock, seconds
 
 	mu        sync.Mutex
-	lastRules *rulesResponse
+	lastRules *RulesResponse
 	analyses  int64 // completed analyze requests, ids /v1/rules snapshots
 }
 
@@ -133,6 +142,12 @@ func New(cfg Config) *Server {
 		reg:   obs.NewRegistry(),
 		slots: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		run:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if cfg.CacheDir != "" {
+		if err := s.store.AttachDisk(cfg.CacheDir); err != nil && s.log != nil {
+			s.log.Warn("cache dir unavailable, caching in memory only",
+				"dir", cfg.CacheDir, "err", err.Error())
+		}
 	}
 	s.initMetrics()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -154,6 +169,8 @@ func (s *Server) initMetrics() {
 		"Requests rejected with 429 because the queue was full.")
 	s.timeouts = s.reg.Counter("deviantd_requests_timeout_total",
 		"Requests that exceeded the request timeout (504).")
+	s.panics = s.reg.Counter("deviantd_panics_recovered_total",
+		"Handler or analysis-worker panics recovered into 500 responses.")
 	s.inflight = s.reg.Gauge("deviantd_requests_inflight",
 		"Analyses currently executing.")
 	s.analyzeNs = s.reg.Counter("deviantd_analysis_seconds_total",
@@ -225,36 +242,61 @@ func requestID(ctx context.Context) string {
 	return id
 }
 
-// statusWriter captures the response status for logging.
+// statusWriter captures the response status for logging and tracks
+// whether anything reached the wire yet, so the panic recovery path
+// knows if it can still write a clean 500.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
 // ServeHTTP implements http.Handler: it assigns the request ID, times the
-// request into the per-endpoint latency histogram, and emits one
-// structured log line when a logger is configured.
+// request into the per-endpoint latency histogram, emits one structured
+// log line when a logger is configured, and converts a handler panic into
+// a 500 JSON error carrying the request ID — the daemon must outlive any
+// single request, whatever that request did.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("r%06d", s.nextID.Add(1))
 	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Inc()
+			cause := fault.Redact(v)
+			if s.log != nil {
+				s.log.Error("handler panic", "id", id, "path", r.URL.Path, "cause", cause)
+			}
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError,
+					"internal error; request id %s", id)
+			}
+		}
+		dur := time.Since(start)
+		s.latencyFor(endpointOf(r.URL.Path)).Observe(dur.Seconds())
+		if s.log != nil {
+			s.log.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.code,
+				"dur_ms", float64(dur.Microseconds())/1e3)
+		}
+	}()
+	fault.Trap("service", r.URL.Path)
 	s.mux.ServeHTTP(sw, r)
-	dur := time.Since(start)
-	s.latencyFor(endpointOf(r.URL.Path)).Observe(dur.Seconds())
-	if s.log != nil {
-		s.log.Info("request",
-			"id", id,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.code,
-			"dur_ms", float64(dur.Microseconds())/1e3)
-	}
 }
 
 // SetDraining flips the server into (or out of) drain mode: healthz
@@ -269,9 +311,9 @@ func (s *Server) Store() *snapshot.Store { return s.store }
 // families to the same /metrics scrape.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// requestOptions is the per-request analysis configuration, mirroring the
+// RequestOptions is the per-request analysis configuration, mirroring the
 // CLI flags of the same names.
-type requestOptions struct {
+type RequestOptions struct {
 	Checkers string  `json:"checkers,omitempty"`
 	P0       float64 `json:"p0,omitempty"`
 	NoMemo   bool    `json:"no_memo,omitempty"`
@@ -281,44 +323,49 @@ type requestOptions struct {
 	Trust    bool    `json:"trust,omitempty"`
 }
 
-type analyzeRequest struct {
+type AnalyzeRequest struct {
 	Sources map[string]string `json:"sources"`
-	Options requestOptions    `json:"options"`
+	Options RequestOptions    `json:"options"`
 }
 
-type diffRequest struct {
+type DiffRequest struct {
 	OldSources map[string]string `json:"old_sources"`
 	NewSources map[string]string `json:"new_sources"`
-	Options    requestOptions    `json:"options"`
+	Options    RequestOptions    `json:"options"`
 }
 
-// analyzeResponse mirrors the CLI's -json output: the same summary
+// AnalyzeResponse mirrors the CLI's -json output: the same summary
 // fields and the same report.JSONReport shape, plus the run's snapshot
 // reuse counters. Trace is present only when the request asked for
 // ?trace=1: Chrome trace-event JSON, loadable directly in Perfetto.
-type analyzeResponse struct {
+// Degraded and Quarantined appear only when fault containment isolated
+// part of the run (see DESIGN.md §10): the result is still valid for
+// everything outside the listed records.
+type AnalyzeResponse struct {
 	Units       int                 `json:"units"`
 	Functions   int                 `json:"functions"`
 	Lines       int                 `json:"lines"`
 	ParseErrors int                 `json:"parse_errors"`
+	Degraded    bool                `json:"degraded,omitempty"`
+	Quarantined []fault.Record      `json:"quarantined,omitempty"`
 	Reports     []report.JSONReport `json:"reports"`
 	Snapshot    snapshot.RunStats   `json:"snapshot"`
 	Trace       json.RawMessage     `json:"trace,omitempty"`
 }
 
-type jsonDrift struct {
+type JSONDrift struct {
 	Kind string `json:"kind"`
 	Func string `json:"func"`
 	Pos  string `json:"pos"`
 	Msg  string `json:"msg"`
 }
 
-type diffResponse struct {
-	Drifts []jsonDrift     `json:"drifts"`
-	New    analyzeResponse `json:"new"`
+type DiffResponse struct {
+	Drifts []JSONDrift     `json:"drifts"`
+	New    AnalyzeResponse `json:"new"`
 }
 
-type jsonRule struct {
+type JSONRule struct {
 	Kind     string  `json:"kind"` // pair | can-fail | lock
 	A        string  `json:"a"`
 	B        string  `json:"b,omitempty"`
@@ -327,12 +374,12 @@ type jsonRule struct {
 	Z        float64 `json:"z"`
 }
 
-type rulesResponse struct {
+type RulesResponse struct {
 	Analysis int64      `json:"analysis"` // 0 until the first analyze
-	Rules    []jsonRule `json:"rules"`
+	Rules    []JSONRule `json:"rules"`
 }
 
-type errorResponse struct {
+type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
@@ -345,12 +392,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSecs derives the Retry-After hint from current queue
+// pressure: an idle server invites an immediate retry (1s), and each
+// admitted-but-waiting request adds a second, capped at 30.
+func (s *Server) retryAfterSecs() int {
+	secs := 1
+	if d := len(s.slots) - len(s.run); d > 0 {
+		secs += d
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// writeFailure maps an admission or run failure onto the wire. The two
+// statuses that invite a retry — 429 (queue full) and 503 (draining) —
+// carry a Retry-After hint so well-behaved clients back off instead of
+// hammering; see internal/client.
+func (s *Server) writeFailure(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+	}
+	writeError(w, status, "%s", msg)
 }
 
 // buildOptions maps request options onto core options, clamping the
 // worker budget to the server's configured ceiling.
-func (s *Server) buildOptions(ro requestOptions) (deviant.Options, error) {
+func (s *Server) buildOptions(ro RequestOptions) (deviant.Options, error) {
 	opts := deviant.DefaultOptions()
 	if ro.Checkers != "" {
 		c, err := deviant.ParseChecks(ro.Checkers)
@@ -425,7 +497,19 @@ func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, 
 		defer release()
 		defer s.inflight.Add(-1)
 		t := time.Now()
-		v, err := fn()
+		// The analysis goroutine may outlive the request (504 path), so a
+		// panic here would escape ServeHTTP's recovery and kill the daemon.
+		// Contain it to this request: 500 for the client, daemon lives.
+		v, err := func() (v any, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Inc()
+					err = fmt.Errorf("analysis worker panicked: %s", fault.Redact(p))
+				}
+			}()
+			fault.Trap("service-worker", "run")
+			return fn()
+		}()
 		s.analyzeNs.Add(time.Since(t).Seconds())
 		done <- outcome{v, err}
 	}()
@@ -477,7 +561,7 @@ func validateSources(sources map[string]string) error {
 
 // render converts a finished run into the wire shape, applying the
 // request's presentation options (top, trust).
-func render(res *deviant.Result, units int, ro requestOptions) analyzeResponse {
+func render(res *deviant.Result, units int, ro RequestOptions) AnalyzeResponse {
 	ranked := res.Reports.Ranked()
 	if ro.Trust {
 		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
@@ -489,11 +573,13 @@ func render(res *deviant.Result, units int, ro requestOptions) analyzeResponse {
 	for i := range ranked {
 		reports[i] = report.ToJSON(i+1, &ranked[i])
 	}
-	return analyzeResponse{
+	return AnalyzeResponse{
 		Units:       units,
 		Functions:   res.FuncCount,
 		Lines:       res.LineCount,
 		ParseErrors: len(res.ParseErrors),
+		Degraded:    res.Degraded,
+		Quarantined: res.Quarantined,
 		Reports:     reports,
 		Snapshot:    res.Snapshot,
 	}
@@ -511,18 +597,18 @@ func countUnits(sources map[string]string) int {
 
 // rulesFrom flattens a result's derived rule instances, each kind in its
 // own ranked order.
-func rulesFrom(res *deviant.Result) []jsonRule {
-	rules := []jsonRule{}
+func rulesFrom(res *deviant.Result) []JSONRule {
+	rules := []JSONRule{}
 	for _, p := range res.Pairs {
-		rules = append(rules, jsonRule{Kind: "pair", A: p.A, B: p.B,
+		rules = append(rules, JSONRule{Kind: "pair", A: p.A, B: p.B,
 			Checks: p.Checks, Examples: p.Examples(), Z: p.Z})
 	}
 	for _, d := range res.CanFail {
-		rules = append(rules, jsonRule{Kind: "can-fail", A: d.Func,
+		rules = append(rules, JSONRule{Kind: "can-fail", A: d.Func,
 			Checks: d.Checks, Examples: d.Examples(), Z: d.Z})
 	}
 	for _, b := range res.LockBindings {
-		rules = append(rules, jsonRule{Kind: "lock", A: b.Lock, B: b.Var,
+		rules = append(rules, JSONRule{Kind: "lock", A: b.Lock, B: b.Var,
 			Checks: b.Checks, Examples: b.Examples(), Z: b.Z})
 	}
 	return rules
@@ -548,7 +634,7 @@ func exportTrace(tr *deviant.Tracer) json.RawMessage {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req analyzeRequest
+	var req AnalyzeRequest
 	if !s.decodeRequest(w, r, &req) {
 		return
 	}
@@ -577,14 +663,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 	reqSpan.End()
 	if status != 0 {
-		writeError(w, status, "%s", msg)
+		s.writeFailure(w, status, msg)
 		return
 	}
 	res := v.(*deviant.Result)
 	res.RecordMetrics(s.reg)
 	s.mu.Lock()
 	s.analyses++
-	s.lastRules = &rulesResponse{Analysis: s.analyses, Rules: rulesFrom(res)}
+	s.lastRules = &RulesResponse{Analysis: s.analyses, Rules: rulesFrom(res)}
 	s.mu.Unlock()
 	resp := render(res, countUnits(req.Sources), req.Options)
 	if tr != nil {
@@ -594,7 +680,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	var req diffRequest
+	var req DiffRequest
 	if !s.decodeRequest(w, r, &req) {
 		return
 	}
@@ -623,16 +709,16 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return diffOut{drifts, res}, nil
 	})
 	if status != 0 {
-		writeError(w, status, "%s", msg)
+		s.writeFailure(w, status, msg)
 		return
 	}
 	out := v.(diffOut)
 	out.res.RecordMetrics(s.reg)
-	drifts := make([]jsonDrift, len(out.drifts))
+	drifts := make([]JSONDrift, len(out.drifts))
 	for i, d := range out.drifts {
-		drifts[i] = jsonDrift{Kind: d.Kind, Func: d.Func, Pos: d.Pos.String(), Msg: d.Msg}
+		drifts[i] = JSONDrift{Kind: d.Kind, Func: d.Func, Pos: d.Pos.String(), Msg: d.Msg}
 	}
-	writeJSON(w, http.StatusOK, diffResponse{
+	writeJSON(w, http.StatusOK, DiffResponse{
 		Drifts: drifts,
 		New:    render(out.res, countUnits(req.NewSources), req.Options),
 	})
@@ -643,25 +729,26 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	resp := s.lastRules
 	s.mu.Unlock()
 	if resp == nil {
-		writeJSON(w, http.StatusOK, rulesResponse{Rules: []jsonRule{}})
+		writeJSON(w, http.StatusOK, RulesResponse{Rules: []JSONRule{}})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// healthResponse is the /healthz body: liveness plus the binary's build
+// HealthResponse is the /healthz body: liveness plus the binary's build
 // identity, so fleet tooling can tell which revision answered.
-type healthResponse struct {
+type HealthResponse struct {
 	Status string    `json:"status"`
 	Build  obs.Build `json:"build"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining", Build: s.build})
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining", Build: s.build})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Build: s.build})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Build: s.build})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -90,13 +90,13 @@ func getPath(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecor
 	return rr, rr.Body.Bytes()
 }
 
-func analyze(t *testing.T, s *Server, sources map[string]string) analyzeResponse {
+func analyze(t *testing.T, s *Server, sources map[string]string) AnalyzeResponse {
 	t.Helper()
-	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: sources})
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: sources})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("analyze: status %d: %s", rr.Code, body)
 	}
-	var resp analyzeResponse
+	var resp AnalyzeResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatalf("analyze: %v\n%s", err, body)
 	}
@@ -150,14 +150,14 @@ func TestAnalyzeOptions(t *testing.T) {
 	s := New(Config{})
 	base := analyze(t, s, svcSources())
 
-	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{
 		Sources: svcSources(),
-		Options: requestOptions{Checkers: "null"},
+		Options: RequestOptions{Checkers: "null"},
 	})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rr.Code, body)
 	}
-	var sub analyzeResponse
+	var sub AnalyzeResponse
 	if err := json.Unmarshal(body, &sub); err != nil {
 		t.Fatal(err)
 	}
@@ -171,14 +171,14 @@ func TestAnalyzeOptions(t *testing.T) {
 		}
 	}
 
-	rr, body = postJSON(t, s, "/v1/analyze", analyzeRequest{
+	rr, body = postJSON(t, s, "/v1/analyze", AnalyzeRequest{
 		Sources: svcSources(),
-		Options: requestOptions{Top: 1},
+		Options: RequestOptions{Top: 1},
 	})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rr.Code, body)
 	}
-	var topped analyzeResponse
+	var topped AnalyzeResponse
 	if err := json.Unmarshal(body, &topped); err != nil {
 		t.Fatal(err)
 	}
@@ -194,13 +194,13 @@ func TestDiffEndpoint(t *testing.T) {
 	newSrc["alpha.c"] = strings.Replace(newSrc["alpha.c"],
 		"\tif (d == NULL)\n\t\tprintk", "\tprintk", 1)
 
-	rr, body := postJSON(t, s, "/v1/diff", diffRequest{
+	rr, body := postJSON(t, s, "/v1/diff", DiffRequest{
 		OldSources: oldSrc, NewSources: newSrc,
 	})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("diff: status %d: %s", rr.Code, body)
 	}
-	var resp diffResponse
+	var resp DiffResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestRulesEndpoint(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("rules: status %d", rr.Code)
 	}
-	var empty rulesResponse
+	var empty RulesResponse
 	if err := json.Unmarshal(body, &empty); err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestRulesEndpoint(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("rules: status %d", rr.Code)
 	}
-	var resp rulesResponse
+	var resp RulesResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestBackpressure(t *testing.T) {
 	s.slots <- struct{}{}
 	s.slots <- struct{}{}
 
-	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: svcSources()})
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, want 429: %s", rr.Code, body)
 	}
@@ -280,7 +280,7 @@ func TestQueueTimeout(t *testing.T) {
 	// Saturate the run slots so the next request waits in queue forever.
 	s.run <- struct{}{}
 
-	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: svcSources()})
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
 	if rr.Code != http.StatusGatewayTimeout {
 		t.Fatalf("queued past timeout: status %d, want 504: %s", rr.Code, body)
 	}
@@ -302,7 +302,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Errorf("draining healthz: status %d, want 503", rr.Code)
 	}
-	rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: svcSources()})
+	rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: svcSources()})
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Errorf("draining analyze: status %d, want 503: %s", rr.Code, body)
 	}
@@ -382,11 +382,11 @@ func TestHealthzBuildInfo(t *testing.T) {
 // and the request span carrying this request's ID.
 func TestAnalyzeTrace(t *testing.T) {
 	s := New(Config{})
-	rr, body := postJSON(t, s, "/v1/analyze?trace=1", analyzeRequest{Sources: svcSources()})
+	rr, body := postJSON(t, s, "/v1/analyze?trace=1", AnalyzeRequest{Sources: svcSources()})
 	if rr.Code != http.StatusOK {
 		t.Fatalf("analyze?trace=1: status %d: %s", rr.Code, body)
 	}
-	var resp analyzeResponse
+	var resp AnalyzeResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -463,13 +463,13 @@ func TestBadRequests(t *testing.T) {
 		path string
 		body any
 	}{
-		{"no sources", "/v1/analyze", analyzeRequest{}},
-		{"no units", "/v1/analyze", analyzeRequest{Sources: map[string]string{"a.h": "int x;"}}},
-		{"bad checker", "/v1/analyze", analyzeRequest{
-			Sources: svcSources(), Options: requestOptions{Checkers: "nope"}}},
-		{"bad p0", "/v1/analyze", analyzeRequest{
-			Sources: svcSources(), Options: requestOptions{P0: 1.5}}},
-		{"diff missing old", "/v1/diff", diffRequest{NewSources: svcSources()}},
+		{"no sources", "/v1/analyze", AnalyzeRequest{}},
+		{"no units", "/v1/analyze", AnalyzeRequest{Sources: map[string]string{"a.h": "int x;"}}},
+		{"bad checker", "/v1/analyze", AnalyzeRequest{
+			Sources: svcSources(), Options: RequestOptions{Checkers: "nope"}}},
+		{"bad p0", "/v1/analyze", AnalyzeRequest{
+			Sources: svcSources(), Options: RequestOptions{P0: 1.5}}},
+		{"diff missing old", "/v1/diff", DiffRequest{NewSources: svcSources()}},
 	}
 	for _, tc := range cases {
 		rr, body := postJSON(t, s, tc.path, tc.body)
@@ -491,7 +491,7 @@ func TestWorkerBudgetClamp(t *testing.T) {
 	for _, tc := range []struct{ req, want int }{
 		{0, 4}, {2, 2}, {4, 4}, {64, 4},
 	} {
-		opts, err := s.buildOptions(requestOptions{Workers: tc.req})
+		opts, err := s.buildOptions(RequestOptions{Workers: tc.req})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -537,7 +537,7 @@ func TestConcurrentAnalyses(t *testing.T) {
 			src := svcSources()
 			src["extra.c"] = fmt.Sprintf(
 				"#include \"kernel.h\"\nint extra_%d(struct dev *d) { return d->count + %d; }\n", i%3, i%3)
-			rr, body := postJSON(t, s, "/v1/analyze", analyzeRequest{Sources: src})
+			rr, body := postJSON(t, s, "/v1/analyze", AnalyzeRequest{Sources: src})
 			if rr.Code != http.StatusOK {
 				done <- fmt.Errorf("status %d: %s", rr.Code, body)
 				return

@@ -1,0 +1,212 @@
+// The snapshot store's persistent tier: one file per cached unit,
+// written atomically (temp file + fsync + rename) and verified by a
+// whole-payload SHA-256 checksum on every read. Corruption — a torn
+// write from a crash, a flipped bit, a truncated file — is detected,
+// the entry evicted, and the unit recomputed on the next cold run, so
+// the cache self-heals without operator intervention.
+//
+// What gets persisted is deliberately not the parse tree: ASTs share
+// typed pointers whose identity gob cannot preserve, and CFGs contain
+// cycles gob cannot encode. The unit's preprocessed token stream is
+// flat exported data that round-trips exactly, and reparsing it is
+// deterministic — warm-from-disk output is byte-identical to cold.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"deviant/internal/cparse"
+	"deviant/internal/ctoken"
+)
+
+// diskMagic leads every entry file; a file without it is not ours.
+var diskMagic = []byte("DVSNAP1\n")
+
+// tmpPrefix marks in-progress writes. A crash between create and rename
+// leaves one of these behind; openDisk sweeps them.
+const tmpPrefix = ".tmp-"
+
+const entrySuffix = ".art"
+
+// diskDep mirrors dep with exported fields for gob.
+type diskDep struct {
+	Path    string
+	Present bool
+}
+
+// diskEntry is the serialized form of one cached unit: enough metadata
+// to rebuild the store's dependency index at startup, plus the token
+// stream and rendered diagnostics to rehydrate the artifact.
+type diskEntry struct {
+	Fingerprint string
+	Unit        string
+	UnitDigest  string
+	Key         string
+	Deps        []diskDep
+	Lines       int
+	ParseErrors []string
+	Tokens      []ctoken.Token
+}
+
+type disk struct {
+	dir string
+}
+
+// scannedEntry is what openDisk reports per surviving file: the index
+// material, without retaining the (potentially large) token stream.
+type scannedEntry struct {
+	key    string
+	depKey string
+	deps   []dep
+	file   string
+}
+
+// openDisk prepares dir as a persistent tier: creates it if needed,
+// removes temp files abandoned by crashed writers, verifies every
+// entry's checksum and name, and deletes the ones that fail (returned
+// as the corrupt count).
+func openDisk(dir string) (*disk, []scannedEntry, int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, err
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var scanned []scannedEntry
+	var corrupt int64
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		e, ok := readEntry(filepath.Join(dir, name))
+		if !ok || name != e.Key+entrySuffix {
+			os.Remove(filepath.Join(dir, name))
+			corrupt++
+			continue
+		}
+		deps := make([]dep, len(e.Deps))
+		for i, dd := range e.Deps {
+			deps[i] = dep{path: dd.Path, present: dd.Present}
+		}
+		scanned = append(scanned, scannedEntry{
+			key:    e.Key,
+			depKey: depKeyOf(e.Fingerprint, e.Unit, e.UnitDigest),
+			deps:   deps,
+			file:   name,
+		})
+	}
+	return &disk{dir: dir}, scanned, corrupt, nil
+}
+
+// readEntry reads one file and returns its decoded payload only if the
+// magic, checksum and gob decode all hold.
+func readEntry(path string) (*diskEntry, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) < len(diskMagic)+sha256.Size {
+		return nil, false
+	}
+	if !bytes.Equal(raw[:len(diskMagic)], diskMagic) {
+		return nil, false
+	}
+	sum := raw[len(diskMagic) : len(diskMagic)+sha256.Size]
+	payload := raw[len(diskMagic)+sha256.Size:]
+	if got := sha256.Sum256(payload); !bytes.Equal(sum, got[:]) {
+		return nil, false
+	}
+	var e diskEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// load rehydrates one entry: the persisted token stream reparses into a
+// fresh tree (CFGs rebuild lazily as checkers request them), and parse
+// diagnostics are restored from their persisted rendering — exactly
+// what the original run reported, so warm output stays byte-identical.
+func (d *disk) load(file string) (*Artifact, bool) {
+	e, ok := readEntry(filepath.Join(d.dir, file))
+	if !ok {
+		return nil, false
+	}
+	f, _ := cparse.ParseFile(e.Unit, e.Tokens)
+	if f == nil {
+		return nil, false
+	}
+	var errs []error
+	for _, s := range e.ParseErrors {
+		errs = append(errs, errors.New(s))
+	}
+	return &Artifact{File: f, ParseErrors: errs, Lines: e.Lines}, true
+}
+
+// write persists one entry atomically: temp file in the same directory,
+// full payload + checksum, fsync, close, rename. A crash at any point
+// leaves either the previous entry or a temp file openDisk will sweep —
+// never a partially visible entry.
+func (d *disk) write(key, fingerprint, unit, unitDigest string, deps []dep, art *Artifact) (string, error) {
+	e := diskEntry{
+		Fingerprint: fingerprint,
+		Unit:        unit,
+		UnitDigest:  unitDigest,
+		Key:         key,
+		Lines:       art.Lines,
+		Tokens:      art.Tokens,
+	}
+	for _, dp := range deps {
+		e.Deps = append(e.Deps, diskDep{Path: dp.path, Present: dp.present})
+	}
+	for _, err := range art.ParseErrors {
+		e.ParseErrors = append(e.ParseErrors, err.Error())
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&e); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
+	f, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(diskMagic)
+	if werr == nil {
+		_, werr = f.Write(sum[:])
+	}
+	if werr == nil {
+		_, werr = f.Write(payload.Bytes())
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return "", werr
+	}
+	file := key + entrySuffix
+	if err := os.Rename(tmp, filepath.Join(d.dir, file)); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return file, nil
+}
+
+func (d *disk) remove(file string) {
+	os.Remove(filepath.Join(d.dir, file))
+}

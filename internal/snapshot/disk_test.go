@@ -1,0 +1,304 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deviant/internal/cpp"
+)
+
+// diskSources builds a provider with one unit including one header, so
+// entries carry a real dependency closure.
+func diskSources() cpp.FileProvider {
+	return cpp.MapFS(map[string]string{
+		"u.c":         "#include \"include/h.h\"\nint f(int *p) { if (p) return *p; return X; }\n",
+		"include/h.h": "#define X 7\n",
+	})
+}
+
+// fillOne runs the cold path by hand: Lookup miss, then Add with a
+// token-bearing artifact, exactly as core does against a persistent
+// store.
+func fillOne(t *testing.T, s *Store, fs cpp.FileProvider) string {
+	t.Helper()
+	const fp = "cfg-fp"
+	if _, ok := s.Lookup(fs, fp, "u.c"); ok {
+		t.Fatal("unexpected warm hit on empty store")
+	}
+	pp := cpp.New(fs, "include")
+	src, err := fs.ReadFile("u.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, err := pp.ProcessSource("u.c", src)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	art := &Artifact{Lines: 2, Tokens: toks}
+	s.Add(fs, fp, "u.c", pp.IncludeDeps(), pp.MissedProbes(), art)
+	if art.Tokens != nil {
+		t.Error("Add did not clear the token stream after persisting")
+	}
+	return fp
+}
+
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), entrySuffix) {
+			out = append(out, filepath.Join(dir, de.Name()))
+		}
+	}
+	return out
+}
+
+// A restarted process (fresh Store over the same directory) must answer
+// warm from disk with a reconstructed artifact.
+func TestDiskWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+
+	s1 := NewStore(0)
+	if s1.Persistent() {
+		t.Fatal("store persistent before AttachDisk")
+	}
+	if err := s1.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Persistent() {
+		t.Fatal("store not persistent after AttachDisk")
+	}
+	fp := fillOne(t, s1, fs)
+	if st := s1.Stats(); st.DiskWrites != 1 || st.DiskEntries != 1 {
+		t.Fatalf("after fill: %+v", st)
+	}
+
+	s2 := NewStore(0)
+	if err := s2.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	art, ok := s2.Lookup(fs, fp, "u.c")
+	if !ok {
+		t.Fatal("restarted store missed a persisted entry")
+	}
+	if art.File == nil || len(art.File.Decls) == 0 {
+		t.Fatal("rehydrated artifact has no parse tree")
+	}
+	if art.Lines != 2 {
+		t.Errorf("rehydrated Lines = %d, want 2", art.Lines)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.DiskCorrupt != 0 {
+		t.Errorf("restart stats: %+v", st)
+	}
+
+	// Any drift in the closure — here the header — must miss.
+	drifted := cpp.MapFS(map[string]string{
+		"u.c":         "#include \"include/h.h\"\nint f(int *p) { if (p) return *p; return X; }\n",
+		"include/h.h": "#define X 8\n",
+	})
+	if _, ok := s2.Lookup(drifted, fp, "u.c"); ok {
+		t.Error("stale artifact served after header drift")
+	}
+}
+
+// Torn writes: a truncated entry must be detected at startup scan,
+// evicted, and transparently recomputed — after which warm equals cold.
+func TestDiskTornWriteTruncated(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+	s1 := NewStore(0)
+	if err := s1.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	fp := fillOne(t, s1, fs)
+
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("entry files: %v", files)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(0)
+	if err := s2.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskCorrupt != 1 || st.DiskEntries != 0 {
+		t.Fatalf("truncated entry not evicted at scan: %+v", st)
+	}
+	if _, ok := s2.Lookup(fs, fp, "u.c"); ok {
+		t.Fatal("truncated entry served")
+	}
+	if len(entryFiles(t, dir)) != 0 {
+		t.Fatal("corrupt file left on disk")
+	}
+	// Recompute heals the cache: the next fill rewrites the entry and a
+	// third store reads it warm.
+	fillOne(t, s2, fs)
+	s3 := NewStore(0)
+	if err := s3.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Lookup(fs, fp, "u.c"); !ok {
+		t.Fatal("healed entry not served warm")
+	}
+}
+
+// A flipped payload byte fails the checksum at read time (the index was
+// seeded before the corruption): detected, evicted, recomputed.
+func TestDiskBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+	s := NewStore(0)
+	if err := s.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	fp := fillOne(t, s, fs)
+	// Drop the resident copy so the next lookup must go to disk.
+	s.mu.Lock()
+	s.entries = make(map[string]*entry)
+	s.mu.Unlock()
+
+	files := entryFiles(t, dir)
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Lookup(fs, fp, "u.c"); ok {
+		t.Fatal("bit-flipped entry served")
+	}
+	if st := s.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("flip not counted corrupt: %+v", st)
+	}
+	if len(entryFiles(t, dir)) != 0 {
+		t.Fatal("corrupt file not removed")
+	}
+	fillOne(t, s, fs)
+	if st := s.Stats(); st.DiskWrites != 2 {
+		t.Fatalf("recompute did not rewrite: %+v", st)
+	}
+}
+
+// A crash between temp-file create and rename leaves a temp file and no
+// entry; the next open sweeps the temp and the cache recomputes.
+func TestDiskCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+	// Simulate the crash artifact: a half-written temp file.
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And garbage that claims to be an entry.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef"+entrySuffix), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore(0)
+	if err := s.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskCorrupt != 1 || st.DiskEntries != 0 {
+		t.Fatalf("open over crash debris: %+v", st)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Fatalf("debris not swept: %v", des)
+	}
+	fp := fillOne(t, s, fs)
+	if _, ok := s.Lookup(fs, fp, "u.c"); !ok {
+		t.Fatal("store not functional after sweep")
+	}
+}
+
+// A foreign file that passes the checksum but sits under the wrong name
+// is distrusted: renaming an entry must not let it answer for another
+// key.
+func TestDiskRenamedEntryRejected(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+	s1 := NewStore(0)
+	if err := s1.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	fillOne(t, s1, fs)
+	files := entryFiles(t, dir)
+	if err := os.Rename(files[0], filepath.Join(dir, strings.Repeat("ab", 32)+entrySuffix)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(0)
+	if err := s2.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskEntries != 0 || st.DiskCorrupt != 1 {
+		t.Fatalf("renamed entry accepted: %+v", st)
+	}
+}
+
+// Flush clears the disk tier too.
+func TestDiskFlush(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+	s := NewStore(0)
+	if err := s.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	fp := fillOne(t, s, fs)
+	s.Flush()
+	if _, ok := s.Lookup(fs, fp, "u.c"); ok {
+		t.Fatal("flushed entry served")
+	}
+	if len(entryFiles(t, dir)) != 0 {
+		t.Fatal("flush left entry files")
+	}
+}
+
+// The file format rejects a payload whose checksum was recomputed over
+// different bytes (i.e. an attacker or bug rewrote payload+checksum but
+// the magic is wrong) — belt and braces over readEntry's branches.
+func TestDiskBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	fs := diskSources()
+	s := NewStore(0)
+	if err := s.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	fillOne(t, s, fs)
+	files := entryFiles(t, dir)
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(raw)
+	copy(bad, []byte("NOTMAGIC"))
+	if err := os.WriteFile(files[0], bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(0)
+	if err := s2.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("bad magic accepted: %+v", st)
+	}
+}

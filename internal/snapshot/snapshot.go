@@ -42,6 +42,7 @@ import (
 	"deviant/internal/cast"
 	"deviant/internal/cfg"
 	"deviant/internal/cpp"
+	"deviant/internal/ctoken"
 )
 
 // DefaultMaxUnits bounds a Store's resident artifacts when NewStore is
@@ -56,6 +57,15 @@ type Artifact struct {
 	ParseErrors []error
 	// Lines is the unit's source line count.
 	Lines int
+
+	// Tokens, when non-nil, is the unit's preprocessed token stream —
+	// the disk tier's serialization form. Parse trees share typed
+	// pointers and CFGs contain cycles, neither of which survives gob;
+	// tokens are flat exported data and reparse deterministically. The
+	// frontend sets this only when the owning store is persistent, and
+	// Add clears it once the entry is written, so resident artifacts
+	// never hold token streams.
+	Tokens []ctoken.Token
 
 	mu     sync.Mutex
 	graphs map[string]*cfg.Graph
@@ -101,6 +111,14 @@ type Stats struct {
 	// price of a warm hit. Exposed so /metrics can show when digest
 	// verification, not analysis, is the bottleneck.
 	LookupNs int64
+
+	// Disk tier counters, all zero when no disk is attached. DiskCorrupt
+	// counts entries whose checksum failed — at startup scan or at read
+	// time — and were evicted for recomputation (self-healing).
+	DiskEntries int   // entries currently indexed on disk
+	DiskHits    int64 // lookups answered by promoting a disk entry
+	DiskWrites  int64 // entries persisted
+	DiskCorrupt int64 // corrupt/torn entries detected and evicted
 }
 
 // RunStats reports what one analysis run reused from a Store. It is
@@ -144,8 +162,16 @@ type Store struct {
 	depLists map[string]*depList // fingerprint|unit|unitDigest -> last dep set
 	tick     uint64
 
-	hits, misses, evictions atomic.Int64
-	lookupNs                atomic.Int64 // cumulative Lookup wall clock
+	// disk, when non-nil, is the crash-safe persistent tier: entries
+	// evicted from (or never resident in) memory can still be answered
+	// from disk, including across process restarts. diskIdx maps
+	// transitive keys to entry file names.
+	disk    *disk
+	diskIdx map[string]string
+
+	hits, misses, evictions           atomic.Int64
+	diskHits, diskWrites, diskCorrupt atomic.Int64
+	lookupNs                          atomic.Int64 // cumulative Lookup wall clock
 }
 
 // NewStore returns an empty store holding at most maxUnits artifacts
@@ -238,16 +264,50 @@ func (s *Store) Lookup(fs cpp.FileProvider, fingerprint, unit string) (*Artifact
 		return nil, false
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
-	if !ok {
+	if e, ok := s.entries[key]; ok {
+		s.tick++
+		e.lastUse = s.tick
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return e.art, true
+	}
+	var file string
+	if s.disk != nil {
+		file = s.diskIdx[key]
+	}
+	s.mu.Unlock()
+	if file == "" {
 		s.misses.Add(1)
 		return nil, false
 	}
-	s.tick++
-	e.lastUse = s.tick
+	// Promote from the disk tier. The entry's checksum is re-verified at
+	// read time; a torn or corrupt entry is evicted so the cold re-parse
+	// that follows recomputes and rewrites it (self-healing).
+	art, ok := s.disk.load(file)
+	if !ok {
+		s.diskCorrupt.Add(1)
+		s.disk.remove(file)
+		s.mu.Lock()
+		delete(s.diskIdx, key)
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.diskHits.Add(1)
 	s.hits.Add(1)
-	return e.art, true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, exists := s.entries[key]; exists {
+		// Another goroutine promoted this key first; serve its artifact
+		// so concurrent runs share one tree.
+		s.tick++
+		e.lastUse = s.tick
+		return e.art, true
+	}
+	s.tick++
+	s.entries[key] = &entry{art: art, depKey: dk, lastUse: s.tick}
+	s.evictLocked()
+	return art, true
 }
 
 // Add records the artifact produced by a cold frontend run over unit.
@@ -274,7 +334,6 @@ func (s *Store) Add(fs cpp.FileProvider, fingerprint, unit string, includes, mis
 	}
 	dk := depKeyOf(fingerprint, unit, unitDigest)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.tick++
 	s.depLists[dk] = &depList{deps: deps, key: key}
 	if _, exists := s.entries[key]; !exists {
@@ -282,6 +341,22 @@ func (s *Store) Add(fs cpp.FileProvider, fingerprint, unit string, includes, mis
 		s.evictLocked()
 	} else {
 		s.entries[key].lastUse = s.tick
+	}
+	d := s.disk
+	s.mu.Unlock()
+
+	// Persist outside the lock: the write is temp-file + fsync + atomic
+	// rename, so concurrent writers of the same key converge on one
+	// complete entry and a crash at any instant leaves either the old
+	// entry, the new entry, or a stripped temp file — never a torn one.
+	if d != nil && art.Tokens != nil {
+		if file, err := d.write(key, fingerprint, unit, unitDigest, deps, art); err == nil {
+			s.diskWrites.Add(1)
+			s.mu.Lock()
+			s.diskIdx[key] = file
+			s.mu.Unlock()
+		}
+		art.Tokens = nil
 	}
 }
 
@@ -297,7 +372,12 @@ func (s *Store) evictLocked() {
 			}
 		}
 		if dl, ok := s.depLists[victim.depKey]; ok && dl.key == victimKey {
-			delete(s.depLists, victim.depKey)
+			// The dep list stays if the disk tier still holds the entry:
+			// it is the map from content to key that lets a later lookup
+			// find the on-disk artifact again.
+			if _, onDisk := s.diskIdx[victimKey]; !onDisk {
+				delete(s.depLists, victim.depKey)
+			}
 		}
 		delete(s.entries, victimKey)
 		s.evictions.Add(1)
@@ -308,26 +388,75 @@ func (s *Store) evictLocked() {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	units := len(s.entries)
+	diskEntries := len(s.diskIdx)
 	graphs := 0
 	for _, e := range s.entries {
 		graphs += e.art.GraphCount()
 	}
 	s.mu.Unlock()
 	return Stats{
-		UnitHits:   s.hits.Load(),
-		UnitMisses: s.misses.Load(),
-		Evictions:  s.evictions.Load(),
-		Units:      units,
-		Graphs:     graphs,
-		LookupNs:   s.lookupNs.Load(),
+		UnitHits:    s.hits.Load(),
+		UnitMisses:  s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		Units:       units,
+		Graphs:      graphs,
+		LookupNs:    s.lookupNs.Load(),
+		DiskEntries: diskEntries,
+		DiskHits:    s.diskHits.Load(),
+		DiskWrites:  s.diskWrites.Load(),
+		DiskCorrupt: s.diskCorrupt.Load(),
 	}
 }
 
-// Flush empties the store (counters are preserved). Used when a caller
-// knows the world changed in a way the digests cannot see.
+// Flush empties the store, including any attached disk tier (counters
+// are preserved). Used when a caller knows the world changed in a way
+// the digests cannot see.
 func (s *Store) Flush() {
 	s.mu.Lock()
 	s.entries = make(map[string]*entry)
 	s.depLists = make(map[string]*depList)
+	var files []string
+	d := s.disk
+	if d != nil {
+		files = make([]string, 0, len(s.diskIdx))
+		for _, f := range s.diskIdx {
+			files = append(files, f)
+		}
+		s.diskIdx = make(map[string]string)
+	}
 	s.mu.Unlock()
+	for _, f := range files {
+		d.remove(f)
+	}
+}
+
+// AttachDisk backs the store with a crash-safe persistent tier rooted
+// at dir (created if absent). Existing entries are scanned: checksums
+// verified, torn or corrupt files evicted (counted in Stats.DiskCorrupt)
+// and temp files from crashed writers removed; surviving entries seed
+// the dependency index so lookups hit disk across process restarts.
+func (s *Store) AttachDisk(dir string) error {
+	d, scanned, corrupt, err := openDisk(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.disk = d
+	s.diskIdx = make(map[string]string, len(scanned))
+	for _, e := range scanned {
+		s.depLists[e.depKey] = &depList{deps: e.deps, key: e.key}
+		s.diskIdx[e.key] = e.file
+	}
+	s.mu.Unlock()
+	s.diskCorrupt.Add(corrupt)
+	return nil
+}
+
+// Persistent reports whether a disk tier is attached. The frontend uses
+// it to decide whether to hand Add the unit's token stream (the disk
+// serialization form) along with the parse tree.
+func (s *Store) Persistent() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disk != nil
 }
