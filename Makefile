@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json obs-race service-race serve-smoke fuzz-smoke soak-smoke chaos-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fuzz-smoke soak-smoke chaos-smoke ci
 
 all: build
 
@@ -29,14 +29,23 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkAnalyze(Serial|Parallel)$$' -benchtime=1x .
 
-# Observability overhead snapshot: serial baseline vs instrumentation
-# compiled-in-but-off vs tracing+metrics on, archived as machine-readable
-# JSON. One iteration each — enough to keep the three benchmarks honest
-# in CI; run with BENCHTIME=5x (or more) for stable overhead numbers.
+# Pipeline + frontend benchmark snapshot, archived two ways: the current
+# numbers overwrite BENCH_obs.json, and a dated entry is APPENDED to
+# BENCH_trajectory.json so every PR's perf claim stays checkable against
+# history. One iteration each — enough to keep the benchmarks honest in
+# CI; run with BENCHTIME=5x (or more) for stable numbers.
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) test -run='^$$' -bench='^BenchmarkAnalyze(Serial|InstrumentedOff|InstrumentedOn)$$' \
-		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_obs.json
+	$(GO) test -run='^$$' -bench='^Benchmark(Analyze(Serial|Parallel|InstrumentedOff|InstrumentedOn)|Scanner|Preprocess|Parse)$$' \
+		-benchtime=$(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -append BENCH_trajectory.json > BENCH_obs.json
+
+# Allocation regression gate: fail if BenchmarkAnalyzeParallel allocates
+# more than 20% over the checked-in baseline (BENCH_baseline.json).
+# allocs/op is iteration-count-independent, so one iteration gates
+# reliably where ns/op would be noise.
+bench-gate:
+	$(GO) test -run='^$$' -bench='^BenchmarkAnalyzeParallel$$' -benchtime=$(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchjson -gate BENCH_baseline.json
 
 # The observability layer under the race detector: tracer lane
 # allocation and the metrics registry are hammered from many goroutines.
@@ -77,4 +86,4 @@ chaos-smoke:
 	$(GO) test -race -run 'Quarantine|Budget|Deadline|Disk|Persistent|Fault|Panic|Retry|TrapBait|Redact|Canonicalize|Injected' \
 		./internal/fault ./internal/core ./internal/snapshot ./internal/service ./internal/client ./internal/fuzzgen ./cmd/deviant
 
-ci: vet build race bench-smoke obs-race service-race serve-smoke bench-json fuzz-smoke soak-smoke chaos-smoke
+ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke bench-json fuzz-smoke soak-smoke chaos-smoke

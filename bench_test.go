@@ -12,6 +12,7 @@ package deviant
 
 import (
 	"runtime"
+	"sort"
 	"testing"
 
 	"deviant/internal/cast"
@@ -19,6 +20,7 @@ import (
 	"deviant/internal/corpus"
 	"deviant/internal/cparse"
 	"deviant/internal/cpp"
+	"deviant/internal/ctoken"
 	"deviant/internal/engine"
 	"deviant/internal/experiments"
 	"deviant/internal/latent"
@@ -172,9 +174,51 @@ func BenchmarkAnalyzeInstrumentedOff(b *testing.B) { benchAnalyzeObs(b, false) }
 // attached and the run folded into a metrics registry.
 func BenchmarkAnalyzeInstrumentedOn(b *testing.B) { benchAnalyzeObs(b, true) }
 
+// corpusBytes is the total corpus size in bytes (sources plus headers),
+// for b.SetBytes so the frontend benchmarks report MB/s.
+func corpusBytes(files map[string]string) int64 {
+	var n int64
+	for _, src := range files {
+		n += int64(len(src))
+	}
+	return n
+}
+
+// BenchmarkScanner measures raw tokenization throughput of the
+// byte-table scanner over every file in the corpus.
+func BenchmarkScanner(b *testing.B) {
+	c := corpus.Generate(corpus.Linux247())
+	names := make([]string, 0, len(c.Files))
+	for name := range c.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.SetBytes(corpusBytes(c.Files))
+	b.ReportAllocs()
+	b.ResetTimer()
+	toks := 0
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			s := ctoken.NewScanner(name, c.Files[name])
+			for {
+				tok := s.Next()
+				if tok.Kind == ctoken.EOF {
+					break
+				}
+				toks++
+			}
+		}
+	}
+	if toks == 0 {
+		b.Fatal("no tokens")
+	}
+}
+
 // BenchmarkPreprocess measures the C preprocessor alone.
 func BenchmarkPreprocess(b *testing.B) {
 	c := corpus.Generate(corpus.Linux247())
+	b.SetBytes(corpusBytes(c.Files))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, unit := range c.Units {
@@ -189,6 +233,8 @@ func BenchmarkPreprocess(b *testing.B) {
 // BenchmarkParse measures preprocessing plus parsing.
 func BenchmarkParse(b *testing.B) {
 	c := corpus.Generate(corpus.Linux247())
+	b.SetBytes(corpusBytes(c.Files))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, unit := range c.Units {

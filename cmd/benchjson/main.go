@@ -4,20 +4,34 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'Analyze' . | benchjson > BENCH.json
+//	go test -run '^$' -bench 'Analyze' -benchmem . | benchjson > BENCH.json
+//
+// Two optional modes turn the snapshot into a perf-tracking pipeline:
+//
+//	-append FILE   additionally append a dated entry to the trajectory
+//	               file FILE ({"entries": [...]}), creating it if absent.
+//	               The snapshot still goes to stdout.
+//	-gate FILE     compare stdin's results against the checked-in
+//	               baseline snapshot FILE and exit non-zero if the gated
+//	               benchmark's allocs/op regressed more than -max-regress
+//	               (default 20%). Nothing is written.
 //
 // Only result lines are consumed ("BenchmarkName-8  10  12345 ns/op ...");
 // everything else (goos/goarch headers, PASS, custom metrics it does not
 // recognise) passes through to stderr untouched so failures stay visible.
+// With -benchmem the B/op, allocs/op, and MB/s columns are captured too.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
+	"time"
 )
 
 // result is one benchmark line. Name has the -<GOMAXPROCS> suffix
@@ -26,38 +40,189 @@ type result struct {
 	Name       string  `json:"name"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	BPerOp     int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
 }
 
-// benchLine matches e.g. "BenchmarkAnalyzeSerial-8   3   420163930 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+// parsed wraps a result with whether the memory columns were present: a
+// zero allocs/op from -benchmem is meaningful (a genuinely
+// allocation-free benchmark), a missing column is not gateable.
+type parsed struct {
+	result
+	memSeen bool
+}
 
-func main() {
-	var results []result
-	sc := bufio.NewScanner(os.Stdin)
+// snapshot is the stdout document and the -gate baseline format.
+type snapshot struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// entry is one dated trajectory point; trajectory is the -append file.
+type entry struct {
+	Date       string   `json:"date"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+type trajectory struct {
+	Entries []entry `json:"entries"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkAnalyzeSerial-8  3  420163930 ns/op  162 MB/s  678 B/op  12 allocs/op
+//
+// The memory columns only appear under -benchmem; MB/s only when the
+// benchmark calls b.SetBytes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench consumes go-test bench output from r, echoing unrecognised
+// lines to passthru (normally stderr) so failures stay visible.
+func parseBench(r io.Reader, passthru io.Writer) ([]parsed, error) {
+	var results []parsed
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
-			fmt.Fprintln(os.Stderr, line)
+			fmt.Fprintln(passthru, line)
 			continue
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		results = append(results, result{Name: m[1], Iterations: iters, NsPerOp: ns})
+		p := parsed{result: result{Name: m[1], Iterations: iters, NsPerOp: ns}}
+		if m[4] != "" {
+			p.MBPerS, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			p.BPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			p.memSeen = true
+		}
+		if m[6] != "" {
+			p.AllocsOp, _ = strconv.ParseInt(m[6], 10, 64)
+			p.memSeen = true
+		}
+		results = append(results, p)
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+func bare(ps []parsed) []result {
+	out := make([]result, len(ps))
+	for i, p := range ps {
+		out[i] = p.result
+	}
+	return out
+}
+
+// appendTrajectory adds a dated entry to path, creating the file if it
+// does not exist yet. Entries are only ever appended — the file is the
+// project's perf history, so old points are never rewritten.
+func appendTrajectory(path, date string, results []result) error {
+	var tr trajectory
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return fmt.Errorf("%s: %v (refusing to clobber an unreadable trajectory)", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	tr.Entries = append(tr.Entries, entry{Date: date, Benchmarks: results})
+	out, err := json.MarshalIndent(&tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// gate compares results against the baseline snapshot for one gated
+// benchmark and returns an error if allocs/op regressed beyond
+// maxRegress (a fraction: 0.20 allows +20%).
+func gate(baseline snapshot, results []parsed, name string, maxRegress float64) (string, error) {
+	var base *result
+	for i := range baseline.Benchmarks {
+		if baseline.Benchmarks[i].Name == name {
+			base = &baseline.Benchmarks[i]
+			break
+		}
+	}
+	if base == nil {
+		return "", fmt.Errorf("baseline does not contain %s", name)
+	}
+	var cur *parsed
+	for i := range results {
+		if results[i].Name == name {
+			cur = &results[i]
+			break
+		}
+	}
+	if cur == nil {
+		return "", fmt.Errorf("bench output does not contain %s", name)
+	}
+	if !cur.memSeen {
+		return "", fmt.Errorf("bench output has no allocs/op for %s (run with -benchmem)", name)
+	}
+	limit := float64(base.AllocsOp) * (1 + maxRegress)
+	if float64(cur.AllocsOp) > limit {
+		return "", fmt.Errorf("%s allocs/op regressed: %d now vs %d baseline (limit %+.0f%%: %.0f)",
+			name, cur.AllocsOp, base.AllocsOp, maxRegress*100, limit)
+	}
+	return fmt.Sprintf("bench gate ok: %s %d allocs/op vs baseline %d (limit %.0f)",
+		name, cur.AllocsOp, base.AllocsOp, limit), nil
+}
+
+func main() {
+	appendPath := flag.String("append", "", "also append a dated entry to this trajectory JSON file")
+	gatePath := flag.String("gate", "", "compare against this baseline snapshot instead of emitting JSON")
+	gateName := flag.String("bench", "BenchmarkAnalyzeParallel", "benchmark the -gate mode checks")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional allocs/op regression in -gate mode")
+	date := flag.String("date", "", "entry date for -append (default: today, UTC)")
+	flag.Parse()
+
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	results, err := parseBench(os.Stdin, os.Stderr)
+	if err != nil {
+		fail(err)
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fail(fmt.Errorf("no benchmark lines on stdin"))
 	}
+
+	if *gatePath != "" {
+		raw, err := os.ReadFile(*gatePath)
+		if err != nil {
+			fail(err)
+		}
+		var base snapshot
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fail(fmt.Errorf("%s: %v", *gatePath, err))
+		}
+		msg, err := gate(base, results, *gateName, *maxRegress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		return
+	}
+
+	if *appendPath != "" {
+		d := *date
+		if d == "" {
+			d = time.Now().UTC().Format("2006-01-02")
+		}
+		if err := appendTrajectory(*appendPath, d, bare(results)); err != nil {
+			fail(err)
+		}
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if err := enc.Encode(snapshot{Benchmarks: bare(results)}); err != nil {
+		fail(err)
 	}
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkAnalyzeSerial-8       	       3	 141400000 ns/op	64300000 B/op	  222503 allocs/op
+BenchmarkAnalyzeParallel-8     	       3	 135800000 ns/op	64300000 B/op	  222499 allocs/op
+BenchmarkScanner-8             	     100	   1234567 ns/op	 512.34 MB/s	     128 B/op	       2 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T) []parsed {
+	t.Helper()
+	results, err := parseBench(strings.NewReader(sample), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestParseBench(t *testing.T) {
+	results := parseSample(t)
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	par := results[1]
+	if par.Name != "BenchmarkAnalyzeParallel" || par.NsPerOp != 135800000 ||
+		par.AllocsOp != 222499 || !par.memSeen {
+		t.Fatalf("parallel line parsed wrong: %+v", par)
+	}
+	sc := results[2]
+	if sc.MBPerS != 512.34 || sc.BPerOp != 128 || sc.AllocsOp != 2 {
+		t.Fatalf("scanner line parsed wrong: %+v", sc)
+	}
+}
+
+func TestGate(t *testing.T) {
+	results := parseSample(t)
+	base := snapshot{Benchmarks: []result{
+		{Name: "BenchmarkAnalyzeParallel", NsPerOp: 135800000, AllocsOp: 222499},
+	}}
+
+	if _, err := gate(base, results, "BenchmarkAnalyzeParallel", 0.20); err != nil {
+		t.Fatalf("equal-to-baseline run must pass the gate: %v", err)
+	}
+
+	// 20% over baseline is 266,998.8 — a run at 270,000 must fail.
+	regressed := parseSample(t)
+	regressed[1].AllocsOp = 270000
+	if _, err := gate(base, regressed, "BenchmarkAnalyzeParallel", 0.20); err == nil {
+		t.Fatal("a 21% allocs/op regression must fail the gate")
+	}
+	// ...and 260,000 (within 20%) must pass.
+	regressed[1].AllocsOp = 260000
+	if _, err := gate(base, regressed, "BenchmarkAnalyzeParallel", 0.20); err != nil {
+		t.Fatalf("a 17%% regression is within the 20%% budget: %v", err)
+	}
+
+	if _, err := gate(base, results, "BenchmarkNoSuch", 0.20); err == nil {
+		t.Fatal("missing benchmark in baseline must be an error, not a pass")
+	}
+
+	noMem := parseSample(t)
+	noMem[1].memSeen = false
+	if _, err := gate(base, noMem, "BenchmarkAnalyzeParallel", 0.20); err == nil {
+		t.Fatal("bench output without -benchmem columns must be an error")
+	}
+}
+
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	r1 := []result{{Name: "BenchmarkAnalyzeParallel", Iterations: 1, NsPerOp: 575500000, AllocsOp: 1157636}}
+	r2 := []result{{Name: "BenchmarkAnalyzeParallel", Iterations: 1, NsPerOp: 135800000, AllocsOp: 222499}}
+
+	if err := appendTrajectory(path, "2026-08-01", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendTrajectory(path, "2026-08-08", r2); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trajectory
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 2 {
+		t.Fatalf("trajectory has %d entries, want 2 (append must not overwrite)", len(tr.Entries))
+	}
+	if tr.Entries[0].Date != "2026-08-01" || tr.Entries[0].Benchmarks[0].AllocsOp != 1157636 {
+		t.Fatalf("first entry rewritten: %+v", tr.Entries[0])
+	}
+	if tr.Entries[1].Date != "2026-08-08" || tr.Entries[1].Benchmarks[0].AllocsOp != 222499 {
+		t.Fatalf("second entry wrong: %+v", tr.Entries[1])
+	}
+
+	// A corrupt trajectory must be refused, not clobbered.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendTrajectory(path, "2026-08-09", r2); err == nil {
+		t.Fatal("appending to a corrupt trajectory must fail loudly")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "{not json" {
+		t.Fatal("failed append must leave the file untouched")
+	}
+}

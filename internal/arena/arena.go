@@ -1,0 +1,90 @@
+// Package arena implements slab allocation for the frontend's per-unit
+// object populations: tokens and AST nodes.
+//
+// The frontend allocates millions of small, identically-typed objects per
+// run, almost all of which share one lifetime — they live exactly as long
+// as the translation unit's artifacts (or die at the end of the unit's
+// frontend pass). Allocating each from the general heap costs an object
+// header, a size-class lookup and a GC mark per node. An Arena hands out
+// objects by bump pointer from typed slabs instead: one heap allocation
+// per slab, one GC mark per slab, and wholesale release — when the last
+// reference into a unit's artifacts drops (its snapshot entry is evicted,
+// or no snapshot store is attached and the run's Result dies), every slab
+// goes with it in one sweep.
+//
+// Slabs grow geometrically from minSlab to maxSlab, like append: a unit
+// with a dozen nodes of some type wastes at most a small first slab,
+// while a unit with thousands converges to one allocation per maxSlab
+// nodes. With one arena per hot node type per unit, that keeps the tail
+// waste of small units negligible.
+//
+// Arenas are single-goroutine by design: the pipeline creates one per
+// translation unit inside that unit's frontend worker. Objects handed out
+// by an arena are ordinary Go pointers and may be retained anywhere;
+// "freed wholesale" is the normal GC reclaiming unreferenced slabs, never
+// manual invalidation, so a dangling arena pointer is impossible.
+package arena
+
+const (
+	minSlab = 16
+	maxSlab = 512
+)
+
+// Arena bump-allocates values of type T from typed slabs.
+type Arena[T any] struct {
+	slab []T // current slab; allocation slices off the front
+	next int // size of the next slab (geometric, capped at maxSlab)
+}
+
+// grow replaces the exhausted slab with the next one, at least min long.
+func (a *Arena[T]) grow(min int) {
+	n := a.next
+	if n < minSlab {
+		n = minSlab
+	}
+	if n < min {
+		n = min
+	}
+	a.slab = make([]T, n)
+	if n < maxSlab {
+		a.next = n * 2
+	} else {
+		a.next = maxSlab
+	}
+}
+
+// New returns a pointer to a zeroed T from the arena.
+func (a *Arena[T]) New() *T {
+	if len(a.slab) == 0 {
+		a.grow(1)
+	}
+	p := &a.slab[0]
+	a.slab = a.slab[1:]
+	return p
+}
+
+// NewFrom returns a pointer to a copy of v placed in the arena.
+func (a *Arena[T]) NewFrom(v T) *T {
+	p := a.New()
+	*p = v
+	return p
+}
+
+// Slice returns a zeroed []T of length n from the arena. Slices longer
+// than a slab fall through to a direct allocation; short ones pack
+// together. The returned slice has capacity exactly n — appending to it
+// reallocates rather than clobbering a neighbor.
+func (a *Arena[T]) Slice(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if n > maxSlab {
+		return make([]T, n)
+	}
+	if len(a.slab) < n {
+		a.grow(n)
+	}
+	s := a.slab[:n:n]
+	a.slab = a.slab[n:]
+	return s
+}

@@ -1,0 +1,67 @@
+package arena
+
+import "testing"
+
+func TestNewAndNewFrom(t *testing.T) {
+	var a Arena[int]
+	seen := make(map[*int]bool)
+	for i := 0; i < 3*maxSlab; i++ {
+		p := a.NewFrom(i)
+		if *p != i {
+			t.Fatalf("NewFrom(%d) = %d", i, *p)
+		}
+		if seen[p] {
+			t.Fatalf("pointer %p handed out twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSlabGrowth(t *testing.T) {
+	var a Arena[int]
+	a.New()
+	if len(a.slab)+1 != minSlab {
+		t.Fatalf("first slab size %d, want %d", len(a.slab)+1, minSlab)
+	}
+	for i := 0; i < 10*maxSlab; i++ {
+		a.New()
+	}
+	if a.next != maxSlab {
+		t.Fatalf("slab growth not capped: next = %d", a.next)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	var a Arena[byte]
+	if s := a.Slice(0); s != nil {
+		t.Fatalf("Slice(0) = %v, want nil", s)
+	}
+	s1 := a.Slice(10)
+	s2 := a.Slice(10)
+	if len(s1) != 10 || len(s2) != 10 {
+		t.Fatalf("bad lengths %d %d", len(s1), len(s2))
+	}
+	// Appending to a full-capacity arena slice must not clobber neighbors.
+	if cap(s1) != 10 {
+		t.Fatalf("cap(s1) = %d, want 10", cap(s1))
+	}
+	s1 = append(s1, 0xFF)
+	for i, b := range s2 {
+		if b != 0 {
+			t.Fatalf("append to s1 clobbered s2[%d] = %#x", i, b)
+		}
+	}
+	// Oversized requests fall through to direct allocation.
+	big := a.Slice(maxSlab + 1)
+	if len(big) != maxSlab+1 {
+		t.Fatalf("big slice len %d", len(big))
+	}
+	// A request that does not fit the current slab's remainder starts a
+	// fresh slab and still returns the full length.
+	var b Arena[int]
+	b.Slice(minSlab - 2)
+	s := b.Slice(maxSlab)
+	if len(s) != maxSlab {
+		t.Fatalf("cross-slab slice len %d", len(s))
+	}
+}

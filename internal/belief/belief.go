@@ -11,7 +11,7 @@ package belief
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -119,8 +119,10 @@ type Env struct {
 	m map[string]Info
 }
 
-// NewEnv returns an empty environment.
-func NewEnv() *Env { return &Env{m: make(map[string]Info)} }
+// NewEnv returns an empty environment. The slot map is allocated on the
+// first Set: the engine creates an environment per function and per
+// branch clone, and most track no slots at all.
+func NewEnv() *Env { return &Env{} }
 
 // Get returns the belief for key (zero Info if absent).
 func (e *Env) Get(key string) Info { return e.m[key] }
@@ -130,6 +132,9 @@ func (e *Env) Set(key string, info Info) {
 	if info.Facts == Unknown && info.Src == SrcNone {
 		delete(e.m, key)
 		return
+	}
+	if e.m == nil {
+		e.m = make(map[string]Info)
 	}
 	e.m[key] = info
 }
@@ -143,11 +148,29 @@ func (e *Env) Forget(key string) { delete(e.m, key) }
 func (e *Env) ForgetDerived(key string) {
 	delete(e.m, key)
 	for k := range e.m {
-		if strings.HasPrefix(k, key+"->") || strings.HasPrefix(k, key+".") ||
-			strings.HasPrefix(k, key+"[") || strings.HasPrefix(k, "*"+key) {
+		if derivedFrom(k, key) {
 			delete(e.m, k)
 		}
 	}
+}
+
+// derivedFrom reports whether slot k is syntactically derived from key:
+// "key->…", "key.…", "key[…" or "*key…". Equivalent to prefix tests
+// against key+"->" etc., without building the concatenated needles.
+func derivedFrom(k, key string) bool {
+	if len(k) > 0 && k[0] == '*' && strings.HasPrefix(k[1:], key) {
+		return true
+	}
+	if len(k) <= len(key) || !strings.HasPrefix(k, key) {
+		return false
+	}
+	switch k[len(key)] {
+	case '.', '[':
+		return true
+	case '-':
+		return len(k) > len(key)+1 && k[len(key)+1] == '>'
+	}
+	return false
 }
 
 // Len returns the number of tracked slots.
@@ -155,9 +178,19 @@ func (e *Env) Len() int { return len(e.m) }
 
 // Clone returns a deep copy.
 func (e *Env) Clone() *Env {
-	ne := &Env{m: make(map[string]Info, len(e.m))}
-	for k, v := range e.m {
-		ne.m[k] = v
+	ne := e.CloneValue()
+	return &ne
+}
+
+// CloneValue returns a deep copy as a value, for callers that embed Env
+// in a larger state struct and want one allocation, not two.
+func (e *Env) CloneValue() Env {
+	var ne Env
+	if len(e.m) > 0 {
+		ne.m = make(map[string]Info, len(e.m))
+		for k, v := range e.m {
+			ne.m[k] = v
+		}
 	}
 	return ne
 }
@@ -168,17 +201,36 @@ func (e *Env) Key() string {
 	if len(e.m) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(e.m))
-	for k := range e.m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var sb strings.Builder
-	for _, k := range keys {
+	return string(e.AppendKey(nil))
+}
+
+// AppendKey appends Key's canonical encoding to b and returns it, so
+// callers on the memoization hot path can reuse one buffer instead of
+// allocating a string per probe. Keys are emitted in ascending order by
+// repeated minimum selection: O(n²) in the slot count, but per-path
+// environments hold a handful of slots and the alternative allocates a
+// slice plus a sort per call.
+func (e *Env) AppendKey(b []byte) []byte {
+	prev := ""
+	for n := 0; n < len(e.m); n++ {
+		k := ""
+		for cand := range e.m {
+			if cand > prev && (k == "" || cand < k) {
+				k = cand
+			}
+		}
+		prev = k
 		i := e.m[k]
-		fmt.Fprintf(&sb, "%s=%d:%d:%d;", k, i.Facts, i.Src, i.Line)
+		b = append(b, k...)
+		b = append(b, '=')
+		b = strconv.AppendUint(b, uint64(i.Facts), 10)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, uint64(i.Src), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(i.Line), 10)
+		b = append(b, ';')
 	}
-	return sb.String()
+	return b
 }
 
 // JoinFrom unions other's beliefs into e (per-key Join; keys only in one
@@ -190,6 +242,9 @@ func (e *Env) JoinFrom(other *Env) bool {
 	for k, ov := range other.m {
 		cur, ok := e.m[k]
 		if !ok {
+			if e.m == nil {
+				e.m = make(map[string]Info)
+			}
 			e.m[k] = ov
 			changed = true
 			continue

@@ -12,9 +12,10 @@ package cfg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
+	"deviant/internal/arena"
 	"deviant/internal/cast"
 	"deviant/internal/ctoken"
 )
@@ -32,6 +33,10 @@ type Block struct {
 	Cond  cast.Expr
 	Succs []Edge
 	Preds []*Block
+
+	// nodesBuf inline-backs Nodes for the common short block (builder
+	// blocks only): appends spill to the heap past its capacity.
+	nodesBuf [4]cast.Node
 }
 
 // Edge is one control-flow edge. For conditional blocks Branch gives the
@@ -59,6 +64,7 @@ type Options struct {
 type builder struct {
 	g      *Graph
 	opts   Options
+	blocks arena.Arena[Block] // slab-backed; blocks live as long as the Graph
 	labels map[string]*Block
 	gotos  []pendingGoto
 	// loop/switch context for break/continue
@@ -77,9 +83,8 @@ func Build(fn *cast.FuncDecl, opts Options) *Graph {
 		panic("cfg: Build called on prototype " + fn.Name)
 	}
 	b := &builder{
-		g:      &Graph{Fn: fn},
-		opts:   opts,
-		labels: make(map[string]*Block),
+		g:    &Graph{Fn: fn},
+		opts: opts,
 	}
 	b.g.Entry = b.newBlock()
 	b.g.Exit = b.newBlock()
@@ -99,7 +104,8 @@ func Build(fn *cast.FuncDecl, opts Options) *Graph {
 }
 
 func (b *builder) newBlock() *Block {
-	blk := &Block{}
+	blk := b.blocks.New()
+	blk.Nodes = blk.nodesBuf[:0:len(blk.nodesBuf)]
 	b.g.Blocks = append(b.g.Blocks, blk)
 	return blk
 }
@@ -299,6 +305,9 @@ func (b *builder) stmt(cur *Block, s cast.Stmt) *Block {
 	case *cast.LabelStmt:
 		lb := b.newBlock()
 		b.link(cur, lb) // fall-through into the label
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
 		b.labels[x.Name] = lb
 		if x.Stmt != nil {
 			return b.stmt(lb, x.Stmt)
@@ -467,9 +476,11 @@ func (b *builder) switchStmt(cur *Block, x *cast.SwitchStmt) *Block {
 // pass-through blocks out of edge lists.
 func (b *builder) prune() {
 	// Compress: an empty block with exactly one unconditional successor
-	// is bypassed.
+	// is bypassed. The cycle guard is shared across calls (cleared, not
+	// reallocated — redirect runs once per edge).
+	seen := map[*Block]bool{}
 	redirect := func(blk *Block) *Block {
-		seen := map[*Block]bool{}
+		clear(seen)
 		for blk != nil && blk.Cond == nil && len(blk.Nodes) == 0 &&
 			len(blk.Succs) == 1 && blk != b.g.Exit && !seen[blk] {
 			seen[blk] = true
@@ -521,34 +532,33 @@ func (b *builder) prune() {
 }
 
 func (b *builder) number() {
-	// Stable numbering: BFS from entry, exit last.
+	// Stable numbering: BFS from entry, exit last. IDs double as the
+	// visited marks (-1 = unseen), and the queue is walked by index so
+	// the whole pass costs one slice.
+	for _, blk := range b.g.Blocks {
+		blk.ID = -1
+	}
 	id := 0
-	seen := map[*Block]bool{}
-	queue := []*Block{b.g.Entry}
-	var ordered []*Block
-	for len(queue) > 0 {
-		blk := queue[0]
-		queue = queue[1:]
-		if blk == nil || seen[blk] {
+	queue := make([]*Block, 0, len(b.g.Blocks))
+	queue = append(queue, b.g.Entry)
+	for qi := 0; qi < len(queue); qi++ {
+		blk := queue[qi]
+		if blk == nil || blk.ID >= 0 {
 			continue
 		}
-		seen[blk] = true
-		ordered = append(ordered, blk)
+		blk.ID = id
+		id++
 		for _, e := range blk.Succs {
 			queue = append(queue, e.To)
 		}
 	}
 	for _, blk := range b.g.Blocks {
-		if !seen[blk] {
-			ordered = append(ordered, blk)
-			seen[blk] = true
+		if blk.ID < 0 {
+			blk.ID = id
+			id++
 		}
 	}
-	for _, blk := range ordered {
-		blk.ID = id
-		id++
-	}
-	sort.Slice(b.g.Blocks, func(i, j int) bool { return b.g.Blocks[i].ID < b.g.Blocks[j].ID })
+	slices.SortFunc(b.g.Blocks, func(x, y *Block) int { return x.ID - y.ID })
 }
 
 // String renders the graph for debugging.

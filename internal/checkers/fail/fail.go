@@ -65,9 +65,12 @@ type state struct {
 }
 
 func (s *state) Clone() engine.State {
-	ns := &state{vars: make(map[string]tracked, len(s.vars))}
-	for k, v := range s.vars {
-		ns.vars[k] = v
+	ns := &state{}
+	if len(s.vars) > 0 {
+		ns.vars = make(map[string]tracked, len(s.vars))
+		for k, v := range s.vars {
+			ns.vars[k] = v
+		}
 	}
 	return ns
 }
@@ -76,26 +79,33 @@ func (s *state) Key() string {
 	if len(s.vars) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(s.vars))
-	for k := range s.vars {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := ""
-	for _, k := range keys {
-		v := s.vars[k]
-		ck := "u"
-		if v.checked {
-			ck = "c"
-		}
-		out += k + "=" + v.callee + ck + ";"
-	}
-	return out
+	return string(s.AppendKey(nil))
 }
 
-// NewState implements engine.Checker.
+// AppendKey implements engine.AppendKeyer: the tracked bindings in
+// ascending key order, built without allocating.
+func (s *state) AppendKey(b []byte) []byte {
+	for k := engine.NextKey(s.vars, ""); k != ""; k = engine.NextKey(s.vars, k) {
+		v := s.vars[k]
+		b = append(b, k...)
+		b = append(b, '=')
+		b = append(b, v.callee...)
+		if v.checked {
+			b = append(b, 'c')
+		} else {
+			b = append(b, 'u')
+		}
+		b = append(b, ';')
+	}
+	return b
+}
+
+// NewState implements engine.Checker. The tracked-result map is
+// allocated on first binding: most functions never bind a checked
+// callee's result, and the engine creates one state per function plus
+// one per branch clone.
 func (c *Checker) NewState(*cast.FuncDecl) engine.State {
-	return &state{vars: make(map[string]tracked)}
+	return &state{}
 }
 
 func keyOf(e cast.Expr) string {
@@ -166,6 +176,9 @@ func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
 
 func (c *Checker) bind(s *state, key string, rhs cast.Expr) {
 	if callee := callResult(rhs); callee != "" {
+		if s.vars == nil {
+			s.vars = make(map[string]tracked)
+		}
 		s.vars[key] = tracked{callee: callee}
 		return
 	}

@@ -12,7 +12,7 @@ package freecheck
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 
 	"deviant/internal/cast"
@@ -38,9 +38,12 @@ type state struct {
 }
 
 func (s *state) Clone() engine.State {
-	ns := &state{freed: make(map[string]int, len(s.freed))}
-	for k, v := range s.freed {
-		ns.freed[k] = v
+	ns := &state{}
+	if len(s.freed) > 0 {
+		ns.freed = make(map[string]int, len(s.freed))
+		for k, v := range s.freed {
+			ns.freed[k] = v
+		}
 	}
 	return ns
 }
@@ -49,21 +52,26 @@ func (s *state) Key() string {
 	if len(s.freed) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(s.freed))
-	for k := range s.freed {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var sb strings.Builder
-	for _, k := range keys {
-		fmt.Fprintf(&sb, "%s@%d;", k, s.freed[k])
-	}
-	return sb.String()
+	return string(s.AppendKey(nil))
 }
 
-// NewState implements engine.Checker.
+// AppendKey implements engine.AppendKeyer: the freed slots in ascending
+// key order with their free line, built without allocating.
+func (s *state) AppendKey(b []byte) []byte {
+	for k := engine.NextKey(s.freed, ""); k != ""; k = engine.NextKey(s.freed, k) {
+		b = append(b, k...)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(s.freed[k]), 10)
+		b = append(b, ';')
+	}
+	return b
+}
+
+// NewState implements engine.Checker. The freed map is allocated on the
+// first free() call: most functions free nothing, and the engine creates
+// one state per function plus one per branch clone.
 func (c *Checker) NewState(*cast.FuncDecl) engine.State {
-	return &state{freed: make(map[string]int)}
+	return &state{}
 }
 
 func keyOf(e cast.Expr) string {
@@ -94,10 +102,19 @@ func isFreeCall(name string) bool {
 	if lower == "free" {
 		return true
 	}
-	for _, tok := range strings.Split(lower, "_") {
+	for s := lower; ; {
+		i := strings.IndexByte(s, '_')
+		tok := s
+		if i >= 0 {
+			tok = s[:i]
+		}
 		if tok == "free" || tok == "kfree" || tok == "vfree" {
 			return true
 		}
+		if i < 0 {
+			break
+		}
+		s = s[i+1:]
 	}
 	return strings.HasSuffix(lower, "free") || strings.HasPrefix(lower, "free")
 }
@@ -121,6 +138,9 @@ func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
 					"do not free "+key+" twice", ev.Pos, report.Serious,
 					span(ev.Pos.Line, line),
 					fmt.Sprintf("%q was already freed at line %d", key, line))
+			}
+			if s.freed == nil {
+				s.freed = make(map[string]int)
 			}
 			s.freed[key] = ev.Pos.Line
 			return

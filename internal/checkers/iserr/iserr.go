@@ -66,9 +66,12 @@ type state struct {
 }
 
 func (s *state) Clone() engine.State {
-	ns := &state{vars: make(map[string]tracked, len(s.vars))}
-	for k, v := range s.vars {
-		ns.vars[k] = v
+	ns := &state{}
+	if len(s.vars) > 0 {
+		ns.vars = make(map[string]tracked, len(s.vars))
+		for k, v := range s.vars {
+			ns.vars[k] = v
+		}
 	}
 	return ns
 }
@@ -77,21 +80,27 @@ func (s *state) Key() string {
 	if len(s.vars) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(s.vars))
-	for k := range s.vars {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := ""
-	for _, k := range keys {
-		out += k + "=" + s.vars[k].callee + ";"
-	}
-	return out
+	return string(s.AppendKey(nil))
 }
 
-// NewState implements engine.Checker.
+// AppendKey implements engine.AppendKeyer: the tracked bindings in
+// ascending key order, built without allocating.
+func (s *state) AppendKey(b []byte) []byte {
+	for k := engine.NextKey(s.vars, ""); k != ""; k = engine.NextKey(s.vars, k) {
+		b = append(b, k...)
+		b = append(b, '=')
+		b = append(b, s.vars[k].callee...)
+		b = append(b, ';')
+	}
+	return b
+}
+
+// NewState implements engine.Checker. The tracked-variable map is
+// allocated on first binding: most functions never call an ERR_PTR
+// returner, and the engine creates one state per function plus one per
+// branch clone.
 func (c *Checker) NewState(*cast.FuncDecl) engine.State {
-	return &state{vars: make(map[string]tracked)}
+	return &state{}
 }
 
 func keyOf(e cast.Expr) string {
@@ -151,6 +160,9 @@ func (c *Checker) bind(s *state, key string, rhs cast.Expr) {
 	rhs = cast.StripParensAndCasts(rhs)
 	if call, ok := rhs.(*cast.CallExpr); ok {
 		if callee := cast.CalleeName(call); callee != "" && callee != c.conv.ErrPtrCheck {
+			if s.vars == nil {
+				s.vars = make(map[string]tracked)
+			}
 			s.vars[key] = tracked{callee: callee}
 			return
 		}

@@ -12,6 +12,7 @@ package lockvar
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -29,15 +30,86 @@ const maxSitesPerPair = 64
 
 // Checker accumulates lock/variable evidence across a whole program.
 type Checker struct {
-	conv    *latent.Conventions
-	globals map[string]bool // shared-variable universe
-	locks   map[string]bool // lock-id universe
-	p0      float64
+	conv     *latent.Conventions
+	globals  map[string]bool // shared-variable universe
+	locks    map[string]bool // lock-id universe
+	lockList []string        // locks, sorted; frozen after New, shared by forks
+	p0       float64
 
-	pop      *stats.Population       // key: v + "@" + l
-	errSites map[string][]ctoken.Pos // unprotected access sites per key
-	must     map[string]bool         // promoted MUST pairs (single-var critical sections)
-	mustSite map[string]ctoken.Pos   // where the promotion was observed
+	// Evidence, factored by the identity Checks(v,l) = accesses(v) and
+	// Examples(v,l) = heldAt(v,l): a pair's Checks counter does not
+	// depend on the lock at all, and its Examples counter only grows
+	// when the lock is actually held — so one statement costs one
+	// accesses bump plus one bump per held lock (usually zero), instead
+	// of a counter update per lock in the universe. The O(vars × locks)
+	// pair table exists only as the materialized Bindings slice.
+	accesses map[string]int // v → shared accesses (= Checks of every pair of v)
+	heldAt   map[vl]int     // (v, l) → accesses of v made while l held (= Examples)
+	must     map[vl]bool    // promoted MUST pairs (single-var critical sections)
+	mustSite map[vl]ctoken.Pos
+
+	// Unprotected access sites, as one flat event-ordered log keyed by
+	// (v, held-set signature): the record is an error site for every
+	// candidate (v, l) whose lock is absent from the signature. siteN
+	// caps records per (v, signature) — retaining each signature's first
+	// maxSitesPerPair records retains every pair's first
+	// maxSitesPerPair matching records, which is all reporting reads.
+	siteLog []siteRec
+	siteN   map[vl]int // key: {v, sig}
+
+	// Fork-local hot-path caches (single goroutine each): slot keys and
+	// lock ids are functions of the AST node alone, and the engine
+	// revisits the same nodes once per path.
+	keyCache map[cast.Expr]string
+	lockIDs  map[*cast.CallExpr]string
+
+	bindings []Binding // memoized Bindings(); nil = stale
+}
+
+// vl identifies one (variable, lock) candidate pair. In the site log an
+// empty lock means the record applies to every pair of the variable.
+type vl struct {
+	v, l string
+}
+
+// siteRec is one recorded shared-variable access with the lock-set held
+// at the time, as the state's comma-terminated sorted signature (empty =
+// no locks held). Log position is event order (fork order then
+// within-fork order after Merge).
+type siteRec struct {
+	v, sig string
+	pos    ctoken.Pos
+}
+
+// sigHas reports whether the comma-terminated signature contains l as a
+// whole token.
+func sigHas(sig, l string) bool {
+	for len(sig) > 0 {
+		i := strings.IndexByte(sig, ',')
+		if sig[:i] == l {
+			return true
+		}
+		sig = sig[i+1:]
+	}
+	return false
+}
+
+// vlLess orders pairs exactly as the former "v+\"@\"+l" string keys
+// sorted, without building them: when one variable is a strict prefix of
+// the other, the shorter key continues with '@' where the longer
+// continues with the next byte of its variable (e.g. "a.b@…" < "a@…"
+// because '.' < '@').
+func vlLess(a, b vl) bool {
+	if a.v != b.v {
+		if strings.HasPrefix(b.v, a.v) {
+			return '@' < b.v[len(a.v)]
+		}
+		if strings.HasPrefix(a.v, b.v) {
+			return a.v[len(b.v)] < '@'
+		}
+		return a.v < b.v
+	}
+	return a.l < b.l
 }
 
 // New builds a checker for prog. The pre-pass derives the lock universe
@@ -50,10 +122,13 @@ func New(prog *csem.Program, conv *latent.Conventions) *Checker {
 		globals:  make(map[string]bool),
 		locks:    make(map[string]bool),
 		p0:       stats.DefaultP0,
-		pop:      stats.NewPopulation(),
-		errSites: make(map[string][]ctoken.Pos),
-		must:     make(map[string]bool),
-		mustSite: make(map[string]ctoken.Pos),
+		accesses: make(map[string]int),
+		heldAt:   make(map[vl]int),
+		must:     make(map[vl]bool),
+		mustSite: make(map[vl]ctoken.Pos),
+		siteN:    make(map[vl]int),
+		keyCache: make(map[cast.Expr]string),
+		lockIDs:  make(map[*cast.CallExpr]string),
 	}
 	for _, fd := range prog.Funcs {
 		cast.Inspect(fd.Body, func(n cast.Node) bool {
@@ -73,6 +148,11 @@ func New(prog *csem.Program, conv *latent.Conventions) *Checker {
 			return true
 		})
 	}
+	c.lockList = make([]string, 0, len(c.locks))
+	for l := range c.locks {
+		c.lockList = append(c.lockList, l)
+	}
+	sort.Strings(c.lockList)
 	for name, vd := range prog.Globals {
 		if c.locks[name] {
 			continue
@@ -136,6 +216,27 @@ func exprKey(e cast.Expr) string {
 	return ""
 }
 
+// exprKeyCached memoizes exprKey per AST node: the engine revisits the
+// same expressions once per path, and member-chain keys concatenate.
+func (c *Checker) exprKeyCached(e cast.Expr) string {
+	if k, ok := c.keyCache[e]; ok {
+		return k
+	}
+	k := exprKey(e)
+	c.keyCache[e] = k
+	return k
+}
+
+// lockIDCached memoizes LockID per call node.
+func (c *Checker) lockIDCached(call *cast.CallExpr) string {
+	if id, ok := c.lockIDs[call]; ok {
+		return id
+	}
+	id := LockID(call)
+	c.lockIDs[call] = id
+	return id
+}
+
 // baseOf returns the leading identifier of a slot key ("dev->cnt" -> "dev").
 func baseOf(key string) string {
 	for i := 0; i < len(key); i++ {
@@ -166,7 +267,7 @@ func (c *Checker) promoteSingleVarSections(fd *cast.FuncDecl) {
 				if rel, relID := c.lockCall(cs.List[j], false); rel != nil && relID == lockID {
 					if len(vars) == 1 {
 						for v := range vars {
-							key := v + "@" + lockID
+							key := vl{v, lockID}
 							c.must[key] = true
 							c.mustSite[key] = lock.Lparen
 						}
@@ -232,7 +333,7 @@ func dropKeyPrefixes(keys map[string]bool) {
 			if a == b {
 				continue
 			}
-			if strings.HasPrefix(b, a+".") || strings.HasPrefix(b, a+"->") || strings.HasPrefix(b, a+"[") {
+			if slotDerived(b, a) {
 				delete(keys, a)
 				break
 			}
@@ -240,34 +341,76 @@ func dropKeyPrefixes(keys map[string]bool) {
 	}
 }
 
+// slotDerived reports whether slot b extends slot a ("a.…", "a->…" or
+// "a[…") — equivalent to prefix tests against a+".", a+"->" and a+"["
+// without building the concatenated needles.
+func slotDerived(b, a string) bool {
+	if len(b) <= len(a) || !strings.HasPrefix(b, a) {
+		return false
+	}
+	switch b[len(a)] {
+	case '.', '[':
+		return true
+	case '-':
+		return len(b) > len(a)+1 && b[len(a)+1] == '>'
+	}
+	return false
+}
+
 // ---------------------------------------------------------------------------
 // engine.Checker implementation
 
 // state is the per-path lock-set plus the transient per-statement access
 // buffer (excluded from Key: statements never span memoization points).
+// sig caches the held-set signature between lock events — lock
+// operations are rare next to accesses, so the signature string is built
+// once per (path, lock-set) instead of once per statement.
 type state struct {
 	held     map[string]bool
 	stmtVars map[string]bool
+	sig      string
+	sigOK    bool
 }
 
 func (s *state) Clone() engine.State {
-	ns := &state{held: make(map[string]bool, len(s.held)), stmtVars: make(map[string]bool)}
-	for k := range s.held {
-		ns.held[k] = true
+	ns := &state{sig: s.sig, sigOK: s.sigOK}
+	if len(s.held) > 0 {
+		ns.held = make(map[string]bool, len(s.held))
+		for k := range s.held {
+			ns.held[k] = true
+		}
 	}
 	return ns
+}
+
+// sigFor returns the cached comma-terminated sorted signature of the
+// held set ("" when no locks are held).
+func (s *state) sigFor() string {
+	if !s.sigOK {
+		if len(s.held) == 0 {
+			s.sig = ""
+		} else {
+			s.sig = string(s.AppendKey(nil))
+		}
+		s.sigOK = true
+	}
+	return s.sig
 }
 
 func (s *state) Key() string {
 	if len(s.held) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(s.held))
-	for k := range s.held {
-		keys = append(keys, k)
+	return string(s.AppendKey(nil))
+}
+
+// AppendKey implements engine.AppendKeyer: the held set in ascending
+// order, comma-terminated, built without allocating.
+func (s *state) AppendKey(b []byte) []byte {
+	for k := engine.NextKey(s.held, ""); k != ""; k = engine.NextKey(s.held, k) {
+		b = append(append(b, k...), ',')
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, ",")
+	return b
 }
 
 // Name implements engine.Checker.
@@ -275,15 +418,14 @@ func (c *Checker) Name() string { return "lockvar" }
 
 // SetP0 overrides the expected example probability used for z ranking
 // (deviant's -p0 flag; defaults to stats.DefaultP0).
-func (c *Checker) SetP0(p0 float64) { c.p0 = p0 }
+func (c *Checker) SetP0(p0 float64) { c.p0 = p0; c.bindings = nil }
 
 // NewState implements engine.Checker. Beliefs about locks propagate
 // backward as well as forward (§3.3: "unlock(l) implies a belief that l
 // was locked before"): if the first lock event for l in the function is a
 // release, l is believed held at entry.
 func (c *Checker) NewState(fn *cast.FuncDecl) engine.State {
-	held := make(map[string]bool)
-	seen := make(map[string]bool)
+	var held, seen map[string]bool
 	cast.Inspect(fn.Body, func(n cast.Node) bool {
 		call, ok := n.(*cast.CallExpr)
 		if !ok {
@@ -301,13 +443,19 @@ func (c *Checker) NewState(fn *cast.FuncDecl) engine.State {
 		if id == "" || seen[id] {
 			return true
 		}
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
 		seen[id] = true
 		if rel {
+			if held == nil {
+				held = make(map[string]bool)
+			}
 			held[id] = true
 		}
 		return true
 	})
-	return &state{held: held, stmtVars: make(map[string]bool)}
+	return &state{held: held}
 }
 
 // Event implements engine.Checker.
@@ -329,7 +477,7 @@ func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
 		}
 		switch {
 		case isAcq:
-			if id := LockID(ev.Call); id != "" {
+			if id := c.lockIDCached(ev.Call); id != "" {
 				// §3.3: "As a side-effect, this checker could catch
 				// double-lock and double-unlock errors" — lock(l) implies
 				// the belief l was NOT locked before.
@@ -338,36 +486,52 @@ func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
 						"do not acquire held lock "+id, ev.Pos, report.Serious, 0,
 						fmt.Sprintf("%s acquires %q, which this path already holds", name, id))
 				}
+				if s.held == nil {
+					s.held = make(map[string]bool)
+				}
 				s.held[id] = true
+				s.sigOK = false
 			}
 		case isRel:
-			if id := LockID(ev.Call); id != "" {
+			if id := c.lockIDCached(ev.Call); id != "" {
 				if !s.held[id] && c.locks[id] {
 					ctx.Reports.AddMust("lockvar/double-unlock",
 						"do not release unheld lock "+id, ev.Pos, report.Serious, 0,
 						fmt.Sprintf("%s releases %q, which this path does not hold", name, id))
 				}
 				delete(s.held, id)
+				s.sigOK = false
 			}
 		}
 	case engine.EvUse:
-		if k := exprKey(cast.StripParensAndCasts(ev.Expr)); k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+		if k := c.exprKeyCached(cast.StripParensAndCasts(ev.Expr)); k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+			if s.stmtVars == nil {
+				s.stmtVars = make(map[string]bool)
+			}
 			s.stmtVars[k] = true
 		}
 	case engine.EvAssign:
-		if k := exprKey(cast.StripParensAndCasts(ev.LHS)); k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+		if k := c.exprKeyCached(cast.StripParensAndCasts(ev.LHS)); k != "" && c.globals[baseOf(k)] && !c.locks[k] {
+			if s.stmtVars == nil {
+				s.stmtVars = make(map[string]bool)
+			}
 			s.stmtVars[k] = true
 		}
 	case engine.EvStmtEnd:
 		dropKeyPrefixes(s.stmtVars)
+		if len(s.stmtVars) > 0 {
+			c.bindings = nil
+		}
+		sig := s.sigFor()
 		for v := range s.stmtVars {
-			for l := range c.locks {
-				key := v + "@" + l
-				errHere := !s.held[l]
-				c.pop.Check(key, errHere)
-				if errHere && len(c.errSites[key]) < maxSitesPerPair {
-					c.errSites[key] = append(c.errSites[key], ev.Pos)
-				}
+			c.accesses[v]++
+			for l := range s.held {
+				c.heldAt[vl{v, l}]++
+			}
+			k := vl{v, sig}
+			if c.siteN[k] < maxSitesPerPair {
+				c.siteN[k]++
+				c.siteLog = append(c.siteLog, siteRec{v: v, sig: sig, pos: ev.Pos})
 			}
 		}
 		for v := range s.stmtVars {
@@ -390,26 +554,45 @@ func (c *Checker) Fork() *Checker {
 		conv:     c.conv,
 		globals:  c.globals,
 		locks:    c.locks,
+		lockList: c.lockList,
 		p0:       c.p0,
-		pop:      stats.NewPopulation(),
-		errSites: make(map[string][]ctoken.Pos),
+		accesses: make(map[string]int),
+		heldAt:   make(map[vl]int),
 		must:     c.must,
 		mustSite: c.mustSite,
+		siteN:    make(map[vl]int),
+		keyCache: make(map[cast.Expr]string),
+		lockIDs:  make(map[*cast.CallExpr]string),
 	}
 }
 
-// Merge folds a fork's evidence into c: counters sum, error-site lists
-// concatenate in merge order and re-truncate to the cap.
+// Merge folds a fork's evidence into c: counters sum; the site logs
+// concatenate in merge order (fork order, then within-fork event order),
+// re-applying the per-key cap.
 func (c *Checker) Merge(o *Checker) {
-	c.pop.Merge(o.pop)
-	for k, v := range o.errSites {
-		s := append(c.errSites[k], v...)
-		if len(s) > maxSitesPerPair {
-			s = s[:maxSitesPerPair]
+	c.bindings = nil
+	if len(c.accesses) == 0 && len(c.siteLog) == 0 {
+		// First fork folds into an empty root (always the case for the
+		// serial pipeline): adopt its accumulators instead of re-building
+		// them one insert at a time.
+		c.accesses, c.heldAt, c.siteN, c.siteLog = o.accesses, o.heldAt, o.siteN, o.siteLog
+		return
+	}
+	for v, n := range o.accesses {
+		c.accesses[v] += n
+	}
+	for k, n := range o.heldAt {
+		c.heldAt[k] += n
+	}
+	for _, r := range o.siteLog {
+		k := vl{r.v, r.sig}
+		if c.siteN[k] < maxSitesPerPair {
+			c.siteN[k]++
+			c.siteLog = append(c.siteLog, r)
 		}
-		c.errSites[k] = s
 	}
 }
+
 
 // ---------------------------------------------------------------------------
 // results
@@ -422,25 +605,48 @@ type Binding struct {
 	Must bool // promoted by the single-variable critical-section rule
 }
 
-// Bindings returns all candidate (v, l) instances ranked by z.
+// Bindings returns all candidate (v, l) instances ranked by z. The
+// ranking (a sort over every pair) is memoized; new evidence via Event
+// or Merge invalidates it. Results-stage callers (Finish, SpuriousLocks,
+// the pipeline's LockBindings) therefore share one sort.
 func (c *Checker) Bindings() []Binding {
-	ranked := c.pop.RankedInstances(c.p0, nil)
-	out := make([]Binding, 0, len(ranked))
-	for _, r := range ranked {
-		v, l, ok := strings.Cut(r.Key, "@")
-		if !ok {
-			continue
-		}
-		out = append(out, Binding{
-			Var: v, Lock: l, Counter: r.Counter, Z: r.ZVal, Must: c.must[r.Key],
-		})
+	if c.bindings != nil {
+		return c.bindings
 	}
+	out := make([]Binding, 0, len(c.accesses)*len(c.lockList))
+	for v, n := range c.accesses {
+		for _, l := range c.lockList {
+			cnt := stats.Counter{Checks: n, Errors: n - c.heldAt[vl{v, l}]}
+			out = append(out, Binding{
+				Var: v, Lock: l, Counter: cnt, Z: cnt.Z(c.p0), Must: c.must[vl{v, l}],
+			})
+		}
+	}
+	slices.SortFunc(out, func(a, b Binding) int {
+		if a.Z != b.Z {
+			if a.Z > b.Z {
+				return -1
+			}
+			return 1
+		}
+		if vlLess(vl{a.Var, a.Lock}, vl{b.Var, b.Lock}) {
+			return -1
+		}
+		return 1
+	})
+	c.bindings = out
 	return out
 }
 
 // Counter returns the evidence counter for (v, l) — exposed for the
 // Figure 1 reproduction.
-func (c *Checker) Counter(v, l string) stats.Counter { return c.pop.Get(v + "@" + l) }
+func (c *Checker) Counter(v, l string) stats.Counter {
+	n := c.accesses[v]
+	if n == 0 {
+		return stats.Counter{}
+	}
+	return stats.Counter{Checks: n, Errors: n - c.heldAt[vl{v, l}]}
+}
 
 // SpuriousLocks returns locks for which no variable reaches minZ: either
 // the analysis misunderstands the lock binding or the program has a
@@ -468,18 +674,40 @@ func (c *Checker) SpuriousLocks(minZ float64) []string {
 // Finish emits ranked error reports: every unprotected access of v for a
 // plausible (v, l) binding. Promoted MUST pairs report as definite errors.
 func (c *Checker) Finish(col *report.Collector) {
-	for _, b := range c.Bindings() {
-		key := b.Var + "@" + b.Lock
-		if b.Errors == 0 {
+	// Reportable bindings: errors exist and the belief is plausible —
+	// implausible beliefs (never held while used) are coincidences, not
+	// protection protocols. Index them by variable first so one pass
+	// over the site log, in event order, distributes every binding's
+	// first maxSitesPerPair unprotected accesses.
+	bindings := c.Bindings()
+	byVar := make(map[string][]int)
+	nRep := 0
+	for i := range bindings {
+		b := &bindings[i]
+		if b.Errors == 0 || b.Examples() == 0 {
 			continue
 		}
-		// Implausible beliefs (never held while used) are not worth
-		// reporting — they are coincidences, not protection protocols.
-		if b.Examples() == 0 {
+		byVar[b.Var] = append(byVar[b.Var], i)
+		nRep++
+	}
+	if nRep == 0 {
+		return
+	}
+	sites := make(map[int][]ctoken.Pos, nRep)
+	for _, r := range c.siteLog {
+		for _, i := range byVar[r.v] {
+			if len(sites[i]) < maxSitesPerPair && !sigHas(r.sig, bindings[i].Lock) {
+				sites[i] = append(sites[i], r.pos)
+			}
+		}
+	}
+	for i := range bindings {
+		b := &bindings[i]
+		if b.Errors == 0 || b.Examples() == 0 {
 			continue
 		}
 		rule := fmt.Sprintf("variable %s must be protected by lock %s", b.Var, b.Lock)
-		for _, pos := range c.errSites[key] {
+		for _, pos := range sites[i] {
 			msg := fmt.Sprintf("%s accessed without %s held (protected %d/%d times elsewhere)",
 				b.Var, b.Lock, b.Examples(), b.Checks)
 			if b.Must {

@@ -16,6 +16,7 @@ package null
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"deviant/internal/belief"
@@ -55,6 +56,12 @@ type Checker struct {
 	// arriving on every path (use-then-check and redundant-check demand
 	// agreement across paths).
 	checkObs map[string]*checkObservation
+	// keyCache memoizes keyOf per AST node: the engine revisits the same
+	// expressions once per path, and member-chain keys concatenate.
+	// Per-fork (single goroutine), like obsBuf below.
+	keyCache map[cast.Expr]string
+	// obsBuf is the reusable scratch for observe's site keys.
+	obsBuf []byte
 }
 
 type checkObservation struct {
@@ -68,25 +75,34 @@ type checkObservation struct {
 
 // New returns a checker with the given configuration.
 func New(cfgn Config) *Checker {
-	return &Checker{cfgn: cfgn, checkObs: make(map[string]*checkObservation)}
+	return &Checker{
+		cfgn:     cfgn,
+		checkObs: make(map[string]*checkObservation),
+		keyCache: make(map[cast.Expr]string),
+	}
 }
 
 // Name implements engine.Checker.
 func (c *Checker) Name() string { return "null" }
 
 // state is the per-path belief environment plus the function's pointer
-// key universe.
+// key universe. The environment is embedded by value so a path state is
+// one allocation, not a state box plus an Env box.
 type state struct {
-	env *belief.Env
+	env belief.Env
 	// ptrKeys is shared (read-only) across the function's states.
 	ptrKeys map[string]bool
 }
 
 func (s *state) Clone() engine.State {
-	return &state{env: s.env.Clone(), ptrKeys: s.ptrKeys}
+	return &state{env: s.env.CloneValue(), ptrKeys: s.ptrKeys}
 }
 
 func (s *state) Key() string { return s.env.Key() }
+
+// AppendKey implements engine.AppendKeyer via the environment's
+// allocation-free encoder.
+func (s *state) AppendKey(b []byte) []byte { return s.env.AppendKey(b) }
 
 // NewState implements engine.Checker: it computes the pointer-key universe
 // for fn (declared pointer variables plus anything dereferenced).
@@ -122,7 +138,17 @@ func (c *Checker) NewState(fn *cast.FuncDecl) engine.State {
 		}
 		return true
 	})
-	return &state{env: belief.NewEnv(), ptrKeys: ptr}
+	return &state{ptrKeys: ptr}
+}
+
+// keyOfCached is keyOf memoized per AST node on the fork-local cache.
+func (c *Checker) keyOfCached(e cast.Expr) string {
+	if k, ok := c.keyCache[e]; ok {
+		return k
+	}
+	k := keyOf(e)
+	c.keyCache[e] = k
+	return k
 }
 
 // keyOf canonicalizes a slot-instance expression: identifiers, member
@@ -187,7 +213,7 @@ func (c *Checker) deref(s *state, ptr cast.Expr, pos ctoken.Pos, ctx *engine.Ctx
 	if !c.cfgn.TrackMacros && ptr.FromMacro() {
 		return
 	}
-	key := keyOf(ptr)
+	key := c.keyOfCached(ptr)
 	if key == "" || !s.ptrKeys[key] {
 		return
 	}
@@ -219,7 +245,7 @@ func (c *Checker) deref(s *state, ptr cast.Expr, pos ctoken.Pos, ctx *engine.Ctx
 }
 
 func (c *Checker) assign(s *state, lhs, rhs cast.Expr) {
-	key := keyOf(lhs)
+	key := c.keyOfCached(lhs)
 	if key == "" {
 		return
 	}
@@ -243,7 +269,7 @@ func (c *Checker) assignKey(s *state, key string, rhs cast.Expr, pos ctoken.Pos)
 		return
 	}
 	// p = q copies q's belief.
-	if rk := keyOf(rhs); rk != "" {
+	if rk := c.keyOfCached(rhs); rk != "" {
 		if info := s.env.Get(rk); info.Facts != belief.Unknown {
 			s.env.Set(key, belief.Info{Facts: info.Facts, Src: belief.SrcAssign, Line: pos.Line})
 			return
@@ -260,7 +286,7 @@ func (c *Checker) assignKey(s *state, key string, rhs cast.Expr, pos ctoken.Pos)
 func (c *Checker) call(s *state, call *cast.CallExpr) {
 	for _, a := range call.Args {
 		if u, ok := cast.StripParensAndCasts(a).(*cast.UnaryExpr); ok && u.Op == ctoken.Amp {
-			if k := keyOf(u.X); k != "" {
+			if k := c.keyOfCached(u.X); k != "" {
 				s.env.ForgetDerived(k)
 			}
 		}
@@ -273,7 +299,7 @@ func (c *Checker) call(s *state, call *cast.CallExpr) {
 // belief.
 func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.Ctx) {
 	s := st.(*state)
-	key, nullWhenTrue, ok := nullCheckShape(cond)
+	key, nullWhenTrue, ok := c.nullCheckShape(cond)
 	if !ok || !s.ptrKeys[key] {
 		return
 	}
@@ -298,11 +324,21 @@ func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.
 // observe accumulates what this path believed just before a null check.
 func (c *Checker) observe(s *state, key string, pos ctoken.Pos, ctx *engine.Ctx) {
 	info := s.env.Get(key)
-	obsKey := pos.String() + "|" + key
-	obs := c.checkObs[obsKey]
+	// Build the site key in the reusable scratch; the map lookup on a
+	// string(b) conversion does not allocate, only a first-visit insert
+	// does.
+	b := append(c.obsBuf[:0], pos.File...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(pos.Line), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(pos.Col), 10)
+	b = append(b, '|')
+	b = append(b, key...)
+	c.obsBuf = b
+	obs := c.checkObs[string(b)]
 	if obs == nil {
 		obs = &checkObservation{pos: pos, key: key, srcs: make(map[belief.Source]bool), minSpan: 1 << 30}
-		c.checkObs[obsKey] = obs
+		c.checkObs[string(b)] = obs
 	}
 	obs.facts |= info.Facts
 	if info.Facts == belief.Unknown {
@@ -325,7 +361,7 @@ func (c *Checker) observe(s *state, key string, pos ctoken.Pos, ctx *engine.Ctx)
 // nullCheckShape decides whether cond is a null check of some slot and
 // returns (key, nullWhenTrue). Recognized shapes: p == NULL, p != NULL,
 // NULL == p, and the bare truth test p (null when false).
-func nullCheckShape(cond cast.Expr) (string, bool, bool) {
+func (c *Checker) nullCheckShape(cond cast.Expr) (string, bool, bool) {
 	switch x := cast.StripParensAndCasts(cond).(type) {
 	case *cast.BinaryExpr:
 		if x.Op != ctoken.EqEq && x.Op != ctoken.NotEq {
@@ -340,13 +376,13 @@ func nullCheckShape(cond cast.Expr) (string, bool, bool) {
 		default:
 			return "", false, false
 		}
-		key := keyOf(side)
+		key := c.keyOfCached(side)
 		if key == "" {
 			return "", false, false
 		}
 		return key, x.Op == ctoken.EqEq, true
 	default:
-		key := keyOf(cond)
+		key := c.keyOfCached(cond)
 		if key == "" {
 			return "", false, false
 		}

@@ -178,8 +178,9 @@ func (p Pair) Score() float64 { return p.Z + p.Boost }
 func (c *Checker) Derive(p0 float64) []Pair {
 	// Candidate universe: (a, b) that were actually paired on >= 1 path.
 	candidates := make(map[string]map[string]bool)
+	seen := map[string]int{} // reused (cleared) across paths
 	for _, path := range c.paths {
-		seen := map[string]int{}
+		clear(seen)
 		for i, cr := range path {
 			if _, ok := seen[cr.name]; !ok {
 				seen[cr.name] = i
@@ -201,8 +202,9 @@ func (c *Checker) Derive(p0 float64) []Pair {
 
 	// Count: population = paths with a; example = b follows the first a.
 	pop := stats.NewPopulation()
+	first := map[string]int{} // reused (cleared) across paths
 	for _, path := range c.paths {
-		first := map[string]int{}
+		clear(first)
 		for i, cr := range path {
 			if _, ok := first[cr.name]; !ok {
 				first[cr.name] = i

@@ -39,6 +39,15 @@ type Checker struct {
 	// xCalls tracks which predicates were ever seen so the universe of
 	// Y slots is bounded by reality.
 	seenPreds map[string]bool
+	// pairCache precomputes the (y, "x?y") entries for a callee x: the
+	// predicate set is frozen at New, and concatenating the pair key per
+	// call site was a dominant allocation. Fork-local (single goroutine).
+	pairCache map[string][]xyPair
+}
+
+// xyPair is one precomputed (check, "action?check") entry.
+type xyPair struct {
+	check, key string
 }
 
 // New returns a checker using the given predicate set (nil = defaults).
@@ -52,6 +61,7 @@ func New(preds map[string]bool) *Checker {
 		pop:       stats.NewPopulation(),
 		errSites:  make(map[string][]ctoken.Pos),
 		seenPreds: make(map[string]bool),
+		pairCache: make(map[string][]xyPair),
 	}
 }
 
@@ -68,9 +78,12 @@ type state struct {
 }
 
 func (s *state) Clone() engine.State {
-	ns := &state{checked: make(map[string]bool, len(s.checked))}
-	for k := range s.checked {
-		ns.checked[k] = true
+	ns := &state{}
+	if len(s.checked) > 0 {
+		ns.checked = make(map[string]bool, len(s.checked))
+		for k := range s.checked {
+			ns.checked[k] = true
+		}
 	}
 	return ns
 }
@@ -79,17 +92,23 @@ func (s *state) Key() string {
 	if len(s.checked) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(s.checked))
-	for k := range s.checked {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, ",")
+	return string(s.AppendKey(nil))
 }
 
-// NewState implements engine.Checker.
+// AppendKey implements engine.AppendKeyer: the checked set in ascending
+// order, comma-terminated, built without allocating.
+func (s *state) AppendKey(b []byte) []byte {
+	for k := engine.NextKey(s.checked, ""); k != ""; k = engine.NextKey(s.checked, k) {
+		b = append(append(b, k...), ',')
+	}
+	return b
+}
+
+// NewState implements engine.Checker. The checked set is allocated on
+// first insertion: most paths never see a predicate call, and the engine
+// creates one state per function plus one per branch clone.
 func (c *Checker) NewState(*cast.FuncDecl) engine.State {
-	return &state{checked: make(map[string]bool)}
+	return &state{}
 }
 
 // Event implements engine.Checker: every non-predicate call is counted
@@ -103,14 +122,29 @@ func (c *Checker) Event(st engine.State, ev *engine.Event, ctx *engine.Ctx) {
 	if name == "" || c.preds[name] {
 		return
 	}
-	for y := range c.preds {
-		key := name + "?" + y
-		errHere := !s.checked[y]
-		c.pop.Check(key, errHere)
-		if errHere && len(c.errSites[key]) < maxSites {
-			c.errSites[key] = append(c.errSites[key], ev.Pos)
+	for _, p := range c.pairs(name) {
+		errHere := !s.checked[p.check]
+		c.pop.Check(p.key, errHere)
+		if errHere && len(c.errSites[p.key]) < maxSites {
+			c.errSites[p.key] = append(c.errSites[p.key], ev.Pos)
 		}
 	}
+}
+
+// pairs returns the cached (y, "x?y") list for callee x, building it on
+// first sight. Per-key effects in the caller's loop are independent, so
+// the order the list snapshots is irrelevant (as it was when iterating
+// the predicate map directly).
+func (c *Checker) pairs(x string) []xyPair {
+	ps, ok := c.pairCache[x]
+	if !ok {
+		ps = make([]xyPair, 0, len(c.preds))
+		for y := range c.preds {
+			ps = append(ps, xyPair{check: y, key: x + "?" + y})
+		}
+		c.pairCache[x] = ps
+	}
+	return ps
 }
 
 // Branch implements engine.Checker: a branch whose condition calls a
@@ -124,6 +158,9 @@ func (c *Checker) Branch(st engine.State, cond cast.Expr, val bool, ctx *engine.
 	cast.Inspect(cond, func(n cast.Node) bool {
 		if call, ok := n.(*cast.CallExpr); ok {
 			if name := cast.CalleeName(call); c.preds[name] {
+				if s.checked == nil {
+					s.checked = make(map[string]bool)
+				}
 				s.checked[name] = true
 				c.seenPreds[name] = true
 				found = true
@@ -145,6 +182,7 @@ func (c *Checker) Fork() *Checker {
 		pop:       stats.NewPopulation(),
 		errSites:  make(map[string][]ctoken.Pos),
 		seenPreds: make(map[string]bool),
+		pairCache: make(map[string][]xyPair),
 	}
 }
 

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"deviant/internal/cpp"
 	"deviant/internal/csem"
 	"deviant/internal/engine"
+	"deviant/internal/intern"
 	"deviant/internal/fault"
 	"deviant/internal/latent"
 	"deviant/internal/obs"
@@ -388,6 +390,10 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		confFP = a.configFingerprint()
 	}
 	cache := cpp.NewTokenCache()
+	// One identifier interner per run: every preprocessor shares it, so a
+	// spelling is allocated once run-wide and equal identifier Texts share
+	// a pointer (string comparison fast-paths on pointer equality).
+	interner := intern.NewTable()
 	outs := make([]unitOut, len(units))
 	feStart := time.Now()
 	feSpan := root.Child("frontend")
@@ -416,6 +422,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			}
 			pp := cpp.New(fs, a.opts.IncludeDirs...)
 			pp.UseCache(cache)
+			pp.SetInterner(interner)
 			for k, v := range a.opts.Defines {
 				pp.Define(k, v)
 			}
@@ -424,11 +431,11 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 				o.readErr = err
 				return
 			}
-			o.lines = strings.Count(src, "\n") + 1
+			o.lines = bytes.Count(src, []byte{'\n'}) + 1
 			psp := usp.Child("preprocess")
 			pp.SetTrace(psp)
 			t0 := time.Now()
-			toks, err := pp.ProcessSource(units[i], src)
+			toks, err := pp.ProcessBytes(units[i], src)
 			o.ppDur = time.Since(t0)
 			psp.End()
 			if err != nil {
@@ -639,6 +646,11 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			ch := fork()
 			col := report.NewCollector()
 			var total engine.RunStats
+			// One traversal runner and one scratch collector per shard:
+			// the memo table, key buffer and report map are reused across
+			// every function in the shard instead of reallocated per run.
+			var runner engine.Runner
+			fcol := report.NewCollector()
 			runOne := func(fn string) {
 				defer qc.recoverInto(stage, fn, nil)
 				fault.Trap("checker", fn)
@@ -649,8 +661,8 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 						eoFn.Deadline = ud
 					}
 				}
-				fcol := report.NewCollector()
-				s := engine.Run(graphs[fn], ch, fcol, eoFn)
+				fcol.Reset()
+				s := runner.Run(graphs[fn], ch, fcol, eoFn)
 				total.Visits += s.Visits
 				total.MemoHits += s.MemoHits
 				total.Truncated = total.Truncated || s.Truncated

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"deviant/internal/arena"
 	"deviant/internal/cast"
 	"deviant/internal/cpp"
 	"deviant/internal/ctoken"
@@ -30,6 +31,30 @@ type Parser struct {
 	// records tracks struct/union definitions by "struct tag" key so
 	// field lookups resolve across the unit.
 	records map[string]*cast.StructType
+	// basicTypes dedups immutable BasicType nodes by spelling (lazy).
+	basicTypes map[string]*cast.BasicType
+
+	// Typed arenas for the node populations that dominate a unit's AST.
+	// Each lives exactly as long as the parsed File (nodes reference into
+	// the slabs), so a unit's tree costs one heap allocation per 512 nodes
+	// of a type instead of one per node; the GC releases whole slabs when
+	// the File goes (e.g. its snapshot entry is evicted). Rare node types
+	// are not worth a slab's tail waste and stay individually allocated.
+	idents    arena.Arena[cast.Ident]
+	intLits   arena.Arena[cast.IntLit]
+	binaries  arena.Arena[cast.BinaryExpr]
+	unaries   arena.Arena[cast.UnaryExpr]
+	calls     arena.Arena[cast.CallExpr]
+	members   arena.Arena[cast.MemberExpr]
+	assigns   arena.Arena[cast.AssignExpr]
+	indexes   arena.Arena[cast.IndexExpr]
+	exprStmts arena.Arena[cast.ExprStmt]
+	ifStmts   arena.Arena[cast.IfStmt]
+	compounds arena.Arena[cast.CompoundStmt]
+	returns   arena.Arena[cast.ReturnStmt]
+	varDecls  arena.Arena[cast.VarDecl]
+	ptrTypes  arena.Arena[cast.PointerType]
+	params    arena.Arena[cast.ParamDecl]
 }
 
 // ParseFile preprocesses nothing; it parses an already-preprocessed token
@@ -215,7 +240,11 @@ func (p *Parser) skipGNUNoise() bool {
 // declSpecifiers parses storage classes, qualifiers and the type.
 func (p *Parser) declSpecifiers() declSpecs {
 	ds := declSpecs{pos: p.cur().Pos}
-	var basicParts []string
+	// Basic-type specifiers accumulate in a stack array ("unsigned long
+	// long int" is the worst plausible case); only multi-part spellings
+	// pay a Join.
+	var basicParts [8]string
+	nParts := 0
 	sawType := false
 	for {
 		if p.skipGNUNoise() {
@@ -249,10 +278,13 @@ func (p *Parser) declSpecifiers() declSpecs {
 			t.Kind == ctoken.KwLong || t.Kind == ctoken.KwFloat ||
 			t.Kind == ctoken.KwDouble || t.Kind == ctoken.KwSigned ||
 			t.Kind == ctoken.KwUnsigned:
-			basicParts = append(basicParts, t.Kind.String())
+			if nParts < len(basicParts) {
+				basicParts[nParts] = t.Kind.String()
+				nParts++
+			}
 			sawType = true
 			p.next()
-		case t.Kind == ctoken.Ident && !sawType && len(basicParts) == 0:
+		case t.Kind == ctoken.Ident && !sawType && nParts == 0:
 			if ut, ok := p.typedefs[t.Text]; ok {
 				ds.typ = &cast.NamedType{Name: t.Text, Underlying: ut}
 				sawType = true
@@ -265,14 +297,31 @@ func (p *Parser) declSpecifiers() declSpecs {
 		}
 	}
 done:
-	if len(basicParts) > 0 {
-		ds.typ = &cast.BasicType{Name: strings.Join(basicParts, " ")}
+	if nParts == 1 {
+		ds.typ = p.basicType(basicParts[0])
+	} else if nParts > 1 {
+		ds.typ = p.basicType(strings.Join(basicParts[:nParts], " "))
 	}
 	if ds.typ == nil {
 		// implicit int (K&R-era code, also our recovery path)
-		ds.typ = &cast.BasicType{Name: "int"}
+		ds.typ = p.basicType("int")
 	}
 	return ds
+}
+
+// basicType dedups BasicType nodes per spelling: the node is immutable
+// (just a normalized name), so every "int" in a unit shares one node
+// instead of allocating per declaration.
+func (p *Parser) basicType(name string) *cast.BasicType {
+	if t, ok := p.basicTypes[name]; ok {
+		return t
+	}
+	if p.basicTypes == nil {
+		p.basicTypes = make(map[string]*cast.BasicType)
+	}
+	t := &cast.BasicType{Name: name}
+	p.basicTypes[name] = t
+	return t
 }
 
 func (p *Parser) structOrUnion() cast.Type {
@@ -370,7 +419,7 @@ func (p *Parser) declarator(base cast.Type) (string, ctoken.Pos, cast.Type) {
 				break
 			}
 		}
-		base = &cast.PointerType{Elem: base}
+		base = p.ptrTypes.NewFrom(cast.PointerType{Elem: base})
 	}
 	p.skipGNUNoise()
 
@@ -479,7 +528,7 @@ func (p *Parser) paramList() ([]*cast.ParamDecl, bool) {
 		}
 		ds := p.declSpecifiers()
 		name, namePos, typ := p.declarator(ds.typ)
-		params = append(params, &cast.ParamDecl{Name: name, NamePos: namePos, Type: typ})
+		params = append(params, p.params.NewFrom(cast.ParamDecl{Name: name, NamePos: namePos, Type: typ}))
 		if !p.accept(ctoken.Comma) {
 			break
 		}
@@ -549,10 +598,10 @@ func (p *Parser) externalDecl() []cast.Node {
 				Static: ds.static, Inline: ds.inline,
 			})
 		} else {
-			vd := &cast.VarDecl{
+			vd := p.varDecls.NewFrom(cast.VarDecl{
 				Name: name, NamePos: namePos, Type: typ,
 				Static: ds.static, Extern: ds.extern,
-			}
+			})
 			if p.accept(ctoken.Assign) {
 				vd.Init = p.initializer()
 			}
@@ -601,7 +650,7 @@ func (p *Parser) initializer() cast.Expr {
 
 func (p *Parser) compoundStmt() *cast.CompoundStmt {
 	lb := p.expect(ctoken.LBrace).Pos
-	cs := &cast.CompoundStmt{Lbrace: lb}
+	cs := p.compounds.NewFrom(cast.CompoundStmt{Lbrace: lb})
 	for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
 		start := p.pos
 		cs.List = append(cs.List, p.stmt())
@@ -629,7 +678,7 @@ func (p *Parser) stmt() cast.Stmt {
 		if p.accept(ctoken.KwElse) {
 			els = p.stmt()
 		}
-		return &cast.IfStmt{IfPos: t.Pos, Cond: cond, Then: then, Else: els}
+		return p.ifStmts.NewFrom(cast.IfStmt{IfPos: t.Pos, Cond: cond, Then: then, Else: els})
 	case ctoken.KwWhile:
 		p.next()
 		p.expect(ctoken.LParen)
@@ -654,7 +703,7 @@ func (p *Parser) stmt() cast.Stmt {
 				init = &cast.DeclStmt{Decls: p.localDecls()}
 			} else {
 				e := p.expr()
-				init = &cast.ExprStmt{X: e, SemiPos: p.cur().Pos}
+				init = p.exprStmts.NewFrom(cast.ExprStmt{X: e, SemiPos: p.cur().Pos})
 				p.expect(ctoken.Semi)
 			}
 		} else {
@@ -693,7 +742,7 @@ func (p *Parser) stmt() cast.Stmt {
 			x = p.expr()
 		}
 		p.expect(ctoken.Semi)
-		return &cast.ReturnStmt{ReturnPos: t.Pos, X: x}
+		return p.returns.NewFrom(cast.ReturnStmt{ReturnPos: t.Pos, X: x})
 	case ctoken.KwBreak:
 		p.next()
 		p.expect(ctoken.Semi)
@@ -709,7 +758,7 @@ func (p *Parser) stmt() cast.Stmt {
 		return &cast.GotoStmt{GotoPos: t.Pos, Label: label}
 	case ctoken.Semi:
 		p.next()
-		return &cast.ExprStmt{SemiPos: t.Pos}
+		return p.exprStmts.NewFrom(cast.ExprStmt{SemiPos: t.Pos})
 	case ctoken.Ident:
 		// Inline assembly: "asm volatile ( ... );" — opaque to the
 		// analyses, consumed as an empty statement.
@@ -735,7 +784,7 @@ func (p *Parser) stmt() cast.Stmt {
 			}
 			semi := p.cur().Pos
 			p.accept(ctoken.Semi)
-			return &cast.ExprStmt{SemiPos: semi}
+			return p.exprStmts.NewFrom(cast.ExprStmt{SemiPos: semi})
 		}
 		// Label: "name: stmt"
 		if p.peekKind(1) == ctoken.Colon {
@@ -754,7 +803,7 @@ func (p *Parser) stmt() cast.Stmt {
 	e := p.expr()
 	semi := p.cur().Pos
 	p.expect(ctoken.Semi)
-	return &cast.ExprStmt{X: e, SemiPos: semi}
+	return p.exprStmts.NewFrom(cast.ExprStmt{X: e, SemiPos: semi})
 }
 
 // localDecls parses one local declaration statement ("int a = 1, *b;"),
@@ -775,7 +824,7 @@ func (p *Parser) localDecls() []*cast.VarDecl {
 			}
 			continue
 		}
-		vd := &cast.VarDecl{Name: name, NamePos: namePos, Type: typ, Static: ds.static, Extern: ds.extern}
+		vd := p.varDecls.NewFrom(cast.VarDecl{Name: name, NamePos: namePos, Type: typ, Static: ds.static, Extern: ds.extern})
 		if p.accept(ctoken.Assign) {
 			vd.Init = p.initializer()
 		}
@@ -812,7 +861,7 @@ func (p *Parser) assignExpr() cast.Expr {
 	if assignOps[p.cur().Kind] {
 		op := p.next().Kind
 		r := p.assignExpr()
-		return &cast.AssignExpr{Op: op, L: l, R: r}
+		return p.assigns.NewFrom(cast.AssignExpr{Op: op, L: l, R: r})
 	}
 	return l
 }
@@ -859,7 +908,7 @@ func (p *Parser) binaryExpr(minPrec int) cast.Expr {
 		}
 		op := p.next().Kind
 		y := p.binaryExpr(prec + 1)
-		x = &cast.BinaryExpr{Op: op, X: x, Y: y}
+		x = p.binaries.NewFrom(cast.BinaryExpr{Op: op, X: x, Y: y})
 	}
 }
 
@@ -870,7 +919,7 @@ func (p *Parser) unaryExpr() cast.Expr {
 		ctoken.Not, ctoken.Tilde, ctoken.Inc, ctoken.Dec:
 		p.next()
 		x := p.unaryExpr()
-		return &cast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x, Macro: t.FromMacro}
+		return p.unaries.NewFrom(cast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x, Macro: t.FromMacro})
 	case ctoken.KwSizeof:
 		p.next()
 		if p.at(ctoken.LParen) && p.typeStartsAt(1) {
@@ -881,7 +930,7 @@ func (p *Parser) unaryExpr() cast.Expr {
 			return &cast.SizeofTypeExpr{SizeofPos: t.Pos, Of: typ}
 		}
 		x := p.unaryExpr()
-		return &cast.UnaryExpr{OpPos: t.Pos, Op: ctoken.KwSizeof, X: x, Macro: t.FromMacro}
+		return p.unaries.NewFrom(cast.UnaryExpr{OpPos: t.Pos, Op: ctoken.KwSizeof, X: x, Macro: t.FromMacro})
 	case ctoken.LParen:
 		// Cast or parenthesized expression.
 		if p.typeStartsAt(1) {
@@ -931,7 +980,7 @@ func (p *Parser) postfixExpr() cast.Expr {
 		switch t.Kind {
 		case ctoken.LParen:
 			p.next()
-			call := &cast.CallExpr{Fun: x, Lparen: t.Pos}
+			call := p.calls.NewFrom(cast.CallExpr{Fun: x, Lparen: t.Pos})
 			for !p.at(ctoken.RParen) && !p.at(ctoken.EOF) {
 				call.Args = append(call.Args, p.assignExpr())
 				if !p.accept(ctoken.Comma) {
@@ -944,15 +993,15 @@ func (p *Parser) postfixExpr() cast.Expr {
 			p.next()
 			idx := p.expr()
 			p.expect(ctoken.RBracket)
-			x = &cast.IndexExpr{X: x, Index: idx}
+			x = p.indexes.NewFrom(cast.IndexExpr{X: x, Index: idx})
 		case ctoken.Dot:
 			p.next()
 			m := p.expect(ctoken.Ident)
-			x = &cast.MemberExpr{X: x, Member: m.Text, MemPos: m.Pos}
+			x = p.members.NewFrom(cast.MemberExpr{X: x, Member: m.Text, MemPos: m.Pos})
 		case ctoken.Arrow:
 			p.next()
 			m := p.expect(ctoken.Ident)
-			x = &cast.MemberExpr{X: x, Arrow: true, Member: m.Text, MemPos: m.Pos}
+			x = p.members.NewFrom(cast.MemberExpr{X: x, Arrow: true, Member: m.Text, MemPos: m.Pos})
 		case ctoken.Inc, ctoken.Dec:
 			p.next()
 			x = &cast.PostfixExpr{Op: t.Kind, X: x}
@@ -967,10 +1016,10 @@ func (p *Parser) primaryExpr() cast.Expr {
 	switch t.Kind {
 	case ctoken.Ident:
 		p.next()
-		return &cast.Ident{Name: t.Text, NamePos: t.Pos, Macro: t.FromMacro}
+		return p.idents.NewFrom(cast.Ident{Name: t.Text, NamePos: t.Pos, Macro: t.FromMacro})
 	case ctoken.IntLit:
 		p.next()
-		return &cast.IntLit{LitPos: t.Pos, Text: t.Text, Value: cpp.ParseIntLit(t.Text), Macro: t.FromMacro}
+		return p.intLits.NewFrom(cast.IntLit{LitPos: t.Pos, Text: t.Text, Value: cpp.ParseIntLit(t.Text), Macro: t.FromMacro})
 	case ctoken.FloatLit:
 		p.next()
 		return &cast.FloatLit{LitPos: t.Pos, Text: t.Text, Macro: t.FromMacro}
@@ -994,6 +1043,6 @@ func (p *Parser) primaryExpr() cast.Expr {
 	default:
 		p.errorf(t.Pos, "expected expression, found %s", t)
 		p.next()
-		return &cast.IntLit{LitPos: t.Pos, Text: "0", Value: 0}
+		return p.intLits.NewFrom(cast.IntLit{LitPos: t.Pos, Text: "0", Value: 0})
 	}
 }

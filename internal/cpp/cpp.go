@@ -18,28 +18,54 @@ import (
 	"strconv"
 	"strings"
 
+	"unsafe"
+
 	"deviant/internal/ctoken"
+	"deviant/internal/intern"
 	"deviant/internal/obs"
 )
 
 // FileProvider supplies source text for #include resolution. Using an
 // interface keeps the preprocessor independent of the filesystem: the
 // synthetic corpus serves includes from memory.
+//
+// Contents are served as []byte so disk providers can hand the read
+// buffer straight to the scanner with no string round-trip. Callers
+// treat the returned bytes as immutable.
 type FileProvider interface {
 	// ReadFile returns the contents of name, or an error if it does not
 	// exist.
-	ReadFile(name string) (string, error)
+	ReadFile(name string) ([]byte, error)
 }
 
 // MapFS is an in-memory FileProvider.
 type MapFS map[string]string
 
-// ReadFile implements FileProvider.
-func (m MapFS) ReadFile(name string) (string, error) {
+// ReadFile implements FileProvider. The returned slice is a zero-copy
+// view of the stored string; callers must not mutate it.
+func (m MapFS) ReadFile(name string) ([]byte, error) {
 	if src, ok := m[name]; ok {
-		return src, nil
+		return stringBytes(src), nil
 	}
-	return "", fmt.Errorf("cpp: file %q not found", name)
+	return nil, fmt.Errorf("cpp: file %q not found", name)
+}
+
+// stringBytes views s as bytes without copying. The result must never be
+// written through — FileProvider contents are immutable by contract.
+func stringBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// bytesString views b as a string without copying. Safe under the same
+// immutability contract as stringBytes.
+func bytesString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 type macro struct {
@@ -61,6 +87,7 @@ type Preprocessor struct {
 	included map[string]bool
 	missing  map[string]bool // include candidates probed and not found
 	cache    *TokenCache     // optional shared scan cache
+	interner *intern.Table   // optional per-run identifier interner
 	trace    *obs.Span       // optional tracing parent for include spans
 }
 
@@ -79,6 +106,12 @@ func New(fs FileProvider, dirs ...string) *Preprocessor {
 // UseCache makes p consult (and populate) a shared scan cache, so files
 // included by many translation units are lexed only once per run.
 func (p *Preprocessor) UseCache(c *TokenCache) { p.cache = c }
+
+// SetInterner attaches a per-run identifier interner: every Ident token
+// p scans gets its Text rebound to the table's canonical string. Attach
+// the same table to every preprocessor of a run (and to its TokenCache
+// users) so equal spellings share one allocation run-wide.
+func (p *Preprocessor) SetInterner(t *intern.Table) { p.interner = t }
 
 // SetTrace makes p emit one child span per resolved #include under sp
 // (attr: file), so a trace shows which headers a unit's expansion paid
@@ -144,7 +177,14 @@ func (p *Preprocessor) Process(name string) ([]ctoken.Token, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.ProcessSource(name, src)
+	return p.ProcessSource(name, bytesString(src))
+}
+
+// ProcessBytes preprocesses src without copying it, reporting positions
+// against name. src must stay unmutated while the returned tokens are
+// live — literal token texts alias it.
+func (p *Preprocessor) ProcessBytes(name string, src []byte) ([]ctoken.Token, error) {
+	return p.ProcessSource(name, bytesString(src))
 }
 
 // ProcessSource preprocesses src, reporting positions against name.
@@ -225,6 +265,7 @@ func (p *Preprocessor) scanFile(name, src string) []ctoken.Token {
 	}
 	s := ctoken.NewScanner(name, src)
 	s.KeepNewlines = true
+	s.Interner = p.interner
 	toks := s.ScanAll()
 	serrs := s.Errs()
 	if p.cache != nil {
@@ -421,11 +462,11 @@ func (p *Preprocessor) include(rest []ctoken.Token) {
 			p.included[c] = true
 			if p.trace != nil {
 				sp := p.trace.Child("include", obs.A("file", c))
-				p.processFile(c, src)
+				p.processFile(c, bytesString(src))
 				sp.End()
 				return
 			}
-			p.processFile(c, src)
+			p.processFile(c, bytesString(src))
 			return
 		}
 		if p.missing == nil {
@@ -436,10 +477,32 @@ func (p *Preprocessor) include(rest []ctoken.Token) {
 	p.errorf(rest[0].Pos, "include %q not found", name)
 }
 
+// activeSet carries the macro names whose expansion is in progress, as
+// an immutable linked list threaded down the recursion: pushing a frame
+// is one fixed-size allocation (often stack-escaping only once), where
+// the old map representation copied every entry per function-like
+// expansion. Recursion depth is bounded by macro nesting, so the linear
+// has() walk is short.
+type activeSet struct {
+	name string
+	next *activeSet
+}
+
+func (a *activeSet) has(name string) bool {
+	for ; a != nil; a = a.next {
+		if a.name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // expand macro-expands a token sequence. active carries macro names whose
 // expansion is in progress, to block recursion.
-func (p *Preprocessor) expand(toks []ctoken.Token, active map[string]bool) []ctoken.Token {
-	var out []ctoken.Token
+func (p *Preprocessor) expand(toks []ctoken.Token, active *activeSet) []ctoken.Token {
+	// Most sequences expand to themselves (or nearly), so start at the
+	// input length: one allocation instead of a growth chain of appends.
+	out := make([]ctoken.Token, 0, len(toks))
 	i := 0
 	for i < len(toks) {
 		t := toks[i]
@@ -466,7 +529,7 @@ func (p *Preprocessor) expand(toks []ctoken.Token, active map[string]bool) []cto
 			continue
 		}
 		m := p.macros[t.Text]
-		if m == nil || active[t.Text] {
+		if m == nil || active.has(t.Text) {
 			if m != nil {
 				t.NoExpand = true
 			}
@@ -475,7 +538,7 @@ func (p *Preprocessor) expand(toks []ctoken.Token, active map[string]bool) []cto
 			continue
 		}
 		if !m.funcLike {
-			na := withActive(active, m.name)
+			na := &activeSet{name: m.name, next: active}
 			exp := p.expand(markMacro(m.body, t.Pos), na)
 			out = append(out, exp...)
 			i++
@@ -503,20 +566,11 @@ func (p *Preprocessor) expand(toks []ctoken.Token, active map[string]bool) []cto
 			expArgs[ai] = p.expand(a, active)
 		}
 		body := p.substitute(m, args, expArgs, t.Pos)
-		na := withActive(active, m.name)
+		na := &activeSet{name: m.name, next: active}
 		out = append(out, p.expand(body, na)...)
 		i = next
 	}
 	return out
-}
-
-func withActive(active map[string]bool, name string) map[string]bool {
-	na := make(map[string]bool, len(active)+1)
-	for k := range active {
-		na[k] = true
-	}
-	na[name] = true
-	return na
 }
 
 // markMacro stamps FromMacro and the invocation position onto body copies.

@@ -8,11 +8,8 @@ import (
 // DirFS is a FileProvider rooted at a directory on disk.
 type DirFS string
 
-// ReadFile implements FileProvider.
-func (d DirFS) ReadFile(name string) (string, error) {
-	b, err := os.ReadFile(filepath.Join(string(d), name))
-	if err != nil {
-		return "", err
-	}
-	return string(b), nil
+// ReadFile implements FileProvider. The read buffer is returned as-is —
+// no string round-trip — and flows straight into the scanner.
+func (d DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(string(d), name))
 }

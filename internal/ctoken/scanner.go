@@ -3,28 +3,103 @@ package ctoken
 import (
 	"fmt"
 	"strings"
+	"unsafe"
+
+	"deviant/internal/intern"
 )
 
 // Scanner tokenizes C source text. It is used both by the preprocessor
-// (with KeepNewlines and KeepHash set, since directives are line oriented)
-// and, conceptually, by anything that wants a raw token stream.
+// (with KeepNewlines set, since directives are line oriented) and, more
+// generally, by anything that wants a raw token stream.
+//
+// The hot loop is table-driven: a 256-entry class table dispatches each
+// leading byte to its token family, and operators resolve with a single
+// switch on the first byte plus at most two lookahead bytes, replacing
+// the old linear prefix-match over the operator list. Columns are not
+// tracked per byte; only the offset of the current line start is, and a
+// token's column is computed on demand as off-lineStart+1 (identical to
+// the old per-byte count, since a column is just the byte distance from
+// the last newline).
 type Scanner struct {
-	src  string
-	file string
-	off  int
-	line int
-	col  int
+	src       string
+	file      string
+	off       int
+	line      int
+	lineStart int // offset of the first byte of the current line
 
 	// KeepNewlines emits Newline tokens at line ends instead of skipping
 	// them; the preprocessor needs them to delimit directives.
 	KeepNewlines bool
 
+	// Interner, when set, interns identifier spellings: Ident tokens get
+	// their Text rebound to the table's canonical copy, so equal names
+	// share one string (pointer-fast comparison) and retained token
+	// streams do not pin the source buffer.
+	Interner *intern.Table
+
 	errs []error
+}
+
+// Byte classes for the dispatch table.
+const (
+	clOther   byte = iota
+	clSpace        // space \t \r \v \f
+	clNewline      // \n
+	clIdent        // _ a-z A-Z
+	clDigit        // 0-9
+)
+
+// class maps a leading byte to its token family; identCont marks bytes
+// that may continue an identifier (clIdent ∪ clDigit).
+var (
+	class     [256]byte
+	identCont [256]bool
+)
+
+// kindText maps operator and keyword kinds to their canonical static
+// spelling, so those tokens never carry substrings of the source.
+var kindText [keywordLast]string
+
+func init() {
+	for _, c := range []byte{' ', '\t', '\r', '\v', '\f'} {
+		class[c] = clSpace
+	}
+	class['\n'] = clNewline
+	class['_'] = clIdent
+	for c := 'a'; c <= 'z'; c++ {
+		class[c] = clIdent
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		class[c] = clIdent
+	}
+	for c := '0'; c <= '9'; c++ {
+		class[c] = clDigit
+	}
+	for i := range identCont {
+		identCont[i] = class[i] == clIdent || class[i] == clDigit
+	}
+	for k := Kind(LParen); k < keywordLast; k++ {
+		if k == Newline || k == keywordFirst {
+			continue
+		}
+		kindText[k] = kindNames[k]
+	}
 }
 
 // NewScanner returns a scanner over src, reporting positions against file.
 func NewScanner(file, src string) *Scanner {
-	return &Scanner{src: src, file: file, line: 1, col: 1}
+	return &Scanner{src: src, file: file, line: 1}
+}
+
+// NewScannerBytes returns a scanner over src without copying it. The
+// scanner treats the bytes as immutable; callers must not mutate src
+// while any token's Text is live, since literal texts alias it.
+func NewScannerBytes(file string, src []byte) *Scanner {
+	s := &Scanner{file: file, line: 1}
+	if len(src) > 0 {
+		s.src = unsafe.String(&src[0], len(src))
+	}
+	return s
 }
 
 // Errs returns accumulated scan errors.
@@ -34,45 +109,15 @@ func (s *Scanner) errorf(p Pos, format string, args ...any) {
 	s.errs = append(s.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
 }
 
-func (s *Scanner) pos() Pos { return Pos{File: s.file, Line: s.line, Col: s.col} }
-
-func (s *Scanner) peek() byte {
-	if s.off >= len(s.src) {
-		return 0
-	}
-	return s.src[s.off]
+func (s *Scanner) pos() Pos {
+	return Pos{File: s.file, Line: s.line, Col: s.off - s.lineStart + 1}
 }
-
-func (s *Scanner) peekAt(n int) byte {
-	if s.off+n >= len(s.src) {
-		return 0
-	}
-	return s.src[s.off+n]
-}
-
-func (s *Scanner) advance() byte {
-	c := s.src[s.off]
-	s.off++
-	if c == '\n' {
-		s.line++
-		s.col = 1
-	} else {
-		s.col++
-	}
-	return c
-}
-
-func isIdentStart(c byte) bool {
-	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
-}
-
-func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
-
-func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 // ScanAll returns every token in the input, ending with an EOF token.
 func (s *Scanner) ScanAll() []Token {
-	var toks []Token
+	// C source averages a handful of bytes per token; a /4 estimate
+	// overshoots slightly so the append loop rarely regrows.
+	toks := make([]Token, 0, len(s.src)/4+8)
 	for {
 		t := s.Next()
 		toks = append(toks, t)
@@ -84,253 +129,359 @@ func (s *Scanner) ScanAll() []Token {
 
 // Next returns the next token.
 func (s *Scanner) Next() Token {
+	src := s.src
+	n := len(src)
 	for {
 		// Skip whitespace (maybe emitting newlines) and comments.
-		for s.off < len(s.src) {
-			c := s.peek()
-			if c == '\n' {
+		for s.off < n {
+			c := src[s.off]
+			cl := class[c]
+			if cl == clSpace {
+				s.off++
+				continue
+			}
+			if cl == clNewline {
 				p := s.pos()
-				s.advance()
+				s.off++
+				s.line++
+				s.lineStart = s.off
 				if s.KeepNewlines {
 					return Token{Kind: Newline, Pos: p}
 				}
 				continue
 			}
-			if c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' {
-				s.advance()
+			if c == '\\' && s.off+1 < n && src[s.off+1] == '\n' { // line continuation
+				s.off += 2
+				s.line++
+				s.lineStart = s.off
 				continue
 			}
-			if c == '\\' && s.peekAt(1) == '\n' { // line continuation
-				s.advance()
-				s.advance()
-				continue
-			}
-			if c == '/' && s.peekAt(1) == '/' {
-				for s.off < len(s.src) && s.peek() != '\n' {
-					s.advance()
-				}
-				continue
-			}
-			if c == '/' && s.peekAt(1) == '*' {
-				p := s.pos()
-				s.advance()
-				s.advance()
-				closed := false
-				for s.off < len(s.src) {
-					if s.peek() == '*' && s.peekAt(1) == '/' {
-						s.advance()
-						s.advance()
-						closed = true
-						break
+			if c == '/' && s.off+1 < n {
+				if src[s.off+1] == '/' {
+					if i := strings.IndexByte(src[s.off:], '\n'); i >= 0 {
+						s.off += i
+					} else {
+						s.off = n
 					}
-					s.advance()
+					continue
 				}
-				if !closed {
-					s.errorf(p, "unterminated block comment")
+				if src[s.off+1] == '*' {
+					s.skipBlockComment()
+					continue
 				}
-				continue
 			}
 			break
 		}
 
-		if s.off >= len(s.src) {
+		if s.off >= n {
 			return Token{Kind: EOF, Pos: s.pos()}
 		}
 
 		p := s.pos()
-		c := s.peek()
-		switch {
-		case isIdentStart(c):
+		c := src[s.off]
+		switch class[c] {
+		case clIdent:
 			start := s.off
-			for s.off < len(s.src) && isIdentCont(s.peek()) {
-				s.advance()
+			s.off++
+			for s.off < n && identCont[src[s.off]] {
+				s.off++
 			}
-			text := s.src[start:s.off]
-			kind := KeywordKind(text)
-			if kind == Ident {
-				return Token{Kind: Ident, Text: text, Pos: p}
+			text := src[start:s.off]
+			if kind, ok := keywords[text]; ok {
+				return Token{Kind: kind, Text: kindText[kind], Pos: p}
 			}
-			return Token{Kind: kind, Text: text, Pos: p}
-		case isDigit(c) || (c == '.' && isDigit(s.peekAt(1))):
+			if tb := s.Interner; tb != nil {
+				_, canon := tb.InternString(text)
+				return Token{Kind: Ident, Text: canon, Pos: p}
+			}
+			return Token{Kind: Ident, Text: text, Pos: p}
+		case clDigit:
 			return s.scanNumber(p)
-		case c == '\'':
-			return s.scanChar(p)
-		case c == '"':
-			return s.scanString(p)
 		default:
+			if c == '.' && s.off+1 < n && class[src[s.off+1]] == clDigit {
+				return s.scanNumber(p)
+			}
+			if c == '\'' {
+				return s.scanChar(p)
+			}
+			if c == '"' {
+				return s.scanString(p)
+			}
 			return s.scanOperator(p)
 		}
 	}
 }
 
+// skipBlockComment consumes /* ... */ starting at s.off, tracking line
+// numbers with vectorized searches instead of a per-byte loop.
+func (s *Scanner) skipBlockComment() {
+	p := s.pos()
+	body := s.off + 2
+	end := strings.Index(s.src[body:], "*/")
+	var stop int // one past the last byte consumed
+	if end < 0 {
+		s.errorf(p, "unterminated block comment")
+		stop = len(s.src)
+	} else {
+		stop = body + end + 2
+	}
+	if nl := strings.Count(s.src[s.off:stop], "\n"); nl > 0 {
+		s.line += nl
+		s.lineStart = s.off + strings.LastIndexByte(s.src[s.off:stop], '\n') + 1
+	}
+	s.off = stop
+}
+
 func (s *Scanner) scanNumber(p Pos) Token {
+	src := s.src
+	n := len(src)
 	start := s.off
 	isFloat := false
-	if s.peek() == '0' && (s.peekAt(1) == 'x' || s.peekAt(1) == 'X') {
-		s.advance()
-		s.advance()
-		for s.off < len(s.src) && isHex(s.peek()) {
-			s.advance()
+	if src[s.off] == '0' && s.off+1 < n && (src[s.off+1] == 'x' || src[s.off+1] == 'X') {
+		s.off += 2
+		for s.off < n && isHex(src[s.off]) {
+			s.off++
 		}
 	} else {
-		for s.off < len(s.src) && isDigit(s.peek()) {
-			s.advance()
+		for s.off < n && class[src[s.off]] == clDigit {
+			s.off++
 		}
-		if s.peek() == '.' {
+		if s.off < n && src[s.off] == '.' {
 			isFloat = true
-			s.advance()
-			for s.off < len(s.src) && isDigit(s.peek()) {
-				s.advance()
+			s.off++
+			for s.off < n && class[src[s.off]] == clDigit {
+				s.off++
 			}
 		}
-		if s.peek() == 'e' || s.peek() == 'E' {
-			if isDigit(s.peekAt(1)) || ((s.peekAt(1) == '+' || s.peekAt(1) == '-') && isDigit(s.peekAt(2))) {
+		if s.off < n && (src[s.off] == 'e' || src[s.off] == 'E') {
+			if isExpStart(src, s.off+1) {
 				isFloat = true
-				s.advance()
-				if s.peek() == '+' || s.peek() == '-' {
-					s.advance()
+				s.off++
+				if src[s.off] == '+' || src[s.off] == '-' {
+					s.off++
 				}
-				for s.off < len(s.src) && isDigit(s.peek()) {
-					s.advance()
+				for s.off < n && class[src[s.off]] == clDigit {
+					s.off++
 				}
 			}
 		}
 	}
 	// Integer/float suffixes.
-	for s.off < len(s.src) && strings.ContainsRune("uUlLfF", rune(s.peek())) {
-		if s.peek() == 'f' || s.peek() == 'F' {
+	for s.off < n {
+		switch src[s.off] {
+		case 'f', 'F':
 			isFloat = true
+		case 'u', 'U', 'l', 'L':
+		default:
+			goto done
 		}
-		s.advance()
+		s.off++
 	}
-	text := s.src[start:s.off]
+done:
+	text := src[start:s.off]
 	if isFloat {
 		return Token{Kind: FloatLit, Text: text, Pos: p}
 	}
 	return Token{Kind: IntLit, Text: text, Pos: p}
 }
 
+// isExpStart reports whether src[i:] begins an exponent body: a digit,
+// or a sign followed by a digit.
+func isExpStart(src string, i int) bool {
+	if i < len(src) && class[src[i]] == clDigit {
+		return true
+	}
+	return i+1 < len(src) && (src[i] == '+' || src[i] == '-') && class[src[i+1]] == clDigit
+}
+
 func isHex(c byte) bool {
-	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	return class[c] == clDigit || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// scanQuoted consumes a quote-delimited literal with backslash escapes,
+// starting at the opening quote; it stops before an unescaped newline.
+func (s *Scanner) scanQuoted(p Pos, quote byte, kind Kind, what string) Token {
+	src := s.src
+	n := len(src)
+	start := s.off
+	s.off++ // opening quote
+	for s.off < n {
+		c := src[s.off]
+		if c == '\\' {
+			s.off++
+			if s.off < n {
+				if src[s.off] == '\n' {
+					s.line++
+					s.lineStart = s.off + 1
+				}
+				s.off++
+			}
+			continue
+		}
+		if c == quote || c == '\n' {
+			break
+		}
+		s.off++
+	}
+	if s.off < n && src[s.off] == quote {
+		s.off++
+	} else {
+		s.errorf(p, "unterminated %s", what)
+	}
+	return Token{Kind: kind, Text: src[start:s.off], Pos: p}
 }
 
 func (s *Scanner) scanChar(p Pos) Token {
-	start := s.off
-	s.advance() // opening quote
-	for s.off < len(s.src) {
-		c := s.peek()
-		if c == '\\' {
-			s.advance()
-			if s.off < len(s.src) {
-				s.advance()
-			}
-			continue
-		}
-		if c == '\'' || c == '\n' {
-			break
-		}
-		s.advance()
-	}
-	if s.peek() == '\'' {
-		s.advance()
-	} else {
-		s.errorf(p, "unterminated character literal")
-	}
-	return Token{Kind: CharLit, Text: s.src[start:s.off], Pos: p}
+	return s.scanQuoted(p, '\'', CharLit, "character literal")
 }
 
 func (s *Scanner) scanString(p Pos) Token {
-	start := s.off
-	s.advance() // opening quote
-	for s.off < len(s.src) {
-		c := s.peek()
-		if c == '\\' {
-			s.advance()
-			if s.off < len(s.src) {
-				s.advance()
-			}
-			continue
-		}
-		if c == '"' || c == '\n' {
-			break
-		}
-		s.advance()
-	}
-	if s.peek() == '"' {
-		s.advance()
-	} else {
-		s.errorf(p, "unterminated string literal")
-	}
-	return Token{Kind: StringLit, Text: s.src[start:s.off], Pos: p}
+	return s.scanQuoted(p, '"', StringLit, "string literal")
 }
 
-// operator table ordered so longer operators are matched first.
-var operators = []struct {
-	text string
-	kind Kind
-}{
-	{"...", Ellipsis},
-	{"<<=", ShlAssign},
-	{">>=", ShrAssign},
-	{"<<", Shl},
-	{">>", Shr},
-	{"<=", Le},
-	{">=", Ge},
-	{"==", EqEq},
-	{"!=", NotEq},
-	{"&&", AndAnd},
-	{"||", OrOr},
-	{"->", Arrow},
-	{"++", Inc},
-	{"--", Dec},
-	{"+=", AddAssign},
-	{"-=", SubAssign},
-	{"*=", MulAssign},
-	{"/=", DivAssign},
-	{"%=", ModAssign},
-	{"&=", AndAssign},
-	{"|=", OrAssign},
-	{"^=", XorAssign},
-	{"##", HashHash},
-	{"(", LParen},
-	{")", RParen},
-	{"{", LBrace},
-	{"}", RBrace},
-	{"[", LBracket},
-	{"]", RBracket},
-	{";", Semi},
-	{",", Comma},
-	{":", Colon},
-	{"?", Question},
-	{"=", Assign},
-	{"+", Plus},
-	{"-", Minus},
-	{"*", Star},
-	{"/", Slash},
-	{"%", Percent},
-	{"&", Amp},
-	{"|", Pipe},
-	{"^", Caret},
-	{"~", Tilde},
-	{"!", Not},
-	{"<", Lt},
-	{">", Gt},
-	{".", Dot},
-	{"#", Hash},
-}
-
+// scanOperator resolves punctuation with a single switch on the leading
+// byte; at most two lookahead bytes decide the multi-character forms.
 func (s *Scanner) scanOperator(p Pos) Token {
-	rest := s.src[s.off:]
-	for _, op := range operators {
-		if strings.HasPrefix(rest, op.text) {
-			for range op.text {
-				s.advance()
-			}
-			return Token{Kind: op.kind, Text: op.text, Pos: p}
-		}
+	src := s.src
+	c := src[s.off]
+	var b1, b2 byte
+	if s.off+1 < len(src) {
+		b1 = src[s.off+1]
 	}
-	c := s.advance()
-	s.errorf(p, "unexpected character %q", c)
-	// Return something so the caller makes progress.
-	return s.Next()
+	if s.off+2 < len(src) {
+		b2 = src[s.off+2]
+	}
+	var kind Kind
+	size := 1
+	switch c {
+	case '(':
+		kind = LParen
+	case ')':
+		kind = RParen
+	case '{':
+		kind = LBrace
+	case '}':
+		kind = RBrace
+	case '[':
+		kind = LBracket
+	case ']':
+		kind = RBracket
+	case ';':
+		kind = Semi
+	case ',':
+		kind = Comma
+	case ':':
+		kind = Colon
+	case '?':
+		kind = Question
+	case '~':
+		kind = Tilde
+	case '.':
+		kind = Dot
+		if b1 == '.' && b2 == '.' {
+			kind, size = Ellipsis, 3
+		}
+	case '<':
+		switch {
+		case b1 == '<' && b2 == '=':
+			kind, size = ShlAssign, 3
+		case b1 == '<':
+			kind, size = Shl, 2
+		case b1 == '=':
+			kind, size = Le, 2
+		default:
+			kind = Lt
+		}
+	case '>':
+		switch {
+		case b1 == '>' && b2 == '=':
+			kind, size = ShrAssign, 3
+		case b1 == '>':
+			kind, size = Shr, 2
+		case b1 == '=':
+			kind, size = Ge, 2
+		default:
+			kind = Gt
+		}
+	case '=':
+		kind = Assign
+		if b1 == '=' {
+			kind, size = EqEq, 2
+		}
+	case '!':
+		kind = Not
+		if b1 == '=' {
+			kind, size = NotEq, 2
+		}
+	case '+':
+		switch b1 {
+		case '+':
+			kind, size = Inc, 2
+		case '=':
+			kind, size = AddAssign, 2
+		default:
+			kind = Plus
+		}
+	case '-':
+		switch b1 {
+		case '-':
+			kind, size = Dec, 2
+		case '=':
+			kind, size = SubAssign, 2
+		case '>':
+			kind, size = Arrow, 2
+		default:
+			kind = Minus
+		}
+	case '*':
+		kind = Star
+		if b1 == '=' {
+			kind, size = MulAssign, 2
+		}
+	case '/':
+		kind = Slash
+		if b1 == '=' {
+			kind, size = DivAssign, 2
+		}
+	case '%':
+		kind = Percent
+		if b1 == '=' {
+			kind, size = ModAssign, 2
+		}
+	case '&':
+		switch b1 {
+		case '&':
+			kind, size = AndAnd, 2
+		case '=':
+			kind, size = AndAssign, 2
+		default:
+			kind = Amp
+		}
+	case '|':
+		switch b1 {
+		case '|':
+			kind, size = OrOr, 2
+		case '=':
+			kind, size = OrAssign, 2
+		default:
+			kind = Pipe
+		}
+	case '^':
+		kind = Caret
+		if b1 == '=' {
+			kind, size = XorAssign, 2
+		}
+	case '#':
+		kind = Hash
+		if b1 == '#' {
+			kind, size = HashHash, 2
+		}
+	default:
+		s.off++
+		s.errorf(p, "unexpected character %q", c)
+		// Return something so the caller makes progress.
+		return s.Next()
+	}
+	s.off += size
+	return Token{Kind: kind, Text: kindText[kind], Pos: p}
 }

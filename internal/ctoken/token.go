@@ -251,6 +251,14 @@ func (p Pos) String() string {
 func (p Pos) IsValid() bool { return p.Line > 0 }
 
 // Token is one lexical token.
+//
+// Tokens deliberately carry no intern.Sym: token streams outlive runs
+// (the snapshot store persists them to disk and shares them across runs
+// in daemon mode) while Syms are per-run values, so a Sym here would go
+// stale. Interning instead canonicalizes Text — one shared string per
+// spelling — which makes Text comparisons pointer-fast and keeps retained
+// streams from pinning source buffers; per-run Syms are minted where they
+// are used, in the belief engine's slot keys.
 type Token struct {
 	Kind Kind
 	Text string // raw text for identifiers and literals

@@ -29,6 +29,30 @@ type State interface {
 	Key() string
 }
 
+// AppendKeyer is an optional fast path for State.Key: AppendKey appends
+// the same canonical encoding to b and returns it, letting the engine
+// build memo keys in a reused buffer instead of allocating a string per
+// block visit. Implementations must keep AppendKey and Key consistent.
+type AppendKeyer interface {
+	AppendKey(b []byte) []byte
+}
+
+// NextKey returns the smallest non-empty key of m strictly greater than
+// prev, or "" when none remains. Starting from prev == "" and feeding
+// each result back in visits every non-empty key in ascending order
+// without allocating — the building block for AppendKey implementations
+// over the small per-path maps of checker states. Callers must not use
+// "" as a map key (checker slot keys never are).
+func NextKey[V any](m map[string]V, prev string) string {
+	next := ""
+	for k := range m {
+		if k > prev && (next == "" || k < next) {
+			next = k
+		}
+	}
+	return next
+}
+
 // EventKind discriminates events.
 type EventKind int
 
@@ -127,16 +151,41 @@ type RunStats struct {
 }
 
 type runner struct {
-	g     *cfg.Graph
-	ch    Checker
-	ctx   *Ctx
-	opts  Options
-	memo  map[string]bool
-	stats RunStats
+	g      *cfg.Graph
+	ch     Checker
+	ctx    Ctx
+	opts   Options
+	memo   map[string]bool
+	onPath map[int]int
+	stats  RunStats
+
+	// ev is the shared event scratch: events are delivered synchronously
+	// and checkers do not retain the *Event past the call (they keep the
+	// AST nodes it points at, which live independently), so one Event per
+	// runner replaces one allocation per emitted event.
+	ev Event
+	// keyBuf is the reused memo-key buffer; map lookups convert it with
+	// a non-escaping string conversion, so only first-time inserts copy.
+	keyBuf []byte
+}
+
+// fire delivers ev to the checker through the shared scratch slot.
+func (r *runner) fire(st State, ev Event) {
+	r.ev = ev
+	r.ch.Event(st, &r.ev, &r.ctx)
+}
+
+// A Runner amortizes per-function traversal state — the memoization
+// table, path counters and key buffer — across many Run calls. Reusing
+// one Runner per worker goroutine drops the per-function allocation
+// count to the states the checker itself creates. The zero value is
+// ready to use; a Runner must not be shared between goroutines.
+type Runner struct {
+	r runner
 }
 
 // Run applies ch to every path of g and returns traversal statistics.
-func Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats {
+func (rn *Runner) Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats {
 	if opts.MaxVisits <= 0 {
 		opts.MaxVisits = DefaultMaxVisits
 	}
@@ -149,16 +198,36 @@ func Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats
 		sp := opts.Span.Fork("engine", obs.A("func", g.Fn.Name), obs.A("checker", ch.Name()))
 		defer sp.End()
 	}
-	r := &runner{
-		g:    g,
-		ch:   ch,
-		ctx:  &Ctx{Fn: g.Fn, File: g.Fn.NamePos.File, Reports: col},
-		opts: opts,
-		memo: make(map[string]bool),
+	r := &rn.r
+	r.g = g
+	r.ch = ch
+	r.ctx = Ctx{Fn: g.Fn, File: g.Fn.NamePos.File, Reports: col}
+	r.opts = opts
+	r.stats = RunStats{}
+	if r.memo == nil {
+		r.memo = make(map[string]bool)
+	} else {
+		clear(r.memo)
+	}
+	if r.onPath == nil {
+		r.onPath = make(map[int]int)
+	} else {
+		clear(r.onPath)
 	}
 	st := ch.NewState(g.Fn)
-	r.visit(g.Entry, st, make(map[int]int))
+	r.visit(g.Entry, st, r.onPath)
+	// Drop the per-call references so a retained Runner does not pin a
+	// finished function's graph or checker between calls.
+	r.g, r.ch, r.ctx = nil, nil, Ctx{}
 	return r.stats
+}
+
+// Run applies ch to every path of g and returns traversal statistics.
+// It is the single-shot form of Runner.Run; loops over many functions
+// should reuse a Runner.
+func Run(g *cfg.Graph, ch Checker, col *report.Collector, opts Options) RunStats {
+	var rn Runner
+	return rn.Run(g, ch, col, opts)
 }
 
 // visit processes blk under st. onPath counts per-block occurrences on the
@@ -177,12 +246,19 @@ func (r *runner) visit(blk *cfg.Block, st State, onPath map[int]int) {
 		return
 	}
 	if r.opts.Memoize {
-		k := stateKey(blk.ID, st)
-		if r.memo[k] {
+		b := strconv.AppendInt(r.keyBuf[:0], int64(blk.ID), 10)
+		b = append(b, '|')
+		if ak, ok := st.(AppendKeyer); ok {
+			b = ak.AppendKey(b)
+		} else {
+			b = append(b, st.Key()...)
+		}
+		r.keyBuf = b
+		if r.memo[string(b)] {
 			r.stats.MemoHits++
 			return
 		}
-		r.memo[k] = true
+		r.memo[string(b)] = true
 	} else {
 		if onPath[blk.ID] >= r.opts.LoopBound {
 			return
@@ -194,122 +270,124 @@ func (r *runner) visit(blk *cfg.Block, st State, onPath map[int]int) {
 
 	for _, n := range blk.Nodes {
 		r.node(st, n)
-		r.ch.Event(st, &Event{Kind: EvStmtEnd, Pos: n.Pos()}, r.ctx)
+		r.fire(st, Event{Kind: EvStmtEnd, Pos: n.Pos()})
 	}
 	if blk.Cond != nil {
-		emitExpr(blk.Cond, func(ev *Event) { r.ch.Event(st, ev, r.ctx) })
-		r.ch.Event(st, &Event{Kind: EvStmtEnd, Pos: blk.Cond.Pos()}, r.ctx)
+		r.emitExpr(st, blk.Cond)
+		r.fire(st, Event{Kind: EvStmtEnd, Pos: blk.Cond.Pos()})
 	}
 
 	if len(blk.Succs) == 0 || blk == r.g.Exit {
-		r.ch.FuncEnd(st, r.ctx)
+		r.ch.FuncEnd(st, &r.ctx)
 		if blk == r.g.Exit {
 			return
 		}
 	}
-	for _, e := range blk.Succs {
-		next := st.Clone()
+	for i, e := range blk.Succs {
+		// The last edge takes ownership of st instead of cloning: st is
+		// dead after this loop, so straight-line code (one successor)
+		// traverses with zero state copies. Traversal order, and hence
+		// every report, is unchanged.
+		next := st
+		if i < len(blk.Succs)-1 {
+			next = st.Clone()
+		}
 		if blk.Cond != nil {
-			r.ch.Branch(next, blk.Cond, e.Branch, r.ctx)
+			r.ch.Branch(next, blk.Cond, e.Branch, &r.ctx)
 		}
 		r.visit(e.To, next, onPath)
 	}
 }
 
 func (r *runner) node(st State, n cast.Node) {
-	emit := func(ev *Event) { r.ch.Event(st, ev, r.ctx) }
 	switch x := n.(type) {
 	case *cast.VarDecl:
 		if x.Init != nil {
-			emitExpr(x.Init, emit)
+			r.emitExpr(st, x.Init)
 		}
-		emit(&Event{Kind: EvDecl, Decl: x, Pos: x.NamePos})
+		r.fire(st, Event{Kind: EvDecl, Decl: x, Pos: x.NamePos})
 	case *cast.ReturnStmt:
 		// The returned expression's events were emitted when the builder
 		// placed it ahead of the ReturnStmt node; the builder emits the
 		// expr as part of the return unit here instead:
-		emit(&Event{Kind: EvReturn, Expr: x.X, Pos: x.ReturnPos})
+		r.fire(st, Event{Kind: EvReturn, Expr: x.X, Pos: x.ReturnPos})
 	case cast.Expr:
-		emitExpr(x, emit)
+		r.emitExpr(st, x)
 	}
 }
 
-func stateKey(blockID int, st State) string {
-	return strconv.Itoa(blockID) + "|" + st.Key()
-}
-
 // emitExpr walks e in evaluation order emitting events.
-func emitExpr(e cast.Expr, emit func(*Event)) {
+func (r *runner) emitExpr(st State, e cast.Expr) {
 	switch x := e.(type) {
 	case nil:
 		return
 	case *cast.Ident:
-		emit(&Event{Kind: EvUse, Expr: x, Pos: x.NamePos})
+		r.fire(st, Event{Kind: EvUse, Expr: x, Pos: x.NamePos})
 	case *cast.IntLit, *cast.FloatLit, *cast.CharLit, *cast.StringLit, *cast.SizeofTypeExpr:
 		return
 	case *cast.UnaryExpr:
 		switch x.Op {
 		case ctoken.Star:
-			emitExpr(x.X, emit)
-			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.OpPos})
+			r.emitExpr(st, x.X)
+			r.fire(st, Event{Kind: EvDeref, Ptr: x.X, Pos: x.OpPos})
 		case ctoken.KwSizeof:
 			// sizeof does not evaluate its operand: no events.
 			return
 		case ctoken.Inc, ctoken.Dec:
-			emitExpr(x.X, emit)
-			emit(&Event{Kind: EvAssign, LHS: x.X, Pos: x.OpPos})
+			r.emitExpr(st, x.X)
+			r.fire(st, Event{Kind: EvAssign, LHS: x.X, Pos: x.OpPos})
 		case ctoken.Amp:
 			// &x computes an address; if x itself contains dereferences
 			// they still count, but a bare &ident is not a use.
 			if _, isIdent := x.X.(*cast.Ident); !isIdent {
-				emitExpr(x.X, emit)
+				r.emitExpr(st, x.X)
 			}
 		default:
-			emitExpr(x.X, emit)
+			r.emitExpr(st, x.X)
 		}
 	case *cast.PostfixExpr:
-		emitExpr(x.X, emit)
-		emit(&Event{Kind: EvAssign, LHS: x.X, Pos: x.X.Pos()})
+		r.emitExpr(st, x.X)
+		r.fire(st, Event{Kind: EvAssign, LHS: x.X, Pos: x.X.Pos()})
 	case *cast.BinaryExpr:
-		emitExpr(x.X, emit)
-		emitExpr(x.Y, emit)
+		r.emitExpr(st, x.X)
+		r.emitExpr(st, x.Y)
 	case *cast.AssignExpr:
-		emitExpr(x.R, emit)
+		r.emitExpr(st, x.R)
 		// LHS: inner dereferences happen, and the location is written.
-		emitLValue(x.L, emit)
-		emit(&Event{Kind: EvAssign, LHS: x.L, RHS: x.R, Pos: x.L.Pos()})
+		r.emitLValue(st, x.L)
+		r.fire(st, Event{Kind: EvAssign, LHS: x.L, RHS: x.R, Pos: x.L.Pos()})
 	case *cast.CondExpr:
-		emitExpr(x.Cond, emit)
+		r.emitExpr(st, x.Cond)
 		// Both arms are emitted on this path: a deliberate approximation
 		// (in-expression ternaries are rare in the code we check).
-		emitExpr(x.Then, emit)
-		emitExpr(x.Else, emit)
+		r.emitExpr(st, x.Then)
+		r.emitExpr(st, x.Else)
 	case *cast.CallExpr:
 		if _, isIdent := x.Fun.(*cast.Ident); !isIdent {
-			emitExpr(x.Fun, emit)
+			r.emitExpr(st, x.Fun)
 		}
 		for _, a := range x.Args {
-			emitExpr(a, emit)
+			r.emitExpr(st, a)
 		}
-		emit(&Event{Kind: EvCall, Call: x, Pos: x.Lparen})
+		r.fire(st, Event{Kind: EvCall, Call: x, Pos: x.Lparen})
 	case *cast.IndexExpr:
-		emitExpr(x.X, emit)
-		emitExpr(x.Index, emit)
-		emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.X.Pos()})
+		r.emitExpr(st, x.X)
+		r.emitExpr(st, x.Index)
+		r.fire(st, Event{Kind: EvDeref, Ptr: x.X, Pos: x.X.Pos()})
 	case *cast.MemberExpr:
-		emitExpr(x.X, emit)
+		r.emitExpr(st, x.X)
 		if x.Arrow {
-			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.MemPos})
+			r.fire(st, Event{Kind: EvDeref, Ptr: x.X, Pos: x.MemPos})
 		}
-		emit(&Event{Kind: EvUse, Expr: x, Pos: x.MemPos})
+		r.fire(st, Event{Kind: EvUse, Expr: x, Pos: x.MemPos})
 	case *cast.CastExpr:
-		emitExpr(x.X, emit)
+		r.emitExpr(st, x.X)
 	case *cast.CommaExpr:
-		emitExpr(x.X, emit)
-		emitExpr(x.Y, emit)
+		r.emitExpr(st, x.X)
+		r.emitExpr(st, x.Y)
 	case *cast.InitListExpr:
 		for _, it := range x.Items {
-			emitExpr(it, emit)
+			r.emitExpr(st, it)
 		}
 	}
 }
@@ -317,27 +395,27 @@ func emitExpr(e cast.Expr, emit func(*Event)) {
 // emitLValue emits the evaluation events of an assignment target: the
 // address computation evaluates (and dereferences) everything except the
 // outermost location itself.
-func emitLValue(l cast.Expr, emit func(*Event)) {
+func (r *runner) emitLValue(st State, l cast.Expr) {
 	switch x := l.(type) {
 	case *cast.Ident:
 		// Writing an ident evaluates nothing.
 	case *cast.UnaryExpr:
 		if x.Op == ctoken.Star {
-			emitExpr(x.X, emit)
-			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.OpPos})
+			r.emitExpr(st, x.X)
+			r.fire(st, Event{Kind: EvDeref, Ptr: x.X, Pos: x.OpPos})
 			return
 		}
-		emitExpr(x, emit)
+		r.emitExpr(st, x)
 	case *cast.MemberExpr:
-		emitExpr(x.X, emit)
+		r.emitExpr(st, x.X)
 		if x.Arrow {
-			emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.MemPos})
+			r.fire(st, Event{Kind: EvDeref, Ptr: x.X, Pos: x.MemPos})
 		}
 	case *cast.IndexExpr:
-		emitExpr(x.X, emit)
-		emitExpr(x.Index, emit)
-		emit(&Event{Kind: EvDeref, Ptr: x.X, Pos: x.X.Pos()})
+		r.emitExpr(st, x.X)
+		r.emitExpr(st, x.Index)
+		r.fire(st, Event{Kind: EvDeref, Ptr: x.X, Pos: x.X.Pos()})
 	default:
-		emitExpr(l, emit)
+		r.emitExpr(st, l)
 	}
 }

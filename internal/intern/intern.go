@@ -1,0 +1,149 @@
+// Package intern implements a per-run identifier interner.
+//
+// Scanning from []byte sources (the zero-copy frontend) would otherwise
+// allocate a fresh string for every identifier occurrence; the interner
+// collapses those to one canonical string per distinct spelling, and hands
+// out a small integer Sym alongside it so downstream consumers (macro
+// tables, the belief engine's slot environments) can compare identifiers
+// by integer equality instead of string comparison.
+//
+// One Table is created per analysis run and shared by every frontend and
+// checker worker. Interning is concurrency-safe, but Sym *values* are
+// assigned in arrival order and therefore depend on goroutine scheduling:
+// two runs (or two worker counts) may number the same name differently.
+// That is deliberate and safe under the pipeline's determinism contract,
+// with one rule: Syms carry equality only. Nothing may sort, range over,
+// or persist Syms where the order or value could reach the output — the
+// deterministic in-order fold compares and prints strings, never Syms.
+// (The engine's memo keys may embed Syms: memoization groups equal states,
+// and the *grouping* induced by Sym equality is identical however the
+// Syms are numbered.)
+package intern
+
+import (
+	"strings"
+	"sync"
+)
+
+// Sym identifies one interned string within a single Table. The zero Sym
+// is reserved as "not interned" so a zero-valued token field is inert.
+type Sym uint32
+
+// None is the zero Sym: no interned identity.
+const None Sym = 0
+
+// shardBits picks the shard count; 16 shards keeps contention negligible
+// for the worker counts the pipeline uses without bloating the table.
+const shardBits = 4
+
+type entry struct {
+	sym  Sym
+	name string // the canonical string, readable without the table lock
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	syms map[string]entry
+}
+
+// Table interns strings for one run.
+type Table struct {
+	shards [1 << shardBits]shard
+
+	mu    sync.Mutex
+	names []string // Sym -> name; index 0 is the reserved None slot
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	t := &Table{names: make([]string, 1, 1024)}
+	for i := range t.shards {
+		t.shards[i].syms = make(map[string]entry)
+	}
+	return t
+}
+
+// fnv1a hashes b for shard selection.
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+func fnv1aString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Intern returns the Sym and canonical string for b, interning it on
+// first sight. The canonical string is allocated once per distinct
+// spelling for the life of the table; callers may hold it without copying.
+func (t *Table) Intern(b []byte) (Sym, string) {
+	sh := &t.shards[fnv1a(b)>>(32-shardBits)]
+	sh.mu.RLock()
+	e, ok := sh.syms[string(b)] // no alloc: map lookup by converted []byte
+	sh.mu.RUnlock()
+	if ok {
+		return e.sym, e.name
+	}
+	return t.insert(sh, string(b))
+}
+
+// InternString is Intern for callers that already hold a string. Like
+// Intern it returns the canonical copy, which never aliases name's
+// backing array — callers scanning substrings of a large source buffer
+// can drop the buffer without the table pinning it.
+func (t *Table) InternString(name string) (Sym, string) {
+	sh := &t.shards[fnv1aString(name)>>(32-shardBits)]
+	sh.mu.RLock()
+	e, ok := sh.syms[name]
+	sh.mu.RUnlock()
+	if ok {
+		return e.sym, e.name
+	}
+	return t.insert(sh, strings.Clone(name))
+}
+
+func (t *Table) insert(sh *shard, name string) (Sym, string) {
+	sh.mu.Lock()
+	if e, ok := sh.syms[name]; ok {
+		sh.mu.Unlock()
+		return e.sym, e.name
+	}
+	t.mu.Lock()
+	s := Sym(len(t.names))
+	t.names = append(t.names, name)
+	t.mu.Unlock()
+	sh.syms[name] = entry{sym: s, name: name}
+	sh.mu.Unlock()
+	return s, name
+}
+
+// NameOf returns the canonical string for s ("" for None). It takes the
+// table lock, so it belongs on cold paths (diagnostics, derived-slot
+// invalidation), not per-token ones — Intern returns the name for those.
+func (t *Table) NameOf(s Sym) string {
+	if s == None {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(s) >= len(t.names) {
+		return ""
+	}
+	return t.names[s]
+}
+
+// Len returns the number of distinct strings interned so far.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.names) - 1
+}

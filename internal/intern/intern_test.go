@@ -1,0 +1,168 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternBasics(t *testing.T) {
+	tb := NewTable()
+	s1, n1 := tb.Intern([]byte("foo"))
+	s2, n2 := tb.Intern([]byte("foo"))
+	if s1 != s2 || n1 != "foo" || n2 != "foo" {
+		t.Fatalf("foo interned twice: (%d,%q) vs (%d,%q)", s1, n1, s2, n2)
+	}
+	if s1 == None {
+		t.Fatal("interned sym must not be None")
+	}
+	s3, _ := tb.Intern([]byte("bar"))
+	if s3 == s1 {
+		t.Fatal("distinct strings share a Sym")
+	}
+	if got, name := tb.InternString("foo"); got != s1 || name != "foo" {
+		t.Fatalf("InternString(foo) = (%d,%q), want (%d,foo)", got, name, s1)
+	}
+	if got := tb.NameOf(s3); got != "bar" {
+		t.Fatalf("NameOf = %q, want bar", got)
+	}
+	if got := tb.NameOf(None); got != "" {
+		t.Fatalf("NameOf(None) = %q, want empty", got)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+// TestInternConcurrent hammers one table from many goroutines (run under
+// -race in CI): every goroutine interns an overlapping window of names
+// and records the Sym it saw; all goroutines must agree per name, and
+// every Sym must resolve back to its own name.
+func TestInternConcurrent(t *testing.T) {
+	tb := NewTable()
+	const goroutines = 16
+	const names = 500
+	got := make([]map[string]Sym, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := make(map[string]Sym, names)
+			for i := 0; i < names; i++ {
+				// Overlapping windows so goroutines race on the same names.
+				name := fmt.Sprintf("ident_%d", (i+g*7)%names)
+				sym, canon := tb.Intern([]byte(name))
+				if canon != name {
+					t.Errorf("Intern(%q) returned name %q", name, canon)
+				}
+				if prev, ok := m[name]; ok && prev != sym {
+					t.Errorf("goroutine %d saw %q as both %d and %d", g, name, prev, sym)
+				}
+				m[name] = sym
+			}
+			got[g] = m
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 1; g < goroutines; g++ {
+		for name, sym := range got[g] {
+			if got[0][name] != sym {
+				t.Fatalf("goroutines 0 and %d disagree on %q: %d vs %d", g, name, got[0][name], sym)
+			}
+		}
+	}
+	if tb.Len() != names {
+		t.Fatalf("Len = %d, want %d", tb.Len(), names)
+	}
+	for name, sym := range got[0] {
+		if tb.NameOf(sym) != name {
+			t.Fatalf("NameOf(%d) = %q, want %q", sym, tb.NameOf(sym), name)
+		}
+	}
+}
+
+// TestInternNoAliasing pins that the canonical string does not alias the
+// caller's mutable buffer.
+func TestInternNoAliasing(t *testing.T) {
+	tb := NewTable()
+	buf := []byte("mutate_me")
+	sym, name := tb.Intern(buf)
+	buf[0] = 'X'
+	if name != "mutate_me" {
+		t.Fatalf("canonical string aliased caller buffer: %q", name)
+	}
+	if tb.NameOf(sym) != "mutate_me" {
+		t.Fatalf("NameOf corrupted: %q", tb.NameOf(sym))
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tb := NewTable()
+	names := make([][]byte, 64)
+	for i := range names {
+		names[i] = []byte(fmt.Sprintf("identifier_%d", i))
+		tb.Intern(names[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Intern(names[i%len(names)])
+	}
+}
+
+// TestInternWorkerCountIndependence pins the property the pipeline's
+// determinism rests on: however many workers intern (and in whatever
+// interleaving), the table ends up with the same *name set* and the same
+// grouping — every name resolves to itself and distinct names never
+// collapse. Sym values may differ between runs (they are assignment-order
+// dependent), which is exactly why no Sym may ever leak into output; this
+// test re-derives the order-independent view a run is allowed to depend on.
+func TestInternWorkerCountIndependence(t *testing.T) {
+	const names = 400
+	resolve := func(workers int) map[string]string {
+		tb := NewTable()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each worker interns every name, starting at a different
+				// offset so first-interner varies with the worker count.
+				for i := 0; i < names; i++ {
+					name := fmt.Sprintf("slot_%d", (i+w*names/workers)%names)
+					sym, _ := tb.Intern([]byte(name))
+					if tb.NameOf(sym) != name {
+						t.Errorf("workers=%d: NameOf(Intern(%q)) = %q", workers, name, tb.NameOf(sym))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		out := make(map[string]string, names)
+		for i := 0; i < names; i++ {
+			name := fmt.Sprintf("slot_%d", i)
+			sym, canon := tb.InternString(name)
+			out[name] = canon
+			if other, _ := tb.InternString(fmt.Sprintf("slot_%d", (i+1)%names)); other == sym {
+				t.Errorf("workers=%d: distinct names share Sym %d", workers, sym)
+			}
+		}
+		if tb.Len() != names {
+			t.Errorf("workers=%d: Len = %d, want %d", workers, tb.Len(), names)
+		}
+		return out
+	}
+	base := resolve(1)
+	for _, w := range []int{4, 8} {
+		got := resolve(w)
+		for name, canon := range got {
+			if base[name] != canon {
+				t.Fatalf("workers=%d resolves %q to %q; workers=1 to %q", w, name, canon, base[name])
+			}
+		}
+	}
+}

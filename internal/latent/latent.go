@@ -91,12 +91,23 @@ func nameMatches(name, sub string) bool {
 	if len(sub) >= 4 {
 		return strings.Contains(lower, sub)
 	}
-	for _, tok := range strings.Split(lower, "_") {
-		if tok == sub {
+	return hasToken(lower, sub)
+}
+
+// hasToken reports whether s contains sub as a whole '_'-separated
+// token, without allocating the split (this runs for every call event
+// of every path the engine walks).
+func hasToken(s, sub string) bool {
+	for {
+		i := strings.IndexByte(s, '_')
+		if i < 0 {
+			return s == sub
+		}
+		if s[:i] == sub {
 			return true
 		}
+		s = s[i+1:]
 	}
-	return false
 }
 
 // IsCrashRoutine reports whether name is a never-returns routine, either

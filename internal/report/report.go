@@ -88,6 +88,13 @@ func NewCollector() *Collector {
 	return &Collector{byKey: make(map[string]*Report)}
 }
 
+// Reset clears the collector for reuse, keeping allocated capacity.
+// Reports previously merged out of it are value copies and stay valid.
+func (c *Collector) Reset() {
+	clear(c.byKey)
+	c.keys = c.keys[:0]
+}
+
 // Add records r unless an identical report was already seen. MUST-belief
 // reports should have Z = NaN (use AddMust/AddStat helpers to get this
 // right).

@@ -33,7 +33,7 @@ func fillOne(t *testing.T, s *Store, fs cpp.FileProvider) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	toks, err := pp.ProcessSource("u.c", src)
+	toks, err := pp.ProcessBytes("u.c", src)
 	if err != nil {
 		t.Fatalf("preprocess: %v", err)
 	}

@@ -199,8 +199,8 @@ func Fingerprint(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-func digest(content string) string {
-	sum := sha256.Sum256([]byte(content))
+func digest(content []byte) string {
+	sum := sha256.Sum256(content)
 	return hex.EncodeToString(sum[:])
 }
 

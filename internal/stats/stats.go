@@ -76,27 +76,29 @@ func (c Counter) String() string { return fmt.Sprintf("%d/%d", c.Examples(), c.C
 
 // Population tracks counters for a universe of slot instances, keyed by a
 // caller-chosen string (e.g. "spin_lock:spin_unlock" or "var@lock").
+//
+// Counters are stored by value: Check is the hottest statistical path in
+// the pipeline (one call per candidate pair per statement), and a value
+// map costs zero allocations per check versus one *Counter box per
+// distinct key.
 type Population struct {
-	counters map[string]*Counter
+	counters map[string]Counter
 }
 
 // NewPopulation returns an empty population.
 func NewPopulation() *Population {
-	return &Population{counters: make(map[string]*Counter)}
+	return &Population{counters: make(map[string]Counter)}
 }
 
 // Check records one successful-or-failed test of key's rule: every call
 // increments Checks, and err additionally increments Errors.
 func (p *Population) Check(key string, err bool) {
 	c := p.counters[key]
-	if c == nil {
-		c = &Counter{}
-		p.counters[key] = c
-	}
 	c.Checks++
 	if err {
 		c.Errors++
 	}
+	p.counters[key] = c
 }
 
 // Merge folds another population's evidence into p. Counters are sums,
@@ -105,21 +107,15 @@ func (p *Population) Check(key string, err bool) {
 func (p *Population) Merge(o *Population) {
 	for k, oc := range o.counters {
 		c := p.counters[k]
-		if c == nil {
-			c = &Counter{}
-			p.counters[k] = c
-		}
 		c.Checks += oc.Checks
 		c.Errors += oc.Errors
+		p.counters[k] = c
 	}
 }
 
 // Get returns the counter for key (zero value if never checked).
 func (p *Population) Get(key string) Counter {
-	if c := p.counters[key]; c != nil {
-		return *c
-	}
-	return Counter{}
+	return p.counters[key]
 }
 
 // Len returns the number of distinct slot instances observed.
@@ -149,7 +145,7 @@ type Ranked struct {
 func (p *Population) RankedInstances(p0 float64, boost func(key string) float64) []Ranked {
 	out := make([]Ranked, 0, len(p.counters))
 	for k, c := range p.counters {
-		out = append(out, Ranked{Key: k, Counter: *c, ZVal: c.Z(p0)})
+		out = append(out, Ranked{Key: k, Counter: c, ZVal: c.Z(p0)})
 	}
 	score := func(r Ranked) float64 {
 		s := r.ZVal
