@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fuzz-smoke soak-smoke chaos-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fleet-smoke fuzz-smoke soak-smoke chaos-smoke ci
 
 all: build
 
@@ -36,7 +36,7 @@ bench-smoke:
 # CI; run with BENCHTIME=5x (or more) for stable numbers.
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) test -run='^$$' -bench='^Benchmark(Analyze(Serial|Parallel|InstrumentedOff|InstrumentedOn)|Scanner|Preprocess|Parse)$$' \
+	$(GO) test -run='^$$' -bench='^Benchmark(Analyze(Serial|Parallel|InstrumentedOff|InstrumentedOn)|Scanner|Preprocess|Parse|FleetScatter)$$' \
 		-benchtime=$(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -append BENCH_trajectory.json > BENCH_obs.json
 
 # Allocation regression gate: fail if BenchmarkAnalyzeParallel allocates
@@ -62,6 +62,13 @@ service-race:
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -v ./cmd/deviantd
 
+# Boot a 3-worker + 1-coordinator fleet as separate processes, run the
+# corpus through it cold and warm, assert the ranked reports match the
+# CLI bit for bit, then kill a worker (output must not change) and
+# drain the coordinator.
+fleet-smoke:
+	$(GO) test -run 'TestFleetSmoke' -v ./cmd/deviantd
+
 # Native coverage-guided fuzzing of the frontend, 30s per target. Inputs
 # that fail are written by the Go toolchain to the target's
 # testdata/fuzz/<FuzzName>/ directory; check them in as regression seeds.
@@ -72,10 +79,10 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/cparse
 
 # Differential soak: 200 generated adversarial programs through the full
-# pipeline under all six equivalence oracles (workers, memoization,
-# snapshot, metamorphic, quarantine determinism, no-crash/no-hang).
-# Failing inputs land in testdata/fuzz/deviantfuzz/ and reproduce via
-# `deviantfuzz -seed N -n 1`.
+# pipeline under all seven equivalence oracles (workers, memoization,
+# snapshot, metamorphic, quarantine determinism, fleet determinism,
+# no-crash/no-hang). Failing inputs land in testdata/fuzz/deviantfuzz/
+# and reproduce via `deviantfuzz -seed N -n 1`.
 soak-smoke:
 	$(GO) run ./cmd/deviantfuzz -n 200 -seed 1
 
@@ -83,7 +90,7 @@ soak-smoke:
 # corrupted snapshot files, service panic recovery, and client retry
 # behavior, all under the race detector.
 chaos-smoke:
-	$(GO) test -race -run 'Quarantine|Budget|Deadline|Disk|Persistent|Fault|Panic|Retry|TrapBait|Redact|Canonicalize|Injected' \
-		./internal/fault ./internal/core ./internal/snapshot ./internal/service ./internal/client ./internal/fuzzgen ./cmd/deviant
+	$(GO) test -race -run 'Quarantine|Budget|Deadline|Disk|Persistent|Fault|Panic|Retry|TrapBait|Redact|Canonicalize|Injected|Rescatter|AllDead|CorruptAndMissing' \
+		./internal/fault ./internal/core ./internal/snapshot ./internal/service ./internal/client ./internal/fuzzgen ./internal/dist ./cmd/deviant
 
-ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke bench-json fuzz-smoke soak-smoke chaos-smoke
+ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke fleet-smoke bench-json fuzz-smoke soak-smoke chaos-smoke

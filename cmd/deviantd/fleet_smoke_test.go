@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Two more units alongside smokeSrc so a fleet has something to shard:
+// the same allocator and lock conventions, spread across files.
+const fleetBeta = `
+#include "kernel.h"
+int beta_fill(int n) {
+	struct buf *b = kmalloc(n);
+	if (!b)
+		return -1;
+	b->len = n;
+	return 0;
+}
+int beta_drain(struct buf *b) {
+	if (!b)
+		return -1;
+	return b->len;
+}
+`
+
+const fleetGamma = `
+#include "kernel.h"
+int gamma_push(int n) {
+	struct buf *b = kmalloc(n);
+	if (!b)
+		return -1;
+	b->len = n;
+	return 0;
+}
+int gamma_peek(struct buf *b) {
+	printk("peek %d\n", b->len);
+	return b->len;
+}
+`
+
+func fleetCorpus() map[string]string {
+	return map[string]string{
+		"drv.c":            smokeSrc,
+		"beta.c":           fleetBeta,
+		"gamma.c":          fleetGamma,
+		"include/kernel.h": smokeHeader,
+	}
+}
+
+// freeAddr reserves then releases one loopback port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startDaemon boots one deviantd and waits for /healthz.
+func startDaemon(t *testing.T, bin, addr string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{"-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	for i := 0; i < 150; i++ {
+		if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon on %s did not come up", addr)
+	return nil
+}
+
+// TestFleetSmoke is `make fleet-smoke`: boot 3 workers and 1
+// coordinator as separate processes, run the corpus through the fleet
+// cold and warm, and require the ranked reports to match the CLI bit
+// for bit. Then kill one worker mid-fleet and require the re-scattered
+// run to stay byte-identical — a dead worker costs latency, not
+// correctness — and finally drain the coordinator cleanly.
+func TestFleetSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	daemon := buildBinary(t, tmp, "deviant/cmd/deviantd")
+	cli := buildBinary(t, tmp, "deviant/cmd/deviant")
+
+	corpus := filepath.Join(tmp, "corpus")
+	for name, content := range fleetCorpus() {
+		path := filepath.Join(corpus, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cliOut, err := exec.Command(cli, "-json", corpus).Output()
+	if err != nil {
+		t.Fatalf("deviant -json: %v", err)
+	}
+	var golden []json.RawMessage
+	sc := bufio.NewScanner(bytes.NewReader(cliOut))
+	sc.Scan() // summary line
+	for sc.Scan() {
+		golden = append(golden, append(json.RawMessage(nil), sc.Bytes()...))
+	}
+	if len(golden) == 0 {
+		t.Fatal("CLI found no reports in the fleet corpus")
+	}
+
+	workers := make([]*exec.Cmd, 3)
+	urls := make([]string, 3)
+	for i := range workers {
+		addr := freeAddr(t)
+		urls[i] = "http://" + addr
+		workers[i] = startDaemon(t, daemon, addr, "-role", "worker")
+	}
+	coordAddr := freeAddr(t)
+	coord := startDaemon(t, daemon, coordAddr,
+		"-role", "coordinator", "-workers-list", strings.Join(urls, ","))
+
+	body, err := json.Marshal(map[string]any{"sources": fleetCorpus()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (reports []json.RawMessage, degraded bool, snapshot struct {
+		UnitsReused int `json:"units_reused"`
+		UnitsParsed int `json:"units_parsed"`
+	}) {
+		t.Helper()
+		resp, err := http.Post("http://"+coordAddr+"/v1/analyze",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var payload struct {
+			Degraded bool              `json:"degraded"`
+			Reports  []json.RawMessage `json:"reports"`
+			Snapshot json.RawMessage   `json:"snapshot"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze: status %d", resp.StatusCode)
+		}
+		if err := json.Unmarshal(payload.Snapshot, &snapshot); err != nil {
+			t.Fatal(err)
+		}
+		return payload.Reports, payload.Degraded, snapshot
+	}
+	compare := func(label string, got []json.RawMessage) {
+		t.Helper()
+		if len(got) != len(golden) {
+			t.Fatalf("%s: fleet found %d reports, CLI %d", label, len(got), len(golden))
+		}
+		for i := range got {
+			var a, b any
+			if err := json.Unmarshal(got[i], &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(golden[i], &b); err != nil {
+				t.Fatal(err)
+			}
+			na, _ := json.Marshal(a)
+			nb, _ := json.Marshal(b)
+			if !bytes.Equal(na, nb) {
+				t.Errorf("%s: report %d differs:\nfleet: %s\ncli:   %s", label, i+1, na, nb)
+			}
+		}
+	}
+
+	coldReports, coldDeg, coldSnap := post()
+	compare("cold", coldReports)
+	if coldDeg {
+		t.Error("cold fleet run reported degraded")
+	}
+	if coldSnap.UnitsParsed != 3 || coldSnap.UnitsReused != 0 {
+		t.Errorf("cold fleet snapshot: %+v, want 3 parsed across workers", coldSnap)
+	}
+
+	warmReports, _, warmSnap := post()
+	compare("warm", warmReports)
+	if warmSnap.UnitsReused != 3 || warmSnap.UnitsParsed != 0 {
+		t.Errorf("warm fleet snapshot: %+v, want 3 reused", warmSnap)
+	}
+
+	// Kill one worker. Its shard re-scatters to the survivors, so the
+	// output stays byte-identical and the run is not degraded.
+	workers[1].Process.Kill()
+	workers[1].Wait()
+	lostReports, lostDeg, _ := post()
+	compare("one worker down", lostReports)
+	if lostDeg {
+		t.Error("losing 1 of 3 workers degraded the run; re-scatter should absorb it")
+	}
+
+	// Drain the coordinator: SIGTERM exits 0 with in-flight work done.
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("coordinator exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("coordinator did not drain within 10s of SIGTERM")
+	}
+}
+
+// TestVersionFlag pins -version: exit 0, one line, the same build
+// identity /healthz serves.
+func TestVersionFlag(t *testing.T) {
+	bin := buildBinary(t, t.TempDir(), "deviant/cmd/deviantd")
+	out, err := exec.Command(bin, "-version").Output()
+	if err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+	line := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(line, "deviantd ") || !strings.Contains(line, "go1.") {
+		t.Errorf("-version output %q, want 'deviantd <version> <goversion> ...'", line)
+	}
+	if strings.Count(string(out), "\n") != 1 {
+		t.Errorf("-version should print exactly one line, got %q", out)
+	}
+}
+
+// TestFleetFlagValidation pins the role/workers-list contract: a worker
+// must not scatter, a coordinator must have a fleet, and unknown roles
+// are refused — all before binding the listen address.
+func TestFleetFlagValidation(t *testing.T) {
+	bin := buildBinary(t, t.TempDir(), "deviant/cmd/deviantd")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-role", "worker", "-workers-list", "http://127.0.0.1:1"},
+			"workers serve shards"},
+		{[]string{"-role", "coordinator"}, "requires -workers-list"},
+		{[]string{"-role", "boss"}, "unknown -role"},
+		{[]string{"-workers-list", " , ,"}, "no workers"},
+	} {
+		var stderr bytes.Buffer
+		cmd := exec.Command(bin, tc.args...)
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%v: want non-zero exit, got %v", tc.args, err)
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr %q missing %q", tc.args, stderr.String(), tc.want)
+		}
+	}
+}

@@ -25,11 +25,19 @@
 //	              memory-only caching)
 //	-debug-addr a also serve net/http/pprof on this address (off by
 //	              default; bind to localhost, it is unauthenticated)
+//	-role r       standalone (default), worker, or coordinator; worker
+//	              and coordinator are the two halves of a fleet
+//	              (DESIGN.md §12)
+//	-workers-list comma-separated worker base URLs; implies
+//	              -role coordinator and is rejected with -role worker
+//	-version      print build identity (the same debug.ReadBuildInfo
+//	              record /healthz serves) and exit
 //
 // Endpoints: POST /v1/analyze (?trace=1 embeds a Chrome trace of the
-// run), POST /v1/diff, GET /v1/rules, GET /healthz (liveness + build
-// info), GET /metrics (Prometheus text) — see package
-// deviant/internal/service.
+// run; shards across the fleet under -workers-list), POST /v1/shard
+// (the worker half of a distributed run), POST /v1/diff, GET /v1/rules,
+// GET /healthz (liveness + build info), GET /metrics (Prometheus text)
+// — see package deviant/internal/service.
 //
 // The daemon logs one JSON line per request to stderr (log/slog): request
 // id, method, path, status, and duration. The same id appears on the
@@ -51,11 +59,43 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"deviant/internal/client"
+	"deviant/internal/dist"
+	"deviant/internal/obs"
 	"deviant/internal/service"
 )
+
+// buildCoordinator turns a comma-separated worker URL list into a
+// coordinator over HTTP clients (worker name = its URL, so ring
+// placement is stable across coordinator restarts). The returned close
+// func releases the clients' pooled connections on drain.
+func buildCoordinator(list string) (*dist.Coordinator, func(), error) {
+	var workers []dist.Worker
+	var clients []*client.Client
+	for _, raw := range strings.Split(list, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		c := client.New(u)
+		clients = append(clients, c)
+		workers = append(workers, dist.Worker{Name: u, Caller: c})
+	}
+	coord, err := dist.NewCoordinator(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	closeAll := func() {
+		for _, c := range clients {
+			c.CloseIdleConnections()
+		}
+	}
+	return coord, closeAll, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -70,14 +110,49 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent snapshot cache directory (empty = memory only)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "also serve net/http/pprof on this address (off when empty)")
+	role := flag.String("role", "", "standalone (empty), worker, or coordinator")
+	workersList := flag.String("workers-list", "", "comma-separated worker base URLs (coordinator mode)")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *version {
+		b := obs.BuildInfo()
+		dirty := ""
+		if b.Dirty {
+			dirty = " (dirty)"
+		}
+		fmt.Printf("deviantd %s %s %s%s\n", b.Version, b.GoVersion, b.Revision, dirty)
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: deviantd [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	switch *role {
+	case "", "worker", "coordinator":
+	default:
+		log.Fatalf("unknown -role %q (want worker or coordinator)", *role)
+	}
+	if *role == "worker" && *workersList != "" {
+		// A worker scattering to other workers would re-shard recursively;
+		// the topology is one coordinator fanning out to leaf workers.
+		log.Fatal("-role worker cannot take -workers-list: workers serve shards, they do not scatter them")
+	}
+	if *role == "coordinator" && *workersList == "" {
+		log.Fatal("-role coordinator requires -workers-list")
+	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	var coord *dist.Coordinator
+	closeFleet := func() {}
+	if *workersList != "" {
+		var err error
+		coord, closeFleet, err = buildCoordinator(*workersList)
+		if err != nil {
+			log.Fatalf("workers-list: %v", err)
+		}
+		logger.Info("coordinator mode", "workers", coord.Size())
+	}
 	srv := service.New(service.Config{
 		MaxWorkers:    *workers,
 		MaxConcurrent: *concurrent,
@@ -86,6 +161,7 @@ func main() {
 		SnapshotUnits: *snapshotUnits,
 		CacheDir:      *cacheDir,
 		Logger:        logger,
+		Coordinator:   coord,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -129,6 +205,7 @@ func main() {
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)
 		}
+		closeFleet()
 		st := srv.Store().Stats()
 		logger.Info("drained", "snapshot_unit_hits", st.UnitHits, "snapshot_unit_misses", st.UnitMisses)
 	}

@@ -1,0 +1,57 @@
+package deviant
+
+// BenchmarkFleetScatter prices the distribution machinery itself: a
+// coordinator scattering the linux-2.4.7-scale corpus over in-process
+// workers and merging the token-stream partials, minus any network.
+// Compared against BenchmarkAnalyzeParallel, the delta is what sharding
+// costs (digest placement, gob encode/decode, checksums, reparse); the
+// sweep over fleet shapes shows how that overhead amortizes as workers
+// parse shards concurrently.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"deviant/internal/corpus"
+	"deviant/internal/dist"
+	"deviant/internal/snapshot"
+)
+
+// benchShardCaller is the no-network worker: the full RunShard path
+// (frontend, token encode, checksums) against a private store.
+type benchShardCaller struct{ store *snapshot.Store }
+
+func (w benchShardCaller) Shard(ctx context.Context, req *dist.ShardRequest, requestID string) (*dist.ShardResponse, error) {
+	return dist.RunShard(req, w.store, 0)
+}
+
+func BenchmarkFleetScatter(b *testing.B) {
+	c := corpus.Generate(corpus.Linux247())
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			workers := make([]dist.Worker, n)
+			for i := range workers {
+				workers[i] = dist.Worker{
+					Name:   fmt.Sprintf("bench-w%d", i),
+					Caller: benchShardCaller{store: snapshot.NewStore(0)},
+				}
+			}
+			coord, err := dist.NewCoordinator(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(c.Lines), "source-lines")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := coord.Run(context.Background(), c.Files, DefaultOptions(), "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Reports.Len() == 0 {
+					b.Fatal("no reports")
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"deviant/internal/dist"
 	"deviant/internal/service"
 )
 
@@ -48,6 +49,18 @@ type Client struct {
 
 // Option tunes a Client.
 type Option func(*Client)
+
+// RequestOption customizes a single request before it is sent. The
+// option is re-applied on every retry attempt, so headers survive
+// backoff.
+type RequestOption func(*http.Request)
+
+// WithHeader sets one header on the request. The coordinator uses it to
+// propagate its request ID to workers, so one distributed run shares
+// one ID across every node's structured log.
+func WithHeader(key, value string) RequestOption {
+	return func(r *http.Request) { r.Header.Set(key, value) }
+}
 
 // WithHTTPClient substitutes the underlying transport (default
 // http.DefaultClient).
@@ -92,27 +105,44 @@ func New(base string, opts ...Option) *Client {
 }
 
 // Analyze runs one analysis request.
-func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (*service.AnalyzeResponse, error) {
+func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest, opts ...RequestOption) (*service.AnalyzeResponse, error) {
 	var resp service.AnalyzeResponse
-	if err := c.post(ctx, "/v1/analyze", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/analyze", req, &resp, opts); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Shard runs one worker shard request: the frontend half of a
+// distributed analysis, answered with mergeable token-stream partials.
+// A non-empty requestID rides the X-Deviant-Request-Id header so the
+// worker logs under the coordinator's ID. Client implements
+// dist.ShardCaller, so a slice of Clients is a fleet.
+func (c *Client) Shard(ctx context.Context, req *dist.ShardRequest, requestID string) (*dist.ShardResponse, error) {
+	var opts []RequestOption
+	if requestID != "" {
+		opts = append(opts, WithHeader(dist.RequestIDHeader, requestID))
+	}
+	var resp dist.ShardResponse
+	if err := c.post(ctx, "/v1/shard", req, &resp, opts); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Diff runs one cross-version check.
-func (c *Client) Diff(ctx context.Context, req service.DiffRequest) (*service.DiffResponse, error) {
+func (c *Client) Diff(ctx context.Context, req service.DiffRequest, opts ...RequestOption) (*service.DiffResponse, error) {
 	var resp service.DiffResponse
-	if err := c.post(ctx, "/v1/diff", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/diff", req, &resp, opts); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Rules fetches the rule instances derived by the last analysis.
-func (c *Client) Rules(ctx context.Context) (*service.RulesResponse, error) {
+func (c *Client) Rules(ctx context.Context, opts ...RequestOption) (*service.RulesResponse, error) {
 	var resp service.RulesResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/rules", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/rules", nil, &resp, opts); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -122,20 +152,27 @@ func (c *Client) Rules(ctx context.Context) (*service.RulesResponse, error) {
 // server answers 503, which is returned as a *StatusError after the
 // retry budget (it may come back) — callers probing a single moment
 // should use a short context.
-func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+func (c *Client) Health(ctx context.Context, opts ...RequestOption) (*service.HealthResponse, error) {
 	var resp service.HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp, opts); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, req, out any) error {
+// CloseIdleConnections releases the transport's pooled keep-alive
+// connections. Fleet coordinators call it on drain so worker sockets
+// don't linger past the daemon's shutdown.
+func (c *Client) CloseIdleConnections() {
+	c.hc.CloseIdleConnections()
+}
+
+func (c *Client) post(ctx context.Context, path string, req, out any, opts []RequestOption) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, path, body, out)
+	return c.do(ctx, http.MethodPost, path, body, out, opts)
 }
 
 // retryable reports whether a status invites another attempt: the two
@@ -147,11 +184,11 @@ func retryable(status int) bool {
 
 // do issues one logical request with retries. The body is re-sent from
 // the same buffer on every attempt.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, opts []RequestOption) error {
 	var last error
 	for attempt := 0; ; attempt++ {
 		var hint time.Duration
-		resp, err := c.attempt(ctx, method, path, body, out)
+		resp, err := c.attempt(ctx, method, path, body, out, opts)
 		switch {
 		case err == nil:
 			return nil
@@ -185,7 +222,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 
 // attempt runs one HTTP exchange. A non-2xx returns the response (for
 // its headers) together with a *StatusError.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (*http.Response, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, opts []RequestOption) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -196,6 +233,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for _, o := range opts {
+		o(req)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

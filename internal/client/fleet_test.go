@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"deviant/internal/dist"
+	"deviant/internal/service"
+)
+
+// Client must satisfy the coordinator's scatter interface.
+var _ dist.ShardCaller = (*Client)(nil)
+
+// TestShardAgainstRealService drives the worker endpoint over real HTTP
+// and pins request-ID propagation: the header the coordinator sets is
+// the header the worker sees, on the first attempt and on retries.
+func TestShardAgainstRealService(t *testing.T) {
+	s := service.New(service.Config{})
+	var rejects atomic.Int64
+	var seen atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Store(r.Header.Get(dist.RequestIDHeader))
+		// One synthetic 429 forces a retry; the header must survive it.
+		if rejects.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		s.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	tame(c)
+	resp, err := c.Shard(context.Background(), &dist.ShardRequest{
+		Sources: clientSources(),
+		Units:   []string{"m.c"},
+	}, "coord-r000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Partials) != 1 || resp.Partials[0].Unit != "m.c" {
+		t.Fatalf("shard partials: %+v", resp.Partials)
+	}
+	if got := seen.Load(); got != "coord-r000007" {
+		t.Fatalf("request id header on retried attempt = %q", got)
+	}
+
+	c.CloseIdleConnections() // must not disturb a live client
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after CloseIdleConnections: %v", err)
+	}
+}
+
+// TestWithHeaderOnEveryVerb pins the per-request header option across
+// the client surface.
+func TestWithHeaderOnEveryVerb(t *testing.T) {
+	s := service.New(service.Config{})
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Test"))
+		s.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	tame(c)
+	opt := WithHeader("X-Test", "yes")
+	if _, err := c.Analyze(context.Background(),
+		service.AnalyzeRequest{Sources: clientSources()}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "yes" {
+		t.Fatal("analyze dropped the request header")
+	}
+	got.Store("")
+	if _, err := c.Rules(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "yes" {
+		t.Fatal("rules dropped the request header")
+	}
+	got.Store("")
+	if _, err := c.Health(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "yes" {
+		t.Fatal("health dropped the request header")
+	}
+}

@@ -5,7 +5,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
@@ -27,11 +26,9 @@ import (
 	"deviant/internal/checkers/reverse"
 	"deviant/internal/checkers/seccheck"
 	"deviant/internal/checkers/userptr"
-	"deviant/internal/cparse"
 	"deviant/internal/cpp"
 	"deviant/internal/csem"
 	"deviant/internal/engine"
-	"deviant/internal/intern"
 	"deviant/internal/fault"
 	"deviant/internal/latent"
 	"deviant/internal/obs"
@@ -353,132 +350,14 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	if len(units) == 0 {
 		return nil, fmt.Errorf("core: no translation units")
 	}
-	workers := a.opts.Workers
 	start := time.Now()
-	res := &Result{
-		Reports:     report.NewCollector(),
-		EngineStats: make(map[string]engine.RunStats),
-		Timing:      Timing{Checkers: make(map[string]time.Duration)},
-	}
+	res := newResult()
 	tr := a.opts.Tracer
 	root := tr.Start("analyze", obs.A("units", strconv.Itoa(len(units))))
 	defer root.End()
 
-	// ---- frontend: preprocess + parse each unit, concurrently. With a
-	// snapshot store attached, a unit whose transitive content digest
-	// matches a cached artifact reuses the previous parse tree outright;
-	// only genuinely changed units pay for preprocessing and parsing.
-	type unitOut struct {
-		file        *cast.File
-		errs        []error
-		readErr     error
-		lines       int
-		ppDur       time.Duration
-		parse       time.Duration
-		art         *snapshot.Artifact
-		reused      bool
-		quarantined bool
-	}
 	qc := &quarantine{}
-	deadline := a.opts.Deadline
-	deadlinePassed := func() bool {
-		return !deadline.IsZero() && time.Now().After(deadline)
-	}
-	snap := a.opts.Snapshot
-	var confFP string
-	if snap != nil {
-		confFP = a.configFingerprint()
-	}
-	cache := cpp.NewTokenCache()
-	// One identifier interner per run: every preprocessor shares it, so a
-	// spelling is allocated once run-wide and equal identifier Texts share
-	// a pointer (string comparison fast-paths on pointer equality).
-	interner := intern.NewTable()
-	outs := make([]unitOut, len(units))
-	feStart := time.Now()
-	feSpan := root.Child("frontend")
-	parallelDo(workers, len(units), func(i int) {
-		o := &outs[i]
-		var usp *obs.Span
-		if tr != nil {
-			usp = feSpan.Fork("unit", obs.A("file", units[i]))
-			defer usp.End()
-		}
-		if deadlinePassed() {
-			o.quarantined = true
-			qc.stageDeadline("frontend")
-			return
-		}
-		panicked := false
-		func() {
-			defer qc.recoverInto("frontend", units[i], &panicked)
-			if snap != nil {
-				if art, ok := snap.Lookup(fs, confFP, units[i]); ok {
-					o.file, o.errs, o.lines = art.File, art.ParseErrors, art.Lines
-					o.art, o.reused = art, true
-					usp.SetAttr("reused", "true")
-					return
-				}
-			}
-			pp := cpp.New(fs, a.opts.IncludeDirs...)
-			pp.UseCache(cache)
-			pp.SetInterner(interner)
-			for k, v := range a.opts.Defines {
-				pp.Define(k, v)
-			}
-			src, err := fs.ReadFile(units[i])
-			if err != nil {
-				o.readErr = err
-				return
-			}
-			o.lines = bytes.Count(src, []byte{'\n'}) + 1
-			psp := usp.Child("preprocess")
-			pp.SetTrace(psp)
-			t0 := time.Now()
-			toks, err := pp.ProcessBytes(units[i], src)
-			o.ppDur = time.Since(t0)
-			psp.End()
-			if err != nil {
-				o.errs = append(o.errs, pp.Errs()...)
-			}
-			psp = usp.Child("parse")
-			t0 = time.Now()
-			f, perrs := cparse.ParseFile(units[i], toks)
-			o.parse = time.Since(t0)
-			psp.End()
-			o.errs = append(o.errs, perrs...)
-			o.file = f
-			for _, d := range f.Decls {
-				if fd, ok := d.(*cast.FuncDecl); ok {
-					fault.Trap("frontend", fd.Name)
-				}
-			}
-			if a.opts.UnitDeadline > 0 && o.ppDur+o.parse > a.opts.UnitDeadline {
-				// Skip snap.Add too: a cached artifact would be reused on
-				// the next run and silently un-quarantine the unit.
-				qc.add("frontend", units[i], frontendBudgetCause(a.opts.UnitDeadline))
-				o.quarantined = true
-				o.file = nil
-				return
-			}
-			if snap != nil {
-				o.art = &snapshot.Artifact{File: f, ParseErrors: o.errs, Lines: o.lines}
-				if snap.Persistent() {
-					o.art.Tokens = toks
-				}
-				snap.Add(fs, confFP, units[i], pp.IncludeDeps(), pp.MissedProbes(), o.art)
-			}
-		}()
-		if panicked {
-			o.quarantined = true
-			o.file, o.errs, o.art = nil, nil, nil
-		}
-	})
-	feSpan.End()
-	res.Timing.Frontend = time.Since(feStart)
-	cstats := cache.Stats()
-	res.Timing.TokenCacheHits, res.Timing.TokenCacheMisses = cstats.Hits, cstats.Misses
-	res.Snapshot.Enabled = snap != nil
+	outs := a.runFrontend(fs, units, res, qc, root, false)
 	files := make([]*cast.File, 0, len(units))
 	for i := range outs {
 		if outs[i].readErr != nil {
@@ -494,7 +373,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		}
 		res.LineCount += outs[i].lines
 		res.ParseErrors = append(res.ParseErrors, outs[i].errs...)
-		if snap != nil {
+		if res.Snapshot.Enabled {
 			if outs[i].reused {
 				res.Snapshot.UnitsReused++
 			} else {
@@ -502,6 +381,42 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 			}
 		}
 		files = append(files, outs[i].file)
+	}
+
+	// Map each parsed function to the snapshot artifact that owns it, so
+	// the CFG stage can reuse and record graphs on the right cache entry.
+	var owner map[*cast.FuncDecl]*snapshot.Artifact
+	if a.opts.Snapshot != nil {
+		owner = make(map[*cast.FuncDecl]*snapshot.Artifact, len(units))
+		for i := range outs {
+			if outs[i].art == nil || outs[i].file == nil {
+				continue
+			}
+			for _, d := range outs[i].file.Decls {
+				if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+					owner[fd] = outs[i].art
+				}
+			}
+		}
+	}
+	return a.downstream(res, qc, root, start, files, owner)
+}
+
+// downstream runs the global half of the pipeline — semantic indexing,
+// CFG construction, every checker, rule derivation and ranking — over
+// already-parsed files, then folds quarantine state into the final
+// result. It is shared by AnalyzeFS (same-process frontend) and
+// AnalyzeParsed (frontend partials merged from a worker fleet): both
+// fold units in deterministic order before calling it, so its output
+// depends only on the parsed input, never on which process parsed it.
+// owner maps functions to the snapshot artifacts that cache their CFGs
+// (nil when no store is attached).
+func (a *Analyzer) downstream(res *Result, qc *quarantine, root *obs.Span, start time.Time, files []*cast.File, owner map[*cast.FuncDecl]*snapshot.Artifact) (*Result, error) {
+	workers := a.opts.Workers
+	tr := a.opts.Tracer
+	deadline := a.opts.Deadline
+	deadlinePassed := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
 	t0 := time.Now()
@@ -519,20 +434,6 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 	var noReturn func(string) bool
 	if !a.opts.DisableCrashPruning {
 		noReturn = a.conv.IsCrashRoutine
-	}
-	var owner map[*cast.FuncDecl]*snapshot.Artifact
-	if snap != nil {
-		owner = make(map[*cast.FuncDecl]*snapshot.Artifact, len(res.Prog.Funcs))
-		for i := range outs {
-			if outs[i].art == nil || outs[i].file == nil {
-				continue
-			}
-			for _, d := range outs[i].file.Decls {
-				if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
-					owner[fd] = outs[i].art
-				}
-			}
-		}
 	}
 	names := res.Prog.FuncNames()
 	built := make([]*cfg.Graph, len(names))
@@ -580,7 +481,7 @@ func (a *Analyzer) AnalyzeFS(fs cpp.FileProvider, units []string) (*Result, erro
 		}
 		checkNames = append(checkNames, name)
 		graphs[name] = built[i]
-		if snap != nil {
+		if res.Snapshot.Enabled {
 			if graphReused[i] {
 				res.Snapshot.GraphsReused++
 			} else {

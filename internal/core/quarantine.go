@@ -42,6 +42,18 @@ func (q *quarantine) recoverInto(stage, unit string, flag *bool) {
 	}
 }
 
+// preload seeds the quarantine with records produced upstream of this
+// process — a coordinator folding worker-side frontend failures (and
+// their recovered-panic counts) into the global half of a distributed
+// run. finalize canonicalizes the union, so preloaded and local records
+// end up in one deterministic (stage, unit, cause) order.
+func (q *quarantine) preload(recs []fault.Record, panics int) {
+	q.mu.Lock()
+	q.recs = append(q.recs, recs...)
+	q.panics += panics
+	q.mu.Unlock()
+}
+
 // stageDeadline records that a stage stopped taking work at the run
 // deadline: one aggregate record per stage (finalize dedups), since a
 // per-item record for every piece of skipped work would bloat the
@@ -57,6 +69,15 @@ func (q *quarantine) markDeadline() {
 	q.mu.Lock()
 	q.deadline = true
 	q.mu.Unlock()
+}
+
+// drain returns the canonicalized records and the recovered-panic count
+// without touching a Result — the worker-side path, where records travel
+// over the wire to a coordinator instead of into a local run.
+func (q *quarantine) drain() ([]fault.Record, int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return fault.Canonicalize(q.recs), q.panics
 }
 
 func (q *quarantine) finalize(res *Result) {

@@ -1,0 +1,370 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deviant/internal/core"
+	"deviant/internal/cparse"
+	"deviant/internal/fault"
+	"deviant/internal/obs"
+	"deviant/internal/snapshot"
+)
+
+// Deterministic causes for fleet-level quarantine records. Transport
+// error strings carry addresses and ports, which would make Degraded
+// output differ run to run; a lost unit always quarantines with one of
+// these fixed strings instead.
+const (
+	// causeLost marks a unit whose worker died and whose re-scatter to a
+	// survivor also failed (or no survivor existed).
+	causeLost = "worker shard unreachable after re-scatter"
+	// causeCorrupt marks a partial whose token payload failed its
+	// checksum or decode.
+	causeCorrupt = "corrupt shard partial"
+	// causeMissing marks a unit a worker neither returned nor
+	// quarantined — a malformed response, contained per-unit.
+	causeMissing = "shard partial missing from worker response"
+)
+
+// fleetStage is the Stage on fleet-level quarantine records.
+const fleetStage = "fleet"
+
+// ShardCaller scatters one shard request to one worker. internal/client
+// implements it over HTTP with retry/backoff; tests implement it
+// in-process.
+type ShardCaller interface {
+	Shard(ctx context.Context, req *ShardRequest, requestID string) (*ShardResponse, error)
+}
+
+// Worker is one member of the fleet. Name is its stable identity on the
+// hash ring — placement depends on it, so renaming a worker moves its
+// arc (deviantd uses the worker URL).
+type Worker struct {
+	Name   string
+	Caller ShardCaller
+}
+
+// Coordinator shards analyses across a worker fleet and merges the
+// partials deterministically. Safe for concurrent use.
+type Coordinator struct {
+	workers []Worker
+	byName  map[string]ShardCaller
+	ring    *ring
+	m       *fleetMetrics
+}
+
+// NewCoordinator builds a coordinator over the given fleet. Worker
+// names must be non-empty and unique.
+func NewCoordinator(workers []Worker) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("dist: fleet has no workers")
+	}
+	byName := make(map[string]ShardCaller, len(workers))
+	names := make([]string, 0, len(workers))
+	for _, w := range workers {
+		if w.Name == "" {
+			return nil, errors.New("dist: worker with empty name")
+		}
+		if w.Caller == nil {
+			return nil, fmt.Errorf("dist: worker %q has no caller", w.Name)
+		}
+		if _, dup := byName[w.Name]; dup {
+			return nil, fmt.Errorf("dist: duplicate worker name %q", w.Name)
+		}
+		byName[w.Name] = w.Caller
+		names = append(names, w.Name)
+	}
+	return &Coordinator{workers: workers, byName: byName, ring: newRing(names)}, nil
+}
+
+// Size returns the fleet size.
+func (c *Coordinator) Size() int { return len(c.workers) }
+
+// fleetMetrics instruments scatter behavior; all fields nil-safe via
+// the Coordinator's guard on c.m.
+type fleetMetrics struct {
+	scatter    map[string]*obs.Histogram
+	rescatters *obs.Counter
+	lost       *obs.Counter
+	healthy    *obs.Gauge
+}
+
+// RegisterMetrics wires fleet instrumentation into reg: a per-worker
+// scatter latency histogram, counters for re-scattered and lost units,
+// and gauges for fleet size and the last run's healthy worker count.
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	m := &fleetMetrics{scatter: make(map[string]*obs.Histogram, len(c.workers))}
+	for _, w := range c.workers {
+		m.scatter[w.Name] = reg.Histogram("deviantd_fleet_scatter_seconds",
+			"Wall clock of one shard scatter to one worker.",
+			obs.LatencyBuckets, obs.L("worker", w.Name))
+	}
+	m.rescatters = reg.Counter("deviantd_fleet_rescattered_units_total",
+		"Units re-scattered to a survivor after their worker failed.")
+	m.lost = reg.Counter("deviantd_fleet_lost_units_total",
+		"Units quarantined because no worker could serve them.")
+	reg.Gauge("deviantd_fleet_workers",
+		"Configured fleet size.").Set(float64(len(c.workers)))
+	m.healthy = reg.Gauge("deviantd_fleet_healthy_workers",
+		"Workers that answered the most recent scatter.")
+	m.healthy.Set(float64(len(c.workers)))
+	c.m = m
+}
+
+// shardResult is one worker's round outcome.
+type shardResult struct {
+	resp *ShardResponse
+	err  error
+}
+
+// Run analyzes srcs across the fleet: place each sorted translation
+// unit on the ring by content digest, scatter shard requests in
+// parallel, re-scatter a failed worker's units to survivors once, fold
+// the partials back in sorted unit order and run the global half of the
+// pipeline locally. Output is byte-identical to a single-process run
+// for any fleet shape; unit loss degrades the result with deterministic
+// quarantine records instead of failing it. opts configures the global
+// half exactly as it would a single-process run (its Snapshot field is
+// ignored — frontend caching lives on the workers).
+func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core.Options, requestID string) (*core.Result, error) {
+	units := make([]string, 0, len(srcs))
+	for name := range srcs {
+		if strings.HasSuffix(name, ".c") {
+			units = append(units, name)
+		}
+	}
+	sort.Strings(units)
+	if len(units) == 0 {
+		return nil, errors.New("dist: no translation units")
+	}
+	feStart := time.Now()
+
+	owner := make(map[string]string, len(units))
+	for _, u := range units {
+		owner[u] = c.ring.owner(unitDigest(srcs[u]))
+	}
+	// Group per worker; iterating units in sorted order keeps every
+	// shard's unit list sorted too.
+	assign := make(map[string][]string)
+	for _, u := range units {
+		assign[owner[u]] = append(assign[owner[u]], u)
+	}
+	shardOpts := ShardOptions{NoPrune: opts.DisableCrashPruning}
+
+	scatter := func(assign map[string][]string) map[string]shardResult {
+		out := make(map[string]shardResult, len(assign))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for name, shard := range assign {
+			wg.Add(1)
+			go func(name string, shard []string) {
+				defer wg.Done()
+				req := &ShardRequest{Sources: srcs, Units: shard, Options: shardOpts}
+				t0 := time.Now()
+				resp, err := c.byName[name].Shard(ctx, req, requestID)
+				if c.m != nil {
+					if h := c.m.scatter[name]; h != nil {
+						h.Observe(time.Since(t0).Seconds())
+					}
+				}
+				mu.Lock()
+				out[name] = shardResult{resp: resp, err: err}
+				mu.Unlock()
+			}(name, shard)
+		}
+		wg.Wait()
+		return out
+	}
+
+	round1 := scatter(assign)
+	dead := make(map[string]bool)
+	for name, r := range round1 {
+		if r.err != nil {
+			dead[name] = true
+		}
+	}
+
+	// Re-scatter a dead worker's units to the workers that would own
+	// them had the dead ones never joined — once. Units that still have
+	// nowhere to go are lost (quarantined below, never fatal).
+	var lost []string
+	var round2 map[string]shardResult
+	retry := make(map[string][]string)
+	if len(dead) > 0 {
+		// A context already past its deadline means every call failed
+		// for the run's own reasons, not the workers'; that is the
+		// single-process timeout path, an error, not degradation.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			if !dead[owner[u]] {
+				continue
+			}
+			alt := c.ring.ownerExcluding(unitDigest(srcs[u]), dead)
+			if alt == "" {
+				lost = append(lost, u)
+				continue
+			}
+			retry[alt] = append(retry[alt], u)
+		}
+		if c.m != nil {
+			for _, shard := range retry {
+				c.m.rescatters.Add(float64(len(shard)))
+			}
+		}
+		round2 = scatter(retry)
+		for name, r := range round2 {
+			if r.err != nil {
+				lost = append(lost, retry[name]...)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if c.m != nil {
+		c.m.healthy.Set(float64(len(c.workers) - len(dead)))
+		c.m.lost.Add(float64(len(lost)))
+	}
+
+	// Gather: index partials by unit, pool worker quarantine records and
+	// stats. Map iteration order is irrelevant — units never overlap
+	// across responses, records are canonicalized downstream, and the
+	// pooled counters are sums.
+	partials := make(map[string]*UnitPartial, len(units))
+	covered := make(map[string]bool)
+	var pre []fault.Record
+	panics := 0
+	var snapAgg snapshot.RunStats
+	gather := func(rs map[string]shardResult) {
+		for _, r := range rs {
+			if r.err != nil || r.resp == nil {
+				continue
+			}
+			for i := range r.resp.Partials {
+				p := &r.resp.Partials[i]
+				partials[p.Unit] = p
+			}
+			for _, rec := range r.resp.Quarantined {
+				covered[rec.Unit] = true
+			}
+			pre = append(pre, r.resp.Quarantined...)
+			panics += r.resp.Panics
+			if r.resp.Snapshot.Enabled {
+				snapAgg.Enabled = true
+			}
+			snapAgg.UnitsReused += r.resp.Snapshot.UnitsReused
+			snapAgg.UnitsParsed += r.resp.Snapshot.UnitsParsed
+			snapAgg.GraphsReused += r.resp.Snapshot.GraphsReused
+			snapAgg.GraphsBuilt += r.resp.Snapshot.GraphsBuilt
+		}
+	}
+	gather(round1)
+	gather(round2)
+	lostSet := make(map[string]bool, len(lost))
+	for _, u := range lost {
+		lostSet[u] = true
+		pre = append(pre, fault.Record{Stage: fleetStage, Unit: u, Cause: causeLost})
+	}
+
+	// Merge: verify, decode and reparse every partial concurrently into
+	// its sorted slot. Reparsing tokens reproduces each unit's tree
+	// exactly (the snapshot disk tier's pinned property), so from here
+	// on the run is indistinguishable from one whose frontend ran
+	// locally.
+	parsed := make([]core.ParsedUnit, len(units))
+	causes := make([]string, len(units))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	eachIndex(workers, len(units), func(i int) {
+		u := units[i]
+		parsed[i].Name = u
+		if lostSet[u] {
+			return
+		}
+		p, ok := partials[u]
+		if !ok {
+			if !covered[u] && !covered["*"] {
+				causes[i] = causeMissing
+			}
+			return
+		}
+		toks, err := decodeTokens(p.Tokens, p.Sum)
+		if err != nil {
+			causes[i] = causeCorrupt
+			return
+		}
+		f, _ := cparse.ParseFile(u, toks)
+		if f == nil {
+			causes[i] = causeCorrupt
+			return
+		}
+		var errs []error
+		for _, s := range p.Errs {
+			errs = append(errs, errors.New(s))
+		}
+		parsed[i] = core.ParsedUnit{Name: u, File: f, ParseErrors: errs, Lines: p.Lines}
+	})
+	var ppNs, parseNs int64
+	for i := range units {
+		if causes[i] != "" {
+			pre = append(pre, fault.Record{Stage: fleetStage, Unit: units[i], Cause: causes[i]})
+		}
+		if p, ok := partials[units[i]]; ok && parsed[i].File != nil {
+			ppNs += p.PreprocessNs
+			parseNs += p.ParseNs
+		}
+	}
+	feDur := time.Since(feStart)
+
+	opts.Snapshot = nil
+	res, err := core.New(opts, nil).AnalyzeParsed(parsed, pre, panics)
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = snapAgg
+	res.Timing.Preprocess = time.Duration(ppNs)
+	res.Timing.Parse = time.Duration(parseNs)
+	res.Timing.Frontend = feDur
+	return res, nil
+}
+
+// eachIndex runs fn(0..n-1) on up to workers goroutines (inline when
+// workers <= 1), with dynamic handout so slow items don't gate a shard.
+func eachIndex(workers, n int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerWorker is how many points each worker contributes to the
+// hash ring. More virtual nodes smooth the load split (the expected
+// share of a fleet of n is 1/n with variance shrinking as vnodes grow)
+// and, more importantly here, bound how much of the corpus moves when
+// the fleet changes: removing one of n workers reassigns only that
+// worker's ~1/n arc, so every other worker's snapshot cache stays warm.
+const vnodesPerWorker = 64
+
+// ringPoint is one virtual node: a position on the ring owned by a
+// worker.
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// ring assigns content digests to workers by consistent hashing. It is
+// immutable after construction; exclusion (dead workers) is expressed
+// per-lookup so one ring serves both scatter rounds.
+type ring struct {
+	points []ringPoint
+}
+
+// pointHash maps a string to a ring position. SHA-256 rather than a
+// fast non-cryptographic hash because placement must be identical on
+// every machine and every Go version, forever: a placement change
+// silently invalidates every worker's snapshot locality.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring for the named workers. Names must be unique;
+// placement depends only on the set of names, not their order.
+func newRing(names []string) *ring {
+	pts := make([]ringPoint, 0, len(names)*vnodesPerWorker)
+	for _, n := range names {
+		for v := 0; v < vnodesPerWorker; v++ {
+			pts = append(pts, ringPoint{hash: pointHash(n + "#" + strconv.Itoa(v)), name: n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		// A 64-bit collision between distinct names is vanishingly rare
+		// but must still order deterministically.
+		return pts[i].name < pts[j].name
+	})
+	return &ring{points: pts}
+}
+
+// owner returns the worker that owns digest: the first ring point at or
+// after the digest's position, wrapping around.
+func (r *ring) owner(digest string) string {
+	return r.ownerExcluding(digest, nil)
+}
+
+// ownerExcluding returns the owner of digest when the workers in dead
+// are unavailable: the walk continues clockwise past excluded points,
+// which is exactly where the units would live had the dead workers
+// never been in the fleet. Returns "" when every worker is dead.
+func (r *ring) ownerExcluding(digest string, dead map[string]bool) string {
+	n := len(r.points)
+	if n == 0 {
+		return ""
+	}
+	h := pointHash(digest)
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < n; k++ {
+		p := r.points[(i+k)%n]
+		if !dead[p.name] {
+			return p.name
+		}
+	}
+	return ""
+}

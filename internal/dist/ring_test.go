@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingRebalance pins the consistent-hashing property the snapshot
+// locality story depends on: removing 1 of 4 workers moves ONLY the
+// digests that worker owned (everything else keeps its placement, so
+// survivor caches stay warm), and that worker's share is ~1/4 of the
+// corpus, not an arbitrary fraction.
+func TestRingRebalance(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3"}
+	r := newRing(names)
+
+	const n = 2000
+	digests := make([]string, n)
+	before := make([]string, n)
+	share := make(map[string]int)
+	for i := range digests {
+		digests[i] = unitDigest(fmt.Sprintf("unit %d contents", i))
+		before[i] = r.owner(digests[i])
+		share[before[i]]++
+	}
+	// 64 vnodes per worker keeps each share near 25%; the bound is loose
+	// enough to be stable across hash details but tight enough to catch a
+	// broken ring (one worker owning everything, or nothing).
+	for _, name := range names {
+		frac := float64(share[name]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("worker %s owns %.1f%% of digests, outside [10%%,45%%]", name, frac*100)
+		}
+	}
+
+	for _, removed := range names {
+		dead := map[string]bool{removed: true}
+		moved := 0
+		for i := range digests {
+			after := r.ownerExcluding(digests[i], dead)
+			if after == removed {
+				t.Fatalf("digest still assigned to removed worker %s", removed)
+			}
+			if after != before[i] {
+				// Consistent hashing: the only digests allowed to move are
+				// the removed worker's own.
+				if before[i] != removed {
+					t.Fatalf("removing %s moved a digest owned by %s", removed, before[i])
+				}
+				moved++
+			}
+		}
+		if moved != share[removed] {
+			t.Fatalf("removing %s: moved %d digests, want exactly its share %d", removed, moved, share[removed])
+		}
+		frac := float64(moved) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("removing %s moved %.1f%% of digests, want ~25%%", removed, frac*100)
+		}
+	}
+
+	// Removing every worker leaves nothing to own digests.
+	all := map[string]bool{"w0": true, "w1": true, "w2": true, "w3": true}
+	if got := r.ownerExcluding(digests[0], all); got != "" {
+		t.Fatalf("all-dead ring returned owner %q", got)
+	}
+
+	// Placement is a pure function of the name set, not insertion order.
+	r2 := newRing([]string{"w3", "w1", "w0", "w2"})
+	for i := range digests {
+		if got := r2.owner(digests[i]); got != before[i] {
+			t.Fatalf("placement depends on worker order: %s vs %s", got, before[i])
+		}
+	}
+}

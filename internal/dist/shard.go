@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"deviant/internal/core"
+	"deviant/internal/cpp"
+	"deviant/internal/snapshot"
+)
+
+// RunShard is the worker side of a distributed run: preprocess and
+// parse the shard's units and package each as a mergeable partial. The
+// store, when non-nil, must have token retention enabled (see
+// snapshot.Store.SetRetainTokens) so warm hits can serve their token
+// streams; RunShard turns it on defensively.
+//
+// maxWorkers clamps the frontend concurrency the request may ask for;
+// zero or negative leaves the request's choice (or the core default)
+// in effect.
+func RunShard(req *ShardRequest, store *snapshot.Store, maxWorkers int) (*ShardResponse, error) {
+	if len(req.Units) == 0 {
+		return nil, errors.New("dist: shard has no units")
+	}
+	for _, u := range req.Units {
+		if _, ok := req.Sources[u]; !ok {
+			return nil, fmt.Errorf("dist: shard unit %q not in sources", u)
+		}
+		if !strings.HasSuffix(u, ".c") {
+			return nil, fmt.Errorf("dist: shard unit %q is not a translation unit", u)
+		}
+	}
+	opts := core.DefaultOptions()
+	opts.Workers = req.Options.Workers
+	if maxWorkers > 0 && (opts.Workers <= 0 || opts.Workers > maxWorkers) {
+		opts.Workers = maxWorkers
+	}
+	opts.DisableCrashPruning = req.Options.NoPrune
+	if store != nil {
+		store.SetRetainTokens(true)
+		opts.Snapshot = store
+	}
+	fr, err := core.New(opts, nil).Frontend(cpp.MapFS(req.Sources), req.Units)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ShardResponse{
+		Partials:    make([]UnitPartial, 0, len(fr.Units)),
+		Quarantined: fr.Records,
+		Panics:      fr.Panics,
+		Snapshot:    fr.Snapshot,
+	}
+	for i := range fr.Units {
+		u := &fr.Units[i]
+		if u.Quarantined {
+			continue
+		}
+		raw, sum, err := encodeTokens(u.Tokens)
+		if err != nil {
+			return nil, fmt.Errorf("dist: unit %q: %w", u.Unit, err)
+		}
+		p := UnitPartial{
+			Unit:         u.Unit,
+			Tokens:       raw,
+			Sum:          sum,
+			Lines:        u.Lines,
+			Reused:       u.Reused,
+			PreprocessNs: u.Preprocess.Nanoseconds(),
+			ParseNs:      u.Parse.Nanoseconds(),
+		}
+		for _, e := range u.Errs {
+			p.Errs = append(p.Errs, e.Error())
+		}
+		resp.Partials = append(resp.Partials, p)
+	}
+	return resp, nil
+}

@@ -1,0 +1,132 @@
+// Package dist shards an analysis across a fleet of deviantd workers
+// and folds the partial results back into one deterministic run.
+//
+// The split follows the paper's statistics: cross-checking (§5's
+// z-ranking over MUST/MAY beliefs) is only meaningful computed over the
+// whole corpus, so the cross-unit half of the pipeline — semantic
+// indexing, checkers, rule derivation, ranking — stays at the
+// coordinator. What distributes is the per-unit half: preprocessing and
+// parsing, the part that scales linearly with corpus size. Workers
+// return each unit's preprocessed token stream plus rendered
+// diagnostics; the coordinator reparses the tokens (the same
+// deterministic rehydration the snapshot disk tier uses) and folds
+// units in sorted order, making fleet output byte-identical to a
+// single-process run for any fleet shape.
+//
+// Placement is consistent hashing over unit content digests with
+// virtual nodes, so a unit's snapshot entry lives on the worker where
+// its work runs and fleet changes move only the departed worker's arc.
+// Workers are the unit of failure containment: a dead worker's shard is
+// re-scattered to survivors once, and units that still cannot be placed
+// become fault quarantine records in a Degraded — never failed — result.
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+
+	"deviant/internal/ctoken"
+	"deviant/internal/fault"
+	"deviant/internal/snapshot"
+)
+
+// RequestIDHeader carries the coordinator's request id to workers, so
+// one fleet run shares a single trace id across every process's slog
+// lines.
+const RequestIDHeader = "X-Deviant-Request-Id"
+
+// ShardOptions are the frontend-relevant analysis options a worker
+// needs. Checker selection, p0 and memoization run at the coordinator
+// and are deliberately absent.
+type ShardOptions struct {
+	// Workers bounds the worker process's own frontend concurrency;
+	// zero lets the worker use its configured default.
+	Workers int `json:"workers,omitempty"`
+	// NoPrune mirrors the run's crash-path-pruning ablation. It does
+	// not change frontend output, but it is part of the snapshot cache
+	// fingerprint, so propagating it keeps worker caches keyed
+	// consistently with the run being served.
+	NoPrune bool `json:"no_prune,omitempty"`
+}
+
+// ShardRequest asks one worker to run the frontend over Units.
+//
+// Sources is the full corpus — units and every includable file — not
+// just the shard: any unit may #include any header, and a header may be
+// generated next to a unit owned by another worker. Shipping the whole
+// map is the simple, correct baseline; trimming it to each shard's
+// transitive include closure is a bandwidth optimization the wire
+// format already permits.
+type ShardRequest struct {
+	Sources map[string]string `json:"sources"`
+	Units   []string          `json:"units"`
+	Options ShardOptions      `json:"options,omitempty"`
+}
+
+// UnitPartial is one translation unit's mergeable frontend result: the
+// preprocessed token stream (gob-encoded, checksummed) plus the
+// rendered diagnostics and counts the coordinator's fold needs.
+// Reparsing Tokens reproduces the unit's parse tree and diagnostics
+// exactly — the property the snapshot disk tier pins — so a partial is
+// a complete substitute for having run the frontend locally.
+type UnitPartial struct {
+	Unit string `json:"unit"`
+	// Tokens is gob([]ctoken.Token); encoding/json transports it as
+	// base64. Sum is its SHA-256, verified before decode so a corrupt
+	// partial quarantines one unit instead of poisoning the merge.
+	Tokens []byte `json:"tokens"`
+	Sum    string `json:"sum"`
+	Lines  int    `json:"lines"`
+	// Errs are the unit's preprocess and parse diagnostics, rendered.
+	// The coordinator restores them verbatim (errors.New), exactly as
+	// the disk tier restores persisted diagnostics.
+	Errs   []string `json:"errs,omitempty"`
+	Reused bool     `json:"reused,omitempty"`
+	// PreprocessNs and ParseNs feed the coordinator's summed-over-units
+	// timing stats.
+	PreprocessNs int64 `json:"preprocess_ns,omitempty"`
+	ParseNs      int64 `json:"parse_ns,omitempty"`
+}
+
+// ShardResponse is a worker's result for one shard: a partial per
+// healthy unit, quarantine records (with their recovered-panic count)
+// for the rest, and the worker's snapshot reuse stats.
+type ShardResponse struct {
+	Partials    []UnitPartial     `json:"partials"`
+	Quarantined []fault.Record    `json:"quarantined,omitempty"`
+	Panics      int               `json:"panics,omitempty"`
+	Snapshot    snapshot.RunStats `json:"snapshot"`
+}
+
+// encodeTokens serializes a token stream for the wire with its
+// checksum.
+func encodeTokens(toks []ctoken.Token) (raw []byte, sum string, err error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(toks); err != nil {
+		return nil, "", fmt.Errorf("dist: encode tokens: %w", err)
+	}
+	s := sha256.Sum256(buf.Bytes())
+	return buf.Bytes(), hex.EncodeToString(s[:]), nil
+}
+
+// decodeTokens verifies and deserializes a wire token payload.
+func decodeTokens(raw []byte, sum string) ([]ctoken.Token, error) {
+	s := sha256.Sum256(raw)
+	if hex.EncodeToString(s[:]) != sum {
+		return nil, fmt.Errorf("dist: token payload checksum mismatch")
+	}
+	var toks []ctoken.Token
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&toks); err != nil {
+		return nil, fmt.Errorf("dist: decode tokens: %w", err)
+	}
+	return toks, nil
+}
+
+// unitDigest is the content hash that places a unit on the ring.
+func unitDigest(content string) string {
+	s := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(s[:])
+}

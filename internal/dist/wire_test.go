@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"context"
+	"testing"
+
+	"deviant/internal/cparse"
+	"deviant/internal/snapshot"
+)
+
+// TestTokenWireRoundtrip pins the shard payload contract: tokens
+// round-trip gob+checksum exactly, reparse to a tree, and any payload
+// tampering is caught by the checksum before decode.
+func TestTokenWireRoundtrip(t *testing.T) {
+	w := &localWorker{store: snapshot.NewStore(0)}
+	resp, err := w.Shard(context.Background(), &ShardRequest{
+		Sources: fleetSources(),
+		Units:   []string{"alpha.c", "beta.c"},
+	}, "wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Partials) != 2 {
+		t.Fatalf("want 2 partials, got %d", len(resp.Partials))
+	}
+	for _, p := range resp.Partials {
+		toks, err := decodeTokens(p.Tokens, p.Sum)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Unit, err)
+		}
+		if len(toks) == 0 {
+			t.Fatalf("%s: empty token stream", p.Unit)
+		}
+		f, _ := cparse.ParseFile(p.Unit, toks)
+		if f == nil || len(f.Decls) == 0 {
+			t.Fatalf("%s: reparse produced no declarations", p.Unit)
+		}
+		// Re-encoding the decoded stream reproduces the same checksum:
+		// the wire form is canonical, not merely parseable.
+		_, sum2, err := encodeTokens(toks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum2 != p.Sum {
+			t.Fatalf("%s: re-encode checksum drifted: %s vs %s", p.Unit, sum2, p.Sum)
+		}
+	}
+
+	// Tampering: flipped payload byte and stale checksum both refuse.
+	p := resp.Partials[0]
+	bad := append([]byte(nil), p.Tokens...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := decodeTokens(bad, p.Sum); err == nil {
+		t.Fatal("tampered payload decoded")
+	}
+	if _, err := decodeTokens(p.Tokens, "deadbeef"); err == nil {
+		t.Fatal("wrong checksum accepted")
+	}
+}
+
+// TestRunShardValidation pins worker-side request validation.
+func TestRunShardValidation(t *testing.T) {
+	if _, err := RunShard(&ShardRequest{Sources: fleetSources()}, nil, 0); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+	if _, err := RunShard(&ShardRequest{
+		Sources: fleetSources(), Units: []string{"nosuch.c"},
+	}, nil, 0); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+	if _, err := RunShard(&ShardRequest{
+		Sources: fleetSources(), Units: []string{"include/kernel.h"},
+	}, nil, 0); err == nil {
+		t.Fatal("header accepted as translation unit")
+	}
+}

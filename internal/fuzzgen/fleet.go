@@ -1,0 +1,149 @@
+// The seventh differential oracle: fleet determinism. A distributed run
+// (coordinator sharding units across N workers, merging token-stream
+// partials, running the global half locally) must be byte-identical to
+// the single-process pipeline for every fleet shape, warm or cold, and
+// must stay identical when a worker dies mid-run (re-scatter absorbs
+// the loss). With every worker dead the run must degrade — never fail —
+// and degrade identically on every attempt.
+package fuzzgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"deviant/internal/core"
+	"deviant/internal/dist"
+	"deviant/internal/snapshot"
+)
+
+// fleetWorker is an in-process dist.ShardCaller: the real worker code
+// path (RunShard over its own snapshot store) minus the HTTP hop, which
+// cmd/deviantd's fleet smoke test covers.
+type fleetWorker struct {
+	store *snapshot.Store
+	down  atomic.Bool
+}
+
+func (w *fleetWorker) Shard(ctx context.Context, req *dist.ShardRequest, requestID string) (*dist.ShardResponse, error) {
+	if w.down.Load() {
+		return nil, errors.New("fuzz worker down")
+	}
+	return dist.RunShard(req, w.store, 0)
+}
+
+// newFuzzFleet builds an n-worker coordinator over in-process workers.
+func newFuzzFleet(n int) (*dist.Coordinator, []*fleetWorker) {
+	ws := make([]*fleetWorker, n)
+	workers := make([]dist.Worker, n)
+	for i := range ws {
+		ws[i] = &fleetWorker{store: snapshot.NewStore(0)}
+		workers[i] = dist.Worker{Name: fmt.Sprintf("fz-w%d", i), Caller: ws[i]}
+	}
+	c, err := dist.NewCoordinator(workers)
+	if err != nil {
+		panic(err) // static shape, cannot fail
+	}
+	return c, ws
+}
+
+// guardedFleetRun mirrors guardedAnalyze for a coordinator run.
+func guardedFleetRun(c *dist.Coordinator, sources map[string]string, opts core.Options, timeout time.Duration) runOut {
+	done := make(chan runOut, 1)
+	go func() {
+		out := runOut{}
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicked = fmt.Sprintf("%v\n%s", r, debug.Stack())
+			}
+			done <- out
+		}()
+		out.res, out.err = c.Run(context.Background(), sources, opts, "fuzz")
+	}()
+	select {
+	case out := <-done:
+		return out
+	case <-time.After(timeout):
+		return runOut{hung: true}
+	}
+}
+
+// checkFleet runs the fleet oracle against the single-process baseline
+// canon. Each returned Violation has Oracle "fleet" (or "robust" for a
+// panic/hang inside a fleet run).
+func checkFleet(sources map[string]string, baseCanon string, timeout time.Duration, stats *SeedStats) []Violation {
+	var vs []Violation
+	run := func(c *dist.Coordinator, opts core.Options) runOut {
+		stats.Analyses++
+		out := guardedFleetRun(c, sources, opts, timeout)
+		if out.panicked != "" {
+			vs = append(vs, Violation{"robust", "fleet panic: " + firstLine(out.panicked)})
+		}
+		if out.hung {
+			vs = append(vs, Violation{"robust", fmt.Sprintf("fleet run exceeded %v", timeout)})
+		}
+		return out
+	}
+
+	// Shapes 1, 2, 3: cold fleets, byte-identical to single-process.
+	for _, n := range []int{1, 2, 3} {
+		c, _ := newFuzzFleet(n)
+		out := run(c, soakOptions(2, true, nil))
+		if ok(out) && canonical(out) != baseCanon {
+			vs = append(vs, Violation{"fleet",
+				fmt.Sprintf("%d-worker fleet diverged from single-process: %s", n, diffDetail(baseCanon, canonical(out)))})
+		}
+	}
+
+	// Warm rerun: the second run over the same fleet serves every unit
+	// from the workers' snapshot stores (token retention) and must still
+	// reproduce the baseline bytes.
+	c3, ws := newFuzzFleet(3)
+	cold := run(c3, soakOptions(2, true, nil))
+	warm := run(c3, soakOptions(2, true, nil))
+	if ok(cold) && ok(warm) {
+		if canonical(warm) != baseCanon {
+			vs = append(vs, Violation{"fleet", "warm fleet rerun diverged: " + diffDetail(baseCanon, canonical(warm))})
+		}
+		if warm.res != nil && warm.res.Snapshot.UnitsParsed != 0 {
+			vs = append(vs, Violation{"fleet",
+				fmt.Sprintf("warm fleet reparsed %d units; token retention should serve all of them", warm.res.Snapshot.UnitsParsed)})
+		}
+	}
+
+	// Kill one worker: its shard re-scatters to the survivors, so the
+	// run is neither degraded nor different.
+	ws[1].down.Store(true)
+	lost := run(c3, soakOptions(2, true, nil))
+	if ok(lost) {
+		if canonical(lost) != baseCanon {
+			vs = append(vs, Violation{"fleet", "1-dead-worker run diverged: " + diffDetail(baseCanon, canonical(lost))})
+		}
+		if lost.res != nil && lost.res.Degraded {
+			vs = append(vs, Violation{"fleet", "1 dead worker of 3 degraded the run; re-scatter should absorb it"})
+		}
+	}
+
+	// Kill the whole fleet: the run must degrade — quarantining every
+	// unit with fixed causes, never failing — and degrade identically
+	// on a second attempt.
+	for _, w := range ws {
+		w.down.Store(true)
+	}
+	dead1 := run(c3, soakOptions(2, true, nil))
+	dead2 := run(c3, soakOptions(2, true, nil))
+	if ok(dead1) && ok(dead2) {
+		if dead1.err != nil {
+			vs = append(vs, Violation{"fleet", "all-dead fleet failed instead of degrading: " + dead1.err.Error()})
+		} else if dead1.res != nil && !dead1.res.Degraded {
+			vs = append(vs, Violation{"fleet", "all-dead fleet run not marked degraded"})
+		}
+		if canonical(dead1) != canonical(dead2) {
+			vs = append(vs, Violation{"fleet", "all-dead degradation is nondeterministic: " + diffDetail(canonical(dead1), canonical(dead2))})
+		}
+	}
+	return vs
+}

@@ -1,4 +1,4 @@
-// The six differential oracles. Each one runs the full pipeline over
+// The seven differential oracles. Each one runs the full pipeline over
 // the same sources under two configurations whose outputs are provably
 // related, and reports any divergence as a Violation:
 //
@@ -24,6 +24,11 @@
 //	            byte-identically — across worker counts and with
 //	            memoization on or off, and disarming must restore the
 //	            baseline bytes exactly.
+//	fleet       A coordinator/worker fleet (1, 2 or 3 in-process
+//	            workers) must produce the single-process bytes exactly,
+//	            cold and warm; killing 1 of 3 workers must change
+//	            nothing (re-scatter); killing all of them must degrade
+//	            the run deterministically, never fail it. See fleet.go.
 //	robust      No analysis run may panic or outrun its deadline. This
 //	            oracle wraps every run the others perform.
 package fuzzgen
@@ -44,7 +49,7 @@ import (
 
 // Violation is one oracle failure.
 type Violation struct {
-	Oracle string // workers | memo | snapshot | metamorph | quarantine | robust
+	Oracle string // workers | memo | snapshot | metamorph | quarantine | fleet | robust
 	Detail string
 }
 
@@ -186,6 +191,14 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 	if ok(disarmed) && canonical(disarmed) != baseCanon {
 		vs = append(vs, Violation{"quarantine",
 			"disarmed rerun diverged from baseline: " + diffDetail(baseCanon, canonical(disarmed))})
+	}
+
+	// Oracle 6: fleet determinism — distributed runs against the
+	// single-process baseline bytes, plus degradation determinism when
+	// workers die. Skipped when the baseline itself errored: the fleet
+	// has nothing canonical to reproduce.
+	if base.err == nil {
+		vs = append(vs, checkFleet(sources, baseCanon, timeout, &stats)...)
 	}
 	return sources, vs, stats
 }

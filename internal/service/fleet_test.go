@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deviant/internal/dist"
+)
+
+// httpShardCaller drives a worker Server's /v1/shard over its handler,
+// exactly the wire a real fleet uses minus the TCP hop.
+type httpShardCaller struct {
+	h http.Handler
+}
+
+func (c httpShardCaller) Shard(ctx context.Context, req *dist.ShardRequest, requestID string) (*dist.ShardResponse, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr := httptest.NewRequest("POST", "/v1/shard", bytes.NewReader(buf)).WithContext(ctx)
+	if requestID != "" {
+		hr.Header.Set(dist.RequestIDHeader, requestID)
+	}
+	rr := httptest.NewRecorder()
+	c.h.ServeHTTP(rr, hr)
+	if rr.Code != http.StatusOK {
+		return nil, fmt.Errorf("shard: status %d: %s", rr.Code, rr.Body.Bytes())
+	}
+	var resp dist.ShardResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TestShardEndpoint pins the worker half of the wire contract: a valid
+// shard answers with one decodable partial per unit, and malformed
+// shards are the client's fault (400), not the server's.
+func TestShardEndpoint(t *testing.T) {
+	s := New(Config{})
+	srcs := svcSources()
+
+	rr, body := postJSON(t, s, "/v1/shard", dist.ShardRequest{
+		Sources: srcs,
+		Units:   []string{"alpha.c", "beta.c"},
+	})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("shard: status %d: %s", rr.Code, body)
+	}
+	var resp dist.ShardResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("shard: %v\n%s", err, body)
+	}
+	if len(resp.Partials) != 2 {
+		t.Fatalf("want 2 partials, got %d", len(resp.Partials))
+	}
+	for _, p := range resp.Partials {
+		if len(p.Tokens) == 0 || p.Sum == "" {
+			t.Fatalf("%s: empty partial", p.Unit)
+		}
+	}
+
+	for _, bad := range []dist.ShardRequest{
+		{Sources: srcs},                                      // no units
+		{Sources: srcs, Units: []string{"nosuch.c"}},         // unknown unit
+		{Sources: srcs, Units: []string{"include/kernel.h"}}, // header
+	} {
+		rr, body := postJSON(t, s, "/v1/shard", bad)
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("bad shard %v: status %d: %s", bad.Units, rr.Code, body)
+		}
+	}
+}
+
+// TestCoordinatorMode is the HTTP-level fleet acceptance pin: an
+// /v1/analyze served by a coordinator over 3 workers produces the same
+// response body fields as a single-process server, and the
+// coordinator's /metrics exposes the fleet families.
+func TestCoordinatorMode(t *testing.T) {
+	workers := make([]dist.Worker, 3)
+	for i := range workers {
+		workers[i] = dist.Worker{
+			Name:   fmt.Sprintf("w%d", i),
+			Caller: httpShardCaller{h: New(Config{})},
+		}
+	}
+	coord, err := dist.NewCoordinator(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := New(Config{Coordinator: coord})
+	single := New(Config{})
+
+	srcs := svcSources()
+	fr := analyze(t, fleet, srcs)
+	sr := analyze(t, single, srcs)
+
+	if fr.Units != sr.Units || fr.Functions != sr.Functions ||
+		fr.Lines != sr.Lines || fr.ParseErrors != sr.ParseErrors ||
+		fr.Degraded != sr.Degraded {
+		t.Fatalf("fleet summary %+v diverges from single-process %+v", fr, sr)
+	}
+	fb, _ := json.Marshal(fr.Reports)
+	sb, _ := json.Marshal(sr.Reports)
+	if !bytes.Equal(fb, sb) {
+		t.Errorf("fleet reports diverge:\n--- fleet\n%s\n--- single\n%s", fb, sb)
+	}
+	// Workers, not the coordinator, paid the frontend.
+	if fr.Snapshot.UnitsParsed != 3 {
+		t.Fatalf("fleet snapshot %+v, want 3 units parsed across workers", fr.Snapshot)
+	}
+
+	// /v1/rules reflects the fleet run too.
+	rr, body := getPath(t, fleet, "/v1/rules")
+	if rr.Code != http.StatusOK || !bytes.Contains(body, []byte(`"rules"`)) {
+		t.Fatalf("rules: status %d: %s", rr.Code, body)
+	}
+
+	rr, body = getPath(t, fleet, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rr.Code)
+	}
+	for _, name := range []string{
+		"deviantd_fleet_scatter_seconds",
+		"deviantd_fleet_workers",
+		"deviantd_fleet_healthy_workers",
+	} {
+		if !bytes.Contains(body, []byte(name)) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}
+
+// TestRequestIDAdoption pins the shared-trace-id contract: a sane
+// incoming X-Deviant-Request-Id shows up as the request's logged id,
+// and a hostile one is replaced with a server-assigned id.
+func TestRequestIDAdoption(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := New(Config{Logger: slog.New(slog.NewJSONHandler(&logBuf, nil))})
+
+	send := func(rid string) string {
+		logBuf.Reset()
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		if rid != "" {
+			req.Header.Set(dist.RequestIDHeader, rid)
+		}
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, req)
+		var line struct {
+			ID string `json:"id"`
+		}
+		for _, l := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+			if strings.Contains(l, `"request"`) {
+				if err := json.Unmarshal([]byte(l), &line); err != nil {
+					t.Fatalf("log line: %v\n%s", err, l)
+				}
+			}
+		}
+		return line.ID
+	}
+
+	if got := send("coord-r000042"); got != "coord-r000042" {
+		t.Fatalf("sane id not adopted: got %q", got)
+	}
+	for _, hostile := range []string{
+		"has\nnewline",
+		"ctrl\x01char",
+		strings.Repeat("x", 65),
+	} {
+		if got := send(hostile); !strings.HasPrefix(got, "r0") {
+			t.Fatalf("hostile id %q adopted as %q", hostile, got)
+		}
+	}
+	if got := send(""); !strings.HasPrefix(got, "r0") {
+		t.Fatalf("missing header should use assigned id, got %q", got)
+	}
+}

@@ -6,7 +6,12 @@
 // Endpoints:
 //
 //	POST /v1/analyze  analyze an in-memory source tree (?trace=1 embeds
-//	                  a Chrome trace-event JSON of the run)
+//	                  a Chrome trace-event JSON of the run). With
+//	                  Config.Coordinator set, the run shards across the
+//	                  worker fleet instead of executing locally; output
+//	                  is byte-identical either way (DESIGN.md §12).
+//	POST /v1/shard    worker half of a distributed run: preprocess+parse
+//	                  the shard's units, return mergeable partials
 //	POST /v1/diff     §4.2 cross-version check of two trees
 //	GET  /v1/rules    derived rule instances from the last analysis
 //	GET  /healthz     liveness + build info (503 while draining)
@@ -47,6 +52,7 @@ import (
 	"time"
 
 	"deviant"
+	"deviant/internal/dist"
 	"deviant/internal/fault"
 	"deviant/internal/obs"
 	"deviant/internal/report"
@@ -80,6 +86,12 @@ type Config struct {
 	// (id, method, path, status, duration) plus lifecycle events. Nil
 	// disables request logging (the default for embedded/test use).
 	Logger *slog.Logger
+	// Coordinator, when non-nil, puts /v1/analyze in coordinator mode:
+	// sources shard across the fleet by content digest and the global
+	// half of the pipeline runs here over the merged partials. The
+	// local snapshot store is unused in this mode (frontend caching
+	// lives on the workers). /v1/diff always runs locally.
+	Coordinator *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -150,7 +162,11 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.initMetrics()
+	if cfg.Coordinator != nil {
+		cfg.Coordinator.RegisterMetrics(s.reg)
+	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -203,7 +219,7 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.store.Stats().Graphs) })
 	// Pre-create one latency histogram per endpoint so a fresh scrape
 	// shows the full set.
-	for _, ep := range []string{"analyze", "diff", "rules", "healthz", "metrics"} {
+	for _, ep := range []string{"analyze", "shard", "diff", "rules", "healthz", "metrics"} {
 		s.latencyFor(ep)
 	}
 }
@@ -221,6 +237,8 @@ func endpointOf(path string) string {
 	switch path {
 	case "/v1/analyze":
 		return "analyze"
+	case "/v1/shard":
+		return "shard"
 	case "/v1/diff":
 		return "diff"
 	case "/v1/rules":
@@ -232,6 +250,22 @@ func endpointOf(path string) string {
 	default:
 		return "other"
 	}
+}
+
+// sanitizeRequestID accepts an incoming request ID only when it is
+// short and printable ASCII; anything else returns "" and the server
+// assigns its own. Log lines and trace attributes must never carry
+// attacker-shaped bytes.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
 }
 
 type ridKey struct{}
@@ -269,6 +303,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // single request, whatever that request did.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("r%06d", s.nextID.Add(1))
+	// A coordinator propagates its request ID to the workers it scatters
+	// to, so one distributed run shares one ID across every node's log.
+	// Adopt it only when it is sane: bounded and printable.
+	if rid := sanitizeRequestID(r.Header.Get(dist.RequestIDHeader)); rid != "" {
+		id = rid
+	}
 	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
@@ -476,10 +516,11 @@ func (s *Server) admit(ctx context.Context) (func(), int, string) {
 }
 
 // runAnalysis executes fn under the admission tokens and the request
-// timeout. On timeout the analysis keeps running in the background —
-// still holding its run token, still warming the snapshot store — and
-// the client gets 504.
-func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, int, string) {
+// timeout. fn receives the timeout context so fleet scatters can abort
+// remote calls; the in-process pipeline ignores it. On timeout the
+// analysis keeps running in the background — still holding its run
+// token, still warming the snapshot store — and the client gets 504.
+func (s *Server) runAnalysis(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, int, string) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
 	defer cancel()
 	release, status, msg := s.admit(ctx)
@@ -508,7 +549,7 @@ func (s *Server) runAnalysis(ctx context.Context, fn func() (any, error)) (any, 
 				}
 			}()
 			fault.Trap("service-worker", "run")
-			return fn()
+			return fn(ctx)
 		}()
 		s.analyzeNs.Add(time.Since(t).Seconds())
 		done <- outcome{v, err}
@@ -658,7 +699,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			deviant.A("id", requestID(r.Context())),
 			deviant.A("endpoint", "analyze"))
 	}
-	v, status, msg := s.runAnalysis(r.Context(), func() (any, error) {
+	v, status, msg := s.runAnalysis(r.Context(), func(ctx context.Context) (any, error) {
+		if c := s.cfg.Coordinator; c != nil {
+			// Coordinator mode: same options, same output bytes, but the
+			// frontend runs on the fleet (DESIGN.md §12).
+			return c.Run(ctx, req.Sources, opts, requestID(r.Context()))
+		}
 		return deviant.Analyze(req.Sources, opts)
 	})
 	reqSpan.End()
@@ -677,6 +723,40 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		resp.Trace = exportTrace(tr)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShard is the worker half of a distributed run: preprocess and
+// parse this shard's units, answer with token-stream partials the
+// coordinator merges. Shards run under the same admission control as
+// analyses — a worker is just a deviantd that only ever sees frontend
+// work.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req dist.ShardRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Units) == 0 {
+		writeError(w, http.StatusBadRequest, "shard has no units")
+		return
+	}
+	for _, u := range req.Units {
+		if _, ok := req.Sources[u]; !ok {
+			writeError(w, http.StatusBadRequest, "unit %q not in sources", u)
+			return
+		}
+		if !strings.HasSuffix(u, ".c") {
+			writeError(w, http.StatusBadRequest, "unit %q is not a translation unit", u)
+			return
+		}
+	}
+	v, status, msg := s.runAnalysis(r.Context(), func(ctx context.Context) (any, error) {
+		return dist.RunShard(&req, s.store, s.cfg.MaxWorkers)
+	})
+	if status != 0 {
+		s.writeFailure(w, status, msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(*dist.ShardResponse))
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
@@ -701,7 +781,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		drifts []deviant.Drift
 		res    *deviant.Result
 	}
-	v, status, msg := s.runAnalysis(r.Context(), func() (any, error) {
+	v, status, msg := s.runAnalysis(r.Context(), func(ctx context.Context) (any, error) {
 		drifts, res, err := deviant.Diff(req.OldSources, req.NewSources, opts)
 		if err != nil {
 			return nil, err

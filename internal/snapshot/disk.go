@@ -136,7 +136,9 @@ func readEntry(path string) (*diskEntry, bool) {
 // fresh tree (CFGs rebuild lazily as checkers request them), and parse
 // diagnostics are restored from their persisted rendering — exactly
 // what the original run reported, so warm output stays byte-identical.
-func (d *disk) load(file string) (*Artifact, bool) {
+// keepTokens additionally leaves the token stream on the artifact, for
+// stores that retain tokens (fleet workers shipping shard payloads).
+func (d *disk) load(file string, keepTokens bool) (*Artifact, bool) {
 	e, ok := readEntry(filepath.Join(d.dir, file))
 	if !ok {
 		return nil, false
@@ -149,7 +151,11 @@ func (d *disk) load(file string) (*Artifact, bool) {
 	for _, s := range e.ParseErrors {
 		errs = append(errs, errors.New(s))
 	}
-	return &Artifact{File: f, ParseErrors: errs, Lines: e.Lines}, true
+	art := &Artifact{File: f, ParseErrors: errs, Lines: e.Lines}
+	if keepTokens {
+		art.Tokens = e.Tokens
+	}
+	return art, true
 }
 
 // write persists one entry atomically: temp file in the same directory,

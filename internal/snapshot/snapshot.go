@@ -59,16 +59,27 @@ type Artifact struct {
 	Lines int
 
 	// Tokens, when non-nil, is the unit's preprocessed token stream —
-	// the disk tier's serialization form. Parse trees share typed
-	// pointers and CFGs contain cycles, neither of which survives gob;
-	// tokens are flat exported data and reparse deterministically. The
-	// frontend sets this only when the owning store is persistent, and
-	// Add clears it once the entry is written, so resident artifacts
-	// never hold token streams.
+	// the serialization form shared by the disk tier and the distributed
+	// shard wire format. Parse trees share typed pointers and CFGs
+	// contain cycles, neither of which survives gob; tokens are flat
+	// exported data and reparse deterministically. The frontend sets
+	// this only when the owning store is persistent or retains tokens
+	// (see SetRetainTokens); without retention Add clears it once the
+	// disk entry is written, so resident artifacts stay lean. Readers
+	// racing that clear must go through TokensRef.
 	Tokens []ctoken.Token
 
 	mu     sync.Mutex
 	graphs map[string]*cfg.Graph
+}
+
+// TokensRef returns the artifact's retained token stream (nil when the
+// owning store does not retain tokens). It takes the artifact lock so a
+// reader cannot race the clear in Store.Add on a non-retaining store.
+func (a *Artifact) TokensRef() []ctoken.Token {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.Tokens
 }
 
 // Graph returns the cached CFG for the named function, if one was built
@@ -168,6 +179,12 @@ type Store struct {
 	// transitive keys to entry file names.
 	disk    *disk
 	diskIdx map[string]string
+
+	// retainTokens keeps each artifact's preprocessed token stream
+	// resident instead of dropping it after the disk write. Fleet
+	// workers turn this on so a warm shard hit can ship its tokens
+	// without re-preprocessing the unit.
+	retainTokens bool
 
 	hits, misses, evictions           atomic.Int64
 	diskHits, diskWrites, diskCorrupt atomic.Int64
@@ -272,6 +289,7 @@ func (s *Store) Lookup(fs cpp.FileProvider, fingerprint, unit string) (*Artifact
 		return e.art, true
 	}
 	var file string
+	retain := s.retainTokens
 	if s.disk != nil {
 		file = s.diskIdx[key]
 	}
@@ -283,7 +301,7 @@ func (s *Store) Lookup(fs cpp.FileProvider, fingerprint, unit string) (*Artifact
 	// Promote from the disk tier. The entry's checksum is re-verified at
 	// read time; a torn or corrupt entry is evicted so the cold re-parse
 	// that follows recomputes and rewrites it (self-healing).
-	art, ok := s.disk.load(file)
+	art, ok := s.disk.load(file, retain)
 	if !ok {
 		s.diskCorrupt.Add(1)
 		s.disk.remove(file)
@@ -342,7 +360,7 @@ func (s *Store) Add(fs cpp.FileProvider, fingerprint, unit string, includes, mis
 	} else {
 		s.entries[key].lastUse = s.tick
 	}
-	d := s.disk
+	d, retain := s.disk, s.retainTokens
 	s.mu.Unlock()
 
 	// Persist outside the lock: the write is temp-file + fsync + atomic
@@ -356,8 +374,30 @@ func (s *Store) Add(fs cpp.FileProvider, fingerprint, unit string, includes, mis
 			s.diskIdx[key] = file
 			s.mu.Unlock()
 		}
-		art.Tokens = nil
+		if !retain {
+			// Clear under the artifact lock: the entry is already
+			// published, so a concurrent TokensRef may be reading.
+			art.mu.Lock()
+			art.Tokens = nil
+			art.mu.Unlock()
+		}
 	}
+}
+
+// SetRetainTokens controls whether resident artifacts keep their
+// preprocessed token streams (see Artifact.Tokens). Off by default;
+// fleet workers enable it so warm shard lookups can serve tokens.
+func (s *Store) SetRetainTokens(on bool) {
+	s.mu.Lock()
+	s.retainTokens = on
+	s.mu.Unlock()
+}
+
+// RetainsTokens reports whether the store keeps token streams resident.
+func (s *Store) RetainsTokens() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retainTokens
 }
 
 // evictLocked drops least-recently-used entries until the store is within
