@@ -36,7 +36,7 @@ bench-smoke:
 # CI; run with BENCHTIME=5x (or more) for stable numbers.
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) test -run='^$$' -bench='^Benchmark(Analyze(Serial|Parallel|InstrumentedOff|InstrumentedOn)|Scanner|Preprocess|Parse|FleetScatter)$$' \
+	$(GO) test -run='^$$' -bench='^Benchmark(Analyze(Serial|Parallel|InstrumentedOff|InstrumentedOn|FleetTraceOff|FleetTraceOn)|Scanner|Preprocess|Parse|FleetScatter)$$' \
 		-benchtime=$(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -append BENCH_trajectory.json > BENCH_obs.json
 
 # Allocation regression gate: fail if BenchmarkAnalyzeParallel allocates

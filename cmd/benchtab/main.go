@@ -8,6 +8,7 @@
 //	benchtab -table 3
 //	benchtab -fig 1
 //	benchtab -ablations
+//	benchtab -trajectory BENCH_trajectory.json
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-6)")
 	fig := flag.Int("fig", 0, "regenerate one figure (1-4)")
 	ablations := flag.Bool("ablations", false, "run the design ablations")
+	trajectory := flag.String("trajectory", "", "render the benchmark history a bench-json run appends to this file")
 	flag.Parse()
 
 	tables := map[int]func() (string, error){
@@ -72,8 +74,10 @@ func main() {
 	case *ablations:
 		show(experiments.AblationPruning)
 		show(experiments.AblationMacros)
+	case *trajectory != "":
+		show(func() (string, error) { return experiments.Trajectory(*trajectory) })
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchtab -all | -table N | -fig N | -ablations")
+		fmt.Fprintln(os.Stderr, "usage: benchtab -all | -table N | -fig N | -ablations | -trajectory FILE")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"deviant"
+	"deviant/internal/fault"
+	"deviant/internal/obs"
+)
+
+// tsField matches the journal's RFC3339-millisecond timestamp field so
+// goldens can pin everything else about a line.
+var tsField = regexp.MustCompile(`"ts":"[0-9TZ:.\-]+"`)
+
+// TestJournalGolden pins the DESIGN.md §13 journal schema as emitted by
+// a CLI run (run id "local"): field order, event names, and attribute
+// vocabulary, with a fault-armed unit so a quarantine event appears
+// between run_start and rank. Timestamps are masked; everything else is
+// a compatibility contract with journal consumers. Regenerate with
+// UPDATE_GOLDEN=1 only for intentional schema changes.
+func TestJournalGolden(t *testing.T) {
+	srcs := map[string]string{"a.c": statsSrc}
+	fault.Arm("cfg", "g")
+	defer fault.Reset()
+
+	var buf bytes.Buffer
+	journal := obs.NewJournal(&buf, "local")
+	opts := deviant.DefaultOptions()
+	opts.Journal = journal
+
+	// The same event sequence main emits around Analyze.
+	journal.Event("run_start", obs.A("mode", "cli"), obs.A("units", "1"))
+	res, err := deviant.Analyze(srcs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("armed cfg trap did not degrade the run")
+	}
+	ranked := res.Reports.Ranked()
+	journal.Event("rank",
+		obs.A("reports", fmt.Sprint(len(ranked))),
+		obs.A("functions", fmt.Sprint(res.FuncCount)),
+		obs.A("parse_errors", fmt.Sprint(len(res.ParseErrors))))
+	journal.Event("run_end", obs.A("exit", "0"))
+	if err := journal.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	masked := tsField.ReplaceAll(buf.Bytes(), []byte(`"ts":"TS"`))
+	compareGolden(t, filepath.Join("testdata", "journal.golden"), masked)
+}

@@ -34,6 +34,10 @@
 //	-diff OLDDIR  cross-version mode (§4.2): check that <dir> preserves
 //	              the invariants OLDDIR's code implied; prints the drift
 //	              list and then the new version's ranked reports
+//	-journal FILE write a JSONL run journal to FILE: run_start,
+//	              per-record quarantine, rank, and run_end events under
+//	              the fixed run id "local" (DESIGN.md §13 schema — the
+//	              same event vocabulary deviantd journals per request)
 //
 // Exit codes: 0 on a clean run (reports may still be printed — deviant
 // finds bugs, it does not gate on them), 1 on a fatal error, 2 on bad
@@ -88,6 +92,7 @@ func main() {
 	trust := flag.Bool("trust", false, "rank with the §5 code-trustworthiness augmentation")
 	diffOld := flag.String("diff", "", "cross-version mode: directory of the OLD version; the positional dir is the new one")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); exit 4 with partial results on overrun")
+	journalPath := flag.String("journal", "", "write a JSONL run journal (run start, quarantine, rank, run end) to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -113,13 +118,48 @@ func main() {
 		tr = deviant.NewTracer()
 		opts.Tracer = tr
 	}
+	// A CLI run's journal uses the fixed run id "local" (there is no
+	// request id to adopt), which keeps journal bytes reproducible for
+	// a given corpus modulo timestamps.
+	var journal *obs.Journal
+	var journalFile *os.File
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		journalFile = f
+		journal = obs.NewJournal(f, "local")
+		opts.Journal = journal
+	}
+	closeJournal := func() {
+		if journalFile == nil {
+			return
+		}
+		if err := journal.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "deviant: journal: %v\n", err)
+		}
+		if err := journalFile.Close(); err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+	}
 
 	if *diffOld != "" {
+		journal.Event("run_start", obs.A("mode", "diff"))
 		parseErrs, deadlineHit, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust)
 		if err != nil {
 			log.Fatal(err)
 		}
 		writeTrace(*tracePath, tr)
+		exit := 0
+		switch {
+		case deadlineHit:
+			exit = exitDeadline
+		case parseErrs > 0:
+			exit = exitParseErrors
+		}
+		journal.Event("run_end", obs.A("exit", fmt.Sprint(exit)))
+		closeJournal()
 		if deadlineHit {
 			fmt.Fprintln(os.Stderr, "deviant: -timeout expired; results are partial")
 			os.Exit(exitDeadline)
@@ -137,6 +177,7 @@ func main() {
 	if len(units) == 0 {
 		log.Fatalf("no .c files under %s", dir)
 	}
+	journal.Event("run_start", obs.A("mode", "cli"), obs.A("units", fmt.Sprint(len(units))))
 
 	res, err := deviant.AnalyzeFS(cpp.DirFS(dir), units, opts)
 	if err != nil {
@@ -160,6 +201,10 @@ func main() {
 		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
 	}
 	rankSpan.End()
+	journal.Event("rank",
+		obs.A("reports", fmt.Sprint(len(ranked))),
+		obs.A("functions", fmt.Sprint(res.FuncCount)),
+		obs.A("parse_errors", fmt.Sprint(len(res.ParseErrors))))
 	if *jsonOut {
 		emitJSON(res, len(units), ranked, *top)
 	} else {
@@ -187,6 +232,15 @@ func main() {
 		}
 	}
 	writeTrace(*tracePath, tr)
+	exit := 0
+	switch {
+	case res.DeadlineExceeded:
+		exit = exitDeadline
+	case len(res.ParseErrors) > 0:
+		exit = exitParseErrors
+	}
+	journal.Event("run_end", obs.A("exit", fmt.Sprint(exit)))
+	closeJournal()
 	if res.DeadlineExceeded {
 		fmt.Fprintln(os.Stderr, "deviant: -timeout expired; results are partial")
 		os.Exit(exitDeadline)

@@ -135,8 +135,10 @@ func TestFleetSmoke(t *testing.T) {
 		workers[i] = startDaemon(t, daemon, addr, "-role", "worker")
 	}
 	coordAddr := freeAddr(t)
+	journalPath := filepath.Join(tmp, "runs.jsonl")
 	coord := startDaemon(t, daemon, coordAddr,
-		"-role", "coordinator", "-workers-list", strings.Join(urls, ","))
+		"-role", "coordinator", "-workers-list", strings.Join(urls, ","),
+		"-journal", journalPath, "-probe", "250ms")
 
 	body, err := json.Marshal(map[string]any{"sources": fleetCorpus()})
 	if err != nil {
@@ -205,6 +207,145 @@ func TestFleetSmoke(t *testing.T) {
 		t.Errorf("warm fleet snapshot: %+v, want 3 reused", warmSnap)
 	}
 
+	// Observability plane, full fleet: an all-healthy status, a traced
+	// run stitched into one Perfetto trace with a process lane per
+	// serving worker, a run journal keyed by the pinned request id, and
+	// federated worker metrics on the coordinator's /metrics.
+	fleetStatus := func() (size, healthy int) {
+		t.Helper()
+		resp, err := http.Get("http://" + coordAddr + "/v1/fleet/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fleet status: %d", resp.StatusCode)
+		}
+		var st struct {
+			Size    int `json:"size"`
+			Healthy int `json:"healthy"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Size, st.Healthy
+	}
+	if size, healthy := fleetStatus(); size != 3 || healthy != 3 {
+		t.Errorf("fleet status %d/%d, want 3/3 healthy", healthy, size)
+	}
+
+	const runID = "smoke-r0001"
+	treq, err := http.NewRequest("POST", "http://"+coordAddr+"/v1/analyze?trace=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	treq.Header.Set("Content-Type", "application/json")
+	treq.Header.Set("X-Deviant-Request-Id", runID)
+	tresp, err := http.DefaultClient.Do(treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced struct {
+		Reports []json.RawMessage `json:"reports"`
+		Trace   json.RawMessage   `json:"trace"`
+	}
+	err = json.NewDecoder(tresp.Body).Decode(&traced)
+	tresp.Body.Close()
+	if err != nil || tresp.StatusCode != http.StatusOK {
+		t.Fatalf("traced analyze: status %d err %v", tresp.StatusCode, err)
+	}
+	compare("traced", traced.Reports)
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traced.Trace, &trace); err != nil {
+		t.Fatalf("stitched trace is not valid Perfetto JSON: %v", err)
+	}
+	lanes := map[int]string{} // pid -> process name
+	scatterTo := map[string]bool{}
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			lanes[e.Pid] = e.Args["name"]
+		}
+		if e.Name == "scatter" {
+			scatterTo[e.Args["worker"]] = true
+		}
+	}
+	if lanes[1] != "coordinator" {
+		t.Errorf("pid 1 lane is %q, want coordinator", lanes[1])
+	}
+	if len(lanes) != 1+len(scatterTo) || len(scatterTo) == 0 {
+		t.Errorf("%d process lanes for %d scattered workers, want one lane per worker plus the coordinator (%v)",
+			len(lanes), len(scatterTo), lanes)
+	}
+	workerLanes := map[string]bool{}
+	for pid, name := range lanes {
+		if pid == 1 {
+			continue
+		}
+		if !scatterTo[name] {
+			t.Errorf("trace lane %q is not a scattered worker (%v)", name, scatterTo)
+		}
+		workerLanes[name] = true
+	}
+	if len(workerLanes) != len(scatterTo) {
+		t.Errorf("worker lanes %v do not cover scattered workers %v", workerLanes, scatterTo)
+	}
+	for _, e := range trace.TraceEvents {
+		if e.Ph != "M" && lanes[e.Pid] == "" {
+			t.Errorf("span %q on unnamed pid %d", e.Name, e.Pid)
+		}
+	}
+
+	journalBytes, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	events := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(journalBytes)), "\n") {
+		var ev struct {
+			Run   string `json:"run"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("journal line not JSON: %v\n%s", err, line)
+		}
+		if ev.Run == "" {
+			t.Fatalf("journal line without run id: %s", line)
+		}
+		if ev.Run == runID {
+			events[ev.Event]++
+		}
+	}
+	for _, want := range []string{"run_start", "placement", "shard_sent", "shard_returned", "merge", "rank", "run_end"} {
+		if events[want] == 0 {
+			t.Errorf("journal for %s missing %q event: %v", runID, want, events)
+		}
+	}
+
+	mresp, err := http.Get("http://" + coordAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := new(bytes.Buffer)
+	metrics.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`fleet_go_goroutines{worker="http://`,
+		"deviantd_fleet_healthy_workers 3",
+		"deviantd_build_info{",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("coordinator /metrics missing %q", want)
+		}
+	}
+
 	// Kill one worker. Its shard re-scatters to the survivors, so the
 	// output stays byte-identical and the run is not degraded.
 	workers[1].Process.Kill()
@@ -213,6 +354,20 @@ func TestFleetSmoke(t *testing.T) {
 	compare("one worker down", lostReports)
 	if lostDeg {
 		t.Error("losing 1 of 3 workers degraded the run; re-scatter should absorb it")
+	}
+	// The failed scatter (or the prober, whichever sees it first) marks
+	// the dead worker down in fleet status; give the 250ms probe loop a
+	// few ticks in case the dead worker owned no units this run.
+	downSeen := false
+	for i := 0; i < 100 && !downSeen; i++ {
+		if size, healthy := fleetStatus(); size == 3 && healthy <= 2 {
+			downSeen = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !downSeen {
+		t.Error("fleet status never marked the killed worker down")
 	}
 
 	// Drain the coordinator: SIGTERM exits 0 with in-flight work done.

@@ -30,14 +30,24 @@
 //	              (DESIGN.md §12)
 //	-workers-list comma-separated worker base URLs; implies
 //	              -role coordinator and is rejected with -role worker
+//	-journal f    append one JSONL event per run-journal entry (run
+//	              start, placement, shard lifecycle, quarantine, rank)
+//	              to f, each line keyed by the run's request id
+//	-probe d      (coordinator) probe worker /healthz+/metrics every d,
+//	              driving the healthy-worker gauge, /v1/fleet/status and
+//	              fleet_* federated metrics between runs (0 = off)
 //	-version      print build identity (the same debug.ReadBuildInfo
 //	              record /healthz serves) and exit
 //
 // Endpoints: POST /v1/analyze (?trace=1 embeds a Chrome trace of the
-// run; shards across the fleet under -workers-list), POST /v1/shard
-// (the worker half of a distributed run), POST /v1/diff, GET /v1/rules,
-// GET /healthz (liveness + build info), GET /metrics (Prometheus text)
-// — see package deviant/internal/service.
+// run; shards across the fleet under -workers-list, and in that mode
+// the trace stitches every worker's spans in as its own process lane),
+// POST /v1/shard (the worker half of a distributed run), POST /v1/diff,
+// GET /v1/rules, GET /v1/fleet/status (coordinator mode: ring +
+// per-worker health/build), GET /healthz (liveness + build info),
+// GET /metrics (Prometheus text, including go_* runtime self-metrics
+// and fleet_* federated worker series on a coordinator) — see package
+// deviant/internal/service.
 //
 // The daemon logs one JSON line per request to stderr (log/slog): request
 // id, method, path, status, and duration. The same id appears on the
@@ -53,6 +63,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net/http"
@@ -112,6 +123,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "also serve net/http/pprof on this address (off when empty)")
 	role := flag.String("role", "", "standalone (empty), worker, or coordinator")
 	workersList := flag.String("workers-list", "", "comma-separated worker base URLs (coordinator mode)")
+	journalPath := flag.String("journal", "", "append per-run JSONL journal events to this file (empty = off)")
+	probeEvery := flag.Duration("probe", 0, "worker health-probe interval in coordinator mode (0 = off)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 	if *version {
@@ -153,6 +166,18 @@ func main() {
 		}
 		logger.Info("coordinator mode", "workers", coord.Size())
 	}
+	// io.Writer-typed so an unset flag leaves the interface nil (a nil
+	// *os.File in an io.Writer would read as journaling-on).
+	var journalWriter io.Writer
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		defer f.Close()
+		journalWriter = f
+		logger.Info("journaling runs", "file", *journalPath)
+	}
 	srv := service.New(service.Config{
 		MaxWorkers:    *workers,
 		MaxConcurrent: *concurrent,
@@ -162,7 +187,13 @@ func main() {
 		CacheDir:      *cacheDir,
 		Logger:        logger,
 		Coordinator:   coord,
+		JournalWriter: journalWriter,
 	})
+	stopProber := func() {}
+	if coord != nil && *probeEvery > 0 {
+		stopProber = coord.StartProber(*probeEvery)
+		logger.Info("probing workers", "interval", probeEvery.String())
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	if *debugAddr != "" {
@@ -205,6 +236,7 @@ func main() {
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)
 		}
+		stopProber()
 		closeFleet()
 		st := srv.Store().Stats()
 		logger.Info("drained", "snapshot_unit_hits", st.UnitHits, "snapshot_unit_misses", st.UnitMisses)

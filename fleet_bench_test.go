@@ -26,6 +26,55 @@ func (w benchShardCaller) Shard(ctx context.Context, req *dist.ShardRequest, req
 	return dist.RunShard(req, w.store, 0)
 }
 
+// benchAnalyzeFleet measures what fleet-wide tracing costs on a
+// distributed run: 4 in-process workers, with (traced=true) every
+// worker running its shard under its own tracer, serializing the span
+// stream into the response, and the coordinator offset-aligning and
+// stitching all of them — against the same topology with the plane
+// disabled. The On/Off delta is the per-run price of cross-process
+// trace stitching.
+func benchAnalyzeFleet(b *testing.B, traced bool) {
+	b.Helper()
+	c := corpus.Generate(corpus.Linux247())
+	workers := make([]dist.Worker, 4)
+	for i := range workers {
+		workers[i] = dist.Worker{
+			Name:   fmt.Sprintf("bench-w%d", i),
+			Caller: benchShardCaller{store: snapshot.NewStore(0)},
+		}
+	}
+	coord, err := dist.NewCoordinator(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(c.Lines), "source-lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions()
+		if traced {
+			opts.Tracer = NewTracer()
+		}
+		res, err := coord.Run(context.Background(), c.Files, opts, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reports.Len() == 0 {
+			b.Fatal("no reports")
+		}
+		if traced && len(opts.Tracer.Imported()) == 0 {
+			b.Fatal("no worker processes stitched in")
+		}
+	}
+}
+
+// BenchmarkAnalyzeFleetTraceOff is the 4-worker distributed run with
+// the observability plane disabled: stitching sites pay only nil checks.
+func BenchmarkAnalyzeFleetTraceOff(b *testing.B) { benchAnalyzeFleet(b, false) }
+
+// BenchmarkAnalyzeFleetTraceOn is the same fleet with worker span
+// export, coordinator stitching and metrics federation all live.
+func BenchmarkAnalyzeFleetTraceOn(b *testing.B) { benchAnalyzeFleet(b, true) }
+
 func BenchmarkFleetScatter(b *testing.B) {
 	c := corpus.Generate(corpus.Linux247())
 	for _, n := range []int{1, 2, 4} {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"deviant/internal/dist"
+	"deviant/internal/obs"
 	"deviant/internal/service"
 )
 
@@ -158,6 +159,59 @@ func (c *Client) Health(ctx context.Context, opts ...RequestOption) (*service.He
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// ProbeHealth is the health half of dist.ProbeCaller: one /healthz
+// round trip with no retries (a prober supplies its own cadence;
+// retrying inside a probe would only blur the signal), returning the
+// worker's build identity on success.
+func (c *Client) ProbeHealth(ctx context.Context) (obs.Build, error) {
+	var resp service.HealthResponse
+	if _, err := c.attempt(ctx, http.MethodGet, "/healthz", nil, &resp, nil); err != nil {
+		return obs.Build{}, err
+	}
+	return resp.Build, nil
+}
+
+// ScrapeMetrics is the metrics half of dist.ProbeCaller: GET /metrics,
+// parsed from the Prometheus text format into scalar samples (histogram
+// bucket series are dropped). No retries, like ProbeHealth.
+func (c *Client) ScrapeMetrics(ctx context.Context) ([]obs.Sample, error) {
+	text, err := c.getRaw(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParsePrometheus(text), nil
+}
+
+// FleetStatus fetches a coordinator's fleet summary.
+func (c *Client) FleetStatus(ctx context.Context, opts ...RequestOption) (*dist.FleetStatus, error) {
+	var resp dist.FleetStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet/status", nil, &resp, opts); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// getRaw performs one plain-text GET (non-JSON endpoints: /metrics).
+func (c *Client) getRaw(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", &StatusError{Status: resp.StatusCode, Message: errorMessage(data)}
+	}
+	return string(data), nil
 }
 
 // CloseIdleConnections releases the transport's pooled keep-alive

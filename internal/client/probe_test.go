@@ -1,0 +1,112 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"deviant/internal/dist"
+	"deviant/internal/obs"
+	"deviant/internal/service"
+)
+
+// TestProbeCallerNoRetries pins the probe half of the client: one
+// attempt per call — a prober supplies its own cadence, so the retry
+// budget that guards analyses must not blur probe signal — with health
+// returning the build record and scrape returning parsed scalars.
+func TestProbeCallerNoRetries(t *testing.T) {
+	var healthCalls, metricCalls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			if healthCalls.Add(1) == 1 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			json.NewEncoder(w).Encode(service.HealthResponse{
+				Status: "ok",
+				Build:  obs.Build{Version: "v9", GoVersion: "go1.24"},
+			})
+		case "/metrics":
+			if metricCalls.Add(1) == 1 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "# TYPE go_goroutines gauge")
+			fmt.Fprintln(w, "go_goroutines 7")
+			fmt.Fprintln(w, `deviantd_requests_total{endpoint="analyze"} 3`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+
+	// First calls hit the 503 and must NOT retry into the second.
+	if _, err := c.ProbeHealth(context.Background()); err == nil {
+		t.Fatal("probe swallowed a 503")
+	}
+	if n := healthCalls.Load(); n != 1 {
+		t.Fatalf("probe retried: %d /healthz calls", n)
+	}
+	if _, err := c.ScrapeMetrics(context.Background()); err == nil {
+		t.Fatal("scrape swallowed a 503")
+	}
+	if n := metricCalls.Load(); n != 1 {
+		t.Fatalf("scrape retried: %d /metrics calls", n)
+	}
+
+	build, err := c.ProbeHealth(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if build.Version != "v9" || build.GoVersion != "go1.24" {
+		t.Fatalf("build = %+v", build)
+	}
+	samples, err := c.ScrapeMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if s := byName["go_goroutines"]; s.Value != 7 {
+		t.Fatalf("go_goroutines = %+v", s)
+	}
+	if s := byName["deviantd_requests_total"]; s.Value != 3 ||
+		len(s.Labels) != 1 || s.Labels[0].Value != "analyze" {
+		t.Fatalf("deviantd_requests_total = %+v", s)
+	}
+}
+
+// TestFleetStatusClient decodes a coordinator's fleet summary through
+// the typed client method.
+func TestFleetStatusClient(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fleet/status" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(dist.FleetStatus{
+			Size: 2, Healthy: 1,
+			Workers: []dist.WorkerStatus{
+				{Name: "a", Healthy: true},
+				{Name: "b", Healthy: false, LastError: "health probe failed"},
+			},
+		})
+	}))
+	defer srv.Close()
+
+	st, err := New(srv.URL).FleetStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 2 || st.Healthy != 1 || len(st.Workers) != 2 || st.Workers[1].LastError == "" {
+		t.Fatalf("fleet status = %+v", st)
+	}
+}

@@ -144,6 +144,12 @@ type Options struct {
 	// back into analysis, so output stays byte-identical with or without
 	// it, for any worker count.
 	Tracer *obs.Tracer
+	// Journal, when non-nil, receives structured run-provenance events
+	// (quarantines from core; placement/shard lifecycle/merge from the
+	// coordinator; run start/rank from the serving layer) as JSONL.
+	// Like Tracer it is write-only telemetry: journal output never
+	// feeds back into analysis, so it cannot perturb determinism.
+	Journal *obs.Journal
 	// VisitBudget, when positive, is a hard per-function visit ceiling
 	// for every path-sensitive checker: a function that hits it is
 	// quarantined for that checker (its reports dropped, the overrun
@@ -799,5 +805,13 @@ func (a *Analyzer) downstream(res *Result, qc *quarantine, root *obs.Span, start
 	}
 	res.Timing.Total = time.Since(start)
 	qc.finalize(res)
+	if j := a.opts.Journal; j != nil {
+		// Canonicalized records, so the journal's quarantine section is
+		// as deterministic as the result's.
+		for _, rec := range res.Quarantined {
+			j.Event("quarantine",
+				obs.A("stage", rec.Stage), obs.A("unit", rec.Unit), obs.A("cause", rec.Cause))
+		}
+	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,6 +59,10 @@ type Coordinator struct {
 	byName  map[string]ShardCaller
 	ring    *ring
 	m       *fleetMetrics
+
+	mu     sync.Mutex
+	status map[string]*workerState
+	down   map[string]bool
 }
 
 // NewCoordinator builds a coordinator over the given fleet. Worker
@@ -81,7 +86,17 @@ func NewCoordinator(workers []Worker) (*Coordinator, error) {
 		byName[w.Name] = w.Caller
 		names = append(names, w.Name)
 	}
-	return &Coordinator{workers: workers, byName: byName, ring: newRing(names)}, nil
+	status := make(map[string]*workerState, len(workers))
+	for _, name := range names {
+		status[name] = &workerState{healthy: true}
+	}
+	return &Coordinator{
+		workers: workers,
+		byName:  byName,
+		ring:    newRing(names),
+		status:  status,
+		down:    make(map[string]bool),
+	}, nil
 }
 
 // Size returns the fleet size.
@@ -90,6 +105,7 @@ func (c *Coordinator) Size() int { return len(c.workers) }
 // fleetMetrics instruments scatter behavior; all fields nil-safe via
 // the Coordinator's guard on c.m.
 type fleetMetrics struct {
+	reg        *obs.Registry // retained for federation (fleet_* republish)
 	scatter    map[string]*obs.Histogram
 	rescatters *obs.Counter
 	lost       *obs.Counter
@@ -100,7 +116,7 @@ type fleetMetrics struct {
 // scatter latency histogram, counters for re-scattered and lost units,
 // and gauges for fleet size and the last run's healthy worker count.
 func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
-	m := &fleetMetrics{scatter: make(map[string]*obs.Histogram, len(c.workers))}
+	m := &fleetMetrics{reg: reg, scatter: make(map[string]*obs.Histogram, len(c.workers))}
 	for _, w := range c.workers {
 		m.scatter[w.Name] = reg.Histogram("deviantd_fleet_scatter_seconds",
 			"Wall clock of one shard scatter to one worker.",
@@ -145,10 +161,27 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 		return nil, errors.New("dist: no translation units")
 	}
 	feStart := time.Now()
+	tr := opts.Tracer
+	journal := opts.Journal
 
+	// Place each unit on the ring, steering around workers the prober
+	// currently reports down. Down-set placement is exactly the
+	// re-scatter placement (ownerExcluding), so it cannot change output
+	// bytes — placement only decides which caches warm and how long the
+	// run takes. With the whole fleet marked down, fall back to normal
+	// placement and let re-scatter/quarantine sort it out.
+	downNow := c.snapshotDown()
 	owner := make(map[string]string, len(units))
 	for _, u := range units {
-		owner[u] = c.ring.owner(unitDigest(srcs[u]))
+		d := unitDigest(srcs[u])
+		o := ""
+		if len(downNow) > 0 {
+			o = c.ring.ownerExcluding(d, downNow)
+		}
+		if o == "" {
+			o = c.ring.owner(d)
+		}
+		owner[u] = o
 	}
 	// Group per worker; iterating units in sorted order keeps every
 	// shard's unit list sorted too.
@@ -156,9 +189,10 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 	for _, u := range units {
 		assign[owner[u]] = append(assign[owner[u]], u)
 	}
-	shardOpts := ShardOptions{NoPrune: opts.DisableCrashPruning}
+	journalPlacement(journal, "placement", assign)
+	shardOpts := ShardOptions{NoPrune: opts.DisableCrashPruning, Trace: tr != nil}
 
-	scatter := func(assign map[string][]string) map[string]shardResult {
+	scatter := func(assign map[string][]string, round string) map[string]shardResult {
 		out := make(map[string]shardResult, len(assign))
 		var mu sync.Mutex
 		var wg sync.WaitGroup
@@ -167,12 +201,40 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 			go func(name string, shard []string) {
 				defer wg.Done()
 				req := &ShardRequest{Sources: srcs, Units: shard, Options: shardOpts}
+				journal.Event("shard_sent",
+					obs.A("worker", name), obs.A("units", strconv.Itoa(len(shard))), obs.A("round", round))
+				sp := tr.Start("scatter", obs.A("worker", name), obs.A("units", strconv.Itoa(len(shard))))
+				send := tr.Elapsed()
 				t0 := time.Now()
 				resp, err := c.byName[name].Shard(ctx, req, requestID)
+				rtt := time.Since(t0)
+				sp.End()
 				if c.m != nil {
 					if h := c.m.scatter[name]; h != nil {
-						h.Observe(time.Since(t0).Seconds())
+						h.Observe(rtt.Seconds())
 					}
+				}
+				c.noteScatter(name, rtt, err)
+				if err == nil && resp != nil {
+					if resp.Trace != nil {
+						// Symmetric-delay offset estimate: the worker's tracer
+						// ran for DurNs of the rtt window, so its start sits
+						// roughly half the residual delay after our send mark.
+						offset := send + (rtt-time.Duration(resp.Trace.DurNs))/2
+						if offset < 0 {
+							offset = 0
+						}
+						tr.ImportProcess(name, offset, resp.Trace)
+					}
+					c.federate(name, resp.Metrics)
+					journal.Event("shard_returned",
+						obs.A("worker", name), obs.A("partials", strconv.Itoa(len(resp.Partials))),
+						obs.A("quarantined", strconv.Itoa(len(resp.Quarantined))), obs.A("round", round))
+				} else {
+					// No transport detail in the journal: error strings carry
+					// addresses, which would vary run to run.
+					journal.Event("shard_failed",
+						obs.A("worker", name), obs.A("units", strconv.Itoa(len(shard))), obs.A("round", round))
 				}
 				mu.Lock()
 				out[name] = shardResult{resp: resp, err: err}
@@ -183,7 +245,7 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 		return out
 	}
 
-	round1 := scatter(assign)
+	round1 := scatter(assign, "1")
 	dead := make(map[string]bool)
 	for name, r := range round1 {
 		if r.err != nil {
@@ -220,7 +282,8 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 				c.m.rescatters.Add(float64(len(shard)))
 			}
 		}
-		round2 = scatter(retry)
+		journalPlacement(journal, "rescatter", retry)
+		round2 = scatter(retry, "2")
 		for name, r := range round2 {
 			if r.err != nil {
 				lost = append(lost, retry[name]...)
@@ -327,6 +390,10 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 	}
 	feDur := time.Since(feStart)
 
+	journal.Event("merge",
+		obs.A("units", strconv.Itoa(len(units))),
+		obs.A("lost", strconv.Itoa(len(lost))),
+		obs.A("workers_dead", strconv.Itoa(len(dead))))
 	opts.Snapshot = nil
 	res, err := core.New(opts, nil).AnalyzeParsed(parsed, pre, panics)
 	if err != nil {

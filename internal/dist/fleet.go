@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"deviant/internal/obs"
+)
+
+// workerState is the coordinator's running view of one fleet member,
+// fed by scatter outcomes and the background prober.
+type workerState struct {
+	healthy     bool
+	lastError   string // fixed vocabulary, never transport detail
+	lastScatter time.Duration
+	lastProbe   time.Time
+	build       *obs.Build
+}
+
+// WorkerStatus is one worker's externally visible state, served by
+// GET /v1/fleet/status.
+type WorkerStatus struct {
+	Name               string     `json:"name"`
+	Healthy            bool       `json:"healthy"`
+	LastError          string     `json:"last_error,omitempty"`
+	LastScatterSeconds float64    `json:"last_scatter_seconds,omitempty"`
+	LastProbe          string     `json:"last_probe,omitempty"` // RFC 3339
+	Build              *obs.Build `json:"build,omitempty"`
+}
+
+// FleetStatus is the coordinator's fleet summary: ring composition in
+// ring order (sorted worker names), per-worker health/build/latency,
+// and the healthy count.
+type FleetStatus struct {
+	Size    int            `json:"size"`
+	Healthy int            `json:"healthy"`
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// Status reports the fleet's current state. Workers are sorted by name.
+func (c *Coordinator) Status() FleetStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := FleetStatus{Size: len(c.workers), Workers: make([]WorkerStatus, 0, len(c.workers))}
+	for name, ws := range c.status {
+		w := WorkerStatus{
+			Name:      name,
+			Healthy:   ws.healthy,
+			LastError: ws.lastError,
+			Build:     ws.build,
+		}
+		if ws.lastScatter > 0 {
+			w.LastScatterSeconds = ws.lastScatter.Seconds()
+		}
+		if !ws.lastProbe.IsZero() {
+			w.LastProbe = ws.lastProbe.UTC().Format(time.RFC3339)
+		}
+		st.Workers = append(st.Workers, w)
+		if ws.healthy {
+			st.Healthy++
+		}
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	return st
+}
+
+// noteScatter records one scatter outcome in the worker's state and the
+// down set. Transport errors are reduced to a fixed string (see the
+// quarantine causes: addresses must never leak into deterministic
+// surfaces).
+func (c *Coordinator) noteScatter(name string, rtt time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.status[name]
+	if ws == nil {
+		return
+	}
+	ws.lastScatter = rtt
+	if err != nil {
+		ws.healthy = false
+		ws.lastError = "shard call failed"
+		c.down[name] = true
+	} else {
+		ws.healthy = true
+		ws.lastError = ""
+		delete(c.down, name)
+	}
+	c.setHealthyGaugeLocked()
+}
+
+// snapshotDown copies the current down set for lock-free placement.
+func (c *Coordinator) snapshotDown() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.down) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(c.down))
+	for name := range c.down {
+		out[name] = true
+	}
+	return out
+}
+
+func (c *Coordinator) setHealthyGaugeLocked() {
+	if c.m == nil {
+		return
+	}
+	healthy := 0
+	for _, ws := range c.status {
+		if ws.healthy {
+			healthy++
+		}
+	}
+	c.m.healthy.Set(float64(healthy))
+}
+
+// federate republishes one worker's scalar metric samples into the
+// coordinator's registry under fleet_-prefixed names with a worker
+// label. Every federated series is a gauge — a remote counter is still
+// a point-in-time reading here, and forcing one kind avoids
+// counter/gauge declaration conflicts across heterogeneous workers.
+// Samples the worker already labeled "worker" are dropped rather than
+// double-labeled.
+func (c *Coordinator) federate(worker string, samples []obs.Sample) {
+	if c.m == nil || c.m.reg == nil || len(samples) == 0 {
+		return
+	}
+	for _, s := range samples {
+		if s.Name == "" || strings.HasPrefix(s.Name, "fleet_") {
+			continue
+		}
+		labels := make([]obs.Label, 0, len(s.Labels)+1)
+		skip := false
+		for _, l := range s.Labels {
+			if l.Name == "worker" {
+				skip = true
+				break
+			}
+			labels = append(labels, l)
+		}
+		if skip {
+			continue
+		}
+		labels = append(labels, obs.L("worker", worker))
+		c.m.reg.Gauge("fleet_"+s.Name,
+			"Federated from a worker's metrics (shard response or /metrics scrape).",
+			labels...).Set(s.Value)
+	}
+}
+
+// ProbeCaller is the optional probing side of a worker transport: a
+// health check returning the worker's build identity, and a raw
+// /metrics scrape. internal/client implements it over HTTP; a
+// ShardCaller that does not implement it is simply not probed.
+type ProbeCaller interface {
+	ProbeHealth(ctx context.Context) (obs.Build, error)
+	ScrapeMetrics(ctx context.Context) ([]obs.Sample, error)
+}
+
+// StartProber launches a background loop that probes every worker whose
+// caller implements ProbeCaller each interval: health outcomes drive
+// the healthy-worker gauge and the down set consulted by placement
+// between runs, and scraped metrics are federated. Returns a stop
+// function that halts the loop and waits for the in-flight tick.
+func (c *Coordinator) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				c.ProbeOnce(context.Background(), interval)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// ProbeOnce probes every probe-capable worker once, sequentially in
+// name order, with timeout bounding each worker's probe pair. Exported
+// so tests and the prober share one code path.
+func (c *Coordinator) ProbeOnce(ctx context.Context, timeout time.Duration) {
+	for _, w := range c.workers {
+		pc, ok := w.Caller.(ProbeCaller)
+		if !ok {
+			continue
+		}
+		pctx := ctx
+		var cancel context.CancelFunc
+		if timeout > 0 {
+			pctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		build, err := pc.ProbeHealth(pctx)
+		var samples []obs.Sample
+		if err == nil {
+			// Best-effort: a worker can be healthy with scraping failing.
+			samples, _ = pc.ScrapeMetrics(pctx)
+		}
+		if cancel != nil {
+			cancel()
+		}
+		c.noteProbe(w.Name, build, err)
+		if err == nil {
+			c.federate(w.Name, samples)
+		}
+	}
+}
+
+// noteProbe records one health-probe outcome.
+func (c *Coordinator) noteProbe(name string, build obs.Build, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.status[name]
+	if ws == nil {
+		return
+	}
+	ws.lastProbe = time.Now()
+	if err != nil {
+		ws.healthy = false
+		ws.lastError = "health probe failed"
+		c.down[name] = true
+	} else {
+		ws.healthy = true
+		ws.lastError = ""
+		b := build
+		ws.build = &b
+		delete(c.down, name)
+	}
+	c.setHealthyGaugeLocked()
+}
+
+// journalPlacement logs one event per worker in a placement map, in
+// sorted worker order so journal bytes are deterministic for a given
+// corpus and fleet.
+func journalPlacement(j *obs.Journal, event string, assign map[string][]string) {
+	if j == nil || len(assign) == 0 {
+		return
+	}
+	names := make([]string, 0, len(assign))
+	for name := range assign {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		j.Event(event,
+			obs.A("worker", name),
+			obs.A("units", strconv.Itoa(len(assign[name]))),
+			obs.A("list", strings.Join(assign[name], ",")))
+	}
+}

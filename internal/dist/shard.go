@@ -3,10 +3,12 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"deviant/internal/core"
 	"deviant/internal/cpp"
+	"deviant/internal/obs"
 	"deviant/internal/snapshot"
 )
 
@@ -41,7 +43,19 @@ func RunShard(req *ShardRequest, store *snapshot.Store, maxWorkers int) (*ShardR
 		store.SetRetainTokens(true)
 		opts.Snapshot = store
 	}
+	// When the coordinator asked for a trace, the shard runs under its
+	// own tracer whose export (spans + elapsed-clock anchor) rides home
+	// in the response for stitching. The tracer's lifetime is exactly
+	// this call, so DurNs brackets the worker-side work the coordinator
+	// sees as its request round trip.
+	var tr *obs.Tracer
+	if req.Options.Trace {
+		tr = obs.NewTracer()
+		opts.Tracer = tr
+	}
+	span := tr.Start("shard", obs.A("units", strconv.Itoa(len(req.Units))))
 	fr, err := core.New(opts, nil).Frontend(cpp.MapFS(req.Sources), req.Units)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -50,6 +64,7 @@ func RunShard(req *ShardRequest, store *snapshot.Store, maxWorkers int) (*ShardR
 		Quarantined: fr.Records,
 		Panics:      fr.Panics,
 		Snapshot:    fr.Snapshot,
+		Trace:       tr.Export(),
 	}
 	for i := range fr.Units {
 		u := &fr.Units[i]

@@ -1,0 +1,316 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"deviant/internal/core"
+	"deviant/internal/obs"
+	"deviant/internal/snapshot"
+)
+
+// unitFiles flattens the file= attributes of every imported "unit" span
+// into one sorted list: the fleet-wide frontend work, one entry per
+// parsed translation unit, independent of which worker parsed it.
+func unitFiles(tr *obs.Tracer) []string {
+	var files []string
+	for _, p := range tr.Imported() {
+		for _, s := range p.Spans {
+			if s.Name != "unit" {
+				continue
+			}
+			for _, a := range s.Attrs {
+				if a.Key == "file" {
+					files = append(files, a.Value)
+				}
+			}
+		}
+	}
+	sort.Strings(files)
+	return files
+}
+
+// runTraced is one coordinator run under a fresh tracer.
+func runTraced(t *testing.T, c *Coordinator, srcs map[string]string, id string) (*obs.Tracer, *core.Result) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	tr := obs.NewTracer()
+	opts.Tracer = tr
+	res, err := c.Run(context.Background(), srcs, opts, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+// TestFleetStitchDeterminism pins the shape-independent half of the
+// stitched trace: across fleet shapes 1, 2 and 4, cold and warm, the
+// set of per-unit frontend spans gathered from every worker lane is
+// exactly the corpus — each translation unit parsed (or reused) once,
+// somewhere — and every called worker contributes exactly one process
+// with exactly one "shard" root span. Which worker a unit lands on and
+// how long spans take are topology- and wall-clock-dependent by design,
+// so only names, attrs and counts are compared.
+func TestFleetStitchDeterminism(t *testing.T) {
+	srcs := fleetSources()
+	var wantUnits []string
+	for name := range srcs {
+		if strings.HasSuffix(name, ".c") {
+			wantUnits = append(wantUnits, name)
+		}
+	}
+	sort.Strings(wantUnits)
+
+	for _, n := range []int{1, 2, 4} {
+		c, _ := newLocalFleet(t, n)
+		for _, id := range []string{"cold", "warm"} {
+			tr, _ := runTraced(t, c, srcs, fmt.Sprintf("stitch-%d-%s", n, id))
+			if got := unitFiles(tr); !equalStrings(got, wantUnits) {
+				t.Fatalf("fleet(%d) %s: stitched unit spans = %v, want %v", n, id, got, wantUnits)
+			}
+			imported := tr.Imported()
+			if len(imported) == 0 || len(imported) > n {
+				t.Fatalf("fleet(%d) %s: %d imported processes, want 1..%d", n, id, len(imported), n)
+			}
+			for _, p := range imported {
+				shards := 0
+				for _, s := range p.Spans {
+					if s.Name == "shard" {
+						shards++
+					}
+					if s.EndNs < s.StartNs {
+						t.Fatalf("fleet(%d) %s: span %q ends before it starts", n, id, s.Name)
+					}
+				}
+				if shards != 1 {
+					t.Fatalf("fleet(%d) %s: worker %s has %d shard spans, want 1", n, id, p.Name, shards)
+				}
+				if p.Offset < 0 {
+					t.Fatalf("fleet(%d) %s: worker %s stitched at negative offset %v", n, id, p.Name, p.Offset)
+				}
+			}
+			// The coordinator's own lane holds the scatter spans (one per
+			// called worker) and the merged global half.
+			scatters, merges := 0, 0
+			for _, s := range tr.Spans() {
+				switch s.Name {
+				case "scatter":
+					scatters++
+				case "analyze-parsed":
+					merges++
+				}
+			}
+			if scatters != len(imported) || merges != 1 {
+				t.Fatalf("fleet(%d) %s: %d scatter spans for %d workers, %d merges", n, id, scatters, len(imported), merges)
+			}
+		}
+	}
+}
+
+// TestStitchedChromeTraceLanes renders a stitched 3-worker trace and
+// checks the Perfetto contract structurally: valid JSON, one
+// process_name metadata record for the coordinator plus one per called
+// worker (distinct pids), and every span event's pid belongs to one of
+// those processes — worker lanes can never collide with coordinator
+// lanes, whatever tids the workers used.
+func TestStitchedChromeTraceLanes(t *testing.T) {
+	srcs := fleetSources()
+	c, _ := newLocalFleet(t, 3)
+	tr, _ := runTraced(t, c, srcs, "lanes")
+
+	var buf strings.Builder
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Ts   float64           `json:"ts"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &trace); err != nil {
+		t.Fatalf("stitched trace is not valid JSON: %v", err)
+	}
+	events := trace.TraceEvents
+
+	lanes := map[int]string{} // pid -> process name
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "process_name" {
+			if prev, dup := lanes[e.Pid]; dup {
+				t.Fatalf("pid %d named twice: %q and %q", e.Pid, prev, e.Args["name"])
+			}
+			lanes[e.Pid] = e.Args["name"]
+		}
+	}
+	want := 1 + len(tr.Imported())
+	if len(lanes) != want {
+		t.Fatalf("%d process lanes, want %d (coordinator + every called worker): %v", len(lanes), want, lanes)
+	}
+	if lanes[1] != obs.CoordinatorProcessName {
+		t.Fatalf("pid 1 is %q, want %q", lanes[1], obs.CoordinatorProcessName)
+	}
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue
+		}
+		if _, ok := lanes[e.Pid]; !ok {
+			t.Fatalf("span %q on unnamed pid %d", e.Name, e.Pid)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("span %q at negative ts %f", e.Name, e.Ts)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// probeWorker is a localWorker that also answers probes, so ProbeOnce's
+// type assertion on the caller finds it.
+type probeWorker struct {
+	localWorker
+	build   obs.Build
+	sick    bool
+	samples []obs.Sample
+}
+
+func (p *probeWorker) ProbeHealth(ctx context.Context) (obs.Build, error) {
+	if p.sick {
+		return obs.Build{}, errors.New("probe: connection refused")
+	}
+	return p.build, nil
+}
+
+func (p *probeWorker) ScrapeMetrics(ctx context.Context) ([]obs.Sample, error) {
+	if p.sick {
+		return nil, errors.New("probe: connection refused")
+	}
+	return p.samples, nil
+}
+
+// TestProbeOnceFleetStatus drives ProbeOnce against a half-sick fleet
+// and checks /v1/fleet/status's data source: per-worker health flips,
+// build identity lands on healthy workers, the down set steers
+// placement, and the deterministic failure string replaces transport
+// detail.
+func TestProbeOnceFleetStatus(t *testing.T) {
+	w0 := &probeWorker{build: obs.Build{Version: "v1.2.3", GoVersion: "go1.23"},
+		samples: []obs.Sample{{Name: "deviantd_requests_total", Value: 4}}}
+	w1 := &probeWorker{sick: true}
+	c, err := NewCoordinator([]Worker{{Name: "w0", Caller: w0}, {Name: "w1", Caller: w1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background(), time.Second)
+
+	st := c.Status()
+	if st.Size != 2 || st.Healthy != 1 {
+		t.Fatalf("status = %+v, want size 2 healthy 1", st)
+	}
+	byName := map[string]WorkerStatus{}
+	for _, w := range st.Workers {
+		byName[w.Name] = w
+	}
+	if got := byName["w0"]; !got.Healthy || got.Build == nil || got.Build.Version != "v1.2.3" ||
+		got.LastError != "" || got.LastProbe == "" {
+		t.Fatalf("w0 = %+v", got)
+	}
+	if got := byName["w1"]; got.Healthy || got.LastError != "health probe failed" {
+		t.Fatalf("w1 = %+v, want unhealthy with the fixed probe-failure string", got)
+	}
+	down := c.snapshotDown()
+	if !down["w1"] || down["w0"] {
+		t.Fatalf("down set = %v, want only w1", down)
+	}
+
+	// Recovery: the next probe round clears the down mark.
+	w1.sick = false
+	c.ProbeOnce(context.Background(), time.Second)
+	if st := c.Status(); st.Healthy != 2 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	if down := c.snapshotDown(); len(down) != 0 {
+		t.Fatalf("down set after recovery = %v, want empty", down)
+	}
+}
+
+// TestDownSetSteersPlacement pins that a probed-down worker receives no
+// round-1 shard, while output stays byte-identical to single-process —
+// placement is a cache/latency decision, never a correctness one.
+func TestDownSetSteersPlacement(t *testing.T) {
+	srcs := fleetSources()
+	want := baseline(t, srcs)
+	w0 := &probeWorker{}
+	w0.store = snapshot.NewStore(0)
+	w1 := &probeWorker{sick: true}
+	w1.store = snapshot.NewStore(0)
+	c, err := NewCoordinator([]Worker{{Name: "w0", Caller: w0}, {Name: "w1", Caller: w1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background(), time.Second)
+
+	res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), "steer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canon(res); got != want {
+		t.Fatalf("steered output diverged from single-process:\n--- fleet\n%s--- single\n%s", got, want)
+	}
+	if n := w1.calls.Load(); n != 0 {
+		t.Fatalf("down worker w1 was called %d times during placement steering", n)
+	}
+	if n := w0.calls.Load(); n == 0 {
+		t.Fatal("surviving worker w0 was never called")
+	}
+}
+
+// TestFederatedMetrics checks the scrape half of federation: worker
+// samples republish under fleet_ names with a worker label, and
+// already-federated or worker-labeled series are skipped so a
+// coordinator scraping itself (or another coordinator) cannot recurse.
+func TestFederatedMetrics(t *testing.T) {
+	c, _ := newLocalFleet(t, 2)
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	c.federate("w0", []obs.Sample{
+		{Name: "deviantd_requests_total", Labels: []obs.Label{{Name: "endpoint", Value: "shard"}}, Value: 7},
+		{Name: "go_goroutines", Value: 12},
+		{Name: "fleet_go_goroutines", Labels: []obs.Label{{Name: "worker", Value: "wX"}}, Value: 99},
+	})
+	var text strings.Builder
+	if err := reg.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{
+		`fleet_deviantd_requests_total{endpoint="shard",worker="w0"} 7`,
+		`fleet_go_goroutines{worker="w0"} 12`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("federated output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fleet_fleet_") || strings.Contains(out, `worker="wX"`) {
+		t.Fatalf("already-federated sample was re-federated:\n%s", out)
+	}
+}

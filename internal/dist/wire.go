@@ -30,6 +30,7 @@ import (
 
 	"deviant/internal/ctoken"
 	"deviant/internal/fault"
+	"deviant/internal/obs"
 	"deviant/internal/snapshot"
 )
 
@@ -50,6 +51,10 @@ type ShardOptions struct {
 	// fingerprint, so propagating it keeps worker caches keyed
 	// consistently with the run being served.
 	NoPrune bool `json:"no_prune,omitempty"`
+	// Trace asks the worker to run its shard under a fresh obs.Tracer
+	// and ship the span stream back in the response, so the
+	// coordinator can stitch every process's spans into one trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ShardRequest asks one worker to run the frontend over Units.
@@ -93,12 +98,18 @@ type UnitPartial struct {
 
 // ShardResponse is a worker's result for one shard: a partial per
 // healthy unit, quarantine records (with their recovered-panic count)
-// for the rest, and the worker's snapshot reuse stats.
+// for the rest, and the worker's snapshot reuse stats. When the request
+// asked for tracing, Trace carries the worker's span stream with its
+// monotonic clock anchor; Metrics piggybacks a snapshot of the worker's
+// scalar metric families for federation (filled by the serving layer —
+// RunShard itself has no registry).
 type ShardResponse struct {
 	Partials    []UnitPartial     `json:"partials"`
 	Quarantined []fault.Record    `json:"quarantined,omitempty"`
 	Panics      int               `json:"panics,omitempty"`
 	Snapshot    snapshot.RunStats `json:"snapshot"`
+	Trace       *obs.TraceExport  `json:"trace,omitempty"`
+	Metrics     []obs.Sample      `json:"metrics,omitempty"`
 }
 
 // encodeTokens serializes a token stream for the wire with its

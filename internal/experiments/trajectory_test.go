@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTrajectory renders a two-run history and checks the grouping
+// contract: one section per benchmark sorted by name, rows in file
+// (chronological) order, readings rescaled to ms/MB.
+func TestTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	if err := os.WriteFile(path, []byte(`{"entries":[
+		{"date":"2026-08-05","benchmarks":[
+			{"name":"BenchmarkAnalyzeParallel","iterations":1,"ns_per_op":575500000,"bytes_per_op":162300000,"allocs_per_op":1157636}]},
+		{"date":"2026-08-08","benchmarks":[
+			{"name":"BenchmarkAnalyzeParallel","iterations":3,"ns_per_op":166843340,"bytes_per_op":64295674,"allocs_per_op":222497},
+			{"name":"BenchmarkAnalyzeFleetTraceOn","iterations":3,"ns_per_op":200000000,"bytes_per_op":80000000,"allocs_per_op":300000}]}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Trajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 runs, 2 benchmarks") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	// Sections sorted by name: FleetTraceOn before Parallel.
+	fleet := strings.Index(out, "BenchmarkAnalyzeFleetTraceOn")
+	par := strings.Index(out, "BenchmarkAnalyzeParallel")
+	if fleet < 0 || par < 0 || fleet > par {
+		t.Errorf("sections out of order (fleet at %d, parallel at %d):\n%s", fleet, par, out)
+	}
+	// Chronological rows within a section, with rescaled readings.
+	parSection := out[par:]
+	d5 := strings.Index(parSection, "2026-08-05")
+	d8 := strings.Index(parSection, "2026-08-08")
+	if d5 < 0 || d8 < 0 || d5 > d8 {
+		t.Errorf("rows not chronological:\n%s", out)
+	}
+	for _, want := range []string{"575.5", "162.3", "1157636", "166.8", "200.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := Trajectory(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Journal is a per-run structured event log: one JSON object per line,
+// in the order events were recorded. Every line carries the run id (the
+// adopted X-Deviant-Request-Id for daemon runs), a per-journal sequence
+// number, a wall-clock timestamp, the event name, and the event's
+// attributes — so the full story of a distributed run (placement, shard
+// lifecycle, re-scatter, quarantine, merge, rank) reads back from one
+// file even when the work spanned many processes.
+//
+// A nil *Journal is a valid "journaling off" value: Event no-ops. Like
+// the tracer, journal output never feeds back into analysis, so it
+// cannot perturb output determinism; only ts (and the run id, when it
+// comes from a request header) vary between identical runs.
+type Journal struct {
+	run string
+	w   io.Writer
+
+	mu  sync.Mutex
+	seq int
+	err error
+}
+
+// NewJournal returns a journal writing events for the given run id to w.
+// The caller owns w's lifecycle (the journal never closes it).
+func NewJournal(w io.Writer, run string) *Journal {
+	return &Journal{run: run, w: w}
+}
+
+// Run returns the journal's run id ("" on a nil journal).
+func (j *Journal) Run() string {
+	if j == nil {
+		return ""
+	}
+	return j.run
+}
+
+// Err returns the first write error, if any. Journaling is best-effort:
+// a failed write disables nothing, but the error is kept for callers
+// that want to warn.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Event appends one line. Attrs render in argument order after the fixed
+// fields, giving a deterministic byte layout:
+//
+//	{"run":"...","seq":3,"ts":"2026-08-08T12:00:00.000Z","event":"shard_sent","worker":"w1","units":"4"}
+//
+// Safe for concurrent use; seq reflects the order lines hit the writer.
+func (j *Journal) Event(event string, attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var b strings.Builder
+	b.WriteString(`{"run":`)
+	b.Write(jsonString(j.run))
+	b.WriteString(`,"seq":`)
+	b.WriteString(strconv.Itoa(j.seq))
+	b.WriteString(`,"ts":"`)
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(`","event":`)
+	b.Write(jsonString(event))
+	for _, a := range attrs {
+		b.WriteByte(',')
+		b.Write(jsonString(a.Key))
+		b.WriteByte(':')
+		b.Write(jsonString(a.Value))
+	}
+	b.WriteString("}\n")
+	j.seq++
+	if _, err := io.WriteString(j.w, b.String()); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// jsonString renders s as a JSON string literal. json.Marshal on a
+// string cannot fail.
+func jsonString(s string) []byte {
+	b, _ := json.Marshal(s)
+	return b
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalLineShape(t *testing.T) {
+	var buf strings.Builder
+	j := NewJournal(&buf, "req-123")
+	j.Event("run_start", A("corpus", "demo"), A("units", "6"))
+	j.Event("rank", A("reports", "4"))
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	// Fixed field order is part of the format (golden tests depend on it).
+	if !strings.HasPrefix(lines[0], `{"run":"req-123","seq":0,"ts":"`) {
+		t.Errorf("line 0 prefix = %s", lines[0])
+	}
+	if !strings.Contains(lines[0], `"event":"run_start","corpus":"demo","units":"6"}`) {
+		t.Errorf("line 0 = %s", lines[0])
+	}
+	// Every line is standalone valid JSON carrying the run id.
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if m["run"] != "req-123" {
+			t.Errorf("line %d run = %v", i, m["run"])
+		}
+		if int(m["seq"].(float64)) != i {
+			t.Errorf("line %d seq = %v", i, m["seq"])
+		}
+	}
+}
+
+func TestJournalEscaping(t *testing.T) {
+	var buf strings.Builder
+	j := NewJournal(&buf, `r"un`)
+	j.Event("ev", A("msg", "a\"b\nc\\d"))
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &m); err != nil {
+		t.Fatalf("escaped line not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["msg"] != "a\"b\nc\\d" {
+		t.Errorf("msg = %q", m["msg"])
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Event("anything", A("k", "v")) // must not panic
+	if j.Run() != "" || j.Err() != nil {
+		t.Error("nil journal must report empty run and no error")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestJournalKeepsFirstError(t *testing.T) {
+	want := errors.New("disk full")
+	j := NewJournal(failWriter{err: want}, "r")
+	j.Event("a")
+	j.Event("b")
+	if got := j.Err(); !errors.Is(got, want) {
+		t.Errorf("Err() = %v, want %v", got, want)
+	}
+}
+
+func TestJournalConcurrentSeq(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	j := NewJournal(lockedWriter, "r")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j.Event("tick")
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	mu.Unlock()
+	if len(lines) != 32 {
+		t.Fatalf("got %d lines, want 32", len(lines))
+	}
+	seen := map[int]bool{}
+	for _, line := range lines {
+		var m struct {
+			Seq int `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatal(err)
+		}
+		if seen[m.Seq] {
+			t.Errorf("duplicate seq %d", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one scalar metric reading — the unit of metrics federation.
+// Workers embed samples in shard responses and serve them on /metrics;
+// the coordinator republishes them under fleet_-prefixed names with a
+// worker label (see internal/dist). Histogram series do not travel as
+// samples: cross-process bucket merging needs aligned layouts, and the
+// fleet rollup only promises scalar families.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Samples snapshots every counter, gauge, and callback-backed series in
+// the registry as scalar samples, sorted by name then rendered labels.
+// Histogram families are skipped (see Sample). Nil-safe.
+func (r *Registry) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	type keyed struct {
+		key string
+		s   Sample
+		fn  func() float64
+	}
+	// Copy series pointers and callbacks under the lock; run the callbacks
+	// after unlocking, since they may call back into subsystems that take
+	// their own locks (the same discipline WritePrometheus follows).
+	r.mu.Lock()
+	var out []keyed
+	for _, f := range r.families {
+		if f.kind == kindHistogram {
+			continue
+		}
+		for key, s := range f.series {
+			k := keyed{key: f.name + key, s: Sample{Name: f.name, Labels: append([]Label(nil), s.labels...)}}
+			switch {
+			case s.fn != nil:
+				k.fn = s.fn
+			case s.counter != nil:
+				k.s.Value = s.counter.Value()
+			case s.gauge != nil:
+				k.s.Value = s.gauge.Value()
+			}
+			out = append(out, k)
+		}
+	}
+	r.mu.Unlock()
+	for i := range out {
+		if out[i].fn != nil {
+			out[i].s.Value = out[i].fn()
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].key < out[b].key })
+	samples := make([]Sample, len(out))
+	for j, k := range out {
+		samples[j] = k.s
+	}
+	return samples
+}
+
+// ParsePrometheus parses text in the Prometheus exposition format into
+// scalar samples. It is the scrape half of metrics federation: the
+// coordinator GETs a worker's /metrics and republishes what it finds.
+// Comment lines, blank lines, unparsable lines, and histogram bucket
+// series (any series carrying an le label) are skipped; _sum/_count
+// series pass through as plain scalars.
+func ParsePrometheus(text string) []Sample {
+	var out []Sample
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, valueStr, ok := splitPromLine(line)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			continue
+		}
+		isBucket := false
+		for _, l := range labels {
+			if l.Name == "le" {
+				isBucket = true
+				break
+			}
+		}
+		if isBucket {
+			continue
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: v})
+	}
+	return out
+}
+
+// splitPromLine splits `name{a="b",c="d"} 42` (labels optional) into its
+// parts. Label values may contain escaped quotes, backslashes, and \n.
+func splitPromLine(line string) (name string, labels []Label, value string, ok bool) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return "", nil, "", false
+		}
+		return line[:sp], nil, strings.TrimSpace(line[sp:]), true
+	}
+	name = line[:brace]
+	rest := line[brace+1:]
+	for {
+		rest = strings.TrimLeft(rest, ", \t")
+		if rest == "" {
+			return "", nil, "", false
+		}
+		if rest[0] == '}' {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, "", false
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		lval, remaining, vok := readQuoted(rest[eq+2:])
+		if !vok {
+			return "", nil, "", false
+		}
+		labels = append(labels, Label{Name: lname, Value: lval})
+		rest = remaining
+	}
+	return name, labels, strings.TrimSpace(rest), true
+}
+
+// readQuoted consumes an exposition-format quoted string body (opening
+// quote already consumed), returning the unescaped value and what
+// follows the closing quote.
+func readQuoted(s string) (value, rest string, ok bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], true
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplesSkipHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "h", L("endpoint", "/v1/analyze")).Add(3)
+	r.Gauge("queue_depth", "h").Set(2)
+	r.GaugeFunc("goroutines", "h", func() float64 { return 7 })
+	r.Histogram("latency_seconds", "h", LatencyBuckets).Observe(0.01)
+
+	samples := r.Samples()
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if _, ok := byName["latency_seconds"]; ok {
+		t.Error("histogram series must not appear in Samples()")
+	}
+	if got := byName["reqs_total"]; got.Value != 3 || len(got.Labels) != 1 || got.Labels[0] != L("endpoint", "/v1/analyze") {
+		t.Errorf("reqs_total = %+v", got)
+	}
+	if byName["queue_depth"].Value != 2 {
+		t.Errorf("queue_depth = %+v", byName["queue_depth"])
+	}
+	if byName["goroutines"].Value != 7 {
+		t.Errorf("goroutines (callback) = %+v", byName["goroutines"])
+	}
+	// Deterministic order: sorted by name+labels.
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1].Name > samples[i].Name {
+			t.Errorf("samples out of order: %q after %q", samples[i].Name, samples[i-1].Name)
+		}
+	}
+	var nilReg *Registry
+	if nilReg.Samples() != nil {
+		t.Error("nil registry must return nil samples")
+	}
+}
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", L("endpoint", "/v1/analyze"), L("code", "200")).Add(5)
+	r.Gauge("up", "is up").Set(1)
+	r.Histogram("lat", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := ParsePrometheus(buf.String())
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if got := byName["reqs_total"]; got.Value != 5 || len(got.Labels) != 2 {
+		t.Errorf("reqs_total = %+v", got)
+	}
+	if byName["up"].Value != 1 {
+		t.Errorf("up = %+v", byName["up"])
+	}
+	if _, ok := byName["lat_bucket"]; ok {
+		t.Error("le-labeled bucket series must be dropped")
+	}
+	// _sum/_count pass through as scalars.
+	if byName["lat_sum"].Value != 0.5 || byName["lat_count"].Value != 1 {
+		t.Errorf("lat_sum/count = %+v / %+v", byName["lat_sum"], byName["lat_count"])
+	}
+}
+
+func TestParsePrometheusHostile(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP x y",
+		"# TYPE x counter",
+		"",
+		"x 1",
+		`y{a="with \"quotes\" and \\slash\\ and \n newline"} 2.5`,
+		"garbage line without value",
+		`z{unterminated="oops 3`,
+		`w{} 4`,
+		"nan_metric NaN",
+	}, "\n")
+	samples := ParsePrometheus(in)
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if byName["x"].Value != 1 {
+		t.Errorf("x = %+v", byName["x"])
+	}
+	y := byName["y"]
+	if len(y.Labels) != 1 || y.Labels[0].Value != "with \"quotes\" and \\slash\\ and \n newline" || y.Value != 2.5 {
+		t.Errorf("y = %+v", y)
+	}
+	if byName["w"].Value != 4 {
+		t.Errorf("w (empty label set) = %+v", byName["w"])
+	}
+	if _, ok := byName["z"]; ok {
+		t.Error("unterminated label string must be skipped")
+	}
+	if _, ok := byName["garbage"]; ok {
+		t.Error("garbage must be skipped")
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"go_goroutines ",
+		"go_heap_alloc_bytes ",
+		"go_gc_pause_seconds_total ",
+		"go_gc_cycles_total ",
+		`go_sched_latency_seconds{q="0.5"}`,
+		`go_sched_latency_seconds{q="0.99"}`,
+		`deviantd_build_info{go="`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q in:\n%s", want, out)
+		}
+	}
+	// Goroutine count must be live and positive.
+	samples := r.Samples()
+	for _, s := range samples {
+		if s.Name == "go_goroutines" && s.Value < 1 {
+			t.Errorf("go_goroutines = %v, want >= 1", s.Value)
+		}
+		if s.Name == "deviantd_build_info" && s.Value != 1 {
+			t.Errorf("deviantd_build_info = %v, want 1", s.Value)
+		}
+	}
+	RegisterRuntimeMetrics(nil) // must not panic
+}

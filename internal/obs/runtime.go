@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics registers callback-backed Go runtime
+// self-metrics on the registry, sampled at scrape time:
+//
+//	go_goroutines                     current goroutine count
+//	go_heap_alloc_bytes              live heap bytes (HeapAlloc)
+//	go_gc_pause_seconds_total        cumulative stop-the-world pause time
+//	go_gc_cycles_total               completed GC cycles
+//	go_sched_latency_seconds{q=...}  p50/p99 goroutine scheduling latency
+//
+// plus a deviantd_build_info gauge pinned at 1 whose version/go labels
+// carry the binary's identity — the standard build-info idiom, so a
+// metrics browser can tell which build each fleet member runs. Nil-safe.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative garbage collection stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	r.CounterFunc("go_gc_cycles_total", "Completed garbage collection cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.GaugeFunc("go_sched_latency_seconds", "Approximate goroutine scheduling latency quantile.",
+		func() float64 { return schedLatencyQuantile(0.50) }, L("q", "0.5"))
+	r.GaugeFunc("go_sched_latency_seconds", "Approximate goroutine scheduling latency quantile.",
+		func() float64 { return schedLatencyQuantile(0.99) }, L("q", "0.99"))
+
+	b := BuildInfo()
+	r.Gauge("deviantd_build_info",
+		"Build identity of this process; always 1, the labels carry the data.",
+		L("version", b.Version), L("go", b.GoVersion)).Set(1)
+}
+
+// schedLatencyQuantile reads the runtime's goroutine scheduling latency
+// distribution and returns an approximate quantile (seconds). Returns 0
+// if the runtime does not expose the histogram.
+func schedLatencyQuantile(q float64) float64 {
+	sample := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sample[0].Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i] and Buckets[i+1] bound bucket i; the first and
+			// last bounds may be ±Inf, so fall back to the finite edge.
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			switch {
+			case math.IsInf(lo, -1):
+				return hi
+			case math.IsInf(hi, 1):
+				return lo
+			default:
+				return (lo + hi) / 2
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stitchTrace decodes a WriteChromeTrace export for assertions.
+type stitchEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+func decodeTrace(t *testing.T, tr *Tracer) []stitchEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []stitchEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return out.TraceEvents
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("frontend", A("units", "3"))
+	u := sp.Fork("unit", A("file", "a.c"))
+	u.End()
+	sp.End()
+
+	ex := tr.Export()
+	if ex == nil {
+		t.Fatal("Export returned nil on a live tracer")
+	}
+	if ex.DurNs <= 0 {
+		t.Errorf("DurNs = %d, want > 0", ex.DurNs)
+	}
+	if len(ex.Spans) != 2 {
+		t.Fatalf("got %d wire spans, want 2", len(ex.Spans))
+	}
+	for _, s := range ex.Spans {
+		if s.EndNs < s.StartNs {
+			t.Errorf("span %q ends before it starts", s.Name)
+		}
+	}
+	// The wire form must survive JSON (it rides inside shard responses).
+	raw, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceExport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 2 || back.Spans[0].Name != ex.Spans[0].Name {
+		t.Errorf("round trip lost spans: %+v", back)
+	}
+
+	var nilTr *Tracer
+	if nilTr.Export() != nil {
+		t.Error("nil tracer must export nil")
+	}
+	if nilTr.Elapsed() != 0 {
+		t.Error("nil tracer Elapsed must be 0")
+	}
+}
+
+// TestStitchedProcessLanes is the lane-collision regression test: a
+// worker whose lane ids overlap the coordinator's must still render on
+// its own pid, with deterministic pid assignment by sorted worker name
+// and process_name metadata labeling every process.
+func TestStitchedProcessLanes(t *testing.T) {
+	coord := NewTracer()
+	root := coord.Start("analyze") // coordinator lane 0
+	fork := root.Fork("scatter")   // coordinator lane 1
+	fork.End()
+	root.End()
+
+	// Both workers also use lanes 0 and 1 — guaranteed collision if
+	// stitched spans shared the coordinator's lane namespace.
+	worker := func() *TraceExport {
+		wt := NewTracer()
+		sp := wt.Start("shard")
+		u := sp.Fork("unit")
+		u.End()
+		sp.End()
+		return wt.Export()
+	}
+	// Import out of sorted order to prove pid order follows the name.
+	coord.ImportProcess("worker-b", 2*time.Millisecond, worker())
+	coord.ImportProcess("worker-a", 1*time.Millisecond, worker())
+
+	events := decodeTrace(t, coord)
+
+	pidsByName := map[string]int{}
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			pidsByName[ev.Args["name"]] = ev.Pid
+		}
+	}
+	want := map[string]int{CoordinatorProcessName: 1, "worker-a": 2, "worker-b": 3}
+	for name, pid := range want {
+		if pidsByName[name] != pid {
+			t.Errorf("process %q got pid %d, want %d (all: %v)", name, pidsByName[name], pid, pidsByName)
+		}
+	}
+
+	// Every span event's (pid, tid) pair must be unique per concurrent
+	// region; at minimum no worker span may land on pid 1.
+	perPid := map[int][]string{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		perPid[ev.Pid] = append(perPid[ev.Pid], ev.Name)
+	}
+	if got := strings.Join(perPid[1], ","); got != "analyze,scatter" && got != "scatter,analyze" {
+		t.Errorf("coordinator pid 1 spans = %v", perPid[1])
+	}
+	for _, pid := range []int{2, 3} {
+		names := strings.Join(perPid[pid], ",")
+		if !strings.Contains(names, "shard") || !strings.Contains(names, "unit") {
+			t.Errorf("worker pid %d spans = %v, want shard+unit", pid, perPid[pid])
+		}
+	}
+
+	// Offsets shift imported timestamps onto the local timeline.
+	for _, ev := range events {
+		if ev.Ph == "X" && ev.Pid == 2 && ev.Name == "shard" {
+			if ev.Ts < 1000 { // worker-a offset = 1ms = 1000µs
+				t.Errorf("worker-a shard ts = %v µs, want >= 1000", ev.Ts)
+			}
+		}
+	}
+}
+
+// TestSingleProcessTraceUnchanged pins that a trace with no imports
+// emits no metadata events — the pre-stitching byte format.
+func TestSingleProcessTraceUnchanged(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("analyze")
+	sp.End()
+	for _, ev := range decodeTrace(t, tr) {
+		if ev.Ph != "X" {
+			t.Errorf("single-process trace emitted a %q event", ev.Ph)
+		}
+		if ev.Pid != 1 {
+			t.Errorf("single-process span on pid %d, want 1", ev.Pid)
+		}
+	}
+}
+
+// TestImportProcessMergesByName: a worker answering two scatter rounds
+// is still one process lane.
+func TestImportProcessMergesByName(t *testing.T) {
+	coord := NewTracer()
+	mk := func(name string) *TraceExport {
+		wt := NewTracer()
+		s := wt.Start(name)
+		s.End()
+		return wt.Export()
+	}
+	coord.ImportProcess("w", 0, mk("round1"))
+	coord.ImportProcess("w", 0, mk("round2"))
+	imp := coord.Imported()
+	if len(imp) != 1 {
+		t.Fatalf("got %d imported processes, want 1", len(imp))
+	}
+	if len(imp[0].Spans) != 2 {
+		t.Errorf("merged process has %d spans, want 2", len(imp[0].Spans))
+	}
+	// Nil export and nil tracer are no-ops.
+	coord.ImportProcess("x", 0, nil)
+	if len(coord.Imported()) != 1 {
+		t.Error("nil export must not create a process")
+	}
+	var nilTr *Tracer
+	nilTr.ImportProcess("w", 0, mk("z"))
+	if nilTr.Imported() != nil {
+		t.Error("nil tracer must report no imports")
+	}
+}

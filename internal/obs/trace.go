@@ -22,10 +22,11 @@ import (
 // Attr is one key/value annotation on a span. Attrs are part of a span's
 // identity for the determinism tests (the set of (name, attrs) pairs a
 // run emits must not depend on the worker count), so values must be
-// derived from the input, never from scheduling.
+// derived from the input, never from scheduling. The JSON tags are the
+// shard wire format: worker span streams travel inside shard responses.
 type Attr struct {
-	Key   string
-	Value string
+	Key   string `json:"k"`
+	Value string `json:"v"`
 }
 
 // A is shorthand for constructing an Attr.
@@ -55,10 +56,22 @@ type Tracer struct {
 	done      []SpanInfo
 	freeLanes []int
 	nextLane  int
+	imported  []importedProcess
 }
 
 // NewTracer returns a tracer whose clock starts now.
 func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// Elapsed returns how long the tracer's clock has been running. The
+// value is monotonic (Go's time.Time carries the monotonic reading), so
+// it is safe to use as an anchor when aligning a remote span stream
+// onto this tracer's timeline. Zero on a nil tracer.
+func (t *Tracer) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
 
 func (t *Tracer) acquireLane() int {
 	t.mu.Lock()
@@ -161,6 +174,109 @@ func (t *Tracer) Spans() []SpanInfo {
 	return out
 }
 
+// WireSpan is one finished span in wire form: times are nanosecond
+// offsets from the owning tracer's start, so a stream is meaningful on
+// any machine once the receiver knows where that start sits on its own
+// timeline (see Tracer.ImportProcess).
+type WireSpan struct {
+	Name    string `json:"name"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+	Lane    int    `json:"lane"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// TraceExport is a tracer's finished spans plus the monotonic clock
+// anchor a receiver needs to align them: DurNs is how long the tracer's
+// clock had been running at export time. A coordinator that measured
+// the request round trip can place the worker's tracer start at
+// send + (rtt - DurNs)/2 on its own timeline — the classic symmetric-
+// delay offset estimate — and every span offset follows.
+type TraceExport struct {
+	DurNs int64      `json:"dur_ns"`
+	Spans []WireSpan `json:"spans,omitempty"`
+}
+
+// Export snapshots the tracer's finished spans in wire form. Nil on a
+// nil tracer. Imported foreign spans are not re-exported: stitching is
+// one level deep (workers export, the coordinator imports), matching
+// the fleet's one-coordinator topology.
+func (t *Tracer) Export() *TraceExport {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	ex := &TraceExport{DurNs: t.Elapsed().Nanoseconds(), Spans: make([]WireSpan, len(spans))}
+	for i, s := range spans {
+		ex.Spans[i] = WireSpan{
+			Name:    s.Name,
+			Attrs:   s.Attrs,
+			Lane:    s.Lane,
+			StartNs: s.Start.Nanoseconds(),
+			EndNs:   s.End.Nanoseconds(),
+		}
+	}
+	return ex
+}
+
+// importedProcess is one foreign span stream stitched into this trace:
+// a remote process's exported spans plus where its tracer start sits on
+// the local timeline.
+type importedProcess struct {
+	name   string
+	offset time.Duration
+	spans  []WireSpan
+}
+
+// ImportProcess stitches a foreign span stream into this trace under
+// the given process name, with the foreign tracer's start placed at
+// offset on this tracer's timeline. Importing the same name again
+// appends to that process's stream (a worker answering both scatter
+// rounds is still one process). Safe for concurrent use; no-op on a
+// nil tracer or nil export.
+//
+// Imported spans render as their own Perfetto process lane (see
+// WriteChromeTrace), so their lane ids live in a per-process namespace
+// and can never collide with this tracer's own Child/Fork lanes.
+func (t *Tracer) ImportProcess(name string, offset time.Duration, ex *TraceExport) {
+	if t == nil || ex == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.imported {
+		if t.imported[i].name == name {
+			t.imported[i].spans = append(t.imported[i].spans, ex.Spans...)
+			return
+		}
+	}
+	t.imported = append(t.imported, importedProcess{name: name, offset: offset, spans: append([]WireSpan(nil), ex.Spans...)})
+}
+
+// ImportedProcess is a read-only view of one stitched foreign process.
+type ImportedProcess struct {
+	Name   string
+	Offset time.Duration
+	Spans  []WireSpan
+}
+
+// Imported returns copies of the stitched foreign processes, sorted by
+// name (the same deterministic order WriteChromeTrace assigns process
+// ids in).
+func (t *Tracer) Imported() []ImportedProcess {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ImportedProcess, len(t.imported))
+	for i, p := range t.imported {
+		out[i] = ImportedProcess{Name: p.name, Offset: p.offset, Spans: append([]WireSpan(nil), p.spans...)}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // chromeEvent is one Chrome trace-event ("X" = complete event). Perfetto
 // and chrome://tracing load a JSON object holding a traceEvents array of
 // these; ts/dur are microseconds.
@@ -179,12 +295,26 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// CoordinatorProcessName labels the local process's lane group in a
+// stitched multi-process trace.
+const CoordinatorProcessName = "coordinator"
+
 // WriteChromeTrace writes the finished spans as Chrome trace-event JSON,
 // loadable directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
 // Events are sorted by start time so the output is stable for a given
 // span recording.
+//
+// Local spans render on process id 1. Foreign span streams stitched in
+// with ImportProcess each get their own process id, assigned 2, 3, ...
+// in sorted process-name order — a deterministic per-worker lane
+// namespace, so a worker's lane 0 can never collide with the
+// coordinator's lane 0 or another worker's. When any foreign process is
+// present, process_name metadata events label every lane group (the
+// local one as "coordinator"), which Perfetto renders as one process
+// track per fleet member.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
+	imported := t.Imported()
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
 		ev := chromeEvent{
@@ -203,15 +333,48 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		events = append(events, ev)
 	}
+	for pi, p := range imported {
+		pid := 2 + pi // Imported() sorts by name, so ids are deterministic.
+		for _, s := range p.Spans {
+			ev := chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Ts:   float64((p.Offset + time.Duration(s.StartNs)).Nanoseconds()) / 1e3,
+				Dur:  float64(s.EndNs-s.StartNs) / 1e3,
+				Pid:  pid,
+				Tid:  s.Lane,
+			}
+			if len(s.Attrs) > 0 {
+				ev.Args = make(map[string]string, len(s.Attrs))
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			events = append(events, ev)
+		}
+	}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].Ts != events[j].Ts {
 			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
 		}
 		if events[i].Tid != events[j].Tid {
 			return events[i].Tid < events[j].Tid
 		}
 		return events[i].Name < events[j].Name
 	})
+	if len(imported) > 0 {
+		// Only a stitched trace gets metadata events, so a single-process
+		// trace's bytes are unchanged from before stitching existed.
+		meta := make([]chromeEvent, 0, 1+len(imported))
+		meta = append(meta, chromeEvent{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]string{"name": CoordinatorProcessName}})
+		for pi, p := range imported {
+			meta = append(meta, chromeEvent{Name: "process_name", Ph: "M", Pid: 2 + pi, Args: map[string]string{"name": p.Name}})
+		}
+		events = append(meta, events...)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deviant/internal/dist"
+)
+
+// newFleetServer builds a coordinator Server over n in-process worker
+// Servers wired through their HTTP handlers.
+func newFleetServer(t *testing.T, n int, cfg Config) *Server {
+	t.Helper()
+	workers := make([]dist.Worker, n)
+	for i := range workers {
+		workers[i] = dist.Worker{
+			Name:   fmt.Sprintf("w%d", i),
+			Caller: httpShardCaller{h: New(Config{})},
+		}
+	}
+	coord, err := dist.NewCoordinator(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Coordinator = coord
+	return New(cfg)
+}
+
+// TestFleetStatusEndpoint pins GET /v1/fleet/status: a coordinator
+// serves ring composition and per-worker health (all healthy after a
+// clean run, each with a scatter latency), and a standalone server does
+// not expose the route at all.
+func TestFleetStatusEndpoint(t *testing.T) {
+	fleet := newFleetServer(t, 3, Config{})
+	analyze(t, fleet, svcSources())
+
+	rr, body := getPath(t, fleet, "/v1/fleet/status")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fleet status: %d: %s", rr.Code, body)
+	}
+	var st dist.FleetStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("fleet status: %v\n%s", err, body)
+	}
+	if st.Size != 3 || st.Healthy != 3 || len(st.Workers) != 3 {
+		t.Fatalf("fleet status = %+v, want 3/3 healthy", st)
+	}
+	scattered := 0
+	for i, w := range st.Workers {
+		if w.Name != fmt.Sprintf("w%d", i) {
+			t.Fatalf("workers not sorted: %+v", st.Workers)
+		}
+		if !w.Healthy || w.LastError != "" {
+			t.Fatalf("worker %s unhealthy after clean run: %+v", w.Name, w)
+		}
+		if w.LastScatterSeconds > 0 {
+			scattered++
+		}
+	}
+	if scattered == 0 {
+		t.Fatal("no worker recorded a scatter latency")
+	}
+
+	single := New(Config{})
+	if rr, _ := getPath(t, single, "/v1/fleet/status"); rr.Code != http.StatusNotFound {
+		t.Fatalf("standalone server serves fleet status: %d", rr.Code)
+	}
+}
+
+// TestFederationViaShardResponses checks the piggyback half of metrics
+// federation: worker metric samples ride shard responses, so after one
+// fleet run — no prober involved — the coordinator's /metrics carries
+// fleet_-rolled-up families labeled by worker, including the workers'
+// go_* self-metrics.
+func TestFederationViaShardResponses(t *testing.T) {
+	fleet := newFleetServer(t, 2, Config{})
+	analyze(t, fleet, svcSources())
+
+	rr, body := getPath(t, fleet, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rr.Code)
+	}
+	for _, want := range []string{
+		`fleet_go_goroutines{worker="w`,
+		`fleet_deviantd_build_info`,
+		`fleet_deviantd_requests_total`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("coordinator /metrics missing %q", want)
+		}
+	}
+}
+
+// TestRuntimeSelfMetrics pins the go_* families and the build-info
+// gauge every deviantd role serves.
+func TestRuntimeSelfMetrics(t *testing.T) {
+	s := New(Config{})
+	rr, body := getPath(t, s, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rr.Code)
+	}
+	for _, want := range []string{
+		"go_goroutines ",
+		"go_heap_alloc_bytes ",
+		"go_gc_cycles_total ",
+		`go_sched_latency_seconds{q="0.99"}`,
+		`deviantd_build_info{`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q:\n%s", want, body[:min(len(body), 600)])
+		}
+	}
+}
+
+// journalLine is one decoded run-journal event.
+type journalLine struct {
+	Run   string `json:"run"`
+	Seq   int    `json:"seq"`
+	Event string `json:"event"`
+}
+
+func decodeJournal(t *testing.T, buf *bytes.Buffer) []journalLine {
+	t.Helper()
+	var lines []journalLine
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if l == "" {
+			continue
+		}
+		var jl journalLine
+		if err := json.Unmarshal([]byte(l), &jl); err != nil {
+			t.Fatalf("journal line not JSON: %v\n%s", err, l)
+		}
+		lines = append(lines, jl)
+	}
+	return lines
+}
+
+// TestRunJournalRequestID pins the run-journal contract on a daemon: a
+// journaled /v1/analyze emits run_start → rank → run_end, and every
+// line carries the adopted X-Deviant-Request-Id as its run key.
+func TestRunJournalRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Config{JournalWriter: &buf})
+
+	payload, err := json.Marshal(AnalyzeRequest{Sources: svcSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(payload))
+	req.Header.Set(dist.RequestIDHeader, "jr-e2e-0001")
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", rr.Code, rr.Body.Bytes())
+	}
+
+	lines := decodeJournal(t, &buf)
+	if len(lines) == 0 {
+		t.Fatal("journaled run wrote no events")
+	}
+	for i, l := range lines {
+		if l.Run != "jr-e2e-0001" {
+			t.Fatalf("line %d run = %q, want the adopted request id", i, l.Run)
+		}
+		if l.Seq != i {
+			t.Fatalf("line %d seq = %d, want monotonic from 0", i, l.Seq)
+		}
+	}
+	if lines[0].Event != "run_start" || lines[len(lines)-1].Event != "run_end" {
+		t.Fatalf("journal not bracketed by run_start/run_end: %+v", lines)
+	}
+	events := map[string]bool{}
+	for _, l := range lines {
+		events[l.Event] = true
+	}
+	if !events["rank"] {
+		t.Fatalf("journal missing rank event: %+v", lines)
+	}
+}
+
+// TestRunJournalCoordinator checks the fleet vocabulary: a coordinator
+// run journals placement, shard lifecycle and merge between run_start
+// and run_end, still all under one request id.
+func TestRunJournalCoordinator(t *testing.T) {
+	var buf bytes.Buffer
+	fleet := newFleetServer(t, 2, Config{JournalWriter: &buf})
+
+	payload, err := json.Marshal(AnalyzeRequest{Sources: svcSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(payload))
+	req.Header.Set(dist.RequestIDHeader, "jr-fleet-0001")
+	rr := httptest.NewRecorder()
+	fleet.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", rr.Code, rr.Body.Bytes())
+	}
+
+	lines := decodeJournal(t, &buf)
+	events := map[string]int{}
+	for _, l := range lines {
+		if l.Run != "jr-fleet-0001" {
+			t.Fatalf("journal line under wrong run: %+v", l)
+		}
+		events[l.Event]++
+	}
+	if events["run_start"] != 1 || events["run_end"] != 1 || events["merge"] != 1 {
+		t.Fatalf("event counts: %v", events)
+	}
+	if events["placement"] == 0 || events["shard_sent"] == 0 ||
+		events["shard_sent"] != events["shard_returned"] {
+		t.Fatalf("fleet lifecycle events missing or unbalanced: %v", events)
+	}
+}

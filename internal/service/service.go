@@ -14,6 +14,8 @@
 //	                  the shard's units, return mergeable partials
 //	POST /v1/diff     §4.2 cross-version check of two trees
 //	GET  /v1/rules    derived rule instances from the last analysis
+//	GET  /v1/fleet/status  (coordinator mode) ring composition,
+//	                  per-worker health/build info, last-scatter latency
 //	GET  /healthz     liveness + build info (503 while draining)
 //	GET  /metrics     Prometheus text format with HELP/TYPE metadata:
 //	                  request latency histograms per endpoint, queue
@@ -42,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -90,8 +93,16 @@ type Config struct {
 	// sources shard across the fleet by content digest and the global
 	// half of the pipeline runs here over the merged partials. The
 	// local snapshot store is unused in this mode (frontend caching
-	// lives on the workers). /v1/diff always runs locally.
+	// lives on the workers). /v1/diff always runs locally. It also
+	// enables GET /v1/fleet/status, the ring/health/build summary.
 	Coordinator *dist.Coordinator
+	// JournalWriter, when non-nil, receives one JSONL run-journal line
+	// per event (run start, placement, shard lifecycle, quarantine,
+	// rank, run end), every line keyed by the run's request id — the
+	// adopted X-Deviant-Request-Id for distributed runs. Writes from
+	// concurrent runs interleave at line granularity (each event is one
+	// Write call). The caller owns the writer's lifecycle.
+	JournalWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +175,7 @@ func New(cfg Config) *Server {
 	s.initMetrics()
 	if cfg.Coordinator != nil {
 		cfg.Coordinator.RegisterMetrics(s.reg)
+		s.mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
@@ -172,6 +184,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// journalFor returns a run journal bound to this request's id, or nil
+// when journaling is off. Each run gets its own Journal (own seq
+// counter); all runs share the configured writer.
+func (s *Server) journalFor(ctx context.Context) *obs.Journal {
+	if s.cfg.JournalWriter == nil {
+		return nil
+	}
+	return obs.NewJournal(s.cfg.JournalWriter, requestID(ctx))
 }
 
 // initMetrics declares the server's metric families. Handler-owned
@@ -222,6 +244,10 @@ func (s *Server) initMetrics() {
 	for _, ep := range []string{"analyze", "shard", "diff", "rules", "healthz", "metrics"} {
 		s.latencyFor(ep)
 	}
+	// Go runtime self-metrics + the build-info gauge, for every role:
+	// fleet debugging needs to see each process's goroutines, heap, GC
+	// behavior and build identity from its own /metrics.
+	obs.RegisterRuntimeMetrics(s.reg)
 }
 
 // latencyFor returns the request-latency histogram for one endpoint.
@@ -243,6 +269,8 @@ func endpointOf(path string) string {
 		return "diff"
 	case "/v1/rules":
 		return "rules"
+	case "/v1/fleet/status":
+		return "fleet_status"
 	case "/healthz":
 		return "healthz"
 	case "/metrics":
@@ -699,6 +727,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			deviant.A("id", requestID(r.Context())),
 			deviant.A("endpoint", "analyze"))
 	}
+	journal := s.journalFor(r.Context())
+	opts.Journal = journal
+	mode := "local"
+	if s.cfg.Coordinator != nil {
+		mode = "coordinator"
+	}
+	journal.Event("run_start",
+		obs.A("endpoint", "analyze"), obs.A("mode", mode),
+		obs.A("units", strconv.Itoa(countUnits(req.Sources))))
 	v, status, msg := s.runAnalysis(r.Context(), func(ctx context.Context) (any, error) {
 		if c := s.cfg.Coordinator; c != nil {
 			// Coordinator mode: same options, same output bytes, but the
@@ -709,6 +746,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 	reqSpan.End()
 	if status != 0 {
+		journal.Event("run_end", obs.A("status", strconv.Itoa(status)))
 		s.writeFailure(w, status, msg)
 		return
 	}
@@ -722,6 +760,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if tr != nil {
 		resp.Trace = exportTrace(tr)
 	}
+	journal.Event("rank",
+		obs.A("reports", strconv.Itoa(len(resp.Reports))),
+		obs.A("functions", strconv.Itoa(res.FuncCount)),
+		obs.A("parse_errors", strconv.Itoa(len(res.ParseErrors))))
+	journal.Event("run_end", obs.A("status", "200"))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -756,7 +799,19 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.writeFailure(w, status, msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*dist.ShardResponse))
+	resp := v.(*dist.ShardResponse)
+	// Piggyback this worker's scalar metric families on the response —
+	// the zero-extra-round-trip half of metrics federation (the
+	// coordinator's background scrape is the other half).
+	resp.Metrics = s.reg.Samples()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleetStatus serves the coordinator's fleet summary: ring
+// composition, per-worker health/build identity, last scatter latency.
+// Registered only in coordinator mode.
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Coordinator.Status())
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
