@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fleet-smoke fuzz-smoke soak-smoke chaos-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fleet-smoke jobs-smoke fuzz-smoke soak-smoke chaos-smoke ci
 
 all: build
 
@@ -69,20 +69,32 @@ serve-smoke:
 fleet-smoke:
 	$(GO) test -run 'TestFleetSmoke' -v ./cmd/deviantd
 
-# Native coverage-guided fuzzing of the frontend, 30s per target. Inputs
-# that fail are written by the Go toolchain to the target's
-# testdata/fuzz/<FuzzName>/ directory; check them in as regression seeds.
+# Boot deviantd, run the async job API end to end (submit → poll →
+# result) and bit-compare the job's result body against a synchronous
+# /v1/analyze at equal snapshot warmth, pin the CLI baseline write/use
+# round trip, check job lifecycle events in the run journal, then drain.
+jobs-smoke:
+	$(GO) test -run 'TestJobsSmoke' -v ./cmd/deviantd
+
+# Native coverage-guided fuzzing of the frontend, 30s per target, plus
+# the deterministic eighth-oracle run: report fingerprints must be
+# byte-identical across workers/memo/fleet shapes and invariant under
+# the alpha-rename + function-reorder metamorphic transforms. Inputs
+# that fail a fuzz target are written by the Go toolchain to the
+# target's testdata/fuzz/<FuzzName>/ directory; check them in as
+# regression seeds.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzScanner$$' -fuzztime=$(FUZZTIME) ./internal/ctoken
 	$(GO) test -run='^$$' -fuzz='^FuzzPreprocess$$' -fuzztime=$(FUZZTIME) ./internal/cpp
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/cparse
+	$(GO) test -run 'TestFingerprintOracle' -v ./internal/fuzzgen
 
 # Differential soak: 200 generated adversarial programs through the full
-# pipeline under all seven equivalence oracles (workers, memoization,
+# pipeline under all eight equivalence oracles (workers, memoization,
 # snapshot, metamorphic, quarantine determinism, fleet determinism,
-# no-crash/no-hang). Failing inputs land in testdata/fuzz/deviantfuzz/
-# and reproduce via `deviantfuzz -seed N -n 1`.
+# fingerprint stability, no-crash/no-hang). Failing inputs land in
+# testdata/fuzz/deviantfuzz/ and reproduce via `deviantfuzz -seed N -n 1`.
 soak-smoke:
 	$(GO) run ./cmd/deviantfuzz -n 200 -seed 1
 
@@ -93,4 +105,4 @@ chaos-smoke:
 	$(GO) test -race -run 'Quarantine|Budget|Deadline|Disk|Persistent|Fault|Panic|Retry|TrapBait|Redact|Canonicalize|Injected|Rescatter|AllDead|CorruptAndMissing' \
 		./internal/fault ./internal/core ./internal/snapshot ./internal/service ./internal/client ./internal/fuzzgen ./internal/dist ./cmd/deviant
 
-ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke fleet-smoke bench-json fuzz-smoke soak-smoke chaos-smoke
+ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke fleet-smoke jobs-smoke bench-json fuzz-smoke soak-smoke chaos-smoke

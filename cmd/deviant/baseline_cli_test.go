@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// countStdoutLines runs the built CLI and returns stdout split to lines.
+func runCLI(t *testing.T, bin string, args ...string) []string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("deviant %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+}
+
+// TestBaselineWriteUse drives the adoption workflow end to end through
+// the real binary: record a baseline, then re-run with it — every
+// finding is known, so nothing surfaces; the summary says how many were
+// suppressed; and a fresh finding would still get through (covered by
+// the jobs smoke test against a changed corpus).
+func TestBaselineWriteUse(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{"drv.c": newDrv, "include/k.h": diffHeader})
+	blFile := filepath.Join(t.TempDir(), "known.baseline")
+
+	// A plain run has findings to baseline.
+	base := runCLI(t, bin, "-json", dir)
+	var summary struct {
+		Reports    int `json:"reports"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(base[0]), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Reports == 0 {
+		t.Fatal("corpus produced no reports; baseline test is vacuous")
+	}
+	total := summary.Reports
+
+	// write: same findings printed, baseline recorded on the side.
+	out, err := exec.Command(bin, "-baseline", "write", "-baseline-file", blFile, dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline write: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrote") || !strings.Contains(string(out), blFile) {
+		t.Fatalf("baseline write note missing:\n%s", out)
+	}
+	data, err := os.ReadFile(blFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"format":"deviant-baseline/v1"`) {
+		t.Fatalf("baseline file header malformed: %s", bufio.NewScanner(strings.NewReader(string(data))).Text())
+	}
+
+	// use: everything is known, so the run is silent about it.
+	used := runCLI(t, bin, "-json", "-baseline", "use", "-baseline-file", blFile, dir)
+	if err := json.Unmarshal([]byte(used[0]), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Reports != 0 || summary.Suppressed != total {
+		t.Fatalf("baseline use: %d reports, %d suppressed; want 0 and %d", summary.Reports, summary.Suppressed, total)
+	}
+	for _, line := range used[1:] {
+		if strings.Contains(line, `"rank"`) {
+			t.Fatalf("suppressed finding leaked into output: %s", line)
+		}
+	}
+
+	// Text mode says what the baseline did.
+	text := runCLI(t, bin, "-baseline", "use", "-baseline-file", blFile, dir)
+	joined := strings.Join(text, "\n")
+	if !strings.Contains(joined, "0 reports") || !strings.Contains(joined, "suppressed by baseline") {
+		t.Fatalf("text mode missing suppression note:\n%s", joined)
+	}
+
+	// A missing or corrupt baseline is a hard error, not silence.
+	if err := exec.Command(bin, "-baseline", "use", "-baseline-file", filepath.Join(dir, "absent"), dir).Run(); err == nil {
+		t.Fatal("missing baseline file did not fail the run")
+	}
+	corrupt := filepath.Join(t.TempDir(), "corrupt")
+	if err := os.WriteFile(corrupt, []byte("not a baseline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, "-baseline", "use", "-baseline-file", corrupt, dir).Run(); err == nil {
+		t.Fatal("corrupt baseline file did not fail the run")
+	}
+}
+
+// TestCompactOutput pins the -compact stream: one object per finding,
+// fingerprint-first key order, nothing else on stdout, same finding
+// count as -json.
+func TestCompactOutput(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{"drv.c": newDrv, "include/k.h": diffHeader})
+
+	full := runCLI(t, bin, "-json", dir)
+	var summary struct {
+		Reports int `json:"reports"`
+	}
+	if err := json.Unmarshal([]byte(full[0]), &summary); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := runCLI(t, bin, "-compact", dir)
+	if len(lines) != summary.Reports {
+		t.Fatalf("compact emitted %d lines, -json counted %d reports", len(lines), summary.Reports)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `{"f":"v1:`) {
+			t.Fatalf("compact line not fingerprint-first: %s", line)
+		}
+		var cr struct {
+			F string `json:"f"`
+			C string `json:"c"`
+			P string `json:"p"`
+			M string `json:"m"`
+		}
+		if err := json.Unmarshal([]byte(line), &cr); err != nil {
+			t.Fatalf("compact line not JSON: %s: %v", line, err)
+		}
+		if cr.F == "" || cr.C == "" || cr.P == "" || cr.M == "" {
+			t.Fatalf("compact line missing required fields: %s", line)
+		}
+	}
+
+	// -top bounds the stream.
+	if top := runCLI(t, bin, "-compact", "-top", "1", dir); len(top) != 1 {
+		t.Fatalf("-compact -top 1 emitted %d lines", len(top))
+	}
+}
+
+// TestOnlyChangedDiff pins fingerprint-keyed -diff: identical trees
+// have no changes; the real old/new pair surfaces the regression as new
+// and nothing spurious — position shifts alone must not show up.
+func TestOnlyChangedDiff(t *testing.T) {
+	bin := buildCLI(t)
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	writeTree(t, oldDir, map[string]string{"drv.c": oldDrv, "include/k.h": diffHeader})
+	writeTree(t, newDir, map[string]string{"drv.c": newDrv, "include/k.h": diffHeader})
+
+	same := runCLI(t, bin, "-diff", oldDir, "-only-changed", oldDir)
+	if same[0] != "0 new, 0 fixed since "+oldDir {
+		t.Fatalf("identical trees reported changes: %s", same[0])
+	}
+
+	changed := runCLI(t, bin, "-diff", oldDir, "-only-changed", "-json", newDir)
+	var counts struct {
+		New   int `json:"new"`
+		Fixed int `json:"fixed"`
+	}
+	if err := json.Unmarshal([]byte(changed[0]), &counts); err != nil {
+		t.Fatal(err)
+	}
+	if counts.New == 0 {
+		t.Fatalf("regression between versions not flagged as new:\n%s", strings.Join(changed, "\n"))
+	}
+	sawNew := false
+	for _, line := range changed[1:] {
+		var c struct {
+			Status      string `json:"status"`
+			Fingerprint string `json:"fingerprint"`
+		}
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			t.Fatalf("changed line not JSON: %s: %v", line, err)
+		}
+		if c.Status != "new" && c.Status != "fixed" {
+			t.Fatalf("unexpected status %q in %s", c.Status, line)
+		}
+		if c.Fingerprint == "" {
+			t.Fatalf("changed finding without fingerprint: %s", line)
+		}
+		sawNew = sawNew || c.Status == "new"
+	}
+	if !sawNew {
+		t.Fatal("no new-status line emitted")
+	}
+}
+
+// TestFlagValidation pins usage errors (exit 2) for contradictory flag
+// combinations.
+func TestFlagValidation(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{"drv.c": oldDrv, "include/k.h": diffHeader})
+	bad := [][]string{
+		{"-only-changed", dir},
+		{"-baseline", "bogus", dir},
+		{"-baseline", "use", "-diff", dir, dir},
+		{"-compact", "-json", dir},
+		{"-compact", "-diff", dir, dir},
+	}
+	for _, args := range bad {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("deviant %s: want exit 2, got %v", strings.Join(args, " "), err)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func TestEmitJSONGolden(t *testing.T) {
 	}
 
 	var all bytes.Buffer
-	if err := emitJSONTo(&all, res, 3, ranked, 0); err != nil {
+	if err := emitJSONTo(&all, res, 3, ranked, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join("testdata", "json_out.golden"), all.Bytes())
@@ -44,7 +44,7 @@ func TestEmitJSONGolden(t *testing.T) {
 	// -top truncates the report lines but never the summary, and the
 	// summary still counts everything.
 	var top bytes.Buffer
-	if err := emitJSONTo(&top, res, 3, ranked, 1); err != nil {
+	if err := emitJSONTo(&top, res, 3, ranked, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	wantPrefix := all.Bytes()[:len(topLines(all.Bytes(), 2))]

@@ -34,6 +34,18 @@
 //	-diff OLDDIR  cross-version mode (§4.2): check that <dir> preserves
 //	              the invariants OLDDIR's code implied; prints the drift
 //	              list and then the new version's ranked reports
+//	-only-changed with -diff: compare the two runs by fingerprint and
+//	              emit only new findings (in the new version but not the
+//	              old) and fixed ones (gone from the new version)
+//	-baseline m   "write" records every finding's fingerprint to the
+//	              baseline file after the run; "use" suppresses every
+//	              baselined finding from the output (known findings
+//	              stop interrupting — only deviations from the baseline
+//	              surface)
+//	-baseline-file f  baseline path (default "deviant.baseline")
+//	-compact      one small JSON object per finding ({"f","c","p","m",
+//	              ...}), fingerprint first — the byte-thrifty stream for
+//	              agent consumers
 //	-journal FILE write a JSONL run journal to FILE: run_start,
 //	              per-record quarantine, rank, and run_end events under
 //	              the fixed run id "local" (DESIGN.md §13 schema — the
@@ -91,14 +103,37 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a summary line and reports as JSON lines")
 	trust := flag.Bool("trust", false, "rank with the §5 code-trustworthiness augmentation")
 	diffOld := flag.String("diff", "", "cross-version mode: directory of the OLD version; the positional dir is the new one")
+	onlyChanged := flag.Bool("only-changed", false, "with -diff: emit only new and fixed findings, keyed by fingerprint")
+	baselineMode := flag.String("baseline", "", `baseline mode: "write" records finding fingerprints, "use" suppresses baselined findings`)
+	baselineFile := flag.String("baseline-file", "deviant.baseline", "baseline file for -baseline write|use")
+	compact := flag.Bool("compact", false, "emit compact JSONL findings (one small object per report)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); exit 4 with partial results on overrun")
 	journalPath := flag.String("journal", "", "write a JSONL run journal (run start, quarantine, rank, run end) to this file")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, "deviant: "+msg)
 		fmt.Fprintln(os.Stderr, "usage: deviant [flags] <dir>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		usage("exactly one directory argument required")
+	}
+	if *baselineMode != "" && *baselineMode != "write" && *baselineMode != "use" {
+		usage(`-baseline must be "write" or "use"`)
+	}
+	if *baselineMode != "" && *diffOld != "" {
+		usage("-baseline does not combine with -diff (use -only-changed to see what changed)")
+	}
+	if *onlyChanged && *diffOld == "" {
+		usage("-only-changed requires -diff")
+	}
+	if *compact && *diffOld != "" {
+		usage("-compact does not combine with -diff")
+	}
+	if *compact && *jsonOut {
+		usage("-compact and -json are alternative output modes; pick one")
 	}
 	dir := flag.Arg(0)
 
@@ -146,7 +181,7 @@ func main() {
 
 	if *diffOld != "" {
 		journal.Event("run_start", obs.A("mode", "diff"))
-		parseErrs, deadlineHit, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust)
+		parseErrs, deadlineHit, err := runDiff(os.Stdout, *diffOld, dir, opts, *top, *jsonOut, *trust, *onlyChanged)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -183,7 +218,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !*jsonOut {
+	if !*jsonOut && !*compact {
 		fmt.Printf("%d translation units, %d functions, %d lines\n",
 			len(units), res.FuncCount, res.LineCount)
 	}
@@ -201,14 +236,40 @@ func main() {
 		ranked = res.Reports.RankedWithTrust(res.Reports.TrustFromMustErrors())
 	}
 	rankSpan.End()
+
+	// Baseline handling runs between ranking and presentation: "use"
+	// subtracts the known-finding set before anything is printed;
+	// "write" records the full ranked set and still prints it, so one
+	// run can both adopt a baseline and show what it covers.
+	suppressed := 0
+	if *baselineMode == "use" {
+		bl := readBaselineFile(*baselineFile)
+		kept, supp := report.Partition(ranked, bl)
+		ranked, suppressed = kept, len(supp)
+		journal.Event("baseline",
+			obs.A("file", *baselineFile),
+			obs.A("suppressed", fmt.Sprint(suppressed)))
+	}
+	if *baselineMode == "write" {
+		writeBaselineFile(*baselineFile, ranked)
+	}
+
 	journal.Event("rank",
 		obs.A("reports", fmt.Sprint(len(ranked))),
 		obs.A("functions", fmt.Sprint(res.FuncCount)),
 		obs.A("parse_errors", fmt.Sprint(len(res.ParseErrors))))
-	if *jsonOut {
-		emitJSON(res, len(units), ranked, *top)
+	if *compact {
+		if err := emitCompact(os.Stdout, ranked, *top); err != nil {
+			log.Fatal(err)
+		}
+	} else if *jsonOut {
+		emitJSON(res, len(units), ranked, suppressed, *top)
 	} else {
-		fmt.Printf("%d reports\n", len(ranked))
+		if suppressed > 0 {
+			fmt.Printf("%d reports (%d suppressed by baseline %s)\n", len(ranked), suppressed, *baselineFile)
+		} else {
+			fmt.Printf("%d reports\n", len(ranked))
+		}
 		for i, r := range ranked {
 			if *top > 0 && i >= *top {
 				fmt.Printf("... %d more (rerun with -top 0)\n", len(ranked)-i)
@@ -320,15 +381,18 @@ type jsonSummary struct {
 	Reports     int  `json:"reports"`
 	Degraded    bool `json:"degraded,omitempty"`
 	Quarantined int  `json:"quarantined,omitempty"`
+	// Suppressed counts baselined findings removed by -baseline use;
+	// omitted when no baseline applied, keeping pre-baseline bytes.
+	Suppressed int `json:"suppressed,omitempty"`
 }
 
-func emitJSON(res *deviant.Result, units int, ranked []deviant.Report, top int) {
-	if err := emitJSONTo(os.Stdout, res, units, ranked, top); err != nil {
+func emitJSON(res *deviant.Result, units int, ranked []deviant.Report, suppressed, top int) {
+	if err := emitJSONTo(os.Stdout, res, units, ranked, suppressed, top); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Report, top int) error {
+func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Report, suppressed, top int) error {
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(jsonSummary{
 		Units:       units,
@@ -338,6 +402,7 @@ func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Re
 		Reports:     len(ranked),
 		Degraded:    res.Degraded,
 		Quarantined: len(res.Quarantined),
+		Suppressed:  suppressed,
 	}); err != nil {
 		return err
 	}
@@ -357,6 +422,55 @@ func emitJSONTo(w io.Writer, res *deviant.Result, units int, ranked []deviant.Re
 		}
 	}
 	return nil
+}
+
+// emitCompact renders the compact JSONL stream: one small object per
+// ranked finding, fingerprint first, nothing else on stdout.
+func emitCompact(w io.Writer, ranked []deviant.Report, top int) error {
+	enc := json.NewEncoder(w)
+	for i := range ranked {
+		if top > 0 && i >= top {
+			break
+		}
+		if err := enc.Encode(report.ToCompact(&ranked[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBaselineFile loads the -baseline-file, fatally on any error: a
+// missing or corrupt baseline silently suppressing nothing (or
+// everything) would defeat the point of having one.
+func readBaselineFile(path string) *report.Baseline {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	defer f.Close()
+	bl, err := report.ReadBaseline(f)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	return bl
+}
+
+// writeBaselineFile records every ranked finding's fingerprint. The
+// note goes to stderr so every stdout mode stays machine-clean.
+func writeBaselineFile(path string, ranked []deviant.Report) {
+	bl := report.NewBaseline(ranked)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	if err := bl.Write(f); err != nil {
+		f.Close()
+		log.Fatalf("baseline: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "deviant: baseline: wrote %d fingerprints to %s\n", bl.Len(), path)
 }
 
 func parseCheckers(s string) deviant.Checks {
@@ -448,7 +562,7 @@ type jsonDrift struct {
 // single-version mode. It returns the new version's frontend parse-error
 // count for exit-code purposes, plus whether the -timeout deadline
 // expired during either version's analysis.
-func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, jsonOut, trust bool) (int, bool, error) {
+func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, jsonOut, trust, onlyChanged bool) (int, bool, error) {
 	oldSrcs, err := readTree(oldDir)
 	if err != nil {
 		return 0, false, err
@@ -457,7 +571,7 @@ func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, 
 	if err != nil {
 		return 0, false, err
 	}
-	drifts, newRes, err := deviant.Diff(oldSrcs, newSrcs, opts)
+	drifts, oldRes, newRes, err := deviant.DiffResults(oldSrcs, newSrcs, opts)
 	if err != nil {
 		return 0, false, err
 	}
@@ -473,8 +587,12 @@ func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, 
 		ranked = newRes.Reports.RankedWithTrust(newRes.Reports.TrustFromMustErrors())
 	}
 	rankSpan.End()
+	if onlyChanged {
+		err := emitChanged(w, oldRes.Reports.Ranked(), ranked, oldDir, top, jsonOut)
+		return len(newRes.ParseErrors), newRes.DeadlineExceeded || oldRes.DeadlineExceeded, err
+	}
 	if jsonOut {
-		if err := emitJSONTo(w, newRes, units, ranked, top); err != nil {
+		if err := emitJSONTo(w, newRes, units, ranked, 0, top); err != nil {
 			return 0, false, err
 		}
 		enc := json.NewEncoder(w)
@@ -499,4 +617,53 @@ func runDiff(w io.Writer, oldDir, newDir string, opts deviant.Options, top int, 
 	}
 	printQuarantine(w, newRes)
 	return len(newRes.ParseErrors), newRes.DeadlineExceeded, nil
+}
+
+// jsonChanged is the wire shape of one changed finding in -only-changed
+// mode: its status ("new" or "fixed") followed by the full report.
+type jsonChanged struct {
+	Status string `json:"status"`
+	report.JSONReport
+}
+
+// emitChanged renders the fingerprint-keyed cross-run comparison: only
+// findings whose identities appear in exactly one of the two runs. New
+// findings rank in new-run order, fixed ones in old-run order; -top
+// bounds each list independently.
+func emitChanged(w io.Writer, oldRanked, newRanked []deviant.Report, oldDir string, top int, jsonOut bool) error {
+	newOnly, fixed := report.DiffByFingerprint(oldRanked, newRanked)
+	clip := func(rs []deviant.Report) []deviant.Report {
+		if top > 0 && len(rs) > top {
+			return rs[:top]
+		}
+		return rs
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(struct {
+			New   int `json:"new"`
+			Fixed int `json:"fixed"`
+		}{len(newOnly), len(fixed)}); err != nil {
+			return err
+		}
+		for i, r := range clip(newOnly) {
+			if err := enc.Encode(jsonChanged{"new", report.ToJSON(i+1, &r)}); err != nil {
+				return err
+			}
+		}
+		for i, r := range clip(fixed) {
+			if err := enc.Encode(jsonChanged{"fixed", report.ToJSON(i+1, &r)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "%d new, %d fixed since %s\n", len(newOnly), len(fixed), oldDir)
+	for i, r := range clip(newOnly) {
+		fmt.Fprintf(w, "new %4d. %s\n", i+1, r.String())
+	}
+	for i, r := range clip(fixed) {
+		fmt.Fprintf(w, "fixed %4d. %s\n", i+1, r.String())
+	}
+	return nil
 }

@@ -130,7 +130,7 @@ func TestEmitJSONQuarantine(t *testing.T) {
 		t.Fatal(err)
 	}
 	var cleanBuf bytes.Buffer
-	if err := emitJSONTo(&cleanBuf, clean, 1, clean.Reports.Ranked(), 0); err != nil {
+	if err := emitJSONTo(&cleanBuf, clean, 1, clean.Reports.Ranked(), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(cleanBuf.String(), "degraded") || strings.Contains(cleanBuf.String(), "quarantin") {
@@ -147,7 +147,7 @@ func TestEmitJSONQuarantine(t *testing.T) {
 		t.Fatal("armed cfg trap did not degrade the run")
 	}
 	var buf bytes.Buffer
-	if err := emitJSONTo(&buf, deg, 1, deg.Reports.Ranked(), 0); err != nil {
+	if err := emitJSONTo(&buf, deg, 1, deg.Reports.Ranked(), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestJobsSmoke is `make jobs-smoke`: boot the daemon, run the async
+// job flow end to end — submit with a tenant, poll, fetch the result —
+// and bit-compare the job's result body against a synchronous
+// /v1/analyze of the same tree at equal snapshot warmth. Then pin the
+// baseline workflow on the same corpus through the CLI (write, then
+// use → everything suppressed), check the job lifecycle landed in the
+// run journal, and drain the daemon with SIGTERM.
+func TestJobsSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	daemon := buildBinary(t, tmp, "deviant/cmd/deviantd")
+	cli := buildBinary(t, tmp, "deviant/cmd/deviant")
+	journalPath := filepath.Join(tmp, "journal.jsonl")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(daemon, "-addr", addr, "-journal", journalPath)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("daemon did not come up")
+	}
+
+	body, err := json.Marshal(map[string]any{"sources": map[string]string{
+		"drv.c":            smokeSrc,
+		"include/kernel.h": smokeHeader,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := func(method, path string, payload []byte, tenant string) (int, []byte) {
+		t.Helper()
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if tenant != "" {
+			req.Header.Set("X-Deviant-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, data
+	}
+
+	// Two sync runs: the first warms the snapshot store, the second is
+	// the byte-compare reference — the async job also runs warm, and the
+	// response embeds the run's reuse counters, so only equal-warmth
+	// bodies can be identical.
+	if code, b := do("POST", "/v1/analyze", body, ""); code != http.StatusOK {
+		t.Fatalf("cold analyze: %d: %s", code, b)
+	}
+	code, syncBody := do("POST", "/v1/analyze", body, "")
+	if code != http.StatusOK {
+		t.Fatalf("warm analyze: %d: %s", code, syncBody)
+	}
+
+	// Submit → poll → result.
+	code, sub := do("POST", "/v1/jobs", body, "smoke-tenant")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, sub)
+	}
+	var st struct {
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
+		State  string `json:"state"`
+	}
+	if err := json.Unmarshal(sub, &st); err != nil || st.ID == "" {
+		t.Fatalf("submit status: %v: %s", err, sub)
+	}
+	if st.Tenant != "smoke-tenant" {
+		t.Fatalf("tenant = %q", st.Tenant)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		code, poll := do("GET", "/v1/jobs/"+st.ID, nil, "")
+		if code != http.StatusOK {
+			t.Fatalf("poll: %d: %s", code, poll)
+		}
+		if err := json.Unmarshal(poll, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "failed", "canceled":
+			t.Fatalf("job ended %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	code, jobBody := do("GET", "/v1/jobs/"+st.ID+"/result", nil, "")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, jobBody)
+	}
+	if !bytes.Equal(jobBody, syncBody) {
+		t.Fatalf("async job result differs from synchronous /v1/analyze:\n--- job ---\n%s\n--- sync ---\n%s",
+			jobBody, syncBody)
+	}
+
+	// Baseline round trip through the CLI on the same corpus: write,
+	// then use — every finding is known, so the run reports zero.
+	corpus := filepath.Join(tmp, "corpus")
+	for name, content := range map[string]string{
+		"drv.c":            smokeSrc,
+		"include/kernel.h": smokeHeader,
+	} {
+		path := filepath.Join(corpus, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blFile := filepath.Join(tmp, "smoke.baseline")
+	if out, err := exec.Command(cli, "-baseline", "write", "-baseline-file", blFile, corpus).CombinedOutput(); err != nil {
+		t.Fatalf("baseline write: %v\n%s", err, out)
+	}
+	out, err := exec.Command(cli, "-json", "-baseline", "use", "-baseline-file", blFile, corpus).Output()
+	if err != nil {
+		t.Fatalf("baseline use: %v", err)
+	}
+	var summary struct {
+		Reports    int `json:"reports"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out[:bytes.IndexByte(out, '\n')], &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Reports != 0 || summary.Suppressed == 0 {
+		t.Fatalf("baseline use: %d reports, %d suppressed; want full suppression", summary.Reports, summary.Suppressed)
+	}
+
+	// Drain. The journal is flushed per line, so it is complete once the
+	// daemon exits.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+
+	// The job's lifecycle is in the run journal, keyed by its id.
+	journal, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(journal)), "\n") {
+		var ev struct {
+			Run   string `json:"run"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("journal line not JSON: %s", line)
+		}
+		if ev.Run == st.ID {
+			events[ev.Event] = true
+		}
+	}
+	for _, want := range []string{"job_submitted", "job_start", "rank", "job_end"} {
+		if !events[want] {
+			t.Errorf("journal missing %s for job %s (got %v)", want, st.ID, events)
+		}
+	}
+}

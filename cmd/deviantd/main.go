@@ -17,6 +17,11 @@
 //	-queue N      requests allowed to wait beyond the running ones before
 //	              new ones get 429 (default 8)
 //	-timeout d    per-request queue-wait + analysis budget (default 60s)
+//	-job-queue N  async jobs allowed to wait across all tenants before
+//	              POST /v1/jobs answers 429 (default 16)
+//	-jobs-per-tenant N  one tenant's in-flight job cap, queued plus
+//	              running (default 4)
+//	-job-workers N  jobs executing concurrently (default -concurrent)
 //	-snapshot N   snapshot store capacity in translation units
 //	              (default 1024; higher = more reuse, more memory)
 //	-cache-dir d  persist snapshot artifacts under this directory so a
@@ -43,7 +48,10 @@
 // run; shards across the fleet under -workers-list, and in that mode
 // the trace stitches every worker's spans in as its own process lane),
 // POST /v1/shard (the worker half of a distributed run), POST /v1/diff,
-// GET /v1/rules, GET /v1/fleet/status (coordinator mode: ring +
+// GET /v1/rules, POST /v1/jobs + GET /v1/jobs/{id}[/result] + DELETE
+// /v1/jobs/{id} (the async multi-tenant job API: queued analyses with
+// per-tenant quotas and fair scheduling, results byte-identical to the
+// synchronous path), GET /v1/fleet/status (coordinator mode: ring +
 // per-worker health/build), GET /healthz (liveness + build info),
 // GET /metrics (Prometheus text, including go_* runtime self-metrics
 // and fleet_* federated worker series on a coordinator) — see package
@@ -54,8 +62,10 @@
 // "request" span of a ?trace=1 trace, tying logs to traces.
 //
 // On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
-// balancers stop routing here, new analyses are refused, and the process
-// exits once in-flight requests finish (or after the drain deadline).
+// balancers stop routing here, new analyses and job submissions are
+// refused, already-accepted jobs run to completion, and the process
+// exits once in-flight requests and jobs finish (or after the drain
+// deadline, which cancels whatever is still pending).
 package main
 
 import (
@@ -117,6 +127,9 @@ func main() {
 	concurrent := flag.Int("concurrent", 0, "analyses running at once (0 = 2)")
 	queue := flag.Int("queue", 0, "waiting requests beyond the running ones (0 = 8)")
 	timeout := flag.Duration("timeout", 0, "per-request budget (0 = 60s)")
+	jobQueue := flag.Int("job-queue", 0, "async jobs waiting across all tenants (0 = 16)")
+	jobsPerTenant := flag.Int("jobs-per-tenant", 0, "one tenant's in-flight job cap (0 = 4)")
+	jobWorkers := flag.Int("job-workers", 0, "jobs executing concurrently (0 = -concurrent)")
 	snapshotUnits := flag.Int("snapshot", 0, "snapshot store capacity in units (0 = 1024)")
 	cacheDir := flag.String("cache-dir", "", "persistent snapshot cache directory (empty = memory only)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
@@ -183,6 +196,9 @@ func main() {
 		MaxConcurrent: *concurrent,
 		QueueDepth:    *queue,
 		Timeout:       *timeout,
+		JobQueueDepth: *jobQueue,
+		JobsPerTenant: *jobsPerTenant,
+		JobWorkers:    *jobWorkers,
 		SnapshotUnits: *snapshotUnits,
 		CacheDir:      *cacheDir,
 		Logger:        logger,
@@ -230,6 +246,13 @@ func main() {
 		srv.SetDraining(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		// Jobs drain first: accepted jobs run to completion (the drain
+		// deadline cancels stragglers), and only then does the HTTP
+		// listener close — a poller can still fetch its job's result
+		// until the very end of the drain window.
+		if err := srv.StopJobs(ctx); err != nil {
+			logger.Warn("job drain incomplete, pending jobs canceled", "err", err.Error())
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Fatalf("drain: %v", err)
 		}

@@ -1,13 +1,14 @@
 // deviantfuzz soaks the full analysis pipeline against generated
-// adversarial C programs and seven differential oracles: worker-count
+// adversarial C programs and eight differential oracles: worker-count
 // determinism, memoization soundness, snapshot warm/cold equivalence,
 // metamorphic invariance under alpha-renaming and function reordering,
 // quarantine determinism under armed failpoints (identical fault
 // containment across worker counts and memo on/off, clean bytes once
 // disarmed), fleet determinism (1/2/3-worker coordinator runs must
 // reproduce the single-process bytes, absorb one dead worker, and
-// degrade deterministically when every worker is dead), and
-// no-crash/no-hang.
+// degrade deterministically when every worker is dead), fingerprint
+// stability (report identities byte-identical across workers, memo,
+// fleet shapes and the metamorphic transforms), and no-crash/no-hang.
 //
 // Usage:
 //

@@ -128,16 +128,27 @@ type Drift = version.Drift
 // disciplines, callee-result checks, error-return conventions — and every
 // contradiction in the new version is returned and reported.
 func Diff(oldSources, newSources map[string]string, opts Options) ([]Drift, *Result, error) {
+	drifts, _, newRes, err := DiffResults(oldSources, newSources, opts)
+	return drifts, newRes, err
+}
+
+// DiffResults is Diff exposing both versions' results, so callers can
+// compare the runs by fingerprint (new/fixed findings) as well as by
+// cross-version drift.
+func DiffResults(oldSources, newSources map[string]string, opts Options) ([]Drift, *Result, *Result, error) {
 	oldRes, err := core.New(opts, nil).AnalyzeSources(oldSources)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	newRes, err := core.New(opts, nil).AnalyzeSources(newSources)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	drifts := version.Diff(oldRes.Prog, newRes.Prog, latent.Default(), newRes.Reports)
-	return drifts, newRes, nil
+	// Drift reports joined the collector after analysis stamped
+	// fingerprints; re-stamp so they get identities too.
+	newRes.Reports.SetFingerprints(newRes.Fingerprints)
+	return drifts, oldRes, newRes, nil
 }
 
 // Z computes the paper's ranking statistic z(n, e) with probability p0

@@ -140,6 +140,78 @@ func (c *Client) Diff(ctx context.Context, req service.DiffRequest, opts ...Requ
 	return &resp, nil
 }
 
+// WithTenant names the submitting tenant on a job request, for the
+// server's per-tenant quotas and fair scheduling.
+func WithTenant(tenant string) RequestOption {
+	return WithHeader(service.TenantHeader, tenant)
+}
+
+// SubmitJob queues one analysis asynchronously and returns its handle.
+// Quota and queue-pressure 429s are retried on the usual backoff
+// schedule; once accepted, poll with JobStatus or block with WaitJob.
+func (c *Client) SubmitJob(ctx context.Context, req service.AnalyzeRequest, opts ...RequestOption) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.post(ctx, "/v1/jobs", req, &st, opts); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JobStatus fetches one job's current state.
+func (c *Client) JobStatus(ctx context.Context, id string, opts ...RequestOption) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, opts); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JobResult fetches a finished job's analysis — the same bytes a
+// synchronous Analyze of the same tree would have returned. A job that
+// is not done answers a *StatusError: 409 while queued/running or
+// canceled, 500 for a failed job, 404 for an unknown id.
+func (c *Client) JobResult(ctx context.Context, id string, opts ...RequestOption) (*service.AnalyzeResponse, error) {
+	var resp service.AnalyzeResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &resp, opts); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, id string, opts ...RequestOption) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st, opts); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls a job until it is terminal and returns its result.
+// Each poll rides the client's retry discipline, so a server that
+// answers a probe with 503 (briefly draining, restarting behind a
+// balancer) is retried rather than surfaced. poll <= 0 defaults to
+// 50ms. A canceled or failed job returns the result endpoint's
+// *StatusError; a canceled ctx returns ctx.Err().
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration, opts ...RequestOption) (*service.AnalyzeResponse, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.JobStatus(ctx, id, opts...)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case service.JobDone, service.JobFailed, service.JobCanceled:
+			return c.JobResult(ctx, id, opts...)
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // Rules fetches the rule instances derived by the last analysis.
 func (c *Client) Rules(ctx context.Context, opts ...RequestOption) (*service.RulesResponse, error) {
 	var resp service.RulesResponse
@@ -268,7 +340,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
 			return last
 		}
+		// A canceled backoff sleep means the caller gave up: report the
+		// cancellation, not the transient failure we were waiting out —
+		// callers select on ctx.Err() to distinguish "you stopped me"
+		// from "the server kept refusing".
 		if err := c.sleep(ctx, wait); err != nil {
+			if ce := ctx.Err(); ce != nil {
+				return ce
+			}
 			return last
 		}
 	}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deviant/internal/service"
+)
+
+// Regression: a backoff sleep interrupted by context cancellation must
+// surface ctx.Err(), not the transient failure the client was waiting
+// out. Callers cancel a context to stop the retry loop; getting back
+// "connection refused" made cancellation indistinguishable from the
+// server staying down.
+func TestCanceledBackoffReturnsCtxErr(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // transport errors from now on
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := New(srv.URL)
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the caller gives up mid-backoff
+		return ctx.Err()
+	}
+	_, err := c.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// WaitJob keeps polling through injected 503s: a balancer hiccup or a
+// briefly-draining server must not abort a poll loop that the job will
+// outlive. The 503s are consumed by the per-poll retry discipline,
+// honoring Retry-After.
+func TestWaitJobRetriesInjected503(t *testing.T) {
+	result := `{"units":1,"functions":1,"lines":2,"parse_errors":0,"reports":[],"snapshot":{}}`
+	var statusCalls, faults atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/job-7":
+			// Fault injection: every other status probe is shed with 503.
+			if statusCalls.Add(1)%2 == 1 {
+				faults.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"error":"server is draining"}`, http.StatusServiceUnavailable)
+				return
+			}
+			state := service.JobRunning
+			if statusCalls.Load() >= 4 {
+				state = service.JobDone
+			}
+			json.NewEncoder(w).Encode(service.JobStatus{ID: "job-7", Tenant: "t", State: state})
+		case "/v1/jobs/job-7/result":
+			w.Write([]byte(result))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	waits := tame(c)
+	resp, err := c.WaitJob(context.Background(), "job-7", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Units != 1 {
+		t.Fatalf("result units = %d", resp.Units)
+	}
+	if faults.Load() == 0 {
+		t.Fatal("no 503 was injected; test is vacuous")
+	}
+	// Every injected 503 was waited out on the server's hint, never
+	// surfaced to the caller.
+	hinted := 0
+	for _, w := range *waits {
+		if w == time.Second {
+			hinted++
+		}
+	}
+	if int64(hinted) != faults.Load() {
+		t.Fatalf("%d Retry-After sleeps for %d injected 503s (all waits: %v)",
+			hinted, faults.Load(), *waits)
+	}
+}
+
+// The job verbs against the real service: submit with a tenant, wait,
+// and the result matches what the synchronous path returns for the
+// same tree on an equally fresh server.
+func TestJobVerbsAgainstRealService(t *testing.T) {
+	syncResp, err := New(newServiceURL(t)).Analyze(context.Background(),
+		service.AnalyzeRequest{Sources: clientSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(newServiceURL(t))
+	st, err := c.SubmitJob(context.Background(),
+		service.AnalyzeRequest{Sources: clientSources()}, WithTenant("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "acme" || st.State != service.JobQueued {
+		t.Fatalf("submit status: %+v", st)
+	}
+	resp, err := c.WaitJob(context.Background(), st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(resp)
+	want, _ := json.Marshal(syncResp)
+	if string(got) != string(want) {
+		t.Fatalf("job result differs from sync analyze\n got %s\nwant %s", got, want)
+	}
+
+	// Status of a done job, result re-fetch, and the 404 for unknowns.
+	if st, err = c.JobStatus(context.Background(), st.ID); err != nil || st.State != service.JobDone {
+		t.Fatalf("status after wait: %v %+v", err, st)
+	}
+	var se *StatusError
+	if _, err := c.JobResult(context.Background(), "job-999"); !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("unknown job result: %v, want 404", err)
+	}
+}
+
+// CancelJob maps the server's answers faithfully: 200 with the updated
+// status, and 409 once the job is terminal.
+func TestCancelJobVerb(t *testing.T) {
+	var canceled atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodDelete {
+			http.NotFound(w, r)
+			return
+		}
+		if canceled.Swap(true) {
+			http.Error(w, `{"error":"job job-1 already canceled"}`, http.StatusConflict)
+			return
+		}
+		json.NewEncoder(w).Encode(service.JobStatus{ID: "job-1", Tenant: "t", State: service.JobCanceled})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	st, err := c.CancelJob(context.Background(), "job-1")
+	if err != nil || st.State != service.JobCanceled {
+		t.Fatalf("cancel: %v %+v", err, st)
+	}
+	var se *StatusError
+	if _, err := c.CancelJob(context.Background(), "job-1"); !errors.As(err, &se) || se.Status != http.StatusConflict {
+		t.Fatalf("double cancel: %v, want 409", err)
+	}
+}
+
+// newServiceURL boots a fresh real service and returns its base URL.
+func newServiceURL(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(service.New(service.Config{}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}

@@ -189,6 +189,11 @@ func DefaultOptions() Options {
 type Result struct {
 	// Reports holds all checker errors, ranked.
 	Reports *report.Collector
+	// Fingerprints computes stable report identities against this run's
+	// parsed corpus. Reports in Reports are already stamped; callers
+	// that append reports after analysis (version drift) re-stamp with
+	// Reports.SetFingerprints(Fingerprints).
+	Fingerprints *report.Fingerprinter
 	// Prog is the semantic index of the analyzed code.
 	Prog *csem.Program
 	// ParseErrors are non-fatal frontend diagnostics.
@@ -804,6 +809,16 @@ func (a *Analyzer) downstream(res *Result, qc *quarantine, root *obs.Span, start
 		}
 	}
 	res.Timing.Total = time.Since(start)
+
+	// Stable identities, computed from the same parsed files the
+	// checkers saw. Built here — the shared tail of AnalyzeFS and
+	// AnalyzeParsed — so fleet-merged runs stamp the same fingerprints
+	// as single-process ones, byte for byte.
+	fpSpan := root.Child("fingerprint")
+	res.Fingerprints = report.NewFingerprinter(files)
+	res.Reports.SetFingerprints(res.Fingerprints)
+	fpSpan.End()
+
 	qc.finalize(res)
 	if j := a.opts.Journal; j != nil {
 		// Canonicalized records, so the journal's quarantine section is

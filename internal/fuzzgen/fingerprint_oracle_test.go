@@ -1,0 +1,71 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFingerprintOracle is the eighth oracle run deterministically: for
+// a fixed seed range, the fingerprint multiset must be byte-identical
+// across worker counts 1/4, memo on/off, fleet shapes 1/2, and under
+// the alpha-rename and function-reorder metamorphic transforms. This is
+// the invariance contract baselines and fingerprint-keyed diffs depend
+// on; `make fuzz-smoke` runs it alongside the native fuzz targets, and
+// the randomized soak (`make soak-smoke`) extends the same checks to
+// 200 adversarial seeds via CheckSeed.
+func TestFingerprintOracle(t *testing.T) {
+	const timeout = 30 * time.Second
+	seedsWithReports := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		p := Generate(seed)
+		sources := p.Sources()
+
+		base := guardedAnalyze(sources, soakOptions(1, true, nil), timeout)
+		if !ok(base) || base.res == nil {
+			t.Fatalf("seed %d: baseline run failed: panicked=%q hung=%v err=%v",
+				seed, firstLine(base.panicked), base.hung, base.err)
+		}
+		baseFP := fpSet(base.res)
+		if !strings.HasPrefix(baseFP, "missing=0") {
+			t.Errorf("seed %d: baseline produced unstamped reports: %s", seed, firstLine(baseFP))
+		}
+		if base.res.Reports.Len() > 0 {
+			seedsWithReports++
+		}
+
+		expect := func(config string, out runOut) {
+			t.Helper()
+			if !ok(out) || out.res == nil {
+				t.Errorf("seed %d: %s run failed: panicked=%q hung=%v err=%v",
+					seed, config, firstLine(out.panicked), out.hung, out.err)
+				return
+			}
+			if got := fpSet(out.res); got != baseFP {
+				t.Errorf("seed %d: %s fingerprint set diverged: %s",
+					seed, config, diffDetail(baseFP, got))
+			}
+		}
+
+		expect("workers=4", guardedAnalyze(sources, soakOptions(4, true, nil), timeout))
+
+		memOff := guardedAnalyze(sources, soakOptions(1, false, nil), timeout)
+		if ok(memOff) && !truncated(base) && !truncated(memOff) {
+			expect("memo=off", memOff)
+		}
+
+		expect("alpha-rename", guardedAnalyze(p.SourcesRenamed(), soakOptions(1, true, nil), timeout))
+		expect("function-reorder",
+			guardedAnalyze(p.SourcesReordered(rand.New(rand.NewSource(seed*7+1))), soakOptions(1, true, nil), timeout))
+
+		for _, n := range []int{1, 2} {
+			c, _ := newFuzzFleet(n)
+			out := guardedFleetRun(c, sources, soakOptions(2, true, nil), timeout)
+			expect("fleet-"+string(rune('0'+n)), out)
+		}
+	}
+	if seedsWithReports == 0 {
+		t.Fatal("oracle vacuous: no seed in range produced any reports")
+	}
+}

@@ -72,9 +72,10 @@ func guardedFleetRun(c *dist.Coordinator, sources map[string]string, opts core.O
 }
 
 // checkFleet runs the fleet oracle against the single-process baseline
-// canon. Each returned Violation has Oracle "fleet" (or "robust" for a
-// panic/hang inside a fleet run).
-func checkFleet(sources map[string]string, baseCanon string, timeout time.Duration, stats *SeedStats) []Violation {
+// canon and fingerprint set. Each returned Violation has Oracle "fleet",
+// "fingerprint" (fleet-merged runs must stamp the same identities as a
+// single process), or "robust" for a panic/hang inside a fleet run.
+func checkFleet(sources map[string]string, baseCanon, baseFP string, timeout time.Duration, stats *SeedStats) []Violation {
 	var vs []Violation
 	run := func(c *dist.Coordinator, opts core.Options) runOut {
 		stats.Analyses++
@@ -88,13 +89,19 @@ func checkFleet(sources map[string]string, baseCanon string, timeout time.Durati
 		return out
 	}
 
-	// Shapes 1, 2, 3: cold fleets, byte-identical to single-process.
+	// Shapes 1, 2, 3: cold fleets, byte-identical to single-process —
+	// including the fingerprint multiset, which the coordinator's merged
+	// downstream must stamp exactly as a single process would.
 	for _, n := range []int{1, 2, 3} {
 		c, _ := newFuzzFleet(n)
 		out := run(c, soakOptions(2, true, nil))
 		if ok(out) && canonical(out) != baseCanon {
 			vs = append(vs, Violation{"fleet",
 				fmt.Sprintf("%d-worker fleet diverged from single-process: %s", n, diffDetail(baseCanon, canonical(out)))})
+		}
+		if ok(out) && out.res != nil && fpSet(out.res) != baseFP {
+			vs = append(vs, Violation{"fingerprint",
+				fmt.Sprintf("%d-worker fleet fingerprint set diverged: %s", n, diffDetail(baseFP, fpSet(out.res)))})
 		}
 	}
 
@@ -107,6 +114,9 @@ func checkFleet(sources map[string]string, baseCanon string, timeout time.Durati
 	if ok(cold) && ok(warm) {
 		if canonical(warm) != baseCanon {
 			vs = append(vs, Violation{"fleet", "warm fleet rerun diverged: " + diffDetail(baseCanon, canonical(warm))})
+		}
+		if warm.res != nil && fpSet(warm.res) != baseFP {
+			vs = append(vs, Violation{"fingerprint", "warm fleet fingerprint set diverged: " + diffDetail(baseFP, fpSet(warm.res))})
 		}
 		if warm.res != nil && warm.res.Snapshot.UnitsParsed != 0 {
 			vs = append(vs, Violation{"fleet",

@@ -1,4 +1,4 @@
-// The seven differential oracles. Each one runs the full pipeline over
+// The eight differential oracles. Each one runs the full pipeline over
 // the same sources under two configurations whose outputs are provably
 // related, and reports any divergence as a Violation:
 //
@@ -29,6 +29,14 @@
 //	            cold and warm; killing 1 of 3 workers must change
 //	            nothing (re-scatter); killing all of them must degrade
 //	            the run deterministically, never fail it. See fleet.go.
+//	fingerprint Every report carries a stable identity, and the
+//	            fingerprint multiset is byte-identical across worker
+//	            counts, memo on/off (unless truncated), and fleet
+//	            shapes — and, on unmutated programs, invariant under
+//	            alpha-renaming and function reordering. This is the
+//	            identity contract baselines and -diff are built on:
+//	            positions and rule spellings may shift, identity
+//	            may not.
 //	robust      No analysis run may panic or outrun its deadline. This
 //	            oracle wraps every run the others perform.
 package fuzzgen
@@ -49,7 +57,7 @@ import (
 
 // Violation is one oracle failure.
 type Violation struct {
-	Oracle string // workers | memo | snapshot | metamorph | quarantine | fleet | robust
+	Oracle string // workers | memo | snapshot | metamorph | quarantine | fleet | fingerprint | robust
 	Detail string
 }
 
@@ -100,10 +108,23 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 	}
 	baseCanon := canonical(base)
 
+	// Oracle 8 comparand: the baseline fingerprint multiset. Computed
+	// up front so every other configuration's run can be held to it.
+	var baseFP string
+	if base.res != nil {
+		baseFP = fpSet(base.res)
+		if strings.HasPrefix(baseFP, "missing=") && !strings.HasPrefix(baseFP, "missing=0") {
+			vs = append(vs, Violation{"fingerprint", "baseline run produced unstamped reports: " + firstLine(baseFP)})
+		}
+	}
+
 	// Oracle 1: worker-count determinism, byte for byte.
 	par := run(soakOptions(4, true, nil))
 	if ok(par) && canonical(par) != baseCanon {
 		vs = append(vs, Violation{"workers", diffDetail(baseCanon, canonical(par))})
+	}
+	if ok(par) && par.res != nil && fpSet(par.res) != baseFP {
+		vs = append(vs, Violation{"fingerprint", "workers 1 vs 4 fingerprint sets differ: " + diffDetail(baseFP, fpSet(par.res))})
 	}
 
 	// Oracle 2: memoization soundness on the error set.
@@ -111,8 +132,13 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 	if ok(memOff) && ok(base) {
 		if truncated(base) || truncated(memOff) {
 			stats.MemoVacuous = true
-		} else if a, b := reportKeySet(base), reportKeySet(memOff); a != b {
-			vs = append(vs, Violation{"memo", diffDetail(a, b)})
+		} else {
+			if a, b := reportKeySet(base), reportKeySet(memOff); a != b {
+				vs = append(vs, Violation{"memo", diffDetail(a, b)})
+			}
+			if memOff.res != nil && fpSet(memOff.res) != baseFP {
+				vs = append(vs, Violation{"fingerprint", "memo on/off fingerprint sets differ: " + diffDetail(baseFP, fpSet(memOff.res))})
+			}
 		}
 	}
 
@@ -148,6 +174,9 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 			if !sameZSeq(base.res, ren.res) {
 				vs = append(vs, Violation{"metamorph", "alpha-rename changed the z ranking"})
 			}
+			if fpSet(ren.res) != baseFP {
+				vs = append(vs, Violation{"fingerprint", "alpha-rename changed fingerprints: " + diffDetail(baseFP, fpSet(ren.res))})
+			}
 		}
 
 		reordered := sources
@@ -160,6 +189,9 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 			}
 			if !sameZSeq(base.res, reo.res) {
 				vs = append(vs, Violation{"metamorph", "function reorder changed the z ranking"})
+			}
+			if fpSet(reo.res) != baseFP {
+				vs = append(vs, Violation{"fingerprint", "function reorder changed fingerprints: " + diffDetail(baseFP, fpSet(reo.res))})
 			}
 		}
 	}
@@ -198,9 +230,28 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 	// workers die. Skipped when the baseline itself errored: the fleet
 	// has nothing canonical to reproduce.
 	if base.err == nil {
-		vs = append(vs, checkFleet(sources, baseCanon, timeout, &stats)...)
+		vs = append(vs, checkFleet(sources, baseCanon, baseFP, timeout, &stats)...)
 	}
 	return sources, vs, stats
+}
+
+// fpSet renders the sorted fingerprint multiset of a run plus a count of
+// reports that carry no fingerprint (which must be zero — every report
+// is stamped). Two runs whose error sets agree must agree here byte for
+// byte: this is the identity contract the eighth oracle enforces.
+func fpSet(res *core.Result) string {
+	ranked := res.Reports.Ranked()
+	missing := 0
+	fps := make([]string, 0, len(ranked))
+	for i := range ranked {
+		if ranked[i].Fingerprint == "" {
+			missing++
+			continue
+		}
+		fps = append(fps, ranked[i].Fingerprint)
+	}
+	sort.Strings(fps)
+	return fmt.Sprintf("missing=%d\n", missing) + strings.Join(fps, "\n")
 }
 
 // quarantineShape renders what fault containment did, without visit

@@ -1,0 +1,191 @@
+// Suppression baselines: a recorded set of known findings, keyed by
+// fingerprint, that later runs subtract. The workflow the FP/FN
+// literature says analyzers die without: adopt the tool, baseline the
+// existing noise, and from then on only new findings interrupt anyone.
+//
+// The file format is line-oriented JSON with a deterministic field
+// order, like the run journal: one header line, then one entry per
+// fingerprint sorted lexicographically. Same findings in, same bytes
+// out — baselines diff cleanly under version control.
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BaselineFormat is the header magic of a baseline file; bump with the
+// fingerprint version.
+const BaselineFormat = "deviant-baseline/v1"
+
+// BaselineEntry is one suppressed finding. Checker, rule and file are
+// carried for human review of the baseline only — matching is by
+// fingerprint alone.
+type BaselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Checker     string `json:"checker"`
+	Rule        string `json:"rule"`
+	File        string `json:"file"`
+}
+
+type baselineHeader struct {
+	Format  string `json:"format"`
+	Reports int    `json:"reports"`
+}
+
+// Baseline is a set of known fingerprints.
+type Baseline struct {
+	entries map[string]BaselineEntry
+}
+
+// NewBaseline records every fingerprinted report in ranked. Reports
+// without fingerprints (pre-fingerprint producers) are skipped; reports
+// sharing a fingerprint collapse into one entry.
+func NewBaseline(ranked []Report) *Baseline {
+	b := &Baseline{entries: make(map[string]BaselineEntry, len(ranked))}
+	for i := range ranked {
+		r := &ranked[i]
+		if r.Fingerprint == "" {
+			continue
+		}
+		if _, ok := b.entries[r.Fingerprint]; ok {
+			continue
+		}
+		b.entries[r.Fingerprint] = BaselineEntry{
+			Fingerprint: r.Fingerprint,
+			Checker:     r.Checker,
+			Rule:        r.Rule,
+			File:        r.Pos.File,
+		}
+	}
+	return b
+}
+
+// Len returns the number of distinct suppressed fingerprints.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Has reports whether fp is baselined.
+func (b *Baseline) Has(fp string) bool {
+	_, ok := b.entries[fp]
+	return ok
+}
+
+// Write renders the baseline deterministically: header, then entries
+// sorted by fingerprint, one JSON object per line.
+func (b *Baseline) Write(w io.Writer) error {
+	fps := make([]string, 0, len(b.entries))
+	for fp := range b.entries {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(baselineHeader{Format: BaselineFormat, Reports: len(fps)})
+	if err != nil {
+		return err
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	for _, fp := range fps {
+		e := b.entries[fp]
+		line, err := json.Marshal(&e)
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadBaseline parses a baseline file, validating the header magic and
+// the entry count.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("baseline: empty file")
+	}
+	var hdr baselineHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("baseline: bad header: %w", err)
+	}
+	if hdr.Format != BaselineFormat {
+		return nil, fmt.Errorf("baseline: format %q, want %q", hdr.Format, BaselineFormat)
+	}
+	b := &Baseline{entries: make(map[string]BaselineEntry, hdr.Reports)}
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e BaselineEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("baseline: bad entry: %w", err)
+		}
+		if e.Fingerprint == "" {
+			return nil, fmt.Errorf("baseline: entry without fingerprint")
+		}
+		b.entries[e.Fingerprint] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(b.entries) != hdr.Reports {
+		return nil, fmt.Errorf("baseline: header says %d reports, found %d", hdr.Reports, len(b.entries))
+	}
+	return b, nil
+}
+
+// Partition splits ranked reports into those the baseline does not
+// cover (kept, in their original rank order) and those it suppresses.
+// A nil baseline keeps everything.
+func Partition(ranked []Report, b *Baseline) (kept, suppressed []Report) {
+	if b == nil {
+		return ranked, nil
+	}
+	kept = make([]Report, 0, len(ranked))
+	for i := range ranked {
+		if ranked[i].Fingerprint != "" && b.Has(ranked[i].Fingerprint) {
+			suppressed = append(suppressed, ranked[i])
+		} else {
+			kept = append(kept, ranked[i])
+		}
+	}
+	return kept, suppressed
+}
+
+// DiffByFingerprint compares two runs by identity: reports whose
+// fingerprints appear only in the new run (new findings, new-run rank
+// order) and only in the old run (fixed findings, old-run rank order).
+// Reports without fingerprints are treated as always-new/always-fixed —
+// they carry no identity to match on.
+func DiffByFingerprint(oldRanked, newRanked []Report) (newOnly, fixed []Report) {
+	oldSet := make(map[string]bool, len(oldRanked))
+	for i := range oldRanked {
+		if fp := oldRanked[i].Fingerprint; fp != "" {
+			oldSet[fp] = true
+		}
+	}
+	newSet := make(map[string]bool, len(newRanked))
+	for i := range newRanked {
+		if fp := newRanked[i].Fingerprint; fp != "" {
+			newSet[fp] = true
+		}
+	}
+	for i := range newRanked {
+		if fp := newRanked[i].Fingerprint; fp == "" || !oldSet[fp] {
+			newOnly = append(newOnly, newRanked[i])
+		}
+	}
+	for i := range oldRanked {
+		if fp := oldRanked[i].Fingerprint; fp == "" || !newSet[fp] {
+			fixed = append(fixed, oldRanked[i])
+		}
+	}
+	return newOnly, fixed
+}

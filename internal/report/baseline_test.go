@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deviant/internal/ctoken"
+)
+
+// stampedRanked returns the golden collector's ranked reports with real
+// fingerprints. The empty-corpus fingerprinter exercises the raw
+// file:line:col fallback, which is deterministic, so these bytes pin
+// both the file formats and the hash function itself.
+func stampedRanked() []Report {
+	c := goldenCollector()
+	c.SetFingerprints(NewFingerprinter(nil))
+	return c.Ranked()
+}
+
+// TestBaselineGolden pins the baseline file format: the header line,
+// the fingerprint sort order, and the field order of each entry.
+// Regenerate with UPDATE_GOLDEN=1 only for intentional format changes.
+func TestBaselineGolden(t *testing.T) {
+	b := NewBaseline(stampedRanked())
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "baseline.golden"), buf.Bytes())
+}
+
+// TestCompactGolden pins the compact JSONL stream: one object per
+// ranked finding, rank order, one-letter fields, evidence collapsed.
+func TestCompactGolden(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	ranked := stampedRanked()
+	for i := range ranked {
+		if err := enc.Encode(ToCompact(&ranked[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareGolden(t, filepath.Join("testdata", "compact_report.golden"), buf.Bytes())
+}
+
+func TestCompactFieldOrder(t *testing.T) {
+	r := Report{
+		Checker: "pairing", Rule: "a pairs b",
+		Pos: ctoken.Pos{File: "x.c", Line: 1, Col: 2}, Message: "m",
+		Z: 1.5, Counter: CounterInfo{Checks: 10, Examples: 9},
+		Fingerprint: "v1:aabb",
+	}
+	b, err := json.Marshal(ToCompact(&r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"f":"v1:aabb","c":"pairing","p":"x.c:1:2","m":"m","z":1.5,"e":"9/10"}`
+	if string(b) != want {
+		t.Fatalf("compact field order drifted:\n got %s\nwant %s", b, want)
+	}
+	r.Z = math.NaN()
+	b, err = json.Marshal(ToCompact(&r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"f":"v1:aabb","c":"pairing","p":"x.c:1:2","m":"m","d":true}`
+	if string(b) != want {
+		t.Fatalf("compact definite shape drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	ranked := stampedRanked()
+	b := NewBaseline(ranked)
+	if b.Len() != len(ranked) {
+		t.Fatalf("baseline holds %d entries, want %d", b.Len(), len(ranked))
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ranked {
+		if !got.Has(ranked[i].Fingerprint) {
+			t.Fatalf("round trip lost %s", ranked[i].Fingerprint)
+		}
+	}
+	// Write must be deterministic: same set, same bytes.
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("baseline serialization is not canonical")
+	}
+}
+
+func TestReadBaselineRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not json\n",
+		"bad magic":   `{"format":"other/v9","reports":0}` + "\n",
+		"bad entry":   `{"format":"deviant-baseline/v1","reports":1}` + "\nnope\n",
+		"no fp":       `{"format":"deviant-baseline/v1","reports":1}` + "\n" + `{"checker":"x"}` + "\n",
+		"count drift": `{"format":"deviant-baseline/v1","reports":2}` + "\n" + `{"fingerprint":"v1:aa"}` + "\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadBaseline(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: corrupt baseline accepted", name)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	ranked := stampedRanked()
+	b := NewBaseline(ranked[:2])
+	kept, suppressed := Partition(ranked, b)
+	if len(suppressed) != 2 || len(kept) != len(ranked)-2 {
+		t.Fatalf("partition: %d kept, %d suppressed", len(kept), len(suppressed))
+	}
+	// Rank order preserved within each half.
+	for i := 1; i < len(kept); i++ {
+		if less(&kept[i], &kept[i-1]) {
+			t.Fatal("kept reports out of rank order")
+		}
+	}
+	// Unfingerprinted reports are never suppressed.
+	plain := []Report{{Checker: "x", Z: math.NaN()}}
+	kept, suppressed = Partition(plain, b)
+	if len(kept) != 1 || len(suppressed) != 0 {
+		t.Fatal("unfingerprinted report was suppressed")
+	}
+	// nil baseline keeps everything.
+	kept, suppressed = Partition(ranked, nil)
+	if len(kept) != len(ranked) || suppressed != nil {
+		t.Fatal("nil baseline altered the report set")
+	}
+}
+
+func TestDiffByFingerprint(t *testing.T) {
+	ranked := stampedRanked()
+	oldRun := ranked[:3] // loses ranked[3:] → those are "new"
+	newRun := ranked[1:] // loses ranked[0] → that one is "fixed"
+	newOnly, fixed := DiffByFingerprint(oldRun, newRun)
+	if len(newOnly) != len(ranked)-3 {
+		t.Fatalf("new findings: got %d, want %d", len(newOnly), len(ranked)-3)
+	}
+	if len(fixed) != 1 || fixed[0].Fingerprint != ranked[0].Fingerprint {
+		t.Fatalf("fixed findings wrong: %+v", fixed)
+	}
+	// Identical runs: nothing new, nothing fixed.
+	newOnly, fixed = DiffByFingerprint(ranked, ranked)
+	if len(newOnly) != 0 || len(fixed) != 0 {
+		t.Fatal("identical runs diffed non-empty")
+	}
+}

@@ -1,0 +1,38 @@
+// Compact JSONL report shape: one small object per finding, sized for
+// agent and pipeline consumers that pay per byte. Field names are one
+// letter; evidence collapses to "examples/checks"; zero values vanish.
+// The full JSONReport shape remains the contract for everything that
+// wants self-describing output.
+package report
+
+import "fmt"
+
+// CompactReport is the one-line wire shape of one ranked finding.
+// Field order is part of the format: fingerprint first (the identity
+// consumers key on), then checker, position, message, then optional
+// definiteness and statistical evidence.
+type CompactReport struct {
+	F string  `json:"f"`           // fingerprint ("" when no fingerprinter ran)
+	C string  `json:"c"`           // checker
+	P string  `json:"p"`           // file:line:col
+	M string  `json:"m"`           // message
+	D bool    `json:"d,omitempty"` // definite (MUST-belief contradiction)
+	Z float64 `json:"z,omitempty"` // rank statistic (MAY beliefs)
+	E string  `json:"e,omitempty"` // evidence, "examples/checks"
+}
+
+// ToCompact converts one ranked report to its compact shape.
+func ToCompact(r *Report) CompactReport {
+	cr := CompactReport{
+		F: r.Fingerprint,
+		C: r.Checker,
+		P: r.Pos.String(),
+		M: r.Message,
+		D: !r.Statistical(),
+	}
+	if r.Statistical() {
+		cr.Z = r.Z
+		cr.E = fmt.Sprintf("%d/%d", r.Counter.Examples, r.Counter.Checks)
+	}
+	return cr
+}

@@ -1,0 +1,361 @@
+// Report fingerprints: stable identities that survive re-analysis.
+//
+// A report's position (file:line:col) is the wrong identity for
+// longitudinal use — it changes whenever unrelated code above the error
+// moves — and its rule string is wrong too, because rules embed
+// identifier names that refactors rename. The fingerprint replaces both
+// with structure: the error's position is expressed relative to a
+// structural hash of its enclosing function body (no positions, no raw
+// names), and every identifier slot in the rule is rewritten to either
+// the defined function's structural hash or the identifier's
+// first-occurrence index inside the enclosing function. The result is
+// invariant under consistent alpha-renaming and under reordering of
+// function definitions — exactly the metamorphic transforms
+// internal/fuzzgen uses as the invariance contract — while still
+// distinguishing the same rule violated at two different sites.
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deviant/internal/cast"
+	"deviant/internal/ctoken"
+)
+
+// FingerprintVersion prefixes every fingerprint so consumers can detect
+// algorithm changes: fingerprints are only comparable within a version.
+const FingerprintVersion = "v1"
+
+// extent is one function definition's anchor inside a file: where its
+// text begins, the structural hash of its body, and the first-occurrence
+// index of every identifier mentioned in it.
+type extent struct {
+	start  int
+	hash   string
+	idents map[string]int
+}
+
+// Fingerprinter computes stable fingerprints for reports against one
+// analyzed corpus. Build it once per run with NewFingerprinter; it is
+// read-only afterwards and safe for concurrent use.
+type Fingerprinter struct {
+	// extents maps a file name to its function extents sorted by start
+	// line; a report line is attributed to the greatest extent starting
+	// at or before it.
+	extents map[string][]extent
+	// funcs maps a defined function name to its structural hash (a
+	// sorted "+"-join when one name has several distinct definitions),
+	// used to rewrite function-name slots in rule strings.
+	funcs map[string]string
+	// decls maps every other file-scope declared name — globals,
+	// typedefs, prototypes, struct members, enumerators — to its
+	// declaration position(s). Declarations live in preludes and
+	// headers, which the invariance transforms never move, so the
+	// position is a stable identity for names a rule mentions but the
+	// enclosing function does not (a lock the function failed to take).
+	decls map[string]string
+}
+
+// NewFingerprinter indexes the parsed files of a run. Files must be the
+// same parsed forms the checkers saw so extents line up with report
+// positions.
+func NewFingerprinter(files []*cast.File) *Fingerprinter {
+	fp := &Fingerprinter{
+		extents: make(map[string][]extent),
+		funcs:   make(map[string]string),
+		decls:   make(map[string]string),
+	}
+	hashes := make(map[string][]string)
+	declPos := make(map[string][]string)
+	addDecl := func(name string, pos ctoken.Pos) {
+		if name == "" {
+			return
+		}
+		declPos[name] = append(declPos[name], pos.String())
+	}
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch x := d.(type) {
+			case *cast.FuncDecl:
+				if x.Body == nil {
+					addDecl(x.Name, x.NamePos)
+					continue
+				}
+				h, ids := funcShape(x)
+				hashes[x.Name] = append(hashes[x.Name], h)
+				file := x.NamePos.File
+				fp.extents[file] = append(fp.extents[file], extent{
+					start:  x.NamePos.Line,
+					hash:   h,
+					idents: ids,
+				})
+			case *cast.VarDecl:
+				addDecl(x.Name, x.NamePos)
+			case *cast.TypedefDecl:
+				addDecl(x.Name, x.NamePos)
+			case *cast.RecordDecl:
+				if x.Type != nil {
+					addDecl(x.Type.Tag, x.TagPos)
+					for _, fld := range x.Type.Fields {
+						addDecl(fld.Name, fld.NamePos)
+					}
+				}
+			case *cast.EnumDecl:
+				if x.Type != nil {
+					addDecl(x.Type.Tag, x.TagPos)
+				}
+				for _, v := range x.Values {
+					addDecl(v.Name, v.NamePos)
+				}
+			}
+		}
+	}
+	for name, ps := range declPos {
+		sort.Strings(ps)
+		uniq := ps[:0]
+		for i, p := range ps {
+			if i == 0 || p != ps[i-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		fp.decls[name] = strings.Join(uniq, "+")
+	}
+	// One name can be defined several times (static functions in
+	// different units). Rule-slot rewriting must stay deterministic and
+	// transform-invariant, so join the sorted distinct hashes: the join
+	// is the same no matter which definition order the files arrived in.
+	for name, hs := range hashes {
+		sort.Strings(hs)
+		uniq := hs[:0]
+		for i, h := range hs {
+			if i == 0 || h != hs[i-1] {
+				uniq = append(uniq, h)
+			}
+		}
+		fp.funcs[name] = strings.Join(uniq, "+")
+	}
+	for file := range fp.extents {
+		exts := fp.extents[file]
+		sort.Slice(exts, func(i, j int) bool { return exts[i].start < exts[j].start })
+	}
+	return fp
+}
+
+// Fingerprint computes the stable identity of one report:
+//
+//	v1:<hex> where hex = sha256(checker \x00 normalized-rule \x00 structural-position)[:10]
+//
+// The structural position is "<body-hash>:+<line-offset>:<col>" for a
+// report inside a known function extent, or the raw "file:line:col" for
+// reports outside any function (prelude and header lines, which the
+// invariance transforms never move).
+func (fp *Fingerprinter) Fingerprint(r *Report) string {
+	pos, ids := fp.structPos(r.Pos)
+	h := sha256.New()
+	h.Write([]byte(r.Checker))
+	h.Write([]byte{0})
+	h.Write([]byte(fp.normRule(r.Rule, ids)))
+	h.Write([]byte{0})
+	h.Write([]byte(pos))
+	sum := h.Sum(nil)
+	return FingerprintVersion + ":" + hex.EncodeToString(sum[:10])
+}
+
+// structPos renders a report position structurally and returns the
+// enclosing function's identifier index (nil outside any function).
+func (fp *Fingerprinter) structPos(pos ctoken.Pos) (string, map[string]int) {
+	exts := fp.extents[pos.File]
+	// Greatest extent starting at or before the report line. Function
+	// texts are contiguous, so this is the enclosing definition.
+	i := sort.Search(len(exts), func(i int) bool { return exts[i].start > pos.Line })
+	if i == 0 {
+		return pos.File + ":" + strconv.Itoa(pos.Line) + ":" + strconv.Itoa(pos.Col), nil
+	}
+	ext := &exts[i-1]
+	return ext.hash + ":+" + strconv.Itoa(pos.Line-ext.start) + ":" + strconv.Itoa(pos.Col), ext.idents
+}
+
+// normRule rewrites the identifier slots of a rule string: a defined
+// function name becomes F(<its structural hash>), any other identifier
+// mentioned in the enclosing function becomes L<first-occurrence index>,
+// a file-scope declared name becomes G(<its declaration position>), and
+// everything else — the rule template's fixed words and punctuation —
+// passes through verbatim. The scan mirrors the fuzzgen alpha-rename
+// word scanner so the two agree on what an identifier token is.
+func (fp *Fingerprinter) normRule(rule string, ids map[string]int) string {
+	var b strings.Builder
+	b.Grow(len(rule))
+	i, n := 0, len(rule)
+	for i < n {
+		c := rule[i]
+		if !isWordStart(c) {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < n && isWordCont(rule[j]) {
+			j++
+		}
+		word := rule[i:j]
+		if h, ok := fp.funcs[word]; ok {
+			b.WriteString("F(")
+			b.WriteString(h)
+			b.WriteString(")")
+		} else if idx, ok := ids[word]; ok {
+			b.WriteString("L")
+			b.WriteString(strconv.Itoa(idx))
+		} else if pos, ok := fp.decls[word]; ok {
+			b.WriteString("G(")
+			b.WriteString(pos)
+			b.WriteString(")")
+		} else {
+			b.WriteString(word)
+		}
+		i = j
+	}
+	return b.String()
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordCont(c byte) bool { return isWordStart(c) || (c >= '0' && c <= '9') }
+
+// funcShape hashes a function definition's structure: node kinds,
+// operator kinds, literal texts, arity, and identifiers normalized to
+// their first-occurrence index. No positions and no raw names enter the
+// hash, so it is invariant under consistent renaming and under moving
+// the function's text. It also returns the identifier index used for
+// the normalization, keyed by original name, for rule-slot rewriting.
+func funcShape(fd *cast.FuncDecl) (string, map[string]int) {
+	ids := make(map[string]int)
+	buf := make([]byte, 0, 512)
+	idx := func(name string) int {
+		if i, ok := ids[name]; ok {
+			return i
+		}
+		i := len(ids)
+		ids[name] = i
+		return i
+	}
+	emit := func(tag byte, vals ...int) {
+		buf = append(buf, tag)
+		for _, v := range vals {
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
+	}
+	emitText := func(tag byte, s string) {
+		buf = append(buf, tag)
+		buf = append(buf, s...)
+		buf = append(buf, 0, ';')
+	}
+	b01 := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	cast.Inspect(fd, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.FuncDecl:
+			emit('f', len(x.Params), b01(x.Variadic), b01(x.Static), b01(x.Inline))
+		case *cast.ParamDecl:
+			emit('p', idx(x.Name))
+		case *cast.VarDecl:
+			emit('v', idx(x.Name), b01(x.Init != nil), b01(x.Static))
+		case *cast.CompoundStmt:
+			emit('B', len(x.List))
+		case *cast.ExprStmt:
+			emit('E', b01(x.X != nil))
+		case *cast.DeclStmt:
+			emit('D', len(x.Decls))
+		case *cast.IfStmt:
+			emit('I', b01(x.Else != nil))
+		case *cast.WhileStmt:
+			emit('W')
+		case *cast.DoWhileStmt:
+			emit('O')
+		case *cast.ForStmt:
+			emit('F', b01(x.Init != nil), b01(x.Cond != nil), b01(x.Post != nil))
+		case *cast.SwitchStmt:
+			emit('S')
+		case *cast.CaseStmt:
+			emit('C', b01(x.Value != nil))
+		case *cast.ReturnStmt:
+			emit('R', b01(x.X != nil))
+		case *cast.BreakStmt:
+			emit('K')
+		case *cast.ContinueStmt:
+			emit('N')
+		case *cast.GotoStmt:
+			emit('G', idx(x.Label))
+		case *cast.LabelStmt:
+			emit('L', idx(x.Name))
+		case *cast.Ident:
+			emit('i', idx(x.Name))
+		case *cast.IntLit:
+			emitText('1', x.Text)
+		case *cast.FloatLit:
+			emitText('2', x.Text)
+		case *cast.CharLit:
+			emitText('3', x.Text)
+		case *cast.StringLit:
+			emitText('4', x.Text)
+		case *cast.UnaryExpr:
+			emit('u', int(x.Op))
+		case *cast.PostfixExpr:
+			emit('o', int(x.Op))
+		case *cast.BinaryExpr:
+			emit('b', int(x.Op))
+		case *cast.AssignExpr:
+			emit('a', int(x.Op))
+		case *cast.CondExpr:
+			emit('?')
+		case *cast.CallExpr:
+			emit('c', len(x.Args))
+		case *cast.IndexExpr:
+			emit('x')
+		case *cast.MemberExpr:
+			emit('m', b01(x.Arrow), idx(x.Member))
+		case *cast.CastExpr:
+			emit('t')
+		case *cast.SizeofTypeExpr:
+			emit('z')
+		case *cast.CommaExpr:
+			emit('j')
+		case *cast.InitListExpr:
+			emit('l', len(x.Items))
+		default:
+			emit('n')
+		}
+		return true
+	})
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:8]), ids
+}
+
+// SetFingerprints stamps every collected report with its fingerprint.
+// Safe to call again after more reports arrive (recomputation is
+// idempotent); callers re-stamp after post-analysis stages (version
+// drift) append to the collector.
+func (c *Collector) SetFingerprints(fp *Fingerprinter) {
+	if fp == nil {
+		return
+	}
+	for _, k := range c.keys {
+		r := c.byKey[k]
+		r.Fingerprint = fp.Fingerprint(r)
+	}
+}

@@ -1,0 +1,178 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deviant/internal/cast"
+	"deviant/internal/cparse"
+	"deviant/internal/ctoken"
+)
+
+// fpFor parses src as one file and fingerprints a report at (line, col)
+// with the given checker and rule.
+func fpFor(t *testing.T, src, checker, rule string, line, col int) string {
+	t.Helper()
+	f, errs := cparse.ParseSource("u.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	fp := NewFingerprinter([]*cast.File{f})
+	r := Report{
+		Checker: checker,
+		Rule:    rule,
+		Pos:     ctoken.Pos{File: "u.c", Line: line, Col: col},
+		Z:       math.NaN(),
+	}
+	return fp.Fingerprint(&r)
+}
+
+const fpSrcA = `int id1000(int *id2000) {
+	if (id2000) {
+		return *id2000;
+	}
+	return 0;
+}
+
+int id3000(int *id4000) {
+	int id5000 = *id4000;
+	return id5000 + 1;
+}
+`
+
+// lineOf returns the 1-based line of the first occurrence of needle.
+func lineOf(t *testing.T, src, needle string) int {
+	t.Helper()
+	i := strings.Index(src, needle)
+	if i < 0 {
+		t.Fatalf("needle %q not in source", needle)
+	}
+	return 1 + strings.Count(src[:i], "\n")
+}
+
+func TestFingerprintStableAcrossReparse(t *testing.T) {
+	line := lineOf(t, fpSrcA, "*id4000;")
+	a := fpFor(t, fpSrcA, "null", "check id2000 before use", line, 15)
+	b := fpFor(t, fpSrcA, "null", "check id2000 before use", line, 15)
+	if a != b {
+		t.Fatalf("re-parse changed fingerprint: %s vs %s", a, b)
+	}
+	if !strings.HasPrefix(a, FingerprintVersion+":") {
+		t.Fatalf("fingerprint %q lacks version prefix", a)
+	}
+}
+
+func TestFingerprintAlphaRenameInvariant(t *testing.T) {
+	// Same-length consistent rename, the fuzzgen contract: positions do
+	// not move, identifier names do.
+	ren := strings.NewReplacer(
+		"id1000", "rn1000", "id2000", "rn2000", "id3000", "rn3000",
+		"id4000", "rn4000", "id5000", "rn5000",
+	).Replace(fpSrcA)
+	line := lineOf(t, fpSrcA, "*id4000;")
+	a := fpFor(t, fpSrcA, "null", "do not dereference id4000 unchecked", line, 15)
+	b := fpFor(t, ren, "null", "do not dereference rn4000 unchecked", line, 15)
+	if a != b {
+		t.Fatalf("alpha-rename changed fingerprint: %s vs %s", a, b)
+	}
+	// The rename must not collapse the fingerprint into one that
+	// ignores the rule's identifier slot entirely: a rule naming a
+	// different local must differ.
+	c := fpFor(t, fpSrcA, "null", "do not dereference id5000 unchecked", line, 15)
+	if a == c {
+		t.Fatal("rule identifier slot is not part of the fingerprint")
+	}
+}
+
+func TestFingerprintFunctionNameSlot(t *testing.T) {
+	// A rule naming a defined function resolves through the function's
+	// structural hash, so renaming the function keeps the fingerprint.
+	ren := strings.NewReplacer(
+		"id1000", "rn1000", "id2000", "rn2000", "id3000", "rn3000",
+		"id4000", "rn4000", "id5000", "rn5000",
+	).Replace(fpSrcA)
+	line := lineOf(t, fpSrcA, "return id5000")
+	a := fpFor(t, fpSrcA, "fail", "id1000 can fail", line, 9)
+	b := fpFor(t, ren, "fail", "rn1000 can fail", line, 9)
+	if a != b {
+		t.Fatalf("function rename changed fingerprint: %s vs %s", a, b)
+	}
+}
+
+func TestFingerprintReorderInvariant(t *testing.T) {
+	first := `int one(int *p) {
+	return *p;
+}
+
+int two(int *q) {
+	if (q) {
+		return 1;
+	}
+	return *q;
+}
+`
+	second := `int two(int *q) {
+	if (q) {
+		return 1;
+	}
+	return *q;
+}
+
+int one(int *p) {
+	return *p;
+}
+`
+	// The report anchors to "return *q;" inside two() in both orders.
+	la := lineOf(t, first, "return *q;")
+	lb := lineOf(t, second, "return *q;")
+	a := fpFor(t, first, "null", "check q before use", la, 9)
+	b := fpFor(t, second, "null", "check q before use", lb, 9)
+	if a != b {
+		t.Fatalf("function reorder changed fingerprint: %s vs %s", a, b)
+	}
+}
+
+func TestFingerprintDistinguishesSites(t *testing.T) {
+	line := lineOf(t, fpSrcA, "*id4000;")
+	a := fpFor(t, fpSrcA, "null", "check id4000 before use", line, 15)
+	b := fpFor(t, fpSrcA, "null", "check id4000 before use", line, 3)
+	if a == b {
+		t.Fatal("different columns produced the same fingerprint")
+	}
+	c := fpFor(t, fpSrcA, "free", "check id4000 before use", line, 15)
+	if a == c {
+		t.Fatal("different checkers produced the same fingerprint")
+	}
+}
+
+func TestFingerprintOutsideFunctionFallsBack(t *testing.T) {
+	// Line 0 precedes every extent: raw-position identity, stable
+	// across re-analysis of the same bytes.
+	a := fpFor(t, fpSrcA, "userptr", "tainted global", 1, 1)
+	b := fpFor(t, fpSrcA, "userptr", "tainted global", 1, 1)
+	if a != b {
+		t.Fatal("prelude fingerprint unstable")
+	}
+}
+
+func TestSetFingerprintsStampsCollector(t *testing.T) {
+	f, errs := cparse.ParseSource("u.c", fpSrcA)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	fp := NewFingerprinter([]*cast.File{f})
+	c := NewCollector()
+	c.AddMust("null", "check id2000 before use",
+		ctoken.Pos{File: "u.c", Line: 3, Col: 10}, Serious, 1, "m")
+	c.AddStat("fail", "id1000 can fail",
+		ctoken.Pos{File: "u.c", Line: 9, Col: 2}, 2.5, 10, 9, "s")
+	c.SetFingerprints(fp)
+	for _, r := range c.Ranked() {
+		if !strings.HasPrefix(r.Fingerprint, FingerprintVersion+":") {
+			t.Fatalf("report %s missing fingerprint", r.String())
+		}
+	}
+	// nil fingerprinter is a no-op, not a panic.
+	c.SetFingerprints(nil)
+}

@@ -45,6 +45,11 @@ type Report struct {
 	Span     int         // source lines between belief and contradiction
 	Z        float64     // rank statistic for MAY-belief errors (NaN for MUST)
 	Counter  CounterInfo // evidence for statistical errors
+
+	// Fingerprint is the report's stable identity across re-analysis
+	// (see Fingerprinter), stamped after collection by SetFingerprints.
+	// Not part of Key(): deduplication stays positional within one run.
+	Fingerprint string
 }
 
 // CounterInfo carries the statistical evidence behind a MAY-belief error.
@@ -241,6 +246,9 @@ type JSONReport struct {
 	Z        float64 `json:"z,omitempty"`
 	Checks   int     `json:"checks,omitempty"`
 	Examples int     `json:"examples,omitempty"`
+	// Fingerprint is appended last so pre-fingerprint consumers keep
+	// their field positions; it is omitted when no fingerprinter ran.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // ToJSON converts one ranked report (1-based rank) to its wire shape.
@@ -251,7 +259,8 @@ func ToJSON(rank int, r *Report) JSONReport {
 		Rank: rank, Checker: r.Checker,
 		File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Col,
 		Rule: r.Rule, Message: r.Message,
-		Definite: !r.Statistical(),
+		Definite:    !r.Statistical(),
+		Fingerprint: r.Fingerprint,
 	}
 	if r.Statistical() {
 		jr.Z = r.Z

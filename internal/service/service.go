@@ -14,6 +14,13 @@
 //	                  the shard's units, return mergeable partials
 //	POST /v1/diff     §4.2 cross-version check of two trees
 //	GET  /v1/rules    derived rule instances from the last analysis
+//	POST /v1/jobs     queue an analysis asynchronously: 202 + job id,
+//	                  per-tenant quotas (X-Deviant-Tenant), round-robin
+//	                  fair scheduling across tenants (see jobs.go)
+//	GET  /v1/jobs/{id}         poll job state
+//	GET  /v1/jobs/{id}/result  finished AnalyzeResponse, byte-identical
+//	                  to the synchronous /v1/analyze answer
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET  /v1/fleet/status  (coordinator mode) ring composition,
 //	                  per-worker health/build info, last-scatter latency
 //	GET  /healthz     liveness + build info (503 while draining)
@@ -72,7 +79,20 @@ type Config struct {
 	// before new ones are rejected with 429 (0 = 8).
 	QueueDepth int
 	// Timeout bounds one request's queue wait plus analysis (0 = 60s).
+	// Async jobs get the same budget per run.
 	Timeout time.Duration
+	// JobQueueDepth caps jobs waiting to run across all tenants; beyond
+	// it POST /v1/jobs answers 429 (0 = 16).
+	JobQueueDepth int
+	// JobsPerTenant caps one tenant's in-flight jobs, queued plus
+	// running; beyond it that tenant's submissions get 429 while other
+	// tenants are unaffected (0 = 4).
+	JobsPerTenant int
+	// JobWorkers is how many jobs execute concurrently (0 = MaxConcurrent).
+	JobWorkers int
+	// JobHistory bounds retained terminal jobs: past it the oldest
+	// finished jobs are forgotten, 404ing their ids (0 = 256).
+	JobHistory int
 	// SnapshotUnits caps the snapshot store (0 = snapshot default).
 	SnapshotUnits int
 	// CacheDir, when non-empty, attaches a crash-safe persistent tier to
@@ -121,6 +141,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 16
+	}
+	if c.JobsPerTenant <= 0 {
+		c.JobsPerTenant = 4
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = c.MaxConcurrent
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
 	return c
 }
 
@@ -135,8 +167,10 @@ type Server struct {
 	slots chan struct{} // admission: running + queued
 	run   chan struct{} // running
 
-	draining atomic.Bool
-	nextID   atomic.Int64 // request id sequence
+	draining  atomic.Bool
+	nextID    atomic.Int64 // request id sequence
+	nextJobID atomic.Int64 // job id sequence
+	jobs      *jobManager
 
 	// Metrics. The registry owns everything /metrics serves; the named
 	// handles are the counters the handlers bump on their hot paths.
@@ -147,6 +181,12 @@ type Server struct {
 	panics    *obs.Counter // handler/worker panics recovered into 500s
 	inflight  *obs.Gauge
 	analyzeNs *obs.Counter // cumulative analysis wall clock, seconds
+
+	jobsSubmitted *obs.Counter
+	jobsRejected  *obs.Counter // 429s on POST /v1/jobs (quota or queue)
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCanceled  *obs.Counter
 
 	mu        sync.Mutex
 	lastRules *RulesResponse
@@ -181,8 +221,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.jobs = newJobManager(s)
 	return s
 }
 
@@ -213,6 +258,22 @@ func (s *Server) initMetrics() {
 		"Analyses currently executing.")
 	s.analyzeNs = s.reg.Counter("deviantd_analysis_seconds_total",
 		"Cumulative analysis wall clock, in seconds.")
+	s.jobsSubmitted = s.reg.Counter("deviantd_jobs_submitted_total",
+		"Async jobs accepted into the queue.")
+	s.jobsRejected = s.reg.Counter("deviantd_jobs_rejected_total",
+		"Async job submissions rejected with 429 (tenant quota or queue full).")
+	s.jobsCompleted = s.reg.Counter("deviantd_jobs_completed_total",
+		"Async jobs that finished with a result.")
+	s.jobsFailed = s.reg.Counter("deviantd_jobs_failed_total",
+		"Async jobs that ended in an error.")
+	s.jobsCanceled = s.reg.Counter("deviantd_jobs_canceled_total",
+		"Async jobs canceled before publishing a result.")
+	s.reg.GaugeFunc("deviantd_jobs_queued",
+		"Async jobs waiting for a job worker.",
+		func() float64 { q, _ := s.jobs.counts(); return float64(q) })
+	s.reg.GaugeFunc("deviantd_jobs_running",
+		"Async jobs executing right now.",
+		func() float64 { _, r := s.jobs.counts(); return float64(r) })
 	s.reg.GaugeFunc("deviantd_queue_depth",
 		"Admitted requests waiting for a run slot.",
 		func() float64 {
@@ -241,7 +302,7 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.store.Stats().Graphs) })
 	// Pre-create one latency histogram per endpoint so a fresh scrape
 	// shows the full set.
-	for _, ep := range []string{"analyze", "shard", "diff", "rules", "healthz", "metrics"} {
+	for _, ep := range []string{"analyze", "shard", "diff", "rules", "jobs", "healthz", "metrics"} {
 		s.latencyFor(ep)
 	}
 	// Go runtime self-metrics + the build-info gauge, for every role:
@@ -258,8 +319,13 @@ func (s *Server) latencyFor(endpoint string) *obs.Histogram {
 }
 
 // endpointOf maps a request path onto its latency/log label. Unknown
-// paths share one bucket so label cardinality stays bounded.
+// paths share one bucket so label cardinality stays bounded; every
+// job route (submit, status, result, cancel) shares "jobs" for the
+// same reason — job ids must not become label values.
 func endpointOf(path string) string {
+	if path == "/v1/jobs" || strings.HasPrefix(path, "/v1/jobs/") {
+		return "jobs"
+	}
 	switch path {
 	case "/v1/analyze":
 		return "analyze"
