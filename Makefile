@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fleet-smoke jobs-smoke fuzz-smoke soak-smoke chaos-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-gate obs-race service-race serve-smoke fleet-smoke jobs-smoke chaos-fleet-smoke fuzz-smoke soak-smoke chaos-smoke ci
 
 all: build
 
@@ -76,25 +76,38 @@ fleet-smoke:
 jobs-smoke:
 	$(GO) test -run 'TestJobsSmoke' -v ./cmd/deviantd
 
+# Boot a 3-worker fleet whose coordinator has one transient network
+# fault armed against every worker (-chaos) plus a durable -job-dir,
+# assert the output stays bit-identical to the CLI through the chaos,
+# two live membership reshapes (POST /v1/fleet/workers, SIGHUP
+# -workers-file reload), and a SIGKILL + restart of the coordinator
+# that must recover a finished job's bytes and re-run an interrupted
+# one to the same bytes.
+chaos-fleet-smoke:
+	$(GO) test -run 'TestChaosFleetSmoke|TestChaosFlagValidation' -v ./cmd/deviantd
+
 # Native coverage-guided fuzzing of the frontend, 30s per target, plus
-# the deterministic eighth-oracle run: report fingerprints must be
-# byte-identical across workers/memo/fleet shapes and invariant under
-# the alpha-rename + function-reorder metamorphic transforms. Inputs
-# that fail a fuzz target are written by the Go toolchain to the
-# target's testdata/fuzz/<FuzzName>/ directory; check them in as
-# regression seeds.
+# the deterministic fingerprint- and network-chaos-oracle runs: report
+# fingerprints must be byte-identical across workers/memo/fleet shapes
+# and invariant under the alpha-rename + function-reorder metamorphic
+# transforms, and every transient net-fault class plus live membership
+# reshapes must leave fleet output bytes untouched. Inputs that fail a
+# fuzz target are written by the Go toolchain to the target's
+# testdata/fuzz/<FuzzName>/ directory; check them in as regression
+# seeds.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzScanner$$' -fuzztime=$(FUZZTIME) ./internal/ctoken
 	$(GO) test -run='^$$' -fuzz='^FuzzPreprocess$$' -fuzztime=$(FUZZTIME) ./internal/cpp
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/cparse
-	$(GO) test -run 'TestFingerprintOracle' -v ./internal/fuzzgen
+	$(GO) test -run 'TestFingerprintOracle|TestNetChaosOracle' -v ./internal/fuzzgen
 
 # Differential soak: 200 generated adversarial programs through the full
-# pipeline under all eight equivalence oracles (workers, memoization,
+# pipeline under all nine equivalence oracles (workers, memoization,
 # snapshot, metamorphic, quarantine determinism, fleet determinism,
-# fingerprint stability, no-crash/no-hang). Failing inputs land in
-# testdata/fuzz/deviantfuzz/ and reproduce via `deviantfuzz -seed N -n 1`.
+# fingerprint stability, network chaos, no-crash/no-hang). Failing
+# inputs land in testdata/fuzz/deviantfuzz/ and reproduce via
+# `deviantfuzz -seed N -n 1`.
 soak-smoke:
 	$(GO) run ./cmd/deviantfuzz -n 200 -seed 1
 
@@ -105,4 +118,4 @@ chaos-smoke:
 	$(GO) test -race -run 'Quarantine|Budget|Deadline|Disk|Persistent|Fault|Panic|Retry|TrapBait|Redact|Canonicalize|Injected|Rescatter|AllDead|CorruptAndMissing' \
 		./internal/fault ./internal/core ./internal/snapshot ./internal/service ./internal/client ./internal/fuzzgen ./internal/dist ./cmd/deviant
 
-ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke fleet-smoke jobs-smoke bench-json fuzz-smoke soak-smoke chaos-smoke
+ci: vet build race bench-smoke bench-gate obs-race service-race serve-smoke fleet-smoke jobs-smoke chaos-fleet-smoke bench-json fuzz-smoke soak-smoke chaos-smoke

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosFleetSmoke is `make chaos-fleet-smoke`: the robustness
+// acceptance run. A 3-worker fleet serves the corpus while the
+// coordinator's shard transport has one transient network fault armed
+// against every worker (drop, corrupt, 2ms delay) — the retry layer must
+// absorb all of them bit for bit against the CLI, without degrading.
+// Then the fleet is reshaped twice, once through POST /v1/fleet/workers
+// and once through a SIGHUP -workers-file reload, with byte-identical
+// output under each bumped epoch. Finally the coordinator is SIGKILLed
+// with a finished job and a just-submitted job in its durable -job-dir;
+// the restarted coordinator must serve the finished result byte-
+// identically and drive the interrupted job to the same bytes.
+func TestChaosFleetSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	daemon := buildBinary(t, tmp, "deviant/cmd/deviantd")
+	cli := buildBinary(t, tmp, "deviant/cmd/deviant")
+
+	corpus := filepath.Join(tmp, "corpus")
+	for name, content := range fleetCorpus() {
+		path := filepath.Join(corpus, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cliOut, err := exec.Command(cli, "-json", corpus).Output()
+	if err != nil {
+		t.Fatalf("deviant -json: %v", err)
+	}
+	var golden []json.RawMessage
+	sc := bufio.NewScanner(bytes.NewReader(cliOut))
+	sc.Scan() // summary line
+	for sc.Scan() {
+		golden = append(golden, append(json.RawMessage(nil), sc.Bytes()...))
+	}
+	if len(golden) == 0 {
+		t.Fatal("CLI found no reports in the fleet corpus")
+	}
+
+	urls := make([]string, 3)
+	for i := range urls {
+		addr := freeAddr(t)
+		urls[i] = "http://" + addr
+		startDaemon(t, daemon, addr, "-role", "worker")
+	}
+	workersFile := filepath.Join(tmp, "workers.txt")
+	writeWorkers := func(us []string) {
+		t.Helper()
+		// The comment line pins comment-to-end-of-line parsing: none of
+		// these words may come back as phantom workers.
+		content := "# deviant fleet members, reloaded on SIGHUP\n" + strings.Join(us, "\n") + "\n"
+		if err := os.WriteFile(workersFile, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeWorkers(urls)
+
+	// One transient fault per worker, selected by its host:port (the
+	// worker's name is its URL). Each has a one-call budget, so a single
+	// retry — or the delay just elapsing — absorbs it.
+	chaosSpec := fmt.Sprintf("drop|%s|1,corrupt|%s|1,delay|%s|2ms|1",
+		strings.TrimPrefix(urls[0], "http://"),
+		strings.TrimPrefix(urls[1], "http://"),
+		strings.TrimPrefix(urls[2], "http://"))
+
+	jobDir := filepath.Join(tmp, "jobs")
+	coordAddr := freeAddr(t)
+	coordArgs := []string{
+		"-role", "coordinator", "-workers-file", workersFile,
+		"-job-dir", jobDir, "-shard-retries", "2", "-chaos", chaosSpec,
+	}
+	coord := startDaemon(t, daemon, coordAddr, coordArgs...)
+	base := "http://" + coordAddr
+
+	do := func(method, path string, payload []byte) (int, []byte) {
+		t.Helper()
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, data
+	}
+
+	body, err := json.Marshal(map[string]any{"sources": fleetCorpus()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyze := func(label string) {
+		t.Helper()
+		code, data := do("POST", "/v1/analyze", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: analyze status %d: %s", label, code, data)
+		}
+		var payload struct {
+			Degraded bool              `json:"degraded"`
+			Reports  []json.RawMessage `json:"reports"`
+		}
+		if err := json.Unmarshal(data, &payload); err != nil {
+			t.Fatal(err)
+		}
+		if payload.Degraded {
+			t.Errorf("%s: run degraded; transient chaos should be absorbed by retries", label)
+		}
+		if len(payload.Reports) != len(golden) {
+			t.Fatalf("%s: fleet found %d reports, CLI %d", label, len(payload.Reports), len(golden))
+		}
+		for i := range payload.Reports {
+			var a, b any
+			if err := json.Unmarshal(payload.Reports[i], &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(golden[i], &b); err != nil {
+				t.Fatal(err)
+			}
+			na, _ := json.Marshal(a)
+			nb, _ := json.Marshal(b)
+			if !bytes.Equal(na, nb) {
+				t.Errorf("%s: report %d differs:\nfleet: %s\ncli:   %s", label, i+1, na, nb)
+			}
+		}
+	}
+	epochOf := func() (epoch uint64, size int) {
+		t.Helper()
+		code, data := do("GET", "/v1/fleet/status", nil)
+		if code != http.StatusOK {
+			t.Fatalf("fleet status: %d: %s", code, data)
+		}
+		var st struct {
+			Epoch uint64 `json:"epoch"`
+			Size  int    `json:"size"`
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Epoch, st.Size
+	}
+
+	// Every armed fault fires during this first scatter; the run must
+	// come out bit-identical to the CLI anyway.
+	analyze("chaos cold")
+	analyze("chaos warm")
+
+	// Reshape through the API: shrink to two workers under epoch 2.
+	req, err := json.Marshal(map[string]any{"workers": urls[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, data := do("POST", "/v1/fleet/workers", req)
+	if code != http.StatusOK {
+		t.Fatalf("fleet workers: %d: %s", code, data)
+	}
+	if epoch, size := epochOf(); epoch != 2 || size != 2 {
+		t.Fatalf("post-shrink fleet %d workers at epoch %d, want 2 at 2", size, epoch)
+	}
+	analyze("epoch 2 (API shrink)")
+
+	// An invalid replacement is rejected without disturbing the epoch.
+	if code, data := do("POST", "/v1/fleet/workers", []byte(`{"workers":[]}`)); code != http.StatusBadRequest {
+		t.Fatalf("empty worker set: %d: %s", code, data)
+	}
+	if epoch, _ := epochOf(); epoch != 2 {
+		t.Fatalf("rejected update moved the epoch to %d", epoch)
+	}
+
+	// Reshape through SIGHUP: the workers file already lists all three,
+	// so a reload regrows the fleet under epoch 3.
+	if err := coord.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	grown := false
+	for i := 0; i < 100 && !grown; i++ {
+		if epoch, size := epochOf(); epoch == 3 && size == 3 {
+			grown = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !grown {
+		t.Fatal("SIGHUP did not reload the workers file to epoch 3")
+	}
+	analyze("epoch 3 (SIGHUP regrow)")
+
+	// Durable jobs. Run one job to completion and keep its result bytes,
+	// then submit a second and SIGKILL the coordinator before polling it:
+	// whatever state the kill caught it in lives only in the job dir.
+	submit := func() string {
+		t.Helper()
+		code, sub := do("POST", "/v1/jobs", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d: %s", code, sub)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(sub, &st); err != nil || st.ID == "" {
+			t.Fatalf("submit status: %v: %s", err, sub)
+		}
+		return st.ID
+	}
+	waitDone := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			code, poll := do("GET", "/v1/jobs/"+id, nil)
+			if code != http.StatusOK {
+				t.Fatalf("poll %s: %d: %s", id, code, poll)
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal(poll, &st); err != nil {
+				t.Fatal(err)
+			}
+			switch st.State {
+			case "done":
+				return
+			case "failed", "canceled":
+				t.Fatalf("job %s ended %q", id, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	doneJob := submit()
+	waitDone(doneJob)
+	code, doneResult := do("GET", "/v1/jobs/"+doneJob+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, doneResult)
+	}
+	killedJob := submit()
+
+	coord.Process.Kill()
+	coord.Wait()
+	coord = startDaemon(t, daemon, coordAddr, coordArgs...)
+
+	// The finished job's result must be the exact bytes served before the
+	// kill — recovered from disk, not recomputed.
+	code, recovered := do("GET", "/v1/jobs/"+doneJob+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("recovered result: %d: %s", code, recovered)
+	}
+	if !bytes.Equal(recovered, doneResult) {
+		t.Errorf("recovered job result differs from pre-kill bytes:\n--- recovered ---\n%s\n--- before ---\n%s",
+			recovered, doneResult)
+	}
+	// The interrupted job is re-admitted and re-run; the workers stayed
+	// warm across the coordinator restart, so its bytes must match the
+	// first job's warm result exactly.
+	waitDone(killedJob)
+	code, rerun := do("GET", "/v1/jobs/"+killedJob+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("rerun result: %d: %s", code, rerun)
+	}
+	if !bytes.Equal(rerun, doneResult) {
+		t.Errorf("re-run interrupted job diverged from the pre-kill result:\n--- rerun ---\n%s\n--- before ---\n%s",
+			rerun, doneResult)
+	}
+
+	// And the fleet still answers identically after all of it.
+	analyze("post-recovery")
+
+	// Drain the restarted coordinator cleanly.
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("coordinator exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("coordinator did not drain within 10s of SIGTERM")
+	}
+}
+
+// TestChaosFlagValidation pins the new flag contracts: -workers-list and
+// -workers-file are mutually exclusive, a worker cannot take either, and
+// a malformed -chaos spec is refused before the daemon binds.
+func TestChaosFlagValidation(t *testing.T) {
+	bin := buildBinary(t, t.TempDir(), "deviant/cmd/deviantd")
+	wf := filepath.Join(t.TempDir(), "workers.txt")
+	if err := os.WriteFile(wf, []byte("http://127.0.0.1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-workers-list", "http://127.0.0.1:1", "-workers-file", wf},
+			"mutually exclusive"},
+		{[]string{"-role", "worker", "-workers-file", wf}, "workers serve shards"},
+		{[]string{"-workers-file", filepath.Join(t.TempDir(), "nope.txt")}, "workers-file"},
+		{[]string{"-chaos", "drop"}, "want action|substr"},
+		{[]string{"-chaos", "explode|w1"}, "unknown action"},
+		{[]string{"-chaos", "delay|w1"}, "delay needs a duration"},
+		{[]string{"-chaos", "delay|w1|fast"}, "bad duration"},
+		{[]string{"-chaos", "drop|w1|-2"}, "bad budget"},
+	} {
+		var stderr bytes.Buffer
+		cmd := exec.Command(bin, tc.args...)
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%v: want non-zero exit, got %v", tc.args, err)
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr %q missing %q", tc.args, stderr.String(), tc.want)
+		}
+	}
+}

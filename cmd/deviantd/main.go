@@ -28,6 +28,11 @@
 //	              restarted daemon starts warm; entries are checksummed
 //	              and corrupt ones are evicted and recomputed (empty =
 //	              memory-only caching)
+//	-job-dir d    persist every async job to a crash-safe log under this
+//	              directory: a restarted daemon re-admits queued jobs,
+//	              re-runs ones that were mid-flight, and serves completed
+//	              results byte-identically (empty = jobs die with the
+//	              process)
 //	-debug-addr a also serve net/http/pprof on this address (off by
 //	              default; bind to localhost, it is unauthenticated)
 //	-role r       standalone (default), worker, or coordinator; worker
@@ -35,6 +40,20 @@
 //	              (DESIGN.md §12)
 //	-workers-list comma-separated worker base URLs; implies
 //	              -role coordinator and is rejected with -role worker
+//	-workers-file file of worker base URLs (newline/comma-separated,
+//	              # comments); like -workers-list but reloaded on SIGHUP,
+//	              so the fleet can shrink or grow without a restart
+//	-shard-timeout d  per-shard-call budget on the coordinator; a call
+//	              that outlives it is retried (0 = the run's deadline)
+//	-shard-retries N  shard-call retries after the first attempt
+//	              (default 1); exhausted retries quarantine the shard's
+//	              units, they never fail the run
+//	-hedge d      after d with no shard response, race a hedged copy of
+//	              the call to the next ring owner and take whichever
+//	              valid response lands first (0 = off)
+//	-chaos s      arm network failpoints on the shard transport from a
+//	              spec like "drop|w1|1,delay|w2|5ms" (action|substr|param;
+//	              testing only — the daemon then misbehaves on purpose)
 //	-journal f    append one JSONL event per run-journal entry (run
 //	              start, placement, shard lifecycle, quarantine, rank)
 //	              to f, each line keyed by the run's request id
@@ -52,7 +71,9 @@
 // /v1/jobs/{id} (the async multi-tenant job API: queued analyses with
 // per-tenant quotas and fair scheduling, results byte-identical to the
 // synchronous path), GET /v1/fleet/status (coordinator mode: ring +
-// per-worker health/build), GET /healthz (liveness + build info),
+// per-worker health/build), POST /v1/fleet/workers (coordinator mode:
+// replace the worker set in place — the response carries the new
+// membership epoch), GET /healthz (liveness + build info),
 // GET /metrics (Prometheus text, including go_* runtime self-metrics
 // and fleet_* federated worker series on a coordinator) — see package
 // deviant/internal/service.
@@ -80,42 +101,155 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"deviant/internal/client"
 	"deviant/internal/dist"
+	"deviant/internal/fault"
 	"deviant/internal/obs"
 	"deviant/internal/service"
 )
 
-// buildCoordinator turns a comma-separated worker URL list into a
-// coordinator over HTTP clients (worker name = its URL, so ring
-// placement is stable across coordinator restarts). The returned close
-// func releases the clients' pooled connections on drain.
-func buildCoordinator(list string) (*dist.Coordinator, func(), error) {
-	var workers []dist.Worker
-	var clients []*client.Client
-	for _, raw := range strings.Split(list, ",") {
-		u := strings.TrimSpace(raw)
-		if u == "" {
+// fleetDialer caches one HTTP client per worker URL. Live membership
+// updates (SIGHUP, POST /v1/fleet/workers) reuse the cached client —
+// and its pooled connections — for retained workers, and drain releases
+// every socket the daemon ever dialed.
+type fleetDialer struct {
+	mu      sync.Mutex
+	clients map[string]*client.Client
+}
+
+func newFleetDialer() *fleetDialer {
+	return &fleetDialer{clients: make(map[string]*client.Client)}
+}
+
+func (d *fleetDialer) dial(name string) dist.ShardCaller {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[name]
+	if !ok {
+		c = client.New(name)
+		d.clients[name] = c
+	}
+	return c
+}
+
+func (d *fleetDialer) closeAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.clients {
+		c.CloseIdleConnections()
+	}
+}
+
+// splitWorkerList splits a comma- or whitespace-separated worker URL
+// list, dropping empties; # starts a comment that runs to the end of
+// its line (for the file form).
+func splitWorkerList(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, raw := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == '\r' || r == '\t' || r == ' '
+		}) {
+			if u := strings.TrimSpace(raw); u != "" {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// buildWorkers maps URLs onto dist.Workers through the dialer cache
+// (worker name = its URL, so ring placement is stable across
+// coordinator restarts).
+func buildWorkers(d *fleetDialer, urls []string) []dist.Worker {
+	workers := make([]dist.Worker, 0, len(urls))
+	for _, u := range urls {
+		workers = append(workers, dist.Worker{Name: u, Caller: d.dial(u)})
+	}
+	return workers
+}
+
+// readWorkersFile loads the -workers-file member list: one or more
+// worker URLs separated by newlines, commas or spaces; # starts a
+// comment that runs to the end of its line.
+func readWorkersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	urls := splitWorkerList(string(data))
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("%s lists no workers", path)
+	}
+	return urls, nil
+}
+
+// armChaos parses and arms a -chaos spec: comma-separated entries of
+// the form action|substr[|param], armed on the shard transport
+// failpoint. action is drop, delay, corrupt, truncate or duplicate;
+// substr selects workers by name substring; param is a duration for
+// delay ("delay|w1|5ms", with an optional fourth |N budget) and a
+// fire-count budget for the rest ("drop|w2|3", 0 or absent = every
+// call).
+func armChaos(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
 			continue
 		}
-		c := client.New(u)
-		clients = append(clients, c)
-		workers = append(workers, dist.Worker{Name: u, Caller: c})
-	}
-	coord, err := dist.NewCoordinator(workers)
-	if err != nil {
-		return nil, nil, err
-	}
-	closeAll := func() {
-		for _, c := range clients {
-			c.CloseIdleConnections()
+		parts := strings.Split(entry, "|")
+		if len(parts) < 2 {
+			return fmt.Errorf("chaos entry %q: want action|substr[|param]", entry)
 		}
+		var f fault.NetFault
+		switch parts[0] {
+		case "drop":
+			f.Action = fault.NetDrop
+		case "delay":
+			f.Action = fault.NetDelay
+		case "corrupt":
+			f.Action = fault.NetCorrupt
+		case "truncate":
+			f.Action = fault.NetTruncate
+		case "duplicate":
+			f.Action = fault.NetDuplicate
+		default:
+			return fmt.Errorf("chaos entry %q: unknown action %q", entry, parts[0])
+		}
+		if f.Action == fault.NetDelay {
+			if len(parts) < 3 {
+				return fmt.Errorf("chaos entry %q: delay needs a duration", entry)
+			}
+			d, err := time.ParseDuration(parts[2])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("chaos entry %q: bad duration %q", entry, parts[2])
+			}
+			f.Delay = d
+			if len(parts) > 3 {
+				n, err := strconv.Atoi(parts[3])
+				if err != nil || n < 0 {
+					return fmt.Errorf("chaos entry %q: bad budget %q", entry, parts[3])
+				}
+				f.Times = n
+			}
+		} else if len(parts) > 2 && parts[2] != "" {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 0 {
+				return fmt.Errorf("chaos entry %q: bad budget %q", entry, parts[2])
+			}
+			f.Times = n
+		}
+		fault.ArmNet(dist.NetPoint, parts[1], f)
 	}
-	return coord, closeAll, nil
+	return nil
 }
 
 func main() {
@@ -132,10 +266,16 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 0, "jobs executing concurrently (0 = -concurrent)")
 	snapshotUnits := flag.Int("snapshot", 0, "snapshot store capacity in units (0 = 1024)")
 	cacheDir := flag.String("cache-dir", "", "persistent snapshot cache directory (empty = memory only)")
+	jobDir := flag.String("job-dir", "", "persist async jobs under this directory so a restart recovers them (empty = in-memory only)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "also serve net/http/pprof on this address (off when empty)")
 	role := flag.String("role", "", "standalone (empty), worker, or coordinator")
 	workersList := flag.String("workers-list", "", "comma-separated worker base URLs (coordinator mode)")
+	workersFile := flag.String("workers-file", "", "file listing worker base URLs, reloaded on SIGHUP (coordinator mode)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-call budget on the coordinator (0 = the run's whole deadline)")
+	shardRetries := flag.Int("shard-retries", 1, "shard-call retries after the first attempt")
+	hedge := flag.Duration("hedge", 0, "send a hedged shard call to the next ring owner after this long (0 = off)")
+	chaos := flag.String("chaos", "", "arm network failpoints on the shard transport, e.g. drop|w1|1,delay|w2|5ms (testing only)")
 	journalPath := flag.String("journal", "", "append per-run JSONL journal events to this file (empty = off)")
 	probeEvery := flag.Duration("probe", 0, "worker health-probe interval in coordinator mode (0 = off)")
 	version := flag.Bool("version", false, "print build identity and exit")
@@ -159,25 +299,50 @@ func main() {
 	default:
 		log.Fatalf("unknown -role %q (want worker or coordinator)", *role)
 	}
-	if *role == "worker" && *workersList != "" {
+	if *workersList != "" && *workersFile != "" {
+		log.Fatal("-workers-list and -workers-file are mutually exclusive")
+	}
+	if *role == "worker" && (*workersList != "" || *workersFile != "") {
 		// A worker scattering to other workers would re-shard recursively;
 		// the topology is one coordinator fanning out to leaf workers.
-		log.Fatal("-role worker cannot take -workers-list: workers serve shards, they do not scatter them")
+		log.Fatal("-role worker cannot take a worker list: workers serve shards, they do not scatter them")
 	}
-	if *role == "coordinator" && *workersList == "" {
-		log.Fatal("-role coordinator requires -workers-list")
+	if *role == "coordinator" && *workersList == "" && *workersFile == "" {
+		log.Fatal("-role coordinator requires -workers-list or -workers-file")
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	var coord *dist.Coordinator
+	var dialer *fleetDialer
 	closeFleet := func() {}
-	if *workersList != "" {
-		var err error
-		coord, closeFleet, err = buildCoordinator(*workersList)
-		if err != nil {
-			log.Fatalf("workers-list: %v", err)
+	if *workersList != "" || *workersFile != "" {
+		urls := splitWorkerList(*workersList)
+		if *workersFile != "" {
+			var err error
+			urls, err = readWorkersFile(*workersFile)
+			if err != nil {
+				log.Fatalf("workers-file: %v", err)
+			}
 		}
-		logger.Info("coordinator mode", "workers", coord.Size())
+		dialer = newFleetDialer()
+		var err error
+		coord, err = dist.NewCoordinator(buildWorkers(dialer, urls))
+		if err != nil {
+			log.Fatalf("worker list: %v", err)
+		}
+		closeFleet = dialer.closeAll
+		coord.SetTransport(dist.TransportConfig{
+			CallTimeout: *shardTimeout,
+			Retries:     *shardRetries,
+			HedgeAfter:  *hedge,
+		})
+		logger.Info("coordinator mode", "workers", coord.Size(), "epoch", coord.Epoch())
+	}
+	if *chaos != "" {
+		if err := armChaos(*chaos); err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		logger.Warn("network chaos faults armed; this daemon will misbehave on purpose", "spec", *chaos)
 	}
 	// io.Writer-typed so an unset flag leaves the interface nil (a nil
 	// *os.File in an io.Writer would read as journaling-on).
@@ -191,7 +356,7 @@ func main() {
 		journalWriter = f
 		logger.Info("journaling runs", "file", *journalPath)
 	}
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		MaxWorkers:    *workers,
 		MaxConcurrent: *concurrent,
 		QueueDepth:    *queue,
@@ -201,10 +366,15 @@ func main() {
 		JobWorkers:    *jobWorkers,
 		SnapshotUnits: *snapshotUnits,
 		CacheDir:      *cacheDir,
+		JobDir:        *jobDir,
 		Logger:        logger,
 		Coordinator:   coord,
 		JournalWriter: journalWriter,
-	})
+	}
+	if dialer != nil {
+		cfg.WorkerDialer = dialer.dial
+	}
+	srv := service.New(cfg)
 	stopProber := func() {}
 	if coord != nil && *probeEvery > 0 {
 		stopProber = coord.StartProber(*probeEvery)
@@ -236,32 +406,56 @@ func main() {
 	}()
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
 
-	select {
-	case err := <-errc:
-		log.Fatal(err)
-	case sig := <-sigc:
-		logger.Info("draining", "signal", sig.String(), "max_wait", drainWait.String())
-		srv.SetDraining(true)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
-		defer cancel()
-		// Jobs drain first: accepted jobs run to completion (the drain
-		// deadline cancels stragglers), and only then does the HTTP
-		// listener close — a poller can still fetch its job's result
-		// until the very end of the drain window.
-		if err := srv.StopJobs(ctx); err != nil {
-			logger.Warn("job drain incomplete, pending jobs canceled", "err", err.Error())
+	var sig os.Signal
+wait:
+	for {
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case sig = <-sigc:
+			if sig != syscall.SIGHUP {
+				break wait
+			}
+			// SIGHUP reloads -workers-file in place: the next run sees the
+			// new member set under a bumped epoch; runs already in flight
+			// keep the view they pinned at scatter time.
+			if coord == nil || *workersFile == "" {
+				logger.Info("ignoring SIGHUP: no -workers-file to reload")
+				continue
+			}
+			urls, err := readWorkersFile(*workersFile)
+			if err != nil {
+				logger.Warn("workers-file reload failed, keeping current fleet", "err", err.Error())
+				continue
+			}
+			if err := coord.SetWorkers(buildWorkers(dialer, urls)); err != nil {
+				logger.Warn("workers-file reload rejected, keeping current fleet", "err", err.Error())
+				continue
+			}
+			logger.Info("fleet workers reloaded", "workers", coord.Size(), "epoch", coord.Epoch())
 		}
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Fatalf("drain: %v", err)
-		}
-		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
-		}
-		stopProber()
-		closeFleet()
-		st := srv.Store().Stats()
-		logger.Info("drained", "snapshot_unit_hits", st.UnitHits, "snapshot_unit_misses", st.UnitMisses)
 	}
+	logger.Info("draining", "signal", sig.String(), "max_wait", drainWait.String())
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Jobs drain first: accepted jobs run to completion (the drain
+	// deadline cancels stragglers), and only then does the HTTP
+	// listener close — a poller can still fetch its job's result
+	// until the very end of the drain window.
+	if err := srv.StopJobs(ctx); err != nil {
+		logger.Warn("job drain incomplete, pending jobs canceled", "err", err.Error())
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	stopProber()
+	closeFleet()
+	st := srv.Store().Stats()
+	logger.Info("drained", "snapshot_unit_hits", st.UnitHits, "snapshot_unit_misses", st.UnitMisses)
 }

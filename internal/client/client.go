@@ -26,9 +26,13 @@ import (
 
 // StatusError is a non-2xx response: the HTTP status plus the server's
 // JSON error message (or a summary of the body when it isn't ours).
+// RetryAfter carries the server's Retry-After hint (0 when absent), so
+// pollers like WaitJob can pace themselves by it even after the inner
+// retry budget is spent.
 type StatusError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -188,25 +192,51 @@ func (c *Client) CancelJob(ctx context.Context, id string, opts ...RequestOption
 }
 
 // WaitJob polls a job until it is terminal and returns its result.
-// Each poll rides the client's retry discipline, so a server that
-// answers a probe with 503 (briefly draining, restarting behind a
-// balancer) is retried rather than surfaced. poll <= 0 defaults to
-// 50ms. A canceled or failed job returns the result endpoint's
-// *StatusError; a canceled ctx returns ctx.Err().
+// Each poll rides the client's retry discipline, and a poll that STILL
+// fails with 429/503 after that budget — the server shedding load, or
+// draining for a restart it will come back from — keeps WaitJob waiting
+// at the server's Retry-After pace (capped at the backoff ceiling)
+// rather than giving up: the job outlives the blip, so the waiter
+// should too. Other failures are final. poll <= 0 defaults to 50ms. No
+// sleep ever extends past the caller's deadline: when the next wait
+// cannot complete in time, WaitJob surfaces the last poll failure (or
+// the deadline) instead of burning the remaining budget. A canceled or
+// failed job returns the result endpoint's *StatusError; a canceled ctx
+// returns ctx.Err().
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration, opts ...RequestOption) (*service.AnalyzeResponse, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	for {
+		wait := poll
 		st, err := c.JobStatus(ctx, id, opts...)
-		if err != nil {
-			return nil, err
+		switch {
+		case err == nil:
+			switch st.State {
+			case service.JobDone, service.JobFailed, service.JobCanceled:
+				return c.JobResult(ctx, id, opts...)
+			}
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		default:
+			se, ok := err.(*StatusError)
+			if !ok || !retryable(se.Status) {
+				return nil, err
+			}
+			if se.RetryAfter > wait {
+				wait = se.RetryAfter
+				if wait > c.maxWait {
+					wait = c.maxWait
+				}
+			}
 		}
-		switch st.State {
-		case service.JobDone, service.JobFailed, service.JobCanceled:
-			return c.JobResult(ctx, id, opts...)
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+			if err != nil {
+				return nil, err
+			}
+			return nil, context.DeadlineExceeded
 		}
-		if err := c.sleep(ctx, poll); err != nil {
+		if serr := c.sleep(ctx, wait); serr != nil {
 			return nil, ctx.Err()
 		}
 	}
@@ -326,7 +356,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 				return se
 			}
 			last = se
-			hint = retryAfterOf(resp)
+			hint = se.RetryAfter
 		default:
 			last = err // transport error: connection refused, reset, ...
 		}
@@ -380,7 +410,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return resp, &StatusError{Status: resp.StatusCode, Message: errorMessage(data)}
+		return resp, &StatusError{Status: resp.StatusCode, Message: errorMessage(data),
+			RetryAfter: retryAfterOf(resp)}
 	}
 	if out == nil {
 		return resp, nil

@@ -91,6 +91,87 @@ func TestWaitJobRetriesInjected503(t *testing.T) {
 	}
 }
 
+// WaitJob outlasting the retry budget: when a draining stretch is long
+// enough that the per-poll retry discipline gives up, the waiter itself
+// absorbs the 429/503 and keeps polling at the server's Retry-After
+// pace — the job outlives the blip, so the waiter must too.
+func TestWaitJobOutlastsRetryBudget(t *testing.T) {
+	result := `{"units":1,"functions":0,"lines":1,"parse_errors":0,"reports":[],"snapshot":{}}`
+	var statusCalls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/job-3":
+			// A draining stretch three polls long, each poll given zero
+			// retries: every one of these surfaces as a *StatusError.
+			if statusCalls.Add(1) <= 3 {
+				w.Header().Set("Retry-After", "2")
+				http.Error(w, `{"error":"server is draining"}`, http.StatusServiceUnavailable)
+				return
+			}
+			json.NewEncoder(w).Encode(service.JobStatus{ID: "job-3", Tenant: "t", State: service.JobDone})
+		case "/v1/jobs/job-3/result":
+			w.Write([]byte(result))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithMaxRetries(0))
+	waits := tame(c)
+	resp, err := c.WaitJob(context.Background(), "job-3", 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob gave up on a draining server: %v", err)
+	}
+	if resp.Units != 1 {
+		t.Fatalf("result units = %d", resp.Units)
+	}
+	hinted := 0
+	for _, w := range *waits {
+		if w == 2*time.Second {
+			hinted++
+		}
+	}
+	if hinted != 3 {
+		t.Fatalf("want 3 Retry-After-paced waits, got %d (all: %v)", hinted, *waits)
+	}
+}
+
+// WaitJob never starts a sleep it cannot finish: with the deadline
+// nearer than the next poll, a healthy-but-unfinished job surfaces
+// DeadlineExceeded immediately, and a failing poll surfaces the real
+// failure instead of a later context error.
+func TestWaitJobDeadlineCapsPollSleep(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.JobStatus{ID: "job-5", Tenant: "t", State: service.JobRunning})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	waits := tame(c)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := c.WaitJob(ctx, "job-5", time.Hour)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if len(*waits) != 0 {
+		t.Fatalf("slept %v past the deadline", *waits)
+	}
+
+	srv503 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"server is draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv503.Close()
+	c2 := New(srv503.URL, WithMaxRetries(0))
+	tame(c2)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	var se *StatusError
+	if _, err := c2.WaitJob(ctx2, "job-5", time.Hour); !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the 503 StatusError", err)
+	}
+}
+
 // The job verbs against the real service: submit with a tenant, wait,
 // and the result matches what the synchronous path returns for the
 // same tree on an equally fresh server.

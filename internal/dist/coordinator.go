@@ -3,7 +3,6 @@ package dist
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
@@ -53,85 +52,97 @@ type Worker struct {
 }
 
 // Coordinator shards analyses across a worker fleet and merges the
-// partials deterministically. Safe for concurrent use.
+// partials deterministically. Safe for concurrent use. Membership is
+// epoch-versioned: every Run snapshots one immutable view, and
+// evictions, re-admissions and SetWorkers publish a successor view
+// without disturbing in-flight runs.
 type Coordinator struct {
-	workers []Worker
-	byName  map[string]ShardCaller
-	ring    *ring
-	m       *fleetMetrics
+	m *fleetMetrics
 
 	mu     sync.Mutex
+	view   *view
 	status map[string]*workerState
-	down   map[string]bool
+	tc     TransportConfig
 }
 
 // NewCoordinator builds a coordinator over the given fleet. Worker
 // names must be non-empty and unique.
 func NewCoordinator(workers []Worker) (*Coordinator, error) {
-	if len(workers) == 0 {
-		return nil, errors.New("dist: fleet has no workers")
+	v, err := buildView(workers, 1, nil)
+	if err != nil {
+		return nil, err
 	}
-	byName := make(map[string]ShardCaller, len(workers))
-	names := make([]string, 0, len(workers))
-	for _, w := range workers {
-		if w.Name == "" {
-			return nil, errors.New("dist: worker with empty name")
-		}
-		if w.Caller == nil {
-			return nil, fmt.Errorf("dist: worker %q has no caller", w.Name)
-		}
-		if _, dup := byName[w.Name]; dup {
-			return nil, fmt.Errorf("dist: duplicate worker name %q", w.Name)
-		}
-		byName[w.Name] = w.Caller
-		names = append(names, w.Name)
+	status := make(map[string]*workerState, len(v.workers))
+	for _, w := range v.workers {
+		status[w.Name] = &workerState{healthy: true}
 	}
-	status := make(map[string]*workerState, len(workers))
-	for _, name := range names {
-		status[name] = &workerState{healthy: true}
-	}
-	return &Coordinator{
-		workers: workers,
-		byName:  byName,
-		ring:    newRing(names),
-		status:  status,
-		down:    make(map[string]bool),
-	}, nil
+	return &Coordinator{view: v, status: status, tc: defaultTransport()}, nil
 }
 
-// Size returns the fleet size.
-func (c *Coordinator) Size() int { return len(c.workers) }
+// Size returns the configured fleet size at the current epoch.
+func (c *Coordinator) Size() int { return len(c.currentView().workers) }
 
 // fleetMetrics instruments scatter behavior; all fields nil-safe via
 // the Coordinator's guard on c.m.
 type fleetMetrics struct {
-	reg        *obs.Registry // retained for federation (fleet_* republish)
-	scatter    map[string]*obs.Histogram
-	rescatters *obs.Counter
-	lost       *obs.Counter
-	healthy    *obs.Gauge
+	reg          *obs.Registry // retained for federation and lazy per-worker series
+	rescatters   *obs.Counter
+	lost         *obs.Counter
+	retries      *obs.Counter
+	hedges       *obs.Counter
+	hedgeWins    *obs.Counter
+	evictions    *obs.Counter
+	readmissions *obs.Counter
+	healthy      *obs.Gauge
+	epoch        *obs.Gauge
+	size         *obs.Gauge
 }
 
-// RegisterMetrics wires fleet instrumentation into reg: a per-worker
-// scatter latency histogram, counters for re-scattered and lost units,
-// and gauges for fleet size and the last run's healthy worker count.
-func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
-	m := &fleetMetrics{reg: reg, scatter: make(map[string]*obs.Histogram, len(c.workers))}
-	for _, w := range c.workers {
-		m.scatter[w.Name] = reg.Histogram("deviantd_fleet_scatter_seconds",
-			"Wall clock of one shard scatter to one worker.",
-			obs.LatencyBuckets, obs.L("worker", w.Name))
+// scatterHist returns the scatter-latency histogram for one worker,
+// created on first use: membership is dynamic, so per-worker series
+// cannot be enumerated at registration time.
+func (m *fleetMetrics) scatterHist(name string) *obs.Histogram {
+	if m == nil || m.reg == nil {
+		return nil
 	}
+	return m.reg.Histogram("deviantd_fleet_scatter_seconds",
+		"Wall clock of one shard scatter to one worker.",
+		obs.LatencyBuckets, obs.L("worker", name))
+}
+
+// RegisterMetrics wires fleet instrumentation into reg: per-worker
+// scatter latency histograms (created lazily as members appear),
+// counters for re-scattered/lost units, transport retries and hedges,
+// membership churn, and gauges for fleet size, membership epoch and
+// the healthy worker count.
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	m := &fleetMetrics{reg: reg}
 	m.rescatters = reg.Counter("deviantd_fleet_rescattered_units_total",
 		"Units re-scattered to a survivor after their worker failed.")
 	m.lost = reg.Counter("deviantd_fleet_lost_units_total",
 		"Units quarantined because no worker could serve them.")
-	reg.Gauge("deviantd_fleet_workers",
-		"Configured fleet size.").Set(float64(len(c.workers)))
+	m.retries = reg.Counter("deviantd_fleet_shard_retries_total",
+		"Shard call attempts beyond the first, per worker call.")
+	m.hedges = reg.Counter("deviantd_fleet_shard_hedges_total",
+		"Hedged shard calls launched against straggling workers.")
+	m.hedgeWins = reg.Counter("deviantd_fleet_shard_hedge_wins_total",
+		"Hedged shard calls that beat the primary worker.")
+	m.evictions = reg.Counter("deviantd_fleet_evictions_total",
+		"Members evicted from placement after failed calls or probes.")
+	m.readmissions = reg.Counter("deviantd_fleet_readmissions_total",
+		"Evicted members re-admitted to placement after recovery.")
 	m.healthy = reg.Gauge("deviantd_fleet_healthy_workers",
 		"Workers that answered the most recent scatter.")
-	m.healthy.Set(float64(len(c.workers)))
+	m.epoch = reg.Gauge("deviantd_fleet_epoch",
+		"Current membership epoch; bumps on any eviction, re-admission or reload.")
+	m.size = reg.Gauge("deviantd_fleet_workers",
+		"Configured fleet size.")
+	c.mu.Lock()
 	c.m = m
+	m.size.Set(float64(len(c.view.workers)))
+	m.epoch.Set(float64(c.view.epoch))
+	c.setHealthyGaugeLocked()
+	c.mu.Unlock()
 }
 
 // shardResult is one worker's round outcome.
@@ -164,22 +175,28 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 	tr := opts.Tracer
 	journal := opts.Journal
 
-	// Place each unit on the ring, steering around workers the prober
-	// currently reports down. Down-set placement is exactly the
-	// re-scatter placement (ownerExcluding), so it cannot change output
-	// bytes — placement only decides which caches warm and how long the
-	// run takes. With the whole fleet marked down, fall back to normal
-	// placement and let re-scatter/quarantine sort it out.
-	downNow := c.snapshotDown()
+	// Snapshot one membership view for the whole run: placement below is
+	// a pure function of (this epoch's member set, unit digests), so the
+	// run's output bytes are pinned per epoch no matter what the prober
+	// or a SetWorkers reload does concurrently.
+	v := c.currentView()
+	journalMembership(journal, v)
+
+	// Place each unit on the ring, steering around members currently
+	// evicted. Evicted-set placement is exactly the re-scatter placement
+	// (ownerExcluding), so it cannot change output bytes — placement only
+	// decides which caches warm and how long the run takes. With every
+	// member evicted, fall back to normal placement and let
+	// re-scatter/quarantine sort it out.
 	owner := make(map[string]string, len(units))
 	for _, u := range units {
 		d := unitDigest(srcs[u])
 		o := ""
-		if len(downNow) > 0 {
-			o = c.ring.ownerExcluding(d, downNow)
+		if len(v.down) > 0 {
+			o = v.ring.ownerExcluding(d, v.down)
 		}
 		if o == "" {
-			o = c.ring.owner(d)
+			o = v.ring.owner(d)
 		}
 		owner[u] = o
 	}
@@ -206,13 +223,11 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 				sp := tr.Start("scatter", obs.A("worker", name), obs.A("units", strconv.Itoa(len(shard))))
 				send := tr.Elapsed()
 				t0 := time.Now()
-				resp, err := c.byName[name].Shard(ctx, req, requestID)
+				resp, err := c.callShard(ctx, v, name, req, requestID, journal)
 				rtt := time.Since(t0)
 				sp.End()
-				if c.m != nil {
-					if h := c.m.scatter[name]; h != nil {
-						h.Observe(rtt.Seconds())
-					}
+				if h := c.m.scatterHist(name); h != nil {
+					h.Observe(rtt.Seconds())
 				}
 				c.noteScatter(name, rtt, err)
 				if err == nil && resp != nil {
@@ -266,11 +281,21 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Exclude this run's dead workers and the epoch's evicted set:
+		// a unit must not re-scatter onto a member placement was already
+		// steering around.
+		excl := make(map[string]bool, len(dead)+len(v.down))
+		for name := range dead {
+			excl[name] = true
+		}
+		for name := range v.down {
+			excl[name] = true
+		}
 		for _, u := range units {
 			if !dead[owner[u]] {
 				continue
 			}
-			alt := c.ring.ownerExcluding(unitDigest(srcs[u]), dead)
+			alt := v.ring.ownerExcluding(unitDigest(srcs[u]), excl)
 			if alt == "" {
 				lost = append(lost, u)
 				continue
@@ -294,7 +319,7 @@ func (c *Coordinator) Run(ctx context.Context, srcs map[string]string, opts core
 		}
 	}
 	if c.m != nil {
-		c.m.healthy.Set(float64(len(c.workers) - len(dead)))
+		c.m.healthy.Set(float64(len(v.workers) - len(dead)))
 		c.m.lost.Add(float64(len(lost)))
 	}
 

@@ -31,10 +31,11 @@ type WorkerStatus struct {
 	Build              *obs.Build `json:"build,omitempty"`
 }
 
-// FleetStatus is the coordinator's fleet summary: ring composition in
-// ring order (sorted worker names), per-worker health/build/latency,
-// and the healthy count.
+// FleetStatus is the coordinator's fleet summary: the membership epoch,
+// ring composition in ring order (sorted worker names), per-worker
+// health/build/latency, and the healthy count.
 type FleetStatus struct {
+	Epoch   uint64         `json:"epoch"`
 	Size    int            `json:"size"`
 	Healthy int            `json:"healthy"`
 	Workers []WorkerStatus `json:"workers"`
@@ -44,7 +45,7 @@ type FleetStatus struct {
 func (c *Coordinator) Status() FleetStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := FleetStatus{Size: len(c.workers), Workers: make([]WorkerStatus, 0, len(c.workers))}
+	st := FleetStatus{Epoch: c.view.epoch, Size: len(c.view.workers), Workers: make([]WorkerStatus, 0, len(c.view.workers))}
 	for name, ws := range c.status {
 		w := WorkerStatus{
 			Name:      name,
@@ -68,7 +69,9 @@ func (c *Coordinator) Status() FleetStatus {
 }
 
 // noteScatter records one scatter outcome in the worker's state and the
-// down set. Transport errors are reduced to a fixed string (see the
+// membership view: a failed call (already retried by the transport)
+// evicts the member from the next epoch's placement, a successful one
+// re-admits it. Transport errors are reduced to a fixed string (see the
 // quarantine causes: addresses must never leak into deterministic
 // surfaces).
 func (c *Coordinator) noteScatter(name string, rtt time.Duration, err error) {
@@ -82,27 +85,13 @@ func (c *Coordinator) noteScatter(name string, rtt time.Duration, err error) {
 	if err != nil {
 		ws.healthy = false
 		ws.lastError = "shard call failed"
-		c.down[name] = true
+		c.evictLocked(name)
 	} else {
 		ws.healthy = true
 		ws.lastError = ""
-		delete(c.down, name)
+		c.readmitLocked(name)
 	}
 	c.setHealthyGaugeLocked()
-}
-
-// snapshotDown copies the current down set for lock-free placement.
-func (c *Coordinator) snapshotDown() map[string]bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.down) == 0 {
-		return nil
-	}
-	out := make(map[string]bool, len(c.down))
-	for name := range c.down {
-		out[name] = true
-	}
-	return out
 }
 
 func (c *Coordinator) setHealthyGaugeLocked() {
@@ -163,9 +152,11 @@ type ProbeCaller interface {
 
 // StartProber launches a background loop that probes every worker whose
 // caller implements ProbeCaller each interval: health outcomes drive
-// the healthy-worker gauge and the down set consulted by placement
-// between runs, and scraped metrics are federated. Returns a stop
-// function that halts the loop and waits for the in-flight tick.
+// membership — failing members are evicted from placement, recovered
+// ones re-admitted, each under a new epoch — and scraped metrics are
+// federated. Each probe attempt is bounded at half the interval so a
+// failed attempt plus its retry still fits inside one tick. Returns a
+// stop function that halts the loop and waits for the in-flight tick.
 func (c *Coordinator) StartProber(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 15 * time.Second
@@ -181,7 +172,7 @@ func (c *Coordinator) StartProber(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-ticker.C:
-				c.ProbeOnce(context.Background(), interval)
+				c.ProbeOnce(context.Background(), interval/2)
 			}
 		}
 	}()
@@ -191,28 +182,38 @@ func (c *Coordinator) StartProber(interval time.Duration) (stop func()) {
 	}
 }
 
-// ProbeOnce probes every probe-capable worker once, sequentially in
-// name order, with timeout bounding each worker's probe pair. Exported
-// so tests and the prober share one code path.
+// probeAttempt is one bounded probe attempt: health, then (best-effort —
+// a worker can be healthy with scraping failing) a metrics scrape.
+func probeAttempt(ctx context.Context, pc ProbeCaller, timeout time.Duration) (obs.Build, []obs.Sample, error) {
+	pctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	build, err := pc.ProbeHealth(pctx)
+	if err != nil {
+		return build, nil, err
+	}
+	samples, _ := pc.ScrapeMetrics(pctx)
+	return build, samples, nil
+}
+
+// ProbeOnce probes every probe-capable member of the current view once,
+// sequentially in name order, with timeout bounding each attempt. A
+// failed attempt gets one retry with a fresh timeout before the member
+// is declared down — a single dropped probe must not flap membership.
+// Exported so tests and the prober share one code path.
 func (c *Coordinator) ProbeOnce(ctx context.Context, timeout time.Duration) {
-	for _, w := range c.workers {
+	v := c.currentView()
+	for _, w := range v.workers {
 		pc, ok := w.Caller.(ProbeCaller)
 		if !ok {
 			continue
 		}
-		pctx := ctx
-		var cancel context.CancelFunc
-		if timeout > 0 {
-			pctx, cancel = context.WithTimeout(ctx, timeout)
-		}
-		build, err := pc.ProbeHealth(pctx)
-		var samples []obs.Sample
-		if err == nil {
-			// Best-effort: a worker can be healthy with scraping failing.
-			samples, _ = pc.ScrapeMetrics(pctx)
-		}
-		if cancel != nil {
-			cancel()
+		build, samples, err := probeAttempt(ctx, pc, timeout)
+		if err != nil && ctx.Err() == nil {
+			build, samples, err = probeAttempt(ctx, pc, timeout)
 		}
 		c.noteProbe(w.Name, build, err)
 		if err == nil {
@@ -221,7 +222,8 @@ func (c *Coordinator) ProbeOnce(ctx context.Context, timeout time.Duration) {
 	}
 }
 
-// noteProbe records one health-probe outcome.
+// noteProbe records one health-probe outcome: failure evicts the member
+// from placement, recovery re-admits it, each publishing a new epoch.
 func (c *Coordinator) noteProbe(name string, build obs.Build, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -233,13 +235,13 @@ func (c *Coordinator) noteProbe(name string, build obs.Build, err error) {
 	if err != nil {
 		ws.healthy = false
 		ws.lastError = "health probe failed"
-		c.down[name] = true
+		c.evictLocked(name)
 	} else {
 		ws.healthy = true
 		ws.lastError = ""
 		b := build
 		ws.build = &b
-		delete(c.down, name)
+		c.readmitLocked(name)
 	}
 	c.setHealthyGaugeLocked()
 }

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deviant/internal/obs"
+)
+
+// view is one immutable epoch of fleet membership: the configured
+// member set, its hash ring, and the members currently evicted from
+// placement. Run snapshots exactly one view, so a whole run sees one
+// epoch — placement is a pure function of (epoch member set, unit
+// digests), which pins output bytes per epoch. Any membership change
+// (config replacement, eviction, re-admission) publishes a new view
+// with a bumped epoch; in-flight runs keep their old one.
+type view struct {
+	epoch   uint64
+	workers []Worker // configured members, sorted by name
+	byName  map[string]ShardCaller
+	ring    *ring
+	down    map[string]bool // evicted members; never mutated after publish
+}
+
+// active returns the sorted names of members not currently evicted.
+func (v *view) active() []string {
+	out := make([]string, 0, len(v.workers))
+	for _, w := range v.workers {
+		if !v.down[w.Name] {
+			out = append(out, w.Name)
+		}
+	}
+	return out
+}
+
+// buildView validates workers and assembles an immutable view at the
+// given epoch, carrying eviction flags for retained names.
+func buildView(workers []Worker, epoch uint64, down map[string]bool) (*view, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("dist: fleet has no workers")
+	}
+	byName := make(map[string]ShardCaller, len(workers))
+	sorted := make([]Worker, len(workers))
+	copy(sorted, workers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	names := make([]string, 0, len(sorted))
+	for _, w := range sorted {
+		if w.Name == "" {
+			return nil, errors.New("dist: worker with empty name")
+		}
+		if w.Caller == nil {
+			return nil, fmt.Errorf("dist: worker %q has no caller", w.Name)
+		}
+		if _, dup := byName[w.Name]; dup {
+			return nil, fmt.Errorf("dist: duplicate worker name %q", w.Name)
+		}
+		byName[w.Name] = w.Caller
+		names = append(names, w.Name)
+	}
+	kept := make(map[string]bool)
+	for name := range down {
+		if _, ok := byName[name]; ok {
+			kept[name] = true
+		}
+	}
+	return &view{epoch: epoch, workers: sorted, byName: byName, ring: newRing(names), down: kept}, nil
+}
+
+// currentView returns the membership view runs should snapshot.
+func (c *Coordinator) currentView() *view {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
+// Epoch returns the current membership epoch. Epoch 1 is the boot
+// configuration; every eviction, re-admission, or SetWorkers bumps it.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.epoch
+}
+
+// snapshotDown copies the current view's evicted set.
+func (c *Coordinator) snapshotDown() map[string]bool {
+	v := c.currentView()
+	if len(v.down) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(v.down))
+	for name := range v.down {
+		out[name] = true
+	}
+	return out
+}
+
+// SetWorkers replaces the configured member set without restarting the
+// coordinator — the live half of `-workers-list` (SIGHUP or
+// POST /v1/fleet/workers). Health state and eviction status carry over
+// for retained names; new members join healthy; removed members drop
+// all state. Publishes a new epoch even if the set is unchanged, so a
+// reload is always observable.
+func (c *Coordinator) SetWorkers(workers []Worker) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := buildView(workers, c.view.epoch+1, c.view.down)
+	if err != nil {
+		return err
+	}
+	status := make(map[string]*workerState, len(v.workers))
+	for _, w := range v.workers {
+		if ws, ok := c.status[w.Name]; ok {
+			status[w.Name] = ws
+		} else {
+			status[w.Name] = &workerState{healthy: true}
+		}
+	}
+	c.view = v
+	c.status = status
+	c.noteEpochLocked()
+	c.setHealthyGaugeLocked()
+	return nil
+}
+
+// evictLocked removes name from placement: a new view is published with
+// name in the down set and a bumped epoch. No-op if already evicted.
+func (c *Coordinator) evictLocked(name string) {
+	if c.view.down[name] {
+		return
+	}
+	down := make(map[string]bool, len(c.view.down)+1)
+	for n := range c.view.down {
+		down[n] = true
+	}
+	down[name] = true
+	next := *c.view
+	next.epoch++
+	next.down = down
+	c.view = &next
+	if c.m != nil {
+		c.m.evictions.Add(1)
+	}
+	c.noteEpochLocked()
+}
+
+// readmitLocked returns an evicted member to placement under a new
+// epoch. No-op if not currently evicted.
+func (c *Coordinator) readmitLocked(name string) {
+	if !c.view.down[name] {
+		return
+	}
+	down := make(map[string]bool, len(c.view.down))
+	for n := range c.view.down {
+		if n != name {
+			down[n] = true
+		}
+	}
+	next := *c.view
+	next.epoch++
+	next.down = down
+	c.view = &next
+	if c.m != nil {
+		c.m.readmissions.Add(1)
+	}
+	c.noteEpochLocked()
+}
+
+func (c *Coordinator) noteEpochLocked() {
+	if c.m != nil {
+		c.m.epoch.Set(float64(c.view.epoch))
+		c.m.size.Set(float64(len(c.view.workers)))
+	}
+}
+
+// journalMembership logs the epoch a run is pinned to and its active
+// member set, in sorted order so journal bytes are deterministic for a
+// given epoch.
+func journalMembership(j *obs.Journal, v *view) {
+	if j == nil {
+		return
+	}
+	j.Event("membership",
+		obs.A("epoch", strconv.FormatUint(v.epoch, 10)),
+		obs.A("size", strconv.Itoa(len(v.workers))),
+		obs.A("active", strings.Join(v.active(), ",")))
+}

@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"deviant/internal/core"
+	"deviant/internal/obs"
+	"deviant/internal/snapshot"
+)
+
+// TestSetWorkersEpochAndByteIdentity reshapes the fleet live — shrink
+// to two members, grow back to four — and pins the tentpole contract:
+// every reload bumps the epoch, and output stays byte-identical to
+// single-process at every epoch.
+func TestSetWorkersEpochAndByteIdentity(t *testing.T) {
+	srcs := fleetSources()
+	want := baseline(t, srcs)
+	c, ws := newLocalFleet(t, 4)
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("boot epoch %d, want 1", got)
+	}
+	run := func(label string) {
+		t.Helper()
+		res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), label)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Degraded {
+			t.Fatalf("%s: degraded: %v", label, res.Quarantined)
+		}
+		if got := canon(res); got != want {
+			t.Fatalf("%s: output diverged from single-process", label)
+		}
+	}
+	run("epoch1")
+
+	// Shrink to two members.
+	small := []Worker{{Name: "w0", Caller: ws[0]}, {Name: "w1", Caller: ws[1]}}
+	if err := c.SetWorkers(small); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("epoch after shrink %d, want 2", got)
+	}
+	if got := c.Size(); got != 2 {
+		t.Fatalf("size after shrink %d, want 2", got)
+	}
+	callsBefore := ws[3].calls.Load()
+	run("epoch2")
+	if ws[3].calls.Load() != callsBefore {
+		t.Fatal("removed worker w3 was called after SetWorkers")
+	}
+
+	// Grow back to four.
+	big := make([]Worker, len(ws))
+	for i := range ws {
+		big[i] = Worker{Name: fmt.Sprintf("w%d", i), Caller: ws[i]}
+	}
+	if err := c.SetWorkers(big); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 3 {
+		t.Fatalf("epoch after grow %d, want 3", got)
+	}
+	run("epoch3")
+	if st := c.Status(); st.Epoch != c.Epoch() || st.Size != 4 {
+		t.Fatalf("status %+v out of sync with epoch %d", st, c.Epoch())
+	}
+}
+
+// TestSetWorkersValidationAndCarryOver rejects invalid member sets and
+// carries eviction state across a reload for retained names.
+func TestSetWorkersValidationAndCarryOver(t *testing.T) {
+	c, ws := newLocalFleet(t, 3)
+	if err := c.SetWorkers(nil); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if err := c.SetWorkers([]Worker{
+		{Name: "dup", Caller: ws[0]}, {Name: "dup", Caller: ws[1]},
+	}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if err := c.SetWorkers([]Worker{{Name: "", Caller: ws[0]}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	// A failed reload must not disturb the current view.
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("failed reloads moved the epoch to %d", got)
+	}
+
+	// Evict w1 via a failed scatter outcome, then reload keeping w1: it
+	// stays evicted; dropping and re-adding it would reset that state.
+	c.noteScatter("w1", 0, errors.New("dial refused"))
+	if down := c.snapshotDown(); !down["w1"] {
+		t.Fatalf("w1 not evicted after failed scatter: %v", down)
+	}
+	if err := c.SetWorkers([]Worker{
+		{Name: "w0", Caller: ws[0]}, {Name: "w1", Caller: ws[1]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if down := c.snapshotDown(); !down["w1"] {
+		t.Fatalf("eviction state lost across reload: %v", down)
+	}
+}
+
+// flakyProbeWorker fails its first n probe attempts, then recovers.
+type flakyProbeWorker struct {
+	localWorker
+	failsLeft int
+}
+
+func (p *flakyProbeWorker) ProbeHealth(ctx context.Context) (obs.Build, error) {
+	if p.failsLeft > 0 {
+		p.failsLeft--
+		return obs.Build{}, errors.New("probe: connection refused")
+	}
+	return obs.Build{Version: "v-test"}, nil
+}
+
+func (p *flakyProbeWorker) ScrapeMetrics(ctx context.Context) ([]obs.Sample, error) {
+	return nil, nil
+}
+
+// TestProbeRetryAbsorbsSingleDrop pins the anti-flap satellite: one
+// dropped probe is retried within the same round, so the member is
+// neither evicted nor does the epoch move.
+func TestProbeRetryAbsorbsSingleDrop(t *testing.T) {
+	w := &flakyProbeWorker{failsLeft: 1}
+	w.store = snapshot.NewStore(0)
+	c, err := NewCoordinator([]Worker{{Name: "w0", Caller: w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background(), time.Second)
+	if down := c.snapshotDown(); len(down) != 0 {
+		t.Fatalf("single dropped probe flapped membership: %v", down)
+	}
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("epoch moved to %d on an absorbed probe drop", got)
+	}
+	if st := c.Status(); st.Healthy != 1 {
+		t.Fatalf("status %+v, want healthy", st)
+	}
+}
+
+// TestProbeEvictionAndReadmissionEpochs drives a member down past the
+// probe retry and back up, checking both membership transitions bump
+// the epoch and move the churn counters.
+func TestProbeEvictionAndReadmissionEpochs(t *testing.T) {
+	w := &flakyProbeWorker{failsLeft: 2} // first attempt + its retry
+	w.store = snapshot.NewStore(0)
+	c, err := NewCoordinator([]Worker{{Name: "w0", Caller: w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	c.ProbeOnce(context.Background(), time.Second)
+	if down := c.snapshotDown(); !down["w0"] {
+		t.Fatalf("member not evicted after probe + retry failed: %v", down)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("epoch %d after eviction, want 2", got)
+	}
+	if got := c.m.evictions.Value(); got != 1 {
+		t.Fatalf("evictions counter %v, want 1", got)
+	}
+
+	c.ProbeOnce(context.Background(), time.Second) // recovered now
+	if down := c.snapshotDown(); len(down) != 0 {
+		t.Fatalf("recovered member not re-admitted: %v", down)
+	}
+	if got := c.Epoch(); got != 3 {
+		t.Fatalf("epoch %d after re-admission, want 3", got)
+	}
+	if got := c.m.readmissions.Value(); got != 1 {
+		t.Fatalf("readmissions counter %v, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"deviantd_fleet_epoch", "deviantd_fleet_evictions_total", "deviantd_fleet_readmissions_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("metrics output missing %s", want)
+		}
+	}
+}
+
+// TestMembershipJournalEvent pins that every run journals the epoch it
+// is pinned to and the active member set, in deterministic order.
+func TestMembershipJournalEvent(t *testing.T) {
+	srcs := fleetSources()
+	c, _ := newLocalFleet(t, 2)
+	var sb strings.Builder
+	opts := core.DefaultOptions()
+	opts.Journal = obs.NewJournal(&sb, "memb-test")
+	if _, err := c.Run(context.Background(), srcs, opts, "memb-test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"event":"membership"`) {
+		t.Fatalf("journal missing membership event:\n%s", out)
+	}
+	if !strings.Contains(out, `"epoch":"1"`) || !strings.Contains(out, `"active":"w0,w1"`) {
+		t.Fatalf("membership event missing epoch/active attrs:\n%s", out)
+	}
+}

@@ -1,0 +1,291 @@
+package dist
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"strconv"
+	"time"
+
+	"deviant/internal/fault"
+	"deviant/internal/obs"
+)
+
+// NetPoint is the failpoint name the shard transport consults before
+// and after every worker call. Chaos harnesses arm it with
+// fault.ArmNet(NetPoint, workerName, ...) to inject drop, delay,
+// corrupt, truncate and duplicate faults on the coordinator↔worker
+// wire.
+const NetPoint = "shard-net"
+
+// errDropped is the injected transport failure for fault.NetDrop.
+var errDropped = errors.New("dist: shard call dropped (injected)")
+
+// TransportConfig tunes the shard-call path between coordinator and
+// workers. The zero value means library defaults (see normalize).
+type TransportConfig struct {
+	// CallTimeout bounds each individual shard attempt; a straggler
+	// attempt is abandoned and retried. Zero means no per-attempt bound
+	// beyond the run context.
+	CallTimeout time.Duration
+	// Retries is how many extra attempts follow a failed or invalid
+	// first attempt, against the same worker. Negative disables retry.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt.
+	RetryBackoff time.Duration
+	// HedgeAfter, when positive, races a straggling shard call against
+	// one hedged attempt to the unit's next ring owner after this long.
+	// First valid response wins; output bytes cannot differ because
+	// every worker computes identical partials. Zero disables hedging.
+	HedgeAfter time.Duration
+}
+
+// defaultTransport is the boot configuration: one retry with a small
+// backoff absorbs transient wire faults, no per-attempt timeout, no
+// hedging (hedging moves shard work between snapshot caches, so it is
+// opt-in).
+func defaultTransport() TransportConfig {
+	return TransportConfig{Retries: 1, RetryBackoff: 25 * time.Millisecond}
+}
+
+// normalize fills unset fields with defaults a caller almost never
+// wants to zero out.
+func (tc TransportConfig) normalize() TransportConfig {
+	if tc.Retries < 0 {
+		tc.Retries = 0
+	}
+	if tc.RetryBackoff <= 0 {
+		tc.RetryBackoff = 25 * time.Millisecond
+	}
+	return tc
+}
+
+// SetTransport replaces the shard transport configuration. Takes effect
+// for the next Run; in-flight runs keep the config they started with.
+func (c *Coordinator) SetTransport(tc TransportConfig) {
+	c.mu.Lock()
+	c.tc = tc.normalize()
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) transport() TransportConfig {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tc
+}
+
+// applyNetFault mutates resp according to an armed response-side fault.
+// Corruption flips a byte in the first non-empty token payload,
+// truncation drops the last partial, duplication appends a copy of
+// every partial (benign: the merge index is idempotent for identical
+// content).
+func applyNetFault(f fault.NetFault, resp *ShardResponse) {
+	if resp == nil {
+		return
+	}
+	switch f.Action {
+	case fault.NetCorrupt:
+		for i := range resp.Partials {
+			if len(resp.Partials[i].Tokens) > 0 {
+				resp.Partials[i].Tokens[0] ^= 0xff
+				return
+			}
+		}
+	case fault.NetTruncate:
+		if n := len(resp.Partials); n > 0 {
+			resp.Partials = resp.Partials[:n-1]
+		}
+	case fault.NetDuplicate:
+		resp.Partials = append(resp.Partials, resp.Partials...)
+	}
+}
+
+// validShard reports whether resp structurally answers req: every
+// requested unit is covered by a checksum-clean partial or a quarantine
+// record (a "*" record covers the whole shard), and no partial's token
+// payload fails its SHA-256. Validation is integrity only — it never
+// inspects analysis content — so a failed check means the bytes on the
+// wire are not what the worker sent, exactly what a retry can fix.
+func validShard(req *ShardRequest, resp *ShardResponse) bool {
+	if resp == nil {
+		return false
+	}
+	ok := make(map[string]bool, len(resp.Partials))
+	for i := range resp.Partials {
+		p := &resp.Partials[i]
+		s := sha256.Sum256(p.Tokens)
+		if hex.EncodeToString(s[:]) != p.Sum {
+			return false
+		}
+		ok[p.Unit] = true
+	}
+	for _, rec := range resp.Quarantined {
+		ok[rec.Unit] = true
+	}
+	for _, u := range req.Units {
+		if !ok[u] && !ok["*"] {
+			return false
+		}
+	}
+	return true
+}
+
+// sleepCtx waits d or until ctx is done, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// attemptShard performs one shard call to name with chaos interposed:
+// an armed drop fails the call, a delay holds it, and the
+// corrupt/truncate/duplicate classes mangle the response after it
+// returns — modeling faults on the wire, not in the worker.
+func (c *Coordinator) attemptShard(ctx context.Context, v *view, name string, req *ShardRequest, requestID string, tc TransportConfig) (*ShardResponse, error) {
+	var post *fault.NetFault
+	if f, armed := fault.TakeNet(NetPoint, name); armed {
+		switch f.Action {
+		case fault.NetDrop:
+			return nil, errDropped
+		case fault.NetDelay:
+			sleepCtx(ctx, f.Delay)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		default:
+			post = &f
+		}
+	}
+	actx := ctx
+	var cancel context.CancelFunc
+	if tc.CallTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, tc.CallTimeout)
+		defer cancel()
+	}
+	resp, err := v.byName[name].Shard(actx, req, requestID)
+	if err != nil {
+		return nil, err
+	}
+	if post != nil {
+		applyNetFault(*post, resp)
+	}
+	return resp, nil
+}
+
+// callShardRetrying runs the attempt loop against one worker: transport
+// errors and integrity-invalid responses are retried with doubling
+// backoff. A final response that is present but still invalid is
+// returned as-is rather than discarded — the merge quarantines exactly
+// the affected units (causeCorrupt/causeMissing), which contains a
+// persistently mangling link to per-unit loss instead of whole-shard
+// loss.
+func (c *Coordinator) callShardRetrying(ctx context.Context, v *view, name string, req *ShardRequest, requestID string, tc TransportConfig, journal *obs.Journal) (*ShardResponse, error) {
+	var resp *ShardResponse
+	var err error
+	for try := 0; try <= tc.Retries; try++ {
+		if try > 0 {
+			if c.m != nil {
+				c.m.retries.Add(1)
+			}
+			journal.Event("shard_retry",
+				obs.A("worker", name), obs.A("attempt", strconv.Itoa(try+1)))
+			sleepCtx(ctx, tc.RetryBackoff<<(try-1))
+		}
+		if e := ctx.Err(); e != nil {
+			// The run's own deadline, not the worker's failure; stop
+			// burning attempts.
+			if resp == nil && err == nil {
+				err = e
+			}
+			break
+		}
+		resp, err = c.attemptShard(ctx, v, name, req, requestID, tc)
+		if err == nil && validShard(req, resp) {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+// hedgeTarget picks the worker a straggling shard would be hedged to:
+// the next ring owner for the shard's first unit, past the primary,
+// evicted members and workers already known dead this run.
+func hedgeTarget(v *view, primary string, req *ShardRequest) string {
+	if len(req.Units) == 0 {
+		return ""
+	}
+	excl := make(map[string]bool, len(v.down)+1)
+	for n := range v.down {
+		excl[n] = true
+	}
+	excl[primary] = true
+	return v.ring.ownerExcluding(unitDigest(req.Sources[req.Units[0]]), excl)
+}
+
+// callShard is the shard transport entry point: the retrying call,
+// optionally raced against one hedged attempt to the next ring owner
+// when the primary straggles past HedgeAfter. The first valid response
+// wins — worker partials are deterministic, so the winner cannot change
+// output bytes, only tail latency.
+func (c *Coordinator) callShard(ctx context.Context, v *view, name string, req *ShardRequest, requestID string, journal *obs.Journal) (*ShardResponse, error) {
+	tc := c.transport()
+	if tc.HedgeAfter <= 0 {
+		return c.callShardRetrying(ctx, v, name, req, requestID, tc, journal)
+	}
+	alt := hedgeTarget(v, name, req)
+	if alt == "" {
+		return c.callShardRetrying(ctx, v, name, req, requestID, tc, journal)
+	}
+	type result struct {
+		resp  *ShardResponse
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	go func() {
+		r, e := c.callShardRetrying(ctx, v, name, req, requestID, tc, journal)
+		ch <- result{r, e, false}
+	}()
+	timer := time.NewTimer(tc.HedgeAfter)
+	defer timer.Stop()
+	pending := 1
+	var last result
+	select {
+	case last = <-ch:
+		pending--
+		if last.err == nil && validShard(req, last.resp) {
+			return last.resp, last.err
+		}
+	case <-timer.C:
+	}
+	// Primary is straggling (or failed): launch the hedge and take the
+	// first valid answer from either side.
+	if c.m != nil {
+		c.m.hedges.Add(1)
+	}
+	journal.Event("shard_hedge", obs.A("worker", name), obs.A("alt", alt))
+	go func() {
+		r, e := c.callShardRetrying(ctx, v, alt, req, requestID, tc, journal)
+		ch <- result{r, e, true}
+	}()
+	pending++
+	for ; pending > 0; pending-- {
+		r := <-ch
+		if r.err == nil && validShard(req, r.resp) {
+			if r.hedge && c.m != nil {
+				c.m.hedgeWins.Add(1)
+			}
+			return r.resp, r.err
+		}
+		last = r
+	}
+	return last.resp, last.err
+}

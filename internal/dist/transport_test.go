@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"deviant/internal/core"
+	"deviant/internal/fault"
+	"deviant/internal/obs"
+	"deviant/internal/snapshot"
+)
+
+// TestTransientNetFaultsAbsorbed arms each network fault class for
+// exactly one call against one worker of three: the transport's retry
+// (or the merge's idempotence, for duplicates) absorbs the blip and the
+// run stays byte-identical to single-process, not degraded.
+func TestTransientNetFaultsAbsorbed(t *testing.T) {
+	srcs := fleetSources()
+	want := baseline(t, srcs)
+	for _, f := range []fault.NetFault{
+		{Action: fault.NetDrop, Times: 1},
+		{Action: fault.NetDelay, Delay: 5 * time.Millisecond, Times: 1},
+		{Action: fault.NetCorrupt, Times: 1},
+		{Action: fault.NetTruncate, Times: 1},
+		{Action: fault.NetDuplicate, Times: 1},
+	} {
+		t.Run(f.Action.String(), func(t *testing.T) {
+			defer fault.Reset()
+			c, _ := newLocalFleet(t, 3)
+			fault.ArmNet(NetPoint, "w1", f)
+			res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), "net-"+f.Action.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Degraded {
+				t.Fatalf("transient %s degraded the run: %v", f.Action, res.Quarantined)
+			}
+			if got := canon(res); got != want {
+				t.Fatalf("transient %s changed output bytes:\n--- fleet\n%s--- single\n%s", f.Action, got, want)
+			}
+		})
+	}
+}
+
+// TestPersistentDropOneWorker leaves one worker's link down for the
+// whole run: retries fail, the shard re-scatters to survivors, output
+// stays byte-identical and healthy.
+func TestPersistentDropOneWorker(t *testing.T) {
+	defer fault.Reset()
+	srcs := fleetSources()
+	want := baseline(t, srcs)
+	c, _ := newLocalFleet(t, 4)
+	fault.ArmNet(NetPoint, "w2", fault.NetFault{Action: fault.NetDrop})
+	res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), "drop-w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("re-scatter did not absorb a single dead link: %v", res.Quarantined)
+	}
+	if got := canon(res); got != want {
+		t.Fatal("persistent one-worker drop changed output bytes")
+	}
+	if down := c.snapshotDown(); !down["w2"] {
+		t.Fatalf("dead-link worker not evicted: %v", down)
+	}
+}
+
+// TestPersistentDropAllDeterministic cuts every link: the run degrades
+// — never errors — with the fixed causeLost per unit, byte-identical
+// across repeated runs.
+func TestPersistentDropAllDeterministic(t *testing.T) {
+	defer fault.Reset()
+	srcs := fleetSources()
+	c, _ := newLocalFleet(t, 2)
+	fault.ArmNet(NetPoint, "w", fault.NetFault{Action: fault.NetDrop})
+	run := func(id string) *core.Result {
+		res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), id)
+		if err != nil {
+			t.Fatalf("all-links-dead must degrade, not fail: %v", err)
+		}
+		return res
+	}
+	res := run("dead1")
+	if !res.Degraded || len(res.Quarantined) != 6 {
+		t.Fatalf("want 6 quarantined units, got %v", res.Quarantined)
+	}
+	for _, q := range res.Quarantined {
+		if q.Stage != fleetStage || q.Cause != causeLost {
+			t.Fatalf("unexpected record %+v", q)
+		}
+	}
+	if a, b := canon(res), canon(run("dead2")); a != b {
+		t.Fatalf("degradation not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPersistentCorruptContainedPerUnit arms unlimited corruption on a
+// single-worker fleet: retries cannot fix it, and the final mangled
+// response must flow to the merge so exactly the affected unit
+// quarantines with causeCorrupt — per-unit containment, not
+// whole-shard loss.
+func TestPersistentCorruptContainedPerUnit(t *testing.T) {
+	defer fault.Reset()
+	srcs := fleetSources()
+	c, _ := newLocalFleet(t, 1)
+	fault.ArmNet(NetPoint, "w0", fault.NetFault{Action: fault.NetCorrupt})
+	run := func(id string) *core.Result {
+		res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), id)
+		if err != nil {
+			t.Fatalf("corrupt link must degrade, not fail: %v", err)
+		}
+		return res
+	}
+	res := run("corrupt1")
+	if !res.Degraded {
+		t.Fatal("not degraded")
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Cause != causeCorrupt {
+		t.Fatalf("want exactly one causeCorrupt record, got %v", res.Quarantined)
+	}
+	if res.FuncCount == 0 {
+		t.Fatal("healthy units were not analyzed")
+	}
+	if a, b := canon(res), canon(run("corrupt2")); a != b {
+		t.Fatal("corrupt degradation not deterministic")
+	}
+}
+
+// slowWorker delays every shard call before delegating.
+type slowWorker struct {
+	localWorker
+	delay time.Duration
+}
+
+func (w *slowWorker) Shard(ctx context.Context, req *ShardRequest, requestID string) (*ShardResponse, error) {
+	select {
+	case <-time.After(w.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return w.localWorker.Shard(ctx, req, requestID)
+}
+
+// TestCallTimeoutAbandonsStraggler bounds each attempt well below a
+// straggler's delay: every attempt to the slow worker times out, its
+// shard re-scatters, and output bytes hold.
+func TestCallTimeoutAbandonsStraggler(t *testing.T) {
+	srcs := fleetSources()
+	want := baseline(t, srcs)
+	slow := &slowWorker{delay: 30 * time.Second}
+	slow.store = snapshot.NewStore(0)
+	fast := &localWorker{store: snapshot.NewStore(0)}
+	c, err := NewCoordinator([]Worker{{Name: "w0", Caller: slow}, {Name: "w1", Caller: fast}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTransport(TransportConfig{CallTimeout: 50 * time.Millisecond, Retries: 1, RetryBackoff: time.Millisecond})
+	start := time.Now()
+	res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), "timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("run took %v; straggler was not abandoned", took)
+	}
+	if res.Degraded {
+		t.Fatalf("timed-out shard not re-scattered: %v", res.Quarantined)
+	}
+	if got := canon(res); got != want {
+		t.Fatal("timeout path changed output bytes")
+	}
+}
+
+// TestHedgedRetryBeatsStraggler enables hedging with a generous
+// per-call timeout: the straggler's shard is hedged to the next ring
+// owner, the hedge wins, and the run finishes fast and byte-identical.
+func TestHedgedRetryBeatsStraggler(t *testing.T) {
+	srcs := fleetSources()
+	want := baseline(t, srcs)
+	slow := &slowWorker{delay: 20 * time.Second}
+	slow.store = snapshot.NewStore(0)
+	fast := &localWorker{store: snapshot.NewStore(0)}
+	c, err := NewCoordinator([]Worker{{Name: "w0", Caller: slow}, {Name: "w1", Caller: fast}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	c.SetTransport(TransportConfig{CallTimeout: time.Minute, HedgeAfter: 30 * time.Millisecond})
+	start := time.Now()
+	res, err := c.Run(context.Background(), srcs, core.DefaultOptions(), "hedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("run took %v; hedge never fired", took)
+	}
+	if res.Degraded {
+		t.Fatalf("hedged run degraded: %v", res.Quarantined)
+	}
+	if got := canon(res); got != want {
+		t.Fatal("hedged run changed output bytes")
+	}
+	if slowShard := slow.calls.Load(); slowShard == 0 {
+		// The straggler must have been tried at all for the hedge to mean
+		// anything (placement gave it at least one unit on this corpus).
+		t.Skip("straggler received no units; hedge path not exercised")
+	}
+	if got := c.m.hedges.Value(); got < 1 {
+		t.Fatalf("hedges counter %v, want >= 1", got)
+	}
+	if got := c.m.hedgeWins.Value(); got < 1 {
+		t.Fatalf("hedge wins counter %v, want >= 1", got)
+	}
+}
+
+// TestRetryCounterAndJournal pins the observability of the retry path:
+// a one-shot drop moves the retries counter and lands a shard_retry
+// event in the journal.
+func TestRetryCounterAndJournal(t *testing.T) {
+	defer fault.Reset()
+	srcs := fleetSources()
+	c, _ := newLocalFleet(t, 2)
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	fault.ArmNet(NetPoint, "w0", fault.NetFault{Action: fault.NetDrop, Times: 1})
+	var sb strings.Builder
+	opts := core.DefaultOptions()
+	opts.Journal = obs.NewJournal(&sb, "retry-test")
+	if _, err := c.Run(context.Background(), srcs, opts, "retry-test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.m.retries.Value(); got < 1 {
+		t.Fatalf("retries counter %v, want >= 1", got)
+	}
+	if !strings.Contains(sb.String(), `"event":"shard_retry"`) {
+		t.Fatalf("journal missing shard_retry event:\n%s", sb.String())
+	}
+}
+
+// TestValidShard unit-tests the transport's integrity validation.
+func TestValidShard(t *testing.T) {
+	req := &ShardRequest{Units: []string{"a.c", "b.c"}}
+	part := func(unit string, tokens []byte) UnitPartial {
+		raw, sum, err := encodeTokens(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tokens != nil {
+			raw = tokens
+		}
+		return UnitPartial{Unit: unit, Tokens: raw, Sum: sum}
+	}
+	good := &ShardResponse{Partials: []UnitPartial{part("a.c", nil), part("b.c", nil)}}
+	if !validShard(req, good) {
+		t.Fatal("complete response rejected")
+	}
+	corrupt := &ShardResponse{Partials: []UnitPartial{part("a.c", []byte("junk")), part("b.c", nil)}}
+	if validShard(req, corrupt) {
+		t.Fatal("checksum-mismatched partial accepted")
+	}
+	missing := &ShardResponse{Partials: []UnitPartial{part("a.c", nil)}}
+	if validShard(req, missing) {
+		t.Fatal("uncovered unit accepted")
+	}
+	quarantined := &ShardResponse{
+		Partials:    []UnitPartial{part("a.c", nil)},
+		Quarantined: []fault.Record{{Unit: "b.c", Stage: "frontend", Cause: "x"}},
+	}
+	if !validShard(req, quarantined) {
+		t.Fatal("quarantine-covered unit rejected")
+	}
+	star := &ShardResponse{Quarantined: []fault.Record{{Unit: "*", Stage: "frontend", Cause: "x"}}}
+	if !validShard(req, star) {
+		t.Fatal("whole-shard quarantine rejected")
+	}
+	if validShard(req, nil) {
+		t.Fatal("nil response accepted")
+	}
+}

@@ -163,9 +163,10 @@ func Disarm(stage string) {
 	}
 }
 
-// Reset disarms every failpoint.
+// Reset disarms every failpoint, panic and network alike.
 func Reset() {
 	armed.Store(nil)
+	ResetNet()
 }
 
 // Trap is the injection site: pipeline stages call it with the id of

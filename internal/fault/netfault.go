@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetAction is one network-level fault class the shard transport knows
+// how to inject. Unlike the panic failpoints in fault.go, these model
+// failures *between* processes: a call that never arrives, arrives
+// late, arrives mangled, arrives incomplete, or arrives twice.
+type NetAction int
+
+const (
+	// NetDrop fails the call outright, as if the peer were unreachable.
+	NetDrop NetAction = iota
+	// NetDelay holds the call for Delay before letting it through.
+	NetDelay
+	// NetCorrupt lets the call through, then flips bytes in the
+	// response payload — corruption past TCP's checksum.
+	NetCorrupt
+	// NetTruncate lets the call through, then drops the tail of the
+	// response — a connection cut mid-body.
+	NetTruncate
+	// NetDuplicate lets the call through, then repeats response
+	// content — a retransmit the peer already answered.
+	NetDuplicate
+)
+
+// String names the action for journals and test output.
+func (a NetAction) String() string {
+	switch a {
+	case NetDrop:
+		return "drop"
+	case NetDelay:
+		return "delay"
+	case NetCorrupt:
+		return "corrupt"
+	case NetTruncate:
+		return "truncate"
+	case NetDuplicate:
+		return "duplicate"
+	}
+	return "unknown"
+}
+
+// NetFault is one armed network fault. Times bounds how many calls it
+// fires on (<= 0 means every matching call until disarmed) — the knob
+// that separates a transient blip the transport must absorb silently
+// from a persistent outage it must degrade under deterministically.
+type NetFault struct {
+	Action NetAction
+	Delay  time.Duration // used by NetDelay
+	Times  int           // fire on this many matching calls; <= 0 = unlimited
+}
+
+// netEntry is one armed fault plus its match key and remaining budget.
+type netEntry struct {
+	substr string
+	f      NetFault
+	left   int // remaining fires; -1 = unlimited
+}
+
+// Network faults sit behind a plain mutex, not the lock-free scheme the
+// panic failpoints use: TakeNet must atomically decrement a per-entry
+// budget, and the shard transport calls it once per network round trip,
+// where a mutex is noise.
+var (
+	netMu    sync.Mutex
+	netArmed map[string][]*netEntry
+)
+
+// ArmNet installs a network fault: any TakeNet(point, id) whose id
+// contains substr consumes it. Arming the same (point, substr) pair
+// again replaces the previous fault and resets its budget. Like Arm,
+// this is chaos-harness machinery; production runs never call it.
+func ArmNet(point, substr string, f NetFault) {
+	left := f.Times
+	if left <= 0 {
+		left = -1
+	}
+	netMu.Lock()
+	defer netMu.Unlock()
+	if netArmed == nil {
+		netArmed = make(map[string][]*netEntry)
+	}
+	for _, e := range netArmed[point] {
+		if e.substr == substr {
+			e.f = f
+			e.left = left
+			return
+		}
+	}
+	netArmed[point] = append(netArmed[point], &netEntry{substr: substr, f: f, left: left})
+}
+
+// DisarmNet removes the network fault armed for (point, substr).
+func DisarmNet(point, substr string) {
+	netMu.Lock()
+	defer netMu.Unlock()
+	entries := netArmed[point]
+	for i, e := range entries {
+		if e.substr == substr {
+			netArmed[point] = append(entries[:i:i], entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// ResetNet disarms every network fault.
+func ResetNet() {
+	netMu.Lock()
+	netArmed = nil
+	netMu.Unlock()
+}
+
+// TakeNet is the injection site: the transport calls it with the id of
+// the call about to run (deviantd uses the worker name). The first
+// armed fault for point whose substr matches id and still has budget is
+// consumed — its budget decremented — and returned. Disarmed (the
+// normal state) it is one mutex round trip on a nil map.
+func TakeNet(point, id string) (NetFault, bool) {
+	netMu.Lock()
+	defer netMu.Unlock()
+	for _, e := range netArmed[point] {
+		if e.left == 0 || !strings.Contains(id, e.substr) {
+			continue
+		}
+		if e.left > 0 {
+			e.left--
+		}
+		return e.f, true
+	}
+	return NetFault{}, false
+}

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetFaultMatchAndBudget(t *testing.T) {
+	defer Reset()
+	ArmNet("shard-net", "w1", NetFault{Action: NetDrop, Times: 2})
+
+	if _, ok := TakeNet("shard-net", "w0"); ok {
+		t.Fatal("fault fired on a non-matching id")
+	}
+	if _, ok := TakeNet("other-point", "w1"); ok {
+		t.Fatal("fault fired on a different point")
+	}
+	for i := 0; i < 2; i++ {
+		f, ok := TakeNet("shard-net", "w1")
+		if !ok {
+			t.Fatalf("take %d: fault not consumed", i)
+		}
+		if f.Action != NetDrop {
+			t.Fatalf("take %d: action %v", i, f.Action)
+		}
+	}
+	if _, ok := TakeNet("shard-net", "w1"); ok {
+		t.Fatal("fault fired past its Times budget")
+	}
+}
+
+func TestNetFaultUnlimited(t *testing.T) {
+	defer Reset()
+	ArmNet("shard-net", "w2", NetFault{Action: NetDelay, Delay: time.Millisecond})
+	for i := 0; i < 100; i++ {
+		f, ok := TakeNet("shard-net", "w2")
+		if !ok {
+			t.Fatalf("unlimited fault exhausted at take %d", i)
+		}
+		if f.Action != NetDelay || f.Delay != time.Millisecond {
+			t.Fatalf("take %d: %+v", i, f)
+		}
+	}
+}
+
+func TestNetFaultRearmResetsBudget(t *testing.T) {
+	defer Reset()
+	ArmNet("p", "x", NetFault{Action: NetDrop, Times: 1})
+	if _, ok := TakeNet("p", "x"); !ok {
+		t.Fatal("first take missed")
+	}
+	if _, ok := TakeNet("p", "x"); ok {
+		t.Fatal("budget not enforced")
+	}
+	ArmNet("p", "x", NetFault{Action: NetCorrupt, Times: 1})
+	f, ok := TakeNet("p", "x")
+	if !ok || f.Action != NetCorrupt {
+		t.Fatalf("re-arm did not reset budget: ok=%v f=%+v", ok, f)
+	}
+}
+
+func TestNetFaultDisarmAndReset(t *testing.T) {
+	ArmNet("p", "a", NetFault{Action: NetDrop})
+	ArmNet("p", "b", NetFault{Action: NetTruncate})
+	DisarmNet("p", "a")
+	if _, ok := TakeNet("p", "a-id"); ok {
+		t.Fatal("disarmed fault still fires")
+	}
+	if f, ok := TakeNet("p", "b-id"); !ok || f.Action != NetTruncate {
+		t.Fatal("sibling fault lost on disarm")
+	}
+	Reset()
+	if _, ok := TakeNet("p", "b-id"); ok {
+		t.Fatal("Reset left a net fault armed")
+	}
+}
+
+func TestNetFaultFirstMatchWins(t *testing.T) {
+	defer Reset()
+	ArmNet("p", "worker", NetFault{Action: NetDrop, Times: 1})
+	ArmNet("p", "worker-3", NetFault{Action: NetDuplicate})
+	// "worker" was armed first and matches "worker-3" too.
+	if f, ok := TakeNet("p", "worker-3"); !ok || f.Action != NetDrop {
+		t.Fatalf("want first armed entry, got ok=%v f=%+v", ok, f)
+	}
+	// Its budget is spent; the second entry now serves.
+	if f, ok := TakeNet("p", "worker-3"); !ok || f.Action != NetDuplicate {
+		t.Fatalf("exhausted entry not skipped: ok=%v f=%+v", ok, f)
+	}
+}
+
+func TestNetActionString(t *testing.T) {
+	for a, want := range map[NetAction]string{
+		NetDrop: "drop", NetDelay: "delay", NetCorrupt: "corrupt",
+		NetTruncate: "truncate", NetDuplicate: "duplicate", NetAction(99): "unknown",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("NetAction(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// The ninth differential oracle: network chaos. The shard transport
+// must absorb every transient network fault class (drop, delay,
+// corrupt-bytes, truncate, duplicate) byte-identically — retries and the
+// merge's idempotence make one blip invisible — while persistent faults
+// degrade the run deterministically, never fail it. Live membership
+// reshapes (SetWorkers shrink/grow) must bump the epoch and leave output
+// bytes untouched at every epoch: placement is a pure function of
+// (epoch member set, unit digests).
+package fuzzgen
+
+import (
+	"fmt"
+	"time"
+
+	"deviant/internal/dist"
+	"deviant/internal/fault"
+)
+
+// netChaosFaults is the transient injection matrix: one instance of each
+// fault class. Delays stay in the low milliseconds so a soak's thousands
+// of runs don't serialize on sleeps.
+func netChaosFaults() []fault.NetFault {
+	return []fault.NetFault{
+		{Action: fault.NetDrop, Times: 1},
+		{Action: fault.NetDelay, Delay: 2 * time.Millisecond, Times: 1},
+		{Action: fault.NetCorrupt, Times: 1},
+		{Action: fault.NetTruncate, Times: 1},
+		{Action: fault.NetDuplicate, Times: 1},
+	}
+}
+
+// checkNetChaos runs the network-chaos oracle against the single-process
+// baseline canon. Each returned Violation has Oracle "netchaos", or
+// "robust" for a panic/hang inside a chaos run.
+func checkNetChaos(sources map[string]string, baseCanon string, timeout time.Duration, stats *SeedStats) []Violation {
+	var vs []Violation
+	run := func(c *dist.Coordinator, label string) runOut {
+		stats.Analyses++
+		out := guardedFleetRun(c, sources, soakOptions(2, true, nil), timeout)
+		if out.panicked != "" {
+			vs = append(vs, Violation{"robust", "netchaos " + label + " panic: " + firstLine(out.panicked)})
+		}
+		if out.hung {
+			vs = append(vs, Violation{"robust", fmt.Sprintf("netchaos %s run exceeded %v", label, timeout)})
+		}
+		return out
+	}
+
+	// Transient faults: each class armed for exactly one call against one
+	// worker of three. The transport's retry (or the merge's idempotence,
+	// for duplicates) must absorb the blip: byte-identical, not degraded.
+	for _, f := range netChaosFaults() {
+		c, _ := newFuzzFleet(3)
+		fault.ArmNet(dist.NetPoint, "fz-w1", f)
+		out := run(c, "transient-"+f.Action.String())
+		fault.Reset()
+		if ok(out) {
+			if canonical(out) != baseCanon {
+				vs = append(vs, Violation{"netchaos",
+					fmt.Sprintf("transient %s diverged from single-process: %s", f.Action, diffDetail(baseCanon, canonical(out)))})
+			}
+			if out.res != nil && out.res.Degraded {
+				vs = append(vs, Violation{"netchaos",
+					fmt.Sprintf("transient %s degraded the run instead of being absorbed", f.Action)})
+			}
+		}
+	}
+
+	// Persistent drop on every link: nothing can serve any shard, so the
+	// run must degrade — never error — and degrade identically on a
+	// second attempt.
+	c2, _ := newFuzzFleet(2)
+	fault.ArmNet(dist.NetPoint, "fz-w", fault.NetFault{Action: fault.NetDrop})
+	dead1 := run(c2, "drop-all-1")
+	dead2 := run(c2, "drop-all-2")
+	fault.Reset()
+	if ok(dead1) && ok(dead2) {
+		if dead1.err != nil {
+			vs = append(vs, Violation{"netchaos", "all-links-dead failed instead of degrading: " + dead1.err.Error()})
+		} else if dead1.res != nil && !dead1.res.Degraded {
+			vs = append(vs, Violation{"netchaos", "all-links-dead run not marked degraded"})
+		}
+		if canonical(dead1) != canonical(dead2) {
+			vs = append(vs, Violation{"netchaos",
+				"all-links-dead degradation is nondeterministic: " + diffDetail(canonical(dead1), canonical(dead2))})
+		}
+	}
+
+	// Live membership reshape: shrink three workers to two, grow back.
+	// Each reload must bump the epoch, and every epoch's run must
+	// reproduce the baseline bytes.
+	c3, ws := newFuzzFleet(3)
+	full := make([]dist.Worker, len(ws))
+	for i := range ws {
+		full[i] = dist.Worker{Name: fmt.Sprintf("fz-w%d", i), Caller: ws[i]}
+	}
+	if out := run(c3, "epoch1"); ok(out) && canonical(out) != baseCanon {
+		vs = append(vs, Violation{"netchaos", "epoch-1 fleet diverged: " + diffDetail(baseCanon, canonical(out))})
+	}
+	if err := c3.SetWorkers(full[:2]); err != nil {
+		vs = append(vs, Violation{"netchaos", "shrink reload failed: " + err.Error()})
+		return vs
+	}
+	if out := run(c3, "epoch2"); ok(out) && canonical(out) != baseCanon {
+		vs = append(vs, Violation{"netchaos", "post-shrink run diverged: " + diffDetail(baseCanon, canonical(out))})
+	}
+	if err := c3.SetWorkers(full); err != nil {
+		vs = append(vs, Violation{"netchaos", "grow reload failed: " + err.Error()})
+		return vs
+	}
+	if got := c3.Epoch(); got != 3 {
+		vs = append(vs, Violation{"netchaos", fmt.Sprintf("epoch after two reloads = %d, want 3", got)})
+	}
+	if out := run(c3, "epoch3"); ok(out) && canonical(out) != baseCanon {
+		vs = append(vs, Violation{"netchaos", "post-grow run diverged: " + diffDetail(baseCanon, canonical(out))})
+	}
+	return vs
+}

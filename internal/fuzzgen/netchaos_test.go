@@ -1,0 +1,63 @@
+package fuzzgen
+
+import (
+	"testing"
+	"time"
+
+	"deviant/internal/dist"
+	"deviant/internal/fault"
+)
+
+// TestNetChaosOracle runs the ninth oracle standalone over a few seeds:
+// no violations, and the right number of fleet runs (the matrix is
+// fixed, so a miscounted stats total means a leg silently vanished).
+func TestNetChaosOracle(t *testing.T) {
+	defer fault.Reset()
+	for seed := int64(1); seed <= 4; seed++ {
+		sources := Generate(seed).Sources()
+		base := guardedAnalyze(sources, soakOptions(1, true, nil), 30*time.Second)
+		if !ok(base) || base.err != nil {
+			t.Fatalf("seed %d: baseline broken: %+v", seed, base)
+		}
+		var stats SeedStats
+		vs := checkNetChaos(sources, canonical(base), 30*time.Second, &stats)
+		for _, v := range vs {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		// 5 transient + 2 drop-all + 3 epochs.
+		if stats.Analyses != 10 {
+			t.Errorf("seed %d: %d chaos runs, want 10", seed, stats.Analyses)
+		}
+	}
+}
+
+// TestNetChaosNotVacuous pins that the oracle's injections actually
+// bite: a persistent drop-all really quarantines work, and a transient
+// drop really costs a retry — otherwise every assertion above would
+// pass against a transport that ignores its failpoints.
+func TestNetChaosNotVacuous(t *testing.T) {
+	defer fault.Reset()
+	sources := Generate(1).Sources()
+
+	c, _ := newFuzzFleet(2)
+	fault.ArmNet(dist.NetPoint, "fz-w", fault.NetFault{Action: fault.NetDrop})
+	dead := guardedFleetRun(c, sources, soakOptions(2, true, nil), 30*time.Second)
+	fault.Reset()
+	if !ok(dead) || dead.err != nil {
+		t.Fatalf("drop-all run broken: %+v", dead)
+	}
+	if dead.res == nil || !dead.res.Degraded || len(dead.res.Quarantined) == 0 {
+		t.Fatal("persistent drop-all quarantined nothing; chaos injection is not reaching the transport")
+	}
+
+	c1, _ := newFuzzFleet(1)
+	fault.ArmNet(dist.NetPoint, "fz-w0", fault.NetFault{Action: fault.NetDrop, Times: 1})
+	one := guardedFleetRun(c1, sources, soakOptions(2, true, nil), 30*time.Second)
+	fault.Reset()
+	if !ok(one) || one.err != nil {
+		t.Fatalf("one-drop run broken: %+v", one)
+	}
+	if one.res == nil || one.res.Degraded {
+		t.Fatal("single transient drop on the only worker should be absorbed by the retry")
+	}
+}

@@ -1,4 +1,4 @@
-// The eight differential oracles. Each one runs the full pipeline over
+// The nine differential oracles. Each one runs the full pipeline over
 // the same sources under two configurations whose outputs are provably
 // related, and reports any divergence as a Violation:
 //
@@ -37,6 +37,12 @@
 //	            identity contract baselines and -diff are built on:
 //	            positions and rule spellings may shift, identity
 //	            may not.
+//	netchaos    Under injected network faults on the shard transport
+//	            (drop, delay, corrupt-bytes, truncate, duplicate), a
+//	            transient fault must be absorbed byte-identically, a
+//	            persistent one must degrade the run deterministically,
+//	            and live membership reshapes (SetWorkers) must bump the
+//	            epoch without perturbing output. See netchaos.go.
 //	robust      No analysis run may panic or outrun its deadline. This
 //	            oracle wraps every run the others perform.
 package fuzzgen
@@ -57,7 +63,7 @@ import (
 
 // Violation is one oracle failure.
 type Violation struct {
-	Oracle string // workers | memo | snapshot | metamorph | quarantine | fleet | fingerprint | robust
+	Oracle string // workers | memo | snapshot | metamorph | quarantine | fleet | fingerprint | netchaos | robust
 	Detail string
 }
 
@@ -231,6 +237,10 @@ func CheckSeed(seed int64, timeout time.Duration) (map[string]string, []Violatio
 	// has nothing canonical to reproduce.
 	if base.err == nil {
 		vs = append(vs, checkFleet(sources, baseCanon, baseFP, timeout, &stats)...)
+		// Oracle 9: network chaos over the same baseline — transient
+		// shard-transport faults absorbed byte-identically, persistent
+		// ones degrading deterministically, membership reshapes inert.
+		vs = append(vs, checkNetChaos(sources, baseCanon, timeout, &stats)...)
 	}
 	return sources, vs, stats
 }

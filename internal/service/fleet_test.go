@@ -69,7 +69,7 @@ func TestShardEndpoint(t *testing.T) {
 	}
 
 	for _, bad := range []dist.ShardRequest{
-		{Sources: srcs},                                      // no units
+		{Sources: srcs}, // no units
 		{Sources: srcs, Units: []string{"nosuch.c"}},         // unknown unit
 		{Sources: srcs, Units: []string{"include/kernel.h"}}, // header
 	} {
@@ -136,6 +136,94 @@ func TestCoordinatorMode(t *testing.T) {
 		if !bytes.Contains(body, []byte(name)) {
 			t.Errorf("metrics missing %s", name)
 		}
+	}
+}
+
+// TestFleetWorkersEndpoint pins the live-membership API: a valid POST
+// /v1/fleet/workers replaces the worker set under a bumped epoch and
+// runs stay byte-identical, an invalid set is a 400 that leaves the
+// epoch untouched, and without a WorkerDialer the route does not exist.
+func TestFleetWorkersEndpoint(t *testing.T) {
+	// One backing worker server per name, created on first dial — the
+	// same wiring deviantd uses, minus the TCP hop.
+	backends := map[string]http.Handler{}
+	dialer := func(name string) dist.ShardCaller {
+		h, ok := backends[name]
+		if !ok {
+			h = New(Config{})
+			backends[name] = h
+		}
+		return httpShardCaller{h: h}
+	}
+	coord, err := dist.NewCoordinator([]dist.Worker{
+		{Name: "w0", Caller: dialer("w0")},
+		{Name: "w1", Caller: dialer("w1")},
+		{Name: "w2", Caller: dialer("w2")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := New(Config{Coordinator: coord, WorkerDialer: dialer})
+	single := New(Config{})
+	srcs := svcSources()
+	want := analyze(t, single, srcs)
+
+	check := func(label string) {
+		got := analyze(t, fleet, srcs)
+		gb, _ := json.Marshal(got.Reports)
+		wb, _ := json.Marshal(want.Reports)
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("%s: fleet reports diverge:\n--- fleet\n%s\n--- single\n%s", label, gb, wb)
+		}
+	}
+	check("epoch 1")
+
+	// Shrink to two workers: 200, epoch bumped, output unchanged.
+	rr, body := postJSON(t, fleet, "/v1/fleet/workers", FleetWorkersRequest{Workers: []string{"w0", " w1 ", ""}})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("shrink: status %d: %s", rr.Code, body)
+	}
+	var st dist.FleetStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("shrink: %v\n%s", err, body)
+	}
+	if st.Epoch != 2 || st.Size != 2 {
+		t.Fatalf("shrink: epoch %d size %d, want 2/2", st.Epoch, st.Size)
+	}
+	check("epoch 2")
+
+	// Invalid sets are the client's fault and must not disturb the view.
+	for _, bad := range []FleetWorkersRequest{
+		{},                              // empty
+		{Workers: []string{"", "  "}},   // all blank
+		{Workers: []string{"wX", "wX"}}, // duplicate name
+	} {
+		rr, body := postJSON(t, fleet, "/v1/fleet/workers", bad)
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("bad set %v: status %d: %s", bad.Workers, rr.Code, body)
+		}
+	}
+	if got := coord.Epoch(); got != 2 {
+		t.Fatalf("epoch moved to %d on rejected updates, want 2", got)
+	}
+
+	// Grow back to three: the re-dialed worker comes from the same cache.
+	rr, body = postJSON(t, fleet, "/v1/fleet/workers", FleetWorkersRequest{Workers: []string{"w0", "w1", "w2"}})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("grow: status %d: %s", rr.Code, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 3 || st.Size != 3 {
+		t.Fatalf("grow: epoch %d size %d, want 3/3", st.Epoch, st.Size)
+	}
+	check("epoch 3")
+
+	// No WorkerDialer, no route: membership cannot be steered remotely.
+	rr, _ = postJSON(t, New(Config{Coordinator: coord}), "/v1/fleet/workers", FleetWorkersRequest{Workers: []string{"w0"}})
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("route without dialer: status %d, want 404", rr.Code)
 	}
 }
 

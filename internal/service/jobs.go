@@ -60,7 +60,7 @@ type job struct {
 
 	state    string
 	errMsg   string
-	resp     *AnalyzeResponse
+	respRaw  []byte             // encoded result body, exactly as served
 	canceled bool               // cancel requested (may still be running)
 	cancel   context.CancelFunc // non-nil while running
 	journal  *obs.Journal       // keyed by job id, shared across lifecycle
@@ -93,7 +93,12 @@ type jobManager struct {
 	wg   sync.WaitGroup
 }
 
-func newJobManager(s *Server) *jobManager {
+// newJobManager builds the manager and replays the job log's surviving
+// entries before any worker starts: terminal jobs keep serving their
+// persisted bytes, and jobs that were queued or running at crash time
+// re-enter the queue — accepted work is promised work, so admission
+// quotas do not apply to work that was already admitted once.
+func newJobManager(s *Server, recovered []jobEntry) *jobManager {
 	m := &jobManager{
 		s:      s,
 		jobs:   make(map[string]*job),
@@ -102,6 +107,52 @@ func newJobManager(s *Server) *jobManager {
 		wake:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 	}
+	var maxID int64
+	for i := range recovered {
+		e := &recovered[i]
+		if n := jobIDNum(e.ID); n > maxID {
+			maxID = n
+		}
+		var journal *obs.Journal
+		if s.cfg.JournalWriter != nil {
+			journal = obs.NewJournal(s.cfg.JournalWriter, e.ID)
+		}
+		j := &job{
+			id:      e.ID,
+			tenant:  e.Tenant,
+			req:     e.Req,
+			journal: journal,
+			done:    make(chan struct{}),
+		}
+		switch e.State {
+		case JobDone:
+			j.state, j.respRaw = JobDone, e.Resp
+			close(j.done)
+		case JobFailed:
+			j.state, j.errMsg = JobFailed, e.ErrMsg
+			close(j.done)
+		case JobCanceled:
+			j.state, j.canceled = JobCanceled, true
+			close(j.done)
+		default: // queued or running at crash time: re-run from the log
+			j.state = JobQueued
+			if _, ok := m.queues[j.tenant]; !ok {
+				m.ring = append(m.ring, j.tenant)
+			}
+			m.queues[j.tenant] = append(m.queues[j.tenant], j)
+			m.queued++
+			m.active[j.tenant]++
+			journal.Event("job_recovered",
+				obs.A("tenant", j.tenant), obs.A("prior_state", e.State))
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+	}
+	if maxID > 0 {
+		// Recovered ids stay unique: fresh submissions continue the sequence.
+		s.nextJobID.Store(maxID)
+	}
+	m.evictLocked() // no workers yet, so the lock is not needed
 	for i := 0; i < s.cfg.JobWorkers; i++ {
 		m.wg.Add(1)
 		go func() {
@@ -150,8 +201,34 @@ func (m *jobManager) submit(id, tenant string, req AnalyzeRequest, journal *obs.
 	m.queued++
 	m.active[tenant]++
 	m.evictLocked()
+	// Persist before the 202 leaves this function: once the client has
+	// an accepted id, a crash must not lose the job. Holding the lock
+	// orders this write before any later state the job-worker persists.
+	m.persist(m.entryLocked(j))
 	m.signal()
 	return j.statusLocked(), 0, ""
+}
+
+// entryLocked snapshots j's durable state for the job log, or nil when
+// no log is attached. Caller holds the manager lock.
+func (m *jobManager) entryLocked(j *job) *jobEntry {
+	if m.s.joblog == nil {
+		return nil
+	}
+	return &jobEntry{ID: j.id, Tenant: j.tenant, State: j.state,
+		ErrMsg: j.errMsg, Req: j.req, Resp: j.respRaw}
+}
+
+// persist writes one snapshot to the job log. A failing disk costs that
+// job its durability, never the request: the in-memory job proceeds and
+// the failure is logged.
+func (m *jobManager) persist(e *jobEntry) {
+	if e == nil {
+		return
+	}
+	if err := m.s.joblog.write(e); err != nil && m.s.log != nil {
+		m.s.log.Warn("job log write failed", "job", e.ID, "err", err.Error())
+	}
 }
 
 // signal nudges an idle worker. Buffered by one: a dropped signal is
@@ -175,6 +252,9 @@ func (m *jobManager) evictLocked() {
 		j := m.jobs[id]
 		if len(m.jobs) > limit && terminal(j.state) {
 			delete(m.jobs, id)
+			if m.s.joblog != nil {
+				m.s.joblog.remove(id)
+			}
 			continue
 		}
 		kept = append(kept, id)
@@ -236,7 +316,9 @@ func (m *jobManager) run(j *job) {
 	m.mu.Lock()
 	j.cancel = cancel
 	alreadyCanceled := j.canceled
+	e := m.entryLocked(j) // state is running: a crash from here re-runs the job
 	m.mu.Unlock()
+	m.persist(e)
 	j.journal.Event("job_start", obs.A("tenant", j.tenant))
 	if m.runHook != nil {
 		m.runHook(j)
@@ -292,6 +374,19 @@ func (m *jobManager) run(j *job) {
 	}
 	cancel()
 
+	// Encode the result body outside the lock. These are the exact bytes
+	// the result endpoint serves — and the exact bytes the job log
+	// persists, so a restart cannot perturb a finished result.
+	var respRaw []byte
+	if resp != nil {
+		raw, err := encodeBody(*resp)
+		if err != nil {
+			errMsg = "encode result: " + err.Error()
+		} else {
+			respRaw = raw
+		}
+	}
+
 	m.mu.Lock()
 	m.running--
 	m.active[j.tenant]--
@@ -304,12 +399,14 @@ func (m *jobManager) run(j *job) {
 		j.state, j.errMsg = JobFailed, errMsg
 		s.jobsFailed.Inc()
 	default:
-		j.state, j.resp = JobDone, resp
+		j.state, j.respRaw = JobDone, respRaw
 		s.jobsCompleted.Inc()
 	}
 	state := j.state
+	e = m.entryLocked(j)
 	close(j.done)
 	m.mu.Unlock()
+	m.persist(e)
 	j.journal.Event("job_end", obs.A("state", state))
 }
 
@@ -324,6 +421,7 @@ func (m *jobManager) cancelJob(id string) (JobStatus, int, string) {
 		m.mu.Unlock()
 		return JobStatus{}, http.StatusNotFound, "no such job " + id
 	}
+	var e *jobEntry
 	switch j.state {
 	case JobQueued:
 		m.removeQueuedLocked(j)
@@ -332,6 +430,7 @@ func (m *jobManager) cancelJob(id string) (JobStatus, int, string) {
 		m.queued--
 		m.active[j.tenant]--
 		m.s.jobsCanceled.Inc()
+		e = m.entryLocked(j)
 		close(j.done)
 	case JobRunning:
 		j.canceled = true
@@ -348,6 +447,7 @@ func (m *jobManager) cancelJob(id string) (JobStatus, int, string) {
 		st.State = JobCanceled // the client's view: this job will not publish
 	}
 	m.mu.Unlock()
+	m.persist(e)
 	j.journal.Event("job_cancel", obs.A("tenant", j.tenant))
 	return st, 0, ""
 }
@@ -393,9 +493,9 @@ func (m *jobManager) get(id string) (JobStatus, bool) {
 	return j.statusLocked(), true
 }
 
-// result returns the finished response, or an HTTP status explaining why
-// there is none (yet).
-func (m *jobManager) result(id string) (*AnalyzeResponse, int, string) {
+// result returns the finished response's encoded body, or an HTTP status
+// explaining why there is none (yet).
+func (m *jobManager) result(id string) ([]byte, int, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
@@ -404,7 +504,7 @@ func (m *jobManager) result(id string) (*AnalyzeResponse, int, string) {
 	}
 	switch {
 	case j.state == JobDone:
-		return j.resp, 0, ""
+		return j.respRaw, 0, ""
 	case j.state == JobFailed:
 		return nil, http.StatusInternalServerError, j.errMsg
 	case j.state == JobCanceled || j.canceled:
@@ -521,16 +621,17 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleJobResult serves the finished analysis with the same wire shape
-// and the same encoder as POST /v1/analyze, so a job's result is
-// byte-identical to the synchronous answer for the same tree.
+// handleJobResult serves the finished analysis: the body bytes were
+// encoded once at completion time with the same encoder as
+// POST /v1/analyze, so a job's result is byte-identical to the
+// synchronous answer for the same tree — before and after any restart.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	resp, status, msg := s.jobs.result(r.PathValue("id"))
+	body, status, msg := s.jobs.result(r.PathValue("id"))
 	if status != 0 {
 		writeError(w, status, "%s", msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, *resp)
+	writeRawJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

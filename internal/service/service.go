@@ -93,6 +93,13 @@ type Config struct {
 	// JobHistory bounds retained terminal jobs: past it the oldest
 	// finished jobs are forgotten, 404ing their ids (0 = 256).
 	JobHistory int
+	// JobDir, when non-empty, attaches a crash-safe write-ahead log to
+	// the job subsystem: every accepted job is persisted through its
+	// lifecycle, so a restart re-admits queued jobs, re-runs jobs that
+	// were mid-flight, and keeps serving finished results byte-identical
+	// to before the crash. An unusable directory degrades to in-memory
+	// jobs with a warning rather than refusing to start.
+	JobDir string
 	// SnapshotUnits caps the snapshot store (0 = snapshot default).
 	SnapshotUnits int
 	// CacheDir, when non-empty, attaches a crash-safe persistent tier to
@@ -116,6 +123,12 @@ type Config struct {
 	// lives on the workers). /v1/diff always runs locally. It also
 	// enables GET /v1/fleet/status, the ring/health/build summary.
 	Coordinator *dist.Coordinator
+	// WorkerDialer, when non-nil alongside Coordinator, enables
+	// POST /v1/fleet/workers — live fleet membership replacement. It maps
+	// a worker name (its base URL) to the shard caller the coordinator
+	// should use; retained names keep their health state, new members
+	// join healthy, and every accepted update bumps the membership epoch.
+	WorkerDialer func(name string) dist.ShardCaller
 	// JournalWriter, when non-nil, receives one JSONL run-journal line
 	// per event (run start, placement, shard lifecycle, quarantine,
 	// rank, run end), every line keyed by the run's request id — the
@@ -171,6 +184,7 @@ type Server struct {
 	nextID    atomic.Int64 // request id sequence
 	nextJobID atomic.Int64 // job id sequence
 	jobs      *jobManager
+	joblog    *jobLog // nil unless Config.JobDir is usable
 
 	// Metrics. The registry owns everything /metrics serves; the named
 	// handles are the counters the handlers bump on their hot paths.
@@ -212,10 +226,30 @@ func New(cfg Config) *Server {
 				"dir", cfg.CacheDir, "err", err.Error())
 		}
 	}
+	var recovered []jobEntry
+	if cfg.JobDir != "" {
+		l, entries, corrupt, err := openJobLog(cfg.JobDir)
+		if err != nil {
+			if s.log != nil {
+				s.log.Warn("job dir unavailable, jobs are not durable",
+					"dir", cfg.JobDir, "err", err.Error())
+			}
+		} else {
+			s.joblog = l
+			recovered = entries
+			if corrupt > 0 && s.log != nil {
+				s.log.Warn("job log swept corrupt entries",
+					"dir", cfg.JobDir, "count", corrupt)
+			}
+		}
+	}
 	s.initMetrics()
 	if cfg.Coordinator != nil {
 		cfg.Coordinator.RegisterMetrics(s.reg)
 		s.mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
+		if cfg.WorkerDialer != nil {
+			s.mux.HandleFunc("POST /v1/fleet/workers", s.handleFleetWorkers)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
@@ -227,7 +261,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.jobs = newJobManager(s)
+	s.jobs = newJobManager(s, recovered)
 	return s
 }
 
@@ -517,12 +551,30 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// encodeBody renders v into the exact bytes writeJSON puts on the wire.
+// The job log persists these bytes for finished jobs, so a result served
+// after a restart is byte-identical to one served before it.
+func encodeBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, _ := encodeBody(v)
+	writeRawJSON(w, status, body)
+}
+
+// writeRawJSON serves pre-encoded response bytes (a recovered job result,
+// or anything encodeBody produced) without a decode/re-encode round trip.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -878,6 +930,42 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 // Registered only in coordinator mode.
 func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Coordinator.Status())
+}
+
+// FleetWorkersRequest is the wire shape for POST /v1/fleet/workers: the
+// full replacement member list, each entry a worker base URL (which is
+// also its ring name, so placement survives coordinator restarts).
+type FleetWorkersRequest struct {
+	Workers []string `json:"workers"`
+}
+
+// handleFleetWorkers replaces the fleet's member set live: in-flight
+// runs finish on the epoch they started with, the next run places on
+// the new one. Rejected sets (empty, duplicate names) leave the current
+// epoch untouched and answer 400. Registered only in coordinator mode
+// with a WorkerDialer.
+func (s *Server) handleFleetWorkers(w http.ResponseWriter, r *http.Request) {
+	var req FleetWorkersRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	workers := make([]dist.Worker, 0, len(req.Workers))
+	for _, raw := range req.Workers {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		workers = append(workers, dist.Worker{Name: name, Caller: s.cfg.WorkerDialer(name)})
+	}
+	if err := s.cfg.Coordinator.SetWorkers(workers); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.cfg.Coordinator.Status()
+	if s.log != nil {
+		s.log.Info("fleet workers replaced", "workers", st.Size, "epoch", st.Epoch)
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
